@@ -1,0 +1,104 @@
+// E7 + E9: computational games. The primality game's compute-vs-safe
+// crossover (Example 3.1) and computational roshambo's nonexistence sweep
+// (Example 3.3).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/machine/machine_game.h"
+#include "core/machine/primality.h"
+#include "solver/zero_sum.h"
+#include "game/catalog.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bnash;
+
+void print_primality_table() {
+    std::cout << "=== E7: Example 3.1, the primality game ===\n";
+    std::cout << "(inputs half prime / half composite; see DESIGN.md)\n";
+    util::Table table({"bits", "step price", "MR utility", "MR mulmods", "safe utility",
+                       "equilibrium machine"});
+    for (const unsigned bits : {8u, 16u, 24u, 32u, 48u, 60u}) {
+        for (const double price : {0.001, 0.02}) {
+            core::PrimalityParams params;
+            params.bits = bits;
+            params.step_price = price;
+            params.samples = 300;
+            const auto mr = core::evaluate_primality_machine(
+                core::PrimalityMachineKind::kMillerRabin, params);
+            const auto safe = core::evaluate_primality_machine(
+                core::PrimalityMachineKind::kPlaySafe, params);
+            table.add_row({util::Table::fmt(std::size_t{bits}), util::Table::fmt(price, 3),
+                           util::Table::fmt(mr.expected_utility, 2),
+                           util::Table::fmt(mr.average_steps, 0),
+                           util::Table::fmt(safe.expected_utility, 2),
+                           core::to_string(core::best_primality_machine(params))});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "-> at a positive step price the equilibrium flips from compute to"
+                 " play-safe as inputs grow: Nash equilibrium without computation costs"
+                 " mispredicts.\n\n";
+}
+
+void print_roshambo_table() {
+    std::cout << "=== E9: Example 3.3, computational roshambo ===\n";
+    std::cout << "baseline (standard game) mixed equilibrium via LP: value "
+              << solver::solve_zero_sum(game::catalog::roshambo()).value << "\n";
+    util::Table table(
+        {"randomization surcharge", "#machine equilibria", "BR cycle length"});
+    for (const double surcharge : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+        auto game = core::computational_roshambo(surcharge);
+        const auto equilibria = game.machine_equilibria();
+        const auto cycle = game.best_response_cycle({0, 0});
+        table.add_row({util::Table::fmt(surcharge, 2), util::Table::fmt(equilibria.size()),
+                       util::Table::fmt(cycle.size())});
+    }
+    table.print(std::cout);
+    std::cout << "-> any positive surcharge on randomization destroys every equilibrium:"
+                 " machine games need not have Nash equilibria.\n\n";
+}
+
+void bench_miller_rabin(benchmark::State& state) {
+    const auto bits = static_cast<unsigned>(state.range(0));
+    util::Rng rng{7};
+    const std::uint64_t lo = std::uint64_t{1} << (bits - 1);
+    std::vector<std::uint64_t> inputs;
+    for (int i = 0; i < 64; ++i) inputs.push_back(lo + rng.next_below(lo));
+    for (auto _ : state) {
+        for (const auto x : inputs) {
+            benchmark::DoNotOptimize(core::is_prime_u64(x));
+        }
+    }
+}
+BENCHMARK(bench_miller_rabin)->Arg(16)->Arg(32)->Arg(48)->Arg(60);
+
+void bench_primality_sweep(benchmark::State& state) {
+    core::PrimalityParams params;
+    params.bits = static_cast<unsigned>(state.range(0));
+    params.samples = 100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::best_primality_machine(params));
+    }
+}
+BENCHMARK(bench_primality_sweep)->Arg(16)->Arg(32)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void bench_machine_equilibrium_enumeration(benchmark::State& state) {
+    auto game = core::computational_roshambo(1.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(game.machine_equilibria());
+    }
+}
+BENCHMARK(bench_machine_equilibrium_enumeration)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_primality_table();
+    print_roshambo_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

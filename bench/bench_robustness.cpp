@@ -1,0 +1,111 @@
+// E2 + E3: Section 2's examples as tables. The attack game's all-0
+// equilibrium survives exactly one deviator (E2); the bargaining game's
+// all-stay is resilient for every k but dies with one faulty player (E3).
+// Anonymous-game checkers carry the sweep to n = 50; the generic exact
+// checkers are timed for comparison.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/robust/anonymous.h"
+#include "core/robust/robustness.h"
+#include "game/catalog.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bnash;
+
+void print_tables() {
+    std::cout << "=== E2: attack game, all-0 profile ===\n";
+    util::Table attack({"n", "Nash?", "min breaking coalition", "1-immune?"});
+    for (const std::size_t n : {3u, 5u, 8u, 12u, 20u, 35u, 50u}) {
+        const auto g = core::AnonymousBinaryGame::attack(n);
+        attack.add_row({util::Table::fmt(n), util::Table::fmt(g.all_base_is_nash(0)),
+                        util::Table::fmt(g.min_breaking_coalition(0, n)),
+                        util::Table::fmt(g.all_base_is_t_immune(0, 1))});
+    }
+    attack.print(std::cout);
+    std::cout << "-> Nash for every n, broken by every pair: 1-resilient only.\n\n";
+
+    std::cout << "=== E3: bargaining game, all-stay profile ===\n";
+    util::Table bargaining({"n", "k-resilient for k=n?", "1-immune?"});
+    for (const std::size_t n : {3u, 5u, 8u, 12u, 20u, 35u, 50u}) {
+        const auto g = core::AnonymousBinaryGame::bargaining(n);
+        bargaining.add_row({util::Table::fmt(n),
+                            util::Table::fmt(g.all_base_is_k_resilient(0, n)),
+                            util::Table::fmt(g.all_base_is_t_immune(0, 1))});
+    }
+    bargaining.print(std::cout);
+    std::cout << "-> resilient at every coalition size yet not 1-immune: the paper's"
+                 " 'fragile' equilibrium.\n\n";
+
+    std::cout << "=== (k,t)-robustness frontier on the exact checkers (n = 5) ===\n";
+    const auto exact = game::catalog::attack_coordination_game(5);
+    const auto all_zero = core::as_exact_profile(exact, game::PureProfile(5, 0));
+    util::Table frontier({"k", "t", "(k,t)-robust?"});
+    for (std::size_t k = 0; k <= 2; ++k) {
+        for (std::size_t t = 0; t <= 2; ++t) {
+            if (k == 0 && t == 0) continue;
+            frontier.add_row({util::Table::fmt(k), util::Table::fmt(t),
+                              util::Table::fmt(core::is_kt_robust(exact, all_zero, k, t))});
+        }
+    }
+    frontier.print(std::cout);
+    std::cout << std::endl;
+}
+
+void bench_exact_resilience(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::is_k_resilient(g, profile, k));
+    }
+}
+BENCHMARK(bench_exact_resilience)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({6, 2})
+    ->Args({8, 2})
+    ->Args({8, 3})
+    ->Unit(benchmark::kMillisecond);
+
+void bench_exact_robustness(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::bargaining_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::is_kt_robust(g, profile, 1, 1));
+    }
+}
+BENCHMARK(bench_exact_robustness)->DenseRange(3, 8)->Unit(benchmark::kMillisecond);
+
+void bench_anonymous_resilience(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = core::AnonymousBinaryGame::attack(n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.all_base_is_k_resilient(0, n));
+    }
+}
+BENCHMARK(bench_anonymous_resilience)->RangeMultiplier(2)->Range(4, 256);
+
+void bench_punishment_search(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::bargaining_game(n);
+    const std::vector<util::Rational> baseline(n, util::Rational{2});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::find_punishment_strategy(g, 1, baseline));
+    }
+}
+BENCHMARK(bench_punishment_search)->DenseRange(3, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_tables();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

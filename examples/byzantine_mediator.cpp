@@ -1,0 +1,69 @@
+// Byzantine agreement with and without a trusted mediator (Section 2).
+//
+//   $ ./byzantine_mediator
+//
+// 1. Solves Byzantine agreement the trivial way -- with a mediator.
+// 2. Implements the mediator with cheap talk (Shamir shares + Byzantine
+//    agreement + BGW circuit evaluation) at n = 7 > 3k+3t.
+// 3. Injects faults (crash, corruption) and shows the honest players
+//    still receive the mediator's recommendation.
+// 4. Prints the feasibility frontier around the chosen (n, k, t).
+#include <iostream>
+
+#include "core/robust/cheap_talk.h"
+#include "core/robust/feasibility.h"
+#include "core/robust/mediator.h"
+#include "game/catalog.h"
+#include "util/table.h"
+
+int main() {
+    using namespace bnash;
+    constexpr std::size_t kN = 7;
+    constexpr std::size_t kK = 1;
+    constexpr std::size_t kT = 1;
+
+    const auto game = game::catalog::byzantine_agreement_game(kN);
+    const auto policy = core::MediatorPolicy::byzantine_consensus(game);
+
+    std::cout << "== With a trusted mediator ==\n";
+    std::cout << "truthful value per player: " << policy.truthful_value(0).to_string()
+              << "; truth-telling is an equilibrium: " << policy.is_truthful_equilibrium()
+              << "\n\n";
+
+    std::cout << "== Cheap talk, no mediator (n=7, k=1, t=1) ==\n";
+    core::CheapTalkParams params;
+    params.k = kK;
+    params.t = kT;
+    game::TypeProfile types(kN, 0);
+    types[0] = 1;  // the general prefers to attack
+
+    std::vector<core::CheapTalkBehavior> honest(kN, core::CheapTalkBehavior::kHonest);
+    auto outcome = core::run_cheap_talk(policy, types, honest, params);
+    std::cout << "honest run: everyone plays "
+              << (outcome.actions[1] == 1 ? "attack" : "retreat") << " ("
+              << outcome.metrics.messages << " messages, " << outcome.mul_gates
+              << " interactive multiplications)\n";
+
+    auto faulty = honest;
+    faulty[3] = core::CheapTalkBehavior::kCrashAfterShare;
+    faulty[6] = core::CheapTalkBehavior::kCorruptShares;
+    outcome = core::run_cheap_talk(policy, types, faulty, params);
+    std::cout << "with a crash and a corrupter: player 1 still hears ";
+    std::cout << (outcome.recommendations[1].has_value()
+                      ? (*outcome.recommendations[1] == 1 ? "attack" : "retreat")
+                      : "nothing")
+              << "\n\n";
+
+    std::cout << "== Where implementation is possible (paper's Section 2 list) ==\n";
+    util::Table table({"n", "verdict", "theorem"});
+    core::Capabilities caps;
+    caps.utilities_known = true;
+    caps.punishment_strategy = true;
+    for (std::size_t n = 3; n <= 8; ++n) {
+        const auto verdict = core::classify(n, kK, kT, caps);
+        table.add_row({util::Table::fmt(n), core::to_string(verdict.guarantee),
+                       verdict.theorem});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Computational games (Section 3): why people cooperate in finitely
+// repeated prisoner's dilemma, and why roshambo loses its equilibrium.
+//
+//   $ ./frpd_machines
+#include <iostream>
+
+#include "core/machine/frpd.h"
+#include "core/machine/machine_game.h"
+#include "core/machine/primality.h"
+#include "repeated/repeated_game.h"
+#include "util/table.h"
+
+int main() {
+    using namespace bnash;
+
+    std::cout << "== Example 3.1: the primality game ==\n";
+    util::Table primality({"bits", "MR utility", "MR mulmods", "safe", "equilibrium"});
+    for (const unsigned bits : {8u, 16u, 32u, 48u, 60u}) {
+        core::PrimalityParams params;
+        params.bits = bits;
+        params.step_price = 0.02;
+        params.samples = 400;
+        const auto mr = core::evaluate_primality_machine(
+            core::PrimalityMachineKind::kMillerRabin, params);
+        const auto safe =
+            core::evaluate_primality_machine(core::PrimalityMachineKind::kPlaySafe, params);
+        primality.add_row({util::Table::fmt(std::size_t{bits}),
+                           util::Table::fmt(mr.expected_utility, 2),
+                           util::Table::fmt(mr.average_steps, 0),
+                           util::Table::fmt(safe.expected_utility, 2),
+                           core::to_string(core::best_primality_machine(params))});
+    }
+    primality.print(std::cout);
+    std::cout << "-> once computing costs more than $9, playing safe is the equilibrium.\n\n";
+
+    std::cout << "== Example 3.2: FRPD with memory-charged machines ==\n";
+    util::Table frpd({"N", "2*delta^N (gain)", "counter cost", "(TfT,TfT) equilibrium?"});
+    core::FrpdParams params;
+    params.delta = 0.9;
+    params.memory_price = 0.2;
+    for (const std::size_t rounds : {3u, 5u, 10u, 25u, 50u, 100u}) {
+        params.rounds = rounds;
+        const auto analysis = core::analyze_tft_equilibrium(params);
+        frpd.add_row({util::Table::fmt(rounds),
+                      util::Table::fmt(analysis.last_round_gain, 4),
+                      util::Table::fmt(analysis.counter_memory_cost, 4),
+                      util::Table::fmt(analysis.tft_pair_is_equilibrium)});
+    }
+    frpd.print(std::cout);
+    std::cout << "-> for long games the round counter costs more than the sneaky defection"
+                 " earns: cooperation is rational.\n\n";
+
+    std::cout << "== Example 3.3: computational roshambo ==\n";
+    auto roshambo = core::computational_roshambo(1.0);
+    std::cout << "machine equilibria with randomization surcharge 1: "
+              << roshambo.machine_equilibria().size() << "\n";
+    const auto cycle = roshambo.best_response_cycle({0, 0});
+    std::cout << "best-response dynamic falls into a cycle of length " << cycle.size()
+              << ":";
+    for (const auto& profile : cycle) {
+        std::cout << " (" << roshambo.machine(0, profile[0]).name() << ","
+                  << roshambo.machine(1, profile[1]).name() << ")";
+    }
+    std::cout << "\n";
+    auto free_roshambo = core::computational_roshambo(0.0);
+    std::cout << "with FREE randomization, equilibria: "
+              << free_roshambo.machine_equilibria().size()
+              << " (uniform vs uniform returns)\n";
+    return 0;
+}

@@ -1,0 +1,400 @@
+#include "core/awareness/awareness_game.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <stdexcept>
+
+#include "game/catalog.h"
+#include "util/combinatorics.h"
+
+namespace bnash::core {
+
+using game::ExtensiveGame;
+using util::Rational;
+
+AwarenessGame::GameIndex AwarenessGame::add_game(ExtensiveGame g) {
+    if (finalized_) throw std::logic_error("AwarenessGame: already finalized");
+    games_.push_back(std::move(g));
+    return games_.size() - 1;
+}
+
+void AwarenessGame::set_belief(GameIndex g, NodeId node, Belief belief) {
+    if (finalized_) throw std::logic_error("AwarenessGame: already finalized");
+    if (g >= games_.size()) throw std::out_of_range("set_belief: bad game");
+    beliefs_[{g, node}] = belief;
+}
+
+AwarenessGame::Belief AwarenessGame::belief(GameIndex g, NodeId node) const {
+    if (const auto it = beliefs_.find({g, node}); it != beliefs_.end()) return it->second;
+    // Default: the mover believes the game it is actually in, at the
+    // node's own information set.
+    return Belief{g, games_.at(g).node(node).info_set};
+}
+
+void AwarenessGame::finalize() {
+    if (games_.empty()) throw std::logic_error("AwarenessGame: no games");
+    for (GameIndex g = 0; g < games_.size(); ++g) {
+        for (NodeId node = 0; node < games_[g].num_nodes(); ++node) {
+            if (games_[g].node(node).kind != ExtensiveGame::NodeKind::kDecision) continue;
+            const auto b = belief(g, node);
+            if (b.game >= games_.size()) {
+                throw std::logic_error("AwarenessGame: belief into missing game");
+            }
+            const auto& own_set = games_[g].info_set(games_[g].node(node).info_set);
+            if (b.info_set >= games_[b.game].num_info_sets()) {
+                throw std::logic_error("AwarenessGame: belief into missing info set");
+            }
+            const auto& target_set = games_[b.game].info_set(b.info_set);
+            if (target_set.player != own_set.player) {
+                throw std::logic_error("AwarenessGame: belief changes the mover");
+            }
+            if (target_set.num_actions() != own_set.num_actions()) {
+                throw std::logic_error(
+                    "AwarenessGame: belief target has a different action count");
+            }
+        }
+    }
+    finalized_ = true;
+}
+
+std::vector<std::pair<std::size_t, AwarenessGame::GameIndex>> AwarenessGame::active_pairs()
+    const {
+    require_finalized();
+    std::set<std::pair<std::size_t, GameIndex>> seen;
+    for (GameIndex g = 0; g < games_.size(); ++g) {
+        for (NodeId node = 0; node < games_[g].num_nodes(); ++node) {
+            if (games_[g].node(node).kind != ExtensiveGame::NodeKind::kDecision) continue;
+            const auto b = belief(g, node);
+            seen.insert({games_[b.game].info_set(b.info_set).player, b.game});
+        }
+    }
+    return {seen.begin(), seen.end()};
+}
+
+bool AwarenessGame::is_active_slot(GameIndex g, std::size_t info_set) const {
+    require_finalized();
+    for (GameIndex src = 0; src < games_.size(); ++src) {
+        for (NodeId node = 0; node < games_[src].num_nodes(); ++node) {
+            if (games_[src].node(node).kind != ExtensiveGame::NodeKind::kDecision) continue;
+            const auto b = belief(src, node);
+            if (b.game == g && b.info_set == info_set) return true;
+        }
+    }
+    return false;
+}
+
+AwarenessGame::Profile AwarenessGame::uniform_profile() const {
+    require_finalized();
+    Profile out(games_.size());
+    for (GameIndex g = 0; g < games_.size(); ++g) {
+        out[g].reserve(games_[g].num_info_sets());
+        for (std::size_t i = 0; i < games_[g].num_info_sets(); ++i) {
+            out[g].push_back(game::uniform_strategy(games_[g].info_set(i).num_actions()));
+        }
+    }
+    return out;
+}
+
+std::vector<double> AwarenessGame::local_expected_payoffs(GameIndex g,
+                                                          const Profile& profile) const {
+    require_finalized();
+    const auto& tree = games_.at(g);
+    std::vector<double> totals(tree.num_players(), 0.0);
+
+    struct Walker final {
+        const AwarenessGame& owner;
+        GameIndex g;
+        const Profile& profile;
+        const ExtensiveGame& tree;
+        std::vector<double>& totals;
+        void walk(NodeId node, double weight) {
+            const auto& n = tree.node(node);
+            switch (n.kind) {
+                case ExtensiveGame::NodeKind::kTerminal:
+                    for (std::size_t p = 0; p < tree.num_players(); ++p) {
+                        totals[p] += weight * n.payoffs[p].to_double();
+                    }
+                    return;
+                case ExtensiveGame::NodeKind::kChance:
+                    for (std::size_t a = 0; a < n.children.size(); ++a) {
+                        const double prob = n.chance_probs[a].to_double();
+                        if (prob > 0.0) walk(n.children[a], weight * prob);
+                    }
+                    return;
+                case ExtensiveGame::NodeKind::kDecision: {
+                    const auto b = owner.belief(g, node);
+                    const auto& strategy = profile.at(b.game).at(b.info_set);
+                    for (std::size_t a = 0; a < n.children.size(); ++a) {
+                        if (strategy[a] > 0.0) walk(n.children[a], weight * strategy[a]);
+                    }
+                    return;
+                }
+            }
+        }
+    };
+    Walker walker{*this, g, profile, tree, totals};
+    walker.walk(tree.root(), 1.0);
+    return totals;
+}
+
+namespace {
+
+// Active info sets of `player` within game g, given an activity oracle.
+std::vector<std::size_t> player_slots(const ExtensiveGame& tree, std::size_t player,
+                                      const std::function<bool(std::size_t)>& active) {
+    std::vector<std::size_t> out;
+    for (const std::size_t info_set : tree.info_sets_of(player)) {
+        if (active(info_set)) out.push_back(info_set);
+    }
+    return out;
+}
+
+}  // namespace
+
+bool AwarenessGame::is_generalized_nash(const Profile& profile, double tol) const {
+    require_finalized();
+    auto working = profile;
+    for (const auto& [player, g] : active_pairs()) {
+        const double current = local_expected_payoffs(g, working)[player];
+        const auto slots = player_slots(games_[g], player, [&](std::size_t info_set) {
+            return is_active_slot(g, info_set);
+        });
+        if (slots.empty()) continue;
+        std::vector<std::size_t> radices;
+        radices.reserve(slots.size());
+        for (const std::size_t s : slots) {
+            radices.push_back(games_[g].info_set(s).num_actions());
+        }
+        const auto saved = working[g];
+        bool improved = false;
+        util::product_for_each(radices, [&](const std::vector<std::size_t>& assignment) {
+            for (std::size_t i = 0; i < slots.size(); ++i) {
+                working[g][slots[i]] = game::pure_as_mixed(
+                    assignment[i], games_[g].info_set(slots[i]).num_actions());
+            }
+            if (local_expected_payoffs(g, working)[player] > current + tol) {
+                improved = true;
+                return false;
+            }
+            return true;
+        });
+        working[g] = saved;
+        if (improved) return false;
+    }
+    return true;
+}
+
+double AwarenessGame::best_response_in(GameIndex g, std::size_t player, Profile& profile,
+                                       double tol) const {
+    const auto slots = player_slots(games_[g], player, [&](std::size_t info_set) {
+        return is_active_slot(g, info_set);
+    });
+    if (slots.empty()) return 0.0;
+    std::vector<std::size_t> radices;
+    for (const std::size_t s : slots) radices.push_back(games_[g].info_set(s).num_actions());
+
+    // Trembling-hand evaluation: mix every OTHER slot with a whiff of
+    // uniform noise so off-path nodes still discipline the choice (without
+    // it, a player whose node is unreachable under the current profile
+    // would never refine its strategy there and the iteration can stall in
+    // coarse equilibria the paper's narrative excludes). The final profile
+    // is verified unperturbed by is_generalized_nash.
+    constexpr double kTremble = 1e-3;
+    Profile perturbed = profile;
+    for (GameIndex pg = 0; pg < games_.size(); ++pg) {
+        for (std::size_t is = 0; is < perturbed[pg].size(); ++is) {
+            auto& strategy = perturbed[pg][is];
+            const double uniform = 1.0 / static_cast<double>(strategy.size());
+            for (double& mass : strategy) {
+                mass = (1.0 - kTremble) * mass + kTremble * uniform;
+            }
+        }
+    }
+
+    const auto evaluate = [&](const std::vector<std::size_t>& assignment) {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            perturbed[g][slots[i]] = game::pure_as_mixed(
+                assignment[i], games_[g].info_set(slots[i]).num_actions());
+        }
+        return local_expected_payoffs(g, perturbed)[player];
+    };
+
+    // Current assignment's perturbed value: restore the candidate slots to
+    // the (perturbed) incumbent strategies first.
+    double current = 0.0;
+    {
+        Profile incumbent = perturbed;
+        current = local_expected_payoffs(g, incumbent)[player];
+    }
+    double best_value = current;
+    std::optional<std::vector<std::size_t>> best_assignment;
+    util::product_for_each(radices, [&](const std::vector<std::size_t>& assignment) {
+        const double value = evaluate(assignment);
+        if (value > best_value + tol) {
+            best_value = value;
+            best_assignment = assignment;
+        }
+        return true;
+    });
+    if (best_assignment) {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            profile[g][slots[i]] = game::pure_as_mixed(
+                (*best_assignment)[i], games_[g].info_set(slots[i]).num_actions());
+        }
+        return best_value - current;
+    }
+    return 0.0;
+}
+
+AwarenessGame::Profile AwarenessGame::solve_by_best_response(std::size_t max_sweeps,
+                                                             double tol) const {
+    require_finalized();
+    auto profile = uniform_profile();
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        double improvement = 0.0;
+        for (const auto& [player, g] : active_pairs()) {
+            improvement += best_response_in(g, player, profile, tol);
+        }
+        if (improvement <= tol) break;
+    }
+    return profile;
+}
+
+std::vector<AwarenessGame::Profile> AwarenessGame::pure_generalized_equilibria(
+    double tol) const {
+    require_finalized();
+    // Enumerate assignments over all active slots.
+    std::vector<std::pair<GameIndex, std::size_t>> slots;
+    std::vector<std::size_t> radices;
+    for (GameIndex g = 0; g < games_.size(); ++g) {
+        for (std::size_t i = 0; i < games_[g].num_info_sets(); ++i) {
+            if (is_active_slot(g, i)) {
+                slots.emplace_back(g, i);
+                radices.push_back(games_[g].info_set(i).num_actions());
+            }
+        }
+    }
+    std::vector<Profile> out;
+    util::product_for_each(radices, [&](const std::vector<std::size_t>& assignment) {
+        Profile profile(games_.size());
+        for (GameIndex g = 0; g < games_.size(); ++g) {
+            for (std::size_t i = 0; i < games_[g].num_info_sets(); ++i) {
+                profile[g].push_back(
+                    game::pure_as_mixed(0, games_[g].info_set(i).num_actions()));
+            }
+        }
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+            profile[slots[s].first][slots[s].second] = game::pure_as_mixed(
+                assignment[s],
+                games_[slots[s].first].info_set(slots[s].second).num_actions());
+        }
+        if (is_generalized_nash(profile, tol)) out.push_back(std::move(profile));
+        return true;
+    });
+    return out;
+}
+
+AwarenessGame AwarenessGame::canonical(ExtensiveGame g) {
+    AwarenessGame out;
+    (void)out.add_game(std::move(g));
+    out.finalize();
+    return out;
+}
+
+void AwarenessGame::require_finalized() const {
+    if (!finalized_) throw std::logic_error("AwarenessGame: finalize() not called");
+}
+
+// ---------------------------------------------------------------- builders
+
+Figure1Awareness figure1_awareness_game(const Rational& p) {
+    if (p.sign() < 0 || p > Rational{1}) {
+        throw std::invalid_argument("figure1_awareness_game: p in [0,1]");
+    }
+    Figure1Awareness out;
+
+    // Gamma_A: nature decides whether B is aware of down_B; A cannot tell.
+    ExtensiveGame gamma_a(2);
+    const auto nature = gamma_a.add_chance({Rational{1} - p, p});  // 0: aware, 1: unaware
+    const auto a_aware = gamma_a.add_decision(0, "A.1", {"down_A", "across_A"});
+    const auto a_unaware = gamma_a.add_decision(0, "A.1", {"down_A", "across_A"});
+    const auto down1 = gamma_a.add_terminal({1, 1});
+    const auto down2 = gamma_a.add_terminal({1, 1});
+    const auto b_aware = gamma_a.add_decision(1, "B.1", {"down_B", "across_B"});
+    const auto b_unaware = gamma_a.add_decision(1, "B.2", {"across_B"});
+    const auto aware_down = gamma_a.add_terminal({2, 2});
+    const auto aware_across = gamma_a.add_terminal({0, 0});
+    const auto unaware_across = gamma_a.add_terminal({0, 0});
+    gamma_a.set_child(nature, 0, a_aware);
+    gamma_a.set_child(nature, 1, a_unaware);
+    gamma_a.set_child(a_aware, 0, down1);
+    gamma_a.set_child(a_aware, 1, b_aware);
+    gamma_a.set_child(a_unaware, 0, down2);
+    gamma_a.set_child(a_unaware, 1, b_unaware);
+    gamma_a.set_child(b_aware, 0, aware_down);
+    gamma_a.set_child(b_aware, 1, aware_across);
+    gamma_a.set_child(b_unaware, 0, unaware_across);
+    gamma_a.finalize();
+
+    auto modeler = game::catalog::figure1_game();
+    auto gamma_b = game::catalog::figure1_game_without_downB();
+
+    const auto modeler_a_node = modeler.node_at({});
+    const auto modeler_b_set = *modeler.find_info_set("B");
+    const auto gamma_b_b_set = *gamma_b.find_info_set("B");
+    const auto gamma_a_a_set = *gamma_a.find_info_set("A.1");
+
+    out.modeler = out.game.add_game(std::move(modeler));
+    out.gamma_a = out.game.add_game(std::move(gamma_a));
+    out.gamma_b = out.game.add_game(std::move(gamma_b));
+    out.a_infoset_in_gamma_a = gamma_a_a_set;
+
+    // F wiring per the paper's narrative:
+    // - At the modeler-game root, A believes Gamma_A (it is uncertain
+    //   whether B is aware): F(Gamma_m, <>) = (Gamma_A, A.1).
+    out.game.set_belief(out.modeler, modeler_a_node, {out.gamma_a, gamma_a_a_set});
+    // - The aware B (node B.1 of Gamma_A) believes the true game is the
+    //   modeler's game.
+    out.game.set_belief(out.gamma_a, b_aware,
+                        {out.modeler, modeler_b_set});
+    // - The unaware B (node B.2) believes Gamma_B:
+    //   F(Gamma_A, <unaware, across_A>) = (Gamma_B, {<across_A>}).
+    out.game.set_belief(out.gamma_a, b_unaware, {out.gamma_b, gamma_b_b_set});
+    // Everything else defaults to (own game, own info set).
+    out.game.finalize();
+    return out;
+}
+
+AwarenessGame virtual_move_game(const Rational& believed_a, const Rational& believed_b) {
+    AwarenessGame out;
+
+    // A's subjective game: B has a third, "virtual" move whose payoffs A
+    // can only estimate (the chess-evaluation analogy of Section 4).
+    ExtensiveGame subjective(2);
+    const auto a_node = subjective.add_decision(0, "A", {"down_A", "across_A"});
+    const auto down_a = subjective.add_terminal({1, 1});
+    const auto b_node =
+        subjective.add_decision(1, "B+virtual", {"down_B", "across_B", "virtual"});
+    const auto down_b = subjective.add_terminal({2, 2});
+    const auto across_b = subjective.add_terminal({0, 0});
+    const auto virtual_move = subjective.add_terminal({believed_a, believed_b});
+    subjective.set_child(a_node, 0, down_a);
+    subjective.set_child(a_node, 1, b_node);
+    subjective.set_child(b_node, 0, down_b);
+    subjective.set_child(b_node, 1, across_b);
+    subjective.set_child(b_node, 2, virtual_move);
+    subjective.finalize();
+
+    auto modeler = game::catalog::figure1_game();
+    const auto modeler_root = modeler.node_at({});
+    const auto subjective_a_set = *subjective.find_info_set("A");
+
+    const auto modeler_index = out.add_game(std::move(modeler));
+    const auto subjective_index = out.add_game(std::move(subjective));
+    out.set_belief(modeler_index, modeler_root, {subjective_index, subjective_a_set});
+    out.finalize();
+    return out;
+}
+
+}  // namespace bnash::core

@@ -1,0 +1,128 @@
+// Games with awareness (Section 4, after Halpern-Rego 2006).
+//
+// A game with awareness is a tuple Gamma* = (G, Gamma_m, F): a set G of
+// AUGMENTED GAMES (extensive games annotated with what each mover is aware
+// of), a distinguished modeler's game Gamma_m describing the objective
+// situation, and a map F assigning to each decision point (Gamma+, h) the
+// game the mover BELIEVES is being played there and the information set
+// within it that describes what the mover considers possible.
+//
+// A GENERALIZED STRATEGY PROFILE holds one behavioral strategy per
+// (player, believed game) pair; play at a node always consults the
+// strategy of the game its mover believes in. A profile is a GENERALIZED
+// NASH EQUILIBRIUM when, for every ACTIVE pair (i, Gamma') (some node's
+// belief points into Gamma'), sigma_{i,Gamma'} is a best response within
+// Gamma' to the strategies induced there. Halpern-Rego: every game with
+// awareness has one, and for the canonical representation of a standard
+// game the generalized equilibria are exactly the Nash equilibria -- both
+// facts are exercised by the tests.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "game/extensive.h"
+#include "game/strategy.h"
+
+namespace bnash::core {
+
+class AwarenessGame final {
+public:
+    using GameIndex = std::size_t;
+    using NodeId = game::ExtensiveGame::NodeId;
+
+    // Belief target: the game the mover thinks is being played and the
+    // information set (in that game) of histories it considers possible.
+    struct Belief final {
+        GameIndex game = 0;
+        std::size_t info_set = 0;
+    };
+
+    AwarenessGame() = default;
+
+    // The first added game is the modeler's game Gamma_m.
+    GameIndex add_game(game::ExtensiveGame g);
+    // Declares F(game, node) = belief. Unset decision nodes default to
+    // (same game, own info set).
+    void set_belief(GameIndex g, NodeId node, Belief belief);
+    // Validates: belief targets exist, movers match, action counts agree.
+    void finalize();
+
+    [[nodiscard]] std::size_t num_games() const noexcept { return games_.size(); }
+    [[nodiscard]] const game::ExtensiveGame& game_at(GameIndex g) const {
+        return games_.at(g);
+    }
+    [[nodiscard]] Belief belief(GameIndex g, NodeId node) const;
+
+    // Active (player, game) pairs and active (game, info set) slots --
+    // those reachable through F, the only ones equilibrium conditions
+    // quantify over.
+    [[nodiscard]] std::vector<std::pair<std::size_t, GameIndex>> active_pairs() const;
+    [[nodiscard]] bool is_active_slot(GameIndex g, std::size_t info_set) const;
+
+    // profile[g][info_set] = mixed action distribution. Slots that are not
+    // active are carried but never consulted.
+    using Profile = std::vector<std::vector<game::MixedStrategy>>;
+
+    [[nodiscard]] Profile uniform_profile() const;
+
+    // Expected payoffs of playing out game g with every mover consulting
+    // its believed strategy.
+    [[nodiscard]] std::vector<double> local_expected_payoffs(GameIndex g,
+                                                             const Profile& profile) const;
+
+    [[nodiscard]] bool is_generalized_nash(const Profile& profile, double tol = 1e-9) const;
+
+    // Coupled best-response iteration over the active pairs; returns a
+    // profile (a generalized Nash equilibrium whenever it converged, which
+    // the caller can confirm via is_generalized_nash).
+    [[nodiscard]] Profile solve_by_best_response(std::size_t max_sweeps = 200,
+                                                 double tol = 1e-9) const;
+
+    // Exhaustive enumeration of pure generalized equilibria over the
+    // active slots (inactive slots pinned to action 0).
+    [[nodiscard]] std::vector<Profile> pure_generalized_equilibria(double tol = 1e-9) const;
+
+    // Canonical representation of a standard extensive game: G = {Gamma},
+    // F(Gamma, h) = (Gamma, info set of h).
+    [[nodiscard]] static AwarenessGame canonical(game::ExtensiveGame g);
+
+private:
+    void require_finalized() const;
+    // Best pure response of `player` over its active info sets in game g,
+    // holding the rest of the profile fixed. Returns improvement found.
+    double best_response_in(GameIndex g, std::size_t player, Profile& profile,
+                            double tol) const;
+
+    std::vector<game::ExtensiveGame> games_;
+    std::map<std::pair<GameIndex, NodeId>, Belief> beliefs_;
+    bool finalized_ = false;
+};
+
+// ------------------------------------------------------------- constructors
+
+// The paper's Figures 1-3 as a game with awareness (payoffs reconstructed;
+// see DESIGN.md). `p` = A's probability that B is unaware of down_B.
+// Games: 0 = Gamma_m (Figure 1), 1 = Gamma_A (Figure 2: nature chooses
+// B's awareness), 2 = Gamma_B (Figure 3: down_B absent).
+struct Figure1Awareness final {
+    AwarenessGame game;
+    AwarenessGame::GameIndex modeler = 0;
+    AwarenessGame::GameIndex gamma_a = 1;
+    AwarenessGame::GameIndex gamma_b = 2;
+    std::size_t a_infoset_in_gamma_a = 0;  // filled by the builder
+};
+[[nodiscard]] Figure1Awareness figure1_awareness_game(const util::Rational& p);
+
+// Awareness of unawareness: A knows B has SOME move it cannot conceive of
+// and models it as a virtual move with believed payoffs
+// (believed_a, believed_b). Games: 0 = modeler (Figure 1), 1 = A's
+// subjective game with the virtual third move for B.
+[[nodiscard]] AwarenessGame virtual_move_game(const util::Rational& believed_a,
+                                              const util::Rational& believed_b);
+
+}  // namespace bnash::core

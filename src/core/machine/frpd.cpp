@@ -1,0 +1,92 @@
+#include "core/machine/frpd.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "game/catalog.h"
+
+namespace bnash::core {
+namespace {
+
+repeated::RepeatedGame make_game(const FrpdParams& params) {
+    if (params.delta <= 0.5 || params.delta >= 1.0) {
+        throw std::invalid_argument("FrpdParams: delta must lie in (1/2, 1)");
+    }
+    return repeated::RepeatedGame(game::catalog::prisoners_dilemma(), params.rounds,
+                                  params.delta);
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<repeated::Strategy>> frpd_machine_set(std::size_t rounds) {
+    std::vector<std::unique_ptr<repeated::Strategy>> out;
+    out.push_back(repeated::always_cooperate());
+    out.push_back(repeated::always_defect());
+    out.push_back(repeated::tit_for_tat());
+    out.push_back(repeated::grim_trigger());
+    out.push_back(repeated::pavlov());
+    out.push_back(repeated::tft_defect_last(rounds));
+    if (rounds >= 2) out.push_back(repeated::tft_defect_last_k(rounds, 2));
+    return out;
+}
+
+double frpd_machine_utility(const repeated::Strategy& own, const repeated::Strategy& opponent,
+                            const FrpdParams& params, bool charged) {
+    const auto game = make_game(params);
+    util::Rng rng{0};  // deterministic machines
+    const auto mine = own.clone();
+    const auto theirs = opponent.clone();
+    const auto result = game.play(*mine, *theirs, rng);
+    double utility = result.payoff0;
+    if (charged) {
+        utility -=
+            params.memory_price * static_cast<double>(own.complexity().memory_bits);
+    }
+    return utility;
+}
+
+FrpdAnalysis analyze_tft_equilibrium(const FrpdParams& params) {
+    FrpdAnalysis analysis;
+    const auto tft = repeated::tit_for_tat();
+    analysis.tft_utility = frpd_machine_utility(*tft, *tft, params);
+    analysis.best_deviation_utility = analysis.tft_utility;
+    analysis.best_deviation = tft->name();
+    for (const auto& machine : frpd_machine_set(params.rounds)) {
+        const double value = frpd_machine_utility(*machine, *tft, params);
+        if (value > analysis.best_deviation_utility) {
+            analysis.best_deviation_utility = value;
+            analysis.best_deviation = machine->name();
+        }
+    }
+    analysis.tft_pair_is_equilibrium =
+        analysis.best_deviation_utility <= analysis.tft_utility + 1e-12;
+    analysis.last_round_gain =
+        2.0 * std::pow(params.delta, static_cast<double>(params.rounds));
+    analysis.counter_memory_cost =
+        params.memory_price *
+        static_cast<double>(std::bit_width(params.rounds - 1));
+    return analysis;
+}
+
+bool asymmetric_equilibrium_holds(const FrpdParams& params) {
+    const auto tft = repeated::tit_for_tat();
+    const auto sneak = repeated::tft_defect_last(params.rounds);
+    // Player 0 (charged) plays TfT against the free player's defect-last.
+    const double p0_current = frpd_machine_utility(*tft, *sneak, params, /*charged=*/true);
+    for (const auto& machine : frpd_machine_set(params.rounds)) {
+        if (frpd_machine_utility(*machine, *sneak, params, true) > p0_current + 1e-12) {
+            return false;
+        }
+    }
+    // Player 1 (free) plays defect-last against TfT.
+    const double p1_current = frpd_machine_utility(*sneak, *tft, params, /*charged=*/false);
+    for (const auto& machine : frpd_machine_set(params.rounds)) {
+        if (frpd_machine_utility(*machine, *tft, params, false) > p1_current + 1e-12) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace bnash::core

@@ -1,0 +1,62 @@
+// Example 3.2: finitely repeated prisoner's dilemma with memory-charged
+// machines.
+//
+// Machine utility = sum_{m=1..N} delta^m * r_m  -  memory_price * bits(M).
+// Tit-for-tat reacts to the per-round observation and carries no
+// persistent state; the profitable classical deviation ("tit-for-tat, but
+// defect at the last round") must carry a round counter
+// (ceil(log2 N) persistent bits). The paper's claim, reproduced here: for
+// any positive memory price and 1/2 < delta < 1, (TfT, TfT) is a Nash
+// equilibrium of the machine game for every sufficiently long horizon,
+// because the discounted last-round gain 2*delta^N dips below the counter's
+// memory cost. The asymmetric variant (only one player charged) is also
+// analyzed: the free player best-responds with the defect-last machine.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "repeated/repeated_game.h"
+#include "repeated/strategies.h"
+
+namespace bnash::core {
+
+struct FrpdParams final {
+    std::size_t rounds = 50;
+    double delta = 0.9;        // in (1/2, 1) per the example
+    double memory_price = 0.2;  // per bit of machine memory
+};
+
+// The machine set the analysis quantifies over (deterministic only).
+[[nodiscard]] std::vector<std::unique_ptr<repeated::Strategy>> frpd_machine_set(
+    std::size_t rounds);
+
+// Discounted match payoff of `own` against `opponent` minus the memory
+// charge on `own` (when charged = true).
+[[nodiscard]] double frpd_machine_utility(const repeated::Strategy& own,
+                                          const repeated::Strategy& opponent,
+                                          const FrpdParams& params, bool charged = true);
+
+struct FrpdAnalysis final {
+    bool tft_pair_is_equilibrium = false;
+    double tft_utility = 0.0;
+    std::string best_deviation;       // name of the best deviating machine
+    double best_deviation_utility = 0.0;
+    // The closed-form boundary quantities of the example:
+    double last_round_gain = 0.0;     // 2 * delta^N
+    double counter_memory_cost = 0.0; // memory_price * ceil(log2 N)
+};
+
+// Symmetric analysis: both players charged; checks (TfT, TfT) against
+// every machine in frpd_machine_set.
+[[nodiscard]] FrpdAnalysis analyze_tft_equilibrium(const FrpdParams& params);
+
+// Asymmetric variant: player 0 charged, player 1 free. Checks that
+// (TfT, tft_defect_last) is an equilibrium: the bounded player keeps
+// tit-for-tat while the free player cooperates up to (but not including)
+// the last round.
+[[nodiscard]] bool asymmetric_equilibrium_holds(const FrpdParams& params);
+
+}  // namespace bnash::core

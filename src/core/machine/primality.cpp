@@ -1,0 +1,147 @@
+#include "core/machine/primality.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace bnash::core {
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m,
+                     std::uint64_t* op_count) {
+    if (op_count != nullptr) ++*op_count;
+    return static_cast<std::uint64_t>((static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m,
+                     std::uint64_t* op_count) {
+    std::uint64_t result = 1;
+    base %= m;
+    while (exp > 0) {
+        if (exp & 1) result = mulmod(result, base, m, op_count);
+        base = mulmod(base, base, m, op_count);
+        exp >>= 1;
+    }
+    return result;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t value, std::uint64_t* op_count) {
+    if (value < 2) return false;
+    for (const std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                                  29ULL, 31ULL, 37ULL}) {
+        if (value == p) return true;
+        if (value % p == 0) return false;
+    }
+    // value - 1 = d * 2^r with d odd.
+    std::uint64_t d = value - 1;
+    unsigned r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This base set is a proven deterministic witness set for all 64-bit
+    // integers (Sinclair / Feitsma-Galway verification).
+    constexpr std::array<std::uint64_t, 12> kBases{2,  3,  5,  7,  11, 13,
+                                                   17, 19, 23, 29, 31, 37};
+    for (const std::uint64_t base : kBases) {
+        std::uint64_t x = powmod(base % value, d, value, op_count);
+        if (x == 1 || x == value - 1) continue;
+        bool composite = true;
+        for (unsigned i = 1; i < r; ++i) {
+            x = mulmod(x, x, value, op_count);
+            if (x == value - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite) return false;
+    }
+    return true;
+}
+
+std::string to_string(PrimalityMachineKind kind) {
+    switch (kind) {
+        case PrimalityMachineKind::kMillerRabin: return "miller-rabin";
+        case PrimalityMachineKind::kPlaySafe: return "play-safe";
+        case PrimalityMachineKind::kAlwaysPrime: return "always-prime";
+        case PrimalityMachineKind::kAlwaysComposite: return "always-composite";
+    }
+    return "?";
+}
+
+PrimalityReport evaluate_primality_machine(PrimalityMachineKind kind,
+                                           const PrimalityParams& params) {
+    if (params.bits < 2 || params.bits > 63) {
+        throw std::invalid_argument("evaluate_primality_machine: bits in [2, 63]");
+    }
+    if (params.samples == 0) throw std::invalid_argument("samples == 0");
+    util::Rng rng{params.seed};
+    const std::uint64_t lo = std::uint64_t{1} << (params.bits - 1);
+    const std::uint64_t span = std::uint64_t{1} << (params.bits - 1);
+
+    // Balanced sampler: with probability 1/2 the next prime at or above a
+    // uniform draw, otherwise a composite (see PrimalityParams).
+    const auto draw_input = [&]() -> std::uint64_t {
+        std::uint64_t x = lo + rng.next_below(span);
+        if (rng.next_bool()) {
+            while (!is_prime_u64(x)) ++x;
+        } else if (is_prime_u64(x)) {
+            x += (x % 2 == 0) ? 2 : 1;  // an even number > 2 is composite
+        }
+        return x;
+    };
+
+    PrimalityReport report;
+    double utility_total = 0.0;
+    double steps_total = 0.0;
+    std::size_t primes = 0;
+    for (std::size_t s = 0; s < params.samples; ++s) {
+        const std::uint64_t x = draw_input();
+        std::uint64_t ops = 0;
+        const bool prime = is_prime_u64(x, &ops);  // ground truth
+        primes += prime;
+        switch (kind) {
+            case PrimalityMachineKind::kMillerRabin:
+                // The test is exact, so the guess is always correct; the
+                // machine pays for every modular multiplication it ran.
+                utility_total +=
+                    params.reward_correct - params.step_price * static_cast<double>(ops);
+                steps_total += static_cast<double>(ops);
+                break;
+            case PrimalityMachineKind::kPlaySafe:
+                utility_total += params.reward_safe;
+                steps_total += 1.0;
+                break;
+            case PrimalityMachineKind::kAlwaysPrime:
+                utility_total += prime ? params.reward_correct : params.penalty_wrong;
+                steps_total += 1.0;
+                break;
+            case PrimalityMachineKind::kAlwaysComposite:
+                utility_total += prime ? params.penalty_wrong : params.reward_correct;
+                steps_total += 1.0;
+                break;
+        }
+    }
+    report.expected_utility = utility_total / static_cast<double>(params.samples);
+    report.average_steps = steps_total / static_cast<double>(params.samples);
+    report.fraction_prime = static_cast<double>(primes) / static_cast<double>(params.samples);
+    return report;
+}
+
+PrimalityMachineKind best_primality_machine(const PrimalityParams& params) {
+    PrimalityMachineKind best = PrimalityMachineKind::kPlaySafe;
+    double best_value = -1e300;
+    for (const auto kind :
+         {PrimalityMachineKind::kMillerRabin, PrimalityMachineKind::kPlaySafe,
+          PrimalityMachineKind::kAlwaysPrime, PrimalityMachineKind::kAlwaysComposite}) {
+        const auto report = evaluate_primality_machine(kind, params);
+        if (report.expected_utility > best_value) {
+            best_value = report.expected_utility;
+            best = kind;
+        }
+    }
+    return best;
+}
+
+}  // namespace bnash::core

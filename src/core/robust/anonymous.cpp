@@ -1,0 +1,101 @@
+#include "core/robust/anonymous.h"
+
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::core {
+
+using util::Rational;
+
+AnonymousBinaryGame::AnonymousBinaryGame(std::size_t num_players, PayoffFn payoff)
+    : n_(num_players), payoff_(std::move(payoff)) {
+    if (n_ < 2) throw std::invalid_argument("AnonymousBinaryGame: n >= 2");
+    if (!payoff_) throw std::invalid_argument("AnonymousBinaryGame: payoff required");
+}
+
+AnonymousBinaryGame AnonymousBinaryGame::attack(std::size_t num_players) {
+    return AnonymousBinaryGame(
+        num_players, [](std::size_t action, std::size_t ones, std::size_t) -> Rational {
+            if (ones == 0) return 1;                       // everyone played 0
+            if (ones == 2 && action == 1) return 2;        // the two attackers
+            return 0;
+        });
+}
+
+AnonymousBinaryGame AnonymousBinaryGame::bargaining(std::size_t num_players) {
+    return AnonymousBinaryGame(
+        num_players, [](std::size_t action, std::size_t leavers, std::size_t) -> Rational {
+            if (leavers == 0) return 2;       // everyone stayed
+            if (action == 1) return 1;        // a leaver
+            return 0;                         // a stayer abandoned at the table
+        });
+}
+
+Rational AnonymousBinaryGame::payoff(std::size_t action, std::size_t total_ones) const {
+    if (action > 1 || total_ones > n_) throw std::out_of_range("AnonymousBinaryGame::payoff");
+    return payoff_(action, total_ones, n_);
+}
+
+bool AnonymousBinaryGame::all_base_is_nash(std::size_t base_action) const {
+    return all_base_is_k_resilient(base_action, 1);
+}
+
+bool AnonymousBinaryGame::all_base_is_k_resilient(std::size_t base_action, std::size_t k,
+                                                  GainCriterion criterion) const {
+    const std::size_t base_ones = base_action == 1 ? n_ : 0;
+    const Rational baseline = payoff_(base_action, base_ones, n_);
+    // A coalition of c players in which j members switch to 1-base. By
+    // anonymity only (c, j) matters. j ranges 1..c (j = 0 is no change).
+    for (std::size_t c = 1; c <= k && c <= n_; ++c) {
+        for (std::size_t j = 1; j <= c; ++j) {
+            const std::size_t ones_after = base_action == 0 ? j : n_ - j;
+            const bool switcher_gains = payoff_(1 - base_action, ones_after, n_) > baseline;
+            const bool stayer_gains =
+                (j < c) && payoff_(base_action, ones_after, n_) > baseline;
+            if (criterion == GainCriterion::kAnyMemberGains) {
+                if (switcher_gains || stayer_gains) return false;
+            } else {
+                const bool all_gain = switcher_gains && (j == c || stayer_gains);
+                if (all_gain) return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool AnonymousBinaryGame::all_base_is_t_immune(std::size_t base_action, std::size_t t) const {
+    const std::size_t base_ones = base_action == 1 ? n_ : 0;
+    const Rational baseline = payoff_(base_action, base_ones, n_);
+    for (std::size_t faulty = 1; faulty <= t && faulty < n_; ++faulty) {
+        for (std::size_t j = 1; j <= faulty; ++j) {  // j faulty players switch
+            const std::size_t ones_after = base_action == 0 ? j : n_ - j;
+            if (payoff_(base_action, ones_after, n_) < baseline) return false;
+        }
+    }
+    return true;
+}
+
+std::size_t AnonymousBinaryGame::min_breaking_coalition(std::size_t base_action,
+                                                        std::size_t max_k) const {
+    for (std::size_t k = 1; k <= max_k; ++k) {
+        if (!all_base_is_k_resilient(base_action, k)) return k;
+    }
+    return 0;
+}
+
+game::NormalFormGame AnonymousBinaryGame::to_normal_form() const {
+    if (n_ > 16) throw std::logic_error("AnonymousBinaryGame::to_normal_form: n too large");
+    game::NormalFormGame out(std::vector<std::size_t>(n_, 2));
+    util::product_for_each(out.action_counts(), [&](const game::PureProfile& profile) {
+        std::size_t ones = 0;
+        for (const std::size_t a : profile) ones += a;
+        for (std::size_t player = 0; player < n_; ++player) {
+            out.set_payoff(profile, player, payoff_(profile[player], ones, n_));
+        }
+        return true;
+    });
+    return out;
+}
+
+}  // namespace bnash::core

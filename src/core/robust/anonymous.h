@@ -1,0 +1,58 @@
+// Anonymous binary-action games with O(k) robustness checks.
+//
+// The paper's Section 2 examples (the attack/coordination game and the
+// bargaining game) are ANONYMOUS: a player's payoff depends only on its
+// own action and on HOW MANY players chose 1, not on who. For such games
+// the payoff tensor (2^n entries) never needs materializing, and checking
+// k-resilience / t-immunity of a symmetric profile reduces to scanning
+// deviation counts -- the benches sweep these games to n = 50 and beyond,
+// far past what the generic checkers can store. Cross-validated against
+// the exact tensor checkers for small n in the tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/robust/robustness.h"
+#include "game/normal_form.h"
+#include "util/rational.h"
+
+namespace bnash::core {
+
+class AnonymousBinaryGame final {
+public:
+    // payoff(action, total_ones, n): utility of a player choosing `action`
+    // when `total_ones` players (including itself) chose 1.
+    using PayoffFn =
+        std::function<util::Rational(std::size_t action, std::size_t total_ones, std::size_t n)>;
+
+    AnonymousBinaryGame(std::size_t num_players, PayoffFn payoff);
+
+    // Section 2's games.
+    static AnonymousBinaryGame attack(std::size_t num_players);
+    static AnonymousBinaryGame bargaining(std::size_t num_players);
+
+    [[nodiscard]] std::size_t num_players() const noexcept { return n_; }
+    [[nodiscard]] util::Rational payoff(std::size_t action, std::size_t total_ones) const;
+
+    // Checks on the symmetric profile "everyone plays base_action":
+    [[nodiscard]] bool all_base_is_nash(std::size_t base_action) const;
+    [[nodiscard]] bool all_base_is_k_resilient(
+        std::size_t base_action, std::size_t k,
+        GainCriterion criterion = GainCriterion::kAnyMemberGains) const;
+    [[nodiscard]] bool all_base_is_t_immune(std::size_t base_action, std::size_t t) const;
+
+    // Smallest coalition size that can profitably deviate from all-base
+    // (searching up to max_k); 0 when none found.
+    [[nodiscard]] std::size_t min_breaking_coalition(std::size_t base_action,
+                                                     std::size_t max_k) const;
+
+    // Materializes the payoff tensor (small n only; throws above 16).
+    [[nodiscard]] game::NormalFormGame to_normal_form() const;
+
+private:
+    std::size_t n_;
+    PayoffFn payoff_;
+};
+
+}  // namespace bnash::core

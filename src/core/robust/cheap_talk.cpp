@@ -1,0 +1,423 @@
+#include "core/robust/cheap_talk.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "crypto/circuit.h"
+#include "crypto/polynomial.h"
+#include "crypto/shamir.h"
+#include "dist/byzantine.h"
+#include "util/combinatorics.h"
+
+namespace bnash::core {
+namespace {
+
+using crypto::Fe;
+using dist::Message;
+
+// One-shot exchange: every player sends a preloaded batch in round 0 and
+// the network delivers in round 1.
+class PreloadedProcess final : public dist::Process {
+public:
+    explicit PreloadedProcess(std::vector<Message> outgoing)
+        : outgoing_(std::move(outgoing)) {}
+
+    void on_round(std::size_t round, const std::vector<Message>& inbox,
+                  dist::Outbox& out) override {
+        if (round == 0) {
+            for (auto& message : outgoing_) {
+                out.send(message.to, message.kind, message.data);
+            }
+            return;
+        }
+        received_ = inbox;
+        finished_ = true;
+    }
+    [[nodiscard]] bool done() const override { return finished_; }
+    [[nodiscard]] const std::vector<Message>& received() const noexcept { return received_; }
+
+private:
+    std::vector<Message> outgoing_;
+    std::vector<Message> received_;
+    bool finished_ = false;
+};
+
+struct ExchangeResult final {
+    std::vector<std::vector<Message>> inboxes;
+    dist::NetworkMetrics metrics;
+};
+
+// Runs one communication phase through the simulator. `silent[i]` models
+// players that have (cleanly) stopped participating.
+ExchangeResult exchange(std::size_t n, std::vector<std::vector<Message>> outgoing,
+                        const std::vector<bool>& silent, std::uint64_t seed) {
+    dist::SynchronousNetwork network(n, seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        network.set_process(i, std::make_unique<PreloadedProcess>(std::move(outgoing[i])));
+        if (silent[i]) network.set_fault(i, std::make_unique<dist::SilentFault>());
+    }
+    ExchangeResult result;
+    result.metrics = network.run(2);
+    result.inboxes.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        result.inboxes[i] = dynamic_cast<PreloadedProcess&>(network.process(i)).received();
+    }
+    return result;
+}
+
+void add_metrics(dist::NetworkMetrics& total, const dist::NetworkMetrics& part) {
+    total.messages += part.messages;
+    total.payload_words += part.payload_words;
+    total.rounds += 1;  // each phase is one protocol round
+}
+
+bool participates(CheapTalkBehavior behavior, bool after_share) {
+    switch (behavior) {
+        case CheapTalkBehavior::kSilent: return false;
+        case CheapTalkBehavior::kCrashAfterShare: return !after_share;
+        default: return true;
+    }
+}
+
+}  // namespace
+
+CheapTalkOutcome run_cheap_talk(const MediatorPolicy& policy,
+                                const game::TypeProfile& true_types,
+                                const std::vector<CheapTalkBehavior>& behaviors,
+                                const CheapTalkParams& params) {
+    const auto& game = policy.base();
+    const std::size_t n = game.num_players();
+    if (true_types.size() != n || behaviors.size() != n) {
+        throw std::invalid_argument("run_cheap_talk: width mismatch");
+    }
+    const std::size_t d = params.k + params.t;  // sharing threshold
+    if (n < 2 * d + 1) {
+        throw std::invalid_argument("run_cheap_talk: n < 2(k+t)+1, BGW cannot reduce degree");
+    }
+    policy.validate();
+
+    util::Rng rng{params.seed};
+    CheapTalkOutcome outcome;
+    outcome.recommendations.assign(n, std::nullopt);
+    outcome.actions.assign(n, 0);
+
+    // Silence masks for the two protocol stages.
+    std::vector<bool> silent_share(n, false);
+    std::vector<bool> silent_later(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        silent_share[i] = !participates(behaviors[i], /*after_share=*/false);
+        silent_later[i] = !participates(behaviors[i], /*after_share=*/true);
+    }
+
+    // ---------------------------------------------------------- 1. SHARE
+    // shares[owner][holder]: holder's share of owner's reported type.
+    std::vector<std::vector<Fe>> shares(n, std::vector<Fe>(n, Fe{0}));
+    {
+        std::vector<std::vector<Message>> outgoing(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (silent_share[i]) continue;
+            std::size_t reported = true_types[i];
+            if (behaviors[i] == CheapTalkBehavior::kMisreport) {
+                reported = params.misreport_type % game.num_types(i);
+            }
+            std::vector<crypto::Share> dealt;
+            if (behaviors[i] == CheapTalkBehavior::kCorruptShares) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    dealt.push_back(crypto::Share{j, Fe::random(rng)});
+                }
+            } else {
+                dealt = crypto::share_secret(Fe{reported}, n, d, rng);
+            }
+            for (std::size_t j = 0; j < n; ++j) {
+                outgoing[i].push_back(
+                    Message{i, j, 0, "type_share", {dealt[j].value.value()}});
+            }
+        }
+        auto result = exchange(n, std::move(outgoing), silent_share, rng.next_u64());
+        add_metrics(outcome.metrics, result.metrics);
+        outcome.phases += 1;
+        for (std::size_t j = 0; j < n; ++j) {
+            for (const auto& message : result.inboxes[j]) {
+                if (message.kind == "type_share" && !message.data.empty()) {
+                    shares[message.from][j] = Fe{message.data[0]};
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- 2. COIN
+    const std::size_t coin_space = policy.coin_space();
+    outcome.coin_space = coin_space;
+    std::size_t coin = 0;
+    if (coin_space > 1 && params.broadcast_channel) {
+        // Physical broadcast: the channel delivers ONE value per sender to
+        // everyone (equivocation is physically impossible), so the joint
+        // coin is consistent without any Byzantine agreement -- this is
+        // what buys the paper's n > 2k+2t threshold.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (silent_later[i]) continue;
+            coin = (coin + static_cast<std::size_t>(rng.next_below(coin_space))) % coin_space;
+            outcome.metrics.messages += n;  // one broadcast, n deliveries
+            outcome.metrics.payload_words += n;
+        }
+        outcome.metrics.rounds += 1;
+        outcome.phases += 1;
+    } else if (coin_space > 1) {
+        // Point-to-point contributions (faulty players may equivocate)...
+        std::vector<std::size_t> contribution(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            contribution[i] = static_cast<std::size_t>(rng.next_below(coin_space));
+        }
+        std::vector<std::vector<Message>> outgoing(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (silent_later[i]) continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                std::uint64_t value = contribution[i];
+                if (behaviors[i] == CheapTalkBehavior::kCorruptShares) {
+                    value = rng.next_below(coin_space);  // equivocate per recipient
+                }
+                outgoing[i].push_back(Message{i, j, 0, "coin", {value}});
+            }
+        }
+        auto result = exchange(n, std::move(outgoing), silent_later, rng.next_u64());
+        add_metrics(outcome.metrics, result.metrics);
+        outcome.phases += 1;
+
+        // ...then agree on each contribution, bit by bit, via EIG with
+        // tolerance k+t. Faulty contributors keep lying inside the BA.
+        std::vector<std::vector<std::uint64_t>> received(n,
+                                                         std::vector<std::uint64_t>(n, 0));
+        for (std::size_t j = 0; j < n; ++j) {
+            for (const auto& message : result.inboxes[j]) {
+                if (message.kind == "coin" && !message.data.empty()) {
+                    received[j][message.from] = message.data[0];
+                }
+            }
+        }
+        const std::size_t bits = std::bit_width(coin_space - 1);
+        std::vector<dist::AdversaryKind> ba_behaviors(n, dist::AdversaryKind::kHonest);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (silent_later[i]) ba_behaviors[i] = dist::AdversaryKind::kSilent;
+            if (behaviors[i] == CheapTalkBehavior::kCorruptShares) {
+                ba_behaviors[i] = dist::AdversaryKind::kRandomLies;
+            }
+        }
+        std::vector<std::size_t> agreed(n, 0);
+        for (std::size_t contributor = 0; contributor < n; ++contributor) {
+            for (std::size_t bit = 0; bit < bits; ++bit) {
+                std::vector<std::uint64_t> inputs(n, 0);
+                for (std::size_t j = 0; j < n; ++j) {
+                    inputs[j] = (received[j][contributor] >> bit) & 1;
+                }
+                const auto run = dist::run_eig_consensus(d, inputs, ba_behaviors,
+                                                         rng.next_u64() | 1);
+                outcome.ba_instances += 1;
+                outcome.metrics.messages += run.metrics.messages;
+                outcome.metrics.payload_words += run.metrics.payload_words;
+                // Adopt the first honest decision (all honest agree).
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (ba_behaviors[j] == dist::AdversaryKind::kHonest &&
+                        run.decisions[j].has_value()) {
+                        agreed[contributor] |= static_cast<std::size_t>(*run.decisions[j])
+                                               << bit;
+                        break;
+                    }
+                }
+            }
+        }
+        outcome.metrics.rounds += d + 2;  // parallel BA batch depth
+        outcome.phases += 1;
+        for (std::size_t i = 0; i < n; ++i) coin = (coin + agreed[i]) % coin_space;
+    }
+    outcome.coin = coin;
+
+    // ------------------------------------------------------- 3. EVALUATE
+    // Active set for degree reduction: players still speaking.
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!silent_later[i] && !silent_share[i]) active.push_back(i);
+    }
+    const bool can_evaluate = active.size() >= 2 * d + 1;
+
+    // Per-player recommended action tables, derandomized by the coin.
+    std::vector<Fe> lagrange_at_zero;
+    {
+        std::vector<Fe> xs;
+        for (const std::size_t p : active) xs.push_back(Fe{static_cast<std::uint64_t>(p + 1)});
+        if (can_evaluate) lagrange_at_zero = crypto::lagrange_coefficients(xs, Fe{0});
+    }
+
+    std::vector<std::optional<Fe>> reconstructed(n);
+    if (can_evaluate) {
+        for (std::size_t target = 0; target < n; ++target) {
+            // Compile the lookup: recommended action of `target` as a
+            // function of the (shared) reported types.
+            std::vector<Fe> table(util::product_size(game.type_counts()));
+            std::size_t row = 0;
+            util::product_for_each(game.type_counts(), [&](const game::TypeProfile& types) {
+                const std::size_t rank = policy.sample_rank(types, coin, coin_space);
+                const auto actions = util::product_unrank(game.action_counts(), rank);
+                table[row++] = Fe{static_cast<std::uint64_t>(actions[target])};
+                return true;
+            });
+            auto circuit = crypto::compile_lookup_table(game.type_counts(), table);
+            outcome.mul_gates += circuit.num_mul_gates();
+
+            // BGW evaluation: values[p][gate] = player p's share of the wire.
+            std::vector<std::vector<Fe>> wire(n, std::vector<Fe>(circuit.num_gates()));
+            for (std::size_t g = 0; g < circuit.num_gates(); ++g) {
+                const auto& gate = circuit.gates()[g];
+                switch (gate.op) {
+                    case crypto::Circuit::Op::kInput:
+                        for (const std::size_t p : active) {
+                            wire[p][g] = shares[gate.input_index][p];
+                        }
+                        break;
+                    case crypto::Circuit::Op::kConst:
+                        // A public constant is a degree-0 sharing of itself.
+                        for (const std::size_t p : active) wire[p][g] = gate.constant;
+                        break;
+                    case crypto::Circuit::Op::kAdd:
+                        for (const std::size_t p : active) {
+                            wire[p][g] = wire[p][gate.lhs] + wire[p][gate.rhs];
+                        }
+                        break;
+                    case crypto::Circuit::Op::kSub:
+                        for (const std::size_t p : active) {
+                            wire[p][g] = wire[p][gate.lhs] - wire[p][gate.rhs];
+                        }
+                        break;
+                    case crypto::Circuit::Op::kMul: {
+                        // Local product, then one degree-reduction exchange.
+                        std::vector<std::vector<Message>> outgoing(n);
+                        for (std::size_t idx = 0; idx < active.size(); ++idx) {
+                            const std::size_t p = active[idx];
+                            const Fe product = wire[p][gate.lhs] * wire[p][gate.rhs];
+                            const auto sub = crypto::share_secret(product, n, d, rng);
+                            for (const std::size_t q : active) {
+                                outgoing[p].push_back(Message{
+                                    p, q, 0, "resh", {sub[q].value.value(), g}});
+                            }
+                        }
+                        auto result =
+                            exchange(n, std::move(outgoing), silent_later, rng.next_u64());
+                        add_metrics(outcome.metrics, result.metrics);
+                        outcome.phases += 1;
+                        for (const std::size_t q : active) {
+                            std::vector<Fe> sub(n, Fe{0});
+                            for (const auto& message : result.inboxes[q]) {
+                                if (message.kind == "resh" && message.data.size() == 2 &&
+                                    message.data[1] == g) {
+                                    sub[message.from] = Fe{message.data[0]};
+                                }
+                            }
+                            Fe reduced{0};
+                            for (std::size_t idx = 0; idx < active.size(); ++idx) {
+                                reduced += lagrange_at_zero[idx] * sub[active[idx]];
+                            }
+                            wire[q][g] = reduced;
+                        }
+                        break;
+                    }
+                }
+            }
+
+            // ------------------------------------------ 4. RECONSTRUCT
+            // Shares of target's output go to target alone.
+            std::vector<std::vector<Message>> outgoing(n);
+            const auto out_gate = circuit.output();
+            for (const std::size_t p : active) {
+                std::uint64_t value = wire[p][out_gate].value();
+                if (behaviors[p] == CheapTalkBehavior::kCorruptShares) {
+                    value = rng.next_u64() % crypto::kFieldPrime;
+                }
+                outgoing[p].push_back(Message{p, target, 0, "out", {value}});
+            }
+            auto result = exchange(n, std::move(outgoing), silent_later, rng.next_u64());
+            add_metrics(outcome.metrics, result.metrics);
+            outcome.phases += 1;
+
+            std::vector<crypto::Share> collected;
+            for (const auto& message : result.inboxes[target]) {
+                if (message.kind == "out" && !message.data.empty()) {
+                    collected.push_back(crypto::Share{message.from, Fe{message.data[0]}});
+                }
+            }
+            if (collected.size() >= d + 1) {
+                const std::size_t agreement =
+                    std::max(d + 1, collected.size() - std::min(collected.size(), params.t));
+                reconstructed[target] =
+                    crypto::reconstruct_with_errors(collected, d, agreement);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ 5. PLAY
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool honest_actor = behaviors[i] == CheapTalkBehavior::kHonest ||
+                                  behaviors[i] == CheapTalkBehavior::kMisreport;
+        if (reconstructed[i].has_value()) {
+            const std::uint64_t value = reconstructed[i]->value();
+            if (value < game.num_actions(i)) {
+                outcome.recommendations[i] = static_cast<std::size_t>(value);
+            }
+        }
+        if (honest_actor) {
+            outcome.actions[i] = outcome.recommendations[i].value_or(0);
+        } else {
+            outcome.actions[i] = 0;  // faulty players' actions are arbitrary
+        }
+    }
+    return outcome;
+}
+
+std::vector<double> cheap_talk_action_distribution(
+    const MediatorPolicy& policy, const game::TypeProfile& true_types,
+    const std::vector<CheapTalkBehavior>& behaviors, const CheapTalkParams& params,
+    std::size_t trials) {
+    const auto& game = policy.base();
+    std::vector<double> counts(util::product_size(game.action_counts()), 0.0);
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+        CheapTalkParams p = params;
+        p.seed = params.seed + trial * 7919;
+        const auto outcome = run_cheap_talk(policy, true_types, behaviors, p);
+        counts[util::product_rank(game.action_counts(), outcome.actions)] += 1.0;
+    }
+    for (auto& c : counts) c /= static_cast<double>(trials);
+    return counts;
+}
+
+bool coalition_can_learn_type(const MediatorPolicy& policy, std::size_t coalition_size,
+                              const CheapTalkParams& params) {
+    const auto& game = policy.base();
+    const std::size_t n = game.num_players();
+    const std::size_t d = params.k + params.t;
+    // Deal a type and hand the coalition its shares; the coalition can
+    // learn the type iff it holds more than d of them (Shamir threshold).
+    util::Rng rng{params.seed};
+    const Fe secret{1};
+    const auto shares = crypto::share_secret(secret, n, d, rng);
+    if (coalition_size > n - 1) coalition_size = n - 1;  // dealer excluded
+    if (coalition_size >= d + 1) {
+        std::vector<crypto::Share> pooled(shares.begin(),
+                                          shares.begin() +
+                                              static_cast<std::ptrdiff_t>(coalition_size));
+        return crypto::reconstruct(pooled, d) == secret;
+    }
+    // With <= d shares every candidate secret remains consistent: verify
+    // by exhibiting, for two different candidates, interpolating
+    // polynomials through the coalition's shares.
+    std::vector<crypto::EvalPoint> base;
+    for (std::size_t i = 0; i < coalition_size; ++i) {
+        base.push_back({shares[i].x(), shares[i].value});
+    }
+    for (const std::uint64_t candidate : {0ULL, 1ULL}) {
+        auto points = base;
+        points.push_back({Fe{0}, Fe{candidate}});
+        (void)crypto::interpolate(points);  // always succeeds: no information
+    }
+    return false;
+}
+
+}  // namespace bnash::core

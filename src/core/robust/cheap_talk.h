@@ -1,0 +1,103 @@
+// Cheap-talk implementation of mediators (Section 2's possibility
+// results, after Abraham-Dolev-Gonen-Halpern).
+//
+// Pipeline ("just talking among themselves" on the synchronous network):
+//   1. SHARE: every player Shamir-shares its (reported) type with
+//      threshold d = k+t.
+//   2. COIN: every player broadcasts a coin contribution; Byzantine
+//      agreement (EIG, tolerance k+t -- this is where n > 3k+3t bites) is
+//      run per contribution so all honest players agree on the joint coin.
+//   3. EVALUATE: the mediator policy, derandomized by the agreed coin, is
+//      compiled to one arithmetic circuit per player (lookup of that
+//      player's recommended action over the shared type profile) and
+//      evaluated BGW-style: additions are local; every multiplication
+//      costs one degree-reduction exchange (resharing + Lagrange
+//      recombination over the active players).
+//   4. RECONSTRUCT: shares of player i's output are sent to player i
+//      alone, who decodes error-tolerantly (up to t corrupted shares).
+//   5. PLAY: players act on their reconstructed recommendations (default
+//      action on failure); faulty players act arbitrarily.
+//
+// Fault model (see DESIGN.md substitutions): input corruption, coin
+// equivocation, clean crashes and silence are tolerated end-to-end;
+// active corruption DURING degree reduction would require verifiable
+// secret sharing, which the full ADGH construction uses and this
+// implementation documents as out of scope. All honest-player state and
+// every message flows through the dist::SynchronousNetwork simulator.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/robust/mediator.h"
+#include "dist/network.h"
+#include "game/bayesian.h"
+#include "game/strategy.h"
+
+namespace bnash::core {
+
+enum class CheapTalkBehavior {
+    kHonest,
+    kMisreport,       // strategic: shares a chosen false type, then obeys
+    kCrashAfterShare, // participates in phase 1, then stops cleanly
+    kSilent,          // sends nothing in any phase
+    kCorruptShares,   // garbage type shares, equivocating coin, garbage
+                      // output shares; follows the evaluation protocol
+};
+
+struct CheapTalkParams final {
+    std::size_t k = 1;
+    std::size_t t = 0;
+    // Type that kMisreport players claim to have.
+    std::size_t misreport_type = 0;
+    // Physical broadcast channel (the paper's n > 2k+2t bullet): coin
+    // contributions go over an atomic broadcast, so every honest player
+    // sees identical values by the channel's physics and the per-
+    // contributor Byzantine agreements are unnecessary. Point-to-point
+    // mode (false) runs EIG per contribution and therefore needs the
+    // n > 3k+3t headroom to withstand equivocators.
+    bool broadcast_channel = false;
+    std::uint64_t seed = 1;
+};
+
+struct CheapTalkOutcome final {
+    // What each player reconstructed (nullopt: decode failure / faulty).
+    std::vector<std::optional<std::size_t>> recommendations;
+    // Actions actually played (honest: recommendation or default 0).
+    game::PureProfile actions;
+    std::size_t coin = 0;
+    std::size_t coin_space = 1;
+    dist::NetworkMetrics metrics;  // aggregated across all phases
+    std::size_t phases = 0;        // communication phases (muls included)
+    std::size_t mul_gates = 0;     // total interactive multiplications
+    std::size_t ba_instances = 0;  // Byzantine-agreement instances run
+};
+
+// Runs the pipeline once for a fixed true type profile. Throws
+// std::invalid_argument when n < 2(k+t)+1 (the BGW degree-reduction
+// floor); the theorem-level threshold n > 3k+3t is the caller's concern
+// (see feasibility.h) and tests exercise both sides of it.
+[[nodiscard]] CheapTalkOutcome run_cheap_talk(const MediatorPolicy& policy,
+                                              const game::TypeProfile& true_types,
+                                              const std::vector<CheapTalkBehavior>& behaviors,
+                                              const CheapTalkParams& params);
+
+// Empirical distribution over action profiles induced by the protocol for
+// a fixed type profile across `trials` seeds, as probabilities indexed by
+// action-profile rank. The mediator-implementation tests compare this
+// against MediatorPolicy::induced_action_distribution.
+[[nodiscard]] std::vector<double> cheap_talk_action_distribution(
+    const MediatorPolicy& policy, const game::TypeProfile& true_types,
+    const std::vector<CheapTalkBehavior>& behaviors, const CheapTalkParams& params,
+    std::size_t trials);
+
+// Secrecy demo used by tests and the example: given one run's transcript
+// of type shares, can a coalition of `coalition_size` players other than
+// the dealer reconstruct the dealer's type? Returns true iff coalition_size
+// > k+t (pooling more than the sharing threshold).
+[[nodiscard]] bool coalition_can_learn_type(const MediatorPolicy& policy,
+                                            std::size_t coalition_size,
+                                            const CheapTalkParams& params);
+
+}  // namespace bnash::core

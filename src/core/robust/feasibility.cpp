@@ -1,0 +1,99 @@
+#include "core/robust/feasibility.h"
+
+namespace bnash::core {
+
+FeasibilityVerdict classify(std::size_t n, std::size_t k, std::size_t t,
+                            const Capabilities& caps) {
+    FeasibilityVerdict verdict;
+
+    // Bullet 1: n > 3k+3t -- exact implementation, no knowledge of
+    // utilities, bounded running time.
+    if (n > 3 * k + 3 * t) {
+        verdict.guarantee = Guarantee::kExact;
+        verdict.running_time = RunningTime::kBounded;
+        verdict.theorem = "n > 3k+3t";
+        return verdict;
+    }
+
+    // Bullets 2-3: 2k+3t < n <= 3k+3t -- exact implementation possible,
+    // but only knowing utilities and with a (k+t)-punishment strategy, in
+    // finite expected (unbounded) running time.
+    if (n > 2 * k + 3 * t && caps.utilities_known && caps.punishment_strategy) {
+        verdict.guarantee = Guarantee::kExact;
+        verdict.running_time = RunningTime::kFiniteExpected;
+        verdict.requires_utility_knowledge = true;
+        verdict.requires_punishment = true;
+        verdict.theorem = "2k+3t < n <= 3k+3t, punishment + known utilities";
+        return verdict;
+    }
+
+    // Bullet 5: n > 2k+2t with broadcast channels -- epsilon-implementation
+    // with bounded expected, utility-independent running time.
+    if (n > 2 * k + 2 * t && caps.broadcast_channel) {
+        verdict.guarantee = Guarantee::kEpsilon;
+        verdict.running_time = RunningTime::kBoundedExpected;
+        verdict.uses_broadcast = true;
+        verdict.theorem = "n > 2k+2t, broadcast";
+        return verdict;
+    }
+
+    // Bullet 7: n > k+3t with cryptography -- epsilon-implementation; for
+    // n <= 2k+2t the running time depends on utilities and epsilon.
+    if (n > k + 3 * t && caps.cryptography) {
+        verdict.guarantee = Guarantee::kEpsilon;
+        verdict.running_time = (n > 2 * k + 2 * t) ? RunningTime::kBoundedExpected
+                                                   : RunningTime::kUtilityDependent;
+        verdict.uses_cryptography = true;
+        verdict.theorem = "n > k+3t, cryptography";
+        return verdict;
+    }
+
+    // Bullet 9: n > k+t with cryptography and a PKI.
+    if (n > k + t && caps.cryptography && caps.pki) {
+        verdict.guarantee = Guarantee::kEpsilon;
+        verdict.running_time = RunningTime::kUtilityDependent;
+        verdict.uses_cryptography = true;
+        verdict.uses_pki = true;
+        verdict.theorem = "n > k+t, cryptography + PKI";
+        return verdict;
+    }
+
+    // Bullets 4, 6, 8: the matching impossibility results.
+    verdict.guarantee = Guarantee::kImpossible;
+    verdict.running_time = RunningTime::kNotApplicable;
+    if (n <= k + t) {
+        verdict.theorem = "n <= k+t: impossible even with crypto + PKI";
+    } else if (caps.cryptography && n <= k + 3 * t && !caps.pki) {
+        verdict.theorem = "n <= k+3t: impossible with crypto alone, even with punishment";
+    } else if (caps.broadcast_channel && n <= 2 * k + 2 * t) {
+        verdict.theorem = "n <= 2k+2t: not epsilon-implementable, even with broadcast";
+    } else if (n <= 2 * k + 3 * t && caps.utilities_known && caps.punishment_strategy) {
+        verdict.theorem = "n <= 2k+3t: impossible even with punishment + known utilities";
+    } else {
+        verdict.theorem =
+            "n <= 3k+3t: impossible without known utilities and a punishment strategy";
+    }
+    return verdict;
+}
+
+std::string to_string(Guarantee guarantee) {
+    switch (guarantee) {
+        case Guarantee::kExact: return "exact";
+        case Guarantee::kEpsilon: return "epsilon";
+        case Guarantee::kImpossible: return "impossible";
+    }
+    return "?";
+}
+
+std::string to_string(RunningTime running_time) {
+    switch (running_time) {
+        case RunningTime::kBounded: return "bounded";
+        case RunningTime::kBoundedExpected: return "bounded-expected";
+        case RunningTime::kFiniteExpected: return "finite-expected";
+        case RunningTime::kUtilityDependent: return "utility-dependent";
+        case RunningTime::kNotApplicable: return "n/a";
+    }
+    return "?";
+}
+
+}  // namespace bnash::core

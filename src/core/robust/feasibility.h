@@ -1,0 +1,59 @@
+// The paper's Section 2 theorem list as a decision procedure.
+//
+// Abraham et al. [2006, 2008] "essentially characterize when mediators can
+// be implemented" via nine threshold results over (n, k, t) and the
+// available infrastructure. classify() encodes that characterization: it
+// returns the STRONGEST implementation guarantee obtainable for a
+// (k,t)-robust mediator strategy with n players and the given
+// capabilities, together with the caveats the theorems attach (utility
+// knowledge, punishment strategies, running-time shape). bench_mediator
+// prints the resulting frontier table; the tests pin every bullet.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace bnash::core {
+
+struct Capabilities final {
+    bool utilities_known = false;        // players know each other's utilities
+    bool punishment_strategy = false;    // a (k+t)-punishment strategy exists
+    bool broadcast_channel = false;      // physical broadcast available
+    bool cryptography = false;           // crypto + polynomially-bounded players
+    bool pki = false;                    // public-key infrastructure (implies crypto use)
+};
+
+enum class Guarantee {
+    kExact,           // mediator implemented exactly
+    kEpsilon,         // implemented within epsilon utility
+    kImpossible,      // no implementation in general
+};
+
+enum class RunningTime {
+    kBounded,             // bounded, utility-independent
+    kBoundedExpected,     // bounded in expectation, utility-independent
+    kFiniteExpected,      // finite expected, utility-independent
+    kUtilityDependent,    // depends on utilities (and epsilon)
+    kNotApplicable,
+};
+
+struct FeasibilityVerdict final {
+    Guarantee guarantee = Guarantee::kImpossible;
+    RunningTime running_time = RunningTime::kNotApplicable;
+    bool requires_utility_knowledge = false;
+    bool requires_punishment = false;
+    bool uses_broadcast = false;
+    bool uses_cryptography = false;
+    bool uses_pki = false;
+    // Which bullet of the paper's list decided the verdict, e.g.
+    // "n > 3k+3t".
+    std::string theorem;
+};
+
+[[nodiscard]] FeasibilityVerdict classify(std::size_t n, std::size_t k, std::size_t t,
+                                          const Capabilities& capabilities);
+
+[[nodiscard]] std::string to_string(Guarantee guarantee);
+[[nodiscard]] std::string to_string(RunningTime running_time);
+
+}  // namespace bnash::core

@@ -1,0 +1,224 @@
+#include "core/robust/mediator.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::core {
+
+using game::BayesianGame;
+using game::PureProfile;
+using game::TypeProfile;
+using util::Rational;
+
+MediatorPolicy::MediatorPolicy(const BayesianGame& game)
+    : game_(&game), num_action_profiles_(util::product_size(game.action_counts())) {
+    table_.assign(util::product_size(game.type_counts()),
+                  std::vector<Rational>(num_action_profiles_, Rational{0}));
+}
+
+void MediatorPolicy::set_recommendation(const TypeProfile& types, const PureProfile& actions,
+                                        Rational prob) {
+    if (prob.sign() < 0) throw std::invalid_argument("set_recommendation: negative prob");
+    table_[row_index(types)][util::product_rank(game_->action_counts(), actions)] =
+        std::move(prob);
+}
+
+const Rational& MediatorPolicy::recommendation_prob(const TypeProfile& types,
+                                                    const PureProfile& actions) const {
+    return table_[row_index(types)][util::product_rank(game_->action_counts(), actions)];
+}
+
+void MediatorPolicy::validate() const {
+    for (const auto& row : table_) {
+        Rational total{0};
+        for (const auto& p : row) total += p;
+        if (total != Rational{1}) {
+            throw std::logic_error("MediatorPolicy: row sums to " + total.to_string());
+        }
+    }
+}
+
+MediatorPolicy MediatorPolicy::byzantine_consensus(const BayesianGame& game) {
+    MediatorPolicy policy(game);
+    util::product_for_each(game.type_counts(), [&](const TypeProfile& types) {
+        // Recommend the general's reported preference to everyone.
+        const std::size_t preference = types[0];
+        PureProfile actions(game.num_players(), preference);
+        policy.set_recommendation(types, actions, Rational{1});
+        return true;
+    });
+    return policy;
+}
+
+MediatorPolicy MediatorPolicy::reveal_types(const BayesianGame& game) {
+    if (game.num_players() != 2) {
+        throw std::invalid_argument("reveal_types: 2-player games only");
+    }
+    MediatorPolicy policy(game);
+    util::product_for_each(game.type_counts(), [&](const TypeProfile& types) {
+        const PureProfile actions{types[1] % game.num_actions(0),
+                                  types[0] % game.num_actions(1)};
+        policy.set_recommendation(types, actions, Rational{1});
+        return true;
+    });
+    return policy;
+}
+
+Rational MediatorPolicy::truthful_value(std::size_t player) const {
+    game_->validate_prior();
+    Rational total{0};
+    util::product_for_each(game_->type_counts(), [&](const TypeProfile& types) {
+        const auto& prior = game_->prior(types);
+        if (prior.is_zero()) return true;
+        const auto& row = table_[row_index(types)];
+        for (std::uint64_t rank = 0; rank < num_action_profiles_; ++rank) {
+            if (row[rank].is_zero()) continue;
+            const auto actions = util::product_unrank(game_->action_counts(), rank);
+            total += prior * row[rank] * game_->payoff(types, actions, player);
+        }
+        return true;
+    });
+    return total;
+}
+
+std::vector<Rational> MediatorPolicy::induced_action_distribution(
+    const TypeProfile& types) const {
+    return table_[row_index(types)];
+}
+
+namespace {
+
+// A unilateral deviation in the mediated game: a report map (own type ->
+// reported type) and a response map (own type x recommendation -> action).
+struct DeviationMaps final {
+    std::vector<std::size_t> report;    // [type] -> reported type
+    std::vector<std::size_t> response;  // [type * A + recommendation] -> action
+};
+
+DeviationMaps decode_deviation(const BayesianGame& game, std::size_t player,
+                               std::uint64_t report_rank, std::uint64_t response_rank) {
+    const std::size_t types = game.num_types(player);
+    const std::size_t actions = game.num_actions(player);
+    DeviationMaps maps;
+    maps.report =
+        util::product_unrank(std::vector<std::size_t>(types, types), report_rank);
+    maps.response = util::product_unrank(
+        std::vector<std::size_t>(types * actions, actions), response_rank);
+    return maps;
+}
+
+}  // namespace
+
+bool MediatorPolicy::is_truthful_equilibrium() const {
+    return is_truthful_resilient_independent(1);
+}
+
+bool MediatorPolicy::is_truthful_resilient_independent(std::size_t k) const {
+    validate();
+    game_->validate_prior();
+    const std::size_t n = game_->num_players();
+
+    // Per-player deviation-space sizes.
+    std::vector<std::uint64_t> report_space(n);
+    std::vector<std::uint64_t> response_space(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        report_space[i] =
+            util::product_size(std::vector<std::size_t>(game_->num_types(i), game_->num_types(i)));
+        response_space[i] = util::product_size(std::vector<std::size_t>(
+            game_->num_types(i) * game_->num_actions(i), game_->num_actions(i)));
+    }
+
+    std::vector<Rational> truthful(n);
+    for (std::size_t i = 0; i < n; ++i) truthful[i] = truthful_value(i);
+
+    for (const auto& coalition : util::subsets_up_to_size(n, k)) {
+        // Joint enumeration of independent (report, response) maps.
+        std::vector<std::size_t> radices;
+        for (const std::size_t member : coalition) {
+            radices.push_back(static_cast<std::size_t>(report_space[member]));
+            radices.push_back(static_cast<std::size_t>(response_space[member]));
+        }
+        bool violated = false;
+        util::product_for_each(radices, [&](const std::vector<std::size_t>& choice) {
+            std::vector<DeviationMaps> maps;
+            maps.reserve(coalition.size());
+            for (std::size_t idx = 0; idx < coalition.size(); ++idx) {
+                maps.push_back(decode_deviation(*game_, coalition[idx], choice[2 * idx],
+                                                choice[2 * idx + 1]));
+            }
+            // Deviation value for each member.
+            std::vector<Rational> value(coalition.size(), Rational{0});
+            util::product_for_each(game_->type_counts(), [&](const TypeProfile& types) {
+                const auto& prior = game_->prior(types);
+                if (prior.is_zero()) return true;
+                TypeProfile reported = types;
+                for (std::size_t idx = 0; idx < coalition.size(); ++idx) {
+                    reported[coalition[idx]] = maps[idx].report[types[coalition[idx]]];
+                }
+                const auto& row = table_[row_index(reported)];
+                for (std::uint64_t rank = 0; rank < num_action_profiles_; ++rank) {
+                    if (row[rank].is_zero()) continue;
+                    auto actions = util::product_unrank(game_->action_counts(), rank);
+                    for (std::size_t idx = 0; idx < coalition.size(); ++idx) {
+                        const std::size_t member = coalition[idx];
+                        actions[member] =
+                            maps[idx].response[types[member] * game_->num_actions(member) +
+                                               actions[member]];
+                    }
+                    for (std::size_t idx = 0; idx < coalition.size(); ++idx) {
+                        value[idx] +=
+                            prior * row[rank] * game_->payoff(types, actions, coalition[idx]);
+                    }
+                }
+                return true;
+            });
+            for (std::size_t idx = 0; idx < coalition.size(); ++idx) {
+                if (value[idx] > truthful[coalition[idx]]) {
+                    violated = true;
+                    return false;
+                }
+            }
+            return true;
+        });
+        if (violated) return false;
+    }
+    return true;
+}
+
+std::size_t MediatorPolicy::coin_space() const {
+    std::uint64_t lcm_value = 1;
+    constexpr std::uint64_t kCap = 1'000'000;
+    for (const auto& row : table_) {
+        for (const auto& p : row) {
+            if (p.is_zero()) continue;
+            const auto den = static_cast<std::uint64_t>(p.den());
+            lcm_value = std::lcm(lcm_value, den);
+            if (lcm_value > kCap) {
+                throw std::logic_error("MediatorPolicy::coin_space: coin space too large");
+            }
+        }
+    }
+    return static_cast<std::size_t>(lcm_value);
+}
+
+std::size_t MediatorPolicy::sample_rank(const TypeProfile& types, std::size_t coin,
+                                        std::size_t coin_space_size) const {
+    if (coin >= coin_space_size) throw std::out_of_range("sample_rank: coin");
+    const auto& row = table_[row_index(types)];
+    const Rational point{static_cast<std::int64_t>(coin),
+                         static_cast<std::int64_t>(coin_space_size)};
+    Rational cumulative{0};
+    for (std::uint64_t rank = 0; rank < num_action_profiles_; ++rank) {
+        cumulative += row[rank];
+        if (point < cumulative) return static_cast<std::size_t>(rank);
+    }
+    throw std::logic_error("sample_rank: row does not sum to 1");
+}
+
+std::uint64_t MediatorPolicy::row_index(const TypeProfile& types) const {
+    return util::product_rank(game_->type_counts(), types);
+}
+
+}  // namespace bnash::core

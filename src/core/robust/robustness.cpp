@@ -1,0 +1,339 @@
+#include "core/robust/robustness.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::core {
+namespace {
+
+using game::ExactMixedProfile;
+using game::NormalFormGame;
+using game::PureProfile;
+using util::Rational;
+
+// Returns the pure profile when every strategy is a point mass (the common
+// case for the paper's examples), enabling O(1) payoff lookups.
+std::optional<PureProfile> as_pure(const ExactMixedProfile& profile) {
+    PureProfile out(profile.size(), 0);
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        bool found = false;
+        for (std::size_t a = 0; a < profile[i].size(); ++a) {
+            if (profile[i][a] == Rational{1}) {
+                out[i] = a;
+                found = true;
+            } else if (!profile[i][a].is_zero()) {
+                return std::nullopt;
+            }
+        }
+        if (!found) return std::nullopt;
+    }
+    return out;
+}
+
+// Evaluation context: computes u_i when players in `who` play `actions`
+// and everyone else follows the candidate profile.
+class Evaluator final {
+public:
+    Evaluator(const NormalFormGame& game, const ExactMixedProfile& profile)
+        : game_(game), profile_(profile), pure_(as_pure(profile)) {}
+
+    [[nodiscard]] Rational utility(const std::vector<std::size_t>& who,
+                                   const PureProfile& actions, std::size_t player) const {
+        if (pure_) {
+            PureProfile joint = *pure_;
+            for (std::size_t idx = 0; idx < who.size(); ++idx) {
+                joint[who[idx]] = actions[idx];
+            }
+            return game_.payoff(joint, player);
+        }
+        ExactMixedProfile deviated = profile_;
+        for (std::size_t idx = 0; idx < who.size(); ++idx) {
+            game::ExactMixedStrategy point(game_.num_actions(who[idx]), Rational{0});
+            point[actions[idx]] = Rational{1};
+            deviated[who[idx]] = std::move(point);
+        }
+        return game_.expected_payoff_exact(deviated, player);
+    }
+
+    [[nodiscard]] Rational baseline(std::size_t player) const {
+        return utility({}, {}, player);
+    }
+
+private:
+    const NormalFormGame& game_;
+    const ExactMixedProfile& profile_;
+    std::optional<PureProfile> pure_;
+};
+
+std::vector<std::size_t> action_space(const NormalFormGame& game,
+                                      const std::vector<std::size_t>& players) {
+    std::vector<std::size_t> out;
+    out.reserve(players.size());
+    for (const std::size_t p : players) out.push_back(game.num_actions(p));
+    return out;
+}
+
+void validate_profile(const NormalFormGame& game, const ExactMixedProfile& profile) {
+    if (profile.size() != game.num_players()) {
+        throw std::invalid_argument("robustness: profile width mismatch");
+    }
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        if (profile[i].size() != game.num_actions(i) ||
+            !game::is_exact_distribution(profile[i])) {
+            throw std::invalid_argument("robustness: invalid strategy for player " +
+                                        std::to_string(i));
+        }
+    }
+}
+
+}  // namespace
+
+std::string RobustnessViolation::to_string() const {
+    std::ostringstream os;
+    os << "coalition {";
+    for (std::size_t i = 0; i < coalition.size(); ++i) {
+        os << (i ? "," : "") << coalition[i];
+    }
+    os << "} faulty {";
+    for (std::size_t i = 0; i < faulty.size(); ++i) os << (i ? "," : "") << faulty[i];
+    os << "}: player " << witness_player << " payoff " << payoff_before << " -> "
+       << payoff_after;
+    return os.str();
+}
+
+std::optional<RobustnessViolation> find_resilience_violation(
+    const NormalFormGame& game, const ExactMixedProfile& profile, std::size_t k,
+    const RobustnessOptions& options) {
+    return find_robustness_violation(game, profile, k, 0, options);
+}
+
+std::optional<RobustnessViolation> find_immunity_violation(const NormalFormGame& game,
+                                                           const ExactMixedProfile& profile,
+                                                           std::size_t t) {
+    validate_profile(game, profile);
+    if (t == 0) return std::nullopt;
+    const Evaluator eval(game, profile);
+    std::vector<Rational> baseline(game.num_players());
+    for (std::size_t i = 0; i < game.num_players(); ++i) baseline[i] = eval.baseline(i);
+
+    for (const auto& faulty : util::subsets_up_to_size(game.num_players(), t)) {
+        std::optional<RobustnessViolation> found;
+        util::product_for_each(action_space(game, faulty), [&](const PureProfile& tau) {
+            for (std::size_t i = 0; i < game.num_players(); ++i) {
+                if (std::find(faulty.begin(), faulty.end(), i) != faulty.end()) continue;
+                const Rational after = eval.utility(faulty, tau, i);
+                if (after < baseline[i]) {
+                    found = RobustnessViolation{{},
+                                                faulty,
+                                                {},
+                                                tau,
+                                                i,
+                                                baseline[i].to_double(),
+                                                after.to_double()};
+                    return false;
+                }
+            }
+            return true;
+        });
+        if (found) return found;
+    }
+    return std::nullopt;
+}
+
+std::optional<RobustnessViolation> find_robustness_violation(const NormalFormGame& game,
+                                                             const ExactMixedProfile& profile,
+                                                             std::size_t k, std::size_t t,
+                                                             const RobustnessOptions& options) {
+    validate_profile(game, profile);
+    // Part (a): non-deviators are not hurt by up to t arbitrary players.
+    if (auto immunity = find_immunity_violation(game, profile, t)) return immunity;
+    if (k == 0) return std::nullopt;
+
+    const Evaluator eval(game, profile);
+    const std::size_t n = game.num_players();
+
+    // Part (b): no coalition C (|C| <= k) gains, no matter what disjoint
+    // T (|T| <= t) does. The coalition's reference point is playing sigma_C
+    // against the same tau_T.
+    for (const auto& coalition : util::subsets_up_to_size(n, k)) {
+        // Enumerate disjoint faulty sets, including the empty one.
+        std::vector<std::size_t> others;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (std::find(coalition.begin(), coalition.end(), i) == coalition.end()) {
+                others.push_back(i);
+            }
+        }
+        std::vector<std::vector<std::size_t>> faulty_sets{{}};
+        if (t > 0) {
+            for (const auto& index_set : util::subsets_up_to_size(others.size(), t)) {
+                std::vector<std::size_t> faulty;
+                faulty.reserve(index_set.size());
+                for (const std::size_t idx : index_set) faulty.push_back(others[idx]);
+                faulty_sets.push_back(std::move(faulty));
+            }
+        }
+
+        for (const auto& faulty : faulty_sets) {
+            std::optional<RobustnessViolation> found;
+            util::product_for_each(action_space(game, faulty), [&](const PureProfile& tau_t) {
+                // Coalition's reference payoffs against this tau_t.
+                std::vector<Rational> reference(coalition.size());
+                {
+                    // sigma_C against tau_T: overrides only on T.
+                    for (std::size_t idx = 0; idx < coalition.size(); ++idx) {
+                        reference[idx] = eval.utility(faulty, tau_t, coalition[idx]);
+                    }
+                }
+                std::vector<std::size_t> joint_players = coalition;
+                joint_players.insert(joint_players.end(), faulty.begin(), faulty.end());
+                util::product_for_each(
+                    action_space(game, coalition), [&](const PureProfile& tau_c) {
+                        PureProfile joint_actions = tau_c;
+                        joint_actions.insert(joint_actions.end(), tau_t.begin(), tau_t.end());
+                        bool any_gain = false;
+                        bool all_gain = true;
+                        std::size_t witness = coalition[0];
+                        Rational witness_before;
+                        Rational witness_after;
+                        for (std::size_t idx = 0; idx < coalition.size(); ++idx) {
+                            const Rational after =
+                                eval.utility(joint_players, joint_actions, coalition[idx]);
+                            if (after > reference[idx]) {
+                                if (!any_gain) {
+                                    witness = coalition[idx];
+                                    witness_before = reference[idx];
+                                    witness_after = after;
+                                }
+                                any_gain = true;
+                            } else {
+                                all_gain = false;
+                            }
+                        }
+                        const bool violated =
+                            options.criterion == GainCriterion::kAnyMemberGains
+                                ? any_gain
+                                : (all_gain && !coalition.empty());
+                        if (violated) {
+                            found = RobustnessViolation{coalition,
+                                                        faulty,
+                                                        tau_c,
+                                                        tau_t,
+                                                        witness,
+                                                        witness_before.to_double(),
+                                                        witness_after.to_double()};
+                            return false;
+                        }
+                        return true;
+                    });
+                return !found.has_value();
+            });
+            if (found) return found;
+        }
+    }
+    return std::nullopt;
+}
+
+bool is_k_resilient(const NormalFormGame& game, const ExactMixedProfile& profile,
+                    std::size_t k, const RobustnessOptions& options) {
+    return !find_resilience_violation(game, profile, k, options).has_value();
+}
+
+bool is_t_immune(const NormalFormGame& game, const ExactMixedProfile& profile, std::size_t t) {
+    return !find_immunity_violation(game, profile, t).has_value();
+}
+
+bool is_kt_robust(const NormalFormGame& game, const ExactMixedProfile& profile, std::size_t k,
+                  std::size_t t, const RobustnessOptions& options) {
+    return !find_robustness_violation(game, profile, k, t, options).has_value();
+}
+
+game::ExactMixedProfile as_exact_profile(const NormalFormGame& game,
+                                         const PureProfile& profile) {
+    if (profile.size() != game.num_players()) {
+        throw std::invalid_argument("as_exact_profile: width");
+    }
+    ExactMixedProfile out(game.num_players());
+    for (std::size_t i = 0; i < game.num_players(); ++i) {
+        game::ExactMixedStrategy strategy(game.num_actions(i), Rational{0});
+        strategy.at(profile[i]) = Rational{1};
+        out[i] = std::move(strategy);
+    }
+    return out;
+}
+
+std::size_t max_resilience(const NormalFormGame& game, const ExactMixedProfile& profile,
+                           std::size_t max_k, const RobustnessOptions& options) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k <= max_k; ++k) {
+        if (!is_k_resilient(game, profile, k, options)) break;
+        best = k;
+    }
+    return best;
+}
+
+std::size_t max_immunity(const NormalFormGame& game, const ExactMixedProfile& profile,
+                         std::size_t max_t) {
+    std::size_t best = 0;
+    for (std::size_t t = 1; t <= max_t; ++t) {
+        if (!is_t_immune(game, profile, t)) break;
+        best = t;
+    }
+    return best;
+}
+
+bool is_punishment_strategy(const NormalFormGame& game, const PureProfile& rho, std::size_t q,
+                            const std::vector<Rational>& baseline) {
+    if (baseline.size() != game.num_players()) {
+        throw std::invalid_argument("is_punishment_strategy: baseline width");
+    }
+    const auto rho_exact = as_exact_profile(game, rho);
+    const Evaluator eval(game, rho_exact);
+    // S empty: everyone at rho must be strictly below baseline.
+    for (std::size_t i = 0; i < game.num_players(); ++i) {
+        if (!(eval.utility({}, {}, i) < baseline[i])) return false;
+    }
+    if (q == 0) return true;
+    for (const auto& deviators : util::subsets_up_to_size(game.num_players(), q)) {
+        bool ok = true;
+        util::product_for_each(action_space(game, deviators), [&](const PureProfile& tau) {
+            for (std::size_t i = 0; i < game.num_players(); ++i) {
+                if (!(eval.utility(deviators, tau, i) < baseline[i])) {
+                    ok = false;
+                    return false;
+                }
+            }
+            return true;
+        });
+        if (!ok) return false;
+    }
+    return true;
+}
+
+std::optional<PureProfile> find_punishment_strategy(const NormalFormGame& game, std::size_t q,
+                                                    const std::vector<Rational>& baseline) {
+    std::optional<PureProfile> found;
+    util::product_for_each(game.action_counts(), [&](const PureProfile& rho) {
+        if (is_punishment_strategy(game, rho, q, baseline)) {
+            found = rho;
+            return false;
+        }
+        return true;
+    });
+    return found;
+}
+
+bool is_kt_robust_bayesian(const game::BayesianGame& game,
+                           const game::BayesianPureProfile& profile, std::size_t k,
+                           std::size_t t, const RobustnessOptions& options) {
+    const auto strategic = game.to_strategic_form();
+    PureProfile ranks(game.num_players());
+    for (std::size_t i = 0; i < game.num_players(); ++i) {
+        ranks[i] = static_cast<std::size_t>(game.strategy_rank(i, profile[i]));
+    }
+    return is_kt_robust(strategic, as_exact_profile(strategic, ranks), k, t, options);
+}
+
+}  // namespace bnash::core

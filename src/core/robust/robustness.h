@@ -1,0 +1,117 @@
+// Section 2's solution concepts: k-resilience, t-immunity, and
+// (k,t)-robustness [Abraham, Dolev, Gonen, Halpern 2006; Abraham, Dolev,
+// Halpern 2008].
+//
+// Definitions implemented (for a candidate profile sigma):
+//   - k-RESILIENT: for every coalition C with 1 <= |C| <= k and every
+//     joint deviation tau_C, the deviation does not "gain" (see
+//     GainCriterion). "Deviators do not gain by deviating."
+//   - t-IMMUNE: for every set T with 1 <= |T| <= t, every joint deviation
+//     tau_T, and every player i not in T, u_i(tau_T, sigma_-T) >=
+//     u_i(sigma). "Non-deviators do not get hurt by deviators."
+//   - (k,t)-ROBUST: for all disjoint C, T with |C| <= k, |T| <= t, and all
+//     tau_T: (a) players outside C and T are not hurt (immunity under
+//     simultaneous C-deviation is checked through C = empty), and (b) C
+//     cannot gain relative to playing sigma_C against the same tau_T.
+//     A Nash equilibrium is exactly a (1,0)-robust profile.
+//
+// Checking quantifies over PURE joint deviations only: expected utility is
+// multilinear in each deviator's strategy, so for fixed everything-else a
+// profitable (possibly correlated/mixed) deviation exists iff a profitable
+// pure one does; the same holds for the adversarial minimization in
+// immunity. This makes the checkers exact and complete.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "game/bayesian.h"
+#include "game/normal_form.h"
+#include "game/strategy.h"
+
+namespace bnash::core {
+
+enum class GainCriterion {
+    // Violation as soon as SOME coalition member strictly gains (the
+    // "strongly resilient" reading used in the paper's examples).
+    kAnyMemberGains,
+    // Violation only when EVERY coalition member strictly gains.
+    kAllMembersGain,
+};
+
+// A found violation, for diagnostics and the examples' narratives.
+struct RobustnessViolation final {
+    std::vector<std::size_t> coalition;       // C: strategic deviators
+    std::vector<std::size_t> faulty;          // T: "unexpected" players
+    game::PureProfile coalition_deviation;    // actions of C (aligned with coalition)
+    game::PureProfile faulty_deviation;       // actions of T (aligned with faulty)
+    std::size_t witness_player = 0;           // who gains / gets hurt
+    double payoff_before = 0.0;
+    double payoff_after = 0.0;
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct RobustnessOptions final {
+    GainCriterion criterion = GainCriterion::kAnyMemberGains;
+};
+
+// --- normal-form checkers (exact rational arithmetic throughout) ---------
+
+[[nodiscard]] std::optional<RobustnessViolation> find_resilience_violation(
+    const game::NormalFormGame& game, const game::ExactMixedProfile& profile, std::size_t k,
+    const RobustnessOptions& options = {});
+
+[[nodiscard]] std::optional<RobustnessViolation> find_immunity_violation(
+    const game::NormalFormGame& game, const game::ExactMixedProfile& profile, std::size_t t);
+
+[[nodiscard]] std::optional<RobustnessViolation> find_robustness_violation(
+    const game::NormalFormGame& game, const game::ExactMixedProfile& profile, std::size_t k,
+    std::size_t t, const RobustnessOptions& options = {});
+
+[[nodiscard]] bool is_k_resilient(const game::NormalFormGame& game,
+                                  const game::ExactMixedProfile& profile, std::size_t k,
+                                  const RobustnessOptions& options = {});
+[[nodiscard]] bool is_t_immune(const game::NormalFormGame& game,
+                               const game::ExactMixedProfile& profile, std::size_t t);
+[[nodiscard]] bool is_kt_robust(const game::NormalFormGame& game,
+                                const game::ExactMixedProfile& profile, std::size_t k,
+                                std::size_t t, const RobustnessOptions& options = {});
+
+// Pure-profile conveniences.
+[[nodiscard]] game::ExactMixedProfile as_exact_profile(const game::NormalFormGame& game,
+                                                       const game::PureProfile& profile);
+
+// Largest k (up to max_k) such that the profile is k-resilient; 0 means
+// not even 1-resilient (i.e. not a Nash equilibrium in the coalition
+// sense). Similarly for immunity.
+[[nodiscard]] std::size_t max_resilience(const game::NormalFormGame& game,
+                                         const game::ExactMixedProfile& profile,
+                                         std::size_t max_k,
+                                         const RobustnessOptions& options = {});
+[[nodiscard]] std::size_t max_immunity(const game::NormalFormGame& game,
+                                       const game::ExactMixedProfile& profile,
+                                       std::size_t max_t);
+
+// --- (k+t)-punishment strategies ------------------------------------------
+// A pure profile rho is a q-punishment strategy relative to equilibrium
+// payoffs `baseline` if, whenever all but at most q players play rho, every
+// player's payoff is strictly below its baseline (the paper's condition for
+// the 2k+3t < n <= 3k+3t regime).
+[[nodiscard]] bool is_punishment_strategy(const game::NormalFormGame& game,
+                                          const game::PureProfile& rho, std::size_t q,
+                                          const std::vector<util::Rational>& baseline);
+[[nodiscard]] std::optional<game::PureProfile> find_punishment_strategy(
+    const game::NormalFormGame& game, std::size_t q,
+    const std::vector<util::Rational>& baseline);
+
+// --- Bayesian wrapper -------------------------------------------------------
+// Ex-ante robustness of a Bayesian pure profile, checked on the strategic
+// form (coalition deviations may condition on coalition types).
+[[nodiscard]] bool is_kt_robust_bayesian(const game::BayesianGame& game,
+                                         const game::BayesianPureProfile& profile,
+                                         std::size_t k, std::size_t t,
+                                         const RobustnessOptions& options = {});
+
+}  // namespace bnash::core

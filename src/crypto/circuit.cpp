@@ -1,0 +1,141 @@
+#include "crypto/circuit.h"
+
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::crypto {
+
+Circuit::GateId Circuit::push(Gate gate) {
+    gates_.push_back(gate);
+    return gates_.size() - 1;
+}
+
+Circuit::GateId Circuit::input(std::size_t index) {
+    if (const auto it = input_cache_.find(index); it != input_cache_.end()) {
+        return it->second;
+    }
+    Gate gate;
+    gate.op = Op::kInput;
+    gate.input_index = index;
+    const GateId id = push(gate);
+    input_cache_[index] = id;
+    if (index + 1 > num_inputs_) num_inputs_ = index + 1;
+    return id;
+}
+
+Circuit::GateId Circuit::constant(Fe value) {
+    if (const auto it = const_cache_.find(value.value()); it != const_cache_.end()) {
+        return it->second;
+    }
+    Gate gate;
+    gate.op = Op::kConst;
+    gate.constant = value;
+    const GateId id = push(gate);
+    const_cache_[value.value()] = id;
+    return id;
+}
+
+Circuit::GateId Circuit::add(GateId lhs, GateId rhs) {
+    if (lhs >= gates_.size() || rhs >= gates_.size()) throw std::out_of_range("add: bad gate");
+    Gate gate;
+    gate.op = Op::kAdd;
+    gate.lhs = lhs;
+    gate.rhs = rhs;
+    return push(gate);
+}
+
+Circuit::GateId Circuit::sub(GateId lhs, GateId rhs) {
+    if (lhs >= gates_.size() || rhs >= gates_.size()) throw std::out_of_range("sub: bad gate");
+    Gate gate;
+    gate.op = Op::kSub;
+    gate.lhs = lhs;
+    gate.rhs = rhs;
+    return push(gate);
+}
+
+Circuit::GateId Circuit::mul(GateId lhs, GateId rhs) {
+    if (lhs >= gates_.size() || rhs >= gates_.size()) throw std::out_of_range("mul: bad gate");
+    Gate gate;
+    gate.op = Op::kMul;
+    gate.lhs = lhs;
+    gate.rhs = rhs;
+    ++num_mul_;
+    return push(gate);
+}
+
+void Circuit::set_output(GateId gate) {
+    if (gate >= gates_.size()) throw std::out_of_range("set_output: bad gate");
+    output_ = gate;
+    has_output_ = true;
+}
+
+Circuit::GateId Circuit::output() const {
+    if (!has_output_) throw std::logic_error("Circuit: no output set");
+    return output_;
+}
+
+Fe Circuit::eval(std::span<const Fe> inputs) const {
+    if (inputs.size() < num_inputs_) throw std::invalid_argument("Circuit::eval: few inputs");
+    std::vector<Fe> values(gates_.size());
+    for (std::size_t id = 0; id < gates_.size(); ++id) {
+        const auto& gate = gates_[id];
+        switch (gate.op) {
+            case Op::kInput: values[id] = inputs[gate.input_index]; break;
+            case Op::kConst: values[id] = gate.constant; break;
+            case Op::kAdd: values[id] = values[gate.lhs] + values[gate.rhs]; break;
+            case Op::kSub: values[id] = values[gate.lhs] - values[gate.rhs]; break;
+            case Op::kMul: values[id] = values[gate.lhs] * values[gate.rhs]; break;
+        }
+    }
+    return values[output()];
+}
+
+Circuit compile_lookup_table(const std::vector<std::size_t>& domain_sizes,
+                             const std::vector<Fe>& values) {
+    if (domain_sizes.empty()) throw std::invalid_argument("compile_lookup_table: no inputs");
+    if (values.size() != util::product_size(domain_sizes)) {
+        throw std::invalid_argument("compile_lookup_table: table size mismatch");
+    }
+    Circuit circuit;
+
+    // indicator[i][v]: gate computing the Lagrange indicator
+    //   L_{i,v}(x_i) = prod_{u != v} (x_i - u) / (v - u),
+    // which is 1 when x_i == v and 0 on the rest of the domain.
+    std::vector<std::vector<Circuit::GateId>> indicator(domain_sizes.size());
+    for (std::size_t i = 0; i < domain_sizes.size(); ++i) {
+        const auto x = circuit.input(i);
+        indicator[i].resize(domain_sizes[i]);
+        for (std::size_t v = 0; v < domain_sizes[i]; ++v) {
+            Fe denominator{1};
+            Circuit::GateId product = circuit.constant(Fe{1});
+            for (std::size_t u = 0; u < domain_sizes[i]; ++u) {
+                if (u == v) continue;
+                const auto term =
+                    circuit.sub(x, circuit.constant(Fe{static_cast<std::uint64_t>(u)}));
+                product = circuit.mul(product, term);
+                denominator *= (fe_from_int(static_cast<std::int64_t>(v)) -
+                                fe_from_int(static_cast<std::int64_t>(u)));
+            }
+            indicator[i][v] = circuit.mul(product, circuit.constant(denominator.inverse()));
+        }
+    }
+
+    // sum over rows: value(row) * prod_i indicator[i][row_i].
+    Circuit::GateId total = circuit.constant(Fe{0});
+    std::size_t row = 0;
+    util::product_for_each(domain_sizes, [&](const std::vector<std::size_t>& tuple) {
+        Circuit::GateId term = indicator[0][tuple[0]];
+        for (std::size_t i = 1; i < tuple.size(); ++i) {
+            term = circuit.mul(term, indicator[i][tuple[i]]);
+        }
+        term = circuit.mul(term, circuit.constant(values[row]));
+        total = circuit.add(total, term);
+        ++row;
+        return true;
+    });
+    circuit.set_output(total);
+    return circuit;
+}
+
+}  // namespace bnash::crypto

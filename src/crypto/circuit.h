@@ -1,0 +1,71 @@
+// Arithmetic circuits over GF(p) and a compiler from lookup tables.
+//
+// The ADGH cheap-talk implementation evaluates the mediator's policy
+// jointly: the policy is compiled into an arithmetic circuit (Lagrange
+// indicator polynomials select the table row matching the shared type
+// profile), and the circuit is evaluated gate-by-gate on Shamir shares by
+// the BGW engine in core/robust. Addition is free on shares; every kMul
+// gate costs one interactive degree-reduction round, so num_mul_gates() is
+// the protocol's round/traffic driver and is reported by the benches.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "crypto/field.h"
+
+namespace bnash::crypto {
+
+class Circuit final {
+public:
+    using GateId = std::size_t;
+    enum class Op { kInput, kConst, kAdd, kSub, kMul };
+
+    struct Gate final {
+        Op op = Op::kConst;
+        std::size_t input_index = 0;  // kInput
+        Fe constant;                  // kConst
+        GateId lhs = 0;               // kAdd/kSub/kMul
+        GateId rhs = 0;
+    };
+
+    // Gate constructors return ids; identical input/const gates are shared.
+    GateId input(std::size_t index);
+    GateId constant(Fe value);
+    GateId add(GateId lhs, GateId rhs);
+    GateId sub(GateId lhs, GateId rhs);
+    GateId mul(GateId lhs, GateId rhs);
+
+    void set_output(GateId gate);
+    [[nodiscard]] GateId output() const;
+
+    [[nodiscard]] std::size_t num_gates() const noexcept { return gates_.size(); }
+    [[nodiscard]] std::size_t num_inputs() const noexcept { return num_inputs_; }
+    [[nodiscard]] std::size_t num_mul_gates() const noexcept { return num_mul_; }
+    [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+
+    // Plain (non-shared) evaluation; inputs.size() must be >= num_inputs().
+    [[nodiscard]] Fe eval(std::span<const Fe> inputs) const;
+
+private:
+    GateId push(Gate gate);
+
+    std::vector<Gate> gates_;
+    std::map<std::size_t, GateId> input_cache_;
+    std::map<std::uint64_t, GateId> const_cache_;
+    std::size_t num_inputs_ = 0;
+    std::size_t num_mul_ = 0;
+    GateId output_ = 0;
+    bool has_output_ = false;
+};
+
+// Builds a circuit computing the function given by `values` over the
+// product domain: inputs x_i in {0..domain_sizes[i]-1} (as field elements);
+// output = values[product_rank(domain, (x_1..x_n))]. Off-domain inputs
+// produce unspecified values (callers validate domain membership first).
+[[nodiscard]] Circuit compile_lookup_table(const std::vector<std::size_t>& domain_sizes,
+                                           const std::vector<Fe>& values);
+
+}  // namespace bnash::crypto

@@ -1,0 +1,30 @@
+#include "crypto/commitment.h"
+
+namespace bnash::crypto {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+}  // namespace
+
+Commitment commit(Fe value, std::uint64_t nonce) {
+    Commitment out;
+    out.digest_lo = mix64(value.value() * 0x9e3779b97f4a7c15ULL ^ mix64(nonce));
+    out.digest_hi = mix64(out.digest_lo ^ mix64(value.value() + nonce));
+    return out;
+}
+
+Opening commit_random(Fe value, util::Rng& rng) { return Opening{value, rng.next_u64()}; }
+
+bool verify_commitment(const Commitment& commitment, const Opening& opening) {
+    return commit(opening.value, opening.nonce) == commitment;
+}
+
+}  // namespace bnash::crypto

@@ -1,0 +1,33 @@
+// Binding/hiding commitments over a toy mixing function.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper's Section 2/3 results use
+// commitments only as an ideal primitive. Inside this closed simulator a
+// 128-bit mix of (value, nonce) is perfectly adequate: the simulated
+// adversaries cannot invert or collide it by construction, and none of the
+// protocol logic depends on computational hardness. Do not reuse outside
+// the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/field.h"
+#include "util/rng.h"
+
+namespace bnash::crypto {
+
+struct Commitment final {
+    std::uint64_t digest_lo = 0;
+    std::uint64_t digest_hi = 0;
+    friend bool operator==(const Commitment&, const Commitment&) = default;
+};
+
+struct Opening final {
+    Fe value;
+    std::uint64_t nonce = 0;
+};
+
+[[nodiscard]] Commitment commit(Fe value, std::uint64_t nonce);
+[[nodiscard]] Opening commit_random(Fe value, util::Rng& rng);
+[[nodiscard]] bool verify_commitment(const Commitment& commitment, const Opening& opening);
+
+}  // namespace bnash::crypto

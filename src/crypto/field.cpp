@@ -1,0 +1,61 @@
+#include "crypto/field.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace bnash::crypto {
+
+Fe operator+(Fe lhs, Fe rhs) noexcept {
+    std::uint64_t sum = lhs.value_ + rhs.value_;  // < 2^62: no overflow
+    if (sum >= kFieldPrime) sum -= kFieldPrime;
+    Fe out;
+    out.value_ = sum;
+    return out;
+}
+
+Fe operator-(Fe lhs, Fe rhs) noexcept {
+    Fe out;
+    out.value_ = lhs.value_ >= rhs.value_ ? lhs.value_ - rhs.value_
+                                          : lhs.value_ + kFieldPrime - rhs.value_;
+    return out;
+}
+
+Fe operator*(Fe lhs, Fe rhs) noexcept {
+    const auto product = static_cast<__uint128_t>(lhs.value_) * rhs.value_;
+    Fe out;
+    out.value_ = static_cast<std::uint64_t>(product % kFieldPrime);
+    return out;
+}
+
+Fe operator-(Fe value) noexcept {
+    Fe out;
+    out.value_ = value.value_ == 0 ? 0 : kFieldPrime - value.value_;
+    return out;
+}
+
+Fe Fe::pow(std::uint64_t exponent) const noexcept {
+    Fe base = *this;
+    Fe result{1};
+    while (exponent > 0) {
+        if (exponent & 1) result *= base;
+        base *= base;
+        exponent >>= 1;
+    }
+    return result;
+}
+
+Fe Fe::inverse() const {
+    if (is_zero()) throw std::domain_error("Fe::inverse of zero");
+    return pow(kFieldPrime - 2);
+}
+
+Fe Fe::random(util::Rng& rng) noexcept { return Fe{rng.next_below(kFieldPrime)}; }
+
+std::ostream& operator<<(std::ostream& os, Fe value) { return os << value.value_; }
+
+Fe fe_from_int(std::int64_t value) noexcept {
+    if (value >= 0) return Fe{static_cast<std::uint64_t>(value)};
+    return -Fe{static_cast<std::uint64_t>(-value)};
+}
+
+}  // namespace bnash::crypto

@@ -1,0 +1,58 @@
+// GF(p) arithmetic, p = 2^61 - 1 (a Mersenne prime).
+//
+// The prime field underlying Shamir secret sharing and the BGW-style
+// evaluation of mediator circuits (Section 2's possibility results). All
+// values are kept reduced; multiplication goes through __int128.
+//
+// This is an information-theoretic substrate, not a cryptographic library:
+// the mediator theorems consume secrecy-up-to-threshold and correct
+// reconstruction, both of which hold unconditionally for Shamir over any
+// field large enough, which this one is.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bnash::crypto {
+
+inline constexpr std::uint64_t kFieldPrime = (std::uint64_t{1} << 61) - 1;
+
+class Fe final {  // field element
+public:
+    constexpr Fe() noexcept = default;
+    // Reduces any uint64 into the field (intentionally implicit for
+    // literal-heavy circuit code, mirroring Rational's integer behavior).
+    constexpr Fe(std::uint64_t value) noexcept : value_(value % kFieldPrime) {}  // NOLINT
+
+    [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+    [[nodiscard]] constexpr bool is_zero() const noexcept { return value_ == 0; }
+
+    friend constexpr bool operator==(Fe lhs, Fe rhs) noexcept = default;
+
+    friend Fe operator+(Fe lhs, Fe rhs) noexcept;
+    friend Fe operator-(Fe lhs, Fe rhs) noexcept;
+    friend Fe operator*(Fe lhs, Fe rhs) noexcept;
+    friend Fe operator-(Fe value) noexcept;
+    Fe& operator+=(Fe rhs) noexcept { return *this = *this + rhs; }
+    Fe& operator-=(Fe rhs) noexcept { return *this = *this - rhs; }
+    Fe& operator*=(Fe rhs) noexcept { return *this = *this * rhs; }
+
+    // Fermat inverse; throws std::domain_error on zero.
+    [[nodiscard]] Fe inverse() const;
+    [[nodiscard]] Fe pow(std::uint64_t exponent) const noexcept;
+
+    static Fe random(util::Rng& rng) noexcept;
+
+    friend std::ostream& operator<<(std::ostream& os, Fe value);
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+// Fe from a possibly-negative integer (payoff encodings).
+[[nodiscard]] Fe fe_from_int(std::int64_t value) noexcept;
+
+}  // namespace bnash::crypto

@@ -1,0 +1,89 @@
+#include "crypto/polynomial.h"
+
+#include <stdexcept>
+
+namespace bnash::crypto {
+
+Polynomial::Polynomial(std::vector<Fe> coefficients) : coefficients_(std::move(coefficients)) {}
+
+Polynomial Polynomial::random_with_constant(Fe constant_term, std::size_t degree,
+                                            util::Rng& rng) {
+    std::vector<Fe> coefficients(degree + 1);
+    coefficients[0] = constant_term;
+    for (std::size_t i = 1; i <= degree; ++i) coefficients[i] = Fe::random(rng);
+    return Polynomial{std::move(coefficients)};
+}
+
+Fe Polynomial::eval(Fe x) const noexcept {
+    Fe acc{0};
+    for (std::size_t i = coefficients_.size(); i > 0; --i) {
+        acc = acc * x + coefficients_[i - 1];
+    }
+    return acc;
+}
+
+std::vector<Fe> lagrange_coefficients(const std::vector<Fe>& xs, Fe x) {
+    const std::size_t n = xs.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (xs[i] == xs[j]) {
+                throw std::invalid_argument("lagrange_coefficients: duplicate x");
+            }
+        }
+    }
+    std::vector<Fe> out(n, Fe{1});
+    for (std::size_t i = 0; i < n; ++i) {
+        Fe numerator{1};
+        Fe denominator{1};
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            numerator *= (x - xs[j]);
+            denominator *= (xs[i] - xs[j]);
+        }
+        out[i] = numerator * denominator.inverse();
+    }
+    return out;
+}
+
+Fe interpolate_at(const std::vector<EvalPoint>& points, Fe x) {
+    std::vector<Fe> xs;
+    xs.reserve(points.size());
+    for (const auto& p : points) xs.push_back(p.x);
+    const auto weights = lagrange_coefficients(xs, x);
+    Fe acc{0};
+    for (std::size_t i = 0; i < points.size(); ++i) acc += weights[i] * points[i].y;
+    return acc;
+}
+
+Polynomial interpolate(const std::vector<EvalPoint>& points) {
+    if (points.empty()) throw std::invalid_argument("interpolate: no points");
+    const std::size_t n = points.size();
+    // Build coefficients by accumulating y_i * L_i(x) with explicit
+    // polynomial multiplication; n is small everywhere this is used.
+    std::vector<Fe> result(n, Fe{0});
+    for (std::size_t i = 0; i < n; ++i) {
+        // numerator poly: product over j != i of (x - x_j)
+        std::vector<Fe> numerator{Fe{1}};
+        Fe denominator{1};
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            if (points[i].x == points[j].x) {
+                throw std::invalid_argument("interpolate: duplicate x");
+            }
+            std::vector<Fe> next(numerator.size() + 1, Fe{0});
+            for (std::size_t k = 0; k < numerator.size(); ++k) {
+                next[k + 1] += numerator[k];
+                next[k] += numerator[k] * (-points[j].x);
+            }
+            numerator = std::move(next);
+            denominator *= (points[i].x - points[j].x);
+        }
+        const Fe scale = points[i].y * denominator.inverse();
+        for (std::size_t k = 0; k < numerator.size(); ++k) {
+            result[k] += numerator[k] * scale;
+        }
+    }
+    return Polynomial{std::move(result)};
+}
+
+}  // namespace bnash::crypto

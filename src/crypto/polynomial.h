@@ -1,0 +1,56 @@
+// Polynomials over GF(p): evaluation, Lagrange interpolation, and random
+// polynomials with a fixed constant term (the Shamir dealer's tool).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/field.h"
+#include "util/rng.h"
+
+namespace bnash::crypto {
+
+class Polynomial final {
+public:
+    Polynomial() = default;
+    // coefficients[i] multiplies x^i. Trailing zeros are kept as given.
+    explicit Polynomial(std::vector<Fe> coefficients);
+
+    // Uniformly random polynomial of exactly the given degree bound with
+    // p(0) == constant_term (degree-t Shamir dealing).
+    static Polynomial random_with_constant(Fe constant_term, std::size_t degree,
+                                           util::Rng& rng);
+
+    [[nodiscard]] std::size_t degree_bound() const noexcept {
+        return coefficients_.empty() ? 0 : coefficients_.size() - 1;
+    }
+    [[nodiscard]] const std::vector<Fe>& coefficients() const noexcept {
+        return coefficients_;
+    }
+
+    [[nodiscard]] Fe eval(Fe x) const noexcept;  // Horner
+
+    friend bool operator==(const Polynomial&, const Polynomial&) = default;
+
+private:
+    std::vector<Fe> coefficients_;
+};
+
+struct EvalPoint final {
+    Fe x;
+    Fe y;
+};
+
+// Unique polynomial of degree < points.size() through the given points
+// (x-coordinates must be distinct; throws std::invalid_argument otherwise).
+[[nodiscard]] Polynomial interpolate(const std::vector<EvalPoint>& points);
+
+// Direct evaluation of the interpolating polynomial at `x` without
+// materializing coefficients (the common reconstruction path).
+[[nodiscard]] Fe interpolate_at(const std::vector<EvalPoint>& points, Fe x);
+
+// Lagrange coefficients l_i such that p(x) = sum_i l_i * y_i for any
+// degree < points.size() polynomial through the x-coordinates.
+[[nodiscard]] std::vector<Fe> lagrange_coefficients(const std::vector<Fe>& xs, Fe x);
+
+}  // namespace bnash::crypto

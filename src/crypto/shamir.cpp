@@ -1,0 +1,55 @@
+#include "crypto/shamir.h"
+
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::crypto {
+
+std::vector<Share> share_secret(Fe secret, std::size_t n, std::size_t t, util::Rng& rng) {
+    if (t >= n) throw std::invalid_argument("share_secret: need t < n");
+    const auto polynomial = Polynomial::random_with_constant(secret, t, rng);
+    std::vector<Share> out;
+    out.reserve(n);
+    for (std::size_t party = 0; party < n; ++party) {
+        out.push_back(Share{party, polynomial.eval(Fe{static_cast<std::uint64_t>(party + 1)})});
+    }
+    return out;
+}
+
+Fe reconstruct(const std::vector<Share>& shares, std::size_t t) {
+    if (shares.size() < t + 1) {
+        throw std::invalid_argument("reconstruct: not enough shares");
+    }
+    std::vector<EvalPoint> points;
+    points.reserve(t + 1);
+    for (std::size_t i = 0; i <= t; ++i) points.push_back({shares[i].x(), shares[i].value});
+    return interpolate_at(points, Fe{0});
+}
+
+std::optional<Fe> reconstruct_with_errors(const std::vector<Share>& shares, std::size_t t,
+                                          std::size_t agreement) {
+    if (shares.size() < t + 1 || agreement < t + 1 || agreement > shares.size()) {
+        return std::nullopt;
+    }
+    // Consensus interpolation: each (t+1)-subset proposes a polynomial;
+    // accept the first consistent with >= agreement shares. Uniqueness:
+    // two distinct degree-t polynomials agree on <= t points, so with
+    // agreement > (shares.size() + t) / 2 at most one candidate survives.
+    for (const auto& subset : util::subsets_of_size(shares.size(), t + 1)) {
+        std::vector<EvalPoint> points;
+        points.reserve(t + 1);
+        for (const std::size_t index : subset) {
+            points.push_back({shares[index].x(), shares[index].value});
+        }
+        const auto candidate = interpolate(points);
+        std::size_t consistent = 0;
+        for (const auto& share : shares) {
+            if (candidate.eval(share.x()) == share.value) ++consistent;
+        }
+        if (consistent >= agreement) return candidate.eval(Fe{0});
+    }
+    return std::nullopt;
+}
+
+}  // namespace bnash::crypto

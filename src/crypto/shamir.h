@@ -1,0 +1,46 @@
+// Shamir secret sharing over GF(p), with error-tolerant reconstruction.
+//
+// Dealing a secret s with threshold t among n parties: sample a uniformly
+// random degree-t polynomial p with p(0) = s and hand party i the share
+// p(i+1). Any t+1 shares reconstruct s; any t shares reveal nothing
+// (information-theoretically). Reconstruction tolerating corrupted shares
+// is provided for the Byzantine paths of the mediator protocol: for the
+// small n used there, a consensus-interpolation search (try (t+1)-subsets,
+// accept a candidate polynomial consistent with >= agreement_threshold
+// shares) recovers the secret whenever at most e shares are corrupted and
+// n - e > t + e, mirroring Reed-Solomon decodability.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "crypto/field.h"
+#include "crypto/polynomial.h"
+#include "util/rng.h"
+
+namespace bnash::crypto {
+
+struct Share final {
+    std::size_t party = 0;  // share index; evaluation point is party + 1
+    Fe value;
+    [[nodiscard]] Fe x() const noexcept { return Fe{static_cast<std::uint64_t>(party + 1)}; }
+    friend bool operator==(const Share&, const Share&) = default;
+};
+
+// Deals `secret` into n shares with threshold t (any t+1 reconstruct).
+// Requires t < n.
+[[nodiscard]] std::vector<Share> share_secret(Fe secret, std::size_t n, std::size_t t,
+                                              util::Rng& rng);
+
+// Exact reconstruction from >= t+1 honest shares (throws on fewer).
+[[nodiscard]] Fe reconstruct(const std::vector<Share>& shares, std::size_t t);
+
+// Error-tolerant reconstruction: returns the secret of the unique degree-t
+// polynomial consistent with at least `agreement` of the shares, or
+// nullopt when no such polynomial exists. With e corrupted shares,
+// agreement = shares.size() - e succeeds whenever shares.size() >= t+1+2e.
+[[nodiscard]] std::optional<Fe> reconstruct_with_errors(const std::vector<Share>& shares,
+                                                        std::size_t t, std::size_t agreement);
+
+}  // namespace bnash::crypto

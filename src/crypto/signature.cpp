@@ -1,0 +1,42 @@
+#include "crypto/signature.h"
+
+#include <stdexcept>
+
+namespace bnash::crypto {
+namespace {
+
+std::uint64_t tag_of(std::uint64_t secret, std::size_t identity, std::uint64_t message) {
+    std::uint64_t x = secret ^ (message * 0x9e3779b97f4a7c15ULL) ^
+                      (static_cast<std::uint64_t>(identity) << 32);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+}  // namespace
+
+SignedValue Signer::sign(std::uint64_t message) const {
+    return SignedValue{identity_, message, tag_of(secret_, identity_, message)};
+}
+
+KeyRegistry::KeyRegistry(std::size_t num_identities, util::Rng& rng)
+    : secrets_(num_identities), issued_(num_identities, false) {
+    for (auto& secret : secrets_) secret = rng.next_u64();
+}
+
+Signer KeyRegistry::issue_signer(std::size_t identity) {
+    if (identity >= secrets_.size()) throw std::out_of_range("issue_signer: bad identity");
+    if (issued_[identity]) throw std::logic_error("issue_signer: key already issued");
+    issued_[identity] = true;
+    return Signer{identity, secrets_[identity]};
+}
+
+bool KeyRegistry::verify(const SignedValue& sv) const {
+    if (sv.signer >= secrets_.size()) return false;
+    return sv.tag == tag_of(secrets_[sv.signer], sv.signer, sv.message);
+}
+
+}  // namespace bnash::crypto

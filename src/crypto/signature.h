@@ -1,0 +1,60 @@
+// Simulated PKI with unforgeable-by-construction signatures.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper's authenticated results
+// ("assuming cryptography, polynomially-bounded players, and a PKI")
+// consume signatures as an ideal functionality. The registry holds one
+// secret per identity; only the holder of a Signer handle can produce
+// tags under that identity, so forgery is impossible for any simulated
+// adversary that is not given the handle -- exactly the ideal model the
+// Dolev-Strong protocol assumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bnash::crypto {
+
+struct SignedValue final {
+    std::size_t signer = 0;
+    std::uint64_t message = 0;
+    std::uint64_t tag = 0;
+    friend bool operator==(const SignedValue&, const SignedValue&) = default;
+};
+
+class KeyRegistry;
+
+// A signing capability for one identity. Obtainable only from the registry.
+class Signer final {
+public:
+    [[nodiscard]] std::size_t identity() const noexcept { return identity_; }
+    [[nodiscard]] SignedValue sign(std::uint64_t message) const;
+
+private:
+    friend class KeyRegistry;
+    Signer(std::size_t identity, std::uint64_t secret) noexcept
+        : identity_(identity), secret_(secret) {}
+    std::size_t identity_;
+    std::uint64_t secret_;
+};
+
+class KeyRegistry final {
+public:
+    // Generates `num_identities` key pairs deterministically from the rng.
+    KeyRegistry(std::size_t num_identities, util::Rng& rng);
+
+    [[nodiscard]] std::size_t size() const noexcept { return secrets_.size(); }
+    // Hand out the signing capability for `identity` (callable once per
+    // identity; second call throws, modelling exclusive key ownership).
+    [[nodiscard]] Signer issue_signer(std::size_t identity);
+    // Public verification: anyone may call.
+    [[nodiscard]] bool verify(const SignedValue& sv) const;
+
+private:
+    std::vector<std::uint64_t> secrets_;
+    std::vector<bool> issued_;
+};
+
+}  // namespace bnash::crypto

@@ -1,0 +1,229 @@
+#include "game/catalog.h"
+
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::game::catalog {
+
+using util::Rational;
+
+NormalFormGame prisoners_dilemma() {
+    NormalFormGame g({2, 2});
+    g.set_payoffs({0, 0}, {3, 3});
+    g.set_payoffs({0, 1}, {-5, 5});
+    g.set_payoffs({1, 0}, {5, -5});
+    g.set_payoffs({1, 1}, {-3, -3});
+    g.set_action_labels(0, {"C", "D"});
+    g.set_action_labels(1, {"C", "D"});
+    return g;
+}
+
+NormalFormGame attack_coordination_game(std::size_t num_players) {
+    if (num_players < 2) throw std::invalid_argument("attack_coordination_game: n >= 2");
+    NormalFormGame g(std::vector<std::size_t>(num_players, 2));
+    util::product_for_each(g.action_counts(), [&](const PureProfile& profile) {
+        std::size_t ones = 0;
+        for (const std::size_t a : profile) ones += a;
+        for (std::size_t player = 0; player < num_players; ++player) {
+            Rational value{0};
+            if (ones == 0) {
+                value = 1;
+            } else if (ones == 2 && profile[player] == 1) {
+                value = 2;
+            }
+            g.set_payoff(profile, player, value);
+        }
+        return true;
+    });
+    for (std::size_t player = 0; player < num_players; ++player) {
+        g.set_action_labels(player, {"0", "1"});
+    }
+    return g;
+}
+
+NormalFormGame bargaining_game(std::size_t num_players) {
+    if (num_players < 2) throw std::invalid_argument("bargaining_game: n >= 2");
+    NormalFormGame g(std::vector<std::size_t>(num_players, 2));
+    util::product_for_each(g.action_counts(), [&](const PureProfile& profile) {
+        std::size_t leavers = 0;
+        for (const std::size_t a : profile) leavers += a;
+        for (std::size_t player = 0; player < num_players; ++player) {
+            Rational value{0};
+            if (leavers == 0) {
+                value = 2;
+            } else if (profile[player] == 1) {
+                value = 1;
+            }
+            g.set_payoff(profile, player, value);
+        }
+        return true;
+    });
+    for (std::size_t player = 0; player < num_players; ++player) {
+        g.set_action_labels(player, {"stay", "leave"});
+    }
+    return g;
+}
+
+NormalFormGame roshambo() {
+    NormalFormGame g({3, 3});
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            Rational row{0};
+            if (i == (j + 1) % 3) row = 1;       // i beats j
+            else if (j == (i + 1) % 3) row = -1;  // j beats i
+            g.set_payoffs({i, j}, {row, -row});
+        }
+    }
+    g.set_action_labels(0, {"rock", "paper", "scissors"});
+    g.set_action_labels(1, {"rock", "paper", "scissors"});
+    return g;
+}
+
+NormalFormGame matching_pennies() {
+    NormalFormGame g({2, 2});
+    g.set_payoffs({0, 0}, {1, -1});
+    g.set_payoffs({0, 1}, {-1, 1});
+    g.set_payoffs({1, 0}, {-1, 1});
+    g.set_payoffs({1, 1}, {1, -1});
+    return g;
+}
+
+NormalFormGame battle_of_the_sexes() {
+    NormalFormGame g({2, 2});
+    g.set_payoffs({0, 0}, {2, 1});
+    g.set_payoffs({0, 1}, {0, 0});
+    g.set_payoffs({1, 0}, {0, 0});
+    g.set_payoffs({1, 1}, {1, 2});
+    return g;
+}
+
+NormalFormGame stag_hunt() {
+    NormalFormGame g({2, 2});
+    g.set_payoffs({0, 0}, {4, 4});
+    g.set_payoffs({0, 1}, {0, 3});
+    g.set_payoffs({1, 0}, {3, 0});
+    g.set_payoffs({1, 1}, {3, 3});
+    g.set_action_labels(0, {"stag", "hare"});
+    g.set_action_labels(1, {"stag", "hare"});
+    return g;
+}
+
+NormalFormGame chicken() {
+    NormalFormGame g({2, 2});
+    g.set_payoffs({0, 0}, {0, 0});
+    g.set_payoffs({0, 1}, {-1, 1});
+    g.set_payoffs({1, 0}, {1, -1});
+    g.set_payoffs({1, 1}, {-10, -10});
+    g.set_action_labels(0, {"swerve", "straight"});
+    g.set_action_labels(1, {"swerve", "straight"});
+    return g;
+}
+
+NormalFormGame coordination(std::int64_t low, std::int64_t high) {
+    NormalFormGame g({2, 2});
+    g.set_payoffs({0, 0}, {Rational{high}, Rational{high}});
+    g.set_payoffs({0, 1}, {0, 0});
+    g.set_payoffs({1, 0}, {0, 0});
+    g.set_payoffs({1, 1}, {Rational{low}, Rational{low}});
+    return g;
+}
+
+BayesianGame byzantine_agreement_game(std::size_t num_players) {
+    if (num_players < 2) throw std::invalid_argument("byzantine_agreement_game: n >= 2");
+    std::vector<std::size_t> types(num_players, 1);
+    types[0] = 2;  // the general's preference: 0 = retreat, 1 = attack
+    BayesianGame g(types, std::vector<std::size_t>(num_players, 2));
+
+    TypeProfile type_profile(num_players, 0);
+    type_profile[0] = 0;
+    g.set_prior(type_profile, Rational{1, 2});
+    type_profile[0] = 1;
+    g.set_prior(type_profile, Rational{1, 2});
+
+    for (std::size_t general_pref = 0; general_pref < 2; ++general_pref) {
+        type_profile[0] = general_pref;
+        util::product_for_each(g.action_counts(), [&](const PureProfile& actions) {
+            bool all_agree = true;
+            for (const std::size_t a : actions) all_agree &= (a == actions[0]);
+            Rational value{0};
+            if (all_agree) {
+                value = (actions[0] == general_pref) ? Rational{kAgreementReward}
+                                                     : Rational{kPartialReward};
+            }
+            for (std::size_t player = 0; player < num_players; ++player) {
+                g.set_payoff(type_profile, actions, player, value);
+            }
+            return true;
+        });
+    }
+    return g;
+}
+
+BayesianGame correlated_types_game() {
+    BayesianGame g({2, 2}, {2, 2});
+    for (std::size_t t0 = 0; t0 < 2; ++t0) {
+        for (std::size_t t1 = 0; t1 < 2; ++t1) {
+            g.set_prior({t0, t1}, Rational{1, 4});
+            for (std::size_t a0 = 0; a0 < 2; ++a0) {
+                for (std::size_t a1 = 0; a1 < 2; ++a1) {
+                    // Player 0 wants to match player 1's type and vice versa.
+                    g.set_payoff({t0, t1}, {a0, a1}, 0, Rational{a0 == t1 ? 2 : 0});
+                    g.set_payoff({t0, t1}, {a0, a1}, 1, Rational{a1 == t0 ? 2 : 0});
+                }
+            }
+        }
+    }
+    return g;
+}
+
+ExtensiveGame figure1_game() {
+    ExtensiveGame g(2);
+    const auto a_node = g.add_decision(0, "A", {"down_A", "across_A"});
+    const auto down_a = g.add_terminal({1, 1});
+    const auto b_node = g.add_decision(1, "B", {"down_B", "across_B"});
+    const auto down_b = g.add_terminal({2, 2});
+    const auto across_b = g.add_terminal({0, 0});
+    g.set_child(a_node, 0, down_a);
+    g.set_child(a_node, 1, b_node);
+    g.set_child(b_node, 0, down_b);
+    g.set_child(b_node, 1, across_b);
+    g.finalize();
+    return g;
+}
+
+ExtensiveGame figure1_game_without_downB() {
+    ExtensiveGame g(2);
+    const auto a_node = g.add_decision(0, "A", {"down_A", "across_A"});
+    const auto down_a = g.add_terminal({1, 1});
+    const auto b_node = g.add_decision(1, "B", {"across_B"});
+    const auto across_b = g.add_terminal({0, 0});
+    g.set_child(a_node, 0, down_a);
+    g.set_child(a_node, 1, b_node);
+    g.set_child(b_node, 0, across_b);
+    g.finalize();
+    return g;
+}
+
+NormalFormGame gnutella_sharing_game(std::size_t num_players, std::int64_t b, std::int64_t c,
+                                     std::int64_t g_bonus) {
+    if (num_players < 2) throw std::invalid_argument("gnutella_sharing_game: n >= 2");
+    NormalFormGame g(std::vector<std::size_t>(num_players, 2));
+    util::product_for_each(g.action_counts(), [&](const PureProfile& profile) {
+        std::size_t sharers = 0;
+        for (const std::size_t a : profile) sharers += a;
+        for (std::size_t player = 0; player < num_players; ++player) {
+            const std::size_t others_sharing = sharers - profile[player];
+            Rational value = Rational{b} * Rational{static_cast<std::int64_t>(others_sharing)};
+            if (profile[player] == 1) value += Rational{g_bonus} - Rational{c};
+            g.set_payoff(profile, player, value);
+        }
+        return true;
+    });
+    for (std::size_t player = 0; player < num_players; ++player) {
+        g.set_action_labels(player, {"free_ride", "share"});
+    }
+    return g;
+}
+
+}  // namespace bnash::game::catalog

@@ -1,0 +1,79 @@
+// The games the paper uses, built exactly as described.
+//
+// Every worked example in the survey is anchored to one of these
+// constructors; tests pin the properties the paper asserts about them and
+// the benches sweep their parameters.
+#pragma once
+
+#include <cstddef>
+
+#include "game/bayesian.h"
+#include "game/extensive.h"
+#include "game/normal_form.h"
+
+namespace bnash::game::catalog {
+
+// Example 3.2's payoff table: C/C (3,3), C/D (-5,5), D/C (5,-5), D/D (-3,-3).
+// Note: the paper's *prose* says mutual defection yields 1 while its table
+// shows -3; we follow the table (the prose value would not change any
+// qualitative claim). Action 0 = Cooperate, 1 = Defect.
+[[nodiscard]] NormalFormGame prisoners_dilemma();
+
+// Section 2's first example: n players pick 0 or 1. All-0 pays everyone 1;
+// exactly two 1s pay those two 2 and the rest 0; anything else pays all 0.
+// All-0 is a Nash equilibrium that a pair can profitably break.
+[[nodiscard]] NormalFormGame attack_coordination_game(std::size_t num_players);
+
+// Section 2's bargaining example: action 0 = stay, 1 = leave. All-stay pays
+// everyone 2; otherwise leavers get 1 and stayers get 0. All-stay is
+// k-resilient for every k but not 1-immune.
+[[nodiscard]] NormalFormGame bargaining_game(std::size_t num_players);
+
+// Example 3.3: rock-paper-scissors with actions 0,1,2; player 1 wins 1 when
+// i = j (+) 1 mod 3. Zero-sum.
+[[nodiscard]] NormalFormGame roshambo();
+
+// Classic 2x2 games used by solver tests and benches.
+[[nodiscard]] NormalFormGame matching_pennies();
+[[nodiscard]] NormalFormGame battle_of_the_sexes();
+[[nodiscard]] NormalFormGame stag_hunt();
+[[nodiscard]] NormalFormGame chicken();
+// Coordination game with two pure equilibria of different value.
+[[nodiscard]] NormalFormGame coordination(std::int64_t low = 1, std::int64_t high = 2);
+
+// Byzantine agreement as a Bayesian game (Section 2). The general (player
+// 0) has type 0 or 1 (its initial preference, uniform prior); other players
+// have a single dummy type. Actions are 0 (retreat) / 1 (attack). Utility:
+// every player gets kAgreementReward if all chosen actions agree AND the
+// action equals the general's type; kPartialReward if all agree but differ
+// from the general's preference; 0 otherwise. Under the mediator ("general
+// broadcasts, everyone follows") truth-telling is an equilibrium.
+inline constexpr std::int64_t kAgreementReward = 2;
+inline constexpr std::int64_t kPartialReward = 1;
+[[nodiscard]] BayesianGame byzantine_agreement_game(std::size_t num_players);
+
+// A minimal 2-player Bayesian game for mediator tests: each player has 2
+// types (uniform iid) and 2 actions; payoffs reward matching the *other*
+// player's type, so a mediator that sees both types strictly helps.
+[[nodiscard]] BayesianGame correlated_types_game();
+
+// Section 4, Figure 1 (payoffs reconstructed; see DESIGN.md):
+//   A: down_A -> (1,1);  across_A -> B: down_B -> (2,2), across_B -> (0,0).
+// (across_A, down_B) is the Nash equilibrium the paper mentions; an A
+// unaware of down_B prefers down_A.
+[[nodiscard]] ExtensiveGame figure1_game();
+
+// The same tree with B's down_B move removed: the game an unaware A (or an
+// unaware B) believes is being played (the paper's Gamma_B of Figure 3).
+[[nodiscard]] ExtensiveGame figure1_game_without_downB();
+
+// Gnutella-style file sharing (Section 2's motivation): each of n peers
+// decides to share (cost c) or free-ride. Every peer receives benefit b
+// per sharer other than itself; sharers additionally receive a "kick"
+// bonus g (the paper's conjectured non-standard utility). With g = 0,
+// free-riding strictly dominates; with g > c the sharing hosts' behavior
+// is rational.
+[[nodiscard]] NormalFormGame gnutella_sharing_game(std::size_t num_players, std::int64_t b = 1,
+                                                   std::int64_t c = 3, std::int64_t g = 0);
+
+}  // namespace bnash::game::catalog

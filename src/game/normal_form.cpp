@@ -1,0 +1,267 @@
+#include "game/normal_form.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::game {
+
+NormalFormGame::NormalFormGame(std::vector<std::size_t> action_counts)
+    : action_counts_(std::move(action_counts)) {
+    if (action_counts_.empty()) throw std::invalid_argument("NormalFormGame: no players");
+    for (const std::size_t count : action_counts_) {
+        if (count == 0) throw std::invalid_argument("NormalFormGame: player with no actions");
+    }
+    num_profiles_ = util::product_size(action_counts_);
+    payoffs_.assign(num_profiles_ * num_players(), util::Rational{0});
+    payoffs_d_.assign(num_profiles_ * num_players(), 0.0);
+    action_labels_.resize(num_players());
+}
+
+NormalFormGame NormalFormGame::from_bimatrix(const util::MatrixQ& row_payoffs,
+                                             const util::MatrixQ& col_payoffs) {
+    if (row_payoffs.rows() != col_payoffs.rows() || row_payoffs.cols() != col_payoffs.cols()) {
+        throw std::invalid_argument("from_bimatrix: shape mismatch");
+    }
+    NormalFormGame game({row_payoffs.rows(), row_payoffs.cols()});
+    for (std::size_t r = 0; r < row_payoffs.rows(); ++r) {
+        for (std::size_t c = 0; c < row_payoffs.cols(); ++c) {
+            game.set_payoffs({r, c}, {row_payoffs(r, c), col_payoffs(r, c)});
+        }
+    }
+    return game;
+}
+
+NormalFormGame NormalFormGame::zero_sum(const util::MatrixQ& row_payoffs) {
+    util::MatrixQ negated(row_payoffs.rows(), row_payoffs.cols());
+    for (std::size_t r = 0; r < row_payoffs.rows(); ++r) {
+        for (std::size_t c = 0; c < row_payoffs.cols(); ++c) {
+            negated(r, c) = -row_payoffs(r, c);
+        }
+    }
+    return from_bimatrix(row_payoffs, negated);
+}
+
+NormalFormGame NormalFormGame::random(std::vector<std::size_t> action_counts, util::Rng& rng,
+                                      std::int64_t lo, std::int64_t hi) {
+    NormalFormGame game(std::move(action_counts));
+    for (std::uint64_t rank = 0; rank < game.num_profiles_; ++rank) {
+        for (std::size_t player = 0; player < game.num_players(); ++player) {
+            const auto index = rank * game.num_players() + player;
+            game.payoffs_[index] = util::Rational{rng.next_int(lo, hi)};
+            game.payoffs_d_[index] = game.payoffs_[index].to_double();
+        }
+    }
+    return game;
+}
+
+void NormalFormGame::set_payoff(const PureProfile& profile, std::size_t player,
+                                util::Rational value) {
+    if (player >= num_players()) throw std::out_of_range("set_payoff: bad player");
+    const auto index = profile_rank(profile) * num_players() + player;
+    payoffs_d_[index] = value.to_double();
+    payoffs_[index] = std::move(value);
+}
+
+void NormalFormGame::set_payoffs(const PureProfile& profile,
+                                 const std::vector<util::Rational>& values) {
+    if (values.size() != num_players()) throw std::invalid_argument("set_payoffs: width");
+    for (std::size_t player = 0; player < values.size(); ++player) {
+        set_payoff(profile, player, values[player]);
+    }
+}
+
+const util::Rational& NormalFormGame::payoff(const PureProfile& profile,
+                                             std::size_t player) const {
+    return payoffs_[profile_rank(profile) * num_players() + player];
+}
+
+double NormalFormGame::payoff_d(const PureProfile& profile, std::size_t player) const {
+    return payoffs_d_[profile_rank(profile) * num_players() + player];
+}
+
+double NormalFormGame::expected_payoff(const MixedProfile& profile, std::size_t player) const {
+    if (profile.size() != num_players()) throw std::invalid_argument("expected_payoff: width");
+    double total = 0.0;
+    util::product_for_each(action_counts_, [&](const std::vector<std::size_t>& tuple) {
+        double weight = 1.0;
+        for (std::size_t i = 0; i < tuple.size() && weight > 0.0; ++i) {
+            weight *= profile[i][tuple[i]];
+        }
+        if (weight > 0.0) {
+            total += weight * payoffs_d_[util::product_rank(action_counts_, tuple) *
+                                             num_players() +
+                                         player];
+        }
+        return true;
+    });
+    return total;
+}
+
+std::vector<double> NormalFormGame::expected_payoffs(const MixedProfile& profile) const {
+    std::vector<double> out(num_players(), 0.0);
+    for (std::size_t player = 0; player < num_players(); ++player) {
+        out[player] = expected_payoff(profile, player);
+    }
+    return out;
+}
+
+double NormalFormGame::deviation_payoff(const MixedProfile& profile, std::size_t player,
+                                        std::size_t action) const {
+    MixedProfile deviated = profile;
+    deviated[player] = pure_as_mixed(action, num_actions(player));
+    return expected_payoff(deviated, player);
+}
+
+util::Rational NormalFormGame::expected_payoff_exact(const ExactMixedProfile& profile,
+                                                     std::size_t player) const {
+    if (profile.size() != num_players()) {
+        throw std::invalid_argument("expected_payoff_exact: width");
+    }
+    util::Rational total{0};
+    util::product_for_each(action_counts_, [&](const std::vector<std::size_t>& tuple) {
+        util::Rational weight{1};
+        for (std::size_t i = 0; i < tuple.size(); ++i) {
+            weight *= profile[i][tuple[i]];
+            if (weight.is_zero()) break;
+        }
+        if (!weight.is_zero()) {
+            total += weight * payoffs_[util::product_rank(action_counts_, tuple) *
+                                           num_players() +
+                                       player];
+        }
+        return true;
+    });
+    return total;
+}
+
+util::Rational NormalFormGame::deviation_payoff_exact(const ExactMixedProfile& profile,
+                                                      std::size_t player,
+                                                      std::size_t action) const {
+    ExactMixedProfile deviated = profile;
+    ExactMixedStrategy point(num_actions(player), util::Rational{0});
+    point.at(action) = util::Rational{1};
+    deviated[player] = std::move(point);
+    return expected_payoff_exact(deviated, player);
+}
+
+std::vector<std::size_t> NormalFormGame::best_responses(const MixedProfile& profile,
+                                                        std::size_t player, double tol) const {
+    std::vector<double> values(num_actions(player));
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t action = 0; action < num_actions(player); ++action) {
+        values[action] = deviation_payoff(profile, player, action);
+        best = std::max(best, values[action]);
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t action = 0; action < num_actions(player); ++action) {
+        if (values[action] >= best - tol) out.push_back(action);
+    }
+    return out;
+}
+
+double NormalFormGame::regret(const MixedProfile& profile) const {
+    double worst = 0.0;
+    for (std::size_t player = 0; player < num_players(); ++player) {
+        const double current = expected_payoff(profile, player);
+        for (std::size_t action = 0; action < num_actions(player); ++action) {
+            worst = std::max(worst, deviation_payoff(profile, player, action) - current);
+        }
+    }
+    return worst;
+}
+
+util::MatrixQ NormalFormGame::payoff_matrix(std::size_t player) const {
+    if (num_players() != 2) throw std::logic_error("payoff_matrix: 2-player games only");
+    util::MatrixQ out(action_counts_[0], action_counts_[1]);
+    for (std::size_t r = 0; r < action_counts_[0]; ++r) {
+        for (std::size_t c = 0; c < action_counts_[1]; ++c) {
+            out(r, c) = payoff({r, c}, player);
+        }
+    }
+    return out;
+}
+
+NormalFormGame NormalFormGame::restrict(
+    const std::vector<std::vector<std::size_t>>& kept_actions) const {
+    if (kept_actions.size() != num_players()) throw std::invalid_argument("restrict: width");
+    std::vector<std::size_t> new_counts;
+    new_counts.reserve(num_players());
+    for (std::size_t player = 0; player < num_players(); ++player) {
+        if (kept_actions[player].empty()) {
+            throw std::invalid_argument("restrict: player left with no actions");
+        }
+        for (const std::size_t action : kept_actions[player]) {
+            if (action >= num_actions(player)) throw std::out_of_range("restrict: bad action");
+        }
+        new_counts.push_back(kept_actions[player].size());
+    }
+    NormalFormGame out(new_counts);
+    util::product_for_each(new_counts, [&](const std::vector<std::size_t>& tuple) {
+        PureProfile original(num_players());
+        for (std::size_t player = 0; player < num_players(); ++player) {
+            original[player] = kept_actions[player][tuple[player]];
+        }
+        for (std::size_t player = 0; player < num_players(); ++player) {
+            out.set_payoff(tuple, player, payoff(original, player));
+        }
+        return true;
+    });
+    for (std::size_t player = 0; player < num_players(); ++player) {
+        if (action_labels_[player].empty()) continue;
+        std::vector<std::string> labels;
+        labels.reserve(kept_actions[player].size());
+        for (const std::size_t action : kept_actions[player]) {
+            labels.push_back(action_labels_[player][action]);
+        }
+        out.set_action_labels(player, std::move(labels));
+    }
+    return out;
+}
+
+std::uint64_t NormalFormGame::profile_rank(const PureProfile& profile) const {
+    return util::product_rank(action_counts_, profile);
+}
+
+PureProfile NormalFormGame::profile_unrank(std::uint64_t rank) const {
+    return util::product_unrank(action_counts_, rank);
+}
+
+void NormalFormGame::set_action_labels(std::size_t player, std::vector<std::string> labels) {
+    if (labels.size() != num_actions(player)) {
+        throw std::invalid_argument("set_action_labels: wrong count");
+    }
+    action_labels_.at(player) = std::move(labels);
+}
+
+std::string NormalFormGame::action_label(std::size_t player, std::size_t action) const {
+    if (action >= num_actions(player)) throw std::out_of_range("action_label");
+    if (action_labels_[player].empty()) {
+        return "a" + std::to_string(action);
+    }
+    return action_labels_[player][action];
+}
+
+std::string NormalFormGame::to_string() const {
+    std::ostringstream os;
+    if (num_players() != 2) {
+        os << num_players() << "-player game; actions:";
+        for (const std::size_t count : action_counts_) os << " " << count;
+        os << "\n";
+        return os.str();
+    }
+    for (std::size_t r = 0; r < action_counts_[0]; ++r) {
+        os << action_label(0, r) << ": ";
+        for (std::size_t c = 0; c < action_counts_[1]; ++c) {
+            os << "(" << payoff({r, c}, 0).to_string() << ","
+               << payoff({r, c}, 1).to_string() << ") ";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace bnash::game

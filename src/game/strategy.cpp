@@ -1,0 +1,114 @@
+#include "game/strategy.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace bnash::game {
+
+MixedStrategy pure_as_mixed(std::size_t action, std::size_t num_actions) {
+    if (action >= num_actions) throw std::out_of_range("pure_as_mixed: action out of range");
+    MixedStrategy out(num_actions, 0.0);
+    out[action] = 1.0;
+    return out;
+}
+
+MixedStrategy uniform_strategy(std::size_t num_actions) {
+    if (num_actions == 0) throw std::invalid_argument("uniform_strategy: no actions");
+    return MixedStrategy(num_actions, 1.0 / static_cast<double>(num_actions));
+}
+
+MixedProfile pure_profile_as_mixed(const PureProfile& profile,
+                                   const std::vector<std::size_t>& action_counts) {
+    if (profile.size() != action_counts.size()) {
+        throw std::invalid_argument("pure_profile_as_mixed: size mismatch");
+    }
+    MixedProfile out;
+    out.reserve(profile.size());
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        out.push_back(pure_as_mixed(profile[i], action_counts[i]));
+    }
+    return out;
+}
+
+bool is_distribution(const MixedStrategy& strategy, double tol) {
+    if (strategy.empty()) return false;
+    double total = 0.0;
+    for (const double p : strategy) {
+        if (p < -tol) return false;
+        total += p;
+    }
+    return std::fabs(total - 1.0) <= tol;
+}
+
+std::vector<std::size_t> support(const MixedStrategy& strategy, double tol) {
+    std::vector<std::size_t> out;
+    for (std::size_t a = 0; a < strategy.size(); ++a) {
+        if (strategy[a] > tol) out.push_back(a);
+    }
+    return out;
+}
+
+bool is_exact_distribution(const ExactMixedStrategy& strategy) {
+    if (strategy.empty()) return false;
+    util::Rational total{0};
+    for (const auto& p : strategy) {
+        if (p.sign() < 0) return false;
+        total += p;
+    }
+    return total == util::Rational{1};
+}
+
+MixedStrategy to_double(const ExactMixedStrategy& strategy) {
+    MixedStrategy out;
+    out.reserve(strategy.size());
+    for (const auto& p : strategy) out.push_back(p.to_double());
+    return out;
+}
+
+MixedProfile to_double(const ExactMixedProfile& profile) {
+    MixedProfile out;
+    out.reserve(profile.size());
+    for (const auto& strategy : profile) out.push_back(to_double(strategy));
+    return out;
+}
+
+std::size_t sample(const MixedStrategy& strategy, util::Rng& rng) {
+    return rng.next_weighted(strategy);
+}
+
+PureProfile sample(const MixedProfile& profile, util::Rng& rng) {
+    PureProfile out;
+    out.reserve(profile.size());
+    for (const auto& strategy : profile) out.push_back(sample(strategy, rng));
+    return out;
+}
+
+double profile_distance(const MixedProfile& a, const MixedProfile& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("profile_distance: player mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].size() != b[i].size()) {
+            throw std::invalid_argument("profile_distance: action mismatch");
+        }
+        for (std::size_t j = 0; j < a[i].size(); ++j) {
+            worst = std::max(worst, std::fabs(a[i][j] - b[i][j]));
+        }
+    }
+    return worst;
+}
+
+std::string to_string(const MixedStrategy& strategy, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << "(";
+    for (std::size_t a = 0; a < strategy.size(); ++a) {
+        if (a > 0) os << ", ";
+        os << strategy[a];
+    }
+    os << ")";
+    return os.str();
+}
+
+}  // namespace bnash::game

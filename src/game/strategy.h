@@ -1,0 +1,61 @@
+// Strategy value types shared across all game representations.
+//
+// - PureProfile: one action index per player.
+// - MixedStrategy: probability distribution over one player's actions.
+// - MixedProfile: one MixedStrategy per player.
+//
+// Mixed strategies are stored as doubles for the iterative dynamics and as
+// Rational for the exact solvers; conversion helpers bridge the two.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rational.h"
+#include "util/rng.h"
+
+namespace bnash::game {
+
+using PureProfile = std::vector<std::size_t>;
+using MixedStrategy = std::vector<double>;
+using MixedProfile = std::vector<MixedStrategy>;
+using ExactMixedStrategy = std::vector<util::Rational>;
+using ExactMixedProfile = std::vector<ExactMixedStrategy>;
+
+// Point mass on `action` among `num_actions` alternatives.
+[[nodiscard]] MixedStrategy pure_as_mixed(std::size_t action, std::size_t num_actions);
+
+// Uniform distribution over `num_actions` alternatives.
+[[nodiscard]] MixedStrategy uniform_strategy(std::size_t num_actions);
+
+// Whole-profile lift of pure_as_mixed.
+[[nodiscard]] MixedProfile pure_profile_as_mixed(const PureProfile& profile,
+                                                 const std::vector<std::size_t>& action_counts);
+
+// True iff entries are non-negative and sum to 1 within `tol`.
+[[nodiscard]] bool is_distribution(const MixedStrategy& strategy, double tol = 1e-9);
+
+// Indices with probability > tol.
+[[nodiscard]] std::vector<std::size_t> support(const MixedStrategy& strategy,
+                                               double tol = 1e-9);
+
+// Exact counterpart of is_distribution (no tolerance).
+[[nodiscard]] bool is_exact_distribution(const ExactMixedStrategy& strategy);
+
+[[nodiscard]] MixedStrategy to_double(const ExactMixedStrategy& strategy);
+[[nodiscard]] MixedProfile to_double(const ExactMixedProfile& profile);
+
+// Samples an action from a mixed strategy.
+[[nodiscard]] std::size_t sample(const MixedStrategy& strategy, util::Rng& rng);
+
+// Samples a full pure profile from a mixed profile.
+[[nodiscard]] PureProfile sample(const MixedProfile& profile, util::Rng& rng);
+
+// Max-norm distance between two mixed profiles (diagnostics/tests).
+[[nodiscard]] double profile_distance(const MixedProfile& a, const MixedProfile& b);
+
+// "(0.50, 0.50)" — diagnostics and bench output.
+[[nodiscard]] std::string to_string(const MixedStrategy& strategy, int precision = 3);
+
+}  // namespace bnash::game

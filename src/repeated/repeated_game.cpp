@@ -1,0 +1,130 @@
+#include "repeated/repeated_game.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::repeated {
+
+RepeatedGame::RepeatedGame(game::NormalFormGame stage, std::size_t rounds, double delta)
+    : stage_(std::move(stage)), rounds_(rounds), delta_(delta) {
+    if (stage_.num_players() != 2 || stage_.num_actions(0) != 2 || stage_.num_actions(1) != 2) {
+        throw std::invalid_argument("RepeatedGame: stage must be 2x2");
+    }
+    if (rounds_ == 0) throw std::invalid_argument("RepeatedGame: zero rounds");
+    if (delta_ <= 0.0 || delta_ > 1.0) throw std::invalid_argument("RepeatedGame: delta");
+}
+
+MatchResult RepeatedGame::play(Strategy& s0, Strategy& s1, util::Rng& rng,
+                               double noise) const {
+    s0.reset();
+    s1.reset();
+    MatchResult result;
+    result.actions0.reserve(rounds_);
+    result.actions1.reserve(rounds_);
+    std::size_t last0 = 0;
+    std::size_t last1 = 0;
+    double weight = delta_;  // round m (1-based) weighs delta^m
+    for (std::size_t round = 0; round < rounds_; ++round) {
+        std::size_t a0 = s0.act(round, last1, rng);
+        std::size_t a1 = s1.act(round, last0, rng);
+        if (noise > 0.0) {
+            if (rng.next_bool(noise)) a0 = 1 - a0;
+            if (rng.next_bool(noise)) a1 = 1 - a1;
+        }
+        result.payoff0 += weight * stage_.payoff_d({a0, a1}, 0);
+        result.payoff1 += weight * stage_.payoff_d({a0, a1}, 1);
+        weight *= delta_;
+        result.actions0.push_back(a0);
+        result.actions1.push_back(a1);
+        last0 = a0;
+        last1 = a1;
+    }
+    return result;
+}
+
+MatchResult RepeatedGame::play_average(const Strategy& s0, const Strategy& s1, util::Rng& rng,
+                                       std::size_t trials, double noise) const {
+    if (trials == 0) throw std::invalid_argument("play_average: zero trials");
+    MatchResult total;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+        const auto fresh0 = s0.clone();
+        const auto fresh1 = s1.clone();
+        const auto result = play(*fresh0, *fresh1, rng, noise);
+        total.payoff0 += result.payoff0;
+        total.payoff1 += result.payoff1;
+        if (trial == 0) {
+            total.actions0 = result.actions0;
+            total.actions1 = result.actions1;
+        }
+    }
+    total.payoff0 /= static_cast<double>(trials);
+    total.payoff1 /= static_cast<double>(trials);
+    return total;
+}
+
+game::NormalFormGame RepeatedGame::meta_game(
+    const std::vector<std::unique_ptr<Strategy>>& strategies) const {
+    if (strategies.empty()) throw std::invalid_argument("meta_game: empty strategy set");
+    for (const auto& s : strategies) {
+        if (s->complexity().randomized) {
+            throw std::invalid_argument("meta_game: deterministic strategies only");
+        }
+    }
+    const std::size_t count = strategies.size();
+    game::NormalFormGame meta({count, count});
+    util::Rng rng{0};  // unused by deterministic strategies
+    for (std::size_t i = 0; i < count; ++i) {
+        for (std::size_t j = 0; j < count; ++j) {
+            const auto s0 = strategies[i]->clone();
+            const auto s1 = strategies[j]->clone();
+            const auto result = play(*s0, *s1, rng);
+            meta.set_payoff({i, j}, 0, util::Rational::from_double(result.payoff0));
+            meta.set_payoff({i, j}, 1, util::Rational::from_double(result.payoff1));
+        }
+    }
+    std::vector<std::string> labels;
+    labels.reserve(count);
+    for (const auto& s : strategies) labels.push_back(s->name());
+    meta.set_action_labels(0, labels);
+    meta.set_action_labels(1, std::move(labels));
+    return meta;
+}
+
+std::vector<TournamentEntry> round_robin(const game::NormalFormGame& stage,
+                                         const std::vector<std::unique_ptr<Strategy>>& lineup,
+                                         const TournamentOptions& options) {
+    if (lineup.empty()) throw std::invalid_argument("round_robin: empty lineup");
+    RepeatedGame game(stage, options.rounds, options.delta);
+    util::Rng rng{options.seed};
+    std::vector<TournamentEntry> entries(lineup.size());
+    std::vector<std::size_t> matches(lineup.size(), 0);
+    for (std::size_t i = 0; i < lineup.size(); ++i) entries[i].name = lineup[i]->name();
+    for (std::size_t i = 0; i < lineup.size(); ++i) {
+        for (std::size_t j = i; j < lineup.size(); ++j) {
+            if (i == j && !options.include_self_play) continue;
+            const auto result =
+                game.play_average(*lineup[i], *lineup[j], rng, options.trials, options.noise);
+            entries[i].total_score += result.payoff0;
+            matches[i] += 1;
+            if (i != j) {
+                entries[j].total_score += result.payoff1;
+                matches[j] += 1;
+                if (result.payoff0 > result.payoff1) entries[i].wins += 1;
+                if (result.payoff1 > result.payoff0) entries[j].wins += 1;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        entries[i].average_score =
+            matches[i] == 0 ? 0.0 : entries[i].total_score / static_cast<double>(matches[i]);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const TournamentEntry& a, const TournamentEntry& b) {
+                  return a.total_score > b.total_score;
+              });
+    return entries;
+}
+
+}  // namespace bnash::repeated

@@ -1,0 +1,86 @@
+// Finitely repeated 2-player games with discounting, meta-games over
+// strategy sets, and the Axelrod round-robin tournament.
+//
+// The discounting convention follows Example 3.2: a reward r_m earned in
+// round m (1-based) contributes delta^m * r_m to the total.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "game/normal_form.h"
+#include "repeated/strategies.h"
+#include "util/rng.h"
+
+namespace bnash::repeated {
+
+struct MatchResult final {
+    double payoff0 = 0.0;  // discounted totals
+    double payoff1 = 0.0;
+    std::vector<std::size_t> actions0;
+    std::vector<std::size_t> actions1;
+};
+
+class RepeatedGame final {
+public:
+    // `stage` must be a 2-player game with 2 actions per player for the
+    // automaton strategies (checked). delta in (0, 1]; delta = 1 recovers
+    // undiscounted sums.
+    RepeatedGame(game::NormalFormGame stage, std::size_t rounds, double delta = 1.0);
+
+    [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+    [[nodiscard]] double delta() const noexcept { return delta_; }
+    [[nodiscard]] const game::NormalFormGame& stage() const noexcept { return stage_; }
+
+    // Plays one match. `noise` flips each chosen action independently with
+    // the given probability (trembling-hand tournaments).
+    [[nodiscard]] MatchResult play(Strategy& s0, Strategy& s1, util::Rng& rng,
+                                   double noise = 0.0) const;
+
+    // Average payoffs over `trials` matches (meaningful when strategies
+    // randomize or noise > 0; deterministic matches need one trial).
+    [[nodiscard]] MatchResult play_average(const Strategy& s0, const Strategy& s1,
+                                           util::Rng& rng, std::size_t trials,
+                                           double noise = 0.0) const;
+
+    // Meta-game over a strategy set: action i = playing strategies[i] for
+    // the whole repeated game. Payoffs are discounted totals (converted to
+    // exact rationals via Rational::from_double; with delta = 1 and integer
+    // stage payoffs they are exact integers). Deterministic strategy sets
+    // only (randomized strategies would need play_average semantics).
+    [[nodiscard]] game::NormalFormGame meta_game(
+        const std::vector<std::unique_ptr<Strategy>>& strategies) const;
+
+private:
+    game::NormalFormGame stage_;
+    std::size_t rounds_;
+    double delta_;
+};
+
+// ---------------------------------------------------------------- tournament
+
+struct TournamentEntry final {
+    std::string name;
+    double total_score = 0.0;     // summed over all pairings
+    double average_score = 0.0;   // per match
+    std::size_t wins = 0;         // matches with strictly higher payoff
+};
+
+struct TournamentOptions final {
+    std::size_t rounds = 200;
+    double delta = 1.0;
+    double noise = 0.0;
+    std::size_t trials = 1;  // per pairing (raise when noisy/randomized)
+    bool include_self_play = true;
+    std::uint64_t seed = 42;
+};
+
+// Round-robin over the lineup on the given stage game; returns entries
+// sorted by total score, highest first.
+[[nodiscard]] std::vector<TournamentEntry> round_robin(
+    const game::NormalFormGame& stage, const std::vector<std::unique_ptr<Strategy>>& lineup,
+    const TournamentOptions& options = {});
+
+}  // namespace bnash::repeated

@@ -1,0 +1,171 @@
+#include "repeated/strategies.h"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace bnash::repeated {
+namespace {
+
+std::size_t bits_for(std::size_t values) {
+    return values <= 1 ? 0 : std::bit_width(values - 1);
+}
+
+class AlwaysCooperate final : public Strategy {
+public:
+    [[nodiscard]] std::string name() const override { return "AllC"; }
+    [[nodiscard]] StrategyComplexity complexity() const override { return {1, 0, false}; }
+    void reset() override {}
+    [[nodiscard]] std::size_t act(std::size_t, std::size_t, util::Rng&) override {
+        return kCooperate;
+    }
+    [[nodiscard]] std::unique_ptr<Strategy> clone() const override {
+        return std::make_unique<AlwaysCooperate>(*this);
+    }
+};
+
+class AlwaysDefect final : public Strategy {
+public:
+    [[nodiscard]] std::string name() const override { return "AllD"; }
+    [[nodiscard]] StrategyComplexity complexity() const override { return {1, 0, false}; }
+    void reset() override {}
+    [[nodiscard]] std::size_t act(std::size_t, std::size_t, util::Rng&) override {
+        return kDefect;
+    }
+    [[nodiscard]] std::unique_ptr<Strategy> clone() const override {
+        return std::make_unique<AlwaysDefect>(*this);
+    }
+};
+
+class TitForTat final : public Strategy {
+public:
+    [[nodiscard]] std::string name() const override { return "TitForTat"; }
+    [[nodiscard]] StrategyComplexity complexity() const override { return {2, 0, false}; }
+    void reset() override {}
+    [[nodiscard]] std::size_t act(std::size_t round, std::size_t opponent_last,
+                                  util::Rng&) override {
+        return round == 0 ? kCooperate : opponent_last;
+    }
+    [[nodiscard]] std::unique_ptr<Strategy> clone() const override {
+        return std::make_unique<TitForTat>(*this);
+    }
+};
+
+class GrimTrigger final : public Strategy {
+public:
+    [[nodiscard]] std::string name() const override { return "Grim"; }
+    [[nodiscard]] StrategyComplexity complexity() const override { return {2, 1, false}; }
+    void reset() override { triggered_ = false; }
+    [[nodiscard]] std::size_t act(std::size_t round, std::size_t opponent_last,
+                                  util::Rng&) override {
+        if (round > 0 && opponent_last == kDefect) triggered_ = true;
+        return triggered_ ? kDefect : kCooperate;
+    }
+    [[nodiscard]] std::unique_ptr<Strategy> clone() const override {
+        return std::make_unique<GrimTrigger>(*this);
+    }
+
+private:
+    bool triggered_ = false;
+};
+
+class Pavlov final : public Strategy {
+public:
+    [[nodiscard]] std::string name() const override { return "Pavlov"; }
+    [[nodiscard]] StrategyComplexity complexity() const override { return {2, 1, false}; }
+    void reset() override { last_own_ = kCooperate; }
+    [[nodiscard]] std::size_t act(std::size_t round, std::size_t opponent_last,
+                                  util::Rng&) override {
+        if (round == 0) {
+            last_own_ = kCooperate;
+            return last_own_;
+        }
+        // Win (opponent cooperated): stay. Lose: shift.
+        if (opponent_last == kDefect) last_own_ = 1 - last_own_;
+        return last_own_;
+    }
+    [[nodiscard]] std::unique_ptr<Strategy> clone() const override {
+        return std::make_unique<Pavlov>(*this);
+    }
+
+private:
+    std::size_t last_own_ = kCooperate;
+};
+
+class RandomStrategy final : public Strategy {
+public:
+    explicit RandomStrategy(double p_cooperate) : p_(p_cooperate) {
+        if (p_ < 0.0 || p_ > 1.0) throw std::invalid_argument("random_strategy: p");
+    }
+    [[nodiscard]] std::string name() const override { return "Random"; }
+    [[nodiscard]] StrategyComplexity complexity() const override { return {1, 0, true}; }
+    void reset() override {}
+    [[nodiscard]] std::size_t act(std::size_t, std::size_t, util::Rng& rng) override {
+        return rng.next_bool(p_) ? kCooperate : kDefect;
+    }
+    [[nodiscard]] std::unique_ptr<Strategy> clone() const override {
+        return std::make_unique<RandomStrategy>(*this);
+    }
+
+private:
+    double p_;
+};
+
+class TftDefectLastK final : public Strategy {
+public:
+    TftDefectLastK(std::size_t total_rounds, std::size_t k)
+        : total_rounds_(total_rounds), k_(k) {
+        if (k == 0 || k > total_rounds) throw std::invalid_argument("tft_defect_last_k: k");
+    }
+    [[nodiscard]] std::string name() const override {
+        return k_ == 1 ? "TfT-DefectLast" : ("TfT-DefectLast" + std::to_string(k_));
+    }
+    [[nodiscard]] StrategyComplexity complexity() const override {
+        // The round counter over the horizon: this is the "extra memory"
+        // of Example 3.2 (tit-for-tat itself carries no persistent bits).
+        return {total_rounds_ + 1, bits_for(total_rounds_), false};
+    }
+    void reset() override {}
+    [[nodiscard]] std::size_t act(std::size_t round, std::size_t opponent_last,
+                                  util::Rng&) override {
+        if (round + k_ >= total_rounds_) return kDefect;
+        return round == 0 ? kCooperate : opponent_last;
+    }
+    [[nodiscard]] std::unique_ptr<Strategy> clone() const override {
+        return std::make_unique<TftDefectLastK>(*this);
+    }
+
+private:
+    std::size_t total_rounds_;
+    std::size_t k_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> always_cooperate() { return std::make_unique<AlwaysCooperate>(); }
+std::unique_ptr<Strategy> always_defect() { return std::make_unique<AlwaysDefect>(); }
+std::unique_ptr<Strategy> tit_for_tat() { return std::make_unique<TitForTat>(); }
+std::unique_ptr<Strategy> grim_trigger() { return std::make_unique<GrimTrigger>(); }
+std::unique_ptr<Strategy> pavlov() { return std::make_unique<Pavlov>(); }
+std::unique_ptr<Strategy> random_strategy(double p_cooperate) {
+    return std::make_unique<RandomStrategy>(p_cooperate);
+}
+std::unique_ptr<Strategy> tft_defect_last(std::size_t total_rounds) {
+    return std::make_unique<TftDefectLastK>(total_rounds, 1);
+}
+std::unique_ptr<Strategy> tft_defect_last_k(std::size_t total_rounds, std::size_t k) {
+    return std::make_unique<TftDefectLastK>(total_rounds, k);
+}
+
+std::vector<std::unique_ptr<Strategy>> classic_lineup() {
+    std::vector<std::unique_ptr<Strategy>> out;
+    out.push_back(always_cooperate());
+    out.push_back(always_defect());
+    out.push_back(tit_for_tat());
+    out.push_back(grim_trigger());
+    out.push_back(pavlov());
+    out.push_back(random_strategy(0.5));
+    return out;
+}
+
+}  // namespace bnash::repeated

@@ -1,0 +1,70 @@
+// Strategy automata for repeated 2-action games (Cooperate = 0, Defect = 1).
+//
+// Each strategy is a small machine with an explicit complexity profile --
+// the quantity Example 3.2 charges for. Tit-for-tat needs one bit (the
+// opponent's last move); "tit-for-tat but defect at the last round" also
+// needs a round counter, and that counter is exactly the memory the
+// paper's argument prices out of existence.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace bnash::repeated {
+
+inline constexpr std::size_t kCooperate = 0;
+inline constexpr std::size_t kDefect = 1;
+
+struct StrategyComplexity final {
+    std::size_t states = 1;        // automaton states (Rubinstein's measure)
+    // PERSISTENT working memory in bits, beyond the per-round observation
+    // interface (Example 3.2's measure). The harness hands every strategy
+    // the opponent's last move each round, so reacting to it is free:
+    // tit-for-tat carries 0 bits, grim trigger carries its 1-bit flag, and
+    // defect-at-the-last-round carries the ceil(log2 N)-bit round counter
+    // the paper's argument prices out of existence. (Charging for the
+    // observation itself would make AllC a strictly cheaper deviation with
+    // identical play against TfT, contradicting the example.)
+    std::size_t memory_bits = 0;
+    bool randomized = false;       // uses coin flips (Example 3.3's surcharge)
+};
+
+class Strategy {
+public:
+    virtual ~Strategy() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual StrategyComplexity complexity() const = 0;
+    // Fresh playing state for a new match.
+    virtual void reset() = 0;
+    // Action for round `round` (0-based); `opponent_last` is meaningful for
+    // round >= 1.
+    [[nodiscard]] virtual std::size_t act(std::size_t round, std::size_t opponent_last,
+                                          util::Rng& rng) = 0;
+    [[nodiscard]] virtual std::unique_ptr<Strategy> clone() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Strategy> always_cooperate();
+[[nodiscard]] std::unique_ptr<Strategy> always_defect();
+[[nodiscard]] std::unique_ptr<Strategy> tit_for_tat();
+// Cooperates until the opponent defects once, then defects forever.
+[[nodiscard]] std::unique_ptr<Strategy> grim_trigger();
+// Win-stay lose-shift: repeat own move after a good outcome (opponent
+// cooperated), switch after a bad one.
+[[nodiscard]] std::unique_ptr<Strategy> pavlov();
+// Cooperates with probability p each round.
+[[nodiscard]] std::unique_ptr<Strategy> random_strategy(double p_cooperate);
+// Tit-for-tat, except defect unconditionally in the final round of an
+// N-round game: the profitable deviation from Example 3.2, which must
+// track the round number (memory_bits grows like log2 N).
+[[nodiscard]] std::unique_ptr<Strategy> tft_defect_last(std::size_t total_rounds);
+// Defects in the last `k` rounds; tit-for-tat before that.
+[[nodiscard]] std::unique_ptr<Strategy> tft_defect_last_k(std::size_t total_rounds,
+                                                          std::size_t k);
+
+// The classic tournament lineup.
+[[nodiscard]] std::vector<std::unique_ptr<Strategy>> classic_lineup();
+
+}  // namespace bnash::repeated

@@ -1,0 +1,67 @@
+// Scrip systems (Section 5, after Kash-Friedman-Halpern 2007).
+//
+// n agents exchange service for scrip: each round one agent is chosen
+// uniformly to request service (worth gamma to it, costing the provider
+// alpha < gamma, paid with 1 scrip). Rational agents play THRESHOLD
+// strategies: volunteer iff own scrip is below the threshold. The paper's
+// two "standard irrational" types are modelled directly:
+//   - HOARDERS volunteer always and never spend (they accumulate scrip);
+//   - ALTRUISTS volunteer always and charge nothing (the paper's "posting
+//     music on Kazaa" analogue).
+// The simulator reproduces the qualitative welfare curve: throughput rises
+// with the money supply until thresholds saturate, then the economy
+// crashes (nobody volunteers because everyone already holds enough scrip).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bnash::scrip {
+
+enum class BehaviorKind { kThreshold, kHoarder, kAltruist };
+
+struct AgentSpec final {
+    BehaviorKind kind = BehaviorKind::kThreshold;
+    std::size_t threshold = 4;  // used by kThreshold only
+};
+
+struct ScripParams final {
+    std::size_t num_agents = 100;
+    // Average initial scrip per agent; total supply = round(n * this).
+    double money_per_capita = 2.0;
+    std::size_t rounds = 100'000;
+    double alpha = 1.0;   // cost of providing service
+    double gamma = 3.0;   // benefit of receiving service
+    std::uint64_t seed = 1;
+};
+
+struct ScripResult final {
+    double social_welfare_per_round = 0.0;  // sum of utility flows / rounds
+    double satisfied_fraction = 0.0;        // requests that found a provider
+    std::vector<double> utility;            // per agent, total
+    std::vector<std::size_t> final_scrip;
+    double scrip_gini = 0.0;
+    std::size_t total_money = 0;            // conserved unless altruists donate work
+};
+
+// Runs the economy. specs.size() must equal params.num_agents.
+[[nodiscard]] ScripResult simulate(const ScripParams& params,
+                                   const std::vector<AgentSpec>& specs);
+
+// Convenience: all agents use the same threshold.
+[[nodiscard]] ScripResult simulate_uniform(const ScripParams& params, std::size_t threshold);
+
+// Empirical best response: utility of agent 0 for each candidate
+// threshold, everyone else fixed at `population_threshold`. Returns the
+// candidate utilities (index = threshold).
+[[nodiscard]] std::vector<double> threshold_best_response_curve(
+    const ScripParams& params, std::size_t population_threshold,
+    std::size_t max_threshold);
+
+[[nodiscard]] std::string to_string(BehaviorKind kind);
+
+}  // namespace bnash::scrip

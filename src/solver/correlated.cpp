@@ -1,0 +1,167 @@
+#include "solver/correlated.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+#include "util/simplex.h"
+
+namespace bnash::solver {
+namespace {
+
+// Obedience row: the LP coefficients of
+//   sum_{a_-i : a_i = a} mu(profile) * [u_i(profile) - u_i(b at i)] >= 0.
+util::LpConstraint obedience_constraint(const game::NormalFormGame& game, std::size_t player,
+                                        std::size_t recommended, std::size_t deviation,
+                                        std::size_t extra_vars) {
+    util::LpConstraint constraint;
+    constraint.coefficients.assign(game.num_profiles() + extra_vars, 0.0);
+    constraint.relation = util::LpRelation::kGreaterEqual;
+    constraint.rhs = 0.0;
+    util::product_for_each(game.action_counts(), [&](const game::PureProfile& profile) {
+        if (profile[player] != recommended) return true;
+        game::PureProfile deviated = profile;
+        deviated[player] = deviation;
+        constraint.coefficients[game.profile_rank(profile)] =
+            game.payoff_d(profile, player) - game.payoff_d(deviated, player);
+        return true;
+    });
+    return constraint;
+}
+
+}  // namespace
+
+bool is_correlated_equilibrium(const game::NormalFormGame& game,
+                               std::span<const double> distribution, double tol) {
+    if (distribution.size() != game.num_profiles()) {
+        throw std::invalid_argument("is_correlated_equilibrium: wrong support size");
+    }
+    double total = 0.0;
+    for (const double p : distribution) {
+        if (p < -tol) return false;
+        total += p;
+    }
+    if (std::fabs(total - 1.0) > tol) return false;
+
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        for (std::size_t a = 0; a < game.num_actions(player); ++a) {
+            for (std::size_t b = 0; b < game.num_actions(player); ++b) {
+                if (a == b) continue;
+                const auto row = obedience_constraint(game, player, a, b, 0);
+                double lhs = 0.0;
+                for (std::uint64_t rank = 0; rank < game.num_profiles(); ++rank) {
+                    lhs += row.coefficients[rank] * distribution[rank];
+                }
+                if (lhs < -tol) return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::optional<CorrelatedEquilibrium> solve_correlated_equilibrium(
+    const game::NormalFormGame& game, CeObjective objective) {
+    const auto num_profiles = static_cast<std::size_t>(game.num_profiles());
+    // kEgalitarian adds one auxiliary variable z (the floor).
+    const std::size_t extra = (objective == CeObjective::kEgalitarian) ? 1 : 0;
+
+    util::LpProblem lp;
+    lp.objective.assign(num_profiles + extra, 0.0);
+    switch (objective) {
+        case CeObjective::kSocialWelfare:
+            for (std::uint64_t rank = 0; rank < num_profiles; ++rank) {
+                const auto profile = game.profile_unrank(rank);
+                for (std::size_t player = 0; player < game.num_players(); ++player) {
+                    lp.objective[rank] += game.payoff_d(profile, player);
+                }
+            }
+            break;
+        case CeObjective::kPlayerZero:
+            for (std::uint64_t rank = 0; rank < num_profiles; ++rank) {
+                lp.objective[rank] = game.payoff_d(game.profile_unrank(rank), 0);
+            }
+            break;
+        case CeObjective::kEgalitarian:
+            lp.objective[num_profiles] = 1.0;  // maximize the floor z
+            for (std::size_t player = 0; player < game.num_players(); ++player) {
+                util::LpConstraint floor;
+                floor.coefficients.assign(num_profiles + 1, 0.0);
+                for (std::uint64_t rank = 0; rank < num_profiles; ++rank) {
+                    floor.coefficients[rank] =
+                        game.payoff_d(game.profile_unrank(rank), player);
+                }
+                floor.coefficients[num_profiles] = -1.0;  // u_i(mu) - z >= 0
+                floor.relation = util::LpRelation::kGreaterEqual;
+                floor.rhs = 0.0;
+                lp.constraints.push_back(std::move(floor));
+            }
+            break;
+    }
+
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        for (std::size_t a = 0; a < game.num_actions(player); ++a) {
+            for (std::size_t b = 0; b < game.num_actions(player); ++b) {
+                if (a == b) continue;
+                lp.constraints.push_back(obedience_constraint(game, player, a, b, extra));
+            }
+        }
+    }
+    util::LpConstraint simplex_row;
+    simplex_row.coefficients.assign(num_profiles + extra, 1.0);
+    if (extra > 0) simplex_row.coefficients[num_profiles] = 0.0;
+    simplex_row.relation = util::LpRelation::kEqual;
+    simplex_row.rhs = 1.0;
+    lp.constraints.push_back(std::move(simplex_row));
+
+    // kEgalitarian's z is a free variable in principle; payoffs may be
+    // negative, so shift: z >= 0 is enforced by the LP encoding. Shift all
+    // payoffs up front so the optimum is attainable with z >= 0.
+    double shift = 0.0;
+    if (objective == CeObjective::kEgalitarian) {
+        double min_payoff = 0.0;
+        for (std::uint64_t rank = 0; rank < num_profiles; ++rank) {
+            for (std::size_t player = 0; player < game.num_players(); ++player) {
+                min_payoff =
+                    std::min(min_payoff, game.payoff_d(game.profile_unrank(rank), player));
+            }
+        }
+        shift = -min_payoff;
+        if (shift > 0.0) {
+            // u_i(mu) + shift - z >= 0 for the floor rows.
+            for (std::size_t player = 0; player < game.num_players(); ++player) {
+                lp.constraints[player].rhs = -shift;
+            }
+        }
+    }
+
+    const auto solution = util::solve_lp(lp);
+    if (solution.status != util::LpStatus::kOptimal) return std::nullopt;
+
+    CorrelatedEquilibrium out;
+    out.distribution.assign(solution.x.begin(),
+                            solution.x.begin() + static_cast<std::ptrdiff_t>(num_profiles));
+    out.objective_value = solution.objective_value - shift;
+    out.expected_payoffs.assign(game.num_players(), 0.0);
+    for (std::uint64_t rank = 0; rank < num_profiles; ++rank) {
+        const auto profile = game.profile_unrank(rank);
+        for (std::size_t player = 0; player < game.num_players(); ++player) {
+            out.expected_payoffs[player] +=
+                out.distribution[rank] * game.payoff_d(profile, player);
+        }
+    }
+    return out;
+}
+
+std::vector<double> product_distribution(const game::NormalFormGame& game,
+                                         const game::MixedProfile& profile) {
+    std::vector<double> out(game.num_profiles(), 0.0);
+    util::product_for_each(game.action_counts(), [&](const game::PureProfile& actions) {
+        double weight = 1.0;
+        for (std::size_t i = 0; i < actions.size(); ++i) weight *= profile[i][actions[i]];
+        out[game.profile_rank(actions)] = weight;
+        return true;
+    });
+    return out;
+}
+
+}  // namespace bnash::solver

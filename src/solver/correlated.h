@@ -1,0 +1,55 @@
+// Correlated equilibria of normal-form games, via linear programming.
+//
+// The classical concept that Section 2's mediators generalize: a mediator
+// for a COMPLETE-information game is exactly a correlated-equilibrium
+// device (it samples a joint action profile and whispers each player its
+// component; obedience constraints make following the whisper a best
+// response). The Bayesian MediatorPolicy of core/robust reduces to this
+// when every player has a single type -- an equivalence the integration
+// tests pin.
+//
+// A distribution mu over action profiles is a correlated equilibrium iff
+// for every player i and every pair of actions a -> b:
+//   sum_{a_-i} mu(a, a_-i) * [u_i(a, a_-i) - u_i(b, a_-i)] >= 0.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "game/normal_form.h"
+
+namespace bnash::solver {
+
+struct CorrelatedEquilibrium final {
+    // mu indexed by NormalFormGame profile rank.
+    std::vector<double> distribution;
+    double objective_value = 0.0;
+    std::vector<double> expected_payoffs;  // per player under mu
+};
+
+enum class CeObjective {
+    kSocialWelfare,   // maximize the sum of expected payoffs
+    kEgalitarian,     // maximize the minimum expected payoff
+    kPlayerZero,      // maximize player 0's expected payoff
+};
+
+// True iff `distribution` (over profile ranks) satisfies every obedience
+// constraint within `tol` and is a probability distribution.
+[[nodiscard]] bool is_correlated_equilibrium(const game::NormalFormGame& game,
+                                             std::span<const double> distribution,
+                                             double tol = 1e-7);
+
+// Solves for an optimal correlated equilibrium. Always succeeds on finite
+// games (every Nash equilibrium is in the feasible set), so nullopt
+// signals a numerical failure worth investigating.
+[[nodiscard]] std::optional<CorrelatedEquilibrium> solve_correlated_equilibrium(
+    const game::NormalFormGame& game, CeObjective objective = CeObjective::kSocialWelfare);
+
+// The product distribution induced by an independent mixed profile
+// (bridges Nash outputs into the CE checker: every Nash equilibrium must
+// pass is_correlated_equilibrium).
+[[nodiscard]] std::vector<double> product_distribution(const game::NormalFormGame& game,
+                                                       const game::MixedProfile& profile);
+
+}  // namespace bnash::solver

@@ -1,0 +1,151 @@
+#include "solver/iterated_elimination.h"
+
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+#include "util/simplex.h"
+
+namespace bnash::solver {
+namespace {
+
+// Visits every profile of the players other than `player`, with `action`
+// substituted for the player's own move.
+void for_each_opponent_profile(
+    const game::NormalFormGame& game, std::size_t player, std::size_t action,
+    const std::function<bool(const game::PureProfile&)>& visit) {
+    std::vector<std::size_t> other_counts;
+    other_counts.reserve(game.num_players() - 1);
+    for (std::size_t i = 0; i < game.num_players(); ++i) {
+        if (i != player) other_counts.push_back(game.num_actions(i));
+    }
+    util::product_for_each(other_counts, [&](const std::vector<std::size_t>& others) {
+        game::PureProfile profile(game.num_players());
+        std::size_t cursor = 0;
+        for (std::size_t i = 0; i < game.num_players(); ++i) {
+            profile[i] = (i == player) ? action : others[cursor++];
+        }
+        return visit(profile);
+    });
+}
+
+bool pure_dominates(const game::NormalFormGame& game, std::size_t player,
+                    std::size_t dominator, std::size_t dominated, bool strict) {
+    bool all_hold = true;
+    bool somewhere_strict = false;
+    for_each_opponent_profile(game, player, dominated, [&](const game::PureProfile& profile) {
+        game::PureProfile alt = profile;
+        alt[player] = dominator;
+        const auto& u_dominated = game.payoff(profile, player);
+        const auto& u_dominator = game.payoff(alt, player);
+        if (strict ? !(u_dominator > u_dominated) : (u_dominator < u_dominated)) {
+            all_hold = false;
+            return false;
+        }
+        if (u_dominator > u_dominated) somewhere_strict = true;
+        return true;
+    });
+    if (!all_hold) return false;
+    return strict || somewhere_strict;
+}
+
+// LP test: does some mixture of the player's other actions strictly
+// dominate `action`? Maximizes the worst-case gap; dominated iff > 0.
+bool mixed_dominates(const game::NormalFormGame& game, std::size_t player,
+                     std::size_t action) {
+    const std::size_t num_actions = game.num_actions(player);
+    if (num_actions < 2) return false;
+    std::vector<std::size_t> others;
+    for (std::size_t a = 0; a < num_actions; ++a) {
+        if (a != action) others.push_back(a);
+    }
+    // Variables: sigma over `others` plus the gap epsilon (all >= 0).
+    util::LpProblem lp;
+    lp.objective.assign(others.size() + 1, 0.0);
+    lp.objective.back() = 1.0;  // maximize epsilon
+    // For every opponent profile o: sum_b sigma_b u(b,o) - u(action,o) - eps >= 0.
+    for_each_opponent_profile(game, player, action, [&](const game::PureProfile& profile) {
+        util::LpConstraint constraint;
+        constraint.coefficients.assign(others.size() + 1, 0.0);
+        game::PureProfile alt = profile;
+        for (std::size_t b = 0; b < others.size(); ++b) {
+            alt[player] = others[b];
+            constraint.coefficients[b] = game.payoff_d(alt, player);
+        }
+        constraint.coefficients.back() = -1.0;
+        constraint.relation = util::LpRelation::kGreaterEqual;
+        constraint.rhs = game.payoff_d(profile, player);
+        lp.constraints.push_back(std::move(constraint));
+        return true;
+    });
+    util::LpConstraint simplex_row;
+    simplex_row.coefficients.assign(others.size() + 1, 1.0);
+    simplex_row.coefficients.back() = 0.0;
+    simplex_row.relation = util::LpRelation::kEqual;
+    simplex_row.rhs = 1.0;
+    lp.constraints.push_back(std::move(simplex_row));
+
+    const auto solution = util::solve_lp(lp);
+    return solution.status == util::LpStatus::kOptimal && solution.objective_value > 1e-7;
+}
+
+}  // namespace
+
+bool is_dominated(const game::NormalFormGame& game, std::size_t player, std::size_t action,
+                  DominanceKind kind) {
+    if (player >= game.num_players() || action >= game.num_actions(player)) {
+        throw std::out_of_range("is_dominated: bad player or action");
+    }
+    switch (kind) {
+        case DominanceKind::kStrictPure:
+        case DominanceKind::kWeakPure: {
+            const bool strict = (kind == DominanceKind::kStrictPure);
+            for (std::size_t b = 0; b < game.num_actions(player); ++b) {
+                if (b == action) continue;
+                if (pure_dominates(game, player, b, action, strict)) return true;
+            }
+            return false;
+        }
+        case DominanceKind::kStrictMixed:
+            return mixed_dominates(game, player, action);
+    }
+    return false;
+}
+
+EliminationResult iterated_elimination(const game::NormalFormGame& game, DominanceKind kind) {
+    EliminationResult result{game, {}, {}};
+    result.kept.resize(game.num_players());
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        for (std::size_t a = 0; a < game.num_actions(player); ++a) {
+            result.kept[player].push_back(a);
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t player = 0; player < result.reduced.num_players() && !changed;
+             ++player) {
+            if (result.reduced.num_actions(player) < 2) continue;
+            for (std::size_t action = 0; action < result.reduced.num_actions(player);
+                 ++action) {
+                if (!is_dominated(result.reduced, player, action, kind)) continue;
+                result.trace.push_back(
+                    EliminationStep{player, result.kept[player][action]});
+                std::vector<std::vector<std::size_t>> local(result.reduced.num_players());
+                for (std::size_t i = 0; i < result.reduced.num_players(); ++i) {
+                    for (std::size_t a = 0; a < result.reduced.num_actions(i); ++a) {
+                        if (i == player && a == action) continue;
+                        local[i].push_back(a);
+                    }
+                }
+                result.reduced = result.reduced.restrict(local);
+                result.kept[player].erase(result.kept[player].begin() +
+                                          static_cast<std::ptrdiff_t>(action));
+                changed = true;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace bnash::solver

@@ -1,0 +1,46 @@
+// Iterated elimination of dominated strategies.
+//
+// One of the "refinements of Nash equilibrium" the paper's introduction
+// surveys. Supports strict and weak pure-strategy domination and strict
+// domination by mixed strategies (the LP test), applied to all players
+// round-robin until a fixed point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "game/normal_form.h"
+
+namespace bnash::solver {
+
+enum class DominanceKind {
+    kStrictPure,   // dominated by some pure strategy, strictly everywhere
+    kWeakPure,     // weakly dominated by a pure strategy (>= all, > somewhere)
+    kStrictMixed,  // dominated by a mixed strategy (LP certificate)
+};
+
+struct EliminationStep final {
+    std::size_t player = 0;
+    std::size_t action = 0;  // index in the ORIGINAL game
+};
+
+struct EliminationResult final {
+    game::NormalFormGame reduced;
+    // kept[player] = surviving original action indices, ascending.
+    std::vector<std::vector<std::size_t>> kept;
+    std::vector<EliminationStep> trace;
+};
+
+// Iterates until no further elimination applies. For kWeakPure the result
+// can depend on elimination order (a classic fact); this implementation
+// removes the lowest-indexed dominated action of the lowest-indexed player
+// first, making the output deterministic.
+[[nodiscard]] EliminationResult iterated_elimination(const game::NormalFormGame& game,
+                                                     DominanceKind kind);
+
+// True iff `action` of `player` is dominated in `game` under `kind`
+// (single-round test, no iteration).
+[[nodiscard]] bool is_dominated(const game::NormalFormGame& game, std::size_t player,
+                                std::size_t action, DominanceKind kind);
+
+}  // namespace bnash::solver

@@ -1,0 +1,45 @@
+// Learning dynamics: fictitious play and replicator dynamics.
+//
+// These are the approximate, any-number-of-players counterparts to the
+// exact 2-player solvers, and double as the "how do players obtain correct
+// beliefs?" machinery the paper's introduction asks about: both dynamics
+// model belief formation through repeated play.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "game/normal_form.h"
+#include "game/strategy.h"
+
+namespace bnash::solver {
+
+struct LearningResult final {
+    game::MixedProfile profile;        // the candidate equilibrium
+    double final_regret = 0.0;         // regret of `profile`
+    std::size_t iterations = 0;        // iterations actually run
+    bool converged = false;            // final_regret <= target_regret
+    std::vector<double> regret_trace;  // regret sampled every `trace_every`
+};
+
+struct LearningOptions final {
+    std::size_t max_iterations = 10'000;
+    double target_regret = 1e-3;
+    std::size_t trace_every = 100;
+    double replicator_step = 0.1;
+};
+
+// Discrete-time simultaneous fictitious play: every player best-responds
+// to the empirical distribution of the others' past pure actions (counts
+// seeded at 1, i.e. a uniform Dirichlet prior). Returns the empirical
+// profile. Converges for zero-sum and 2x2 games; may cycle elsewhere
+// (Shapley), in which case `converged` is false.
+[[nodiscard]] LearningResult fictitious_play(const game::NormalFormGame& game,
+                                             const LearningOptions& options = {});
+
+// Discrete-time replicator dynamics from the uniform interior point.
+// Payoffs are shifted positive internally so fitness stays well-defined.
+[[nodiscard]] LearningResult replicator_dynamics(const game::NormalFormGame& game,
+                                                 const LearningOptions& options = {});
+
+}  // namespace bnash::solver

@@ -1,0 +1,77 @@
+#include "solver/verification.h"
+
+#include "util/combinatorics.h"
+
+namespace bnash::solver {
+
+bool is_epsilon_nash(const game::NormalFormGame& game, const game::MixedProfile& profile,
+                     double epsilon) {
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        const double current = game.expected_payoff(profile, player);
+        for (std::size_t action = 0; action < game.num_actions(player); ++action) {
+            if (game.deviation_payoff(profile, player, action) > current + epsilon) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool is_nash(const game::NormalFormGame& game, const game::MixedProfile& profile, double tol) {
+    return is_epsilon_nash(game, profile, tol);
+}
+
+bool is_nash_exact(const game::NormalFormGame& game, const game::ExactMixedProfile& profile) {
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        const auto current = game.expected_payoff_exact(profile, player);
+        for (std::size_t action = 0; action < game.num_actions(player); ++action) {
+            if (game.deviation_payoff_exact(profile, player, action) > current) return false;
+        }
+    }
+    return true;
+}
+
+bool is_pure_nash(const game::NormalFormGame& game, const game::PureProfile& profile) {
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        const auto& current = game.payoff(profile, player);
+        game::PureProfile deviated = profile;
+        for (std::size_t action = 0; action < game.num_actions(player); ++action) {
+            if (action == profile[player]) continue;
+            deviated[player] = action;
+            if (game.payoff(deviated, player) > current) return false;
+        }
+        deviated[player] = profile[player];
+    }
+    return true;
+}
+
+std::vector<game::PureProfile> pure_nash_equilibria(const game::NormalFormGame& game) {
+    std::vector<game::PureProfile> out;
+    util::product_for_each(game.action_counts(), [&](const game::PureProfile& profile) {
+        if (is_pure_nash(game, profile)) out.push_back(profile);
+        return true;
+    });
+    return out;
+}
+
+bool is_pareto_dominated(const game::NormalFormGame& game, const game::PureProfile& profile) {
+    bool dominated = false;
+    util::product_for_each(game.action_counts(), [&](const game::PureProfile& other) {
+        bool all_at_least = true;
+        bool some_better = false;
+        for (std::size_t player = 0; player < game.num_players(); ++player) {
+            const auto& here = game.payoff(profile, player);
+            const auto& there = game.payoff(other, player);
+            if (there < here) all_at_least = false;
+            if (there > here) some_better = true;
+        }
+        if (all_at_least && some_better) {
+            dominated = true;
+            return false;  // early out
+        }
+        return true;
+    });
+    return dominated;
+}
+
+}  // namespace bnash::solver

@@ -1,0 +1,40 @@
+// Nash-equilibrium verification oracles and exhaustive pure enumeration.
+//
+// Every solver in this library is validated against these oracles: a
+// candidate profile is accepted only if no unilateral deviation gains more
+// than the stated tolerance (exactly zero for the Rational interfaces).
+#pragma once
+
+#include <vector>
+
+#include "game/normal_form.h"
+#include "game/strategy.h"
+
+namespace bnash::solver {
+
+// True iff no player can gain more than `epsilon` by a unilateral pure
+// deviation (mixed deviations cannot gain more than the best pure one).
+[[nodiscard]] bool is_epsilon_nash(const game::NormalFormGame& game,
+                                   const game::MixedProfile& profile, double epsilon);
+
+[[nodiscard]] bool is_nash(const game::NormalFormGame& game, const game::MixedProfile& profile,
+                           double tol = 1e-9);
+
+// Exact check for exact profiles: deviations must not gain at all.
+[[nodiscard]] bool is_nash_exact(const game::NormalFormGame& game,
+                                 const game::ExactMixedProfile& profile);
+
+// Exact check for pure profiles.
+[[nodiscard]] bool is_pure_nash(const game::NormalFormGame& game,
+                                const game::PureProfile& profile);
+
+// All pure Nash equilibria, by exhaustive enumeration (exact arithmetic).
+[[nodiscard]] std::vector<game::PureProfile> pure_nash_equilibria(
+    const game::NormalFormGame& game);
+
+// True iff `profile` is Pareto-dominated by some pure profile (used for the
+// paper's "(C,C) is better for both than (D,D)" style observations).
+[[nodiscard]] bool is_pareto_dominated(const game::NormalFormGame& game,
+                                       const game::PureProfile& profile);
+
+}  // namespace bnash::solver

@@ -1,0 +1,73 @@
+#include "solver/zero_sum.h"
+
+#include <functional>
+#include <stdexcept>
+
+#include "util/simplex.h"
+
+namespace bnash::solver {
+namespace {
+
+// max v s.t. sum_i x_i payoff(i, j) >= v for all j, x a distribution.
+// v is free, encoded as v_plus - v_minus. `payoff` indexes (own, other).
+game::MixedStrategy solve_side(std::size_t own_count, std::size_t other_count,
+                               const std::function<double(std::size_t, std::size_t)>& payoff,
+                               double& value_out) {
+    util::LpProblem lp;
+    lp.objective.assign(own_count + 2, 0.0);
+    lp.objective[own_count] = 1.0;       // v_plus
+    lp.objective[own_count + 1] = -1.0;  // v_minus
+    for (std::size_t j = 0; j < other_count; ++j) {
+        util::LpConstraint constraint;
+        constraint.coefficients.assign(own_count + 2, 0.0);
+        for (std::size_t i = 0; i < own_count; ++i) {
+            constraint.coefficients[i] = payoff(i, j);
+        }
+        constraint.coefficients[own_count] = -1.0;
+        constraint.coefficients[own_count + 1] = 1.0;
+        constraint.relation = util::LpRelation::kGreaterEqual;
+        constraint.rhs = 0.0;
+        lp.constraints.push_back(std::move(constraint));
+    }
+    util::LpConstraint simplex_row;
+    simplex_row.coefficients.assign(own_count + 2, 1.0);
+    simplex_row.coefficients[own_count] = 0.0;
+    simplex_row.coefficients[own_count + 1] = 0.0;
+    simplex_row.relation = util::LpRelation::kEqual;
+    simplex_row.rhs = 1.0;
+    lp.constraints.push_back(std::move(simplex_row));
+
+    const auto solution = util::solve_lp(lp);
+    if (solution.status != util::LpStatus::kOptimal) {
+        throw std::logic_error("solve_zero_sum: LP not optimal (" +
+                               util::to_string(solution.status) + ")");
+    }
+    value_out = solution.objective_value;
+    return game::MixedStrategy(solution.x.begin(),
+                               solution.x.begin() + static_cast<std::ptrdiff_t>(own_count));
+}
+
+}  // namespace
+
+ZeroSumSolution solve_zero_sum(const game::NormalFormGame& game) {
+    if (game.num_players() != 2) throw std::logic_error("solve_zero_sum: 2 players required");
+    for (std::uint64_t rank = 0; rank < game.num_profiles(); ++rank) {
+        const auto profile = game.profile_unrank(rank);
+        if (game.payoff(profile, 0) + game.payoff(profile, 1) != util::Rational{0}) {
+            throw std::logic_error("solve_zero_sum: game is not zero-sum");
+        }
+    }
+    ZeroSumSolution out;
+    double row_value = 0.0;
+    out.row_strategy = solve_side(
+        game.num_actions(0), game.num_actions(1),
+        [&](std::size_t i, std::size_t j) { return game.payoff_d({i, j}, 0); }, row_value);
+    double col_value = 0.0;
+    out.col_strategy = solve_side(
+        game.num_actions(1), game.num_actions(0),
+        [&](std::size_t j, std::size_t i) { return game.payoff_d({i, j}, 1); }, col_value);
+    out.value = row_value;
+    return out;
+}
+
+}  // namespace bnash::solver

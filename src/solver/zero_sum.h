@@ -1,0 +1,23 @@
+// Minimax solution of 2-player zero-sum games via linear programming.
+//
+// Used for the paper's roshambo baseline (Example 3.3's "the unique Nash
+// equilibrium has the players randomizing uniformly") and as an
+// independent cross-check for the exact solvers.
+#pragma once
+
+#include "game/normal_form.h"
+#include "game/strategy.h"
+
+namespace bnash::solver {
+
+struct ZeroSumSolution final {
+    double value = 0.0;  // row player's guaranteed expected payoff
+    game::MixedStrategy row_strategy;
+    game::MixedStrategy col_strategy;
+};
+
+// Throws std::logic_error unless `game` is 2-player and zero-sum (checked
+// exactly on the rational payoffs).
+[[nodiscard]] ZeroSumSolution solve_zero_sum(const game::NormalFormGame& game);
+
+}  // namespace bnash::solver

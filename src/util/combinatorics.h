@@ -1,0 +1,46 @@
+// Enumeration helpers shared by the coalition checkers and solvers.
+//
+// The robustness definitions of Section 2 quantify over coalitions
+// (subsets of players of size <= k) and over joint deviations (elements of
+// a Cartesian product of action sets). These helpers centralize the
+// enumeration so every checker walks identical, deterministic orders.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bnash::util {
+
+// All subsets of {0..n-1} with exactly `size` elements, lexicographic.
+[[nodiscard]] std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n,
+                                                                    std::size_t size);
+
+// All subsets with 1 <= |S| <= max_size, ordered by size then lexicographic.
+[[nodiscard]] std::vector<std::vector<std::size_t>> subsets_up_to_size(std::size_t n,
+                                                                       std::size_t max_size);
+
+// Number of subsets enumerated by subsets_up_to_size (for bench reporting).
+[[nodiscard]] std::uint64_t count_subsets_up_to_size(std::size_t n, std::size_t max_size);
+
+// Odometer over a mixed-radix space: visits every tuple t with
+// 0 <= t[i] < radices[i], in row-major order. `visit` returns false to stop
+// early; product_for_each returns false iff stopped early.
+bool product_for_each(const std::vector<std::size_t>& radices,
+                      const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+// Total number of tuples in the product space (throws std::overflow_error
+// if it exceeds uint64).
+[[nodiscard]] std::uint64_t product_size(const std::vector<std::size_t>& radices);
+
+// Row-major rank of a tuple in the product space and its inverse.
+[[nodiscard]] std::uint64_t product_rank(const std::vector<std::size_t>& radices,
+                                         const std::vector<std::size_t>& tuple);
+[[nodiscard]] std::vector<std::size_t> product_unrank(const std::vector<std::size_t>& radices,
+                                                      std::uint64_t rank);
+
+// n choose k without overflow for the sizes used here (throws otherwise).
+[[nodiscard]] std::uint64_t binomial(std::size_t n, std::size_t k);
+
+}  // namespace bnash::util

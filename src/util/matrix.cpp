@@ -1,0 +1,15 @@
+#include "util/matrix.h"
+
+namespace bnash::util {
+
+// Explicit instantiations keep the template's heavy paths out of every
+// translation unit that only needs the declarations.
+template class Matrix<double>;
+template class Matrix<Rational>;
+
+template std::optional<std::vector<double>> solve_linear_system(Matrix<double>,
+                                                                std::vector<double>);
+template std::optional<std::vector<Rational>> solve_linear_system(Matrix<Rational>,
+                                                                  std::vector<Rational>);
+
+}  // namespace bnash::util

@@ -1,0 +1,118 @@
+// Dense matrices over an arbitrary field plus exact/approximate linear
+// solving.
+//
+// Support enumeration solves indifference systems exactly over Rational;
+// the LP solver and learning dynamics work over double. Matrix<T> is a
+// minimal value type: row-major storage, bounds-checked access in debug
+// builds, Gaussian elimination with partial pivoting (by magnitude for
+// double, by first-nonzero for exact fields).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace bnash::util {
+
+template <typename T>
+class Matrix final {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    static Matrix identity(std::size_t n) {
+        Matrix out(n, n);
+        for (std::size_t i = 0; i < n; ++i) out(i, i) = T{1};
+        return out;
+    }
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    T& operator()(std::size_t r, std::size_t c) noexcept {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    const T& operator()(std::size_t r, std::size_t c) const noexcept {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    friend bool operator==(const Matrix&, const Matrix&) = default;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+namespace detail {
+
+inline bool pivot_nonzero(const Rational& value) { return !value.is_zero(); }
+inline bool pivot_nonzero(double value) { return value > 1e-12 || value < -1e-12; }
+
+inline Rational pivot_magnitude(const Rational& value) { return value.abs(); }
+inline double pivot_magnitude(double value) { return value < 0 ? -value : value; }
+
+}  // namespace detail
+
+// Solves A x = b by Gaussian elimination with partial pivoting. Returns
+// nullopt when the system is singular (no unique solution). A must be
+// square and b.size() == A.rows().
+template <typename T>
+std::optional<std::vector<T>> solve_linear_system(Matrix<T> a, std::vector<T> b) {
+    const std::size_t n = a.rows();
+    assert(a.cols() == n && b.size() == n);
+    for (std::size_t col = 0; col < n; ++col) {
+        // Pick the largest-magnitude pivot at or below the diagonal.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (detail::pivot_magnitude(a(row, col)) > detail::pivot_magnitude(a(pivot, col))) {
+                pivot = row;
+            }
+        }
+        if (!detail::pivot_nonzero(a(pivot, col))) return std::nullopt;
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        const T inv_pivot = T{1} / a(col, col);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (!detail::pivot_nonzero(a(row, col))) continue;
+            const T factor = a(row, col) * inv_pivot;
+            a(row, col) = T{0};
+            for (std::size_t c = col + 1; c < n; ++c) a(row, c) -= factor * a(col, c);
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<T> x(n, T{0});
+    for (std::size_t i = n; i > 0; --i) {
+        const std::size_t row = i - 1;
+        T acc = b[row];
+        for (std::size_t c = row + 1; c < n; ++c) acc -= a(row, c) * x[c];
+        x[row] = acc / a(row, row);
+    }
+    return x;
+}
+
+// Matrix-vector product.
+template <typename T>
+std::vector<T> multiply(const Matrix<T>& a, const std::vector<T>& x) {
+    assert(a.cols() == x.size());
+    std::vector<T> out(a.rows(), T{0});
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        T acc{0};
+        for (std::size_t c = 0; c < a.cols(); ++c) acc += a(r, c) * x[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+using MatrixD = Matrix<double>;
+using MatrixQ = Matrix<Rational>;
+
+}  // namespace bnash::util

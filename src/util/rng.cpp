@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace bnash::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    // xoshiro256** requires a nonzero state; splitmix output of any seed is
+    // astronomically unlikely to be all-zero, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    // Lemire rejection sampling: unbiased and branch-cheap.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+            x = next_u64();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    // Compute the span in unsigned arithmetic: hi - lo can overflow int64
+    // for extreme ranges (e.g. the full int64 domain), while unsigned
+    // wraparound is well-defined and gives the right answer.
+    const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    const std::uint64_t draw = (span == 0) ? next_u64() : next_below(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+std::size_t Rng::next_weighted(std::span<const double> weights) noexcept {
+    assert(!weights.empty());
+    double total = 0;
+    for (const double w : weights) total += w;
+    assert(total > 0);
+    double point = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        point -= weights[i];
+        if (point <= 0) return i;
+    }
+    return weights.size() - 1;  // floating-point slack lands on the last bin
+}
+
+Rng Rng::fork() noexcept { return Rng{next_u64()}; }
+
+}  // namespace bnash::util

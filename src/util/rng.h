@@ -1,0 +1,60 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component of the library (mixed-strategy sampling,
+// protocol coin flips, adversary schedules, scrip-economy dynamics) draws
+// from Rng so that simulations, tests, and benches are reproducible
+// bit-for-bit from a seed. The generator is xoshiro256** seeded through
+// SplitMix64, following the reference constructions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bnash::util {
+
+class Rng final {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+    // UniformRandomBitGenerator interface (usable with <random> adaptors).
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~result_type{0}; }
+    result_type operator()() noexcept { return next_u64(); }
+
+    std::uint64_t next_u64() noexcept;
+
+    // Uniform in [0, bound). bound == 0 is a precondition violation.
+    std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+    // Uniform in [lo, hi] inclusive.
+    std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+    // Uniform in [0, 1).
+    double next_double() noexcept;
+
+    bool next_bool(double p_true = 0.5) noexcept;
+
+    // Samples an index according to `weights` (non-negative, not all zero).
+    std::size_t next_weighted(std::span<const double> weights) noexcept;
+
+    // Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& values) noexcept {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            using std::swap;
+            swap(values[i - 1], values[next_below(i)]);
+        }
+    }
+
+    // Independent child generator: stable under reordering of sibling use.
+    [[nodiscard]] Rng fork() noexcept;
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace bnash::util

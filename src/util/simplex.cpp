@@ -1,0 +1,226 @@
+#include "util/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bnash::util {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Dense two-phase tableau. Rows hold B^{-1}A | B^{-1}b; the reduced-cost
+// row is recomputed from scratch at the start of each phase, then updated
+// by the same pivots as the body.
+class Tableau final {
+public:
+    Tableau(std::size_t num_rows, std::size_t num_cols)
+        : rows_(num_rows), cols_(num_cols), body_(num_rows, std::vector<double>(num_cols + 1, 0.0)),
+          reduced_(num_cols + 1, 0.0), basis_(num_rows, 0) {}
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+
+    double& at(std::size_t r, std::size_t c) { return body_[r][c]; }
+    double& rhs(std::size_t r) { return body_[r][cols_]; }
+    double& reduced(std::size_t c) { return reduced_[c]; }
+    double& objective() { return reduced_[cols_]; }
+    std::size_t& basis(std::size_t r) { return basis_[r]; }
+
+    void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+        auto& prow = body_[pivot_row];
+        const double inv = 1.0 / prow[pivot_col];
+        for (double& value : prow) value *= inv;
+        prow[pivot_col] = 1.0;  // eliminate roundoff on the pivot itself
+        for (std::size_t r = 0; r < rows_; ++r) {
+            if (r == pivot_row) continue;
+            eliminate(body_[r], prow, pivot_col);
+        }
+        eliminate(reduced_, prow, pivot_col);
+        basis_[pivot_row] = pivot_col;
+    }
+
+    // Runs Bland-rule simplex over columns where eligible(col) is true.
+    // Returns false on unboundedness.
+    bool optimize(const std::vector<bool>& eligible) {
+        while (true) {
+            std::size_t entering = cols_;
+            for (std::size_t c = 0; c < cols_; ++c) {
+                if (eligible[c] && reduced_[c] < -kTol) {
+                    entering = c;
+                    break;  // Bland: smallest eligible index
+                }
+            }
+            if (entering == cols_) return true;  // optimal
+            std::size_t leaving = rows_;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (std::size_t r = 0; r < rows_; ++r) {
+                const double coeff = body_[r][entering];
+                if (coeff <= kTol) continue;
+                const double ratio = body_[r][cols_] / coeff;
+                if (ratio < best_ratio - kTol ||
+                    (ratio < best_ratio + kTol &&
+                     (leaving == rows_ || basis_[r] < basis_[leaving]))) {
+                    best_ratio = ratio;
+                    leaving = r;
+                }
+            }
+            if (leaving == rows_) return false;  // unbounded direction
+            pivot(leaving, entering);
+        }
+    }
+
+    // reduced[j] = sum_i costs[basis[i]] * a[i][j] - costs[j];
+    // objective  = sum_i costs[basis[i]] * rhs[i].
+    void load_costs(const std::vector<double>& costs) {
+        for (std::size_t c = 0; c <= cols_; ++c) reduced_[c] = 0.0;
+        for (std::size_t r = 0; r < rows_; ++r) {
+            const double cb = costs[basis_[r]];
+            if (cb == 0.0) continue;
+            for (std::size_t c = 0; c <= cols_; ++c) reduced_[c] += cb * body_[r][c];
+        }
+        for (std::size_t c = 0; c < cols_; ++c) reduced_[c] -= costs[c];
+    }
+
+private:
+    static void eliminate(std::vector<double>& row, const std::vector<double>& prow,
+                          std::size_t pivot_col) {
+        const double factor = row[pivot_col];
+        if (std::fabs(factor) < 1e-14) {
+            row[pivot_col] = 0.0;
+            return;
+        }
+        for (std::size_t c = 0; c < row.size(); ++c) row[c] -= factor * prow[c];
+        row[pivot_col] = 0.0;
+    }
+
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<std::vector<double>> body_;
+    std::vector<double> reduced_;
+    std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+std::string to_string(LpStatus status) {
+    switch (status) {
+        case LpStatus::kOptimal: return "optimal";
+        case LpStatus::kInfeasible: return "infeasible";
+        case LpStatus::kUnbounded: return "unbounded";
+    }
+    return "unknown";
+}
+
+LpSolution solve_lp(const LpProblem& problem) {
+    const std::size_t num_vars = problem.objective.size();
+    const std::size_t num_rows = problem.constraints.size();
+    for (const auto& constraint : problem.constraints) {
+        if (constraint.coefficients.size() != num_vars) {
+            throw std::invalid_argument("solve_lp: constraint width mismatch");
+        }
+    }
+
+    // Column layout: [original | slack/surplus | artificial].
+    std::size_t num_slack = 0;
+    for (const auto& constraint : problem.constraints) {
+        if (constraint.relation != LpRelation::kEqual) ++num_slack;
+    }
+    // Artificials are added per-row lazily; worst case one per row.
+    const std::size_t slack_base = num_vars;
+    const std::size_t art_base = num_vars + num_slack;
+    const std::size_t max_cols = art_base + num_rows;
+
+    Tableau tab(num_rows, max_cols);
+    std::vector<bool> is_artificial(max_cols, false);
+    std::size_t next_slack = slack_base;
+    std::size_t next_art = art_base;
+
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        const auto& constraint = problem.constraints[r];
+        double sign = 1.0;
+        LpRelation rel = constraint.relation;
+        if (constraint.rhs < 0) {
+            sign = -1.0;
+            if (rel == LpRelation::kLessEqual) rel = LpRelation::kGreaterEqual;
+            else if (rel == LpRelation::kGreaterEqual) rel = LpRelation::kLessEqual;
+        }
+        for (std::size_t c = 0; c < num_vars; ++c) {
+            tab.at(r, c) = sign * constraint.coefficients[c];
+        }
+        tab.rhs(r) = sign * constraint.rhs;
+        switch (rel) {
+            case LpRelation::kLessEqual:
+                tab.at(r, next_slack) = 1.0;
+                tab.basis(r) = next_slack++;
+                break;
+            case LpRelation::kGreaterEqual:
+                tab.at(r, next_slack) = -1.0;
+                ++next_slack;
+                tab.at(r, next_art) = 1.0;
+                is_artificial[next_art] = true;
+                tab.basis(r) = next_art++;
+                break;
+            case LpRelation::kEqual:
+                tab.at(r, next_art) = 1.0;
+                is_artificial[next_art] = true;
+                tab.basis(r) = next_art++;
+                break;
+        }
+    }
+    const std::size_t total_cols = max_cols;
+
+    LpSolution solution;
+
+    // Phase 1: maximize -sum(artificials); feasible iff optimum is ~0.
+    const bool any_artificial = next_art > art_base;
+    if (any_artificial) {
+        std::vector<double> phase1_costs(total_cols, 0.0);
+        for (std::size_t c = art_base; c < next_art; ++c) phase1_costs[c] = -1.0;
+        tab.load_costs(phase1_costs);
+        std::vector<bool> eligible(total_cols, true);
+        if (!tab.optimize(eligible)) {
+            throw std::logic_error("solve_lp: phase 1 unbounded (impossible)");
+        }
+        if (tab.objective() < -1e-7) {
+            solution.status = LpStatus::kInfeasible;
+            return solution;
+        }
+        // Drive any artificial still basic (at value ~0) out of the basis.
+        for (std::size_t r = 0; r < num_rows; ++r) {
+            if (!is_artificial[tab.basis(r)]) continue;
+            std::size_t replacement = total_cols;
+            for (std::size_t c = 0; c < art_base; ++c) {
+                if (std::fabs(tab.at(r, c)) > kTol) {
+                    replacement = c;
+                    break;
+                }
+            }
+            if (replacement != total_cols) tab.pivot(r, replacement);
+            // else: redundant row; the artificial stays basic at zero.
+        }
+    }
+
+    // Phase 2: the real objective over non-artificial columns.
+    std::vector<double> costs(total_cols, 0.0);
+    for (std::size_t c = 0; c < num_vars; ++c) costs[c] = problem.objective[c];
+    tab.load_costs(costs);
+    std::vector<bool> eligible(total_cols, true);
+    for (std::size_t c = 0; c < total_cols; ++c) {
+        if (is_artificial[c]) eligible[c] = false;
+    }
+    if (!tab.optimize(eligible)) {
+        solution.status = LpStatus::kUnbounded;
+        return solution;
+    }
+
+    solution.status = LpStatus::kOptimal;
+    solution.objective_value = tab.objective();
+    solution.x.assign(num_vars, 0.0);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        if (tab.basis(r) < num_vars) solution.x[tab.basis(r)] = tab.rhs(r);
+    }
+    return solution;
+}
+
+}  // namespace bnash::util

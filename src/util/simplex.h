@@ -1,0 +1,48 @@
+// Primal simplex linear-programming solver (two-phase, Bland's rule).
+//
+// Used as a substrate in three places: the zero-sum minimax solver (the
+// "standard" Nash machinery the paper measures its concepts against),
+// mixed-strategy domination tests in iterated elimination, and sanity
+// baselines in tests. Problems here are tiny (tens of variables), so the
+// implementation favors clarity and anti-cycling robustness over speed.
+//
+//   maximize    c^T x
+//   subject to  A x (<=|==|>=) b,   x >= 0
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace bnash::util {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+[[nodiscard]] std::string to_string(LpStatus status);
+
+enum class LpRelation { kLessEqual, kEqual, kGreaterEqual };
+
+struct LpConstraint final {
+    std::vector<double> coefficients;
+    LpRelation relation = LpRelation::kLessEqual;
+    double rhs = 0.0;
+};
+
+struct LpProblem final {
+    // Objective is always maximization; negate coefficients to minimize.
+    std::vector<double> objective;
+    std::vector<LpConstraint> constraints;
+};
+
+struct LpSolution final {
+    LpStatus status = LpStatus::kInfeasible;
+    double objective_value = 0.0;
+    std::vector<double> x;
+};
+
+// Solves the LP. Variables are implicitly bounded below by zero.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace bnash::util

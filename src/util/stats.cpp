@@ -1,0 +1,75 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bnash::util {
+
+Summary summarize(std::span<const double> values) {
+    Summary out;
+    out.count = values.size();
+    if (values.empty()) return out;
+    double sum = 0.0;
+    out.min = values.front();
+    out.max = values.front();
+    for (const double v : values) {
+        sum += v;
+        out.min = std::min(out.min, v);
+        out.max = std::max(out.max, v);
+    }
+    out.mean = sum / static_cast<double>(values.size());
+    if (values.size() > 1) {
+        double ss = 0.0;
+        for (const double v : values) ss += (v - out.mean) * (v - out.mean);
+        out.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+    }
+    return out;
+}
+
+double percentile(std::vector<double> values, double q) {
+    if (values.empty()) throw std::invalid_argument("percentile: empty input");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q out of [0,1]");
+    std::sort(values.begin(), values.end());
+    const double position = q * static_cast<double>(values.size() - 1);
+    const auto lower = static_cast<std::size_t>(position);
+    const double frac = position - static_cast<double>(lower);
+    if (lower + 1 >= values.size()) return values.back();
+    return values[lower] * (1.0 - frac) + values[lower + 1] * frac;
+}
+
+double entropy_bits(std::span<const double> counts) {
+    double total = 0.0;
+    for (const double c : counts) total += c;
+    if (total <= 0.0) return 0.0;
+    double h = 0.0;
+    for (const double c : counts) {
+        if (c <= 0.0) continue;
+        const double p = c / total;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double gini(std::vector<double> values) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    double cum_weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        cum_weighted += static_cast<double>(i + 1) * values[i];
+        total += values[i];
+    }
+    if (total <= 0.0) return 0.0;
+    const auto n = static_cast<double>(values.size());
+    return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+    if (p.size() != q.size()) throw std::invalid_argument("total_variation: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) acc += std::fabs(p[i] - q[i]);
+    return acc / 2.0;
+}
+
+}  // namespace bnash::util

@@ -1,0 +1,33 @@
+// Small descriptive-statistics helpers used by the simulators and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bnash::util {
+
+struct Summary final {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  // sample standard deviation (n-1)
+    double min = 0.0;
+    double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+// q in [0,1]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+// Shannon entropy (bits) of a discrete distribution given as counts.
+[[nodiscard]] double entropy_bits(std::span<const double> counts);
+
+// Gini coefficient of a non-negative vector (wealth inequality in the
+// scrip simulator). Returns 0 for empty or all-zero input.
+[[nodiscard]] double gini(std::vector<double> values);
+
+// Total variation distance between two distributions over the same support.
+[[nodiscard]] double total_variation(std::span<const double> p, std::span<const double> q);
+
+}  // namespace bnash::util

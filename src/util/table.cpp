@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bnash::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table: row width != header width");
+    }
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string Table::fmt(double value, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string Table::fmt(std::size_t value) { return std::to_string(value); }
+std::string Table::fmt(std::int64_t value) { return std::to_string(value); }
+std::string Table::fmt(bool value) { return value ? "yes" : "no"; }
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    const auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << cells[c] << std::string(widths[c] - cells[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    const auto emit_rule = [&] {
+        for (const std::size_t w : widths) os << "+" << std::string(w + 2, '-');
+        os << "+\n";
+    };
+    emit_rule();
+    emit_row(headers_);
+    emit_rule();
+    for (const auto& row : rows_) emit_row(row);
+    emit_rule();
+    return os.str();
+}
+
+std::string Table::to_csv() const {
+    std::ostringstream os;
+    const auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0) os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+}  // namespace bnash::util

@@ -1,0 +1,36 @@
+// Fixed-width console table writer.
+//
+// Every bench binary prints the rows the paper's corresponding
+// table/figure would contain; this formatter keeps those outputs uniform
+// and diffable (stable column widths, deterministic formatting).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bnash::util {
+
+class Table final {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    Table& add_row(std::vector<std::string> cells);
+
+    // Convenience: formats doubles with `precision` digits after the point.
+    static std::string fmt(double value, int precision = 3);
+    static std::string fmt(std::size_t value);
+    static std::string fmt(std::int64_t value);
+    static std::string fmt(bool value);
+
+    void print(std::ostream& os) const;
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] std::string to_csv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bnash::util

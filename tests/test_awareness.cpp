@@ -1,0 +1,224 @@
+// Tests for Section 4's games with awareness (E10, E11): generalized Nash
+// equilibrium, the canonical-representation theorem, the Figure 1-3
+// example with its p-crossover, and awareness of unawareness via virtual
+// moves.
+#include <gtest/gtest.h>
+
+#include "core/awareness/awareness_game.h"
+#include "util/combinatorics.h"
+#include "game/catalog.h"
+#include "solver/verification.h"
+
+namespace bnash::core {
+namespace {
+
+using game::ExtensiveGame;
+using util::Rational;
+
+// --------------------------------------------------------------- structure
+
+TEST(Awareness, CanonicalRepresentationActivatesEverything) {
+    const auto aware = AwarenessGame::canonical(game::catalog::figure1_game());
+    EXPECT_EQ(aware.num_games(), 1u);
+    const auto pairs = aware.active_pairs();
+    EXPECT_EQ(pairs.size(), 2u);  // (A, 0) and (B, 0)
+    EXPECT_TRUE(aware.is_active_slot(0, 0));
+    EXPECT_TRUE(aware.is_active_slot(0, 1));
+}
+
+TEST(Awareness, FinalizeRejectsActionCountMismatch) {
+    AwarenessGame aware;
+    const auto g0 = aware.add_game(game::catalog::figure1_game());
+    const auto g1 = aware.add_game(game::catalog::figure1_game_without_downB());
+    // Figure 1's B node has 2 actions; Gamma_B's B info set has 1.
+    const auto b_node = game::catalog::figure1_game().node_at({1});
+    aware.set_belief(g0, b_node, {g1, *game::catalog::figure1_game_without_downB()
+                                          .find_info_set("B")});
+    EXPECT_THROW(aware.finalize(), std::logic_error);
+}
+
+TEST(Awareness, FinalizeRejectsMoverChange) {
+    AwarenessGame aware;
+    const auto g0 = aware.add_game(game::catalog::figure1_game());
+    // Point A's root belief at B's info set: different mover.
+    const auto root = game::catalog::figure1_game().node_at({});
+    aware.set_belief(g0, root, {g0, *game::catalog::figure1_game().find_info_set("B")});
+    EXPECT_THROW(aware.finalize(), std::logic_error);
+}
+
+// ------------------------------------------- canonical representation thm
+
+TEST(Awareness, CanonicalGeneralizedNashEqualsNash) {
+    // "a strategy profile is a Nash equilibrium of Gamma iff it is a
+    // generalized Nash equilibrium of the canonical representation".
+    const auto tree = game::catalog::figure1_game();
+    const auto aware = AwarenessGame::canonical(tree);
+    const auto nf = tree.to_normal_form();
+
+    // Enumerate all pure strategy profiles of the tree (one action per
+    // info set) and compare the two notions.
+    for (std::size_t a_choice = 0; a_choice < 2; ++a_choice) {
+        for (std::size_t b_choice = 0; b_choice < 2; ++b_choice) {
+            AwarenessGame::Profile profile(1);
+            profile[0] = {game::pure_as_mixed(a_choice, 2), game::pure_as_mixed(b_choice, 2)};
+            const bool generalized = aware.is_generalized_nash(profile);
+            const bool nash = solver::is_pure_nash(nf, {a_choice, b_choice});
+            EXPECT_EQ(generalized, nash) << "a=" << a_choice << " b=" << b_choice;
+        }
+    }
+}
+
+TEST(Awareness, CanonicalExistence) {
+    // Every game with awareness has a generalized Nash equilibrium; on the
+    // canonical representation the solver must find one.
+    const auto aware = AwarenessGame::canonical(game::catalog::figure1_game());
+    const auto profile = aware.solve_by_best_response();
+    EXPECT_TRUE(aware.is_generalized_nash(profile));
+}
+
+// -------------------------------------------------------------- Figure 1-3
+
+TEST(AwarenessFigure1, LowPPlaysAcross) {
+    // p < 1/2: A expects the (aware) B to play down_B often enough that
+    // across_A is worth it.
+    const auto fig = figure1_awareness_game(Rational{1, 4});
+    const auto profile = fig.game.solve_by_best_response();
+    EXPECT_TRUE(fig.game.is_generalized_nash(profile));
+    // A's strategy in Gamma_A: across_A (index 1).
+    EXPECT_NEAR(profile[fig.gamma_a][fig.a_infoset_in_gamma_a][1], 1.0, 1e-9);
+}
+
+TEST(AwarenessFigure1, HighPPlaysDown) {
+    // p > 1/2: A believes B is probably unaware of down_B and will play
+    // across_B, so A takes the safe down_A -- "Nash equilibrium does not
+    // seem to be the appropriate solution concept here."
+    const auto fig = figure1_awareness_game(Rational{3, 4});
+    const auto profile = fig.game.solve_by_best_response();
+    EXPECT_TRUE(fig.game.is_generalized_nash(profile));
+    EXPECT_NEAR(profile[fig.gamma_a][fig.a_infoset_in_gamma_a][0], 1.0, 1e-9);
+}
+
+TEST(AwarenessFigure1, CrossoverAtOneHalf) {
+    // Exactly at p = 1/2 both actions tie; the equilibrium checker must
+    // accept both pure choices for A.
+    const auto fig = figure1_awareness_game(Rational{1, 2});
+    auto profile = fig.game.solve_by_best_response();
+    EXPECT_TRUE(fig.game.is_generalized_nash(profile));
+    for (std::size_t a_action = 0; a_action < 2; ++a_action) {
+        auto variant = profile;
+        variant[fig.gamma_a][fig.a_infoset_in_gamma_a] = game::pure_as_mixed(a_action, 2);
+        EXPECT_TRUE(fig.game.is_generalized_nash(variant)) << "action " << a_action;
+    }
+}
+
+TEST(AwarenessFigure1, AwareBPlaysDownB) {
+    // In every equilibrium where B's modeler-game node matters, the aware
+    // B plays down_B (it believes the modeler's game, where down_B earns 2
+    // whenever A crosses with positive probability under the uniform
+    // starting point).
+    const auto fig = figure1_awareness_game(Rational{1, 4});
+    const auto profile = fig.game.solve_by_best_response();
+    const auto b_set = *fig.game.game_at(fig.modeler).find_info_set("B");
+    EXPECT_NEAR(profile[fig.modeler][b_set][0], 1.0, 1e-9);
+}
+
+TEST(AwarenessFigure1, UnawareAInGammaBPlaysDown) {
+    // In Gamma_B (where down_B does not exist) A prefers down_A: 1 > 0.
+    const auto fig = figure1_awareness_game(Rational{1, 4});
+    const auto profile = fig.game.solve_by_best_response();
+    const auto a_set = *fig.game.game_at(fig.gamma_b).find_info_set("A");
+    EXPECT_NEAR(profile[fig.gamma_b][a_set][0], 1.0, 1e-9);
+}
+
+TEST(AwarenessFigure1, PureEquilibriaExistForEveryP) {
+    for (const auto& p : {Rational{0}, Rational{1, 4}, Rational{1, 2}, Rational{3, 4},
+                          Rational{1}}) {
+        const auto fig = figure1_awareness_game(p);
+        EXPECT_FALSE(fig.game.pure_generalized_equilibria().empty())
+            << "p = " << p.to_string();
+    }
+}
+
+// ----------------------------------------------------- virtual moves (AoU)
+
+TEST(VirtualMove, TemptingVirtualPayoffChangesBsConjecturedPlay) {
+    // If A believes B's unknown move yields B more than down_B's 2, A
+    // conjectures B will play it; A's own move then rides on the believed
+    // payoff to A.
+    // believed payoffs (3, 3): A expects 3 from across -> plays across.
+    const auto optimistic = virtual_move_game(Rational{3}, Rational{3});
+    const auto profile = optimistic.solve_by_best_response();
+    EXPECT_TRUE(optimistic.is_generalized_nash(profile));
+    const auto a_set = *optimistic.game_at(1).find_info_set("A");
+    EXPECT_NEAR(profile[1][a_set][1], 1.0, 1e-9);  // across_A
+}
+
+TEST(VirtualMove, ThreateningVirtualPayoffDetersA) {
+    // believed payoffs (0, 3): B would play the virtual move and leave A
+    // with 0 < 1, so A stays down -- the paper's "peace overtures" story.
+    const auto pessimistic = virtual_move_game(Rational{0}, Rational{3});
+    const auto profile = pessimistic.solve_by_best_response();
+    EXPECT_TRUE(pessimistic.is_generalized_nash(profile));
+    const auto a_set = *pessimistic.game_at(1).find_info_set("A");
+    EXPECT_NEAR(profile[1][a_set][0], 1.0, 1e-9);  // down_A
+}
+
+TEST(VirtualMove, UnattractiveVirtualMoveIsIgnored) {
+    // believed payoffs (5, -1): B would never play it (down_B pays 2), so
+    // the subjective game behaves like Figure 1: A crosses.
+    const auto ignored = virtual_move_game(Rational{5}, Rational{-1});
+    const auto profile = ignored.solve_by_best_response();
+    EXPECT_TRUE(ignored.is_generalized_nash(profile));
+    const auto a_set = *ignored.game_at(1).find_info_set("A");
+    EXPECT_NEAR(profile[1][a_set][1], 1.0, 1e-9);
+}
+
+TEST(VirtualMove, GeneralizedEquilibriumAlwaysExists) {
+    for (const std::int64_t believed_a : {-2, 0, 1, 3}) {
+        for (const std::int64_t believed_b : {-2, 0, 2, 4}) {
+            const auto g = virtual_move_game(Rational{believed_a}, Rational{believed_b});
+            const auto profile = g.solve_by_best_response();
+            EXPECT_TRUE(g.is_generalized_nash(profile))
+                << "believed (" << believed_a << ", " << believed_b << ")";
+        }
+    }
+}
+
+// ------------------------------------------------------------ sanity sweeps
+
+class CanonicalEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CanonicalEquivalence, RandomTreesAgreeWithNormalFormNash) {
+    // Random 2-player perfect-information trees: pure generalized NE of
+    // the canonical representation == pure NE of the strategic form.
+    util::Rng rng{GetParam() * 31};
+    ExtensiveGame tree(2);
+    const auto root = tree.add_decision(0, "P0", {"l", "r"});
+    const auto left = tree.add_decision(1, "P1L", {"l", "r"});
+    const auto right = tree.add_decision(1, "P1R", {"l", "r"});
+    tree.set_child(root, 0, left);
+    tree.set_child(root, 1, right);
+    for (const auto parent : {left, right}) {
+        for (std::size_t a = 0; a < 2; ++a) {
+            tree.set_child(parent, a,
+                           tree.add_terminal({Rational{rng.next_int(-3, 3)},
+                                              Rational{rng.next_int(-3, 3)}}));
+        }
+    }
+    tree.finalize();
+    const auto aware = AwarenessGame::canonical(tree);
+    const auto nf = tree.to_normal_form();
+
+    std::size_t generalized_count = aware.pure_generalized_equilibria().size();
+    std::size_t nash_count = 0;
+    util::product_for_each(nf.action_counts(), [&](const game::PureProfile& profile) {
+        nash_count += solver::is_pure_nash(nf, profile);
+        return true;
+    });
+    EXPECT_EQ(generalized_count, nash_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalEquivalence, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace bnash::core

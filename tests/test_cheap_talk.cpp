@@ -1,0 +1,295 @@
+// Integration tests for the ADGH cheap-talk implementation of mediators
+// (E6): distribution equality with the mediated game, fault tolerance at
+// the paper's thresholds, secrecy, and failure beyond the thresholds.
+#include <gtest/gtest.h>
+
+#include "core/robust/cheap_talk.h"
+#include "core/robust/mediator.h"
+#include "game/catalog.h"
+#include "util/combinatorics.h"
+#include "util/stats.h"
+
+namespace bnash::core {
+namespace {
+
+using game::TypeProfile;
+using game::catalog::byzantine_agreement_game;
+using game::catalog::correlated_types_game;
+using util::Rational;
+
+std::vector<CheapTalkBehavior> honest(std::size_t n) {
+    return std::vector<CheapTalkBehavior>(n, CheapTalkBehavior::kHonest);
+}
+
+// n = 7 > 3k+3t for (k,t) = (1,1); d = 2, 2d+1 = 5 <= 7.
+constexpr std::size_t kN = 7;
+
+game::BayesianGame big_byzantine() { return byzantine_agreement_game(kN); }
+
+TEST(CheapTalk, HonestRunReproducesDeterministicMediator) {
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    for (const std::size_t general_pref : {0u, 1u}) {
+        TypeProfile types(kN, 0);
+        types[0] = general_pref;
+        const auto outcome = run_cheap_talk(policy, types, honest(kN), params);
+        for (std::size_t i = 0; i < kN; ++i) {
+            ASSERT_TRUE(outcome.recommendations[i].has_value()) << "player " << i;
+            EXPECT_EQ(*outcome.recommendations[i], general_pref);
+            EXPECT_EQ(outcome.actions[i], general_pref);
+        }
+    }
+}
+
+TEST(CheapTalk, RequiresBgwFloor) {
+    const auto g = byzantine_agreement_game(4);
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;  // d = 2, needs n >= 5 > 4
+    EXPECT_THROW((void)run_cheap_talk(policy, TypeProfile(4, 0), honest(4), params),
+                 std::invalid_argument);
+}
+
+TEST(CheapTalk, ToleratesCrashAfterShare) {
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    auto behaviors = honest(kN);
+    behaviors[3] = CheapTalkBehavior::kCrashAfterShare;
+    TypeProfile types(kN, 0);
+    types[0] = 1;
+    const auto outcome = run_cheap_talk(policy, types, behaviors, params);
+    for (std::size_t i = 0; i < kN; ++i) {
+        if (i == 3) continue;
+        ASSERT_TRUE(outcome.recommendations[i].has_value()) << "player " << i;
+        EXPECT_EQ(*outcome.recommendations[i], 1u);
+    }
+}
+
+TEST(CheapTalk, ToleratesSilentPlayer) {
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    auto behaviors = honest(kN);
+    behaviors[5] = CheapTalkBehavior::kSilent;
+    // A silent player's type defaults to 0 (the all-zero sharing), so the
+    // general's preference still propagates when the general is honest.
+    TypeProfile types(kN, 0);
+    types[0] = 1;
+    const auto outcome = run_cheap_talk(policy, types, behaviors, params);
+    for (std::size_t i = 0; i < kN; ++i) {
+        if (i == 5) continue;
+        ASSERT_TRUE(outcome.recommendations[i].has_value());
+        EXPECT_EQ(*outcome.recommendations[i], 1u);
+    }
+}
+
+TEST(CheapTalk, HonestPlayersConsistentUnderShareCorruption) {
+    // A corrupting non-general player cannot make honest players disagree:
+    // its garbage input is equivalent to SOME (possibly out-of-domain)
+    // reported type, identical for everyone.
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    auto behaviors = honest(kN);
+    behaviors[6] = CheapTalkBehavior::kCorruptShares;
+    TypeProfile types(kN, 0);
+    types[0] = 1;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        params.seed = seed;
+        const auto outcome = run_cheap_talk(policy, types, behaviors, params);
+        // All honest players reach the same recommendation state. Note the
+        // corrupter is NOT the general, and the Byzantine-consensus policy
+        // ignores non-general types entirely, so recommendations must be
+        // correct, not just consistent.
+        for (std::size_t i = 0; i < kN; ++i) {
+            if (i == 6) continue;
+            ASSERT_TRUE(outcome.recommendations[i].has_value()) << "seed " << seed;
+            EXPECT_EQ(*outcome.recommendations[i], 1u) << "seed " << seed;
+        }
+    }
+}
+
+TEST(CheapTalk, MisreportMatchesMediatorSemantics) {
+    // A strategic general misreporting its type is exactly a misreport in
+    // the mediated game: everyone is told the reported preference.
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    params.misreport_type = 0;
+    auto behaviors = honest(kN);
+    behaviors[0] = CheapTalkBehavior::kMisreport;
+    TypeProfile types(kN, 0);
+    types[0] = 1;  // true preference 1, reported 0
+    const auto outcome = run_cheap_talk(policy, types, behaviors, params);
+    for (std::size_t i = 1; i < kN; ++i) {
+        ASSERT_TRUE(outcome.recommendations[i].has_value());
+        EXPECT_EQ(*outcome.recommendations[i], 0u);  // the reported value
+    }
+}
+
+TEST(CheapTalk, RandomizedPolicyDistributionMatchesMediator) {
+    // 7-player variant of the correlated-coin policy: recommend all-0 or
+    // all-1 with probability 1/2 each regardless of types.
+    const auto g = big_byzantine();
+    MediatorPolicy policy(g);
+    util::product_for_each(g.type_counts(), [&](const TypeProfile& types) {
+        policy.set_recommendation(types, game::PureProfile(kN, 0), Rational{1, 2});
+        policy.set_recommendation(types, game::PureProfile(kN, 1), Rational{1, 2});
+        return true;
+    });
+    policy.validate();
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    const TypeProfile types(kN, 0);
+    const auto empirical =
+        cheap_talk_action_distribution(policy, types, honest(kN), params, 60);
+    const auto target_row = policy.induced_action_distribution(types);
+    std::vector<double> target(target_row.size());
+    for (std::size_t i = 0; i < target.size(); ++i) target[i] = target_row[i].to_double();
+    EXPECT_LT(util::total_variation(empirical, target), 0.2);
+}
+
+TEST(CheapTalk, ReportsCostsAndStructure) {
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    const auto outcome = run_cheap_talk(policy, TypeProfile(kN, 0), honest(kN), params);
+    EXPECT_GT(outcome.mul_gates, 0u);
+    EXPECT_GT(outcome.metrics.messages, 0u);
+    EXPECT_GT(outcome.phases, 2u);
+    EXPECT_EQ(outcome.ba_instances, 0u);  // deterministic policy: no coin
+    EXPECT_EQ(outcome.coin_space, 1u);
+}
+
+TEST(CheapTalk, RandomizedPolicyRunsByzantineAgreementOnCoins) {
+    const auto g = big_byzantine();
+    MediatorPolicy policy(g);
+    util::product_for_each(g.type_counts(), [&](const TypeProfile& types) {
+        policy.set_recommendation(types, game::PureProfile(kN, 0), Rational{1, 2});
+        policy.set_recommendation(types, game::PureProfile(kN, 1), Rational{1, 2});
+        return true;
+    });
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    const auto outcome = run_cheap_talk(policy, TypeProfile(kN, 0), honest(kN), params);
+    EXPECT_EQ(outcome.ba_instances, kN);  // one binary agreement per contributor
+    EXPECT_EQ(outcome.coin_space, 2u);
+    // All honest players landed on the same all-0 or all-1 recommendation.
+    for (std::size_t i = 1; i < kN; ++i) {
+        EXPECT_EQ(outcome.recommendations[i], outcome.recommendations[0]);
+    }
+}
+
+// ------------------------------------------------------- broadcast channel
+
+TEST(CheapTalk, BroadcastChannelEliminatesByzantineAgreement) {
+    // With a physical broadcast the randomized policy needs no BA at all;
+    // the paper's n > 2k+2t regime. Here n = 5 with (k,t) = (1,1):
+    // 3k+3t = 6 > 5 rules out the point-to-point construction, but
+    // 2k+2t = 4 < 5 admits the broadcast one (and 2d+1 = 5 <= n keeps BGW
+    // alive).
+    const auto g = byzantine_agreement_game(5);
+    MediatorPolicy policy(g);
+    util::product_for_each(g.type_counts(), [&](const TypeProfile& types) {
+        policy.set_recommendation(types, game::PureProfile(5, 0), Rational{1, 2});
+        policy.set_recommendation(types, game::PureProfile(5, 1), Rational{1, 2});
+        return true;
+    });
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    params.broadcast_channel = true;
+    const auto outcome = run_cheap_talk(policy, TypeProfile(5, 0), honest(5), params);
+    EXPECT_EQ(outcome.ba_instances, 0u);
+    for (std::size_t i = 1; i < 5; ++i) {
+        ASSERT_TRUE(outcome.recommendations[i].has_value());
+        EXPECT_EQ(outcome.recommendations[i], outcome.recommendations[0]);
+    }
+}
+
+TEST(CheapTalk, BroadcastChannelIsCheaperAtTheSameSize) {
+    const auto g = big_byzantine();
+    MediatorPolicy policy(g);
+    util::product_for_each(g.type_counts(), [&](const TypeProfile& types) {
+        policy.set_recommendation(types, game::PureProfile(kN, 0), Rational{1, 2});
+        policy.set_recommendation(types, game::PureProfile(kN, 1), Rational{1, 2});
+        return true;
+    });
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    params.broadcast_channel = false;
+    const auto p2p = run_cheap_talk(policy, TypeProfile(kN, 0), honest(kN), params);
+    params.broadcast_channel = true;
+    const auto broadcast = run_cheap_talk(policy, TypeProfile(kN, 0), honest(kN), params);
+    EXPECT_GT(p2p.ba_instances, 0u);
+    EXPECT_EQ(broadcast.ba_instances, 0u);
+    EXPECT_LT(broadcast.metrics.messages, p2p.metrics.messages);
+}
+
+// ------------------------------------------------------------------ secrecy
+
+TEST(CheapTalk, SecrecyThreshold) {
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;  // d = 2
+    EXPECT_FALSE(coalition_can_learn_type(policy, 1, params));
+    EXPECT_FALSE(coalition_can_learn_type(policy, 2, params));
+    EXPECT_TRUE(coalition_can_learn_type(policy, 3, params));  // d+1 shares suffice
+}
+
+// --------------------------------------------- beyond-threshold behaviour
+
+TEST(CheapTalk, BeyondThresholdSecrecyCollapses) {
+    // With n = 7 and a coalition of size k+t+1 the sharing threshold is
+    // crossed: the paper's n <= 3k+3t impossibility is rooted in exactly
+    // this tension (larger thresholds would defeat reconstruction).
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 2;
+    params.t = 1;  // d = 3; n = 7 = 2d+1 still evaluable, but 3k+3t = 9 > 7
+    EXPECT_FALSE(coalition_can_learn_type(policy, 3, params));
+    EXPECT_TRUE(coalition_can_learn_type(policy, 4, params));
+}
+
+class CheapTalkTypeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CheapTalkTypeSweep, EveryGeneralTypeReproduced) {
+    const auto g = big_byzantine();
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    params.seed = GetParam();
+    TypeProfile types(kN, 0);
+    types[0] = GetParam() % 2;
+    const auto outcome = run_cheap_talk(policy, types, honest(kN), params);
+    const auto expected = policy.induced_action_distribution(types);
+    const auto rank = util::product_rank(g.action_counts(), outcome.actions);
+    EXPECT_EQ(expected[rank], Rational{1});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheapTalkTypeSweep, ::testing::Range<std::size_t>(1, 11));
+
+}  // namespace
+}  // namespace bnash::core

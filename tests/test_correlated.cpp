@@ -1,0 +1,165 @@
+// Tests for correlated equilibria and their bridge to Section 2's
+// mediators: a mediator for a complete-information game is exactly a
+// correlated-equilibrium device.
+#include <gtest/gtest.h>
+
+#include "core/machine/machine_game.h"
+#include "core/robust/mediator.h"
+#include "game/catalog.h"
+#include "solver/correlated.h"
+#include "solver/support_enumeration.h"
+#include "util/combinatorics.h"
+#include "util/rng.h"
+
+namespace bnash::solver {
+namespace {
+
+using game::catalog::chicken;
+using game::catalog::matching_pennies;
+using game::catalog::prisoners_dilemma;
+using game::catalog::roshambo;
+using util::Rational;
+
+TEST(Correlated, UniformIsCorrelatedEquilibriumOfRoshambo) {
+    const auto g = roshambo();
+    const std::vector<double> uniform(9, 1.0 / 9.0);
+    EXPECT_TRUE(is_correlated_equilibrium(g, uniform));
+}
+
+TEST(Correlated, PointMassOnDefectIsCEOfPd) {
+    const auto pd = prisoners_dilemma();
+    std::vector<double> mu(4, 0.0);
+    mu[pd.profile_rank({1, 1})] = 1.0;
+    EXPECT_TRUE(is_correlated_equilibrium(pd, mu));
+    // Point mass on (C,C) violates obedience.
+    std::vector<double> cc(4, 0.0);
+    cc[pd.profile_rank({0, 0})] = 1.0;
+    EXPECT_FALSE(is_correlated_equilibrium(pd, cc));
+}
+
+TEST(Correlated, TrafficLightInChicken) {
+    // The classic: a mediator that never recommends (straight, straight)
+    // and randomizes over the asymmetric profiles is a CE whose welfare
+    // beats the symmetric mixed Nash equilibrium.
+    const auto g = chicken();
+    std::vector<double> light(4, 0.0);
+    light[g.profile_rank({0, 1})] = 0.5;  // (swerve, straight)
+    light[g.profile_rank({1, 0})] = 0.5;  // (straight, swerve)
+    EXPECT_TRUE(is_correlated_equilibrium(g, light));
+}
+
+TEST(Correlated, LpFindsWelfareOptimalCE) {
+    const auto g = chicken();
+    const auto ce = solve_correlated_equilibrium(g, CeObjective::kSocialWelfare);
+    ASSERT_TRUE(ce.has_value());
+    EXPECT_TRUE(is_correlated_equilibrium(g, ce->distribution));
+    // Welfare-optimal CE in chicken: no mass on the crash, welfare 0
+    // (swerve/swerve or the traffic light both achieve 0; crashing loses 20).
+    EXPECT_NEAR(ce->objective_value, 0.0, 1e-6);
+    EXPECT_NEAR(ce->distribution[g.profile_rank({1, 1})], 0.0, 1e-7);
+}
+
+TEST(Correlated, EgalitarianObjective) {
+    const auto g = game::catalog::battle_of_the_sexes();
+    const auto ce = solve_correlated_equilibrium(g, CeObjective::kEgalitarian);
+    ASSERT_TRUE(ce.has_value());
+    EXPECT_TRUE(is_correlated_equilibrium(g, ce->distribution));
+    // Alternating between the two pure equilibria gives each player 1.5,
+    // the egalitarian optimum.
+    EXPECT_NEAR(std::min(ce->expected_payoffs[0], ce->expected_payoffs[1]), 1.5, 1e-6);
+}
+
+TEST(Correlated, PlayerZeroObjective) {
+    const auto g = game::catalog::battle_of_the_sexes();
+    const auto ce = solve_correlated_equilibrium(g, CeObjective::kPlayerZero);
+    ASSERT_TRUE(ce.has_value());
+    EXPECT_NEAR(ce->expected_payoffs[0], 2.0, 1e-6);  // player 0's favourite NE
+}
+
+TEST(Correlated, EveryNashIsCorrelated) {
+    // Foundational inclusion, checked across the catalog.
+    for (const auto& g : {prisoners_dilemma(), matching_pennies(), chicken(), roshambo(),
+                          game::catalog::battle_of_the_sexes(), game::catalog::stag_hunt()}) {
+        for (const auto& eq : support_enumeration(g)) {
+            const auto mu = product_distribution(g, game::to_double(eq.profile));
+            EXPECT_TRUE(is_correlated_equilibrium(g, mu, 1e-6));
+        }
+    }
+}
+
+TEST(Correlated, CeWelfareWeaklyBeatsBestNash) {
+    for (const auto& g : {chicken(), game::catalog::battle_of_the_sexes(),
+                          game::catalog::stag_hunt()}) {
+        const auto ce = solve_correlated_equilibrium(g, CeObjective::kSocialWelfare);
+        ASSERT_TRUE(ce.has_value());
+        double best_nash_welfare = -1e300;
+        for (const auto& eq : support_enumeration(g)) {
+            best_nash_welfare = std::max(
+                best_nash_welfare, (eq.payoffs[0] + eq.payoffs[1]).to_double());
+        }
+        EXPECT_GE(ce->objective_value, best_nash_welfare - 1e-6);
+    }
+}
+
+class CorrelatedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorrelatedProperty, LpSolutionAlwaysValidatesOnRandomGames) {
+    util::Rng rng{GetParam() * 733};
+    const auto g = game::NormalFormGame::random({3, 3}, rng, -5, 5);
+    const auto ce = solve_correlated_equilibrium(g, CeObjective::kSocialWelfare);
+    ASSERT_TRUE(ce.has_value());
+    EXPECT_TRUE(is_correlated_equilibrium(g, ce->distribution, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrelatedProperty, ::testing::Range<std::uint64_t>(1, 31));
+
+// ------------------------------------------------- bridge to the mediators
+
+TEST(CorrelatedMediatorBridge, ObedientMediatorIffCorrelatedEquilibrium) {
+    // Lift chicken to a single-type Bayesian game; a mediator policy's one
+    // row is a distribution over action profiles, and truth-telling +
+    // obedience is an equilibrium exactly when that row is a CE.
+    const auto g = chicken();
+    const auto lifted = core::lift_to_bayesian(g);
+
+    const auto as_policy = [&](const std::vector<std::pair<game::PureProfile, Rational>>&
+                                   rows) {
+        core::MediatorPolicy policy(lifted);
+        for (const auto& [profile, prob] : rows) {
+            policy.set_recommendation(game::TypeProfile(2, 0), profile, prob);
+        }
+        return policy;
+    };
+
+    // The traffic light: CE, hence an obedient mediator.
+    const auto light = as_policy({{{0, 1}, Rational{1, 2}}, {{1, 0}, Rational{1, 2}}});
+    EXPECT_TRUE(light.is_truthful_equilibrium());
+    // Mass on the crash: not a CE, and the mediator check must also fail.
+    const auto crash = as_policy({{{1, 1}, Rational{1}}});
+    EXPECT_FALSE(crash.is_truthful_equilibrium());
+
+    // Quantified agreement over a grid of candidate distributions.
+    for (const int i : {0, 1, 2, 4}) {
+        for (const int j : {0, 1, 2}) {
+            const Rational p_light{i, 8};
+            const Rational p_swerve{j, 8};
+            const Rational rest = Rational{1} - p_light * 2 - p_swerve;
+            if (rest.sign() < 0) continue;
+            const auto policy = as_policy({{{0, 1}, p_light},
+                                           {{1, 0}, p_light},
+                                           {{0, 0}, p_swerve},
+                                           {{1, 1}, rest}});
+            std::vector<double> mu(4, 0.0);
+            mu[g.profile_rank({0, 1})] = p_light.to_double();
+            mu[g.profile_rank({1, 0})] = p_light.to_double();
+            mu[g.profile_rank({0, 0})] = p_swerve.to_double();
+            mu[g.profile_rank({1, 1})] = rest.to_double();
+            EXPECT_EQ(policy.is_truthful_equilibrium(),
+                      is_correlated_equilibrium(g, mu, 1e-9))
+                << "i=" << i << " j=" << j;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace bnash::solver

@@ -1,0 +1,341 @@
+// Tests for the crypto substrate: field axioms, polynomial interpolation,
+// Shamir sharing (identity, secrecy, error tolerance), commitments,
+// simulated signatures, and circuit compilation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/circuit.h"
+#include "crypto/commitment.h"
+#include "crypto/field.h"
+#include "crypto/polynomial.h"
+#include "crypto/shamir.h"
+#include "crypto/signature.h"
+#include "util/combinatorics.h"
+#include "util/rng.h"
+
+namespace bnash::crypto {
+namespace {
+
+// ------------------------------------------------------------------- field
+
+TEST(Field, BasicArithmetic) {
+    const Fe a{5};
+    const Fe b{7};
+    EXPECT_EQ(a + b, Fe{12});
+    EXPECT_EQ(b - a, Fe{2});
+    EXPECT_EQ(a * b, Fe{35});
+    EXPECT_EQ(a - b, Fe{kFieldPrime - 2});
+}
+
+TEST(Field, ReductionOnConstruction) {
+    EXPECT_EQ(Fe{kFieldPrime}, Fe{0});
+    EXPECT_EQ(Fe{kFieldPrime + 3}, Fe{3});
+}
+
+TEST(Field, NegationAndFromInt) {
+    EXPECT_EQ(fe_from_int(-1), Fe{kFieldPrime - 1});
+    EXPECT_EQ(fe_from_int(-1) + Fe{1}, Fe{0});
+    EXPECT_EQ(fe_from_int(42), Fe{42});
+    EXPECT_EQ(-Fe{0}, Fe{0});
+}
+
+TEST(Field, InverseIsExact) {
+    util::Rng rng{3};
+    for (int i = 0; i < 50; ++i) {
+        const Fe x = Fe::random(rng);
+        if (x.is_zero()) continue;
+        EXPECT_EQ(x * x.inverse(), Fe{1});
+    }
+    EXPECT_THROW((void)Fe{0}.inverse(), std::domain_error);
+}
+
+TEST(Field, PowMatchesRepeatedMultiplication) {
+    const Fe base{3};
+    Fe acc{1};
+    for (std::uint64_t e = 0; e < 20; ++e) {
+        EXPECT_EQ(base.pow(e), acc);
+        acc *= base;
+    }
+}
+
+TEST(Field, FermatLittleTheorem) {
+    util::Rng rng{9};
+    for (int i = 0; i < 10; ++i) {
+        const Fe x = Fe::random(rng);
+        if (x.is_zero()) continue;
+        EXPECT_EQ(x.pow(kFieldPrime - 1), Fe{1});
+    }
+}
+
+// -------------------------------------------------------------- polynomial
+
+TEST(Polynomial, EvalHorner) {
+    // p(x) = 2 + 3x + x^2; p(5) = 42.
+    const Polynomial p{{Fe{2}, Fe{3}, Fe{1}}};
+    EXPECT_EQ(p.eval(Fe{5}), Fe{42});
+    EXPECT_EQ(p.eval(Fe{0}), Fe{2});
+}
+
+TEST(Polynomial, InterpolateRecoversPolynomial) {
+    util::Rng rng{17};
+    const auto original = Polynomial::random_with_constant(Fe{123}, 4, rng);
+    std::vector<EvalPoint> points;
+    for (std::uint64_t x = 1; x <= 5; ++x) {
+        points.push_back({Fe{x}, original.eval(Fe{x})});
+    }
+    const auto recovered = interpolate(points);
+    for (std::uint64_t x = 0; x < 20; ++x) {
+        EXPECT_EQ(recovered.eval(Fe{x}), original.eval(Fe{x}));
+    }
+}
+
+TEST(Polynomial, InterpolateAtMatchesFullInterpolation) {
+    std::vector<EvalPoint> points{{Fe{1}, Fe{10}}, {Fe{2}, Fe{20}}, {Fe{3}, Fe{40}}};
+    const auto poly = interpolate(points);
+    EXPECT_EQ(interpolate_at(points, Fe{0}), poly.eval(Fe{0}));
+    EXPECT_EQ(interpolate_at(points, Fe{7}), poly.eval(Fe{7}));
+}
+
+TEST(Polynomial, DuplicateXRejected) {
+    std::vector<EvalPoint> points{{Fe{1}, Fe{10}}, {Fe{1}, Fe{20}}};
+    EXPECT_THROW((void)interpolate(points), std::invalid_argument);
+}
+
+TEST(Polynomial, LagrangeCoefficientsSumToOneAtAnyPoint) {
+    // Interpolating the constant-1 polynomial: coefficients sum to 1.
+    const std::vector<Fe> xs{Fe{1}, Fe{4}, Fe{9}};
+    const auto weights = lagrange_coefficients(xs, Fe{123});
+    Fe total{0};
+    for (const Fe w : weights) total += w;
+    EXPECT_EQ(total, Fe{1});
+}
+
+// ------------------------------------------------------------------ Shamir
+
+class ShamirProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShamirProperty, ShareReconstructIdentity) {
+    util::Rng rng{GetParam()};
+    const Fe secret = Fe::random(rng);
+    const std::size_t n = 3 + rng.next_below(6);
+    const std::size_t t = rng.next_below(n);
+    const auto shares = share_secret(secret, n, t, rng);
+    EXPECT_EQ(reconstruct(shares, t), secret);
+    // Any (t+1)-subset reconstructs the same secret.
+    const auto subset = util::subsets_of_size(n, t + 1);
+    for (std::size_t s = 0; s < std::min<std::size_t>(subset.size(), 5); ++s) {
+        std::vector<Share> picked;
+        for (const auto index : subset[s]) picked.push_back(shares[index]);
+        EXPECT_EQ(reconstruct(picked, t), secret);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShamirProperty, ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(Shamir, SecrecyUpToThreshold) {
+    // t shares are jointly uniform: sharing two different secrets with the
+    // same dealer randomness-stream produces t-share views that cannot be
+    // distinguished statistically. We verify the weaker checkable fact:
+    // for every candidate secret s', there exists a degree-t polynomial
+    // consistent with any t shares and s' (interpolation through t+1
+    // points always succeeds).
+    util::Rng rng{7};
+    const std::size_t n = 5;
+    const std::size_t t = 2;
+    const auto shares = share_secret(Fe{1111}, n, t, rng);
+    for (const std::uint64_t candidate : {0ULL, 55ULL, 999999ULL}) {
+        std::vector<EvalPoint> points{{Fe{0}, Fe{candidate}},
+                                      {shares[0].x(), shares[0].value},
+                                      {shares[1].x(), shares[1].value}};
+        const auto poly = interpolate(points);  // must not throw
+        EXPECT_EQ(poly.eval(Fe{0}), Fe{candidate});
+        EXPECT_EQ(poly.eval(shares[0].x()), shares[0].value);
+    }
+}
+
+TEST(Shamir, TooFewSharesThrows) {
+    util::Rng rng{8};
+    const auto shares = share_secret(Fe{5}, 5, 2, rng);
+    std::vector<Share> two{shares[0], shares[1]};
+    EXPECT_THROW((void)reconstruct(two, 2), std::invalid_argument);
+}
+
+TEST(Shamir, ErrorTolerantReconstruction) {
+    util::Rng rng{9};
+    const Fe secret{424242};
+    // n = 7, t = 1, e = 1 corrupted: 7 >= t+1+2e = 4 -> recoverable with
+    // agreement = 6.
+    auto shares = share_secret(secret, 7, 1, rng);
+    shares[3].value += Fe{1};  // corrupt one share
+    const auto recovered = reconstruct_with_errors(shares, 1, 6);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, secret);
+}
+
+TEST(Shamir, ErrorReconstructionFailsBeyondBound) {
+    util::Rng rng{10};
+    auto shares = share_secret(Fe{1}, 4, 1, rng);
+    // Corrupt half the shares and demand near-full agreement: no candidate.
+    shares[0].value += Fe{5};
+    shares[1].value += Fe{9};
+    EXPECT_FALSE(reconstruct_with_errors(shares, 1, 4).has_value());
+}
+
+TEST(Shamir, AdditiveHomomorphism) {
+    // Share-wise addition shares the sum (the BGW addition gate).
+    util::Rng rng{11};
+    const auto a = share_secret(Fe{100}, 5, 2, rng);
+    const auto b = share_secret(Fe{23}, 5, 2, rng);
+    std::vector<Share> sum(5);
+    for (std::size_t i = 0; i < 5; ++i) sum[i] = Share{i, a[i].value + b[i].value};
+    EXPECT_EQ(reconstruct(sum, 2), Fe{123});
+}
+
+TEST(Shamir, MultiplicationDoublesDegree) {
+    // Share-wise product reconstructs the product only at threshold 2t.
+    util::Rng rng{12};
+    const auto a = share_secret(Fe{6}, 7, 1, rng);
+    const auto b = share_secret(Fe{7}, 7, 1, rng);
+    std::vector<Share> product(7);
+    for (std::size_t i = 0; i < 7; ++i) {
+        product[i] = Share{i, a[i].value * b[i].value};
+    }
+    EXPECT_EQ(reconstruct(product, 2), Fe{42});  // degree 2t = 2 needs 3 shares
+}
+
+// -------------------------------------------------------------- commitment
+
+TEST(Commitment, CommitVerifyRoundTrip) {
+    util::Rng rng{13};
+    const auto opening = commit_random(Fe{77}, rng);
+    const auto c = commit(opening.value, opening.nonce);
+    EXPECT_TRUE(verify_commitment(c, opening));
+}
+
+TEST(Commitment, BindingAgainstValueChange) {
+    util::Rng rng{14};
+    const auto opening = commit_random(Fe{77}, rng);
+    const auto c = commit(opening.value, opening.nonce);
+    Opening forged = opening;
+    forged.value = Fe{78};
+    EXPECT_FALSE(verify_commitment(c, forged));
+    Opening wrong_nonce = opening;
+    wrong_nonce.nonce ^= 1;
+    EXPECT_FALSE(verify_commitment(c, wrong_nonce));
+}
+
+TEST(Commitment, HidingAcrossNonces) {
+    // Same value, different nonces: different digests.
+    EXPECT_NE(commit(Fe{5}, 1), commit(Fe{5}, 2));
+}
+
+// --------------------------------------------------------------- signature
+
+TEST(Signature, SignVerify) {
+    util::Rng rng{15};
+    KeyRegistry registry(3, rng);
+    auto signer = registry.issue_signer(1);
+    const auto sv = signer.sign(9999);
+    EXPECT_TRUE(registry.verify(sv));
+    EXPECT_EQ(sv.signer, 1u);
+}
+
+TEST(Signature, TamperedMessageFails) {
+    util::Rng rng{16};
+    KeyRegistry registry(2, rng);
+    auto signer = registry.issue_signer(0);
+    auto sv = signer.sign(1);
+    sv.message = 2;
+    EXPECT_FALSE(registry.verify(sv));
+}
+
+TEST(Signature, CrossIdentityForgeryFails) {
+    util::Rng rng{17};
+    KeyRegistry registry(2, rng);
+    auto signer = registry.issue_signer(0);
+    auto sv = signer.sign(1);
+    sv.signer = 1;  // claim someone else signed it
+    EXPECT_FALSE(registry.verify(sv));
+}
+
+TEST(Signature, KeysIssuedOnce) {
+    util::Rng rng{18};
+    KeyRegistry registry(2, rng);
+    (void)registry.issue_signer(0);
+    EXPECT_THROW((void)registry.issue_signer(0), std::logic_error);
+}
+
+// ----------------------------------------------------------------- circuit
+
+TEST(Circuit, EvalBasicGates) {
+    Circuit c;
+    const auto x = c.input(0);
+    const auto y = c.input(1);
+    const auto three = c.constant(Fe{3});
+    // (x + y) * 3 - x
+    c.set_output(c.sub(c.mul(c.add(x, y), three), x));
+    const std::vector<Fe> inputs{Fe{2}, Fe{5}};
+    EXPECT_EQ(c.eval(inputs), Fe{19});
+    EXPECT_EQ(c.num_inputs(), 2u);
+    EXPECT_EQ(c.num_mul_gates(), 1u);
+}
+
+TEST(Circuit, GateSharing) {
+    Circuit c;
+    const auto a = c.input(0);
+    const auto b = c.input(0);
+    EXPECT_EQ(a, b);
+    const auto k1 = c.constant(Fe{7});
+    const auto k2 = c.constant(Fe{7});
+    EXPECT_EQ(k1, k2);
+}
+
+TEST(Circuit, OutputRequired) {
+    Circuit c;
+    (void)c.input(0);
+    const std::vector<Fe> inputs{Fe{1}};
+    EXPECT_THROW((void)c.eval(inputs), std::logic_error);
+}
+
+TEST(Circuit, LookupTableCompilation) {
+    // f(x, y) over {0,1,2} x {0,1}: f = 10*x + y.
+    std::vector<std::size_t> domain{3, 2};
+    std::vector<Fe> table;
+    for (std::size_t x = 0; x < 3; ++x) {
+        for (std::size_t y = 0; y < 2; ++y) {
+            table.push_back(Fe{10 * x + y});
+        }
+    }
+    const auto circuit = compile_lookup_table(domain, table);
+    for (std::uint64_t x = 0; x < 3; ++x) {
+        for (std::uint64_t y = 0; y < 2; ++y) {
+            const std::vector<Fe> inputs{Fe{x}, Fe{y}};
+            EXPECT_EQ(circuit.eval(inputs), Fe{10 * x + y});
+        }
+    }
+}
+
+class LookupTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LookupTableProperty, CompiledCircuitMatchesTable) {
+    util::Rng rng{GetParam()};
+    const std::vector<std::size_t> domain{1 + rng.next_below(3), 1 + rng.next_below(3),
+                                          1 + rng.next_below(2)};
+    std::vector<Fe> table(util::product_size(domain));
+    for (auto& value : table) value = Fe{rng.next_below(1000)};
+    const auto circuit = compile_lookup_table(domain, table);
+    std::size_t row = 0;
+    util::product_for_each(domain, [&](const std::vector<std::size_t>& tuple) {
+        std::vector<Fe> inputs;
+        for (const auto v : tuple) inputs.push_back(Fe{static_cast<std::uint64_t>(v)});
+        EXPECT_EQ(circuit.eval(inputs), table[row]);
+        ++row;
+        return true;
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookupTableProperty, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace bnash::crypto

@@ -1,0 +1,302 @@
+// Tests for the synchronous network simulator and the Byzantine agreement
+// protocols, including failure injection at and beyond the tolerated
+// thresholds (E4 in EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "dist/byzantine.h"
+#include "dist/network.h"
+
+namespace bnash::dist {
+namespace {
+
+// ----------------------------------------------------------------- network
+
+// Each process broadcasts its id every round; a process is done after 3.
+class ChatterProcess final : public Process {
+public:
+    explicit ChatterProcess(std::size_t self) : self_(self) {}
+    void on_round(std::size_t round, const std::vector<Message>& inbox, Outbox& out) override {
+        received_ += inbox.size();
+        if (round < 3) out.broadcast("chat", {static_cast<std::uint64_t>(self_)});
+        rounds_ = round + 1;
+    }
+    [[nodiscard]] bool done() const override { return rounds_ >= 4; }
+    std::size_t received_ = 0;
+    std::size_t rounds_ = 0;
+
+private:
+    std::size_t self_;
+};
+
+TEST(Network, DeliversNextRound) {
+    SynchronousNetwork net(3, 1);
+    for (std::size_t i = 0; i < 3; ++i) net.set_process(i, std::make_unique<ChatterProcess>(i));
+    const auto metrics = net.run(10);
+    EXPECT_EQ(metrics.rounds, 4u);  // 3 chat rounds + the final quiet round
+    // 3 rounds * 3 senders * 3 recipients = 27 messages.
+    EXPECT_EQ(metrics.messages, 27u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(dynamic_cast<ChatterProcess&>(net.process(i)).received_, 9u);
+    }
+}
+
+TEST(Network, CrashFaultSilencesProcess) {
+    SynchronousNetwork net(3, 1);
+    for (std::size_t i = 0; i < 3; ++i) net.set_process(i, std::make_unique<ChatterProcess>(i));
+    net.set_fault(0, std::make_unique<CrashFault>(1, 1));  // crashes in round 1, 1 partial send
+    const auto metrics = net.run(10);
+    // Process 0 sends 3 in round 0, 1 partial in round 1, none later:
+    // 3 + 1 + (2 senders * 3 recipients * 3 rounds) = 22.
+    EXPECT_EQ(metrics.messages, 22u);
+}
+
+TEST(Network, SilentFaultDropsEverything) {
+    SynchronousNetwork net(2, 1);
+    for (std::size_t i = 0; i < 2; ++i) net.set_process(i, std::make_unique<ChatterProcess>(i));
+    net.set_fault(1, std::make_unique<SilentFault>());
+    const auto metrics = net.run(10);
+    EXPECT_EQ(metrics.messages, 6u);  // only process 0's 3 rounds * 2 recipients
+}
+
+TEST(Network, LossyFaultDropsSome) {
+    SynchronousNetwork net(2, 7);
+    for (std::size_t i = 0; i < 2; ++i) net.set_process(i, std::make_unique<ChatterProcess>(i));
+    net.set_fault(0, std::make_unique<LossyFault>(0.5));
+    const auto metrics = net.run(10);
+    EXPECT_LT(metrics.messages, 12u);
+    EXPECT_GT(metrics.messages, 5u);
+}
+
+TEST(Network, UnsetProcessThrows) {
+    SynchronousNetwork net(2, 1);
+    net.set_process(0, std::make_unique<ChatterProcess>(0));
+    EXPECT_THROW((void)net.run(1), std::logic_error);
+}
+
+// --------------------------------------------------------------------- EIG
+
+std::vector<AdversaryKind> honest(std::size_t n) {
+    return std::vector<AdversaryKind>(n, AdversaryKind::kHonest);
+}
+
+TEST(Eig, AllHonestAgreeOnMajority) {
+    const auto run = run_eig_consensus(1, {1, 1, 1, 0}, honest(4));
+    for (const auto& decision : run.decisions) {
+        ASSERT_TRUE(decision.has_value());
+        EXPECT_EQ(*decision, 1u);
+    }
+}
+
+TEST(Eig, ValidityWithUnanimousInputs) {
+    const auto run = run_eig_consensus(1, {1, 1, 1, 1}, honest(4));
+    EXPECT_TRUE(validity_holds(run, {true, true, true, true}, {1, 1, 1, 1}));
+}
+
+TEST(Eig, ToleratesOneByzantineWithFourProcesses) {
+    // n = 4 > 3t = 3: agreement and validity must hold whatever the traitor does.
+    for (const auto kind : {AdversaryKind::kZeroLies, AdversaryKind::kRandomLies,
+                            AdversaryKind::kEquivocate, AdversaryKind::kCrash,
+                            AdversaryKind::kSilent}) {
+        std::vector<AdversaryKind> behaviors = honest(4);
+        behaviors[3] = kind;
+        const std::vector<bool> is_honest{true, true, true, false};
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            const auto run = run_eig_consensus(1, {1, 1, 1, 0}, behaviors, seed);
+            EXPECT_TRUE(agreement_holds(run, is_honest)) << "kind " << static_cast<int>(kind);
+            EXPECT_TRUE(validity_holds(run, is_honest, {1, 1, 1, 0}));
+        }
+    }
+}
+
+TEST(Eig, ToleratesTwoByzantineWithSevenProcesses) {
+    std::vector<AdversaryKind> behaviors = honest(7);
+    behaviors[5] = AdversaryKind::kEquivocate;
+    behaviors[6] = AdversaryKind::kRandomLies;
+    const std::vector<bool> is_honest{true, true, true, true, true, false, false};
+    const std::vector<std::uint64_t> inputs{1, 1, 0, 1, 1, 0, 0};
+    const auto run = run_eig_consensus(2, inputs, behaviors, 3);
+    EXPECT_TRUE(agreement_holds(run, is_honest));
+}
+
+TEST(Eig, FailsBeyondThreshold) {
+    // n = 3, t = 1 violates n > 3t: the paper's anchor "Byzantine agreement
+    // cannot be reached if t >= n/3". A zero-lying traitor against
+    // unanimous-1 honest inputs drags the default-0 resolution down,
+    // violating validity.
+    std::vector<AdversaryKind> behaviors = honest(3);
+    behaviors[2] = AdversaryKind::kZeroLies;
+    const std::vector<bool> is_honest{true, true, false};
+    const auto run = run_eig_consensus(1, {1, 1, 0}, behaviors);
+    EXPECT_FALSE(validity_holds(run, is_honest, {1, 1, 0}));
+}
+
+TEST(Eig, MessageComplexityGrowsWithRounds) {
+    const auto run_t1 = run_eig_consensus(1, {1, 0, 1, 0}, honest(4));
+    const auto run_t0 = run_eig_consensus(0, {1, 0, 1}, honest(3));
+    EXPECT_GT(run_t1.metrics.payload_words, run_t0.metrics.payload_words);
+    EXPECT_EQ(run_t0.metrics.rounds, 2u);  // t+1 send rounds + decision round
+    EXPECT_EQ(run_t1.metrics.rounds, 3u);
+}
+
+// -------------------------------------------------------------- Phase-King
+
+TEST(PhaseKing, AllHonestAgree) {
+    const auto run = run_phase_king(1, {1, 1, 0, 1, 1}, honest(5));
+    for (const auto& decision : run.decisions) {
+        ASSERT_TRUE(decision.has_value());
+        EXPECT_EQ(*decision, 1u);
+    }
+}
+
+TEST(PhaseKing, ToleratesOneByzantineWithFiveProcesses) {
+    // Phase-King requires n > 4t: n = 5, t = 1.
+    for (const auto kind : {AdversaryKind::kZeroLies, AdversaryKind::kRandomLies,
+                            AdversaryKind::kEquivocate, AdversaryKind::kSilent}) {
+        std::vector<AdversaryKind> behaviors = honest(5);
+        behaviors[4] = kind;  // a non-king traitor
+        const std::vector<bool> is_honest{true, true, true, true, false};
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            const auto run = run_phase_king(1, {0, 0, 0, 0, 1}, behaviors, seed);
+            EXPECT_TRUE(agreement_holds(run, is_honest)) << "kind " << static_cast<int>(kind);
+            EXPECT_TRUE(validity_holds(run, is_honest, {0, 0, 0, 0, 1}));
+        }
+    }
+}
+
+TEST(PhaseKing, ToleratesTraitorKing) {
+    // The traitor is king of phase 0; the honest king of phase 1 fixes it.
+    std::vector<AdversaryKind> behaviors = honest(5);
+    behaviors[0] = AdversaryKind::kEquivocate;
+    const std::vector<bool> is_honest{false, true, true, true, true};
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto run = run_phase_king(1, {0, 1, 1, 0, 1}, behaviors, seed);
+        EXPECT_TRUE(agreement_holds(run, is_honest));
+    }
+}
+
+TEST(PhaseKing, PolynomialMessageComplexity) {
+    // For the same (n, t), Phase-King sends far fewer payload words than EIG.
+    const std::vector<std::uint64_t> inputs{1, 0, 1, 0, 1, 0, 1};
+    const auto pk = run_phase_king(2, inputs, honest(7));
+    const auto eig = run_eig_consensus(2, inputs, honest(7));
+    EXPECT_LT(pk.metrics.payload_words, eig.metrics.payload_words);
+}
+
+// ------------------------------------------------------------ Dolev-Strong
+
+TEST(DolevStrong, HonestGeneralBroadcasts) {
+    const auto run = run_dolev_strong(1, 0, 1, honest(4));
+    for (const auto& decision : run.decisions) {
+        ASSERT_TRUE(decision.has_value());
+        EXPECT_EQ(*decision, 1u);
+    }
+}
+
+TEST(DolevStrong, ToleratesEquivocatingGeneral) {
+    // A two-faced general cannot split the honest lieutenants: by round
+    // t+1 everyone has extracted both values and falls to the default.
+    std::vector<AdversaryKind> behaviors = honest(4);
+    behaviors[0] = AdversaryKind::kEquivocate;
+    const std::vector<bool> is_honest{false, true, true, true};
+    const auto run = run_dolev_strong(1, 0, 1, behaviors);
+    EXPECT_TRUE(agreement_holds(run, is_honest));
+}
+
+TEST(DolevStrong, ToleratesMajorityFaults) {
+    // Signatures allow t >= n/3: n = 4, t = 2 with two silent traitors.
+    std::vector<AdversaryKind> behaviors = honest(4);
+    behaviors[2] = AdversaryKind::kSilent;
+    behaviors[3] = AdversaryKind::kSilent;
+    const std::vector<bool> is_honest{true, true, false, false};
+    const auto run = run_dolev_strong(2, 0, 1, behaviors);
+    EXPECT_TRUE(agreement_holds(run, is_honest));
+    EXPECT_EQ(*run.decisions[1], 1u);
+}
+
+TEST(DolevStrong, EquivocatingGeneralWithHelpersStillAgrees) {
+    // General equivocates AND a lieutenant withholds relays: agreement
+    // among the rest must still hold (t = 2, 5 processes).
+    std::vector<AdversaryKind> behaviors = honest(5);
+    behaviors[0] = AdversaryKind::kEquivocate;
+    behaviors[1] = AdversaryKind::kSilent;
+    const std::vector<bool> is_honest{false, false, true, true, true};
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto run = run_dolev_strong(2, 0, 1, behaviors, seed);
+        EXPECT_TRUE(agreement_holds(run, is_honest)) << "seed " << seed;
+    }
+}
+
+TEST(DolevStrong, RoundsAreTplusOne) {
+    const auto run = run_dolev_strong(2, 0, 1, honest(5));
+    EXPECT_EQ(run.metrics.rounds, 4u);  // rounds 0..t+1
+}
+
+// ------------------------------------------------------ asynchrony probe
+
+TEST(Asynchrony, OneDelayedProcessIsAbsorbedByTheFaultBudget) {
+    // A single honest-but-late process behaves like a crash; n = 4 > 3t
+    // absorbs it.
+    std::vector<AdversaryKind> behaviors = honest(4);
+    behaviors[3] = AdversaryKind::kDelayed;
+    const auto run = run_eig_consensus(1, {1, 1, 1, 1}, behaviors);
+    EXPECT_TRUE(validity_holds(run, {true, true, true, true}, {1, 1, 1, 1}));
+}
+
+TEST(Asynchrony, DelaysBeyondTheBudgetBreakSynchronousGuarantees) {
+    // The paper's closing caveat: the Section 2 results "depend on the
+    // system being synchronous". Two honest-but-late processes exceed the
+    // t = 1 budget of a 4-process EIG: their messages arrive one round too
+    // late, are treated as missing, and validity collapses even though
+    // NOBODY is malicious.
+    std::vector<AdversaryKind> behaviors = honest(4);
+    behaviors[2] = AdversaryKind::kDelayed;
+    behaviors[3] = AdversaryKind::kDelayed;
+    const auto run = run_eig_consensus(1, {1, 1, 1, 1}, behaviors);
+    EXPECT_FALSE(validity_holds(run, {true, true, true, true}, {1, 1, 1, 1}));
+}
+
+TEST(Asynchrony, DelayFaultEventuallyDelivers) {
+    // DelayFault postpones but never drops: total messages match the
+    // no-fault run when the horizon is long enough.
+    SynchronousNetwork net(2, 1);
+    for (std::size_t i = 0; i < 2; ++i) net.set_process(i, std::make_unique<ChatterProcess>(i));
+    net.set_fault(0, std::make_unique<DelayFault>(1));
+    const auto metrics = net.run(10);
+    EXPECT_EQ(metrics.messages, 12u);  // all 12 eventually flow
+}
+
+// Parameterized threshold sweep: EIG must satisfy agreement+validity for
+// all (n, t) with n > 3t under every adversary kind at exactly t traitors.
+struct ThresholdCase final {
+    std::size_t n;
+    std::size_t t;
+};
+
+class EigThresholdProperty : public ::testing::TestWithParam<ThresholdCase> {};
+
+TEST_P(EigThresholdProperty, SafeAboveThreshold) {
+    const auto [n, t] = GetParam();
+    std::vector<AdversaryKind> behaviors = honest(n);
+    std::vector<bool> is_honest(n, true);
+    std::vector<std::uint64_t> inputs(n, 1);
+    for (std::size_t k = 0; k < t; ++k) {
+        behaviors[n - 1 - k] = (k % 2 == 0) ? AdversaryKind::kEquivocate
+                                            : AdversaryKind::kRandomLies;
+        is_honest[n - 1 - k] = false;
+    }
+    const auto run = run_eig_consensus(t, inputs, behaviors, 11);
+    EXPECT_TRUE(agreement_holds(run, is_honest));
+    EXPECT_TRUE(validity_holds(run, is_honest, inputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EigThresholdProperty,
+                         ::testing::Values(ThresholdCase{4, 1}, ThresholdCase{5, 1},
+                                           ThresholdCase{6, 1}, ThresholdCase{7, 2},
+                                           ThresholdCase{8, 2}),
+                         [](const ::testing::TestParamInfo<ThresholdCase>& info) {
+                             return "n" + std::to_string(info.param.n) + "t" +
+                                    std::to_string(info.param.t);
+                         });
+
+}  // namespace
+}  // namespace bnash::dist

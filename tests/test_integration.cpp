@@ -1,0 +1,189 @@
+// Cross-module integration tests: the full pipelines a downstream user
+// would run, wired end-to-end. Mediator -> cheap talk -> underlying game
+// utilities; game-theoretic security across utility rescalings; repeated
+// meta-games vs the machine-game analysis; extensive-form backward
+// induction vs generalized Nash equilibrium.
+#include <gtest/gtest.h>
+
+#include "core/awareness/awareness_game.h"
+#include "core/machine/frpd.h"
+#include "core/robust/cheap_talk.h"
+#include "core/robust/mediator.h"
+#include "core/robust/robustness.h"
+#include "game/catalog.h"
+#include "repeated/repeated_game.h"
+#include "solver/correlated.h"
+#include "solver/support_enumeration.h"
+#include "solver/verification.h"
+#include "util/combinatorics.h"
+
+namespace bnash {
+namespace {
+
+using util::Rational;
+
+// ------------------------------------------------- mediator -> utilities
+
+TEST(Integration, CheapTalkDeliversTheMediatedUtility) {
+    // The whole point of Section 2: players who replace the mediator by
+    // cheap talk end up with the SAME utilities. Run the protocol for each
+    // general type, play the resulting actions in the Bayesian game, and
+    // average with the prior: must equal the mediated truthful value.
+    constexpr std::size_t kN = 7;
+    const auto g = game::catalog::byzantine_agreement_game(kN);
+    const auto policy = core::MediatorPolicy::byzantine_consensus(g);
+    core::CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    const std::vector<core::CheapTalkBehavior> honest(kN, core::CheapTalkBehavior::kHonest);
+
+    Rational total{0};
+    for (const std::size_t pref : {0u, 1u}) {
+        game::TypeProfile types(kN, 0);
+        types[0] = pref;
+        const auto outcome = core::run_cheap_talk(policy, types, honest, params);
+        total += g.prior(types) * g.payoff(types, outcome.actions, 1);
+    }
+    EXPECT_EQ(total, policy.truthful_value(1));
+}
+
+TEST(Integration, GameTheoreticSecurityAcrossUtilityRescalings) {
+    // Section 3's security definition quantifies over utility functions:
+    // "for all choices of the utility function, if it is a Nash
+    // equilibrium to play with the mediator ... it is also a Nash
+    // equilibrium to use Pi". Our protocol induces the mediator's exact
+    // action distribution independently of utilities, so the implication
+    // holds for every rescaling; spot-check three.
+    constexpr std::size_t kN = 7;
+    for (const std::int64_t scale : {1, 3, 10}) {
+        game::BayesianGame g({2, 1, 1, 1, 1, 1, 1}, std::vector<std::size_t>(kN, 2));
+        game::TypeProfile types(kN, 0);
+        for (const std::size_t pref : {0u, 1u}) {
+            types[0] = pref;
+            g.set_prior(types, Rational{1, 2});
+            util::product_for_each(g.action_counts(), [&](const game::PureProfile& actions) {
+                bool agree = true;
+                for (const auto a : actions) agree &= (a == actions[0]);
+                const Rational value =
+                    agree ? Rational{scale * (actions[0] == pref ? 2 : 1)} : Rational{0};
+                for (std::size_t player = 0; player < kN; ++player) {
+                    g.set_payoff(types, actions, player, value);
+                }
+                return true;
+            });
+        }
+        const auto policy = core::MediatorPolicy::byzantine_consensus(g);
+        EXPECT_TRUE(policy.is_truthful_equilibrium()) << "scale " << scale;
+        core::CheapTalkParams params;
+        params.k = 1;
+        params.t = 1;
+        const std::vector<core::CheapTalkBehavior> honest(kN,
+                                                          core::CheapTalkBehavior::kHonest);
+        types[0] = 1;
+        const auto outcome = core::run_cheap_talk(policy, types, honest, params);
+        const auto expected = policy.induced_action_distribution(types);
+        EXPECT_EQ(expected[util::product_rank(g.action_counts(), outcome.actions)],
+                  Rational{1})
+            << "scale " << scale;
+    }
+}
+
+TEST(Integration, CheapTalkDegradesGracefullyBeyondCrashBudget) {
+    // Silence half the players: the active set drops below 2(k+t)+1, the
+    // evaluation aborts, and every honest player consistently falls back
+    // to the default action instead of disagreeing.
+    constexpr std::size_t kN = 7;
+    const auto g = game::catalog::byzantine_agreement_game(kN);
+    const auto policy = core::MediatorPolicy::byzantine_consensus(g);
+    core::CheapTalkParams params;
+    params.k = 1;
+    params.t = 1;
+    std::vector<core::CheapTalkBehavior> behaviors(kN, core::CheapTalkBehavior::kHonest);
+    for (std::size_t i = 3; i < kN; ++i) behaviors[i] = core::CheapTalkBehavior::kSilent;
+    game::TypeProfile types(kN, 0);
+    types[0] = 1;
+    const auto outcome = core::run_cheap_talk(policy, types, behaviors, params);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_FALSE(outcome.recommendations[i].has_value());
+        EXPECT_EQ(outcome.actions[i], 0u);  // common default, no split decisions
+    }
+}
+
+// -------------------------------------------- robustness <-> Nash oracles
+
+TEST(Integration, RobustnessAndNashOraclesAgreeAcrossCatalog) {
+    const game::NormalFormGame games[] = {
+        game::catalog::prisoners_dilemma(), game::catalog::matching_pennies(),
+        game::catalog::chicken(), game::catalog::stag_hunt(),
+        game::catalog::attack_coordination_game(3)};
+    for (const auto& g : games) {
+        util::product_for_each(g.action_counts(), [&](const game::PureProfile& profile) {
+            EXPECT_EQ(solver::is_pure_nash(g, profile),
+                      core::is_kt_robust(g, core::as_exact_profile(g, profile), 1, 0));
+            return true;
+        });
+    }
+}
+
+// --------------------------------------- repeated games <-> machine games
+
+TEST(Integration, MetaGameAndMachineAnalysisAgreeOnTft) {
+    // The repeated-game meta-game (no charges) and the machine-game
+    // analysis (with charges) must tell one coherent story: without
+    // memory prices the defect-last machine breaks (TfT, TfT); with a
+    // sufficient price it does not.
+    const std::size_t rounds = 50;
+    repeated::RepeatedGame frpd(game::catalog::prisoners_dilemma(), rounds);
+    auto set = core::frpd_machine_set(rounds);
+    std::size_t tft_index = set.size();
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        if (set[i]->name() == "TitForTat") tft_index = i;
+    }
+    ASSERT_LT(tft_index, set.size());
+    const auto meta = frpd.meta_game(set);
+    EXPECT_FALSE(solver::is_pure_nash(meta, {tft_index, tft_index}));
+
+    core::FrpdParams params;
+    params.rounds = rounds;
+    params.delta = 0.9;
+    params.memory_price = 0.0;
+    EXPECT_FALSE(core::analyze_tft_equilibrium(params).tft_pair_is_equilibrium);
+    params.memory_price = 0.5;
+    EXPECT_TRUE(core::analyze_tft_equilibrium(params).tft_pair_is_equilibrium);
+}
+
+// ------------------------------------- extensive form <-> awareness games
+
+TEST(Integration, BackwardInductionProfileIsGeneralizedNash) {
+    const auto tree = game::catalog::figure1_game();
+    const auto spe = tree.backward_induction();
+    const auto aware = core::AwarenessGame::canonical(tree);
+    core::AwarenessGame::Profile profile(1);
+    for (std::size_t is = 0; is < tree.num_info_sets(); ++is) {
+        profile[0].push_back(
+            game::pure_as_mixed(spe.strategy[is], tree.info_set(is).num_actions()));
+    }
+    EXPECT_TRUE(aware.is_generalized_nash(profile));
+}
+
+// ------------------------------------------- correlated <-> Nash <-> LP
+
+TEST(Integration, CorrelatedPolytopeContainsAllSolverOutputs) {
+    // Every equilibrium produced by any Nash solver embeds into the CE
+    // polytope of the same game.
+    const auto g = game::catalog::battle_of_the_sexes();
+    for (const auto& eq : solver::support_enumeration(g)) {
+        const auto mu = solver::product_distribution(g, game::to_double(eq.profile));
+        EXPECT_TRUE(solver::is_correlated_equilibrium(g, mu, 1e-6));
+    }
+    const auto ce =
+        solver::solve_correlated_equilibrium(g, solver::CeObjective::kSocialWelfare);
+    ASSERT_TRUE(ce.has_value());
+    // And the welfare-optimal CE weakly dominates each of them.
+    for (const auto& eq : solver::support_enumeration(g)) {
+        EXPECT_GE(ce->objective_value + 1e-6, (eq.payoffs[0] + eq.payoffs[1]).to_double());
+    }
+}
+
+}  // namespace
+}  // namespace bnash

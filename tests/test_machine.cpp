@@ -1,0 +1,245 @@
+// Tests for Section 3's computational games (E7, E8, E9): machine games,
+// the primality example, computational roshambo's nonexistence, and the
+// memory-charged FRPD analysis.
+#include <gtest/gtest.h>
+
+#include "core/machine/frpd.h"
+#include "core/machine/machine_game.h"
+#include "core/machine/primality.h"
+#include "game/catalog.h"
+
+namespace bnash::core {
+namespace {
+
+// ------------------------------------------------------------ machine game
+
+TEST(MachineGame, CostModelAddsUp) {
+    MachineCost cost;
+    cost.base = 1.0;
+    cost.per_state = 0.5;
+    cost.per_memory_bit = 0.25;
+    cost.randomized_surcharge = 2.0;
+    const MachineMetrics metrics{3, 0, 4, true};
+    EXPECT_DOUBLE_EQ(cost.cost(metrics), 1.0 + 1.5 + 1.0 + 2.0);
+}
+
+TEST(MachineGame, LiftPreservesPayoffs) {
+    const auto rps = game::catalog::roshambo();
+    const auto lifted = lift_to_bayesian(rps);
+    EXPECT_EQ(lifted.num_players(), 2u);
+    EXPECT_EQ(lifted.payoff({0, 0}, {0, 1}, 0), rps.payoff({0, 1}, 0));
+    EXPECT_NO_THROW(lifted.validate_prior());
+}
+
+TEST(MachineGame, UtilityChargesComplexity) {
+    auto game = computational_roshambo(1.0);
+    // rock vs rock: payoff 0, cost 1 each -> utility -1.
+    EXPECT_DOUBLE_EQ(game.utility({0, 0}, 0), -1.0);
+    // uniform vs rock: expected payoff 0, cost 1 + 1 -> -2.
+    EXPECT_DOUBLE_EQ(game.utility({3, 0}, 0), -2.0);
+    // paper beats rock: +1 - 1 = 0.
+    EXPECT_DOUBLE_EQ(game.utility({1, 0}, 0), 0.0);
+}
+
+TEST(MachineGame, Example33NoEquilibriumExists) {
+    // The paper: "it is easy to see that there is no Nash equilibrium"
+    // once randomization costs more than determinism.
+    auto game = computational_roshambo(1.0);
+    EXPECT_TRUE(game.machine_equilibria().empty());
+}
+
+TEST(MachineGame, FreeRandomizationRestoresEquilibrium) {
+    // Control experiment: with no surcharge the uniform machine is a best
+    // response to itself and (uniform, uniform) is an equilibrium again --
+    // pinning the surcharge as the cause of nonexistence.
+    auto game = computational_roshambo(0.0);
+    EXPECT_TRUE(game.is_machine_equilibrium({3, 3}));
+    EXPECT_FALSE(game.machine_equilibria().empty());
+}
+
+TEST(MachineGame, BestResponseCycleDemonstratesNonexistence) {
+    auto game = computational_roshambo(1.0);
+    const auto cycle = game.best_response_cycle({0, 0});
+    // The dynamic must fall into a cycle of length > 1 (no fixed point).
+    EXPECT_GT(cycle.size(), 1u);
+}
+
+TEST(MachineGame, DeterministicMachineBeatsAnyFixedOpponent) {
+    auto game = computational_roshambo(1.0);
+    // Against any deterministic machine j, the best response is the
+    // deterministic counter j (+) 1, never the uniform machine.
+    for (std::size_t opponent = 0; opponent < 3; ++opponent) {
+        const auto best = game.best_machines({0, opponent}, 0);
+        ASSERT_EQ(best.size(), 1u);
+        EXPECT_EQ(best.front(), (opponent + 1) % 3);
+    }
+}
+
+TEST(MachineGame, TypeEchoAndTableMachines) {
+    const auto echo = type_echo_machine();
+    EXPECT_EQ(echo->action_distribution(1, 3), (std::vector<double>{0, 1, 0}));
+    const auto table = table_machine({1, 0}, "swap");
+    EXPECT_EQ(table->action_distribution(0, 2), (std::vector<double>{0, 1}));
+    EXPECT_EQ(table->action_distribution(1, 2), (std::vector<double>{1, 0}));
+    MachineMetrics metrics;
+    util::Rng rng{1};
+    EXPECT_EQ(table->run(1, rng, metrics), 0u);
+}
+
+// ---------------------------------------------------------------- primality
+
+TEST(Primality, MillerRabinCorrectness) {
+    EXPECT_TRUE(is_prime_u64(2));
+    EXPECT_TRUE(is_prime_u64(97));
+    EXPECT_TRUE(is_prime_u64(2147483647ULL));          // 2^31 - 1
+    EXPECT_TRUE(is_prime_u64(2305843009213693951ULL)); // 2^61 - 1
+    EXPECT_FALSE(is_prime_u64(1));
+    EXPECT_FALSE(is_prime_u64(561));   // Carmichael
+    EXPECT_FALSE(is_prime_u64(341));   // 2-pseudoprime
+    EXPECT_FALSE(is_prime_u64(1ULL << 62));
+}
+
+TEST(Primality, OpCountGrowsWithBits) {
+    std::uint64_t small_ops = 0;
+    std::uint64_t large_ops = 0;
+    (void)is_prime_u64((1ULL << 15) + 3, &small_ops);
+    (void)is_prime_u64((1ULL << 61) - 1, &large_ops);
+    EXPECT_GT(large_ops, small_ops);
+}
+
+TEST(Primality, Example31CrossoverExists) {
+    // Cheap computation: guessing correctly dominates. Expensive
+    // computation (high step price): play safe. The equilibrium flips.
+    PrimalityParams cheap;
+    cheap.bits = 10;
+    cheap.step_price = 0.0001;
+    cheap.samples = 500;
+    EXPECT_EQ(best_primality_machine(cheap), PrimalityMachineKind::kMillerRabin);
+
+    PrimalityParams dear = cheap;
+    dear.bits = 60;
+    dear.step_price = 0.05;
+    EXPECT_EQ(best_primality_machine(dear), PrimalityMachineKind::kPlaySafe);
+}
+
+TEST(Primality, GuessingMachinesLoseUnderTheBalancedPrior) {
+    // Inputs are half prime / half composite, so every blind guesser sits
+    // near expected 0, strictly below play-safe's +1.
+    PrimalityParams params;
+    params.bits = 40;
+    params.samples = 800;
+    params.step_price = 0.0;
+    const auto always_prime =
+        evaluate_primality_machine(PrimalityMachineKind::kAlwaysPrime, params);
+    const auto always_composite =
+        evaluate_primality_machine(PrimalityMachineKind::kAlwaysComposite, params);
+    const auto safe = evaluate_primality_machine(PrimalityMachineKind::kPlaySafe, params);
+    EXPECT_LT(always_prime.expected_utility, safe.expected_utility);
+    EXPECT_LT(always_composite.expected_utility, safe.expected_utility);
+    EXPECT_NEAR(always_prime.fraction_prime, 0.5, 0.08);
+}
+
+TEST(Primality, RejectsBadParameters) {
+    PrimalityParams params;
+    params.bits = 1;
+    EXPECT_THROW((void)evaluate_primality_machine(PrimalityMachineKind::kPlaySafe, params),
+                 std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- FRPD
+
+TEST(Frpd, TftPairIsEquilibriumForLongGames) {
+    // Example 3.2: positive memory price + long horizon => (TfT, TfT) is a
+    // computational Nash equilibrium.
+    FrpdParams params;
+    params.rounds = 50;
+    params.delta = 0.9;
+    params.memory_price = 0.2;
+    const auto analysis = analyze_tft_equilibrium(params);
+    EXPECT_TRUE(analysis.tft_pair_is_equilibrium);
+    // The boundary quantities confirm why: 2 * 0.9^50 << 0.2 * 6 bits.
+    EXPECT_LT(analysis.last_round_gain, analysis.counter_memory_cost);
+}
+
+TEST(Frpd, TftPairFailsForShortGames) {
+    // Short horizon: the discounted last-round gain exceeds the memory
+    // cost, so the defect-last machine profitably deviates.
+    FrpdParams params;
+    params.rounds = 3;
+    params.delta = 0.9;
+    params.memory_price = 0.2;
+    const auto analysis = analyze_tft_equilibrium(params);
+    EXPECT_FALSE(analysis.tft_pair_is_equilibrium);
+    EXPECT_EQ(analysis.best_deviation, "TfT-DefectLast");
+    EXPECT_GT(analysis.last_round_gain, analysis.counter_memory_cost);
+}
+
+TEST(Frpd, FreeMemoryRestoresClassicalBackwardInduction) {
+    // With memory free of charge the defect-last deviation always wins:
+    // the classical analysis reappears (no cooperation equilibrium).
+    FrpdParams params;
+    params.rounds = 50;
+    params.delta = 0.9;
+    params.memory_price = 0.0;
+    const auto analysis = analyze_tft_equilibrium(params);
+    EXPECT_FALSE(analysis.tft_pair_is_equilibrium);
+}
+
+TEST(Frpd, EquilibriumThresholdMatchesClosedForm) {
+    // Boundary check: (TfT,TfT) is an equilibrium iff 2*delta^N <=
+    // memory_price * ceil(log2 N) (the other machines are never the best
+    // deviation in this regime).
+    FrpdParams params;
+    params.delta = 0.95;
+    params.memory_price = 0.05;
+    for (const std::size_t rounds : {5u, 10u, 20u, 40u, 80u, 160u}) {
+        params.rounds = rounds;
+        const auto analysis = analyze_tft_equilibrium(params);
+        const bool closed_form = analysis.last_round_gain <= analysis.counter_memory_cost;
+        EXPECT_EQ(analysis.tft_pair_is_equilibrium, closed_form) << "N = " << rounds;
+    }
+}
+
+TEST(Frpd, AsymmetricEquilibrium) {
+    // "even if only one player is computationally bounded ... there is a
+    // Nash equilibrium where the bounded player plays TfT, while the other
+    // plays the best response of cooperating up (but not including) to the
+    // last round, and then defecting."
+    FrpdParams params;
+    params.rounds = 50;
+    params.delta = 0.9;
+    params.memory_price = 0.2;
+    EXPECT_TRUE(asymmetric_equilibrium_holds(params));
+}
+
+TEST(Frpd, DeltaMustBeInRange) {
+    FrpdParams params;
+    params.delta = 0.4;
+    EXPECT_THROW((void)analyze_tft_equilibrium(params), std::invalid_argument);
+}
+
+class FrpdRegionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrpdRegionSweep, EquilibriumRegionIsMonotoneInHorizon) {
+    // Once the horizon is long enough for (TfT,TfT) to be an equilibrium,
+    // stretching it further keeps it one (delta^N decays, log grows).
+    FrpdParams params;
+    params.delta = 0.8 + 0.03 * static_cast<double>(GetParam());
+    params.memory_price = 0.1;
+    bool seen_equilibrium = false;
+    for (std::size_t rounds = 2; rounds <= 256; rounds *= 2) {
+        params.rounds = rounds;
+        const auto analysis = analyze_tft_equilibrium(params);
+        if (seen_equilibrium) {
+            EXPECT_TRUE(analysis.tft_pair_is_equilibrium)
+                << "regression at N = " << rounds << ", delta = " << params.delta;
+        }
+        seen_equilibrium |= analysis.tft_pair_is_equilibrium;
+    }
+    EXPECT_TRUE(seen_equilibrium);  // the region is non-empty for every delta
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, FrpdRegionSweep, ::testing::Range<std::size_t>(0, 6));
+
+}  // namespace
+}  // namespace bnash::core

@@ -1,0 +1,241 @@
+// Tests for repeated games: strategy automata, matches, meta-games (the
+// FRPD analysis of Example 3.2 without complexity costs), and the Axelrod
+// tournament (E13).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "game/catalog.h"
+#include "repeated/repeated_game.h"
+#include "repeated/strategies.h"
+#include "solver/verification.h"
+#include "util/rng.h"
+
+namespace bnash::repeated {
+namespace {
+
+using game::catalog::prisoners_dilemma;
+
+// -------------------------------------------------------------- strategies
+
+TEST(Strategies, TitForTatMirrorsOpponent) {
+    auto tft = tit_for_tat();
+    util::Rng rng{1};
+    tft->reset();
+    EXPECT_EQ(tft->act(0, 0, rng), kCooperate);
+    EXPECT_EQ(tft->act(1, kDefect, rng), kDefect);
+    EXPECT_EQ(tft->act(2, kCooperate, rng), kCooperate);
+}
+
+TEST(Strategies, GrimNeverForgives) {
+    auto grim = grim_trigger();
+    util::Rng rng{1};
+    grim->reset();
+    EXPECT_EQ(grim->act(0, 0, rng), kCooperate);
+    EXPECT_EQ(grim->act(1, kDefect, rng), kDefect);
+    EXPECT_EQ(grim->act(2, kCooperate, rng), kDefect);  // still punishing
+}
+
+TEST(Strategies, PavlovWinStayLoseShift) {
+    auto p = pavlov();
+    util::Rng rng{1};
+    p->reset();
+    EXPECT_EQ(p->act(0, 0, rng), kCooperate);
+    EXPECT_EQ(p->act(1, kCooperate, rng), kCooperate);  // win: stay
+    EXPECT_EQ(p->act(2, kDefect, rng), kDefect);        // lose: shift
+    EXPECT_EQ(p->act(3, kDefect, rng), kCooperate);     // lose again: shift back
+}
+
+TEST(Strategies, TftDefectLastDefectsAtHorizon) {
+    auto s = tft_defect_last(5);
+    util::Rng rng{1};
+    s->reset();
+    EXPECT_EQ(s->act(0, 0, rng), kCooperate);
+    EXPECT_EQ(s->act(3, kCooperate, rng), kCooperate);
+    EXPECT_EQ(s->act(4, kCooperate, rng), kDefect);  // last round
+}
+
+TEST(Strategies, ComplexityProfiles) {
+    // Reacting to the per-round observation is free; only persistent
+    // state is charged (see StrategyComplexity's contract).
+    EXPECT_EQ(tit_for_tat()->complexity().memory_bits, 0u);
+    EXPECT_EQ(grim_trigger()->complexity().memory_bits, 1u);
+    EXPECT_EQ(always_defect()->complexity().memory_bits, 0u);
+    EXPECT_TRUE(random_strategy(0.5)->complexity().randomized);
+    // The round counter is the Example 3.2 "extra memory": log2(N) bits.
+    EXPECT_EQ(tft_defect_last(64)->complexity().memory_bits, 6u);
+    EXPECT_GT(tft_defect_last(64)->complexity().states,
+              tit_for_tat()->complexity().states);
+}
+
+// ------------------------------------------------------------------ matches
+
+TEST(Match, TftVsTftCooperatesThroughout) {
+    RepeatedGame frpd(prisoners_dilemma(), 10);
+    util::Rng rng{1};
+    auto a = tit_for_tat();
+    auto b = tit_for_tat();
+    const auto result = frpd.play(*a, *b, rng);
+    EXPECT_TRUE(std::all_of(result.actions0.begin(), result.actions0.end(),
+                            [](std::size_t x) { return x == kCooperate; }));
+    EXPECT_DOUBLE_EQ(result.payoff0, 30.0);  // 10 rounds x 3, undiscounted
+    EXPECT_DOUBLE_EQ(result.payoff1, 30.0);
+}
+
+TEST(Match, AllDExploitsAllC) {
+    RepeatedGame frpd(prisoners_dilemma(), 4);
+    util::Rng rng{1};
+    auto d = always_defect();
+    auto c = always_cooperate();
+    const auto result = frpd.play(*d, *c, rng);
+    EXPECT_DOUBLE_EQ(result.payoff0, 20.0);   // 4 x 5
+    EXPECT_DOUBLE_EQ(result.payoff1, -20.0);  // 4 x -5
+}
+
+TEST(Match, DiscountingWeightsEarlyRounds) {
+    // delta = 1/2; TfT vs TfT earns 3 * (0.5 + 0.25 + 0.125) = 2.625.
+    RepeatedGame frpd(prisoners_dilemma(), 3, 0.5);
+    util::Rng rng{1};
+    auto a = tit_for_tat();
+    auto b = tit_for_tat();
+    const auto result = frpd.play(*a, *b, rng);
+    EXPECT_NEAR(result.payoff0, 2.625, 1e-12);
+}
+
+TEST(Match, TftVsDefectLastLosesOnlyFinalRound) {
+    RepeatedGame frpd(prisoners_dilemma(), 10);
+    util::Rng rng{1};
+    auto tft = tit_for_tat();
+    auto sneak = tft_defect_last(10);
+    const auto result = frpd.play(*tft, *sneak, rng);
+    // 9 mutual cooperations, then (C, D): 27 - 5 = 22 vs 27 + 5 = 32.
+    EXPECT_DOUBLE_EQ(result.payoff0, 22.0);
+    EXPECT_DOUBLE_EQ(result.payoff1, 32.0);
+}
+
+TEST(Match, NoiseChangesPlay) {
+    RepeatedGame frpd(prisoners_dilemma(), 50);
+    util::Rng rng{7};
+    auto a = always_cooperate();
+    auto b = always_cooperate();
+    const auto result = frpd.play(*a, *b, rng, 0.2);
+    // With 20% trembles some defections must appear.
+    const auto defections =
+        std::count(result.actions0.begin(), result.actions0.end(), kDefect) +
+        std::count(result.actions1.begin(), result.actions1.end(), kDefect);
+    EXPECT_GT(defections, 0);
+}
+
+// ----------------------------------------------------------------- meta-game
+
+TEST(MetaGame, AllDAllDIsNashAmongClassicPureStrategies) {
+    // The backward-induction fact: always-defect is an equilibrium of FRPD.
+    RepeatedGame frpd(prisoners_dilemma(), 10);
+    std::vector<std::unique_ptr<Strategy>> set;
+    set.push_back(always_cooperate());  // 0
+    set.push_back(always_defect());     // 1
+    set.push_back(tit_for_tat());       // 2
+    set.push_back(grim_trigger());      // 3
+    const auto meta = frpd.meta_game(set);
+    EXPECT_TRUE(solver::is_pure_nash(meta, {1, 1}));
+}
+
+TEST(MetaGame, TftTftIsNashUntilTheSneakArrives) {
+    // Within {AllC, AllD, TfT, Grim}, (TfT, TfT) is an equilibrium; adding
+    // "TfT but defect at the last round" (free of charge) destroys it --
+    // exactly the deviation Example 3.2 prices with memory costs.
+    RepeatedGame frpd(prisoners_dilemma(), 10);
+    std::vector<std::unique_ptr<Strategy>> set;
+    set.push_back(always_cooperate());
+    set.push_back(always_defect());
+    set.push_back(tit_for_tat());  // index 2
+    set.push_back(grim_trigger());
+    const auto meta = frpd.meta_game(set);
+    EXPECT_TRUE(solver::is_pure_nash(meta, {2, 2}));
+
+    std::vector<std::unique_ptr<Strategy>> with_sneak;
+    with_sneak.push_back(always_cooperate());
+    with_sneak.push_back(always_defect());
+    with_sneak.push_back(tit_for_tat());  // index 2
+    with_sneak.push_back(grim_trigger());
+    with_sneak.push_back(tft_defect_last(10));  // index 4
+    const auto meta2 = frpd.meta_game(with_sneak);
+    EXPECT_FALSE(solver::is_pure_nash(meta2, {2, 2}));
+    // The profitable deviation is precisely the sneak.
+    EXPECT_GT(meta2.payoff_d({2, 4}, 1), meta2.payoff_d({2, 2}, 1));
+}
+
+TEST(MetaGame, RejectsRandomizedStrategies) {
+    RepeatedGame frpd(prisoners_dilemma(), 5);
+    std::vector<std::unique_ptr<Strategy>> set;
+    set.push_back(random_strategy(0.5));
+    EXPECT_THROW((void)frpd.meta_game(set), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- tournament
+
+TEST(Tournament, TftFinishesAheadOfAllD) {
+    // "Tit-for-tat does exceedingly well in FRPD tournaments" [Axelrod].
+    TournamentOptions options;
+    options.rounds = 200;
+    options.trials = 3;
+    const auto entries = round_robin(prisoners_dilemma(), classic_lineup(), options);
+    const auto rank_of = [&](const std::string& name) {
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].name == name) return i;
+        }
+        return entries.size();
+    };
+    EXPECT_LT(rank_of("TitForTat"), rank_of("AllD"));
+    EXPECT_LT(rank_of("TitForTat"), rank_of("Random"));
+}
+
+TEST(Tournament, DeterministicUnderSeed) {
+    TournamentOptions options;
+    options.rounds = 100;
+    const auto a = round_robin(prisoners_dilemma(), classic_lineup(), options);
+    const auto b = round_robin(prisoners_dilemma(), classic_lineup(), options);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_DOUBLE_EQ(a[i].total_score, b[i].total_score);
+    }
+}
+
+TEST(Tournament, ScoresAreSorted) {
+    const auto entries = round_robin(prisoners_dilemma(), classic_lineup());
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        EXPECT_GE(entries[i - 1].total_score, entries[i].total_score);
+    }
+}
+
+// Property: in any deterministic lineup meta-game, every payoff pair is
+// reproduced by replaying the match (consistency of meta_game and play).
+class MetaGameConsistency : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MetaGameConsistency, MetaPayoffsMatchReplayedMatches) {
+    const std::size_t rounds = GetParam();
+    RepeatedGame frpd(prisoners_dilemma(), rounds);
+    std::vector<std::unique_ptr<Strategy>> set;
+    set.push_back(always_cooperate());
+    set.push_back(always_defect());
+    set.push_back(tit_for_tat());
+    set.push_back(grim_trigger());
+    set.push_back(pavlov());
+    const auto meta = frpd.meta_game(set);
+    util::Rng rng{1};
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        for (std::size_t j = 0; j < set.size(); ++j) {
+            const auto s0 = set[i]->clone();
+            const auto s1 = set[j]->clone();
+            const auto match = frpd.play(*s0, *s1, rng);
+            EXPECT_NEAR(meta.payoff_d({i, j}, 0), match.payoff0, 1e-9);
+            EXPECT_NEAR(meta.payoff_d({i, j}, 1), match.payoff1, 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, MetaGameConsistency, ::testing::Values(2, 5, 10, 25));
+
+}  // namespace
+}  // namespace bnash::repeated

@@ -1,0 +1,404 @@
+// Tests for Section 2's solution concepts: k-resilience, t-immunity,
+// (k,t)-robustness, punishment strategies, anonymous-game fast paths,
+// mediator policies, and the feasibility oracle. Pins every claim the
+// paper makes about its Section 2 examples (E2, E3, E5).
+#include <gtest/gtest.h>
+
+#include "core/robust/anonymous.h"
+#include "core/robust/feasibility.h"
+#include "core/robust/mediator.h"
+#include "core/robust/robustness.h"
+#include "util/combinatorics.h"
+#include "game/catalog.h"
+#include "solver/verification.h"
+
+namespace bnash::core {
+namespace {
+
+using game::PureProfile;
+using game::catalog::attack_coordination_game;
+using game::catalog::bargaining_game;
+using game::catalog::byzantine_agreement_game;
+using game::catalog::correlated_types_game;
+using game::catalog::prisoners_dilemma;
+using util::Rational;
+
+// ------------------------------------------------------------- resilience
+
+TEST(Resilience, AttackGameAllZeroIsNashButNot2Resilient) {
+    // The paper: "Clearly everyone playing 0 is a Nash equilibrium, but
+    // any pair of players can do better by deviating and playing 1."
+    const auto g = attack_coordination_game(5);
+    const auto all_zero = as_exact_profile(g, PureProfile(5, 0));
+    EXPECT_TRUE(is_k_resilient(g, all_zero, 1));  // it IS a Nash equilibrium
+    EXPECT_FALSE(is_k_resilient(g, all_zero, 2));
+    const auto violation = find_resilience_violation(g, all_zero, 2);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->coalition.size(), 2u);
+    EXPECT_EQ(violation->payoff_after, 2.0);  // the deviating pair earns 2
+    EXPECT_EQ(violation->payoff_before, 1.0);
+}
+
+TEST(Resilience, BargainingGameIsKResilientForAllK) {
+    // "everyone staying at the bargaining table is a k-resilient Nash
+    // equilibrium for all k >= 0".
+    const auto g = bargaining_game(4);
+    const auto all_stay = as_exact_profile(g, PureProfile(4, 0));
+    for (std::size_t k = 1; k <= 4; ++k) {
+        EXPECT_TRUE(is_k_resilient(g, all_stay, k)) << "k = " << k;
+    }
+}
+
+TEST(Resilience, MaxResilienceComputesTheBoundary) {
+    const auto g = attack_coordination_game(5);
+    const auto all_zero = as_exact_profile(g, PureProfile(5, 0));
+    EXPECT_EQ(max_resilience(g, all_zero, 5), 1u);
+    const auto bargaining = bargaining_game(4);
+    const auto all_stay = as_exact_profile(bargaining, PureProfile(4, 0));
+    EXPECT_EQ(max_resilience(bargaining, all_stay, 4), 4u);
+}
+
+TEST(Resilience, WeakCriterionIsMorePermissive) {
+    // In the attack game the 2-deviation benefits BOTH members, so even the
+    // all-members-gain criterion flags it.
+    const auto g = attack_coordination_game(4);
+    const auto all_zero = as_exact_profile(g, PureProfile(4, 0));
+    RobustnessOptions weak;
+    weak.criterion = GainCriterion::kAllMembersGain;
+    EXPECT_FALSE(is_k_resilient(g, all_zero, 2, weak));
+    // A 3-coalition where only two members gain: any-member fails it,
+    // all-members tolerates it (the third member stays at 0).
+    EXPECT_FALSE(is_k_resilient(g, all_zero, 3));
+    EXPECT_FALSE(is_k_resilient(g, all_zero, 3, weak));  // 2-subset still gains
+}
+
+// ---------------------------------------------------------------- immunity
+
+TEST(Immunity, BargainingGameIsNot1Immune) {
+    // "all it takes is one person to leave the bargaining table for those
+    // who stay to get 0."
+    const auto g = bargaining_game(4);
+    const auto all_stay = as_exact_profile(g, PureProfile(4, 0));
+    EXPECT_FALSE(is_t_immune(g, all_stay, 1));
+    const auto violation = find_immunity_violation(g, all_stay, 1);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->faulty.size(), 1u);
+    EXPECT_EQ(violation->payoff_before, 2.0);
+    EXPECT_EQ(violation->payoff_after, 0.0);
+}
+
+TEST(Immunity, PrisonersDilemmaDefectIsImmune) {
+    // At (D,D) the opponent's deviation to C only helps the non-deviator.
+    const auto pd = prisoners_dilemma();
+    const auto both_defect = as_exact_profile(pd, {1, 1});
+    EXPECT_TRUE(is_t_immune(pd, both_defect, 1));
+}
+
+TEST(Immunity, AttackGameAllZeroIsNotImmune) {
+    // A single faulty player switching to 1 zeroes everyone else's payoff.
+    const auto g = attack_coordination_game(4);
+    const auto all_zero = as_exact_profile(g, PureProfile(4, 0));
+    EXPECT_FALSE(is_t_immune(g, all_zero, 1));
+}
+
+// -------------------------------------------------------------- robustness
+
+TEST(Robustness, OneZeroRobustEqualsNash) {
+    // "A Nash equilibrium is just a (1,0)-robust equilibrium."
+    const auto pd = prisoners_dilemma();
+    EXPECT_TRUE(is_kt_robust(pd, as_exact_profile(pd, {1, 1}), 1, 0));
+    EXPECT_FALSE(is_kt_robust(pd, as_exact_profile(pd, {0, 0}), 1, 0));
+    // Cross-check against the solver's Nash oracle on all pure profiles.
+    const auto g = attack_coordination_game(4);
+    util::product_for_each(g.action_counts(), [&](const PureProfile& profile) {
+        EXPECT_EQ(solver::is_pure_nash(g, profile),
+                  is_kt_robust(g, as_exact_profile(g, profile), 1, 0))
+            << "disagreement on some profile";
+        return true;
+    });
+}
+
+TEST(Robustness, BargainingFailsOneOneRobustness) {
+    const auto g = bargaining_game(4);
+    const auto all_stay = as_exact_profile(g, PureProfile(4, 0));
+    // k-resilient for all k but not 1-immune => not (1,1)-robust.
+    EXPECT_FALSE(is_kt_robust(g, all_stay, 1, 1));
+    EXPECT_TRUE(is_kt_robust(g, all_stay, 4, 0));
+}
+
+TEST(Robustness, MixedProfileSupported) {
+    // Matching pennies' uniform equilibrium is (1,0)-robust and trivially
+    // 1-immune (the deviator cannot change the opponent's expected 0).
+    const auto mp = game::catalog::matching_pennies();
+    const game::ExactMixedProfile uniform{{Rational{1, 2}, Rational{1, 2}},
+                                          {Rational{1, 2}, Rational{1, 2}}};
+    EXPECT_TRUE(is_kt_robust(mp, uniform, 1, 0));
+    EXPECT_TRUE(is_t_immune(mp, uniform, 1));
+}
+
+// -------------------------------------------------------------- punishment
+
+TEST(Punishment, BargainingHasNoPunishmentBelowBaseline) {
+    // In the bargaining game a leaver always secures 1 > 0, so no profile
+    // can push EVERY player strictly below the all-stay baseline of 2
+    // while 1 deviator roams: deviator leaves and secures 1 < 2. Actually
+    // all-leave gives everyone 1 < 2, and any single deviation (stay)
+    // yields 0 < 2: all-leave IS a 1-punishment strategy.
+    const auto g = bargaining_game(3);
+    const std::vector<Rational> baseline(3, Rational{2});
+    EXPECT_TRUE(is_punishment_strategy(g, PureProfile(3, 1), 1, baseline));
+    const auto found = find_punishment_strategy(g, 1, baseline);
+    ASSERT_TRUE(found.has_value());
+    // The search returns the lexicographically first witness; any witness
+    // must itself verify.
+    EXPECT_TRUE(is_punishment_strategy(g, *found, 1, baseline));
+}
+
+TEST(Punishment, NoPunishmentWhenBaselineTooLow) {
+    // Against baseline 0 in the attack game, a punished player can always
+    // reach >= 0 (payoffs are non-negative), so nothing is strictly worse.
+    const auto g = attack_coordination_game(3);
+    const std::vector<Rational> baseline(3, Rational{0});
+    EXPECT_FALSE(find_punishment_strategy(g, 1, baseline).has_value());
+}
+
+// ---------------------------------------------------------- anonymous games
+
+TEST(Anonymous, MatchesExactCheckersOnSmallGames) {
+    for (const std::size_t n : {3u, 4u, 5u, 6u}) {
+        const auto fast = AnonymousBinaryGame::attack(n);
+        const auto exact = attack_coordination_game(n);
+        const auto all_zero = as_exact_profile(exact, PureProfile(n, 0));
+        for (std::size_t k = 1; k <= n; ++k) {
+            EXPECT_EQ(fast.all_base_is_k_resilient(0, k), is_k_resilient(exact, all_zero, k))
+                << "attack n=" << n << " k=" << k;
+        }
+        for (std::size_t t = 1; t < n; ++t) {
+            EXPECT_EQ(fast.all_base_is_t_immune(0, t), is_t_immune(exact, all_zero, t))
+                << "attack n=" << n << " t=" << t;
+        }
+    }
+    for (const std::size_t n : {3u, 4u, 5u}) {
+        const auto fast = AnonymousBinaryGame::bargaining(n);
+        const auto exact = bargaining_game(n);
+        const auto all_stay = as_exact_profile(exact, PureProfile(n, 0));
+        for (std::size_t k = 1; k <= n; ++k) {
+            EXPECT_EQ(fast.all_base_is_k_resilient(0, k), is_k_resilient(exact, all_stay, k));
+        }
+        EXPECT_EQ(fast.all_base_is_t_immune(0, 1), is_t_immune(exact, all_stay, 1));
+    }
+}
+
+TEST(Anonymous, ScalesToLargeN) {
+    // The whole point: n = 50 without materializing 2^50 payoffs.
+    const auto attack = AnonymousBinaryGame::attack(50);
+    EXPECT_TRUE(attack.all_base_is_nash(0));
+    EXPECT_EQ(attack.min_breaking_coalition(0, 50), 2u);
+    const auto bargaining = AnonymousBinaryGame::bargaining(50);
+    EXPECT_TRUE(bargaining.all_base_is_k_resilient(0, 50));
+    EXPECT_FALSE(bargaining.all_base_is_t_immune(0, 1));
+}
+
+TEST(Anonymous, ToNormalFormMatchesCatalog) {
+    const auto fast = AnonymousBinaryGame::attack(4).to_normal_form();
+    const auto exact = attack_coordination_game(4);
+    for (std::uint64_t rank = 0; rank < exact.num_profiles(); ++rank) {
+        const auto profile = exact.profile_unrank(rank);
+        for (std::size_t p = 0; p < 4; ++p) {
+            EXPECT_EQ(fast.payoff(profile, p), exact.payoff(profile, p));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- mediator
+
+TEST(Mediator, ByzantinePolicySolvesAgreementTrivially) {
+    // "It is trivial to solve Byzantine agreement with a mediator."
+    const auto g = byzantine_agreement_game(4);
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    policy.validate();
+    // Everyone follows the general's reported preference: value 2 (full
+    // agreement with the general's actual preference, every type).
+    for (std::size_t player = 0; player < 4; ++player) {
+        EXPECT_EQ(policy.truthful_value(player), Rational{2});
+    }
+    EXPECT_TRUE(policy.is_truthful_equilibrium());
+}
+
+TEST(Mediator, RevealTypesPolicyBeatsNoMediator) {
+    // With the mediator each player matches the other's type: value 2
+    // (vs. 1 for any unmediated strategy).
+    const auto g = correlated_types_game();
+    const auto policy = MediatorPolicy::reveal_types(g);
+    EXPECT_EQ(policy.truthful_value(0), Rational{2});
+    EXPECT_EQ(policy.truthful_value(1), Rational{2});
+    EXPECT_TRUE(policy.is_truthful_equilibrium());
+}
+
+TEST(Mediator, DetectsProfitableMisreporting) {
+    // A policy that rewards reporting type 1: recommending the matching
+    // action only when the report is 1 makes truthful type-0 reports
+    // suboptimal -- the checker must catch the misreport deviation.
+    const auto g = correlated_types_game();
+    MediatorPolicy policy(g);
+    util::product_for_each(g.type_counts(), [&](const game::TypeProfile& types) {
+        if (types[0] == 1) {
+            policy.set_recommendation(types, {types[1], types[0]}, Rational{1});
+        } else {
+            // Punish type-0 reports with a mismatched recommendation.
+            policy.set_recommendation(types, {1 - types[1], types[0]}, Rational{1});
+        }
+        return true;
+    });
+    policy.validate();
+    EXPECT_FALSE(policy.is_truthful_equilibrium());
+}
+
+TEST(Mediator, InducedDistributionRowsAreDistributions) {
+    const auto g = byzantine_agreement_game(3);
+    const auto policy = MediatorPolicy::byzantine_consensus(g);
+    const auto dist = policy.induced_action_distribution({1, 0, 0});
+    Rational total{0};
+    for (const auto& p : dist) total += p;
+    EXPECT_EQ(total, Rational{1});
+    // The mass sits on "everyone attacks" (action profile (1,1,1)).
+    EXPECT_EQ(dist[util::product_rank(g.action_counts(), {1, 1, 1})], Rational{1});
+}
+
+TEST(Mediator, CoinSpaceOfDeterministicPolicyIsOne) {
+    const auto g = byzantine_agreement_game(3);
+    EXPECT_EQ(MediatorPolicy::byzantine_consensus(g).coin_space(), 1u);
+}
+
+TEST(Mediator, RandomizedPolicySamplesExactly) {
+    const auto g = correlated_types_game();
+    MediatorPolicy policy(g);
+    util::product_for_each(g.type_counts(), [&](const game::TypeProfile& types) {
+        policy.set_recommendation(types, {0, 0}, Rational{1, 2});
+        policy.set_recommendation(types, {1, 1}, Rational{1, 2});
+        return true;
+    });
+    policy.validate();
+    EXPECT_EQ(policy.coin_space(), 2u);
+    const auto rank00 = util::product_rank(g.action_counts(), {0, 0});
+    const auto rank11 = util::product_rank(g.action_counts(), {1, 1});
+    EXPECT_EQ(policy.sample_rank({0, 0}, 0, 2), rank00);
+    EXPECT_EQ(policy.sample_rank({0, 0}, 1, 2), rank11);
+}
+
+TEST(Robustness, BayesianWrapperMatchesStrategicForm) {
+    // Ex-ante (1,0)-robustness of a Bayesian pure profile == Bayes-Nash.
+    const auto g = byzantine_agreement_game(3);
+    const game::BayesianPureProfile all_zero{{0, 0}, {0}, {0}};
+    EXPECT_EQ(g.is_bayes_nash(all_zero), is_kt_robust_bayesian(g, all_zero, 1, 0));
+    const game::BayesianPureProfile truthful{{0, 1}, {0}, {0}};
+    EXPECT_EQ(g.is_bayes_nash(truthful), is_kt_robust_bayesian(g, truthful, 1, 0));
+    // Coalition version: all-zero should survive k = 2 as well (agreement
+    // payoffs cannot be improved by any pair given the third holds 0).
+    EXPECT_TRUE(is_kt_robust_bayesian(g, all_zero, 2, 0));
+    // But it is not 1-immune: a faulty player breaking agreement hurts
+    // the others.
+    EXPECT_FALSE(is_kt_robust_bayesian(g, all_zero, 0, 1));
+}
+
+// -------------------------------------------------------------- feasibility
+
+TEST(Feasibility, PaperBulletOne) {
+    // n > 3k+3t: exact, bounded, no knowledge of utilities needed.
+    const auto verdict = classify(7, 1, 1, {});
+    EXPECT_EQ(verdict.guarantee, Guarantee::kExact);
+    EXPECT_EQ(verdict.running_time, RunningTime::kBounded);
+    EXPECT_FALSE(verdict.requires_utility_knowledge);
+    EXPECT_EQ(verdict.theorem, "n > 3k+3t");
+}
+
+TEST(Feasibility, PaperBulletTwoAndThree) {
+    // n <= 3k+3t without punishment/utilities: impossible.
+    Capabilities none;
+    EXPECT_EQ(classify(6, 1, 1, none).guarantee, Guarantee::kImpossible);
+    // 2k+3t < n <= 3k+3t with punishment + utilities: exact, finite expected.
+    Capabilities caps;
+    caps.utilities_known = true;
+    caps.punishment_strategy = true;
+    const auto verdict = classify(6, 1, 1, caps);
+    EXPECT_EQ(verdict.guarantee, Guarantee::kExact);
+    EXPECT_EQ(verdict.running_time, RunningTime::kFiniteExpected);
+    EXPECT_TRUE(verdict.requires_punishment);
+}
+
+TEST(Feasibility, PaperBulletFour) {
+    // n <= 2k+3t: impossible even with punishment and known utilities.
+    Capabilities caps;
+    caps.utilities_known = true;
+    caps.punishment_strategy = true;
+    const auto verdict = classify(5, 1, 1, caps);
+    EXPECT_EQ(verdict.guarantee, Guarantee::kImpossible);
+    EXPECT_NE(verdict.theorem.find("n <= 2k+3t"), std::string::npos);
+}
+
+TEST(Feasibility, PaperBulletFiveAndSix) {
+    // n > 2k+2t + broadcast: epsilon with bounded expected running time.
+    Capabilities caps;
+    caps.broadcast_channel = true;
+    const auto ok = classify(5, 1, 1, caps);
+    EXPECT_EQ(ok.guarantee, Guarantee::kEpsilon);
+    EXPECT_EQ(ok.running_time, RunningTime::kBoundedExpected);
+    EXPECT_TRUE(ok.uses_broadcast);
+    // n <= 2k+2t: not even epsilon with broadcast.
+    EXPECT_EQ(classify(4, 1, 1, caps).guarantee, Guarantee::kImpossible);
+}
+
+TEST(Feasibility, PaperBulletSevenAndEight) {
+    Capabilities caps;
+    caps.cryptography = true;
+    // n > k+3t with crypto: epsilon-implementable. For (k,t) = (1,1),
+    // n = 5 also exceeds 2k+2t = 4, so the running time stays bounded.
+    const auto ok = classify(5, 1, 1, caps);
+    EXPECT_EQ(ok.guarantee, Guarantee::kEpsilon);
+    EXPECT_TRUE(ok.uses_cryptography);
+    EXPECT_EQ(ok.running_time, RunningTime::kBoundedExpected);
+    // With (k,t) = (2,1): k+3t = 5 < n = 6 <= 2k+2t = 6, so the paper's
+    // caveat bites: the running time depends on utilities and epsilon.
+    const auto tight = classify(6, 2, 1, caps);
+    EXPECT_EQ(tight.guarantee, Guarantee::kEpsilon);
+    EXPECT_EQ(tight.running_time, RunningTime::kUtilityDependent);
+    // n <= k+3t: impossible with crypto alone.
+    EXPECT_EQ(classify(4, 1, 1, caps).guarantee, Guarantee::kImpossible);
+}
+
+TEST(Feasibility, PaperBulletNine) {
+    Capabilities caps;
+    caps.cryptography = true;
+    caps.pki = true;
+    // n > k+t with crypto + PKI: epsilon-implementable.
+    EXPECT_EQ(classify(3, 1, 1, caps).guarantee, Guarantee::kEpsilon);
+    EXPECT_TRUE(classify(3, 1, 1, caps).uses_pki);
+    // n <= k+t: impossible outright.
+    EXPECT_EQ(classify(2, 1, 1, caps).guarantee, Guarantee::kImpossible);
+}
+
+TEST(Feasibility, NashSpecialCase) {
+    // (k,t) = (1,0): a plain mediator for Nash play; tiny n suffices
+    // per bullet one when n > 3.
+    EXPECT_EQ(classify(4, 1, 0, {}).guarantee, Guarantee::kExact);
+}
+
+TEST(Feasibility, MonotoneInN) {
+    // Fixing (k, t) and capabilities, growing n never weakens the verdict.
+    Capabilities caps;
+    caps.utilities_known = true;
+    caps.punishment_strategy = true;
+    caps.broadcast_channel = true;
+    int best_seen = 0;  // 0 impossible, 1 epsilon, 2 exact
+    for (std::size_t n = 2; n <= 12; ++n) {
+        const auto verdict = classify(n, 1, 1, caps);
+        const int strength = verdict.guarantee == Guarantee::kExact     ? 2
+                             : verdict.guarantee == Guarantee::kEpsilon ? 1
+                                                                        : 0;
+        EXPECT_GE(strength, best_seen) << "n = " << n;
+        best_seen = std::max(best_seen, strength);
+    }
+}
+
+}  // namespace
+}  // namespace bnash::core

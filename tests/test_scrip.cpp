@@ -1,0 +1,137 @@
+// Tests for the scrip-system simulator (Section 5, E12): conservation,
+// threshold dynamics, the welfare/money-supply curve with its crash, and
+// the hoarder/altruist irrational types.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scrip/scrip_system.h"
+
+namespace bnash::scrip {
+namespace {
+
+ScripParams small_params() {
+    ScripParams params;
+    params.num_agents = 50;
+    params.money_per_capita = 2.0;
+    params.rounds = 40'000;
+    params.alpha = 1.0;
+    params.gamma = 3.0;
+    params.seed = 7;
+    return params;
+}
+
+TEST(Scrip, MoneyIsConservedWithoutAltruists) {
+    const auto params = small_params();
+    const auto result = simulate_uniform(params, 4);
+    EXPECT_EQ(result.total_money, 100u);  // 50 agents * 2.0 per capita
+}
+
+TEST(Scrip, WelfareIsPositiveInAHealthyEconomy) {
+    const auto result = simulate_uniform(small_params(), 4);
+    EXPECT_GT(result.social_welfare_per_round, 0.0);
+    EXPECT_GT(result.satisfied_fraction, 0.5);
+}
+
+TEST(Scrip, DeterministicUnderSeed) {
+    const auto a = simulate_uniform(small_params(), 4);
+    const auto b = simulate_uniform(small_params(), 4);
+    EXPECT_EQ(a.utility, b.utility);
+    EXPECT_EQ(a.final_scrip, b.final_scrip);
+}
+
+TEST(Scrip, TooMuchMoneyCrashesTheEconomy) {
+    // Once every agent holds >= threshold scrip, nobody volunteers: the
+    // paper's monetary crash.
+    auto params = small_params();
+    params.money_per_capita = 10.0;  // far above threshold 4
+    const auto flush = simulate_uniform(params, 4);
+    EXPECT_LT(flush.satisfied_fraction, 0.35);
+
+    params.money_per_capita = 2.0;
+    const auto healthy = simulate_uniform(params, 4);
+    EXPECT_GT(healthy.satisfied_fraction, flush.satisfied_fraction);
+}
+
+TEST(Scrip, NoMoneyNoTrade) {
+    auto params = small_params();
+    params.money_per_capita = 0.0;
+    const auto result = simulate_uniform(params, 4);
+    EXPECT_DOUBLE_EQ(result.satisfied_fraction, 0.0);
+}
+
+TEST(Scrip, WelfareCurvePeaksInTheInterior) {
+    // Sweep money per capita: welfare should rise from 0, peak, then fall
+    // to (near) zero -- the shape of the Kash-Friedman-Halpern figure.
+    auto params = small_params();
+    std::vector<double> welfare;
+    for (const double m : {0.0, 1.0, 2.0, 3.0, 6.0, 10.0}) {
+        params.money_per_capita = m;
+        welfare.push_back(simulate_uniform(params, 4).satisfied_fraction);
+    }
+    const auto peak = std::max_element(welfare.begin(), welfare.end());
+    EXPECT_NE(peak, welfare.begin());        // not at zero money
+    EXPECT_NE(peak, welfare.end() - 1);      // not at saturation
+    EXPECT_GT(*peak, welfare.front() + 0.3);
+    EXPECT_GT(*peak, welfare.back() + 0.3);
+}
+
+TEST(Scrip, HoardersDrainLiquidity) {
+    // Hoarders volunteer but never spend: scrip accumulates on them and
+    // the rest of the economy starves.
+    auto params = small_params();
+    std::vector<AgentSpec> specs(params.num_agents, AgentSpec{BehaviorKind::kThreshold, 4});
+    for (std::size_t i = 0; i < 15; ++i) specs[i] = AgentSpec{BehaviorKind::kHoarder, 0};
+    const auto with_hoarders = simulate(params, specs);
+    const auto baseline = simulate_uniform(params, 4);
+    EXPECT_LT(with_hoarders.satisfied_fraction + 0.05, baseline.satisfied_fraction);
+    // The hoarders end up holding most of the money.
+    double hoarder_scrip = 0;
+    for (std::size_t i = 0; i < 15; ++i) {
+        hoarder_scrip += static_cast<double>(with_hoarders.final_scrip[i]);
+    }
+    EXPECT_GT(hoarder_scrip / static_cast<double>(with_hoarders.total_money), 0.7);
+}
+
+TEST(Scrip, AltruistsKeepABrokeEconomyAlive) {
+    // With zero money, only altruists can serve (they charge nothing).
+    auto params = small_params();
+    params.money_per_capita = 0.0;
+    std::vector<AgentSpec> specs(params.num_agents, AgentSpec{BehaviorKind::kThreshold, 4});
+    for (std::size_t i = 0; i < 5; ++i) specs[i] = AgentSpec{BehaviorKind::kAltruist, 0};
+    const auto result = simulate(params, specs);
+    EXPECT_GT(result.satisfied_fraction, 0.9);  // altruists always volunteer
+    EXPECT_EQ(result.total_money, 0u);
+}
+
+TEST(Scrip, GiniGrowsWithHoarders) {
+    auto params = small_params();
+    std::vector<AgentSpec> specs(params.num_agents, AgentSpec{BehaviorKind::kThreshold, 4});
+    const auto baseline = simulate(params, specs);
+    for (std::size_t i = 0; i < 10; ++i) specs[i] = AgentSpec{BehaviorKind::kHoarder, 0};
+    const auto skewed = simulate(params, specs);
+    EXPECT_GT(skewed.scrip_gini, baseline.scrip_gini);
+}
+
+TEST(Scrip, BestResponseCurveIsComputable) {
+    auto params = small_params();
+    params.rounds = 20'000;
+    const auto curve = threshold_best_response_curve(params, 4, 8);
+    ASSERT_EQ(curve.size(), 9u);
+    // Playing threshold 0 (never volunteer, so never earn, so rarely
+    // consume) must be worse than some positive threshold.
+    const double best = *std::max_element(curve.begin(), curve.end());
+    EXPECT_GT(best, curve[0]);
+}
+
+TEST(Scrip, ParameterValidation) {
+    ScripParams params;
+    params.num_agents = 1;
+    EXPECT_THROW((void)simulate_uniform(params, 2), std::invalid_argument);
+    params = ScripParams{};
+    params.gamma = 0.5;  // below alpha
+    EXPECT_THROW((void)simulate_uniform(params, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnash::scrip
