@@ -1,0 +1,38 @@
+// Machine-readable benchmark output: injects --benchmark_out=<path>
+// (JSON) into the google-benchmark flags unless the caller already chose
+// an output, so every bench binary drops a BENCH_<name>.json next to the
+// working directory and future PRs can track the perf trajectory.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bnash::bench {
+
+inline void initialize_with_json_output(int argc, char** argv, const char* default_path) {
+    bool has_out = false;
+    for (int i = 0; i < argc; ++i) {
+        // Exact flag only: --benchmark_out_format alone must not suppress
+        // the injected JSON output path.
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+            std::strcmp(argv[i], "--benchmark_out") == 0) {
+            has_out = true;
+        }
+    }
+    static std::vector<std::string> storage;
+    storage.assign(argv, argv + argc);
+    if (!has_out) {
+        storage.push_back(std::string("--benchmark_out=") + default_path);
+        storage.push_back("--benchmark_out_format=json");
+    }
+    static std::vector<char*> args;
+    args.clear();
+    for (auto& arg : storage) args.push_back(arg.data());
+    int injected_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&injected_argc, args.data());
+}
+
+}  // namespace bnash::bench

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "game/catalog.h"
 #include "solver/learning.h"
 #include "solver/lemke_howson.h"
@@ -23,9 +24,12 @@ void print_tables() {
     const auto pd = game::catalog::prisoners_dilemma();
     std::cout << pd.to_string();
     const auto equilibria = solver::support_enumeration(pd);
+    std::cout << equilibria.size() << " Nash equilibrium(s) found\n";
     for (const auto& eq : equilibria) {
-        std::cout << "unique Nash equilibrium: (D, D), payoffs ("
-                  << eq.payoffs[0].to_string() << ", " << eq.payoffs[1].to_string() << ")\n";
+        std::cout << "equilibrium: " << game::to_string(game::to_double(eq.profile[0]))
+                  << " x " << game::to_string(game::to_double(eq.profile[1]))
+                  << ", payoffs (" << eq.payoffs[0].to_string() << ", "
+                  << eq.payoffs[1].to_string() << ")\n";
     }
     std::cout << "(C,C) Pareto-dominates it: " << solver::is_pareto_dominated(pd, {1, 1})
               << "\n\n";
@@ -115,7 +119,7 @@ BENCHMARK(bench_pure_nash_enumeration)->DenseRange(2, 10)->Unit(benchmark::kMill
 
 int main(int argc, char** argv) {
     print_tables();
-    benchmark::Initialize(&argc, argv);
+    bnash::bench::initialize_with_json_output(argc, argv, "BENCH_solvers.json");
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+# Usage: scripts/verify.sh [--bench]   (--bench also builds and smoke-runs
+# the benchmark binaries and leaves BENCH_*.json in the build directory)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=OFF
+if [[ "${1:-}" == "--bench" ]]; then
+  BENCH=ON
+fi
+
+cmake -B build -S . -DBNASH_BUILD_BENCH=${BENCH}
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${BENCH}" == "ON" ]]; then
+  (cd build && ./bench_payoff_engine --benchmark_min_time=0.05s)
+  (cd build && ./bench_solvers --benchmark_min_time=0.05s)
+fi

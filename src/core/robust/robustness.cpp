@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "game/payoff_engine.h"
 #include "util/combinatorics.h"
 
 namespace bnash::core {
@@ -15,18 +16,18 @@ using game::PureProfile;
 using util::Rational;
 
 // Returns the pure profile when every strategy is a point mass (the common
-// case for the paper's examples), enabling O(1) payoff lookups.
+// case for the paper's examples), enabling O(1) payoff lookups. A second
+// unit mass rejects the strategy (it is not a distribution) rather than
+// silently shadowing the first.
 std::optional<PureProfile> as_pure(const ExactMixedProfile& profile) {
     PureProfile out(profile.size(), 0);
     for (std::size_t i = 0; i < profile.size(); ++i) {
         bool found = false;
         for (std::size_t a = 0; a < profile[i].size(); ++a) {
-            if (profile[i][a] == Rational{1}) {
-                out[i] = a;
-                found = true;
-            } else if (!profile[i][a].is_zero()) {
-                return std::nullopt;
-            }
+            if (profile[i][a].is_zero()) continue;
+            if (found || profile[i][a] != Rational{1}) return std::nullopt;
+            out[i] = a;
+            found = true;
         }
         if (!found) return std::nullopt;
     }
@@ -34,20 +35,28 @@ std::optional<PureProfile> as_pure(const ExactMixedProfile& profile) {
 }
 
 // Evaluation context: computes u_i when players in `who` play `actions`
-// and everyone else follows the candidate profile.
+// and everyone else follows the candidate profile. In the pure case a
+// coalition deviation is an O(|who|) stride delta from the candidate's
+// precomputed rank — no PureProfile rebuild, no full re-rank per joint
+// action.
 class Evaluator final {
 public:
     Evaluator(const NormalFormGame& game, const ExactMixedProfile& profile)
-        : game_(game), profile_(profile), pure_(as_pure(profile)) {}
+        : game_(game), engine_(game), profile_(profile), pure_(as_pure(profile)) {
+        if (pure_) base_rank_ = engine_.rank_of(*pure_);
+    }
 
     [[nodiscard]] Rational utility(const std::vector<std::size_t>& who,
                                    const PureProfile& actions, std::size_t player) const {
         if (pure_) {
-            PureProfile joint = *pure_;
+            const auto& strides = engine_.strides();
+            std::uint64_t rank = base_rank_;
             for (std::size_t idx = 0; idx < who.size(); ++idx) {
-                joint[who[idx]] = actions[idx];
+                // Unsigned wrap-around is fine: the final rank is in range.
+                rank += actions[idx] * strides[who[idx]];
+                rank -= (*pure_)[who[idx]] * strides[who[idx]];
             }
-            return game_.payoff(joint, player);
+            return game_.payoff_at(rank, player);
         }
         ExactMixedProfile deviated = profile_;
         for (std::size_t idx = 0; idx < who.size(); ++idx) {
@@ -55,7 +64,7 @@ public:
             point[actions[idx]] = Rational{1};
             deviated[who[idx]] = std::move(point);
         }
-        return game_.expected_payoff_exact(deviated, player);
+        return engine_.expected_payoff_exact(deviated, player);
     }
 
     [[nodiscard]] Rational baseline(std::size_t player) const {
@@ -64,8 +73,10 @@ public:
 
 private:
     const NormalFormGame& game_;
+    game::PayoffEngine engine_;
     const ExactMixedProfile& profile_;
     std::optional<PureProfile> pure_;
+    std::uint64_t base_rank_ = 0;
 };
 
 std::vector<std::size_t> action_space(const NormalFormGame& game,

@@ -1,0 +1,447 @@
+#include "dist/byzantine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/signature.h"
+
+namespace bnash::dist {
+namespace {
+
+// Lying processes follow the honest message schedule with corrupted
+// payloads; per-message corruption for kZeroLies/kRandomLies, fresh value
+// per recipient for kEquivocate.
+std::uint64_t corrupt(AdversaryKind kind, std::uint64_t honest_value, util::Rng& rng) {
+    switch (kind) {
+        case AdversaryKind::kZeroLies: return 0;
+        case AdversaryKind::kRandomLies:
+        case AdversaryKind::kEquivocate: return rng.next_below(2);
+        default: return honest_value;
+    }
+}
+
+// ------------------------------------------------------------------- EIG
+//
+// Tree of witness paths: val(<p1..pr>) = "pr told me that p_{r-1} told
+// it ... that p1's input is v". Round r relays every level-r node not
+// containing the sender; after round t+1 each process resolves the tree
+// bottom-up by strict majority with default 0.
+class EigProcess final : public Process {
+public:
+    EigProcess(std::size_t self, std::size_t n, std::size_t t, std::uint64_t input,
+               AdversaryKind kind, util::Rng rng)
+        : self_(self), n_(n), t_(t), input_(input), kind_(kind), rng_(rng) {}
+
+    void on_round(std::size_t round, const std::vector<Message>& inbox, Outbox& out) override {
+        if (decided_) return;
+        // Store level-`round` nodes. A message relaying node path alpha
+        // (sender appended on receipt) is only valid in the round right
+        // after its send round: stale (delayed) relays are missing data.
+        for (const auto& message : inbox) {
+            if (message.kind != "eig" || message.data.size() != round || round == 0) continue;
+            std::vector<std::size_t> node;
+            node.reserve(round);
+            bool valid = true;
+            for (std::size_t i = 1; i < message.data.size(); ++i) {
+                node.push_back(static_cast<std::size_t>(message.data[i]));
+            }
+            node.push_back(message.from);
+            for (std::size_t i = 0; i < node.size() && valid; ++i) {
+                if (node[i] >= n_) valid = false;
+                for (std::size_t j = i + 1; j < node.size(); ++j) {
+                    if (node[i] == node[j]) valid = false;
+                }
+            }
+            if (valid && node.size() <= t_ + 1) val_[node] = message.data[0];
+        }
+
+        if (round <= t_) {
+            relay_level(round, out);
+        }
+        if (round == t_ + 1) {
+            decision = resolve({});
+            decided_ = true;
+        }
+    }
+
+    [[nodiscard]] bool done() const override { return decided_; }
+
+    std::optional<std::uint64_t> decision;
+
+private:
+    void relay_level(std::size_t level, Outbox& out) {
+        std::vector<std::size_t> path;
+        emit_paths(level, path, out);
+    }
+
+    // Enumerates every distinct-id path of length `remaining` avoiding
+    // self_ and ids already on `path`, sending each node's stored value.
+    void emit_paths(std::size_t remaining, std::vector<std::size_t>& path, Outbox& out) {
+        if (remaining == 0) {
+            const auto it = val_.find(path);
+            const std::uint64_t value =
+                path.empty() ? input_ : (it != val_.end() ? it->second : 0);
+            std::vector<std::uint64_t> data;
+            data.reserve(1 + path.size());
+            data.push_back(value);
+            for (const std::size_t id : path) data.push_back(id);
+            if (kind_ == AdversaryKind::kEquivocate) {
+                for (std::size_t to = 0; to < n_; ++to) {
+                    data[0] = corrupt(kind_, value, rng_);
+                    out.send(to, "eig", data);
+                }
+            } else {
+                data[0] = corrupt(kind_, value, rng_);
+                out.broadcast("eig", data);
+            }
+            return;
+        }
+        for (std::size_t id = 0; id < n_; ++id) {
+            if (id == self_) continue;
+            if (std::find(path.begin(), path.end(), id) != path.end()) continue;
+            path.push_back(id);
+            emit_paths(remaining - 1, path, out);
+            path.pop_back();
+        }
+    }
+
+    [[nodiscard]] std::uint64_t resolve(const std::vector<std::size_t>& node) const {
+        if (node.size() == t_ + 1) {
+            const auto it = val_.find(node);
+            return it != val_.end() ? it->second : 0;
+        }
+        std::map<std::uint64_t, std::size_t> counts;
+        std::size_t children = 0;
+        std::vector<std::size_t> child = node;
+        for (std::size_t id = 0; id < n_; ++id) {
+            if (std::find(node.begin(), node.end(), id) != node.end()) continue;
+            child.push_back(id);
+            counts[resolve(child)] += 1;
+            child.pop_back();
+            children += 1;
+        }
+        for (const auto& [value, count] : counts) {
+            if (2 * count > children) return value;  // strict majority
+        }
+        return 0;  // no majority: the default value
+    }
+
+    std::size_t self_;
+    std::size_t n_;
+    std::size_t t_;
+    std::uint64_t input_;
+    AdversaryKind kind_;
+    util::Rng rng_;
+    std::map<std::vector<std::size_t>, std::uint64_t> val_;
+    bool decided_ = false;
+};
+
+// ------------------------------------------------------------ Phase-King
+//
+// Berman-Garay: t+1 phases, king of phase p is process p. Each phase:
+// round 2p everyone broadcasts its preference; round 2p+1 everyone
+// tallies and the king broadcasts its plurality value; round 2p+2
+// everyone keeps its own plurality if it saw more than n/2 + t votes for
+// it, else adopts the king's value.
+class PhaseKingProcess final : public Process {
+public:
+    PhaseKingProcess(std::size_t self, std::size_t n, std::size_t t, std::uint64_t input,
+                     AdversaryKind kind, util::Rng rng)
+        : self_(self), n_(n), phases_(t + 1), threshold_(n / 2 + t), pref_(input),
+          kind_(kind), rng_(rng) {}
+
+    void on_round(std::size_t round, const std::vector<Message>& inbox, Outbox& out) override {
+        if (decided_) return;
+        if (round == 0) {
+            send_value("vote", pref_, out);
+            return;
+        }
+        const std::size_t phase = (round - 1) / 2;
+        if ((round - 1) % 2 == 0) {
+            // Tally this phase's votes; the king announces its plurality.
+            std::map<std::uint64_t, std::size_t> counts;
+            for (const auto& message : inbox) {
+                if (message.kind == "vote" && message.round + 1 == round &&
+                    !message.data.empty()) {
+                    counts[message.data[0]] += 1;
+                }
+            }
+            maj_ = 0;
+            maj_count_ = 0;
+            for (const auto& [value, count] : counts) {
+                if (count > maj_count_) {
+                    maj_ = value;
+                    maj_count_ = count;
+                }
+            }
+            if (self_ == phase) send_value("king", maj_, out);
+            return;
+        }
+        // Adopt: own plurality when overwhelming, else the king's word.
+        std::uint64_t king_value = 0;
+        for (const auto& message : inbox) {
+            if (message.kind == "king" && message.from == phase &&
+                message.round + 1 == round && !message.data.empty()) {
+                king_value = message.data[0];
+            }
+        }
+        pref_ = (maj_count_ > threshold_) ? maj_ : king_value;
+        if (phase + 1 < phases_) {
+            send_value("vote", pref_, out);
+        } else {
+            decision = pref_;
+            decided_ = true;
+        }
+    }
+
+    [[nodiscard]] bool done() const override { return decided_; }
+
+    std::optional<std::uint64_t> decision;
+
+private:
+    void send_value(const std::string& kind, std::uint64_t value, Outbox& out) {
+        if (kind_ == AdversaryKind::kEquivocate) {
+            for (std::size_t to = 0; to < n_; ++to) {
+                out.send(to, kind, {corrupt(kind_, value, rng_)});
+            }
+        } else {
+            out.broadcast(kind, {corrupt(kind_, value, rng_)});
+        }
+    }
+
+    std::size_t self_;
+    std::size_t n_;
+    std::size_t phases_;
+    std::size_t threshold_;
+    std::uint64_t pref_;
+    std::uint64_t maj_ = 0;
+    std::size_t maj_count_ = 0;
+    AdversaryKind kind_;
+    util::Rng rng_;
+    bool decided_ = false;
+};
+
+// ----------------------------------------------------------- Dolev-Strong
+//
+// Authenticated broadcast: the general signs and sends its value; a
+// process that extracts a new value v at round r (valid chain of r
+// distinct signatures over v, starting with the general's and ending with
+// the sender's) relays v with its own signature appended. After round
+// t+1: one extracted value -> decide it, otherwise default 0. Signature
+// chains are unforgeable via crypto::KeyRegistry, so a liar altering a
+// value produces a chain the general never signed and is ignored.
+class DolevStrongProcess final : public Process {
+public:
+    DolevStrongProcess(std::size_t self, std::size_t n, std::size_t t, std::size_t general,
+                       std::uint64_t value, crypto::Signer signer,
+                       const crypto::KeyRegistry* registry, AdversaryKind kind, util::Rng rng)
+        : self_(self), n_(n), t_(t), general_(general), value_(value),
+          signer_(std::move(signer)), registry_(registry), kind_(kind), rng_(rng) {}
+
+    void on_round(std::size_t round, const std::vector<Message>& inbox, Outbox& out) override {
+        if (decided_) return;
+        if (round == 0) {
+            if (self_ == general_) {
+                if (kind_ == AdversaryKind::kEquivocate) {
+                    for (std::size_t to = 0; to < n_; ++to) {
+                        const std::uint64_t two_faced = rng_.next_below(2);
+                        out.send(to, "ds", encode(two_faced, {signer_.sign(two_faced)}));
+                    }
+                } else {
+                    const std::uint64_t sent = corrupt(kind_, value_, rng_);
+                    out.broadcast("ds", encode(sent, {signer_.sign(sent)}));
+                }
+                extracted_.insert(value_);
+            }
+            return;
+        }
+
+        for (const auto& message : inbox) {
+            std::uint64_t value = 0;
+            std::vector<crypto::SignedValue> chain;
+            if (!decode(message, round, value, chain)) continue;
+            if (extracted_.contains(value)) continue;
+            extracted_.insert(value);
+            if (round <= t_ && kind_ != AdversaryKind::kEquivocate) {
+                auto extended = chain;
+                // A liar corrupts the value it relays; the general's
+                // signature then fails to verify downstream.
+                const std::uint64_t relayed = corrupt(kind_, value, rng_);
+                extended.push_back(signer_.sign(relayed));
+                out.broadcast("ds", encode(relayed, extended));
+            }
+        }
+
+        if (round == t_ + 1) {
+            if (self_ == general_) {
+                decision = value_;
+            } else {
+                decision = extracted_.size() == 1 ? *extracted_.begin() : 0;
+            }
+            decided_ = true;
+        }
+    }
+
+    [[nodiscard]] bool done() const override { return decided_; }
+
+    std::optional<std::uint64_t> decision;
+
+private:
+    static std::vector<std::uint64_t> encode(std::uint64_t value,
+                                             const std::vector<crypto::SignedValue>& chain) {
+        std::vector<std::uint64_t> data{value};
+        for (const auto& sv : chain) {
+            data.push_back(static_cast<std::uint64_t>(sv.signer));
+            data.push_back(sv.tag);
+        }
+        return data;
+    }
+
+    // Valid at round r: exactly r signatures over `value`, pairwise
+    // distinct signers, first the general, last the message's sender.
+    bool decode(const Message& message, std::size_t round, std::uint64_t& value,
+                std::vector<crypto::SignedValue>& chain) const {
+        if (message.kind != "ds" || message.data.size() != 1 + 2 * round) return false;
+        value = message.data[0];
+        std::set<std::size_t> signers;
+        for (std::size_t i = 1; i + 1 < message.data.size(); i += 2) {
+            const auto signer = static_cast<std::size_t>(message.data[i]);
+            const crypto::SignedValue sv{signer, value, message.data[i + 1]};
+            if (!registry_->verify(sv) || !signers.insert(signer).second) return false;
+            chain.push_back(sv);
+        }
+        if (chain.empty() || chain.front().signer != general_ ||
+            chain.back().signer != message.from) {
+            return false;
+        }
+        return true;
+    }
+
+    std::size_t self_;
+    std::size_t n_;
+    std::size_t t_;
+    std::size_t general_;
+    std::uint64_t value_;
+    crypto::Signer signer_;
+    const crypto::KeyRegistry* registry_;
+    AdversaryKind kind_;
+    util::Rng rng_;
+    std::set<std::uint64_t> extracted_;
+    bool decided_ = false;
+};
+
+// ----------------------------------------------------------- shared glue
+
+void attach_fault(SynchronousNetwork& network, std::size_t id, AdversaryKind kind,
+                  std::size_t n) {
+    switch (kind) {
+        case AdversaryKind::kCrash:
+            network.set_fault(id, std::make_unique<CrashFault>(1, n / 2));
+            break;
+        case AdversaryKind::kSilent:
+            network.set_fault(id, std::make_unique<SilentFault>());
+            break;
+        case AdversaryKind::kDelayed:
+            network.set_fault(id, std::make_unique<DelayFault>(1));
+            break;
+        default: break;
+    }
+}
+
+template <typename ProcessType>
+ConsensusRun collect(SynchronousNetwork& network, std::size_t n, std::size_t max_rounds) {
+    ConsensusRun run;
+    run.metrics = network.run(max_rounds);
+    run.decisions.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        run.decisions[i] = dynamic_cast<ProcessType&>(network.process(i)).decision;
+    }
+    return run;
+}
+
+}  // namespace
+
+ConsensusRun run_eig_consensus(std::size_t t, const std::vector<std::uint64_t>& inputs,
+                               const std::vector<AdversaryKind>& behaviors,
+                               std::uint64_t seed) {
+    const std::size_t n = inputs.size();
+    if (behaviors.size() != n || n == 0) {
+        throw std::invalid_argument("run_eig_consensus: width mismatch");
+    }
+    SynchronousNetwork network(n, seed);
+    util::Rng master{seed};
+    for (std::size_t i = 0; i < n; ++i) {
+        network.set_process(i, std::make_unique<EigProcess>(i, n, t, inputs[i], behaviors[i],
+                                                            master.fork()));
+        attach_fault(network, i, behaviors[i], n);
+    }
+    return collect<EigProcess>(network, n, t + 6);
+}
+
+ConsensusRun run_phase_king(std::size_t t, const std::vector<std::uint64_t>& inputs,
+                            const std::vector<AdversaryKind>& behaviors, std::uint64_t seed) {
+    const std::size_t n = inputs.size();
+    if (behaviors.size() != n || n == 0) {
+        throw std::invalid_argument("run_phase_king: width mismatch");
+    }
+    SynchronousNetwork network(n, seed);
+    util::Rng master{seed};
+    for (std::size_t i = 0; i < n; ++i) {
+        network.set_process(i, std::make_unique<PhaseKingProcess>(i, n, t, inputs[i],
+                                                                  behaviors[i], master.fork()));
+        attach_fault(network, i, behaviors[i], n);
+    }
+    return collect<PhaseKingProcess>(network, n, 2 * t + 7);
+}
+
+ConsensusRun run_dolev_strong(std::size_t t, std::size_t general, std::uint64_t value,
+                              const std::vector<AdversaryKind>& behaviors,
+                              std::uint64_t seed) {
+    const std::size_t n = behaviors.size();
+    if (n == 0 || general >= n) {
+        throw std::invalid_argument("run_dolev_strong: bad general");
+    }
+    SynchronousNetwork network(n, seed);
+    util::Rng master{seed};
+    util::Rng key_rng{seed ^ 0x517cc1b727220a95ULL};
+    crypto::KeyRegistry registry(n, key_rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        network.set_process(i, std::make_unique<DolevStrongProcess>(
+                                   i, n, t, general, value, registry.issue_signer(i),
+                                   &registry, behaviors[i], master.fork()));
+        attach_fault(network, i, behaviors[i], n);
+    }
+    return collect<DolevStrongProcess>(network, n, t + 6);
+}
+
+bool agreement_holds(const ConsensusRun& run, const std::vector<bool>& is_honest) {
+    std::optional<std::uint64_t> agreed;
+    for (std::size_t i = 0; i < run.decisions.size(); ++i) {
+        if (i >= is_honest.size() || !is_honest[i]) continue;
+        if (!run.decisions[i].has_value()) return false;
+        if (!agreed.has_value()) agreed = run.decisions[i];
+        if (*agreed != *run.decisions[i]) return false;
+    }
+    return true;
+}
+
+bool validity_holds(const ConsensusRun& run, const std::vector<bool>& is_honest,
+                    const std::vector<std::uint64_t>& inputs) {
+    std::optional<std::uint64_t> common;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (i >= is_honest.size() || !is_honest[i]) continue;
+        if (!common.has_value()) common = inputs[i];
+        if (*common != inputs[i]) return true;  // honest inputs disagree: vacuous
+    }
+    if (!common.has_value()) return true;
+    for (std::size_t i = 0; i < run.decisions.size(); ++i) {
+        if (i >= is_honest.size() || !is_honest[i]) continue;
+        if (!run.decisions[i].has_value() || *run.decisions[i] != *common) return false;
+    }
+    return true;
+}
+
+}  // namespace bnash::dist

@@ -1,0 +1,78 @@
+// Byzantine agreement protocols on the synchronous network simulator.
+//
+// The paper anchors its solution concepts in the distributed-computing
+// tradition: "Byzantine agreement cannot be reached if t >= n/3" without
+// authentication, and signatures buy resilience against any number of
+// traitors. Three classic protocols make those thresholds executable:
+//
+//   - EIG (exponential information gathering): t+1 relay rounds over a
+//     tree of witness paths; tolerates t < n/3 arbitrary traitors at
+//     exponential message cost.
+//   - Phase-King (Berman-Garay): t+1 phases of two rounds each with a
+//     rotating king; polynomial messages, tolerates t < n/4.
+//   - Dolev-Strong: authenticated broadcast over the simulated PKI
+//     (crypto/signature.h); t+1 rounds, tolerates ANY t.
+//
+// Adversaries are either network faults (crash, silence, delay) or lying
+// process implementations (zero-lies, random-lies, per-recipient
+// equivocation); agreement_holds / validity_holds check the standard
+// Byzantine-agreement conditions over the honest subset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dist/network.h"
+
+namespace bnash::dist {
+
+enum class AdversaryKind {
+    kHonest,
+    kZeroLies,    // sends 0 wherever a value belongs
+    kRandomLies,  // sends a fresh random bit per message
+    kEquivocate,  // sends a fresh random bit per RECIPIENT (two-faced)
+    kCrash,       // honest until it crashes mid-protocol (CrashFault)
+    kSilent,      // honest logic, but no message ever leaves (SilentFault)
+    kDelayed,     // honest but one round late (DelayFault) — the paper's
+                  // asynchrony caveat: lateness is charged to the fault
+                  // budget even though nobody is malicious
+};
+
+struct ConsensusRun final {
+    // decisions[i]: process i's decided value (nullopt: no decision).
+    std::vector<std::optional<std::uint64_t>> decisions;
+    NetworkMetrics metrics;
+};
+
+// Runs EIG with tolerance parameter t on binary (or small-integer) inputs.
+// inputs.size() == behaviors.size() == n; correctness requires n > 3t.
+[[nodiscard]] ConsensusRun run_eig_consensus(std::size_t t,
+                                             const std::vector<std::uint64_t>& inputs,
+                                             const std::vector<AdversaryKind>& behaviors,
+                                             std::uint64_t seed = 1);
+
+// Phase-King with t+1 phases; correctness requires n > 4t.
+[[nodiscard]] ConsensusRun run_phase_king(std::size_t t,
+                                          const std::vector<std::uint64_t>& inputs,
+                                          const std::vector<AdversaryKind>& behaviors,
+                                          std::uint64_t seed = 1);
+
+// Dolev-Strong authenticated broadcast: `general` signs and broadcasts
+// `value`; t+1 relay rounds with signature chains. Tolerates any t.
+[[nodiscard]] ConsensusRun run_dolev_strong(std::size_t t, std::size_t general,
+                                            std::uint64_t value,
+                                            const std::vector<AdversaryKind>& behaviors,
+                                            std::uint64_t seed = 1);
+
+// Agreement: every honest process decided, and all honest decisions match.
+[[nodiscard]] bool agreement_holds(const ConsensusRun& run,
+                                   const std::vector<bool>& is_honest);
+
+// Validity: if all honest inputs equal v, all honest decisions equal v.
+// Vacuously true when honest inputs disagree.
+[[nodiscard]] bool validity_holds(const ConsensusRun& run, const std::vector<bool>& is_honest,
+                                  const std::vector<std::uint64_t>& inputs);
+
+}  // namespace bnash::dist

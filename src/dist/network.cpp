@@ -1,0 +1,120 @@
+#include "dist/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bnash::dist {
+
+void Outbox::send(std::size_t to, std::string kind, std::vector<std::uint64_t> data) {
+    if (to >= num_processes) throw std::out_of_range("Outbox::send: bad recipient");
+    messages.push_back(Message{self, to, round, std::move(kind), std::move(data)});
+}
+
+void Outbox::broadcast(const std::string& kind, const std::vector<std::uint64_t>& data) {
+    for (std::size_t to = 0; to < num_processes; ++to) send(to, kind, data);
+}
+
+std::vector<Message> CrashFault::apply(std::size_t round, std::vector<Message> outgoing,
+                                       util::Rng& /*rng*/) {
+    if (round < crash_round_) return outgoing;
+    if (round == crash_round_ && partial_sends_ < outgoing.size()) {
+        outgoing.resize(partial_sends_);
+        return outgoing;
+    }
+    if (round == crash_round_) return outgoing;
+    return {};
+}
+
+std::vector<Message> SilentFault::apply(std::size_t /*round*/,
+                                        std::vector<Message> /*outgoing*/,
+                                        util::Rng& /*rng*/) {
+    return {};
+}
+
+std::vector<Message> LossyFault::apply(std::size_t /*round*/, std::vector<Message> outgoing,
+                                       util::Rng& rng) {
+    std::vector<Message> kept;
+    kept.reserve(outgoing.size());
+    for (auto& message : outgoing) {
+        if (!rng.next_bool(loss_)) kept.push_back(std::move(message));
+    }
+    return kept;
+}
+
+std::vector<Message> DelayFault::apply(std::size_t round, std::vector<Message> outgoing,
+                                       util::Rng& /*rng*/) {
+    for (auto& message : outgoing) held_.push_back(std::move(message));
+    std::vector<Message> released;
+    std::erase_if(held_, [&](Message& message) {
+        // A message sent in round r re-enters the flow at round r + delay,
+        // so it is delivered at round r + delay + 1.
+        if (message.round + delay_ <= round) {
+            released.push_back(std::move(message));
+            return true;
+        }
+        return false;
+    });
+    return released;
+}
+
+SynchronousNetwork::SynchronousNetwork(std::size_t num_processes, std::uint64_t seed)
+    : num_processes_(num_processes), rng_(seed) {
+    if (num_processes == 0) {
+        throw std::invalid_argument("SynchronousNetwork: zero processes");
+    }
+    processes_.resize(num_processes);
+    faults_.resize(num_processes);
+}
+
+void SynchronousNetwork::set_process(std::size_t id, std::unique_ptr<Process> process) {
+    processes_.at(id) = std::move(process);
+}
+
+void SynchronousNetwork::set_fault(std::size_t id, std::unique_ptr<Fault> fault) {
+    faults_.at(id) = std::move(fault);
+}
+
+Process& SynchronousNetwork::process(std::size_t id) {
+    if (id >= num_processes_ || !processes_[id]) {
+        throw std::out_of_range("SynchronousNetwork::process");
+    }
+    return *processes_[id];
+}
+
+NetworkMetrics SynchronousNetwork::run(std::size_t max_rounds) {
+    for (const auto& process : processes_) {
+        if (!process) throw std::logic_error("SynchronousNetwork::run: unset process");
+    }
+    NetworkMetrics metrics;
+    // in_flight[to]: messages to deliver at the start of the next round.
+    std::vector<std::vector<Message>> in_flight(num_processes_);
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+        std::vector<std::vector<Message>> inboxes(num_processes_);
+        inboxes.swap(in_flight);
+        metrics.rounds += 1;
+        for (const auto& inbox : inboxes) {
+            metrics.messages += inbox.size();
+            for (const auto& message : inbox) metrics.payload_words += message.data.size();
+        }
+
+        for (std::size_t id = 0; id < num_processes_; ++id) {
+            Outbox out{id, num_processes_, round, {}};
+            processes_[id]->on_round(round, inboxes[id], out);
+            std::vector<Message> sent = std::move(out.messages);
+            if (faults_[id]) sent = faults_[id]->apply(round, std::move(sent), rng_);
+            for (auto& message : sent) {
+                in_flight[message.to].push_back(std::move(message));
+            }
+        }
+
+        const bool all_done = std::all_of(processes_.begin(), processes_.end(),
+                                          [](const auto& p) { return p->done(); });
+        const bool quiet = std::all_of(in_flight.begin(), in_flight.end(),
+                                       [](const auto& q) { return q.empty(); });
+        if (all_done && quiet) break;
+    }
+    return metrics;
+}
+
+}  // namespace bnash::dist

@@ -1,0 +1,148 @@
+// Synchronous message-passing network simulator with fault injection.
+//
+// The paper's Section 2 results live in the synchronous model: computation
+// proceeds in rounds, and a message sent in round r is delivered at the
+// start of round r+1. Every distributed protocol in the repo (Byzantine
+// agreement, the cheap-talk mediator pipeline) runs on this simulator so
+// that fault behaviors — crashes, silence, message loss, delay — are
+// injected uniformly and metrics (rounds, messages, payload words) are
+// gathered identically across protocols.
+//
+// Faults attach to a process and filter its OUTGOING traffic: a crash
+// truncates it, silence drops it, loss drops a coin-flip subset, delay
+// postpones delivery without dropping. Byzantine (lying) behavior is not a
+// network fault: liars follow the protocol's message schedule with
+// corrupted payloads and are implemented as adversarial Process subclasses
+// (see dist/byzantine.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bnash::dist {
+
+// One point-to-point message. `round` is the send round; `kind` is a
+// protocol-level tag ("vote", "type_share", ...); `data` is the payload in
+// 64-bit words (payload_words in NetworkMetrics counts these).
+struct Message final {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::size_t round = 0;
+    std::string kind;
+    std::vector<std::uint64_t> data;
+};
+
+struct NetworkMetrics final {
+    std::uint64_t rounds = 0;         // on_round invocations per process
+    std::uint64_t messages = 0;       // messages actually delivered
+    std::uint64_t payload_words = 0;  // sum of delivered data sizes
+};
+
+// Collects one process's sends during one round. Aggregate-initializable
+// ({self, num_processes, round}) so tests can construct it directly.
+struct Outbox final {
+    std::size_t self = 0;
+    std::size_t num_processes = 0;
+    std::size_t round = 0;
+    std::vector<Message> messages;
+
+    void send(std::size_t to, std::string kind, std::vector<std::uint64_t> data);
+    // Sends to every process, including the sender itself.
+    void broadcast(const std::string& kind, const std::vector<std::uint64_t>& data);
+};
+
+// A protocol participant. on_round is called once per round with the
+// messages delivered this round (sent last round); the network stops when
+// every process reports done() and no messages remain in flight.
+class Process {
+public:
+    virtual ~Process() = default;
+    virtual void on_round(std::size_t round, const std::vector<Message>& inbox,
+                          Outbox& out) = 0;
+    [[nodiscard]] virtual bool done() const = 0;
+};
+
+// Transforms a process's outgoing messages each round. `apply` is invoked
+// every round (with an empty batch if the process sent nothing) so that
+// delaying faults can flush held-back messages.
+class Fault {
+public:
+    virtual ~Fault() = default;
+    [[nodiscard]] virtual std::vector<Message> apply(std::size_t round,
+                                                     std::vector<Message> outgoing,
+                                                     util::Rng& rng) = 0;
+};
+
+// Sends normally before `crash_round`, delivers only the first
+// `partial_sends` messages of that round, then nothing ever again.
+class CrashFault final : public Fault {
+public:
+    CrashFault(std::size_t crash_round, std::size_t partial_sends) noexcept
+        : crash_round_(crash_round), partial_sends_(partial_sends) {}
+    [[nodiscard]] std::vector<Message> apply(std::size_t round, std::vector<Message> outgoing,
+                                             util::Rng& rng) override;
+
+private:
+    std::size_t crash_round_;
+    std::size_t partial_sends_;
+};
+
+// Drops every outgoing message.
+class SilentFault final : public Fault {
+public:
+    [[nodiscard]] std::vector<Message> apply(std::size_t round, std::vector<Message> outgoing,
+                                             util::Rng& rng) override;
+};
+
+// Drops each outgoing message independently with probability `loss`.
+class LossyFault final : public Fault {
+public:
+    explicit LossyFault(double loss) noexcept : loss_(loss) {}
+    [[nodiscard]] std::vector<Message> apply(std::size_t round, std::vector<Message> outgoing,
+                                             util::Rng& rng) override;
+
+private:
+    double loss_;
+};
+
+// Postpones every outgoing message by `delay` rounds; never drops. Models
+// an honest-but-late process (the paper's asynchrony caveat).
+class DelayFault final : public Fault {
+public:
+    explicit DelayFault(std::size_t delay) noexcept : delay_(delay) {}
+    [[nodiscard]] std::vector<Message> apply(std::size_t round, std::vector<Message> outgoing,
+                                             util::Rng& rng) override;
+
+private:
+    std::size_t delay_;
+    std::vector<Message> held_;  // stamped with their original send round
+};
+
+class SynchronousNetwork final {
+public:
+    // Throws std::invalid_argument when num_processes == 0.
+    SynchronousNetwork(std::size_t num_processes, std::uint64_t seed);
+
+    void set_process(std::size_t id, std::unique_ptr<Process> process);
+    void set_fault(std::size_t id, std::unique_ptr<Fault> fault);
+
+    [[nodiscard]] Process& process(std::size_t id);
+
+    // Runs until every process is done and no message is in flight, or
+    // `max_rounds` rounds have executed. Throws std::logic_error when a
+    // process slot is unset.
+    NetworkMetrics run(std::size_t max_rounds);
+
+private:
+    std::size_t num_processes_;
+    util::Rng rng_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<std::unique_ptr<Fault>> faults_;
+};
+
+}  // namespace bnash::dist

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "game/payoff_engine.h"
 #include "util/combinatorics.h"
 
 namespace bnash::game {
@@ -83,37 +84,25 @@ double NormalFormGame::payoff_d(const PureProfile& profile, std::size_t player) 
     return payoffs_d_[profile_rank(profile) * num_players() + player];
 }
 
+// The mixed-profile evaluations all route through PayoffEngine: one
+// stride-indexed tensor sweep instead of one per (player, action), with
+// identical validation behavior. The engine is cheap to construct (it only
+// derives strides); hot loops that evaluate many profiles should hold one
+// engine and call its batched entry points directly.
+
 double NormalFormGame::expected_payoff(const MixedProfile& profile, std::size_t player) const {
     if (profile.size() != num_players()) throw std::invalid_argument("expected_payoff: width");
-    double total = 0.0;
-    util::product_for_each(action_counts_, [&](const std::vector<std::size_t>& tuple) {
-        double weight = 1.0;
-        for (std::size_t i = 0; i < tuple.size() && weight > 0.0; ++i) {
-            weight *= profile[i][tuple[i]];
-        }
-        if (weight > 0.0) {
-            total += weight * payoffs_d_[util::product_rank(action_counts_, tuple) *
-                                             num_players() +
-                                         player];
-        }
-        return true;
-    });
-    return total;
+    return PayoffEngine(*this).expected_payoff(profile, player);
 }
 
 std::vector<double> NormalFormGame::expected_payoffs(const MixedProfile& profile) const {
-    std::vector<double> out(num_players(), 0.0);
-    for (std::size_t player = 0; player < num_players(); ++player) {
-        out[player] = expected_payoff(profile, player);
-    }
-    return out;
+    if (profile.size() != num_players()) throw std::invalid_argument("expected_payoffs: width");
+    return PayoffEngine(*this).expected_payoffs(profile);
 }
 
 double NormalFormGame::deviation_payoff(const MixedProfile& profile, std::size_t player,
                                         std::size_t action) const {
-    MixedProfile deviated = profile;
-    deviated[player] = pure_as_mixed(action, num_actions(player));
-    return expected_payoff(deviated, player);
+    return PayoffEngine(*this).deviation_row(profile, player).at(action);
 }
 
 util::Rational NormalFormGame::expected_payoff_exact(const ExactMixedProfile& profile,
@@ -121,57 +110,22 @@ util::Rational NormalFormGame::expected_payoff_exact(const ExactMixedProfile& pr
     if (profile.size() != num_players()) {
         throw std::invalid_argument("expected_payoff_exact: width");
     }
-    util::Rational total{0};
-    util::product_for_each(action_counts_, [&](const std::vector<std::size_t>& tuple) {
-        util::Rational weight{1};
-        for (std::size_t i = 0; i < tuple.size(); ++i) {
-            weight *= profile[i][tuple[i]];
-            if (weight.is_zero()) break;
-        }
-        if (!weight.is_zero()) {
-            total += weight * payoffs_[util::product_rank(action_counts_, tuple) *
-                                           num_players() +
-                                       player];
-        }
-        return true;
-    });
-    return total;
+    return PayoffEngine(*this).expected_payoff_exact(profile, player);
 }
 
 util::Rational NormalFormGame::deviation_payoff_exact(const ExactMixedProfile& profile,
                                                       std::size_t player,
                                                       std::size_t action) const {
-    ExactMixedProfile deviated = profile;
-    ExactMixedStrategy point(num_actions(player), util::Rational{0});
-    point.at(action) = util::Rational{1};
-    deviated[player] = std::move(point);
-    return expected_payoff_exact(deviated, player);
+    return PayoffEngine(*this).deviation_row_exact(profile, player).at(action);
 }
 
 std::vector<std::size_t> NormalFormGame::best_responses(const MixedProfile& profile,
                                                         std::size_t player, double tol) const {
-    std::vector<double> values(num_actions(player));
-    double best = -std::numeric_limits<double>::infinity();
-    for (std::size_t action = 0; action < num_actions(player); ++action) {
-        values[action] = deviation_payoff(profile, player, action);
-        best = std::max(best, values[action]);
-    }
-    std::vector<std::size_t> out;
-    for (std::size_t action = 0; action < num_actions(player); ++action) {
-        if (values[action] >= best - tol) out.push_back(action);
-    }
-    return out;
+    return PayoffEngine(*this).best_responses(profile, player, tol);
 }
 
 double NormalFormGame::regret(const MixedProfile& profile) const {
-    double worst = 0.0;
-    for (std::size_t player = 0; player < num_players(); ++player) {
-        const double current = expected_payoff(profile, player);
-        for (std::size_t action = 0; action < num_actions(player); ++action) {
-            worst = std::max(worst, deviation_payoff(profile, player, action) - current);
-        }
-    }
-    return worst;
+    return PayoffEngine(*this).regret(profile);
 }
 
 util::MatrixQ NormalFormGame::payoff_matrix(std::size_t player) const {

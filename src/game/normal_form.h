@@ -50,6 +50,23 @@ public:
                                                std::size_t player) const;
     [[nodiscard]] double payoff_d(const PureProfile& profile, std::size_t player) const;
 
+    // Rank-indexed lookups for stride-based hot paths (PayoffEngine, the
+    // robustness Evaluator): no profile materialization, no re-ranking.
+    [[nodiscard]] const util::Rational& payoff_at(std::uint64_t rank,
+                                                  std::size_t player) const {
+        return payoffs_[rank * num_players() + player];
+    }
+    [[nodiscard]] double payoff_d_at(std::uint64_t rank, std::size_t player) const {
+        return payoffs_d_[rank * num_players() + player];
+    }
+    // Flat tensor views, indexed [rank * num_players + player].
+    [[nodiscard]] const std::vector<util::Rational>& payoffs_flat() const noexcept {
+        return payoffs_;
+    }
+    [[nodiscard]] const std::vector<double>& payoffs_d_flat() const noexcept {
+        return payoffs_d_;
+    }
+
     // Expected utility of `player` under an independent mixed profile.
     [[nodiscard]] double expected_payoff(const MixedProfile& profile, std::size_t player) const;
     [[nodiscard]] std::vector<double> expected_payoffs(const MixedProfile& profile) const;

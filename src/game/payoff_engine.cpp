@@ -1,0 +1,399 @@
+#include "game/payoff_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/combinatorics.h"
+#include "util/thread_pool.h"
+
+namespace bnash::game {
+namespace {
+
+inline bool sweep_zero(double value) { return value == 0.0; }
+inline bool sweep_zero(const util::Rational& value) { return value.is_zero(); }
+
+// One odometer step in row-major order (last digit fastest).
+inline void advance(const std::vector<std::size_t>& counts, std::vector<std::size_t>& tuple) {
+    for (std::size_t d = counts.size(); d-- > 0;) {
+        if (++tuple[d] < counts[d]) return;
+        tuple[d] = 0;
+    }
+}
+
+// Accumulates every player's deviation payoffs over ranks [begin, end).
+// Prefix/suffix probability products give weight_excluding(i) for all i
+// in O(players) per profile — the marginalization that replaces the
+// seed's one-full-sweep-per-(player, action).
+template <typename V, typename ProfileT>
+void deviation_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
+                     const V* payoffs, std::uint64_t begin, std::uint64_t end,
+                     std::vector<std::vector<V>>& dev) {
+    const std::size_t n = counts.size();
+    auto tuple = util::product_unrank(counts, begin);
+    std::vector<V> prefix(n + 1, V{1});
+    std::vector<V> suffix(n + 1, V{1});
+    for (std::uint64_t rank = begin; rank < end; ++rank) {
+        for (std::size_t i = 0; i < n; ++i) {
+            prefix[i + 1] = prefix[i] * profile[i][tuple[i]];
+        }
+        for (std::size_t i = n; i-- > 0;) {
+            suffix[i] = suffix[i + 1] * profile[i][tuple[i]];
+        }
+        const V* row = payoffs + rank * n;
+        for (std::size_t i = 0; i < n; ++i) {
+            const V weight = prefix[i] * suffix[i + 1];
+            if (!sweep_zero(weight)) dev[i][tuple[i]] += weight * row[i];
+        }
+        advance(counts, tuple);
+    }
+}
+
+// One player's deviation row only (best_responses against a fixed rival
+// profile needs nothing else).
+template <typename V, typename ProfileT>
+void deviation_row_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
+                         const V* payoffs, std::size_t player, std::uint64_t begin,
+                         std::uint64_t end, std::vector<V>& dev_row) {
+    const std::size_t n = counts.size();
+    auto tuple = util::product_unrank(counts, begin);
+    for (std::uint64_t rank = begin; rank < end; ++rank) {
+        V weight{1};
+        for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
+            if (i != player) weight *= profile[i][tuple[i]];
+        }
+        if (!sweep_zero(weight)) {
+            dev_row[tuple[player]] += weight * payoffs[rank * n + player];
+        }
+        advance(counts, tuple);
+    }
+}
+
+// One player's expected payoff: the weight product is still O(players)
+// per profile, but only a single accumulation — on the exact path each
+// accumulation is a Rational multiply-add, so single-player callers (the
+// robustness Evaluator's mixed fallback) skip n-1 of them.
+template <typename V, typename ProfileT>
+void expected_single_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
+                           const V* payoffs, std::size_t player, std::uint64_t begin,
+                           std::uint64_t end, V& total) {
+    const std::size_t n = counts.size();
+    auto tuple = util::product_unrank(counts, begin);
+    for (std::uint64_t rank = begin; rank < end; ++rank) {
+        V weight{1};
+        for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
+            weight *= profile[i][tuple[i]];
+        }
+        if (!sweep_zero(weight)) total += weight * payoffs[rank * n + player];
+        advance(counts, tuple);
+    }
+}
+
+// All players' expected payoffs: one weight product per profile.
+template <typename V, typename ProfileT>
+void expected_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
+                    const V* payoffs, std::uint64_t begin, std::uint64_t end,
+                    std::vector<V>& totals) {
+    const std::size_t n = counts.size();
+    auto tuple = util::product_unrank(counts, begin);
+    for (std::uint64_t rank = begin; rank < end; ++rank) {
+        V weight{1};
+        for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
+            weight *= profile[i][tuple[i]];
+        }
+        if (!sweep_zero(weight)) {
+            const V* row = payoffs + rank * n;
+            for (std::size_t i = 0; i < n; ++i) totals[i] += weight * row[i];
+        }
+        advance(counts, tuple);
+    }
+}
+
+// Splits [0, num_profiles) into kParallelBlock-sized blocks, runs
+// block_fn into per-block accumulators (via the global pool in kAuto mode
+// when it has capacity), and merges in block order. The decomposition is
+// independent of worker count, so kAuto and kSerial agree bit-for-bit.
+template <typename Table, typename MakeFn, typename BlockFn, typename MergeFn>
+void blocked_sweep(std::uint64_t num_profiles, SweepMode mode, Table& out, MakeFn&& make,
+                   BlockFn&& block_fn, MergeFn&& merge) {
+    constexpr std::uint64_t kBlock = PayoffEngine::kParallelBlock;
+    const std::uint64_t num_blocks = (num_profiles + kBlock - 1) / kBlock;
+    if (num_blocks <= 1) {
+        block_fn(0, num_profiles, out);
+        return;
+    }
+    std::vector<Table> partial(num_blocks);
+    std::vector<std::exception_ptr> errors(num_blocks);
+    const auto work = [&](std::size_t block) {
+        try {
+            partial[block] = make();
+            const std::uint64_t lo = block * kBlock;
+            const std::uint64_t hi = std::min(num_profiles, lo + kBlock);
+            block_fn(lo, hi, partial[block]);
+        } catch (...) {
+            errors[block] = std::current_exception();
+        }
+    };
+    auto& pool = util::global_pool();
+    if (mode == SweepMode::kAuto && pool.size() > 1) {
+        pool.run_blocks(static_cast<std::size_t>(num_blocks), work);
+    } else {
+        for (std::uint64_t block = 0; block < num_blocks; ++block) {
+            work(static_cast<std::size_t>(block));
+        }
+    }
+    for (auto& error : errors) {
+        if (error) std::rethrow_exception(error);
+    }
+    for (std::uint64_t block = 0; block < num_blocks; ++block) {
+        merge(out, partial[block]);
+    }
+}
+
+template <typename V>
+std::vector<std::vector<V>> make_table(const std::vector<std::size_t>& counts) {
+    std::vector<std::vector<V>> table(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) table[i].assign(counts[i], V{0});
+    return table;
+}
+
+template <typename ProfileT>
+void validate_profile_shape(const NormalFormGame& game, const ProfileT& profile,
+                            const char* what) {
+    if (profile.size() != game.num_players()) {
+        throw std::invalid_argument(std::string(what) + ": width");
+    }
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        if (profile[i].size() != game.num_actions(i)) {
+            throw std::invalid_argument(std::string(what) + ": strategy size for player " +
+                                        std::to_string(i));
+        }
+    }
+}
+
+template <typename V, typename ProfileT>
+std::vector<std::vector<V>> deviation_sweep(const NormalFormGame& game, const V* payoffs,
+                                            const ProfileT& profile, SweepMode mode) {
+    const auto& counts = game.action_counts();
+    auto dev = make_table<V>(counts);
+    blocked_sweep(
+        game.num_profiles(), mode, dev, [&] { return make_table<V>(counts); },
+        [&](std::uint64_t lo, std::uint64_t hi, std::vector<std::vector<V>>& table) {
+            deviation_block(counts, profile, payoffs, lo, hi, table);
+        },
+        [](std::vector<std::vector<V>>& into, const std::vector<std::vector<V>>& part) {
+            for (std::size_t i = 0; i < into.size(); ++i) {
+                for (std::size_t a = 0; a < into[i].size(); ++a) into[i][a] += part[i][a];
+            }
+        });
+    return dev;
+}
+
+template <typename V, typename ProfileT>
+std::vector<V> expected_sweep(const NormalFormGame& game, const V* payoffs,
+                              const ProfileT& profile, SweepMode mode) {
+    std::vector<V> totals(game.num_players(), V{0});
+    blocked_sweep(
+        game.num_profiles(), mode, totals,
+        [&] { return std::vector<V>(game.num_players(), V{0}); },
+        [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& acc) {
+            expected_block(game.action_counts(), profile, payoffs, lo, hi, acc);
+        },
+        [](std::vector<V>& into, const std::vector<V>& part) {
+            for (std::size_t i = 0; i < into.size(); ++i) into[i] += part[i];
+        });
+    return totals;
+}
+
+template <typename V, typename ProfileT>
+V expected_single_sweep(const NormalFormGame& game, const V* payoffs, const ProfileT& profile,
+                        std::size_t player) {
+    V total{0};
+    blocked_sweep(
+        game.num_profiles(), SweepMode::kAuto, total, [] { return V{0}; },
+        [&](std::uint64_t lo, std::uint64_t hi, V& acc) {
+            expected_single_block(game.action_counts(), profile, payoffs, player, lo, hi,
+                                  acc);
+        },
+        [](V& into, const V& part) { into += part; });
+    return total;
+}
+
+template <typename V, typename ProfileT>
+std::vector<V> row_sweep(const NormalFormGame& game, const V* payoffs,
+                         const ProfileT& profile, std::size_t player) {
+    std::vector<V> row(game.num_actions(player), V{0});
+    blocked_sweep(
+        game.num_profiles(), SweepMode::kAuto, row,
+        [&] { return std::vector<V>(game.num_actions(player), V{0}); },
+        [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& acc) {
+            deviation_row_block(game.action_counts(), profile, payoffs, player, lo, hi, acc);
+        },
+        [](std::vector<V>& into, const std::vector<V>& part) {
+            for (std::size_t a = 0; a < into.size(); ++a) into[a] += part[a];
+        });
+    return row;
+}
+
+}  // namespace
+
+PayoffEngine::PayoffEngine(const NormalFormGame& game) : game_(&game) {
+    const auto& counts = game.action_counts();
+    strides_.assign(counts.size(), 1);
+    for (std::size_t i = counts.size() - 1; i-- > 0;) {
+        strides_[i] = strides_[i + 1] * counts[i + 1];
+    }
+}
+
+std::uint64_t PayoffEngine::rank_of(const PureProfile& profile) const {
+    std::uint64_t rank = 0;
+    for (std::size_t i = 0; i < strides_.size(); ++i) {
+        rank += profile[i] * strides_[i];
+    }
+    return rank;
+}
+
+std::vector<double> PayoffEngine::expected_payoffs(const MixedProfile& profile,
+                                                   SweepMode mode) const {
+    validate_profile_shape(*game_, profile, "expected_payoffs");
+    return expected_sweep(*game_, game_->payoffs_d_flat().data(), profile, mode);
+}
+
+double PayoffEngine::expected_payoff(const MixedProfile& profile, std::size_t player) const {
+    validate_profile_shape(*game_, profile, "expected_payoff");
+    return expected_single_sweep(*game_, game_->payoffs_d_flat().data(), profile, player);
+}
+
+DeviationTable PayoffEngine::deviation_payoffs_all(const MixedProfile& profile,
+                                                   SweepMode mode) const {
+    validate_profile_shape(*game_, profile, "deviation_payoffs_all");
+    return deviation_sweep(*game_, game_->payoffs_d_flat().data(), profile, mode);
+}
+
+std::vector<double> PayoffEngine::deviation_row(const MixedProfile& profile,
+                                                std::size_t player) const {
+    validate_profile_shape(*game_, profile, "deviation_row");
+    return row_sweep(*game_, game_->payoffs_d_flat().data(), profile, player);
+}
+
+std::vector<util::Rational> PayoffEngine::expected_payoffs_exact(
+    const ExactMixedProfile& profile, SweepMode mode) const {
+    validate_profile_shape(*game_, profile, "expected_payoffs_exact");
+    return expected_sweep(*game_, game_->payoffs_flat().data(), profile, mode);
+}
+
+util::Rational PayoffEngine::expected_payoff_exact(const ExactMixedProfile& profile,
+                                                   std::size_t player) const {
+    validate_profile_shape(*game_, profile, "expected_payoff_exact");
+    return expected_single_sweep(*game_, game_->payoffs_flat().data(), profile, player);
+}
+
+ExactDeviationTable PayoffEngine::deviation_payoffs_all_exact(const ExactMixedProfile& profile,
+                                                              SweepMode mode) const {
+    validate_profile_shape(*game_, profile, "deviation_payoffs_all_exact");
+    return deviation_sweep(*game_, game_->payoffs_flat().data(), profile, mode);
+}
+
+std::vector<util::Rational> PayoffEngine::deviation_row_exact(const ExactMixedProfile& profile,
+                                                              std::size_t player) const {
+    validate_profile_shape(*game_, profile, "deviation_row_exact");
+    return row_sweep(*game_, game_->payoffs_flat().data(), profile, player);
+}
+
+std::vector<std::size_t> PayoffEngine::best_responses(const MixedProfile& profile,
+                                                      std::size_t player, double tol) const {
+    return best_responses_from(deviation_row(profile, player), tol);
+}
+
+double PayoffEngine::regret(const MixedProfile& profile) const {
+    return regret_from(deviation_payoffs_all(profile), profile);
+}
+
+double PayoffEngine::regret_from(const DeviationTable& dev, const MixedProfile& profile) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < dev.size(); ++i) {
+        double current = 0.0;
+        double best = -std::numeric_limits<double>::infinity();
+        for (std::size_t a = 0; a < dev[i].size(); ++a) {
+            current += profile[i][a] * dev[i][a];
+            best = std::max(best, dev[i][a]);
+        }
+        worst = std::max(worst, best - current);
+    }
+    return worst;
+}
+
+std::vector<std::size_t> PayoffEngine::best_responses_from(const std::vector<double>& row,
+                                                           double tol) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const double value : row) best = std::max(best, value);
+    std::vector<std::size_t> out;
+    for (std::size_t action = 0; action < row.size(); ++action) {
+        if (row[action] >= best - tol) out.push_back(action);
+    }
+    return out;
+}
+
+namespace naive {
+
+double deviation_payoff(const NormalFormGame& game, const MixedProfile& profile,
+                        std::size_t player, std::size_t action) {
+    MixedProfile deviated = profile;
+    deviated[player] = pure_as_mixed(action, game.num_actions(player));
+    // The seed's expected_payoff: full odometer walk with a from-scratch
+    // product_rank per visited tuple.
+    double total = 0.0;
+    util::product_for_each(game.action_counts(), [&](const std::vector<std::size_t>& tuple) {
+        double weight = 1.0;
+        for (std::size_t i = 0; i < tuple.size() && weight > 0.0; ++i) {
+            weight *= deviated[i][tuple[i]];
+        }
+        if (weight > 0.0) {
+            total += weight *
+                     game.payoff_d_at(util::product_rank(game.action_counts(), tuple), player);
+        }
+        return true;
+    });
+    return total;
+}
+
+util::Rational deviation_payoff_exact(const NormalFormGame& game,
+                                      const ExactMixedProfile& profile, std::size_t player,
+                                      std::size_t action) {
+    ExactMixedProfile deviated = profile;
+    ExactMixedStrategy point(game.num_actions(player), util::Rational{0});
+    point.at(action) = util::Rational{1};
+    deviated[player] = std::move(point);
+    util::Rational total{0};
+    util::product_for_each(game.action_counts(), [&](const std::vector<std::size_t>& tuple) {
+        util::Rational weight{1};
+        for (std::size_t i = 0; i < tuple.size(); ++i) {
+            weight *= deviated[i][tuple[i]];
+            if (weight.is_zero()) break;
+        }
+        if (!weight.is_zero()) {
+            total += weight *
+                     game.payoff_at(util::product_rank(game.action_counts(), tuple), player);
+        }
+        return true;
+    });
+    return total;
+}
+
+DeviationTable deviation_payoffs_all(const NormalFormGame& game, const MixedProfile& profile) {
+    DeviationTable dev(game.num_players());
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        dev[player].resize(game.num_actions(player));
+        for (std::size_t action = 0; action < game.num_actions(player); ++action) {
+            dev[player][action] = deviation_payoff(game, profile, player, action);
+        }
+    }
+    return dev;
+}
+
+}  // namespace naive
+
+}  // namespace bnash::game

@@ -1,0 +1,119 @@
+// Stride-indexed payoff engine: single-sweep expected and deviation
+// payoffs over the payoff tensor.
+//
+// Every solution concept in the paper — Nash regret, epsilon-equilibria,
+// (k,t)-robustness — reduces to repeated expected-utility and
+// deviation-payoff evaluations. The seed implementation walked the whole
+// tensor once per (player, action) and re-derived each profile's rank
+// from scratch (O(players) per lookup), making best_responses, regret and
+// the learning dynamics O(actions x profiles x players^2). This engine:
+//
+//   - precomputes row-major strides so ranks update in O(1) per odometer
+//     step and coalition deviations re-rank in O(|coalition|);
+//   - computes ALL deviation payoffs for ALL players in ONE sweep via
+//     marginalization: for each profile, prefix/suffix probability
+//     products give weight_excluding(i) for every i in O(players), and
+//     each accumulates into dev[i][a_i];
+//   - runs the same kernel over the double mirror and the exact Rational
+//     tensor (the robustness checkers must not see floating point);
+//   - above kParallelBlock profiles, splits the sweep into fixed-size
+//     contiguous blocks dispatched to util::global_pool(). Block
+//     decomposition is independent of worker count and partial tables are
+//     merged in block order, so results are bit-identical whether the
+//     sweep ran serial or threaded.
+//
+// The engine is cheap to construct (it only derives strides); solvers on
+// hot loops construct one per run and call deviation_payoffs_all once per
+// iteration instead of once per action.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/normal_form.h"
+#include "game/strategy.h"
+#include "util/rational.h"
+
+namespace bnash::game {
+
+// dev[player][action]: expected utility of `player` deviating to `action`
+// while everyone else follows the profile the table was computed from.
+using DeviationTable = std::vector<std::vector<double>>;
+using ExactDeviationTable = std::vector<std::vector<util::Rational>>;
+
+// How a sweep executes. kAuto uses the global pool above the block
+// threshold; kSerial forces inline execution (same block decomposition,
+// so results are identical — used by the determinism tests and benches).
+enum class SweepMode { kAuto, kSerial };
+
+class PayoffEngine final {
+public:
+    // Profiles per parallel block. Fixed (not derived from worker count)
+    // so that threaded and serial sweeps merge identically.
+    static constexpr std::uint64_t kParallelBlock = std::uint64_t{1} << 14;
+
+    explicit PayoffEngine(const NormalFormGame& game);
+
+    [[nodiscard]] const NormalFormGame& game() const noexcept { return *game_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& strides() const noexcept {
+        return strides_;
+    }
+
+    // Row-major rank via strides; O(players), no allocation.
+    [[nodiscard]] std::uint64_t rank_of(const PureProfile& profile) const;
+
+    // --- double mirror -----------------------------------------------------
+    [[nodiscard]] std::vector<double> expected_payoffs(const MixedProfile& profile,
+                                                       SweepMode mode = SweepMode::kAuto) const;
+    [[nodiscard]] double expected_payoff(const MixedProfile& profile,
+                                         std::size_t player) const;
+    [[nodiscard]] DeviationTable deviation_payoffs_all(
+        const MixedProfile& profile, SweepMode mode = SweepMode::kAuto) const;
+    // One player's full deviation row (all of that player's actions).
+    [[nodiscard]] std::vector<double> deviation_row(const MixedProfile& profile,
+                                                    std::size_t player) const;
+
+    // --- exact tensor ------------------------------------------------------
+    [[nodiscard]] std::vector<util::Rational> expected_payoffs_exact(
+        const ExactMixedProfile& profile, SweepMode mode = SweepMode::kAuto) const;
+    [[nodiscard]] util::Rational expected_payoff_exact(const ExactMixedProfile& profile,
+                                                       std::size_t player) const;
+    [[nodiscard]] ExactDeviationTable deviation_payoffs_all_exact(
+        const ExactMixedProfile& profile, SweepMode mode = SweepMode::kAuto) const;
+    [[nodiscard]] std::vector<util::Rational> deviation_row_exact(
+        const ExactMixedProfile& profile, std::size_t player) const;
+
+    // --- derived quantities ------------------------------------------------
+    [[nodiscard]] std::vector<std::size_t> best_responses(const MixedProfile& profile,
+                                                          std::size_t player,
+                                                          double tol) const;
+    [[nodiscard]] double regret(const MixedProfile& profile) const;
+
+    // From a precomputed table: callers doing several queries per sweep
+    // (fictitious play needs regret AND best responses every iteration).
+    [[nodiscard]] static double regret_from(const DeviationTable& dev,
+                                            const MixedProfile& profile);
+    [[nodiscard]] static std::vector<std::size_t> best_responses_from(
+        const std::vector<double>& row, double tol);
+
+private:
+    const NormalFormGame* game_;
+    std::vector<std::uint64_t> strides_;
+};
+
+// Reference implementations with the seed's per-action full-tensor
+// complexity. Golden baselines for the equivalence tests and the
+// speedup benchmarks; not for production call sites.
+namespace naive {
+
+[[nodiscard]] double deviation_payoff(const NormalFormGame& game, const MixedProfile& profile,
+                                      std::size_t player, std::size_t action);
+[[nodiscard]] util::Rational deviation_payoff_exact(const NormalFormGame& game,
+                                                    const ExactMixedProfile& profile,
+                                                    std::size_t player, std::size_t action);
+[[nodiscard]] DeviationTable deviation_payoffs_all(const NormalFormGame& game,
+                                                   const MixedProfile& profile);
+
+}  // namespace naive
+
+}  // namespace bnash::game

@@ -2,41 +2,48 @@
 
 #include <stdexcept>
 
+#include "game/payoff_engine.h"
 #include "util/combinatorics.h"
 #include "util/simplex.h"
 
 namespace bnash::solver {
 namespace {
 
-// Visits every profile of the players other than `player`, with `action`
-// substituted for the player's own move.
-void for_each_opponent_profile(
-    const game::NormalFormGame& game, std::size_t player, std::size_t action,
-    const std::function<bool(const game::PureProfile&)>& visit) {
-    std::vector<std::size_t> other_counts;
-    other_counts.reserve(game.num_players() - 1);
-    for (std::size_t i = 0; i < game.num_players(); ++i) {
-        if (i != player) other_counts.push_back(game.num_actions(i));
-    }
-    util::product_for_each(other_counts, [&](const std::vector<std::size_t>& others) {
-        game::PureProfile profile(game.num_players());
-        std::size_t cursor = 0;
-        for (std::size_t i = 0; i < game.num_players(); ++i) {
-            profile[i] = (i == player) ? action : others[cursor++];
+// Visits the base rank (player's own digit zeroed) of every profile of
+// the players other than `player`, in row-major order. The player's
+// payoff under own action a is payoff_at(base + a * stride, player):
+// dominance scans walk the tensor by stride deltas instead of
+// materializing and re-ranking a PureProfile per cell.
+void for_each_opponent_base(const game::NormalFormGame& game,
+                            const std::vector<std::uint64_t>& strides, std::size_t player,
+                            const std::function<bool(std::uint64_t)>& visit) {
+    game::PureProfile tuple(game.num_players(), 0);
+    std::uint64_t rank = 0;
+    while (true) {
+        if (!visit(rank)) return;
+        std::size_t d = game.num_players();
+        while (d-- > 0) {
+            if (d == player) continue;
+            if (++tuple[d] < game.num_actions(d)) {
+                rank += strides[d];
+                break;
+            }
+            rank -= static_cast<std::uint64_t>(tuple[d] - 1) * strides[d];
+            tuple[d] = 0;
         }
-        return visit(profile);
-    });
+        if (d == static_cast<std::size_t>(-1)) return;  // odometer wrapped
+    }
 }
 
-bool pure_dominates(const game::NormalFormGame& game, std::size_t player,
+bool pure_dominates(const game::NormalFormGame& game,
+                    const std::vector<std::uint64_t>& strides, std::size_t player,
                     std::size_t dominator, std::size_t dominated, bool strict) {
+    const std::uint64_t stride = strides[player];
     bool all_hold = true;
     bool somewhere_strict = false;
-    for_each_opponent_profile(game, player, dominated, [&](const game::PureProfile& profile) {
-        game::PureProfile alt = profile;
-        alt[player] = dominator;
-        const auto& u_dominated = game.payoff(profile, player);
-        const auto& u_dominator = game.payoff(alt, player);
+    for_each_opponent_base(game, strides, player, [&](std::uint64_t base) {
+        const auto& u_dominated = game.payoff_at(base + dominated * stride, player);
+        const auto& u_dominator = game.payoff_at(base + dominator * stride, player);
         if (strict ? !(u_dominator > u_dominated) : (u_dominator < u_dominated)) {
             all_hold = false;
             return false;
@@ -50,7 +57,8 @@ bool pure_dominates(const game::NormalFormGame& game, std::size_t player,
 
 // LP test: does some mixture of the player's other actions strictly
 // dominate `action`? Maximizes the worst-case gap; dominated iff > 0.
-bool mixed_dominates(const game::NormalFormGame& game, std::size_t player,
+bool mixed_dominates(const game::NormalFormGame& game,
+                     const std::vector<std::uint64_t>& strides, std::size_t player,
                      std::size_t action) {
     const std::size_t num_actions = game.num_actions(player);
     if (num_actions < 2) return false;
@@ -58,22 +66,21 @@ bool mixed_dominates(const game::NormalFormGame& game, std::size_t player,
     for (std::size_t a = 0; a < num_actions; ++a) {
         if (a != action) others.push_back(a);
     }
+    const std::uint64_t stride = strides[player];
     // Variables: sigma over `others` plus the gap epsilon (all >= 0).
     util::LpProblem lp;
     lp.objective.assign(others.size() + 1, 0.0);
     lp.objective.back() = 1.0;  // maximize epsilon
     // For every opponent profile o: sum_b sigma_b u(b,o) - u(action,o) - eps >= 0.
-    for_each_opponent_profile(game, player, action, [&](const game::PureProfile& profile) {
+    for_each_opponent_base(game, strides, player, [&](std::uint64_t base) {
         util::LpConstraint constraint;
         constraint.coefficients.assign(others.size() + 1, 0.0);
-        game::PureProfile alt = profile;
         for (std::size_t b = 0; b < others.size(); ++b) {
-            alt[player] = others[b];
-            constraint.coefficients[b] = game.payoff_d(alt, player);
+            constraint.coefficients[b] = game.payoff_d_at(base + others[b] * stride, player);
         }
         constraint.coefficients.back() = -1.0;
         constraint.relation = util::LpRelation::kGreaterEqual;
-        constraint.rhs = game.payoff_d(profile, player);
+        constraint.rhs = game.payoff_d_at(base + action * stride, player);
         lp.constraints.push_back(std::move(constraint));
         return true;
     });
@@ -99,14 +106,19 @@ bool is_dominated(const game::NormalFormGame& game, std::size_t player, std::siz
         case DominanceKind::kStrictPure:
         case DominanceKind::kWeakPure: {
             const bool strict = (kind == DominanceKind::kStrictPure);
+            const game::PayoffEngine engine(game);
             for (std::size_t b = 0; b < game.num_actions(player); ++b) {
                 if (b == action) continue;
-                if (pure_dominates(game, player, b, action, strict)) return true;
+                if (pure_dominates(game, engine.strides(), player, b, action, strict)) {
+                    return true;
+                }
             }
             return false;
         }
-        case DominanceKind::kStrictMixed:
-            return mixed_dominates(game, player, action);
+        case DominanceKind::kStrictMixed: {
+            const game::PayoffEngine engine(game);
+            return mixed_dominates(game, engine.strides(), player, action);
+        }
     }
     return false;
 }

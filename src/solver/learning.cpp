@@ -3,15 +3,25 @@
 #include <algorithm>
 #include <limits>
 
+#include "game/payoff_engine.h"
+
 namespace bnash::solver {
 namespace {
 
-void record_trace(const game::NormalFormGame& game, const game::MixedProfile& profile,
-                  std::size_t iteration, const LearningOptions& options,
+// One deviation table per iteration feeds the regret test, the trace, and
+// every player's best response — the seed recomputed a full tensor sweep
+// for each of those separately.
+void record_trace(double regret_value, std::size_t iteration, const LearningOptions& options,
                   LearningResult& result) {
     if (options.trace_every != 0 && iteration % options.trace_every == 0) {
-        result.regret_trace.push_back(game.regret(profile));
+        result.regret_trace.push_back(regret_value);
     }
+}
+
+double dot(const game::MixedStrategy& strategy, const std::vector<double>& values) {
+    double total = 0.0;
+    for (std::size_t a = 0; a < strategy.size(); ++a) total += strategy[a] * values[a];
+    return total;
 }
 
 }  // namespace
@@ -19,6 +29,7 @@ void record_trace(const game::NormalFormGame& game, const game::MixedProfile& pr
 LearningResult fictitious_play(const game::NormalFormGame& game,
                                const LearningOptions& options) {
     const std::size_t players = game.num_players();
+    const game::PayoffEngine engine(game);
     // counts[i][a]: how often player i played action a (Dirichlet-1 prior).
     std::vector<std::vector<double>> counts(players);
     for (std::size_t i = 0; i < players; ++i) {
@@ -36,22 +47,24 @@ LearningResult fictitious_play(const game::NormalFormGame& game,
     game::MixedProfile profile(players);
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
         for (std::size_t i = 0; i < players; ++i) profile[i] = empirical(i);
-        record_trace(game, profile, iter, options, result);
+        const auto dev = engine.deviation_payoffs_all(profile);
+        const double regret = game::PayoffEngine::regret_from(dev, profile);
+        record_trace(regret, iter, options, result);
         result.iterations = iter + 1;
-        if (game.regret(profile) <= options.target_regret) {
+        if (regret <= options.target_regret) {
             result.converged = true;
             break;
         }
         // Simultaneous best responses to the current empirical profile;
         // ties break toward the lowest action index (deterministic).
         for (std::size_t i = 0; i < players; ++i) {
-            const auto best = game.best_responses(profile, i);
+            const auto best = game::PayoffEngine::best_responses_from(dev[i], 1e-9);
             counts[i][best.front()] += 1.0;
         }
     }
     for (std::size_t i = 0; i < players; ++i) profile[i] = empirical(i);
     result.profile = std::move(profile);
-    result.final_regret = game.regret(result.profile);
+    result.final_regret = engine.regret(result.profile);
     result.converged = result.final_regret <= options.target_regret;
     return result;
 }
@@ -59,13 +72,11 @@ LearningResult fictitious_play(const game::NormalFormGame& game,
 LearningResult replicator_dynamics(const game::NormalFormGame& game,
                                    const LearningOptions& options) {
     const std::size_t players = game.num_players();
+    const game::PayoffEngine engine(game);
     // Shift payoffs so fitness is positive.
     double min_payoff = std::numeric_limits<double>::infinity();
-    for (std::uint64_t rank = 0; rank < game.num_profiles(); ++rank) {
-        const auto profile = game.profile_unrank(rank);
-        for (std::size_t i = 0; i < players; ++i) {
-            min_payoff = std::min(min_payoff, game.payoff_d(profile, i));
-        }
+    for (const double value : game.payoffs_d_flat()) {
+        min_payoff = std::min(min_payoff, value);
     }
     const double shift = 1.0 - std::min(0.0, min_payoff);
 
@@ -75,18 +86,20 @@ LearningResult replicator_dynamics(const game::NormalFormGame& game,
         profile[i] = game::uniform_strategy(game.num_actions(i));
     }
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-        record_trace(game, profile, iter, options, result);
+        const auto dev = engine.deviation_payoffs_all(profile);
+        const double regret = game::PayoffEngine::regret_from(dev, profile);
+        record_trace(regret, iter, options, result);
         result.iterations = iter + 1;
-        if (game.regret(profile) <= options.target_regret) {
+        if (regret <= options.target_regret) {
             result.converged = true;
             break;
         }
         game::MixedProfile next = profile;
         for (std::size_t i = 0; i < players; ++i) {
-            const double average = game.expected_payoff(profile, i) + shift;
+            const double average = dot(profile[i], dev[i]) + shift;
             double total = 0.0;
             for (std::size_t a = 0; a < game.num_actions(i); ++a) {
-                const double fitness = game.deviation_payoff(profile, i, a) + shift;
+                const double fitness = dev[i][a] + shift;
                 // Discrete replicator: share grows with relative fitness.
                 next[i][a] = profile[i][a] *
                              (1.0 + options.replicator_step * (fitness - average) / average);
@@ -98,7 +111,7 @@ LearningResult replicator_dynamics(const game::NormalFormGame& game,
         profile = std::move(next);
     }
     result.profile = std::move(profile);
-    result.final_regret = game.regret(result.profile);
+    result.final_regret = engine.regret(result.profile);
     result.converged = result.final_regret <= options.target_regret;
     return result;
 }

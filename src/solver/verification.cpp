@@ -1,17 +1,59 @@
 #include "solver/verification.h"
 
+#include <stdexcept>
+
+#include "game/payoff_engine.h"
 #include "util/combinatorics.h"
 
 namespace bnash::solver {
+namespace {
+
+// Shared stride-based pure-Nash test: compares `player`'s payoff at
+// `rank` against every unilateral deviation by walking the player's
+// stride, with no profile materialization or re-ranking.
+// Matches the validation the seed's game.payoff() path performed via
+// product_rank; rank_of itself is an unchecked hot-path primitive.
+void validate_pure_profile(const game::NormalFormGame& game,
+                           const game::PureProfile& profile) {
+    if (profile.size() != game.num_players()) {
+        throw std::invalid_argument("pure profile: size mismatch");
+    }
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        if (profile[i] >= game.num_actions(i)) {
+            throw std::out_of_range("pure profile: action out of range");
+        }
+    }
+}
+
+bool is_pure_nash_at(const game::NormalFormGame& game,
+                     const std::vector<std::uint64_t>& strides, std::uint64_t rank,
+                     const game::PureProfile& profile) {
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        const auto& current = game.payoff_at(rank, player);
+        const std::uint64_t base = rank - profile[player] * strides[player];
+        for (std::size_t action = 0; action < game.num_actions(player); ++action) {
+            if (action == profile[player]) continue;
+            if (game.payoff_at(base + action * strides[player], player) > current) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
 
 bool is_epsilon_nash(const game::NormalFormGame& game, const game::MixedProfile& profile,
                      double epsilon) {
+    const game::PayoffEngine engine(game);
+    const auto dev = engine.deviation_payoffs_all(profile);
     for (std::size_t player = 0; player < game.num_players(); ++player) {
-        const double current = game.expected_payoff(profile, player);
-        for (std::size_t action = 0; action < game.num_actions(player); ++action) {
-            if (game.deviation_payoff(profile, player, action) > current + epsilon) {
-                return false;
-            }
+        double current = 0.0;
+        for (std::size_t action = 0; action < dev[player].size(); ++action) {
+            current += profile[player][action] * dev[player][action];
+        }
+        for (const double value : dev[player]) {
+            if (value > current + epsilon) return false;
         }
     }
     return true;
@@ -22,56 +64,60 @@ bool is_nash(const game::NormalFormGame& game, const game::MixedProfile& profile
 }
 
 bool is_nash_exact(const game::NormalFormGame& game, const game::ExactMixedProfile& profile) {
+    const game::PayoffEngine engine(game);
+    const auto dev = engine.deviation_payoffs_all_exact(profile);
     for (std::size_t player = 0; player < game.num_players(); ++player) {
-        const auto current = game.expected_payoff_exact(profile, player);
-        for (std::size_t action = 0; action < game.num_actions(player); ++action) {
-            if (game.deviation_payoff_exact(profile, player, action) > current) return false;
+        util::Rational current{0};
+        for (std::size_t action = 0; action < dev[player].size(); ++action) {
+            current += profile[player][action] * dev[player][action];
+        }
+        for (const auto& value : dev[player]) {
+            if (value > current) return false;
         }
     }
     return true;
 }
 
 bool is_pure_nash(const game::NormalFormGame& game, const game::PureProfile& profile) {
-    for (std::size_t player = 0; player < game.num_players(); ++player) {
-        const auto& current = game.payoff(profile, player);
-        game::PureProfile deviated = profile;
-        for (std::size_t action = 0; action < game.num_actions(player); ++action) {
-            if (action == profile[player]) continue;
-            deviated[player] = action;
-            if (game.payoff(deviated, player) > current) return false;
-        }
-        deviated[player] = profile[player];
-    }
-    return true;
+    validate_pure_profile(game, profile);
+    const game::PayoffEngine engine(game);
+    return is_pure_nash_at(game, engine.strides(), engine.rank_of(profile), profile);
 }
 
 std::vector<game::PureProfile> pure_nash_equilibria(const game::NormalFormGame& game) {
+    const game::PayoffEngine engine(game);
+    const auto& strides = engine.strides();
     std::vector<game::PureProfile> out;
+    // product_for_each visits in row-major order, so a running counter
+    // tracks each profile's rank without re-ranking.
+    std::uint64_t rank = 0;
     util::product_for_each(game.action_counts(), [&](const game::PureProfile& profile) {
-        if (is_pure_nash(game, profile)) out.push_back(profile);
+        if (is_pure_nash_at(game, strides, rank, profile)) out.push_back(profile);
+        ++rank;
         return true;
     });
     return out;
 }
 
 bool is_pareto_dominated(const game::NormalFormGame& game, const game::PureProfile& profile) {
-    bool dominated = false;
-    util::product_for_each(game.action_counts(), [&](const game::PureProfile& other) {
+    validate_pure_profile(game, profile);
+    const game::PayoffEngine engine(game);
+    const std::uint64_t here_rank = engine.rank_of(profile);
+    for (std::uint64_t other = 0; other < game.num_profiles(); ++other) {
         bool all_at_least = true;
         bool some_better = false;
         for (std::size_t player = 0; player < game.num_players(); ++player) {
-            const auto& here = game.payoff(profile, player);
-            const auto& there = game.payoff(other, player);
-            if (there < here) all_at_least = false;
+            const auto& here = game.payoff_at(here_rank, player);
+            const auto& there = game.payoff_at(other, player);
+            if (there < here) {
+                all_at_least = false;
+                break;
+            }
             if (there > here) some_better = true;
         }
-        if (all_at_least && some_better) {
-            dominated = true;
-            return false;  // early out
-        }
-        return true;
-    });
-    return dominated;
+        if (all_at_least && some_better) return true;
+    }
+    return false;
 }
 
 }  // namespace bnash::solver

@@ -1,0 +1,144 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace bnash::util {
+
+struct ThreadPool::Impl {
+    std::mutex submit_mutex;  // held by the job that owns the workers
+    std::mutex mutex;
+    std::condition_variable work_ready;
+    std::condition_variable work_done;
+    // Job state, published under `mutex` before claim_word advances to the
+    // new generation.
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t num_blocks = 0;
+    std::atomic<std::size_t> completed{0};
+    std::uint64_t generation = 0;
+    bool stopping = false;
+    // (generation << 32) | next_block. Claims go through a CAS that checks
+    // the generation first, so a straggler from a finished job can never
+    // consume or corrupt a block of the next one.
+    std::atomic<std::uint64_t> claim_word{0};
+    std::vector<std::jthread> workers;
+
+    static constexpr std::uint64_t kGenShift = 32;
+    static constexpr std::uint64_t kBlockMask = (std::uint64_t{1} << kGenShift) - 1;
+
+    // Claims and runs blocks of job `my_gen`. The job's fn/num_blocks are
+    // taken as arguments (captured while synchronized with the publisher)
+    // so this never reads shared job state that a later job may overwrite.
+    void drain(std::uint64_t my_gen, const std::function<void(std::size_t)>& job_fn,
+               std::size_t job_blocks) {
+        // claim_word carries the generation truncated to 32 bits; compare
+        // in the truncated domain so the protocol survives wrap-around.
+        const std::uint64_t my_tag = my_gen & kBlockMask;
+        while (true) {
+            std::uint64_t word = claim_word.load(std::memory_order_acquire);
+            std::size_t block;
+            while (true) {
+                if ((word >> kGenShift) != my_tag) return;  // job superseded
+                block = static_cast<std::size_t>(word & kBlockMask);
+                if (block >= job_blocks) return;  // job exhausted
+                if (claim_word.compare_exchange_weak(word, word + 1,
+                                                     std::memory_order_acq_rel,
+                                                     std::memory_order_acquire)) {
+                    break;
+                }
+            }
+            job_fn(block);
+            if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job_blocks) {
+                std::lock_guard<std::mutex> lock(mutex);
+                work_done.notify_all();
+            }
+        }
+    }
+
+    void worker_loop() {
+        std::uint64_t seen = 0;
+        while (true) {
+            const std::function<void(std::size_t)>* job_fn = nullptr;
+            std::size_t job_blocks = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                work_ready.wait(lock, [&] { return stopping || generation != seen; });
+                if (stopping) return;
+                seen = generation;
+                job_fn = fn;
+                job_blocks = num_blocks;
+            }
+            if (job_fn != nullptr) drain(seen, *job_fn, job_blocks);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : impl_(new Impl), num_workers_(num_threads) {
+    impl_->workers.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stopping = true;
+    }
+    impl_->work_ready.notify_all();
+    impl_->workers.clear();  // jthread joins on destruction
+    delete impl_;
+}
+
+void ThreadPool::run_blocks(std::size_t num_blocks,
+                            const std::function<void(std::size_t)>& fn) {
+    if (num_blocks == 0) return;
+    if (num_workers_ == 0 || num_blocks == 1) {
+        for (std::size_t block = 0; block < num_blocks; ++block) fn(block);
+        return;
+    }
+    // One job owns the pool at a time. A second concurrent submitter runs
+    // its blocks inline instead of waiting: callers reach this through
+    // const game queries and must never observe lost blocks or block on an
+    // unrelated sweep. Inline execution uses the same decomposition, so
+    // results are identical.
+    std::unique_lock<std::mutex> submission(impl_->submit_mutex, std::try_to_lock);
+    if (!submission.owns_lock()) {
+        for (std::size_t block = 0; block < num_blocks; ++block) fn(block);
+        return;
+    }
+    std::uint64_t my_gen;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->fn = &fn;
+        impl_->num_blocks = num_blocks;
+        impl_->completed.store(0, std::memory_order_relaxed);
+        impl_->generation += 1;
+        my_gen = impl_->generation;
+        impl_->claim_word.store((my_gen & Impl::kBlockMask) << Impl::kGenShift,
+                                std::memory_order_release);
+    }
+    impl_->work_ready.notify_all();
+    impl_->drain(my_gen, fn, num_blocks);  // the submitter works too
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->work_done.wait(lock, [&] {
+        return impl_->completed.load(std::memory_order_acquire) == num_blocks;
+    });
+    impl_->fn = nullptr;
+}
+
+ThreadPool& global_pool() {
+    static ThreadPool pool([] {
+        const unsigned hardware = std::thread::hardware_concurrency();
+        const std::size_t cores = hardware == 0 ? 1 : hardware;
+        return std::min<std::size_t>(cores - 1, 15);
+    }());
+    return pool;
+}
+
+}  // namespace bnash::util

@@ -1,0 +1,48 @@
+// Small reusable worker pool for data-parallel sweeps.
+//
+// The payoff engine (and any future sharded workload) splits large tensor
+// sweeps into contiguous blocks and dispatches them here. The pool is
+// work-stealing-free by design: blocks are claimed off a single atomic
+// counter, which is contention-cheap because blocks are coarse (tens of
+// thousands of profiles each). The submitting thread participates in the
+// work, so a pool on a single-core machine degrades to a plain loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace bnash::util {
+
+class ThreadPool final {
+public:
+    // `num_threads` counts WORKER threads; the caller of run_blocks always
+    // participates too, so total parallelism is num_threads + 1.
+    explicit ThreadPool(std::size_t num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    // Total concurrent executors (workers + the submitting thread).
+    [[nodiscard]] std::size_t size() const noexcept { return num_workers_ + 1; }
+
+    // Invokes fn(block) for every block in [0, num_blocks), distributed
+    // over the workers and the calling thread; returns when all blocks
+    // have completed. fn must not throw across this boundary — wrap block
+    // bodies and stash std::exception_ptr if needed. Safe to call from
+    // multiple threads: one job owns the workers at a time and concurrent
+    // submitters fall back to running their blocks inline.
+    void run_blocks(std::size_t num_blocks, const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Impl;
+    Impl* impl_;
+    std::size_t num_workers_;
+};
+
+// Process-wide pool sized to the hardware (hardware_concurrency - 1
+// workers, capped at 15). Lazily constructed on first use.
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace bnash::util

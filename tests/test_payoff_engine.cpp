@@ -1,0 +1,250 @@
+// Golden equivalence tests for the stride-indexed payoff engine: the
+// single-sweep deviation/expected kernels must match the seed's naive
+// per-(player, action) implementation exactly (Rational path) and to
+// floating-point tolerance (double path), and the blocked sweep must be
+// deterministic across serial and threaded execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "game/payoff_engine.h"
+#include "solver/verification.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bnash::game {
+namespace {
+
+using util::Rational;
+
+std::vector<std::size_t> random_shape(util::Rng& rng, std::size_t players) {
+    std::vector<std::size_t> counts(players);
+    for (auto& count : counts) count = static_cast<std::size_t>(rng.next_int(2, 4));
+    return counts;
+}
+
+MixedProfile random_mixed(const NormalFormGame& game, util::Rng& rng, bool with_zeros) {
+    MixedProfile profile(game.num_players());
+    for (std::size_t i = 0; i < game.num_players(); ++i) {
+        MixedStrategy s(game.num_actions(i), 0.0);
+        double total = 0.0;
+        for (auto& p : s) {
+            p = (with_zeros && rng.next_bool(0.4)) ? 0.0 : rng.next_double() + 1e-3;
+            total += p;
+        }
+        if (total == 0.0) {
+            s[0] = 1.0;
+            total = 1.0;
+        }
+        for (auto& p : s) p /= total;
+        profile[i] = std::move(s);
+    }
+    return profile;
+}
+
+ExactMixedProfile random_exact(const NormalFormGame& game, util::Rng& rng) {
+    ExactMixedProfile profile(game.num_players());
+    for (std::size_t i = 0; i < game.num_players(); ++i) {
+        ExactMixedStrategy s(game.num_actions(i), Rational{0});
+        std::int64_t total = 0;
+        std::vector<std::int64_t> weights(s.size());
+        for (auto& w : weights) {
+            w = rng.next_int(0, 4);
+            total += w;
+        }
+        if (total == 0) {
+            weights[0] = 1;
+            total = 1;
+        }
+        for (std::size_t a = 0; a < s.size(); ++a) s[a] = Rational{weights[a], total};
+        profile[i] = std::move(s);
+    }
+    return profile;
+}
+
+TEST(PayoffEngine, StridesRankMatchesProfileRank) {
+    util::Rng rng{7};
+    for (std::size_t players = 2; players <= 4; ++players) {
+        const auto g = NormalFormGame::random(random_shape(rng, players), rng);
+        const PayoffEngine engine(g);
+        for (int trial = 0; trial < 20; ++trial) {
+            PureProfile profile(players);
+            for (std::size_t i = 0; i < players; ++i) {
+                profile[i] = static_cast<std::size_t>(
+                    rng.next_int(0, static_cast<std::int64_t>(g.num_actions(i)) - 1));
+            }
+            EXPECT_EQ(engine.rank_of(profile), g.profile_rank(profile));
+        }
+    }
+}
+
+TEST(PayoffEngine, SingleSweepMatchesNaiveDouble) {
+    util::Rng rng{11};
+    for (std::size_t players = 2; players <= 4; ++players) {
+        for (int trial = 0; trial < 5; ++trial) {
+            const auto g = NormalFormGame::random(random_shape(rng, players), rng);
+            const PayoffEngine engine(g);
+            for (const bool with_zeros : {false, true}) {
+                const auto profile = random_mixed(g, rng, with_zeros);
+                const auto fast = engine.deviation_payoffs_all(profile);
+                const auto slow = naive::deviation_payoffs_all(g, profile);
+                ASSERT_EQ(fast.size(), slow.size());
+                for (std::size_t i = 0; i < fast.size(); ++i) {
+                    for (std::size_t a = 0; a < fast[i].size(); ++a) {
+                        EXPECT_NEAR(fast[i][a], slow[i][a], 1e-9)
+                            << "players=" << players << " i=" << i << " a=" << a;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(PayoffEngine, SingleSweepMatchesNaiveExact) {
+    util::Rng rng{13};
+    for (std::size_t players = 2; players <= 4; ++players) {
+        for (int trial = 0; trial < 3; ++trial) {
+            const auto g = NormalFormGame::random(random_shape(rng, players), rng);
+            const PayoffEngine engine(g);
+            const auto profile = random_exact(g, rng);
+            const auto fast = engine.deviation_payoffs_all_exact(profile);
+            for (std::size_t i = 0; i < fast.size(); ++i) {
+                for (std::size_t a = 0; a < fast[i].size(); ++a) {
+                    // Byte-identical: exact arithmetic admits no tolerance.
+                    EXPECT_EQ(fast[i][a], naive::deviation_payoff_exact(g, profile, i, a))
+                        << "players=" << players << " i=" << i << " a=" << a;
+                }
+            }
+        }
+    }
+}
+
+TEST(PayoffEngine, ExpectedPayoffIsTableContraction) {
+    util::Rng rng{17};
+    const auto g = NormalFormGame::random({3, 4, 3}, rng);
+    const PayoffEngine engine(g);
+    const auto profile = random_mixed(g, rng, false);
+    const auto dev = engine.deviation_payoffs_all(profile);
+    const auto expected = engine.expected_payoffs(profile);
+    for (std::size_t i = 0; i < g.num_players(); ++i) {
+        double contraction = 0.0;
+        for (std::size_t a = 0; a < dev[i].size(); ++a) {
+            contraction += profile[i][a] * dev[i][a];
+        }
+        EXPECT_NEAR(expected[i], contraction, 1e-9);
+    }
+    // Exact mirror of the same identity.
+    const auto exact_profile = random_exact(g, rng);
+    const auto exact_dev = engine.deviation_payoffs_all_exact(exact_profile);
+    const auto exact_expected = engine.expected_payoffs_exact(exact_profile);
+    for (std::size_t i = 0; i < g.num_players(); ++i) {
+        Rational contraction{0};
+        for (std::size_t a = 0; a < exact_dev[i].size(); ++a) {
+            contraction += exact_profile[i][a] * exact_dev[i][a];
+        }
+        EXPECT_EQ(exact_expected[i], contraction);
+    }
+}
+
+TEST(PayoffEngine, DeviationRowMatchesFullTable) {
+    util::Rng rng{19};
+    const auto g = NormalFormGame::random({4, 3, 4}, rng);
+    const PayoffEngine engine(g);
+    const auto profile = random_mixed(g, rng, true);
+    const auto dev = engine.deviation_payoffs_all(profile);
+    for (std::size_t i = 0; i < g.num_players(); ++i) {
+        const auto row = engine.deviation_row(profile, i);
+        ASSERT_EQ(row.size(), dev[i].size());
+        for (std::size_t a = 0; a < row.size(); ++a) {
+            EXPECT_NEAR(row[a], dev[i][a], 1e-12);
+        }
+    }
+}
+
+TEST(PayoffEngine, BestResponsesAndRegretMatchGameApi) {
+    util::Rng rng{23};
+    const auto g = NormalFormGame::random({5, 5}, rng);
+    const PayoffEngine engine(g);
+    const auto profile = random_mixed(g, rng, false);
+    for (std::size_t i = 0; i < g.num_players(); ++i) {
+        EXPECT_EQ(engine.best_responses(profile, i, 1e-9), g.best_responses(profile, i));
+    }
+    EXPECT_DOUBLE_EQ(engine.regret(profile), g.regret(profile));
+}
+
+TEST(PayoffEngine, ThreadedAndSerialSweepsAreBitIdentical) {
+    util::Rng rng{29};
+    // 32^3 = 32768 profiles: two parallel blocks, so the blocked merge
+    // path (and on multi-core hosts the pool dispatch) is exercised.
+    const auto g = NormalFormGame::random({32, 32, 32}, rng);
+    const PayoffEngine engine(g);
+    const auto profile = random_mixed(g, rng, false);
+    const auto threaded = engine.deviation_payoffs_all(profile, SweepMode::kAuto);
+    const auto serial = engine.deviation_payoffs_all(profile, SweepMode::kSerial);
+    ASSERT_EQ(threaded.size(), serial.size());
+    for (std::size_t i = 0; i < threaded.size(); ++i) {
+        for (std::size_t a = 0; a < threaded[i].size(); ++a) {
+            // Bitwise, not near: block decomposition is fixed and partial
+            // tables merge in block order regardless of worker count.
+            EXPECT_EQ(threaded[i][a], serial[i][a]);
+        }
+    }
+    // Re-running must also be deterministic.
+    const auto again = engine.deviation_payoffs_all(profile, SweepMode::kAuto);
+    for (std::size_t i = 0; i < threaded.size(); ++i) {
+        for (std::size_t a = 0; a < threaded[i].size(); ++a) {
+            EXPECT_EQ(threaded[i][a], again[i][a]);
+        }
+    }
+    const auto expected_threaded = engine.expected_payoffs(profile, SweepMode::kAuto);
+    const auto expected_serial = engine.expected_payoffs(profile, SweepMode::kSerial);
+    for (std::size_t i = 0; i < expected_threaded.size(); ++i) {
+        EXPECT_EQ(expected_threaded[i], expected_serial[i]);
+    }
+}
+
+TEST(PayoffEngine, ValidatesProfileShape) {
+    util::Rng rng{31};
+    const auto g = NormalFormGame::random({2, 3}, rng);
+    const PayoffEngine engine(g);
+    EXPECT_THROW((void)engine.deviation_payoffs_all({{0.5, 0.5}}), std::invalid_argument);
+    EXPECT_THROW((void)engine.deviation_payoffs_all({{0.5, 0.5}, {1.0}}),
+                 std::invalid_argument);
+}
+
+TEST(PayoffEngine, VerificationAgreesWithEngine) {
+    // pure_nash_equilibria now walks ranks with stride deltas; the result
+    // must agree with a per-profile is_pure_nash check.
+    util::Rng rng{37};
+    const auto g = NormalFormGame::random({3, 3, 3}, rng);
+    const auto equilibria = solver::pure_nash_equilibria(g);
+    std::size_t count = 0;
+    for (std::uint64_t rank = 0; rank < g.num_profiles(); ++rank) {
+        const auto profile = g.profile_unrank(rank);
+        if (solver::is_pure_nash(g, profile)) {
+            ASSERT_LT(count, equilibria.size());
+            EXPECT_EQ(equilibria[count], profile);
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, equilibria.size());
+}
+
+TEST(ThreadPool, RunsEveryBlockExactlyOnce) {
+    auto& pool = util::global_pool();
+    constexpr std::size_t kBlocks = 257;
+    std::vector<std::atomic<int>> hits(kBlocks);
+    pool.run_blocks(kBlocks, [&](std::size_t block) { hits[block].fetch_add(1); });
+    for (std::size_t block = 0; block < kBlocks; ++block) {
+        EXPECT_EQ(hits[block].load(), 1) << "block " << block;
+    }
+    // Reuse must work (the pool is a long-lived process-wide resource).
+    pool.run_blocks(3, [&](std::size_t block) { hits[block].fetch_add(1); });
+    for (std::size_t block = 0; block < 3; ++block) {
+        EXPECT_EQ(hits[block].load(), 2);
+    }
+}
+
+}  // namespace
+}  // namespace bnash::game
