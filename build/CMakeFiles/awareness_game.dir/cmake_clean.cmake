@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awareness_game.dir/examples/awareness_game.cpp.o"
+  "CMakeFiles/awareness_game.dir/examples/awareness_game.cpp.o.d"
+  "awareness_game"
+  "awareness_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awareness_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

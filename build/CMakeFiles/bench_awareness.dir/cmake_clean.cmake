@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_awareness.dir/bench/bench_awareness.cpp.o"
+  "CMakeFiles/bench_awareness.dir/bench/bench_awareness.cpp.o.d"
+  "bench_awareness"
+  "bench_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

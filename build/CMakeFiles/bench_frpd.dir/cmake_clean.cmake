@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frpd.dir/bench/bench_frpd.cpp.o"
+  "CMakeFiles/bench_frpd.dir/bench/bench_frpd.cpp.o.d"
+  "bench_frpd"
+  "bench_frpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

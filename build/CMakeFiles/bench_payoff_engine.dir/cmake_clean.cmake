@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_payoff_engine.dir/bench/bench_payoff_engine.cpp.o"
+  "CMakeFiles/bench_payoff_engine.dir/bench/bench_payoff_engine.cpp.o.d"
+  "bench_payoff_engine"
+  "bench_payoff_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_payoff_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scrip.dir/bench/bench_scrip.cpp.o"
+  "CMakeFiles/bench_scrip.dir/bench/bench_scrip.cpp.o.d"
+  "bench_scrip"
+  "bench_scrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

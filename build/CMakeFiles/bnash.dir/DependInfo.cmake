@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/awareness/awareness_game.cpp" "CMakeFiles/bnash.dir/src/core/awareness/awareness_game.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/awareness/awareness_game.cpp.o.d"
+  "/root/repo/src/core/machine/frpd.cpp" "CMakeFiles/bnash.dir/src/core/machine/frpd.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/machine/frpd.cpp.o.d"
+  "/root/repo/src/core/machine/machine_game.cpp" "CMakeFiles/bnash.dir/src/core/machine/machine_game.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/machine/machine_game.cpp.o.d"
+  "/root/repo/src/core/machine/primality.cpp" "CMakeFiles/bnash.dir/src/core/machine/primality.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/machine/primality.cpp.o.d"
+  "/root/repo/src/core/robust/anonymous.cpp" "CMakeFiles/bnash.dir/src/core/robust/anonymous.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/robust/anonymous.cpp.o.d"
+  "/root/repo/src/core/robust/cheap_talk.cpp" "CMakeFiles/bnash.dir/src/core/robust/cheap_talk.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/robust/cheap_talk.cpp.o.d"
+  "/root/repo/src/core/robust/feasibility.cpp" "CMakeFiles/bnash.dir/src/core/robust/feasibility.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/robust/feasibility.cpp.o.d"
+  "/root/repo/src/core/robust/mediator.cpp" "CMakeFiles/bnash.dir/src/core/robust/mediator.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/robust/mediator.cpp.o.d"
+  "/root/repo/src/core/robust/robustness.cpp" "CMakeFiles/bnash.dir/src/core/robust/robustness.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/core/robust/robustness.cpp.o.d"
+  "/root/repo/src/crypto/circuit.cpp" "CMakeFiles/bnash.dir/src/crypto/circuit.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/crypto/circuit.cpp.o.d"
+  "/root/repo/src/crypto/commitment.cpp" "CMakeFiles/bnash.dir/src/crypto/commitment.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/crypto/commitment.cpp.o.d"
+  "/root/repo/src/crypto/field.cpp" "CMakeFiles/bnash.dir/src/crypto/field.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/crypto/field.cpp.o.d"
+  "/root/repo/src/crypto/polynomial.cpp" "CMakeFiles/bnash.dir/src/crypto/polynomial.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/crypto/polynomial.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "CMakeFiles/bnash.dir/src/crypto/shamir.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/crypto/shamir.cpp.o.d"
+  "/root/repo/src/crypto/signature.cpp" "CMakeFiles/bnash.dir/src/crypto/signature.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/crypto/signature.cpp.o.d"
+  "/root/repo/src/dist/byzantine.cpp" "CMakeFiles/bnash.dir/src/dist/byzantine.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/dist/byzantine.cpp.o.d"
+  "/root/repo/src/dist/network.cpp" "CMakeFiles/bnash.dir/src/dist/network.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/dist/network.cpp.o.d"
+  "/root/repo/src/game/bayesian.cpp" "CMakeFiles/bnash.dir/src/game/bayesian.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/game/bayesian.cpp.o.d"
+  "/root/repo/src/game/catalog.cpp" "CMakeFiles/bnash.dir/src/game/catalog.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/game/catalog.cpp.o.d"
+  "/root/repo/src/game/extensive.cpp" "CMakeFiles/bnash.dir/src/game/extensive.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/game/extensive.cpp.o.d"
+  "/root/repo/src/game/normal_form.cpp" "CMakeFiles/bnash.dir/src/game/normal_form.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/game/normal_form.cpp.o.d"
+  "/root/repo/src/game/payoff_engine.cpp" "CMakeFiles/bnash.dir/src/game/payoff_engine.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/game/payoff_engine.cpp.o.d"
+  "/root/repo/src/game/strategy.cpp" "CMakeFiles/bnash.dir/src/game/strategy.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/game/strategy.cpp.o.d"
+  "/root/repo/src/repeated/repeated_game.cpp" "CMakeFiles/bnash.dir/src/repeated/repeated_game.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/repeated/repeated_game.cpp.o.d"
+  "/root/repo/src/repeated/strategies.cpp" "CMakeFiles/bnash.dir/src/repeated/strategies.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/repeated/strategies.cpp.o.d"
+  "/root/repo/src/scrip/scrip_system.cpp" "CMakeFiles/bnash.dir/src/scrip/scrip_system.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/scrip/scrip_system.cpp.o.d"
+  "/root/repo/src/solver/correlated.cpp" "CMakeFiles/bnash.dir/src/solver/correlated.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/solver/correlated.cpp.o.d"
+  "/root/repo/src/solver/iterated_elimination.cpp" "CMakeFiles/bnash.dir/src/solver/iterated_elimination.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/solver/iterated_elimination.cpp.o.d"
+  "/root/repo/src/solver/learning.cpp" "CMakeFiles/bnash.dir/src/solver/learning.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/solver/learning.cpp.o.d"
+  "/root/repo/src/solver/lemke_howson.cpp" "CMakeFiles/bnash.dir/src/solver/lemke_howson.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/solver/lemke_howson.cpp.o.d"
+  "/root/repo/src/solver/support_enumeration.cpp" "CMakeFiles/bnash.dir/src/solver/support_enumeration.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/solver/support_enumeration.cpp.o.d"
+  "/root/repo/src/solver/verification.cpp" "CMakeFiles/bnash.dir/src/solver/verification.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/solver/verification.cpp.o.d"
+  "/root/repo/src/solver/zero_sum.cpp" "CMakeFiles/bnash.dir/src/solver/zero_sum.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/solver/zero_sum.cpp.o.d"
+  "/root/repo/src/util/combinatorics.cpp" "CMakeFiles/bnash.dir/src/util/combinatorics.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/util/combinatorics.cpp.o.d"
+  "/root/repo/src/util/matrix.cpp" "CMakeFiles/bnash.dir/src/util/matrix.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/util/matrix.cpp.o.d"
+  "/root/repo/src/util/rational.cpp" "CMakeFiles/bnash.dir/src/util/rational.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/util/rational.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/bnash.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/simplex.cpp" "CMakeFiles/bnash.dir/src/util/simplex.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/util/simplex.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/bnash.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/bnash.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/bnash.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/bnash.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

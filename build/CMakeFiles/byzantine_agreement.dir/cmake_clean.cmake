@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_agreement.dir/examples/byzantine_agreement.cpp.o"
+  "CMakeFiles/byzantine_agreement.dir/examples/byzantine_agreement.cpp.o.d"
+  "byzantine_agreement"
+  "byzantine_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_mediator.dir/examples/byzantine_mediator.cpp.o"
+  "CMakeFiles/byzantine_mediator.dir/examples/byzantine_mediator.cpp.o.d"
+  "byzantine_mediator"
+  "byzantine_mediator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_mediator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frpd_machines.dir/examples/frpd_machines.cpp.o"
+  "CMakeFiles/frpd_machines.dir/examples/frpd_machines.cpp.o.d"
+  "frpd_machines"
+  "frpd_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frpd_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrip_economy.dir/examples/scrip_economy.cpp.o"
+  "CMakeFiles/scrip_economy.dir/examples/scrip_economy.cpp.o.d"
+  "scrip_economy"
+  "scrip_economy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrip_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_awareness.dir/tests/test_awareness.cpp.o"
+  "CMakeFiles/test_awareness.dir/tests/test_awareness.cpp.o.d"
+  "test_awareness"
+  "test_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

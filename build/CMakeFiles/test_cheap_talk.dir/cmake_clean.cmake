@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cheap_talk.dir/tests/test_cheap_talk.cpp.o"
+  "CMakeFiles/test_cheap_talk.dir/tests/test_cheap_talk.cpp.o.d"
+  "test_cheap_talk"
+  "test_cheap_talk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cheap_talk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_correlated.dir/tests/test_correlated.cpp.o"
+  "CMakeFiles/test_correlated.dir/tests/test_correlated.cpp.o.d"
+  "test_correlated"
+  "test_correlated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_correlated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

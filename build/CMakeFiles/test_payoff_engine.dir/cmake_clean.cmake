@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payoff_engine.dir/tests/test_payoff_engine.cpp.o"
+  "CMakeFiles/test_payoff_engine.dir/tests/test_payoff_engine.cpp.o.d"
+  "test_payoff_engine"
+  "test_payoff_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payoff_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repeated.dir/tests/test_repeated.cpp.o"
+  "CMakeFiles/test_repeated.dir/tests/test_repeated.cpp.o.d"
+  "test_repeated"
+  "test_repeated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repeated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust.dir/tests/test_robust.cpp.o"
+  "CMakeFiles/test_robust.dir/tests/test_robust.cpp.o.d"
+  "test_robust"
+  "test_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

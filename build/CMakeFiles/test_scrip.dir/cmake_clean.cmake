@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrip.dir/tests/test_scrip.cpp.o"
+  "CMakeFiles/test_scrip.dir/tests/test_scrip.cpp.o.d"
+  "test_scrip"
+  "test_scrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
