@@ -1,16 +1,38 @@
-// Machine-readable benchmark output: injects --benchmark_out=<path>
-// (JSON) into the google-benchmark flags unless the caller already chose
-// an output, so every bench binary drops a BENCH_<name>.json next to the
-// working directory and future PRs can track the perf trajectory.
+// Shared helpers for the bench binaries:
+//   - initialize_with_json_output: injects --benchmark_out=<path> (JSON)
+//     into the google-benchmark flags unless the caller already chose an
+//     output, so every bench binary drops a BENCH_<name>.json next to the
+//     working directory and future PRs can track the perf trajectory.
+//   - measure_ns: the acceptance tables' timing harness — ONE definition
+//     so speedup numbers stay comparable across bench binaries.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <vector>
 
 namespace bnash::bench {
+
+// Wall-clock ns/op with geometric rep growth until the sample is stable.
+template <typename Fn>
+double measure_ns(Fn&& fn) {
+    using clock = std::chrono::steady_clock;
+    fn();  // warm-up
+    std::size_t reps = 1;
+    while (true) {
+        const auto start = clock::now();
+        for (std::size_t r = 0; r < reps; ++r) fn();
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start);
+        if (elapsed.count() > 100'000'000 || reps > (std::size_t{1} << 22)) {
+            return static_cast<double>(elapsed.count()) / static_cast<double>(reps);
+        }
+        reps *= 2;
+    }
+}
 
 inline void initialize_with_json_output(int argc, char** argv, const char* default_path) {
     bool has_out = false;

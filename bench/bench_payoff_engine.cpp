@@ -35,23 +35,7 @@ game::MixedProfile interior_profile(const game::NormalFormGame& g, util::Rng& rn
     return profile;
 }
 
-// Wall-clock ns/op with geometric rep growth until the sample is stable.
-template <typename Fn>
-double measure_ns(Fn&& fn) {
-    using clock = std::chrono::steady_clock;
-    fn();  // warm-up
-    std::size_t reps = 1;
-    while (true) {
-        const auto start = clock::now();
-        for (std::size_t r = 0; r < reps; ++r) fn();
-        const auto elapsed =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start);
-        if (elapsed.count() > 100'000'000 || reps > (std::size_t{1} << 22)) {
-            return static_cast<double>(elapsed.count()) / static_cast<double>(reps);
-        }
-        reps *= 2;
-    }
-}
+using bnash::bench::measure_ns;
 
 void print_tables() {
     std::cout << "=== E-PE1: deviation payoffs, 4 players x 6 actions (1296 profiles) ===\n";

@@ -3,18 +3,89 @@
 // all-stay is resilient for every k but dies with one faulty player (E3).
 // Anonymous-game checkers carry the sweep to n = 50; the generic exact
 // checkers are timed for comparison.
+//
+// PR-2 acceptance blocks:
+//   R-CS1: (k=2,t=1) robustness on the 6-player attack game — the
+//          parallel CoalitionSweep vs the PR-1 serial reference checker
+//          (target: >= 3x, identical verdicts/violations). The all-1
+//          profile IS (2,1)-robust, so that row times the full
+//          quantification with no early exit; the all-0 row times the
+//          early-exit (violation) path.
+//   R-CS2: iterated elimination on a 12x12 dominance chain — tensor-
+//          copying restrict() loop vs the zero-copy GameView loop
+//          (allocation counts straight from the tensor counter).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/robust/anonymous.h"
+#include "core/robust/coalition_sweep.h"
 #include "core/robust/robustness.h"
 #include "game/catalog.h"
+#include "game/game_view.h"
+#include "solver/iterated_elimination.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace bnash;
+using bnash::bench::measure_ns;
+
+// The seed's reduction loop: one full tensor copy per eliminated action
+// (plus the working copy). Baseline for the R-CS2 comparison.
+solver::EliminationResult elimination_by_copies(const game::NormalFormGame& game,
+                                                solver::DominanceKind kind) {
+    solver::EliminationResult result{game, {}, {}};
+    result.kept.resize(game.num_players());
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        for (std::size_t a = 0; a < game.num_actions(player); ++a) {
+            result.kept[player].push_back(a);
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t player = 0; player < result.reduced.num_players() && !changed;
+             ++player) {
+            if (result.reduced.num_actions(player) < 2) continue;
+            for (std::size_t action = 0; action < result.reduced.num_actions(player);
+                 ++action) {
+                if (!solver::is_dominated(result.reduced, player, action, kind)) continue;
+                result.trace.push_back(
+                    solver::EliminationStep{player, result.kept[player][action]});
+                std::vector<std::vector<std::size_t>> local(result.reduced.num_players());
+                for (std::size_t i = 0; i < result.reduced.num_players(); ++i) {
+                    for (std::size_t a = 0; a < result.reduced.num_actions(i); ++a) {
+                        if (i == player && a == action) continue;
+                        local[i].push_back(a);
+                    }
+                }
+                result.reduced = result.reduced.restrict(local);
+                result.kept[player].erase(result.kept[player].begin() +
+                                          static_cast<std::ptrdiff_t>(action));
+                changed = true;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+// 2-player dominance chain: u_p = -(own action index), so every round
+// eliminates one action until a single profile remains.
+game::NormalFormGame dominance_chain_game(std::size_t actions) {
+    game::NormalFormGame g({actions, actions});
+    for (std::uint64_t rank = 0; rank < g.num_profiles(); ++rank) {
+        const auto profile = g.profile_unrank(rank);
+        for (std::size_t p = 0; p < 2; ++p) {
+            g.set_payoff(profile, p, -static_cast<std::int64_t>(profile[p]));
+        }
+    }
+    return g;
+}
 
 void print_tables() {
     std::cout << "=== E2: attack game, all-0 profile ===\n";
@@ -52,7 +123,107 @@ void print_tables() {
         }
     }
     frontier.print(std::cout);
-    std::cout << std::endl;
+    std::cout << "\n";
+}
+
+void print_coalition_sweep_acceptance() {
+    std::cout << "=== R-CS1: (k=2,t=1) robustness, 6-player attack game — "
+                 "CoalitionSweep vs PR-1 serial checker ===\n";
+    const auto g = game::catalog::attack_coordination_game(6);
+    const core::RobustnessOptions serial_opts{core::GainCriterion::kAnyMemberGains,
+                                              game::SweepMode::kSerial};
+    const core::RobustnessOptions parallel_opts{core::GainCriterion::kAnyMemberGains,
+                                                game::SweepMode::kAuto};
+
+    util::Table table({"profile", "checker", "ns/op", "speedup"});
+    double full_sweep_speedup = 0.0;
+    bool verdicts_identical = true;
+    for (const std::size_t base : {1u, 0u}) {
+        // all-1 completes the full quantification (it IS (2,1)-robust);
+        // all-0 exits early at the first immunity violation.
+        const auto profile = core::as_exact_profile(g, game::PureProfile(6, base));
+        const auto via_reference = core::reference::find_robustness_violation(
+            g, profile, 2, 1, core::RobustnessOptions{});
+        const auto via_serial = core::find_robustness_violation(g, profile, 2, 1, serial_opts);
+        const auto via_parallel =
+            core::find_robustness_violation(g, profile, 2, 1, parallel_opts);
+        const bool identical = via_reference.has_value() == via_parallel.has_value() &&
+                               (!via_reference || *via_reference == *via_parallel) &&
+                               via_serial.has_value() == via_parallel.has_value() &&
+                               (!via_serial || *via_serial == *via_parallel);
+        verdicts_identical = verdicts_identical && identical;
+
+        const double reference_ns = measure_ns([&] {
+            benchmark::DoNotOptimize(core::reference::find_robustness_violation(
+                g, profile, 2, 1, core::RobustnessOptions{}));
+        });
+        const double serial_ns = measure_ns([&] {
+            benchmark::DoNotOptimize(
+                core::find_robustness_violation(g, profile, 2, 1, serial_opts));
+        });
+        const double parallel_ns = measure_ns([&] {
+            benchmark::DoNotOptimize(
+                core::find_robustness_violation(g, profile, 2, 1, parallel_opts));
+        });
+        const std::string label = base == 1 ? "all-1 (full sweep)" : "all-0 (early exit)";
+        table.add_row({label, "PR-1 serial reference", util::Table::fmt(reference_ns),
+                       "1.00x"});
+        table.add_row({label, "sweep, serial blocks", util::Table::fmt(serial_ns),
+                       util::Table::fmt(reference_ns / serial_ns, 2) + "x"});
+        table.add_row({label,
+                       "sweep, parallel (" +
+                           std::to_string(util::global_pool().size()) + " executors)",
+                       util::Table::fmt(parallel_ns),
+                       util::Table::fmt(reference_ns / parallel_ns, 2) + "x"});
+        if (base == 1) full_sweep_speedup = reference_ns / parallel_ns;
+    }
+    table.print(std::cout);
+    std::cout << "-> verdicts/violations identical across reference, serial, parallel ("
+              << (verdicts_identical ? "PASS" : "MISS") << ")\n";
+    std::cout << "-> acceptance: parallel sweep >= 3x over PR-1 serial on the full sweep ("
+              << util::Table::fmt(full_sweep_speedup, 2) << "x, "
+              << (full_sweep_speedup >= 3.0 ? "PASS" : "MISS") << ")\n\n";
+}
+
+void print_view_elimination_comparison() {
+    std::cout << "=== R-CS2: iterated elimination, 12x12 dominance chain — "
+                 "tensor copies vs GameView ===\n";
+    const auto g = dominance_chain_game(12);
+    const auto kind = solver::DominanceKind::kStrictPure;
+
+    auto before = game::NormalFormGame::tensor_allocations();
+    const auto by_copies = elimination_by_copies(g, kind);
+    const auto copy_allocs = game::NormalFormGame::tensor_allocations() - before;
+    before = game::NormalFormGame::tensor_allocations();
+    const auto by_views = solver::iterated_elimination(g, kind);
+    const auto view_allocs = game::NormalFormGame::tensor_allocations() - before;
+
+    const double copy_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(elimination_by_copies(g, kind));
+    });
+    const double view_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(solver::iterated_elimination(g, kind));
+    });
+    util::Table table({"implementation", "ns/op", "tensor allocations", "speedup"});
+    table.add_row({"restrict() copies (seed loop)", util::Table::fmt(copy_ns),
+                   util::Table::fmt(copy_allocs), "1.00x"});
+    table.add_row({"GameView loop", util::Table::fmt(view_ns), util::Table::fmt(view_allocs),
+                   util::Table::fmt(copy_ns / view_ns, 2) + "x"});
+    table.print(std::cout);
+    bool equivalent = by_copies.trace == by_views.trace && by_copies.kept == by_views.kept &&
+                      by_copies.reduced.action_counts() == by_views.reduced.action_counts();
+    if (equivalent) {
+        for (std::uint64_t rank = 0; rank < by_views.reduced.num_profiles(); ++rank) {
+            for (std::size_t p = 0; p < by_views.reduced.num_players(); ++p) {
+                equivalent = equivalent && by_copies.reduced.payoff_at(rank, p) ==
+                                               by_views.reduced.payoff_at(rank, p);
+            }
+        }
+    }
+    std::cout << "-> both reduce to " << by_views.reduced.num_profiles()
+              << " profile(s); traces, kept sets and reduced payoffs identical ("
+              << (equivalent ? "PASS" : "MISS")
+              << "); view loop allocates only the final materialization\n\n";
 }
 
 void bench_exact_resilience(benchmark::State& state) {
@@ -82,6 +253,44 @@ void bench_exact_robustness(benchmark::State& state) {
 }
 BENCHMARK(bench_exact_robustness)->DenseRange(3, 8)->Unit(benchmark::kMillisecond);
 
+// The full-sweep (no early exit) robustness check through the sweep
+// engine, serial vs parallel blocks: the JSON trajectory rows future PRs
+// diff against.
+void bench_sweep_full_serial(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::find_robustness_violation(g, profile, 2, 1, options));
+    }
+}
+BENCHMARK(bench_sweep_full_serial)->DenseRange(5, 8)->Unit(benchmark::kMicrosecond);
+
+void bench_sweep_full_parallel(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kAuto};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::find_robustness_violation(g, profile, 2, 1, options));
+    }
+}
+BENCHMARK(bench_sweep_full_parallel)->DenseRange(5, 8)->Unit(benchmark::kMicrosecond);
+
+void bench_reference_full_serial(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::reference::find_robustness_violation(
+            g, profile, 2, 1, core::RobustnessOptions{}));
+    }
+}
+BENCHMARK(bench_reference_full_serial)->DenseRange(5, 8)->Unit(benchmark::kMicrosecond);
+
 void bench_anonymous_resilience(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     const auto g = core::AnonymousBinaryGame::attack(n);
@@ -105,7 +314,9 @@ BENCHMARK(bench_punishment_search)->DenseRange(3, 7)->Unit(benchmark::kMilliseco
 
 int main(int argc, char** argv) {
     print_tables();
-    benchmark::Initialize(&argc, argv);
+    print_coalition_sweep_acceptance();
+    print_view_elimination_comparison();
+    bnash::bench::initialize_with_json_output(argc, argv, "BENCH_robustness.json");
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

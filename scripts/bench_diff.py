@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and print per-metric deltas.
+
+Every bench binary drops a BENCH_<name>.json in its working directory, so
+perf trajectories across PRs are diffed with:
+
+    scripts/bench_diff.py old/BENCH_robustness.json build/BENCH_robustness.json
+
+Benchmarks are matched by name; the report shows old/new real_time, the
+delta in percent, and the speedup factor (old / new, > 1 is faster).
+Aggregate rows (mean/median/stddev) are skipped. Exits 1 if --fail-above
+is given and any matched benchmark regressed by more than that percent.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path, metric):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or metric not in bench:
+            continue
+        out[name] = (float(bench[metric]), bench.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("old", help="baseline BENCH_<name>.json")
+    parser.add_argument("new", help="candidate BENCH_<name>.json")
+    parser.add_argument("--metric", default="real_time",
+                        help="benchmark field to compare (default: real_time)")
+    parser.add_argument("--fail-above", type=float, default=None, metavar="PCT",
+                        help="exit 1 if any benchmark regresses by more than PCT percent")
+    args = parser.parse_args()
+
+    old = load_benchmarks(args.old, args.metric)
+    new = load_benchmarks(args.new, args.metric)
+    shared = [name for name in old if name in new]
+    if not shared:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 1
+
+    name_width = max(len(name) for name in shared)
+    header = (f"{'benchmark':<{name_width}}  {'old':>12}  {'new':>12}  "
+              f"{'delta':>8}  {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    worst = 0.0
+    mismatched_units = []
+    for name in shared:
+        old_value, old_unit = old[name]
+        new_value, new_unit = new[name]
+        if old_unit != new_unit:
+            # Comparing e.g. us against ms would report a bogus ~1000x
+            # delta; flag instead of feeding garbage to --fail-above.
+            mismatched_units.append(name)
+            print(f"{name:<{name_width}}  {old_value:>10.4g}{old_unit:<2}  "
+                  f"{new_value:>10.4g}{new_unit:<2}  unit mismatch — skipped")
+            continue
+        delta_pct = (new_value - old_value) / old_value * 100.0 if old_value else 0.0
+        speedup = old_value / new_value if new_value else float("inf")
+        worst = max(worst, delta_pct)
+        print(f"{name:<{name_width}}  {old_value:>10.4g}{old_unit:<2}  "
+              f"{new_value:>10.4g}{new_unit:<2}  {delta_pct:>+7.1f}%  {speedup:>7.2f}x")
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"\nonly in {args.old}: " + ", ".join(only_old))
+    if only_new:
+        print(f"only in {args.new}: " + ", ".join(only_new))
+
+    if mismatched_units:
+        print(f"\nWARNING: {len(mismatched_units)} benchmark(s) changed time_unit "
+              "between the two files and were not compared", file=sys.stderr)
+    if args.fail_above is not None and worst > args.fail_above:
+        print(f"\nFAIL: worst regression {worst:+.1f}% exceeds "
+              f"--fail-above {args.fail_above}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,383 @@
+#include "core/robust/coalition_sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "util/combinatorics.h"
+#include "util/thread_pool.h"
+
+namespace bnash::core {
+namespace {
+
+using game::ExactMixedProfile;
+using game::NormalFormGame;
+using game::PureProfile;
+using util::Rational;
+
+// Incremental mixed-radix odometer over the joint action space of the
+// players in `who`: visits tuples in row-major order while maintaining
+// the deviated profile's tensor rank — rank(tau) = base + sum_d
+// (tau_d - candidate_d) * stride_d — in O(1) per step. Unsigned
+// wrap-around in the running rank is fine: every complete sum is back in
+// range. This replaces a PureProfile rebuild + O(players) re-rank per
+// joint deviation per queried player with one add per odometer step.
+class JointScan final {
+public:
+    void init(const NormalFormGame& game, const std::vector<std::uint64_t>& strides,
+              const PureProfile& candidate, const std::vector<std::size_t>& who) {
+        counts_.resize(who.size());
+        strides_.resize(who.size());
+        drop_ = 0;
+        for (std::size_t d = 0; d < who.size(); ++d) {
+            counts_[d] = game.num_actions(who[d]);
+            strides_[d] = strides[who[d]];
+            drop_ += candidate[who[d]] * strides_[d];
+        }
+        tuple_.assign(who.size(), 0);
+    }
+
+    // Restart at the all-zeros tuple relative to `base` (the rank with
+    // every scanned player still on its candidate action).
+    void reset(std::uint64_t base) {
+        std::fill(tuple_.begin(), tuple_.end(), 0);
+        rank_ = base - drop_;
+    }
+
+    // Advance one tuple; false once the space is exhausted.
+    [[nodiscard]] bool advance() {
+        for (std::size_t d = counts_.size(); d-- > 0;) {
+            if (++tuple_[d] < counts_[d]) {
+                rank_ += strides_[d];
+                return true;
+            }
+            rank_ -= static_cast<std::uint64_t>(counts_[d] - 1) * strides_[d];
+            tuple_[d] = 0;
+        }
+        return false;
+    }
+
+    [[nodiscard]] std::uint64_t rank() const noexcept { return rank_; }
+    [[nodiscard]] const PureProfile& tuple() const noexcept { return tuple_; }
+
+private:
+    std::vector<std::size_t> counts_;
+    std::vector<std::uint64_t> strides_;
+    std::uint64_t drop_ = 0;
+    std::uint64_t rank_ = 0;
+    PureProfile tuple_;
+};
+
+std::vector<std::size_t> action_space(const NormalFormGame& game,
+                                      const std::vector<std::size_t>& players) {
+    std::vector<std::size_t> out;
+    out.reserve(players.size());
+    for (const std::size_t p : players) out.push_back(game.num_actions(p));
+    return out;
+}
+
+// Runs fn(0..num_tasks) with first-hit-wins semantics on the LOWEST task
+// index, serially or on the global pool. Parallel runs skip tasks above
+// the current best index (early exit) but never below it, so both modes
+// return the violation of the same task — the one the serial loop would
+// have stopped at.
+template <typename TaskFn>
+std::optional<RobustnessViolation> run_tasks(std::size_t num_tasks, game::SweepMode mode,
+                                             const TaskFn& fn) {
+    if (num_tasks == 0) return std::nullopt;
+    auto& pool = util::global_pool();
+    if (mode == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
+        for (std::size_t index = 0; index < num_tasks; ++index) {
+            if (auto violation = fn(index)) return violation;
+        }
+        return std::nullopt;
+    }
+    std::atomic<std::size_t> best{num_tasks};
+    std::vector<std::optional<RobustnessViolation>> found(num_tasks);
+    std::vector<std::exception_ptr> errors(num_tasks);
+    pool.run_blocks(num_tasks, [&](std::size_t index) {
+        if (index >= best.load(std::memory_order_acquire)) return;  // early exit
+        try {
+            if (auto violation = fn(index)) {
+                found[index] = std::move(violation);
+                std::size_t current = best.load(std::memory_order_acquire);
+                while (index < current &&
+                       !best.compare_exchange_weak(current, index,
+                                                   std::memory_order_acq_rel)) {
+                }
+            }
+        } catch (...) {
+            errors[index] = std::current_exception();
+        }
+    });
+    // Replicate the serial loop's observable behavior exactly: serial
+    // execution stops at the first violating task, so an error in a task
+    // ABOVE the winning index would never have been reached — swallow it.
+    // An error below the winner (or with no winner at all) is rethrown,
+    // lowest index first, just as the in-order loop would have thrown.
+    const std::size_t winner = best.load(std::memory_order_acquire);
+    for (std::size_t index = 0; index < winner; ++index) {
+        if (errors[index]) std::rethrow_exception(errors[index]);
+    }
+    if (winner < num_tasks) return std::move(found[winner]);
+    return std::nullopt;
+}
+
+}  // namespace
+
+CoalitionSweep::CoalitionSweep(const NormalFormGame& game, const ExactMixedProfile& profile)
+    : game_(&game), profile_(&profile), engine_(game), pure_(as_pure_profile(profile)) {
+    if (pure_) base_rank_ = engine_.rank_of(*pure_);
+}
+
+Rational CoalitionSweep::mixed_utility(const std::vector<std::size_t>& who,
+                                       const PureProfile& actions,
+                                       std::size_t player) const {
+    ExactMixedProfile deviated = *profile_;
+    for (std::size_t idx = 0; idx < who.size(); ++idx) {
+        game::ExactMixedStrategy point(game_->num_actions(who[idx]), Rational{0});
+        point[actions[idx]] = Rational{1};
+        deviated[who[idx]] = std::move(point);
+    }
+    return engine_.expected_payoff_exact(deviated, player);
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
+    const std::vector<std::size_t>& faulty,
+    const std::vector<Rational>& baseline) const {
+    const std::size_t n = game_->num_players();
+    std::vector<std::size_t> outsiders;
+    outsiders.reserve(n - faulty.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (std::find(faulty.begin(), faulty.end(), i) == faulty.end()) {
+            outsiders.push_back(i);
+        }
+    }
+    if (pure_) {
+        JointScan scan;
+        scan.init(*game_, engine_.strides(), *pure_, faulty);
+        scan.reset(base_rank_);
+        do {
+            for (const std::size_t i : outsiders) {
+                const Rational& after = game_->payoff_at(scan.rank(), i);
+                if (after < baseline[i]) {
+                    return RobustnessViolation{{},
+                                               faulty,
+                                               {},
+                                               scan.tuple(),
+                                               i,
+                                               baseline[i].to_double(),
+                                               after.to_double()};
+                }
+            }
+        } while (scan.advance());
+        return std::nullopt;
+    }
+    std::optional<RobustnessViolation> found;
+    util::product_for_each(action_space(*game_, faulty), [&](const PureProfile& tau) {
+        for (const std::size_t i : outsiders) {
+            const Rational after = mixed_utility(faulty, tau, i);
+            if (after < baseline[i]) {
+                found = RobustnessViolation{{},        faulty,
+                                            {},        tau,
+                                            i,         baseline[i].to_double(),
+                                            after.to_double()};
+                return false;
+            }
+        }
+        return true;
+    });
+    return found;
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
+    const std::vector<std::size_t>& coalition, std::size_t t,
+    GainCriterion criterion) const {
+    const std::size_t n = game_->num_players();
+    // Disjoint faulty sets, the empty one first (matches the reference
+    // checker's enumeration order exactly).
+    std::vector<std::size_t> others;
+    others.reserve(n - coalition.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (std::find(coalition.begin(), coalition.end(), i) == coalition.end()) {
+            others.push_back(i);
+        }
+    }
+    const std::size_t width = coalition.size();
+    if (pure_) {
+        JointScan coalition_scan;
+        coalition_scan.init(*game_, engine_.strides(), *pure_, coalition);
+        // Both scans and the reference row are reused across faulty sets:
+        // the inner loops allocate nothing.
+        JointScan faulty_scan;
+        std::vector<const Rational*> reference(width);
+        std::vector<std::size_t> faulty;
+        const auto scan_against_faulty =
+            [&]() -> std::optional<RobustnessViolation> {
+            faulty_scan.init(*game_, engine_.strides(), *pure_, faulty);
+            faulty_scan.reset(base_rank_);
+            do {
+                // Coalition's reference payoffs: sigma_C against this
+                // tau_T (borrowed straight from the tensor, no copies).
+                for (std::size_t idx = 0; idx < width; ++idx) {
+                    reference[idx] = &game_->payoff_at(faulty_scan.rank(), coalition[idx]);
+                }
+                coalition_scan.reset(faulty_scan.rank());
+                do {
+                    bool any_gain = false;
+                    bool all_gain = true;
+                    std::size_t witness = coalition[0];
+                    const Rational* witness_before = nullptr;
+                    const Rational* witness_after = nullptr;
+                    for (std::size_t idx = 0; idx < width; ++idx) {
+                        const Rational& after =
+                            game_->payoff_at(coalition_scan.rank(), coalition[idx]);
+                        if (after > *reference[idx]) {
+                            if (!any_gain) {
+                                witness = coalition[idx];
+                                witness_before = reference[idx];
+                                witness_after = &after;
+                            }
+                            any_gain = true;
+                        } else {
+                            all_gain = false;
+                        }
+                    }
+                    const bool violated = criterion == GainCriterion::kAnyMemberGains
+                                              ? any_gain
+                                              : (all_gain && !coalition.empty());
+                    if (violated) {
+                        return RobustnessViolation{
+                            coalition,
+                            faulty,
+                            coalition_scan.tuple(),
+                            faulty_scan.tuple(),
+                            witness,
+                            witness_before ? witness_before->to_double() : 0.0,
+                            witness_after ? witness_after->to_double() : 0.0};
+                    }
+                } while (coalition_scan.advance());
+            } while (faulty_scan.advance());
+            return std::nullopt;
+        };
+        // The empty faulty set first, then every disjoint T with
+        // |T| <= t — the reference checker's enumeration order.
+        if (auto violation = scan_against_faulty()) return violation;
+        if (t > 0) {
+            const util::SubsetEnumerator enumerator(others.size(), t);
+            for (const auto& index_set : enumerator) {
+                faulty.clear();
+                for (const std::size_t idx : index_set) faulty.push_back(others[idx]);
+                if (auto violation = scan_against_faulty()) return violation;
+            }
+        }
+        return std::nullopt;
+    }
+
+    // Mixed-candidate fallback: exact expected utilities per evaluation.
+    std::vector<std::vector<std::size_t>> faulty_sets{{}};
+    if (t > 0) {
+        const util::SubsetEnumerator enumerator(others.size(), t);
+        for (const auto& index_set : enumerator) {
+            std::vector<std::size_t> mapped;
+            mapped.reserve(index_set.size());
+            for (const std::size_t idx : index_set) mapped.push_back(others[idx]);
+            faulty_sets.push_back(std::move(mapped));
+        }
+    }
+    for (const auto& faulty : faulty_sets) {
+        std::optional<RobustnessViolation> found;
+        std::vector<std::size_t> joint_players = coalition;
+        joint_players.insert(joint_players.end(), faulty.begin(), faulty.end());
+        util::product_for_each(action_space(*game_, faulty), [&](const PureProfile& tau_t) {
+            std::vector<Rational> reference(width);
+            for (std::size_t idx = 0; idx < width; ++idx) {
+                reference[idx] = mixed_utility(faulty, tau_t, coalition[idx]);
+            }
+            util::product_for_each(
+                action_space(*game_, coalition), [&](const PureProfile& tau_c) {
+                    PureProfile joint_actions = tau_c;
+                    joint_actions.insert(joint_actions.end(), tau_t.begin(), tau_t.end());
+                    bool any_gain = false;
+                    bool all_gain = true;
+                    std::size_t witness = coalition[0];
+                    Rational witness_before;
+                    Rational witness_after;
+                    for (std::size_t idx = 0; idx < width; ++idx) {
+                        const Rational after =
+                            mixed_utility(joint_players, joint_actions, coalition[idx]);
+                        if (after > reference[idx]) {
+                            if (!any_gain) {
+                                witness = coalition[idx];
+                                witness_before = reference[idx];
+                                witness_after = after;
+                            }
+                            any_gain = true;
+                        } else {
+                            all_gain = false;
+                        }
+                    }
+                    const bool violated = criterion == GainCriterion::kAnyMemberGains
+                                              ? any_gain
+                                              : (all_gain && !coalition.empty());
+                    if (violated) {
+                        found = RobustnessViolation{coalition,
+                                                    faulty,
+                                                    tau_c,
+                                                    tau_t,
+                                                    witness,
+                                                    witness_before.to_double(),
+                                                    witness_after.to_double()};
+                        return false;
+                    }
+                    return true;
+                });
+            return !found.has_value();
+        });
+        if (found) return found;
+    }
+    return std::nullopt;
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::immunity_violation(
+    std::size_t t, game::SweepMode mode) const {
+    if (t == 0) return std::nullopt;
+    const std::size_t n = game_->num_players();
+    std::vector<Rational> baseline(n);
+    if (pure_) {
+        for (std::size_t i = 0; i < n; ++i) baseline[i] = game_->payoff_at(base_rank_, i);
+    } else {
+        for (std::size_t i = 0; i < n; ++i) baseline[i] = mixed_utility({}, {}, i);
+    }
+    const util::SubsetEnumerator faulty_sets(n, t);
+    // Mixed candidates parallelize INSIDE each evaluation instead: every
+    // utility is a full-tensor exact sweep that already blocks onto the
+    // pool, so the outer task loop stays serial and keeps the workers
+    // free for it.
+    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    return run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
+        return immunity_task(faulty_sets[index], baseline);
+    });
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::resilience_violation(
+    std::size_t k, std::size_t t, GainCriterion criterion, game::SweepMode mode) const {
+    if (k == 0) return std::nullopt;
+    const util::SubsetEnumerator coalitions(game_->num_players(), k);
+    // See immunity_violation: mixed candidates sweep inside evaluations.
+    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    return run_tasks(coalitions.size(), effective, [&](std::size_t index) {
+        return resilience_task(coalitions[index], t, criterion);
+    });
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::robustness_violation(
+    std::size_t k, std::size_t t, const RobustnessOptions& options) const {
+    // Part (a): non-deviators are not hurt by up to t arbitrary players.
+    if (auto immunity = immunity_violation(t, options.mode)) return immunity;
+    // Part (b): no coalition gains against any disjoint faulty set.
+    return resilience_violation(k, t, options.criterion, options.mode);
+}
+
+}  // namespace bnash::core

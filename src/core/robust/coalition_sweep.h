@@ -1,0 +1,81 @@
+// Parallel coalition-sweep engine behind the (k,t)-robustness checkers.
+//
+// The checkers quantify over coalitions C (and faulty sets T) and, per
+// coalition, over every joint pure deviation. Coalition tasks are
+// independent, so the sweep:
+//
+//   - pulls the coalition lists from util::SubsetEnumerator (materialized
+//     once per (n, k) and shared across calls — max_resilience probes the
+//     same lists k times);
+//   - dispatches one task per coalition to util::global_pool(), claimed
+//     in index order off the pool's atomic counter;
+//   - resolves "first violation" deterministically in parallel mode via
+//     an atomic lowest-violating-task index: workers skip tasks above the
+//     current minimum (early exit), tasks below it always complete, so
+//     serial and parallel sweeps return IDENTICAL violations;
+//   - scans joint deviations with an incremental mixed-radix odometer
+//     that updates the profile's tensor rank in O(1) per step and reads
+//     payoffs by reference — the inner loops of the pure-candidate fast
+//     path perform no heap allocation and no per-lookup re-ranking.
+//
+// Mixed (non-point-mass) candidate profiles fall back to exact expected-
+// utility sweeps per evaluation, still parallel across coalition tasks.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/robust/robustness.h"
+#include "game/normal_form.h"
+#include "game/payoff_engine.h"
+#include "game/strategy.h"
+
+namespace bnash::core {
+
+class CoalitionSweep final {
+public:
+    // The profile must be a valid exact mixed profile for `game`; both
+    // must outlive the sweep.
+    CoalitionSweep(const game::NormalFormGame& game, const game::ExactMixedProfile& profile);
+
+    // Part (a) of (k,t)-robustness: some T with 1 <= |T| <= t and joint
+    // deviation tau_T leaves a player outside T below its candidate
+    // payoff. Enumeration order (and thus the reported violation) matches
+    // the PR-1 serial checker exactly, in both sweep modes.
+    [[nodiscard]] std::optional<RobustnessViolation> immunity_violation(
+        std::size_t t, game::SweepMode mode = game::SweepMode::kAuto) const;
+
+    // Part (b): some coalition C with 1 <= |C| <= k gains against some
+    // disjoint T with |T| <= t (including T empty).
+    [[nodiscard]] std::optional<RobustnessViolation> resilience_violation(
+        std::size_t k, std::size_t t, GainCriterion criterion,
+        game::SweepMode mode = game::SweepMode::kAuto) const;
+
+    // Parts (a) then (b) — the full (k,t)-robustness check.
+    [[nodiscard]] std::optional<RobustnessViolation> robustness_violation(
+        std::size_t k, std::size_t t, const RobustnessOptions& options) const;
+
+private:
+    // One coalition/faulty-set task; nullopt when the task finds nothing.
+    [[nodiscard]] std::optional<RobustnessViolation> immunity_task(
+        const std::vector<std::size_t>& faulty,
+        const std::vector<util::Rational>& baseline) const;
+    [[nodiscard]] std::optional<RobustnessViolation> resilience_task(
+        const std::vector<std::size_t>& coalition, std::size_t t,
+        GainCriterion criterion) const;
+
+    // u_player when `who` plays `actions` and everyone else follows the
+    // candidate (mixed fallback; the pure path never calls this).
+    [[nodiscard]] util::Rational mixed_utility(const std::vector<std::size_t>& who,
+                                               const game::PureProfile& actions,
+                                               std::size_t player) const;
+
+    const game::NormalFormGame* game_;
+    const game::ExactMixedProfile* profile_;
+    game::PayoffEngine engine_;
+    std::optional<game::PureProfile> pure_;  // set iff the candidate is pure
+    std::uint64_t base_rank_ = 0;            // rank of *pure_ when set
+};
+
+}  // namespace bnash::core

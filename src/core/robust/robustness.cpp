@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/robust/coalition_sweep.h"
 #include "game/payoff_engine.h"
 #include "util/combinatorics.h"
 
@@ -15,34 +16,16 @@ using game::NormalFormGame;
 using game::PureProfile;
 using util::Rational;
 
-// Returns the pure profile when every strategy is a point mass (the common
-// case for the paper's examples), enabling O(1) payoff lookups. A second
-// unit mass rejects the strategy (it is not a distribution) rather than
-// silently shadowing the first.
-std::optional<PureProfile> as_pure(const ExactMixedProfile& profile) {
-    PureProfile out(profile.size(), 0);
-    for (std::size_t i = 0; i < profile.size(); ++i) {
-        bool found = false;
-        for (std::size_t a = 0; a < profile[i].size(); ++a) {
-            if (profile[i][a].is_zero()) continue;
-            if (found || profile[i][a] != Rational{1}) return std::nullopt;
-            out[i] = a;
-            found = true;
-        }
-        if (!found) return std::nullopt;
-    }
-    return out;
-}
-
 // Evaluation context: computes u_i when players in `who` play `actions`
 // and everyone else follows the candidate profile. In the pure case a
 // coalition deviation is an O(|who|) stride delta from the candidate's
 // precomputed rank — no PureProfile rebuild, no full re-rank per joint
-// action.
+// action. Used by the reference checkers and the punishment search; the
+// production robustness checkers run on CoalitionSweep instead.
 class Evaluator final {
 public:
     Evaluator(const NormalFormGame& game, const ExactMixedProfile& profile)
-        : game_(game), engine_(game), profile_(profile), pure_(as_pure(profile)) {
+        : game_(game), engine_(game), profile_(profile), pure_(as_pure_profile(profile)) {
         if (pure_) base_rank_ = engine_.rank_of(*pure_);
     }
 
@@ -115,11 +98,45 @@ std::string RobustnessViolation::to_string() const {
     return os.str();
 }
 
+std::optional<PureProfile> as_pure_profile(const ExactMixedProfile& profile) {
+    // A second unit mass rejects the strategy (it is not a distribution)
+    // rather than silently shadowing the first.
+    PureProfile out(profile.size(), 0);
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        bool found = false;
+        for (std::size_t a = 0; a < profile[i].size(); ++a) {
+            if (profile[i][a].is_zero()) continue;
+            if (found || profile[i][a] != Rational{1}) return std::nullopt;
+            out[i] = a;
+            found = true;
+        }
+        if (!found) return std::nullopt;
+    }
+    return out;
+}
+
 std::optional<RobustnessViolation> find_resilience_violation(
     const NormalFormGame& game, const ExactMixedProfile& profile, std::size_t k,
     const RobustnessOptions& options) {
     return find_robustness_violation(game, profile, k, 0, options);
 }
+
+std::optional<RobustnessViolation> find_immunity_violation(const NormalFormGame& game,
+                                                           const ExactMixedProfile& profile,
+                                                           std::size_t t) {
+    validate_profile(game, profile);
+    return CoalitionSweep(game, profile).immunity_violation(t);
+}
+
+std::optional<RobustnessViolation> find_robustness_violation(const NormalFormGame& game,
+                                                             const ExactMixedProfile& profile,
+                                                             std::size_t k, std::size_t t,
+                                                             const RobustnessOptions& options) {
+    validate_profile(game, profile);
+    return CoalitionSweep(game, profile).robustness_violation(k, t, options);
+}
+
+namespace reference {
 
 std::optional<RobustnessViolation> find_immunity_violation(const NormalFormGame& game,
                                                            const ExactMixedProfile& profile,
@@ -160,7 +177,7 @@ std::optional<RobustnessViolation> find_robustness_violation(const NormalFormGam
                                                              const RobustnessOptions& options) {
     validate_profile(game, profile);
     // Part (a): non-deviators are not hurt by up to t arbitrary players.
-    if (auto immunity = find_immunity_violation(game, profile, t)) return immunity;
+    if (auto immunity = reference::find_immunity_violation(game, profile, t)) return immunity;
     if (k == 0) return std::nullopt;
 
     const Evaluator eval(game, profile);
@@ -247,6 +264,8 @@ std::optional<RobustnessViolation> find_robustness_violation(const NormalFormGam
     return std::nullopt;
 }
 
+}  // namespace reference
+
 bool is_k_resilient(const NormalFormGame& game, const ExactMixedProfile& profile,
                     std::size_t k, const RobustnessOptions& options) {
     return !find_resilience_violation(game, profile, k, options).has_value();
@@ -307,7 +326,7 @@ bool is_punishment_strategy(const NormalFormGame& game, const PureProfile& rho, 
         if (!(eval.utility({}, {}, i) < baseline[i])) return false;
     }
     if (q == 0) return true;
-    for (const auto& deviators : util::subsets_up_to_size(game.num_players(), q)) {
+    for (const auto& deviators : util::SubsetEnumerator(game.num_players(), q)) {
         bool ok = true;
         util::product_for_each(action_space(game, deviators), [&](const PureProfile& tau) {
             for (std::size_t i = 0; i < game.num_players(); ++i) {

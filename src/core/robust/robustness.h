@@ -29,6 +29,7 @@
 
 #include "game/bayesian.h"
 #include "game/normal_form.h"
+#include "game/payoff_engine.h"
 #include "game/strategy.h"
 
 namespace bnash::core {
@@ -51,10 +52,17 @@ struct RobustnessViolation final {
     double payoff_before = 0.0;
     double payoff_after = 0.0;
     [[nodiscard]] std::string to_string() const;
+    // Bit-identity assertions between serial/parallel and new/reference
+    // checkers compare whole violations.
+    friend bool operator==(const RobustnessViolation&, const RobustnessViolation&) = default;
 };
 
 struct RobustnessOptions final {
     GainCriterion criterion = GainCriterion::kAnyMemberGains;
+    // kAuto sweeps coalition tasks on util::global_pool(); kSerial forces
+    // in-order inline execution. Verdicts and violations are identical in
+    // both modes (deterministic lowest-coalition-first resolution).
+    game::SweepMode mode = game::SweepMode::kAuto;
 };
 
 // --- normal-form checkers (exact rational arithmetic throughout) ---------
@@ -83,6 +91,12 @@ struct RobustnessOptions final {
 [[nodiscard]] game::ExactMixedProfile as_exact_profile(const game::NormalFormGame& game,
                                                        const game::PureProfile& profile);
 
+// Inverse direction: the pure profile when every strategy is a point mass
+// (the common case for the paper's examples), nullopt otherwise. The
+// checkers' O(1)-lookup fast path keys off this.
+[[nodiscard]] std::optional<game::PureProfile> as_pure_profile(
+    const game::ExactMixedProfile& profile);
+
 // Largest k (up to max_k) such that the profile is k-resilient; 0 means
 // not even 1-resilient (i.e. not a Nash equilibrium in the coalition
 // sense). Similarly for immunity.
@@ -105,6 +119,22 @@ struct RobustnessOptions final {
 [[nodiscard]] std::optional<game::PureProfile> find_punishment_strategy(
     const game::NormalFormGame& game, std::size_t q,
     const std::vector<util::Rational>& baseline);
+
+// --- PR-1 serial reference checkers ----------------------------------------
+// The pre-CoalitionSweep implementations: coalitions enumerated serially,
+// subset lists re-materialized per call, O(players) re-ranking per payoff
+// lookup. Golden baselines for the sweep equivalence tests and the
+// bench_robustness speedup acceptance; not for production call sites.
+namespace reference {
+
+[[nodiscard]] std::optional<RobustnessViolation> find_immunity_violation(
+    const game::NormalFormGame& game, const game::ExactMixedProfile& profile, std::size_t t);
+
+[[nodiscard]] std::optional<RobustnessViolation> find_robustness_violation(
+    const game::NormalFormGame& game, const game::ExactMixedProfile& profile, std::size_t k,
+    std::size_t t, const RobustnessOptions& options = {});
+
+}  // namespace reference
 
 // --- Bayesian wrapper -------------------------------------------------------
 // Ex-ante robustness of a Bayesian pure profile, checked on the strategic

@@ -1,0 +1,136 @@
+#include "game/game_view.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/combinatorics.h"
+
+namespace bnash::game {
+
+GameView::GameView(const NormalFormGame& parent, std::vector<std::size_t> player_map,
+                   std::vector<std::vector<std::size_t>> kept)
+    : parent_(&parent),
+      exact_(parent.payoffs_flat().data()),
+      mirror_(parent.payoffs_d_flat().data()),
+      player_map_(std::move(player_map)),
+      kept_(std::move(kept)) {
+    rebuild_tables();
+}
+
+void GameView::rebuild_tables() {
+    const std::size_t parent_n = parent_->num_players();
+    // Parent row-major strides, premultiplied by the row width so cell
+    // offsets land directly in flat-tensor units.
+    std::vector<std::uint64_t> strides(parent_n, parent_n);
+    for (std::size_t i = parent_n - 1; i-- > 0;) {
+        strides[i] = strides[i + 1] * parent_->num_actions(i + 1);
+    }
+    const std::size_t n = player_map_.size();
+    action_counts_.assign(n, 0);
+    cell_offsets_.assign(n, {});
+    for (std::size_t p = 0; p < n; ++p) {
+        action_counts_[p] = kept_[p].size();
+        cell_offsets_[p].resize(kept_[p].size());
+        for (std::size_t a = 0; a < kept_[p].size(); ++a) {
+            cell_offsets_[p][a] = strides[player_map_[p]] * kept_[p][a];
+        }
+    }
+    num_profiles_ = util::product_size(action_counts_);
+}
+
+GameView GameView::full(const NormalFormGame& game) {
+    std::vector<std::size_t> player_map(game.num_players());
+    std::vector<std::vector<std::size_t>> kept(game.num_players());
+    for (std::size_t p = 0; p < game.num_players(); ++p) {
+        player_map[p] = p;
+        kept[p].resize(game.num_actions(p));
+        for (std::size_t a = 0; a < game.num_actions(p); ++a) kept[p][a] = a;
+    }
+    return GameView(game, std::move(player_map), std::move(kept));
+}
+
+GameView GameView::restrict(const NormalFormGame& game,
+                            const std::vector<std::vector<std::size_t>>& kept_actions) {
+    return full(game).restrict(kept_actions);
+}
+
+GameView GameView::permute(const NormalFormGame& game,
+                           const std::vector<std::size_t>& player_order) {
+    if (player_order.size() != game.num_players()) {
+        throw std::invalid_argument("GameView::permute: width");
+    }
+    std::vector<bool> seen(game.num_players(), false);
+    std::vector<std::vector<std::size_t>> kept(game.num_players());
+    for (std::size_t p = 0; p < player_order.size(); ++p) {
+        const std::size_t parent_player = player_order[p];
+        if (parent_player >= game.num_players() || seen[parent_player]) {
+            throw std::invalid_argument("GameView::permute: not a permutation");
+        }
+        seen[parent_player] = true;
+        kept[p].resize(game.num_actions(parent_player));
+        for (std::size_t a = 0; a < kept[p].size(); ++a) kept[p][a] = a;
+    }
+    return GameView(game, player_order, std::move(kept));
+}
+
+GameView GameView::restrict(const std::vector<std::vector<std::size_t>>& kept_actions) const {
+    if (kept_actions.size() != num_players()) {
+        throw std::invalid_argument("GameView::restrict: width");
+    }
+    std::vector<std::vector<std::size_t>> composed(num_players());
+    for (std::size_t p = 0; p < num_players(); ++p) {
+        if (kept_actions[p].empty()) {
+            throw std::invalid_argument("GameView::restrict: player left with no actions");
+        }
+        composed[p].reserve(kept_actions[p].size());
+        for (const std::size_t action : kept_actions[p]) {
+            if (action >= num_actions(p)) {
+                throw std::out_of_range("GameView::restrict: bad action");
+            }
+            composed[p].push_back(kept_[p][action]);
+        }
+    }
+    return GameView(*parent_, player_map_, std::move(composed));
+}
+
+const util::Rational& GameView::payoff_at(std::uint64_t rank, std::size_t player) const {
+    return payoff_from(row_offset(util::product_unrank(action_counts_, rank)), player);
+}
+
+double GameView::payoff_d_at(std::uint64_t rank, std::size_t player) const {
+    return payoff_d_from(row_offset(util::product_unrank(action_counts_, rank)), player);
+}
+
+NormalFormGame GameView::materialize() const {
+    NormalFormGame out(action_counts_);
+    const std::size_t n = num_players();
+    PureProfile tuple(n, 0);
+    std::uint64_t row = row_offset(tuple);
+    for (std::uint64_t rank = 0; rank < num_profiles_; ++rank) {
+        for (std::size_t p = 0; p < n; ++p) {
+            out.set_payoff(tuple, p, payoff_from(row, p));
+        }
+        for (std::size_t d = n; d-- > 0;) {
+            if (++tuple[d] < action_counts_[d]) {
+                row += cell_offsets_[d][tuple[d]] - cell_offsets_[d][tuple[d] - 1];
+                break;
+            }
+            row -= cell_offsets_[d][tuple[d] - 1] - cell_offsets_[d][0];
+            tuple[d] = 0;
+        }
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t parent_player = player_map_[p];
+        if (!parent_->has_action_labels(parent_player)) continue;
+        std::vector<std::string> labels;
+        labels.reserve(kept_[p].size());
+        for (const std::size_t action : kept_[p]) {
+            labels.push_back(parent_->action_label(parent_player, action));
+        }
+        out.set_action_labels(p, std::move(labels));
+    }
+    return out;
+}
+
+}  // namespace bnash::game

@@ -1,0 +1,128 @@
+// Zero-copy views over a NormalFormGame's payoff tensors.
+//
+// A GameView is a non-owning, stride-indexed window onto a parent game's
+// flat payoff storage: the full game, an action-restricted subgame, a
+// player-permuted slice, or any composition of those. It exposes the same
+// payoff_at(rank, player) / action_counts() contract the PayoffEngine and
+// the dominance scanners consume, so consumers sweep a subgame without
+// ever materializing its tensor — iterated elimination runs its whole
+// reduction loop on views and materializes only the final reduced game.
+//
+// Representation: every view cell (view player p, view action a)
+// contributes a precomputed flat offset into the parent tensor
+// (cell_offset, premultiplied by the parent's player count), and every
+// view player maps to a parent column (player_map). A profile's payoff
+// row is then the SUM of its digits' cell offsets — O(players) adds, no
+// division — and odometer walks update the row incrementally per digit.
+// Views are cheap value types (a pointer plus small index tables); they
+// must not outlive their parent game.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "game/normal_form.h"
+#include "game/strategy.h"
+#include "util/rational.h"
+
+namespace bnash::game {
+
+class GameView final {
+public:
+    // The whole game, unchanged (identity view).
+    [[nodiscard]] static GameView full(const NormalFormGame& game);
+
+    // Restriction to subsets of actions, per player. Validation matches
+    // NormalFormGame::restrict: every player keeps >= 1 in-range action.
+    [[nodiscard]] static GameView restrict(
+        const NormalFormGame& game, const std::vector<std::vector<std::size_t>>& kept_actions);
+
+    // Player-permuted slice: view player p is parent player order[p]
+    // (order must be a permutation of 0..n-1).
+    [[nodiscard]] static GameView permute(const NormalFormGame& game,
+                                          const std::vector<std::size_t>& player_order);
+
+    // Further restriction of THIS view (indices are view-local); the
+    // result still reads the original parent tensor directly.
+    [[nodiscard]] GameView restrict(
+        const std::vector<std::vector<std::size_t>>& kept_actions) const;
+
+    [[nodiscard]] std::size_t num_players() const noexcept { return action_counts_.size(); }
+    [[nodiscard]] std::size_t num_actions(std::size_t player) const {
+        return action_counts_.at(player);
+    }
+    [[nodiscard]] const std::vector<std::size_t>& action_counts() const noexcept {
+        return action_counts_;
+    }
+    [[nodiscard]] std::uint64_t num_profiles() const noexcept { return num_profiles_; }
+    [[nodiscard]] const NormalFormGame& parent() const noexcept { return *parent_; }
+    // Parent action index backing view cell (player, action).
+    [[nodiscard]] std::size_t parent_action(std::size_t player, std::size_t action) const {
+        return kept_.at(player).at(action);
+    }
+    [[nodiscard]] std::size_t parent_player(std::size_t player) const {
+        return player_map_.at(player);
+    }
+
+    // --- flat-offset hot path ------------------------------------------------
+    // row_offset(tuple) = sum of cell_offset(p, tuple[p]): the flat index
+    // of the profile's payoff row in the parent tensor. Odometer loops
+    // update it incrementally: stepping digit p from a to b adds
+    // cell_offset(p, b) - cell_offset(p, a) (unsigned wrap-around is fine,
+    // any complete row sum is back in range).
+    [[nodiscard]] std::uint64_t cell_offset(std::size_t player,
+                                            std::size_t action) const noexcept {
+        return cell_offsets_[player][action];
+    }
+    [[nodiscard]] std::uint64_t row_offset(const PureProfile& tuple) const {
+        std::uint64_t row = 0;
+        for (std::size_t p = 0; p < tuple.size(); ++p) row += cell_offsets_[p][tuple[p]];
+        return row;
+    }
+    [[nodiscard]] const util::Rational& payoff_from(std::uint64_t row,
+                                                    std::size_t player) const {
+        return exact_[row + player_map_[player]];
+    }
+    [[nodiscard]] double payoff_d_from(std::uint64_t row, std::size_t player) const {
+        return mirror_[row + player_map_[player]];
+    }
+
+    // --- rank / tuple lookups ------------------------------------------------
+    // Rank is in the VIEW's row-major space (digit decomposition per call;
+    // sweep loops should walk tuples and row offsets instead).
+    [[nodiscard]] const util::Rational& payoff_at(std::uint64_t rank,
+                                                  std::size_t player) const;
+    [[nodiscard]] double payoff_d_at(std::uint64_t rank, std::size_t player) const;
+    [[nodiscard]] const util::Rational& payoff(const PureProfile& tuple,
+                                               std::size_t player) const {
+        return payoff_from(row_offset(tuple), player);
+    }
+    [[nodiscard]] double payoff_d(const PureProfile& tuple, std::size_t player) const {
+        return payoff_d_from(row_offset(tuple), player);
+    }
+
+    // Copies the viewed subgame into an owning NormalFormGame (labels
+    // carried over) — the ONE tensor allocation a view-based pipeline
+    // performs.
+    [[nodiscard]] NormalFormGame materialize() const;
+
+private:
+    GameView(const NormalFormGame& parent, std::vector<std::size_t> player_map,
+             std::vector<std::vector<std::size_t>> kept);
+
+    void rebuild_tables();
+
+    const NormalFormGame* parent_ = nullptr;
+    const util::Rational* exact_ = nullptr;
+    const double* mirror_ = nullptr;
+    // View player p reads parent column player_map_[p]; its action a is
+    // parent action kept_[p][a] of that same parent player.
+    std::vector<std::size_t> player_map_;
+    std::vector<std::vector<std::size_t>> kept_;
+    std::vector<std::vector<std::uint64_t>> cell_offsets_;
+    std::vector<std::size_t> action_counts_;
+    std::uint64_t num_profiles_ = 0;
+};
+
+}  // namespace bnash::game

@@ -1,14 +1,24 @@
 #include "game/normal_form.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
+#include "game/game_view.h"
 #include "game/payoff_engine.h"
 #include "util/combinatorics.h"
 
 namespace bnash::game {
+
+namespace {
+std::atomic<std::uint64_t> g_tensor_allocations{0};
+}  // namespace
+
+std::uint64_t NormalFormGame::tensor_allocations() noexcept {
+    return g_tensor_allocations.load(std::memory_order_relaxed);
+}
 
 NormalFormGame::NormalFormGame(std::vector<std::size_t> action_counts)
     : action_counts_(std::move(action_counts)) {
@@ -20,6 +30,28 @@ NormalFormGame::NormalFormGame(std::vector<std::size_t> action_counts)
     payoffs_.assign(num_profiles_ * num_players(), util::Rational{0});
     payoffs_d_.assign(num_profiles_ * num_players(), 0.0);
     action_labels_.resize(num_players());
+    g_tensor_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+NormalFormGame::NormalFormGame(const NormalFormGame& other)
+    : action_counts_(other.action_counts_),
+      num_profiles_(other.num_profiles_),
+      payoffs_(other.payoffs_),
+      payoffs_d_(other.payoffs_d_),
+      action_labels_(other.action_labels_) {
+    g_tensor_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+NormalFormGame& NormalFormGame::operator=(const NormalFormGame& other) {
+    if (this != &other) {
+        action_counts_ = other.action_counts_;
+        num_profiles_ = other.num_profiles_;
+        payoffs_ = other.payoffs_;
+        payoffs_d_ = other.payoffs_d_;
+        action_labels_ = other.action_labels_;
+        g_tensor_allocations.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *this;
 }
 
 NormalFormGame NormalFormGame::from_bimatrix(const util::MatrixQ& row_payoffs,
@@ -174,6 +206,11 @@ NormalFormGame NormalFormGame::restrict(
         out.set_action_labels(player, std::move(labels));
     }
     return out;
+}
+
+GameView NormalFormGame::restrict_view(
+    const std::vector<std::vector<std::size_t>>& kept_actions) const {
+    return GameView::restrict(*this, kept_actions);
 }
 
 std::uint64_t NormalFormGame::profile_rank(const PureProfile& profile) const {

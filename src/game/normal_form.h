@@ -18,10 +18,24 @@
 
 namespace bnash::game {
 
+class GameView;
+
 class NormalFormGame final {
 public:
     // Creates a game with all payoffs zero; fill via set_payoff.
     explicit NormalFormGame(std::vector<std::size_t> action_counts);
+
+    // Copies count as tensor allocations (below); moves do not.
+    NormalFormGame(const NormalFormGame& other);
+    NormalFormGame& operator=(const NormalFormGame& other);
+    NormalFormGame(NormalFormGame&&) noexcept = default;
+    NormalFormGame& operator=(NormalFormGame&&) noexcept = default;
+
+    // Number of payoff tensors allocated (explicit constructions AND
+    // copies) since process start. Lets tests assert that zero-copy
+    // pipelines — view sweeps, view-based iterated elimination — really
+    // allocate only their final materialization.
+    [[nodiscard]] static std::uint64_t tensor_allocations() noexcept;
 
     // 2-player convenience: row player's and column player's payoff matrices.
     static NormalFormGame from_bimatrix(const util::MatrixQ& row_payoffs,
@@ -100,12 +114,21 @@ public:
     [[nodiscard]] NormalFormGame restrict(
         const std::vector<std::vector<std::size_t>>& kept_actions) const;
 
+    // Zero-copy sibling of restrict: a stride-indexed view over THIS
+    // game's tensors (defined in game/game_view.h; the view must not
+    // outlive the game). Same validation as restrict.
+    [[nodiscard]] GameView restrict_view(
+        const std::vector<std::vector<std::size_t>>& kept_actions) const;
+
     [[nodiscard]] std::uint64_t profile_rank(const PureProfile& profile) const;
     [[nodiscard]] PureProfile profile_unrank(std::uint64_t rank) const;
 
     // Optional human-readable labels (catalog games set these).
     void set_action_labels(std::size_t player, std::vector<std::string> labels);
     [[nodiscard]] std::string action_label(std::size_t player, std::size_t action) const;
+    [[nodiscard]] bool has_action_labels(std::size_t player) const {
+        return !action_labels_.at(player).empty();
+    }
 
     [[nodiscard]] std::string to_string() const;  // 2-player matrix rendering
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "game/game_view.h"
 #include "util/combinatorics.h"
 #include "util/thread_pool.h"
 
@@ -24,13 +25,56 @@ inline void advance(const std::vector<std::size_t>& counts, std::vector<std::siz
     }
 }
 
+// Tensor accessors: the sweep kernels are generic over WHERE a profile's
+// payoff row lives. `row(rank, tuple)` yields an opaque row handle (a flat
+// offset) and `at(row, i)` reads player i's payoff from it.
+//
+// DenseTensor: contiguous [rank * n + i] storage (NormalFormGame's own
+// tensors). The tuple is ignored.
+template <typename V>
+struct DenseTensor {
+    const V* data;
+    std::size_t n;
+    [[nodiscard]] std::uint64_t row(std::uint64_t rank,
+                                    const std::vector<std::size_t>&) const noexcept {
+        return rank * n;
+    }
+    [[nodiscard]] const V& at(std::uint64_t row, std::size_t i) const noexcept {
+        return data[row + i];
+    }
+};
+
+// ViewTensor: a GameView's scattered cells; the row offset is the sum of
+// the tuple's per-digit cell offsets into the PARENT tensor (zero copy).
+struct ViewTensorExact {
+    const GameView* view;
+    [[nodiscard]] std::uint64_t row(std::uint64_t,
+                                    const std::vector<std::size_t>& tuple) const {
+        return view->row_offset(tuple);
+    }
+    [[nodiscard]] const util::Rational& at(std::uint64_t row, std::size_t i) const {
+        return view->payoff_from(row, i);
+    }
+};
+
+struct ViewTensorDouble {
+    const GameView* view;
+    [[nodiscard]] std::uint64_t row(std::uint64_t,
+                                    const std::vector<std::size_t>& tuple) const {
+        return view->row_offset(tuple);
+    }
+    [[nodiscard]] double at(std::uint64_t row, std::size_t i) const {
+        return view->payoff_d_from(row, i);
+    }
+};
+
 // Accumulates every player's deviation payoffs over ranks [begin, end).
 // Prefix/suffix probability products give weight_excluding(i) for all i
 // in O(players) per profile — the marginalization that replaces the
 // seed's one-full-sweep-per-(player, action).
-template <typename V, typename ProfileT>
+template <typename V, typename ProfileT, typename Acc>
 void deviation_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
-                     const V* payoffs, std::uint64_t begin, std::uint64_t end,
+                     const Acc& acc, std::uint64_t begin, std::uint64_t end,
                      std::vector<std::vector<V>>& dev) {
     const std::size_t n = counts.size();
     auto tuple = util::product_unrank(counts, begin);
@@ -43,10 +87,10 @@ void deviation_block(const std::vector<std::size_t>& counts, const ProfileT& pro
         for (std::size_t i = n; i-- > 0;) {
             suffix[i] = suffix[i + 1] * profile[i][tuple[i]];
         }
-        const V* row = payoffs + rank * n;
+        const auto row = acc.row(rank, tuple);
         for (std::size_t i = 0; i < n; ++i) {
             const V weight = prefix[i] * suffix[i + 1];
-            if (!sweep_zero(weight)) dev[i][tuple[i]] += weight * row[i];
+            if (!sweep_zero(weight)) dev[i][tuple[i]] += weight * acc.at(row, i);
         }
         advance(counts, tuple);
     }
@@ -54,9 +98,9 @@ void deviation_block(const std::vector<std::size_t>& counts, const ProfileT& pro
 
 // One player's deviation row only (best_responses against a fixed rival
 // profile needs nothing else).
-template <typename V, typename ProfileT>
+template <typename V, typename ProfileT, typename Acc>
 void deviation_row_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
-                         const V* payoffs, std::size_t player, std::uint64_t begin,
+                         const Acc& acc, std::size_t player, std::uint64_t begin,
                          std::uint64_t end, std::vector<V>& dev_row) {
     const std::size_t n = counts.size();
     auto tuple = util::product_unrank(counts, begin);
@@ -66,7 +110,7 @@ void deviation_row_block(const std::vector<std::size_t>& counts, const ProfileT&
             if (i != player) weight *= profile[i][tuple[i]];
         }
         if (!sweep_zero(weight)) {
-            dev_row[tuple[player]] += weight * payoffs[rank * n + player];
+            dev_row[tuple[player]] += weight * acc.at(acc.row(rank, tuple), player);
         }
         advance(counts, tuple);
     }
@@ -76,9 +120,9 @@ void deviation_row_block(const std::vector<std::size_t>& counts, const ProfileT&
 // per profile, but only a single accumulation — on the exact path each
 // accumulation is a Rational multiply-add, so single-player callers (the
 // robustness Evaluator's mixed fallback) skip n-1 of them.
-template <typename V, typename ProfileT>
+template <typename V, typename ProfileT, typename Acc>
 void expected_single_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
-                           const V* payoffs, std::size_t player, std::uint64_t begin,
+                           const Acc& acc, std::size_t player, std::uint64_t begin,
                            std::uint64_t end, V& total) {
     const std::size_t n = counts.size();
     auto tuple = util::product_unrank(counts, begin);
@@ -87,15 +131,15 @@ void expected_single_block(const std::vector<std::size_t>& counts, const Profile
         for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
             weight *= profile[i][tuple[i]];
         }
-        if (!sweep_zero(weight)) total += weight * payoffs[rank * n + player];
+        if (!sweep_zero(weight)) total += weight * acc.at(acc.row(rank, tuple), player);
         advance(counts, tuple);
     }
 }
 
 // All players' expected payoffs: one weight product per profile.
-template <typename V, typename ProfileT>
+template <typename V, typename ProfileT, typename Acc>
 void expected_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
-                    const V* payoffs, std::uint64_t begin, std::uint64_t end,
+                    const Acc& acc, std::uint64_t begin, std::uint64_t end,
                     std::vector<V>& totals) {
     const std::size_t n = counts.size();
     auto tuple = util::product_unrank(counts, begin);
@@ -105,8 +149,8 @@ void expected_block(const std::vector<std::size_t>& counts, const ProfileT& prof
             weight *= profile[i][tuple[i]];
         }
         if (!sweep_zero(weight)) {
-            const V* row = payoffs + rank * n;
-            for (std::size_t i = 0; i < n; ++i) totals[i] += weight * row[i];
+            const auto row = acc.row(rank, tuple);
+            for (std::size_t i = 0; i < n; ++i) totals[i] += weight * acc.at(row, i);
         }
         advance(counts, tuple);
     }
@@ -174,15 +218,15 @@ void validate_profile_shape(const NormalFormGame& game, const ProfileT& profile,
     }
 }
 
-template <typename V, typename ProfileT>
-std::vector<std::vector<V>> deviation_sweep(const NormalFormGame& game, const V* payoffs,
+template <typename V, typename ProfileT, typename Acc>
+std::vector<std::vector<V>> deviation_sweep(const std::vector<std::size_t>& counts,
+                                            std::uint64_t num_profiles, const Acc& acc,
                                             const ProfileT& profile, SweepMode mode) {
-    const auto& counts = game.action_counts();
     auto dev = make_table<V>(counts);
     blocked_sweep(
-        game.num_profiles(), mode, dev, [&] { return make_table<V>(counts); },
+        num_profiles, mode, dev, [&] { return make_table<V>(counts); },
         [&](std::uint64_t lo, std::uint64_t hi, std::vector<std::vector<V>>& table) {
-            deviation_block(counts, profile, payoffs, lo, hi, table);
+            deviation_block<V>(counts, profile, acc, lo, hi, table);
         },
         [](std::vector<std::vector<V>>& into, const std::vector<std::vector<V>>& part) {
             for (std::size_t i = 0; i < into.size(); ++i) {
@@ -192,15 +236,15 @@ std::vector<std::vector<V>> deviation_sweep(const NormalFormGame& game, const V*
     return dev;
 }
 
-template <typename V, typename ProfileT>
-std::vector<V> expected_sweep(const NormalFormGame& game, const V* payoffs,
+template <typename V, typename ProfileT, typename Acc>
+std::vector<V> expected_sweep(const std::vector<std::size_t>& counts,
+                              std::uint64_t num_profiles, const Acc& acc,
                               const ProfileT& profile, SweepMode mode) {
-    std::vector<V> totals(game.num_players(), V{0});
+    std::vector<V> totals(counts.size(), V{0});
     blocked_sweep(
-        game.num_profiles(), mode, totals,
-        [&] { return std::vector<V>(game.num_players(), V{0}); },
-        [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& acc) {
-            expected_block(game.action_counts(), profile, payoffs, lo, hi, acc);
+        num_profiles, mode, totals, [&] { return std::vector<V>(counts.size(), V{0}); },
+        [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& table) {
+            expected_block<V>(counts, profile, acc, lo, hi, table);
         },
         [](std::vector<V>& into, const std::vector<V>& part) {
             for (std::size_t i = 0; i < into.size(); ++i) into[i] += part[i];
@@ -208,34 +252,47 @@ std::vector<V> expected_sweep(const NormalFormGame& game, const V* payoffs,
     return totals;
 }
 
-template <typename V, typename ProfileT>
-V expected_single_sweep(const NormalFormGame& game, const V* payoffs, const ProfileT& profile,
-                        std::size_t player) {
+template <typename V, typename ProfileT, typename Acc>
+V expected_single_sweep(const std::vector<std::size_t>& counts, std::uint64_t num_profiles,
+                        const Acc& acc, const ProfileT& profile, std::size_t player) {
     V total{0};
     blocked_sweep(
-        game.num_profiles(), SweepMode::kAuto, total, [] { return V{0}; },
-        [&](std::uint64_t lo, std::uint64_t hi, V& acc) {
-            expected_single_block(game.action_counts(), profile, payoffs, player, lo, hi,
-                                  acc);
+        num_profiles, SweepMode::kAuto, total, [] { return V{0}; },
+        [&](std::uint64_t lo, std::uint64_t hi, V& table) {
+            expected_single_block<V>(counts, profile, acc, player, lo, hi, table);
         },
         [](V& into, const V& part) { into += part; });
     return total;
 }
 
-template <typename V, typename ProfileT>
-std::vector<V> row_sweep(const NormalFormGame& game, const V* payoffs,
-                         const ProfileT& profile, std::size_t player) {
-    std::vector<V> row(game.num_actions(player), V{0});
+template <typename V, typename ProfileT, typename Acc>
+std::vector<V> row_sweep(const std::vector<std::size_t>& counts, std::uint64_t num_profiles,
+                         const Acc& acc, const ProfileT& profile, std::size_t player) {
+    std::vector<V> row(counts[player], V{0});
     blocked_sweep(
-        game.num_profiles(), SweepMode::kAuto, row,
-        [&] { return std::vector<V>(game.num_actions(player), V{0}); },
-        [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& acc) {
-            deviation_row_block(game.action_counts(), profile, payoffs, player, lo, hi, acc);
+        num_profiles, SweepMode::kAuto, row,
+        [&] { return std::vector<V>(counts[player], V{0}); },
+        [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& table) {
+            deviation_row_block<V>(counts, profile, acc, player, lo, hi, table);
         },
         [](std::vector<V>& into, const std::vector<V>& part) {
             for (std::size_t a = 0; a < into.size(); ++a) into[a] += part[a];
         });
     return row;
+}
+
+template <typename ProfileT>
+void validate_view_profile_shape(const GameView& view, const ProfileT& profile,
+                                 const char* what) {
+    if (profile.size() != view.num_players()) {
+        throw std::invalid_argument(std::string(what) + ": width");
+    }
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        if (profile[i].size() != view.num_actions(i)) {
+            throw std::invalid_argument(std::string(what) + ": strategy size for player " +
+                                        std::to_string(i));
+        }
+    }
 }
 
 }  // namespace
@@ -259,48 +316,107 @@ std::uint64_t PayoffEngine::rank_of(const PureProfile& profile) const {
 std::vector<double> PayoffEngine::expected_payoffs(const MixedProfile& profile,
                                                    SweepMode mode) const {
     validate_profile_shape(*game_, profile, "expected_payoffs");
-    return expected_sweep(*game_, game_->payoffs_d_flat().data(), profile, mode);
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), game_->num_players()};
+    return expected_sweep<double>(game_->action_counts(), game_->num_profiles(), acc, profile,
+                                  mode);
 }
 
 double PayoffEngine::expected_payoff(const MixedProfile& profile, std::size_t player) const {
     validate_profile_shape(*game_, profile, "expected_payoff");
-    return expected_single_sweep(*game_, game_->payoffs_d_flat().data(), profile, player);
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), game_->num_players()};
+    return expected_single_sweep<double>(game_->action_counts(), game_->num_profiles(), acc,
+                                         profile, player);
 }
 
 DeviationTable PayoffEngine::deviation_payoffs_all(const MixedProfile& profile,
                                                    SweepMode mode) const {
     validate_profile_shape(*game_, profile, "deviation_payoffs_all");
-    return deviation_sweep(*game_, game_->payoffs_d_flat().data(), profile, mode);
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), game_->num_players()};
+    return deviation_sweep<double>(game_->action_counts(), game_->num_profiles(), acc, profile,
+                                   mode);
 }
 
 std::vector<double> PayoffEngine::deviation_row(const MixedProfile& profile,
                                                 std::size_t player) const {
     validate_profile_shape(*game_, profile, "deviation_row");
-    return row_sweep(*game_, game_->payoffs_d_flat().data(), profile, player);
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), game_->num_players()};
+    return row_sweep<double>(game_->action_counts(), game_->num_profiles(), acc, profile,
+                             player);
 }
 
 std::vector<util::Rational> PayoffEngine::expected_payoffs_exact(
     const ExactMixedProfile& profile, SweepMode mode) const {
     validate_profile_shape(*game_, profile, "expected_payoffs_exact");
-    return expected_sweep(*game_, game_->payoffs_flat().data(), profile, mode);
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), game_->num_players()};
+    return expected_sweep<util::Rational>(game_->action_counts(), game_->num_profiles(), acc,
+                                          profile, mode);
 }
 
 util::Rational PayoffEngine::expected_payoff_exact(const ExactMixedProfile& profile,
                                                    std::size_t player) const {
     validate_profile_shape(*game_, profile, "expected_payoff_exact");
-    return expected_single_sweep(*game_, game_->payoffs_flat().data(), profile, player);
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), game_->num_players()};
+    return expected_single_sweep<util::Rational>(game_->action_counts(),
+                                                 game_->num_profiles(), acc, profile, player);
 }
 
 ExactDeviationTable PayoffEngine::deviation_payoffs_all_exact(const ExactMixedProfile& profile,
                                                               SweepMode mode) const {
     validate_profile_shape(*game_, profile, "deviation_payoffs_all_exact");
-    return deviation_sweep(*game_, game_->payoffs_flat().data(), profile, mode);
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), game_->num_players()};
+    return deviation_sweep<util::Rational>(game_->action_counts(), game_->num_profiles(), acc,
+                                           profile, mode);
 }
 
 std::vector<util::Rational> PayoffEngine::deviation_row_exact(const ExactMixedProfile& profile,
                                                               std::size_t player) const {
     validate_profile_shape(*game_, profile, "deviation_row_exact");
-    return row_sweep(*game_, game_->payoffs_flat().data(), profile, player);
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), game_->num_players()};
+    return row_sweep<util::Rational>(game_->action_counts(), game_->num_profiles(), acc,
+                                     profile, player);
+}
+
+// --- zero-copy view sweeps -------------------------------------------------
+
+std::vector<double> expected_payoffs(const GameView& view, const MixedProfile& profile,
+                                     SweepMode mode) {
+    validate_view_profile_shape(view, profile, "expected_payoffs(view)");
+    const ViewTensorDouble acc{&view};
+    return expected_sweep<double>(view.action_counts(), view.num_profiles(), acc, profile,
+                                  mode);
+}
+
+DeviationTable deviation_payoffs_all(const GameView& view, const MixedProfile& profile,
+                                     SweepMode mode) {
+    validate_view_profile_shape(view, profile, "deviation_payoffs_all(view)");
+    const ViewTensorDouble acc{&view};
+    return deviation_sweep<double>(view.action_counts(), view.num_profiles(), acc, profile,
+                                   mode);
+}
+
+std::vector<double> deviation_row(const GameView& view, const MixedProfile& profile,
+                                  std::size_t player) {
+    validate_view_profile_shape(view, profile, "deviation_row(view)");
+    const ViewTensorDouble acc{&view};
+    return row_sweep<double>(view.action_counts(), view.num_profiles(), acc, profile, player);
+}
+
+std::vector<util::Rational> expected_payoffs_exact(const GameView& view,
+                                                   const ExactMixedProfile& profile,
+                                                   SweepMode mode) {
+    validate_view_profile_shape(view, profile, "expected_payoffs_exact(view)");
+    const ViewTensorExact acc{&view};
+    return expected_sweep<util::Rational>(view.action_counts(), view.num_profiles(), acc,
+                                          profile, mode);
+}
+
+ExactDeviationTable deviation_payoffs_all_exact(const GameView& view,
+                                                const ExactMixedProfile& profile,
+                                                SweepMode mode) {
+    validate_view_profile_shape(view, profile, "deviation_payoffs_all_exact(view)");
+    const ViewTensorExact acc{&view};
+    return deviation_sweep<util::Rational>(view.action_counts(), view.num_profiles(), acc,
+                                           profile, mode);
 }
 
 std::vector<std::size_t> PayoffEngine::best_responses(const MixedProfile& profile,

@@ -36,6 +36,8 @@
 
 namespace bnash::game {
 
+class GameView;
+
 // dev[player][action]: expected utility of `player` deviating to `action`
 // while everyone else follows the profile the table was computed from.
 using DeviationTable = std::vector<std::vector<double>>;
@@ -100,6 +102,28 @@ private:
     const NormalFormGame* game_;
     std::vector<std::uint64_t> strides_;
 };
+
+// --- zero-copy view sweeps -------------------------------------------------
+// The same single-sweep kernels run over a GameView: subgame expected and
+// deviation payoffs without materializing the restricted tensor. Block
+// decomposition and accumulation order match the dense sweeps, so the
+// results are bit-identical to constructing a PayoffEngine on
+// view.materialize(). Profiles are indexed in VIEW action space.
+[[nodiscard]] std::vector<double> expected_payoffs(const GameView& view,
+                                                   const MixedProfile& profile,
+                                                   SweepMode mode = SweepMode::kAuto);
+[[nodiscard]] DeviationTable deviation_payoffs_all(const GameView& view,
+                                                   const MixedProfile& profile,
+                                                   SweepMode mode = SweepMode::kAuto);
+[[nodiscard]] std::vector<double> deviation_row(const GameView& view,
+                                                const MixedProfile& profile,
+                                                std::size_t player);
+[[nodiscard]] std::vector<util::Rational> expected_payoffs_exact(
+    const GameView& view, const ExactMixedProfile& profile,
+    SweepMode mode = SweepMode::kAuto);
+[[nodiscard]] ExactDeviationTable deviation_payoffs_all_exact(
+    const GameView& view, const ExactMixedProfile& profile,
+    SweepMode mode = SweepMode::kAuto);
 
 // Reference implementations with the seed's per-action full-tensor
 // complexity. Golden baselines for the equivalence tests and the

@@ -1,49 +1,56 @@
 #include "solver/iterated_elimination.h"
 
+#include <functional>
 #include <stdexcept>
 
-#include "game/payoff_engine.h"
-#include "util/combinatorics.h"
 #include "util/simplex.h"
 
 namespace bnash::solver {
 namespace {
 
-// Visits the base rank (player's own digit zeroed) of every profile of
-// the players other than `player`, in row-major order. The player's
-// payoff under own action a is payoff_at(base + a * stride, player):
-// dominance scans walk the tensor by stride deltas instead of
-// materializing and re-ranking a PureProfile per cell.
-void for_each_opponent_base(const game::NormalFormGame& game,
-                            const std::vector<std::uint64_t>& strides, std::size_t player,
+using game::GameView;
+
+// Visits the flat row offset of every profile of the players other than
+// `player`, with `player`'s own digit pinned to its first view action, in
+// row-major order. The player's payoff under own action a is
+// payoff_from(base + cell_offset(player, a) - cell_offset(player, 0)):
+// dominance scans walk the parent tensor by cell-offset deltas instead of
+// materializing and re-ranking a PureProfile per cell. Unsigned
+// wrap-around in the running offset is fine: every complete row sum is
+// back in range.
+void for_each_opponent_base(const GameView& view, std::size_t player,
                             const std::function<bool(std::uint64_t)>& visit) {
-    game::PureProfile tuple(game.num_players(), 0);
-    std::uint64_t rank = 0;
+    const std::size_t n = view.num_players();
+    game::PureProfile tuple(n, 0);
+    std::uint64_t row = 0;
+    for (std::size_t p = 0; p < n; ++p) row += view.cell_offset(p, 0);
     while (true) {
-        if (!visit(rank)) return;
-        std::size_t d = game.num_players();
+        if (!visit(row)) return;
+        std::size_t d = n;
         while (d-- > 0) {
             if (d == player) continue;
-            if (++tuple[d] < game.num_actions(d)) {
-                rank += strides[d];
+            if (++tuple[d] < view.num_actions(d)) {
+                row += view.cell_offset(d, tuple[d]) - view.cell_offset(d, tuple[d] - 1);
                 break;
             }
-            rank -= static_cast<std::uint64_t>(tuple[d] - 1) * strides[d];
+            row -= view.cell_offset(d, tuple[d] - 1) - view.cell_offset(d, 0);
             tuple[d] = 0;
         }
         if (d == static_cast<std::size_t>(-1)) return;  // odometer wrapped
     }
 }
 
-bool pure_dominates(const game::NormalFormGame& game,
-                    const std::vector<std::uint64_t>& strides, std::size_t player,
-                    std::size_t dominator, std::size_t dominated, bool strict) {
-    const std::uint64_t stride = strides[player];
+bool pure_dominates(const GameView& view, std::size_t player, std::size_t dominator,
+                    std::size_t dominated, bool strict) {
+    const std::uint64_t dominator_delta =
+        view.cell_offset(player, dominator) - view.cell_offset(player, 0);
+    const std::uint64_t dominated_delta =
+        view.cell_offset(player, dominated) - view.cell_offset(player, 0);
     bool all_hold = true;
     bool somewhere_strict = false;
-    for_each_opponent_base(game, strides, player, [&](std::uint64_t base) {
-        const auto& u_dominated = game.payoff_at(base + dominated * stride, player);
-        const auto& u_dominator = game.payoff_at(base + dominator * stride, player);
+    for_each_opponent_base(view, player, [&](std::uint64_t base) {
+        const auto& u_dominated = view.payoff_from(base + dominated_delta, player);
+        const auto& u_dominator = view.payoff_from(base + dominator_delta, player);
         if (strict ? !(u_dominator > u_dominated) : (u_dominator < u_dominated)) {
             all_hold = false;
             return false;
@@ -57,30 +64,30 @@ bool pure_dominates(const game::NormalFormGame& game,
 
 // LP test: does some mixture of the player's other actions strictly
 // dominate `action`? Maximizes the worst-case gap; dominated iff > 0.
-bool mixed_dominates(const game::NormalFormGame& game,
-                     const std::vector<std::uint64_t>& strides, std::size_t player,
-                     std::size_t action) {
-    const std::size_t num_actions = game.num_actions(player);
+bool mixed_dominates(const GameView& view, std::size_t player, std::size_t action) {
+    const std::size_t num_actions = view.num_actions(player);
     if (num_actions < 2) return false;
     std::vector<std::size_t> others;
     for (std::size_t a = 0; a < num_actions; ++a) {
         if (a != action) others.push_back(a);
     }
-    const std::uint64_t stride = strides[player];
     // Variables: sigma over `others` plus the gap epsilon (all >= 0).
     util::LpProblem lp;
     lp.objective.assign(others.size() + 1, 0.0);
     lp.objective.back() = 1.0;  // maximize epsilon
     // For every opponent profile o: sum_b sigma_b u(b,o) - u(action,o) - eps >= 0.
-    for_each_opponent_base(game, strides, player, [&](std::uint64_t base) {
+    const std::uint64_t base0 = view.cell_offset(player, 0);
+    for_each_opponent_base(view, player, [&](std::uint64_t base) {
         util::LpConstraint constraint;
         constraint.coefficients.assign(others.size() + 1, 0.0);
         for (std::size_t b = 0; b < others.size(); ++b) {
-            constraint.coefficients[b] = game.payoff_d_at(base + others[b] * stride, player);
+            constraint.coefficients[b] = view.payoff_d_from(
+                base + view.cell_offset(player, others[b]) - base0, player);
         }
         constraint.coefficients.back() = -1.0;
         constraint.relation = util::LpRelation::kGreaterEqual;
-        constraint.rhs = game.payoff_d_at(base + action * stride, player);
+        constraint.rhs =
+            view.payoff_d_from(base + view.cell_offset(player, action) - base0, player);
         lp.constraints.push_back(std::move(constraint));
         return true;
     });
@@ -97,67 +104,58 @@ bool mixed_dominates(const game::NormalFormGame& game,
 
 }  // namespace
 
-bool is_dominated(const game::NormalFormGame& game, std::size_t player, std::size_t action,
+bool is_dominated(const GameView& view, std::size_t player, std::size_t action,
                   DominanceKind kind) {
-    if (player >= game.num_players() || action >= game.num_actions(player)) {
+    if (player >= view.num_players() || action >= view.num_actions(player)) {
         throw std::out_of_range("is_dominated: bad player or action");
     }
     switch (kind) {
         case DominanceKind::kStrictPure:
         case DominanceKind::kWeakPure: {
             const bool strict = (kind == DominanceKind::kStrictPure);
-            const game::PayoffEngine engine(game);
-            for (std::size_t b = 0; b < game.num_actions(player); ++b) {
+            for (std::size_t b = 0; b < view.num_actions(player); ++b) {
                 if (b == action) continue;
-                if (pure_dominates(game, engine.strides(), player, b, action, strict)) {
-                    return true;
-                }
+                if (pure_dominates(view, player, b, action, strict)) return true;
             }
             return false;
         }
-        case DominanceKind::kStrictMixed: {
-            const game::PayoffEngine engine(game);
-            return mixed_dominates(game, engine.strides(), player, action);
-        }
+        case DominanceKind::kStrictMixed:
+            return mixed_dominates(view, player, action);
     }
     return false;
 }
 
+bool is_dominated(const game::NormalFormGame& game, std::size_t player, std::size_t action,
+                  DominanceKind kind) {
+    return is_dominated(GameView::full(game), player, action, kind);
+}
+
 EliminationResult iterated_elimination(const game::NormalFormGame& game, DominanceKind kind) {
-    EliminationResult result{game, {}, {}};
-    result.kept.resize(game.num_players());
+    std::vector<std::vector<std::size_t>> kept(game.num_players());
     for (std::size_t player = 0; player < game.num_players(); ++player) {
-        for (std::size_t a = 0; a < game.num_actions(player); ++a) {
-            result.kept[player].push_back(a);
-        }
+        kept[player].resize(game.num_actions(player));
+        for (std::size_t a = 0; a < game.num_actions(player); ++a) kept[player][a] = a;
     }
+    std::vector<EliminationStep> trace;
+    GameView view = GameView::full(game);
     bool changed = true;
     while (changed) {
         changed = false;
-        for (std::size_t player = 0; player < result.reduced.num_players() && !changed;
-             ++player) {
-            if (result.reduced.num_actions(player) < 2) continue;
-            for (std::size_t action = 0; action < result.reduced.num_actions(player);
-                 ++action) {
-                if (!is_dominated(result.reduced, player, action, kind)) continue;
-                result.trace.push_back(
-                    EliminationStep{player, result.kept[player][action]});
-                std::vector<std::vector<std::size_t>> local(result.reduced.num_players());
-                for (std::size_t i = 0; i < result.reduced.num_players(); ++i) {
-                    for (std::size_t a = 0; a < result.reduced.num_actions(i); ++a) {
-                        if (i == player && a == action) continue;
-                        local[i].push_back(a);
-                    }
-                }
-                result.reduced = result.reduced.restrict(local);
-                result.kept[player].erase(result.kept[player].begin() +
-                                          static_cast<std::ptrdiff_t>(action));
+        for (std::size_t player = 0; player < view.num_players() && !changed; ++player) {
+            if (view.num_actions(player) < 2) continue;
+            for (std::size_t action = 0; action < view.num_actions(player); ++action) {
+                if (!is_dominated(view, player, action, kind)) continue;
+                trace.push_back(EliminationStep{player, kept[player][action]});
+                kept[player].erase(kept[player].begin() +
+                                   static_cast<std::ptrdiff_t>(action));
+                view = game.restrict_view(kept);
                 changed = true;
                 break;
             }
         }
     }
-    return result;
+    // The loop's only tensor allocation: the final reduced game.
+    return EliminationResult{view.materialize(), std::move(kept), std::move(trace)};
 }
 
 }  // namespace bnash::solver

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "game/game_view.h"
 #include "game/normal_form.h"
 
 namespace bnash::solver {
@@ -22,6 +23,7 @@ enum class DominanceKind {
 struct EliminationStep final {
     std::size_t player = 0;
     std::size_t action = 0;  // index in the ORIGINAL game
+    friend bool operator==(const EliminationStep&, const EliminationStep&) = default;
 };
 
 struct EliminationResult final {
@@ -35,12 +37,23 @@ struct EliminationResult final {
 // can depend on elimination order (a classic fact); this implementation
 // removes the lowest-indexed dominated action of the lowest-indexed player
 // first, making the output deterministic.
+//
+// The reduction loop runs entirely on zero-copy GameViews: each round
+// re-restricts a view of the ORIGINAL game to the surviving actions and
+// scans dominance through it; the only payoff tensor allocated is the
+// final `reduced` materialization (asserted by the allocation-count
+// test). The seed implementation copied both tensors on every round.
 [[nodiscard]] EliminationResult iterated_elimination(const game::NormalFormGame& game,
                                                      DominanceKind kind);
 
 // True iff `action` of `player` is dominated in `game` under `kind`
 // (single-round test, no iteration).
 [[nodiscard]] bool is_dominated(const game::NormalFormGame& game, std::size_t player,
+                                std::size_t action, DominanceKind kind);
+
+// View overload: the dominance scan the reduction loop uses (action is a
+// VIEW action index).
+[[nodiscard]] bool is_dominated(const game::GameView& view, std::size_t player,
                                 std::size_t action, DominanceKind kind);
 
 }  // namespace bnash::solver

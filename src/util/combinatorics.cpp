@@ -1,7 +1,10 @@
 #include "util/combinatorics.h"
 
 #include <limits>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace bnash::util {
 
@@ -40,6 +43,40 @@ std::uint64_t count_subsets_up_to_size(std::size_t n, std::size_t max_size) {
     return total;
 }
 
+namespace {
+
+std::mutex& subset_cache_mutex() {
+    static std::mutex mutex;
+    return mutex;
+}
+
+using SubsetCache =
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::shared_ptr<const std::vector<std::vector<std::size_t>>>>;
+
+SubsetCache& subset_cache() {
+    static SubsetCache cache;
+    return cache;
+}
+
+}  // namespace
+
+SubsetEnumerator::SubsetEnumerator(std::size_t n, std::size_t max_size) {
+    const std::pair<std::size_t, std::size_t> key{n, max_size};
+    std::lock_guard<std::mutex> lock(subset_cache_mutex());
+    auto& slot = subset_cache()[key];
+    if (!slot) {
+        slot = std::make_shared<const std::vector<std::vector<std::size_t>>>(
+            subsets_up_to_size(n, max_size));
+    }
+    subsets_ = slot;
+}
+
+void SubsetEnumerator::clear_cache() {
+    std::lock_guard<std::mutex> lock(subset_cache_mutex());
+    subset_cache().clear();
+}
+
 bool product_for_each(const std::vector<std::size_t>& radices,
                       const std::function<bool(const std::vector<std::size_t>&)>& visit) {
     for (const std::size_t radix : radices) {
@@ -57,6 +94,23 @@ bool product_for_each(const std::vector<std::size_t>& radices,
         }
         if (radices.empty()) return true;
     }
+}
+
+bool product_for_each(const std::vector<std::size_t>& radices, std::uint64_t begin,
+                      std::uint64_t end,
+                      const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+    const std::uint64_t total = product_size(radices);
+    if (end > total) throw std::out_of_range("product_for_each: range past end");
+    if (begin >= end) return true;
+    auto tuple = product_unrank(radices, begin);
+    for (std::uint64_t rank = begin; rank < end; ++rank) {
+        if (!visit(tuple)) return false;
+        for (std::size_t pos = radices.size(); pos-- > 0;) {
+            if (++tuple[pos] < radices[pos]) break;
+            tuple[pos] = 0;
+        }
+    }
+    return true;
 }
 
 std::uint64_t product_size(const std::vector<std::size_t>& radices) {

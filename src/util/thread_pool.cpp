@@ -11,6 +11,12 @@ namespace bnash::util {
 
 struct ThreadPool::Impl {
     std::mutex submit_mutex;  // held by the job that owns the workers
+    // Thread currently holding submit_mutex. Checked BEFORE try_lock in
+    // run_blocks: try_lock on a non-recursive mutex the caller already
+    // owns is undefined behavior, and a block body may legitimately
+    // re-enter run_blocks (e.g. a coalition task evaluating an exact
+    // expected payoff whose sweep is itself blocked).
+    std::atomic<std::thread::id> submit_owner{};
     std::mutex mutex;
     std::condition_variable work_ready;
     std::condition_variable work_done;
@@ -102,16 +108,24 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
         for (std::size_t block = 0; block < num_blocks; ++block) fn(block);
         return;
     }
-    // One job owns the pool at a time. A second concurrent submitter runs
-    // its blocks inline instead of waiting: callers reach this through
-    // const game queries and must never observe lost blocks or block on an
-    // unrelated sweep. Inline execution uses the same decomposition, so
-    // results are identical.
+    // One job owns the pool at a time. A nested submission from the
+    // owning thread itself (a block body re-entering run_blocks) and a
+    // second concurrent submitter both run their blocks inline instead of
+    // waiting: callers reach this through const game queries and must
+    // never observe lost blocks, deadlock on their own job, or block on
+    // an unrelated sweep. Inline execution uses the same decomposition,
+    // so results are identical.
+    if (impl_->submit_owner.load(std::memory_order_relaxed) ==
+        std::this_thread::get_id()) {
+        for (std::size_t block = 0; block < num_blocks; ++block) fn(block);
+        return;
+    }
     std::unique_lock<std::mutex> submission(impl_->submit_mutex, std::try_to_lock);
     if (!submission.owns_lock()) {
         for (std::size_t block = 0; block < num_blocks; ++block) fn(block);
         return;
     }
+    impl_->submit_owner.store(std::this_thread::get_id(), std::memory_order_relaxed);
     std::uint64_t my_gen;
     {
         std::lock_guard<std::mutex> lock(impl_->mutex);
@@ -130,6 +144,7 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
         return impl_->completed.load(std::memory_order_acquire) == num_blocks;
     });
     impl_->fn = nullptr;
+    impl_->submit_owner.store(std::thread::id{}, std::memory_order_relaxed);
 }
 
 ThreadPool& global_pool() {

@@ -31,8 +31,10 @@ public:
     // over the workers and the calling thread; returns when all blocks
     // have completed. fn must not throw across this boundary — wrap block
     // bodies and stash std::exception_ptr if needed. Safe to call from
-    // multiple threads: one job owns the workers at a time and concurrent
-    // submitters fall back to running their blocks inline.
+    // multiple threads AND reentrantly from inside a block body: one job
+    // owns the workers at a time; concurrent submitters and nested
+    // submissions from the owning thread fall back to running their
+    // blocks inline.
     void run_blocks(std::size_t num_blocks, const std::function<void(std::size_t)>& fn);
 
 private:

@@ -1,0 +1,147 @@
+// The CoalitionSweep robustness engine: parallel and serial sweeps must
+// return IDENTICAL verdicts and violations, and both must match the PR-1
+// serial reference checkers exactly — on the paper's catalog games, on
+// random games, for pure and mixed candidate profiles.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/robust/coalition_sweep.h"
+#include "core/robust/robustness.h"
+#include "game/catalog.h"
+#include "util/rng.h"
+
+namespace bnash::core {
+namespace {
+
+using game::ExactMixedProfile;
+using game::NormalFormGame;
+using game::PureProfile;
+using game::SweepMode;
+using util::Rational;
+
+void expect_same_violation(const std::optional<RobustnessViolation>& a,
+                           const std::optional<RobustnessViolation>& b,
+                           const std::string& what) {
+    ASSERT_EQ(a.has_value(), b.has_value()) << what;
+    if (a && b) EXPECT_TRUE(*a == *b) << what << ": " << a->to_string() << " vs "
+                                      << b->to_string();
+}
+
+void expect_all_checkers_agree(const NormalFormGame& g, const ExactMixedProfile& profile,
+                               std::size_t k, std::size_t t, GainCriterion criterion,
+                               const std::string& what) {
+    RobustnessOptions serial{criterion, SweepMode::kSerial};
+    RobustnessOptions parallel{criterion, SweepMode::kAuto};
+    const auto via_serial = find_robustness_violation(g, profile, k, t, serial);
+    const auto via_parallel = find_robustness_violation(g, profile, k, t, parallel);
+    const auto via_reference =
+        reference::find_robustness_violation(g, profile, k, t, RobustnessOptions{criterion});
+    expect_same_violation(via_serial, via_parallel, what + " serial-vs-parallel");
+    expect_same_violation(via_serial, via_reference, what + " sweep-vs-reference");
+}
+
+// ----------------------------------------------------- catalog equivalence
+
+TEST(CoalitionSweep, MatchesReferenceOnCatalogGames) {
+    for (const std::size_t n : {3u, 4u, 5u}) {
+        const auto attack = game::catalog::attack_coordination_game(n);
+        const auto all_zero = as_exact_profile(attack, PureProfile(n, 0));
+        const auto bargaining = game::catalog::bargaining_game(n);
+        const auto all_stay = as_exact_profile(bargaining, PureProfile(n, 0));
+        for (std::size_t k = 0; k <= n; ++k) {
+            for (std::size_t t = 0; t <= 2 && t < n; ++t) {
+                if (k == 0 && t == 0) continue;
+                const auto label = "n=" + std::to_string(n) + " k=" + std::to_string(k) +
+                                   " t=" + std::to_string(t);
+                expect_all_checkers_agree(attack, all_zero, k, t,
+                                          GainCriterion::kAnyMemberGains, "attack " + label);
+                expect_all_checkers_agree(bargaining, all_stay, k, t,
+                                          GainCriterion::kAnyMemberGains,
+                                          "bargaining " + label);
+            }
+        }
+    }
+}
+
+TEST(CoalitionSweep, MatchesReferenceOnRandomGamesAndProfiles) {
+    util::Rng rng{97};
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::size_t n = 3 + static_cast<std::size_t>(trial % 2);
+        std::vector<std::size_t> counts(n);
+        for (auto& c : counts) c = static_cast<std::size_t>(rng.next_int(2, 3));
+        const auto g = NormalFormGame::random(counts, rng, -4, 4);
+        // Random PURE candidate (fast path).
+        PureProfile pure(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            pure[i] = static_cast<std::size_t>(
+                rng.next_int(0, static_cast<std::int64_t>(counts[i]) - 1));
+        }
+        const auto profile = as_exact_profile(g, pure);
+        const auto criterion = (trial % 3 == 0) ? GainCriterion::kAllMembersGain
+                                                : GainCriterion::kAnyMemberGains;
+        expect_all_checkers_agree(g, profile, 2, 1, criterion,
+                                  "random pure trial " + std::to_string(trial));
+    }
+}
+
+TEST(CoalitionSweep, MatchesReferenceOnMixedProfiles) {
+    // Mixed candidates exercise the expected-utility fallback path.
+    const auto mp = game::catalog::matching_pennies();
+    const ExactMixedProfile uniform{{Rational{1, 2}, Rational{1, 2}},
+                                    {Rational{1, 2}, Rational{1, 2}}};
+    expect_all_checkers_agree(mp, uniform, 1, 1, GainCriterion::kAnyMemberGains,
+                              "matching pennies uniform");
+
+    util::Rng rng{101};
+    const auto g = NormalFormGame::random({2, 2, 2}, rng, -3, 3);
+    const ExactMixedProfile skewed{{Rational{1, 3}, Rational{2, 3}},
+                                   {Rational{1}, Rational{0}},
+                                   {Rational{3, 4}, Rational{1, 4}}};
+    expect_all_checkers_agree(g, skewed, 2, 1, GainCriterion::kAnyMemberGains,
+                              "random mixed");
+}
+
+// ---------------------------------------------------------- sweep surface
+
+TEST(CoalitionSweep, DirectEngineMatchesFreeFunctions) {
+    const auto g = game::catalog::attack_coordination_game(4);
+    const auto all_zero = as_exact_profile(g, PureProfile(4, 0));
+    const CoalitionSweep sweep(g, all_zero);
+    const auto direct = sweep.robustness_violation(2, 1, RobustnessOptions{});
+    const auto via_free = find_robustness_violation(g, all_zero, 2, 1);
+    expect_same_violation(direct, via_free, "direct-vs-free");
+    // Serial and parallel direct calls agree too.
+    expect_same_violation(sweep.resilience_violation(2, 0, GainCriterion::kAnyMemberGains,
+                                                     SweepMode::kSerial),
+                          sweep.resilience_violation(2, 0, GainCriterion::kAnyMemberGains,
+                                                     SweepMode::kAuto),
+                          "direct serial-vs-parallel");
+}
+
+TEST(CoalitionSweep, ViolationPayloadPinsThePaperExample)
+{
+    // The attack game's first breaking pair in enumeration order is {0,1}
+    // jointly switching to 1, earning 2 over the candidate 1.
+    const auto g = game::catalog::attack_coordination_game(5);
+    const auto all_zero = as_exact_profile(g, PureProfile(5, 0));
+    const auto violation = find_resilience_violation(g, all_zero, 2);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->coalition, (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(violation->coalition_deviation, (PureProfile{1, 1}));
+    EXPECT_TRUE(violation->faulty.empty());
+    EXPECT_EQ(violation->payoff_before, 1.0);
+    EXPECT_EQ(violation->payoff_after, 2.0);
+}
+
+TEST(CoalitionSweep, EdgeCasesReturnNoViolation) {
+    const auto pd = game::catalog::prisoners_dilemma();
+    const auto both_defect = as_exact_profile(pd, {1, 1});
+    const CoalitionSweep sweep(pd, both_defect);
+    EXPECT_FALSE(sweep.immunity_violation(0).has_value());
+    EXPECT_FALSE(
+        sweep.resilience_violation(0, 1, GainCriterion::kAnyMemberGains).has_value());
+}
+
+}  // namespace
+}  // namespace bnash::core

@@ -252,6 +252,59 @@ TEST(Combinatorics, Binomial) {
     EXPECT_EQ(binomial(52, 5), 2'598'960u);
 }
 
+TEST(Combinatorics, SubsetEnumeratorMatchesSubsetsUpToSize) {
+    SubsetEnumerator::clear_cache();
+    for (std::size_t n = 1; n <= 6; ++n) {
+        for (std::size_t k = 1; k <= n; ++k) {
+            const SubsetEnumerator enumerator(n, k);
+            const auto expected = subsets_up_to_size(n, k);
+            ASSERT_EQ(enumerator.size(), expected.size()) << "n=" << n << " k=" << k;
+            for (std::size_t i = 0; i < expected.size(); ++i) {
+                EXPECT_EQ(enumerator[i], expected[i]) << "n=" << n << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(Combinatorics, SubsetEnumeratorCachesPerShape) {
+    SubsetEnumerator::clear_cache();
+    const SubsetEnumerator first(7, 3);
+    const SubsetEnumerator second(7, 3);
+    // Same (n, max_size): both enumerators share ONE materialized list.
+    EXPECT_EQ(&first.items(), &second.items());
+    const SubsetEnumerator other(7, 2);
+    EXPECT_NE(&first.items(), &other.items());
+}
+
+TEST(Combinatorics, RangedProductForEachConcatenatesToFullEnumeration) {
+    const std::vector<std::size_t> radices{3, 2, 2};
+    std::vector<std::vector<std::size_t>> full;
+    product_for_each(radices, [&](const auto& t) {
+        full.push_back(t);
+        return true;
+    });
+    std::vector<std::vector<std::size_t>> chunked;
+    const std::uint64_t total = product_size(radices);
+    for (std::uint64_t lo = 0; lo < total; lo += 5) {
+        product_for_each(radices, lo, std::min(total, lo + 5), [&](const auto& t) {
+            chunked.push_back(t);
+            return true;
+        });
+    }
+    EXPECT_EQ(chunked, full);
+}
+
+TEST(Combinatorics, RangedProductForEachEarlyStopAndBounds) {
+    int visits = 0;
+    EXPECT_FALSE(product_for_each({4, 4}, 2, 14, [&](const auto&) {
+        return ++visits < 3;
+    }));
+    EXPECT_EQ(visits, 3);
+    EXPECT_TRUE(product_for_each({4, 4}, 5, 5, [&](const auto&) { return true; }));
+    EXPECT_THROW((void)product_for_each({2, 2}, 0, 5, [](const auto&) { return true; }),
+                 std::out_of_range);
+}
+
 // ------------------------------------------------------------------ Matrix
 
 TEST(Matrix, SolveExactSystem) {
