@@ -14,6 +14,13 @@
 //   R-CS2: iterated elimination on a 12x12 dominance chain — tensor-
 //          copying restrict() loop vs the zero-copy GameView loop
 //          (allocation counts straight from the tensor counter).
+//
+// PR-3 acceptance block:
+//   R-BATCH: max_resilience(max_k = n-1) on the 6-player attack game,
+//          all-1 profile (resilient through k = 4, first broken by a
+//          5-coalition) — the shared-sweep batch probe vs max_k
+//          independent probes (target: >= 2x, per-k verdicts bit-
+//          identical to the PR-1 reference).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -26,6 +33,7 @@
 #include "game/catalog.h"
 #include "game/game_view.h"
 #include "solver/iterated_elimination.h"
+#include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -185,6 +193,75 @@ void print_coalition_sweep_acceptance() {
               << (full_sweep_speedup >= 3.0 ? "PASS" : "MISS") << ")\n\n";
 }
 
+// The pre-batch status quo: one full coalition sweep per probed k, each
+// re-walking every coalition of size <= k. Baseline for R-BATCH.
+std::vector<std::optional<core::RobustnessViolation>> independent_probes(
+    const game::NormalFormGame& g, const game::ExactMixedProfile& profile, std::size_t max_k,
+    const core::RobustnessOptions& options) {
+    std::vector<std::optional<core::RobustnessViolation>> out(max_k);
+    for (std::size_t k = 1; k <= max_k; ++k) {
+        out[k - 1] = core::find_resilience_violation(g, profile, k, options);
+    }
+    return out;
+}
+
+void print_batch_resilience_acceptance() {
+    std::cout << "=== R-BATCH: max_resilience(max_k = 5), 6-player attack game, all-1 — "
+                 "shared sweep vs independent probes ===\n";
+    const auto g = game::catalog::attack_coordination_game(6);
+    const auto all_one = core::as_exact_profile(g, game::PureProfile(6, 1));
+    const std::size_t max_k = 5;
+    const core::RobustnessOptions serial_opts{core::GainCriterion::kAnyMemberGains,
+                                              game::SweepMode::kSerial};
+    const core::RobustnessOptions parallel_opts{core::GainCriterion::kAnyMemberGains,
+                                                game::SweepMode::kAuto};
+
+    // Per-k bit-identity: the batch's witnesses vs independent probes vs
+    // the PR-1 serial reference.
+    const auto batch = core::batch_resilience(g, all_one, max_k, serial_opts);
+    const auto batch_parallel = core::batch_resilience(g, all_one, max_k, parallel_opts);
+    const auto independent = independent_probes(g, all_one, max_k, serial_opts);
+    bool identical = batch == batch_parallel;
+    for (std::size_t k = 1; k <= max_k; ++k) {
+        const auto reference = core::reference::find_robustness_violation(
+            g, all_one, k, 0, core::RobustnessOptions{});
+        identical = identical && batch.violations[k - 1] == independent[k - 1] &&
+                    batch.violations[k - 1] == reference;
+    }
+
+    const double independent_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(independent_probes(g, all_one, max_k, serial_opts));
+    });
+    const double batch_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(core::batch_resilience(g, all_one, max_k, serial_opts));
+    });
+    const double independent_parallel_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(independent_probes(g, all_one, max_k, parallel_opts));
+    });
+    const double batch_parallel_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(core::batch_resilience(g, all_one, max_k, parallel_opts));
+    });
+    util::Table table({"probe", "ns/op", "speedup"});
+    table.add_row({"independent k = 1..5, serial", util::Table::fmt(independent_ns),
+                   "1.00x"});
+    table.add_row({"shared sweep, serial", util::Table::fmt(batch_ns),
+                   util::Table::fmt(independent_ns / batch_ns, 2) + "x"});
+    table.add_row({"independent k = 1..5, parallel",
+                   util::Table::fmt(independent_parallel_ns),
+                   util::Table::fmt(independent_ns / independent_parallel_ns, 2) + "x"});
+    table.add_row({"shared sweep, parallel", util::Table::fmt(batch_parallel_ns),
+                   util::Table::fmt(independent_ns / batch_parallel_ns, 2) + "x"});
+    table.print(std::cout);
+    const double speedup = independent_ns / batch_ns;
+    std::cout << "-> max_ok = " << batch.max_ok
+              << "; per-k verdicts identical across batch (serial+parallel), independent "
+                 "probes, PR-1 reference ("
+              << (identical ? "PASS" : "MISS") << ")\n";
+    std::cout << "-> acceptance: shared sweep >= 2x over independent probes ("
+              << util::Table::fmt(speedup, 2) << "x, " << (speedup >= 2.0 ? "PASS" : "MISS")
+              << ")\n\n";
+}
+
 void print_view_elimination_comparison() {
     std::cout << "=== R-CS2: iterated elimination, 12x12 dominance chain — "
                  "tensor copies vs GameView ===\n";
@@ -291,6 +368,82 @@ void bench_reference_full_serial(benchmark::State& state) {
 }
 BENCHMARK(bench_reference_full_serial)->DenseRange(5, 8)->Unit(benchmark::kMicrosecond);
 
+// R-BATCH trajectory rows: the shared sweep vs per-k restarts, serial
+// blocks (work ratio, no scheduler noise).
+void bench_batch_resilience(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::batch_resilience(g, profile, n - 1, options));
+    }
+}
+BENCHMARK(bench_batch_resilience)->DenseRange(5, 7)->Unit(benchmark::kMicrosecond);
+
+void bench_independent_resilience_probes(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(independent_probes(g, profile, n - 1, options));
+    }
+}
+BENCHMARK(bench_independent_resilience_probes)
+    ->DenseRange(5, 7)
+    ->Unit(benchmark::kMicrosecond);
+
+// View-native robustness on a restricted slice (no materialization) vs
+// materialize-then-check: the zero-copy trajectory row. The parent game
+// has 3 actions per player; the slice keeps the outer two.
+game::NormalFormGame sliced_bench_game(std::size_t n) {
+    util::Rng rng{static_cast<std::uint64_t>(n) * 7919};
+    return game::NormalFormGame::random(std::vector<std::size_t>(n, 3), rng, -4, 4);
+}
+
+void bench_view_native_robustness(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = sliced_bench_game(n);
+    const auto view = g.restrict_view(std::vector<std::vector<std::size_t>>(n, {0, 2}));
+    const auto profile = core::as_exact_profile(view, game::PureProfile(n, 0));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::find_robustness_violation(view, profile, 2, 1,
+                                                                 options));
+    }
+}
+BENCHMARK(bench_view_native_robustness)->DenseRange(5, 7)->Unit(benchmark::kMicrosecond);
+
+void bench_materialize_then_check(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = sliced_bench_game(n);
+    const auto view = g.restrict_view(std::vector<std::vector<std::size_t>>(n, {0, 2}));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    for (auto _ : state) {
+        const auto materialized = view.materialize();
+        const auto profile = core::as_exact_profile(materialized, game::PureProfile(n, 0));
+        benchmark::DoNotOptimize(
+            core::find_robustness_violation(materialized, profile, 2, 1, options));
+    }
+}
+BENCHMARK(bench_materialize_then_check)->DenseRange(5, 7)->Unit(benchmark::kMicrosecond);
+
+void bench_punishment_search_parallel(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::bargaining_game(n);
+    const std::vector<util::Rational> baseline(n, util::Rational{2});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::find_punishment_strategy(g, 1, baseline, game::SweepMode::kAuto));
+    }
+}
+BENCHMARK(bench_punishment_search_parallel)->DenseRange(3, 7)->Unit(benchmark::kMillisecond);
+
 void bench_anonymous_resilience(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     const auto g = core::AnonymousBinaryGame::attack(n);
@@ -315,6 +468,7 @@ BENCHMARK(bench_punishment_search)->DenseRange(3, 7)->Unit(benchmark::kMilliseco
 int main(int argc, char** argv) {
     print_tables();
     print_coalition_sweep_acceptance();
+    print_batch_resilience_acceptance();
     print_view_elimination_comparison();
     bnash::bench::initialize_with_json_output(argc, argv, "BENCH_robustness.json");
     benchmark::RunSpecifiedBenchmarks();

@@ -26,8 +26,18 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [[ "${BENCH}" == "ON" ]]; then
-  # Acceptance tables (R-CS blocks) + BENCH_robustness.json artifact.
+  # Acceptance tables (R-CS / R-BATCH blocks) + BENCH_robustness.json artifact.
   (cd build && ./bench_robustness --benchmark_min_time=0.05s)
+  # Regression gate against the blessed baseline. The threshold is
+  # deliberately loose (machine-to-machine noise); re-bless by copying
+  # build/BENCH_robustness.json over the baseline after an intentional
+  # change. Skips gracefully when benches are off or python3 is absent.
+  if [[ -f bench/baselines/BENCH_robustness.json ]] && command -v python3 >/dev/null 2>&1; then
+    python3 scripts/bench_diff.py bench/baselines/BENCH_robustness.json \
+      build/BENCH_robustness.json --fail-above 150
+  else
+    echo "verify.sh: no baseline or python3; skipping bench regression gate" >&2
+  fi
 fi
 
 if [[ "${FULL_BENCH}" == "ON" && "${BENCH}" == "ON" ]]; then

@@ -23,6 +23,17 @@ AnonymousBinaryGame AnonymousBinaryGame::attack(std::size_t num_players) {
         });
 }
 
+AnonymousBinaryGame AnonymousBinaryGame::from_table(std::vector<std::vector<Rational>> table) {
+    if (table.size() != 2 || table[0].size() < 3 || table[0].size() != table[1].size()) {
+        throw std::invalid_argument(
+            "AnonymousBinaryGame::from_table: need 2 rows of n+1 >= 3 entries");
+    }
+    const std::size_t n = table[0].size() - 1;
+    return AnonymousBinaryGame(
+        n, [table = std::move(table)](std::size_t action, std::size_t ones,
+                                      std::size_t) -> Rational { return table[action][ones]; });
+}
+
 AnonymousBinaryGame AnonymousBinaryGame::bargaining(std::size_t num_players) {
     return AnonymousBinaryGame(
         num_players, [](std::size_t action, std::size_t leavers, std::size_t) -> Rational {
@@ -82,6 +93,21 @@ std::size_t AnonymousBinaryGame::min_breaking_coalition(std::size_t base_action,
         if (!all_base_is_k_resilient(base_action, k)) return k;
     }
     return 0;
+}
+
+std::size_t AnonymousBinaryGame::max_immunity(std::size_t base_action,
+                                              std::size_t max_t) const {
+    const std::size_t base_ones = base_action == 1 ? n_ : 0;
+    const Rational baseline = payoff_(base_action, base_ones, n_);
+    // t-immunity only depends on the worst switcher count j <= t, so the
+    // boundary is the smallest harmful j minus one — one scan instead of
+    // re-probing every t.
+    const std::size_t limit = max_t < n_ ? max_t : n_ - 1;
+    for (std::size_t j = 1; j <= limit; ++j) {
+        const std::size_t ones_after = base_action == 0 ? j : n_ - j;
+        if (payoff_(base_action, ones_after, n_) < baseline) return j - 1;
+    }
+    return max_t;
 }
 
 game::NormalFormGame AnonymousBinaryGame::to_normal_form() const {

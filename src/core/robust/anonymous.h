@@ -32,6 +32,11 @@ public:
     static AnonymousBinaryGame attack(std::size_t num_players);
     static AnonymousBinaryGame bargaining(std::size_t num_players);
 
+    // Data-driven construction: table[action][total_ones] with
+    // total_ones = 0..n (so each row has n+1 entries). The randomized
+    // cross-validation harness feeds arbitrary tables through this.
+    static AnonymousBinaryGame from_table(std::vector<std::vector<util::Rational>> table);
+
     [[nodiscard]] std::size_t num_players() const noexcept { return n_; }
     [[nodiscard]] util::Rational payoff(std::size_t action, std::size_t total_ones) const;
 
@@ -46,6 +51,11 @@ public:
     // (searching up to max_k); 0 when none found.
     [[nodiscard]] std::size_t min_breaking_coalition(std::size_t base_action,
                                                      std::size_t max_k) const;
+
+    // Largest t <= max_t such that all-base is t-immune (0 when not even
+    // 1-immune): the anonymous sibling of core::batch_immunity's max_ok,
+    // found in ONE O(max_t) scan over switcher counts.
+    [[nodiscard]] std::size_t max_immunity(std::size_t base_action, std::size_t max_t) const;
 
     // Materializes the payoff tensor (small n only; throws above 16).
     [[nodiscard]] game::NormalFormGame to_normal_form() const;

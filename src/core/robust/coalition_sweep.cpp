@@ -12,70 +12,79 @@ namespace bnash::core {
 namespace {
 
 using game::ExactMixedProfile;
+using game::GameView;
 using game::NormalFormGame;
 using game::PureProfile;
 using util::Rational;
 
 // Incremental mixed-radix odometer over the joint action space of the
 // players in `who`: visits tuples in row-major order while maintaining
-// the deviated profile's tensor rank — rank(tau) = base + sum_d
-// (tau_d - candidate_d) * stride_d — in O(1) per step. Unsigned
-// wrap-around in the running rank is fine: every complete sum is back in
-// range. This replaces a PureProfile rebuild + O(players) re-rank per
-// joint deviation per queried player with one add per odometer step.
+// the deviated profile's flat payoff-row offset — row(tau) = base +
+// sum_d (cell_offset(who_d, tau_d) - cell_offset(who_d, candidate_d)) —
+// in O(1) per step. The offsets come straight from the view's cell
+// tables, so the same scan walks a dense game (identity view) or any
+// zero-copy restriction. Unsigned wrap-around in the running row is
+// fine: every complete sum is back in range. This replaces a PureProfile
+// rebuild + O(players) re-rank per joint deviation per queried player
+// with one add per odometer step.
 class JointScan final {
 public:
-    void init(const NormalFormGame& game, const std::vector<std::uint64_t>& strides,
-              const PureProfile& candidate, const std::vector<std::size_t>& who) {
+    void init(const GameView& view, const PureProfile& candidate,
+              const std::vector<std::size_t>& who) {
         counts_.resize(who.size());
-        strides_.resize(who.size());
-        drop_ = 0;
+        offsets_.resize(who.size());
+        rebase_ = 0;
         for (std::size_t d = 0; d < who.size(); ++d) {
-            counts_[d] = game.num_actions(who[d]);
-            strides_[d] = strides[who[d]];
-            drop_ += candidate[who[d]] * strides_[d];
+            counts_[d] = view.num_actions(who[d]);
+            offsets_[d] = view.cell_offsets(who[d]).data();
+            rebase_ += offsets_[d][0] - offsets_[d][candidate[who[d]]];
         }
         tuple_.assign(who.size(), 0);
     }
 
-    // Restart at the all-zeros tuple relative to `base` (the rank with
+    // Restart at the all-zeros tuple relative to `base` (the row with
     // every scanned player still on its candidate action).
     void reset(std::uint64_t base) {
         std::fill(tuple_.begin(), tuple_.end(), 0);
-        rank_ = base - drop_;
+        row_ = base + rebase_;
     }
 
     // Advance one tuple; false once the space is exhausted.
     [[nodiscard]] bool advance() {
         for (std::size_t d = counts_.size(); d-- > 0;) {
-            if (++tuple_[d] < counts_[d]) {
-                rank_ += strides_[d];
+            const std::size_t a = ++tuple_[d];
+            if (a < counts_[d]) {
+                row_ += offsets_[d][a] - offsets_[d][a - 1];
                 return true;
             }
-            rank_ -= static_cast<std::uint64_t>(counts_[d] - 1) * strides_[d];
+            row_ += offsets_[d][0] - offsets_[d][a - 1];
             tuple_[d] = 0;
         }
         return false;
     }
 
-    [[nodiscard]] std::uint64_t rank() const noexcept { return rank_; }
+    [[nodiscard]] std::uint64_t row() const noexcept { return row_; }
     [[nodiscard]] const PureProfile& tuple() const noexcept { return tuple_; }
 
 private:
     std::vector<std::size_t> counts_;
-    std::vector<std::uint64_t> strides_;
-    std::uint64_t drop_ = 0;
-    std::uint64_t rank_ = 0;
+    std::vector<const std::uint64_t*> offsets_;
+    std::uint64_t rebase_ = 0;
+    std::uint64_t row_ = 0;
     PureProfile tuple_;
 };
 
-std::vector<std::size_t> action_space(const NormalFormGame& game,
+std::vector<std::size_t> action_space(const GameView& view,
                                       const std::vector<std::size_t>& players) {
     std::vector<std::size_t> out;
     out.reserve(players.size());
-    for (const std::size_t p : players) out.push_back(game.num_actions(p));
+    for (const std::size_t p : players) out.push_back(view.num_actions(p));
     return out;
 }
+
+// A found violation together with the index of the task that found it
+// (the batch probes map the winning index back to a coalition size).
+using TaskHit = std::pair<std::size_t, RobustnessViolation>;
 
 // Runs fn(0..num_tasks) with first-hit-wins semantics on the LOWEST task
 // index, serially or on the global pool. Parallel runs skip tasks above
@@ -83,13 +92,13 @@ std::vector<std::size_t> action_space(const NormalFormGame& game,
 // return the violation of the same task — the one the serial loop would
 // have stopped at.
 template <typename TaskFn>
-std::optional<RobustnessViolation> run_tasks(std::size_t num_tasks, game::SweepMode mode,
-                                             const TaskFn& fn) {
+std::optional<TaskHit> run_tasks(std::size_t num_tasks, game::SweepMode mode,
+                                 const TaskFn& fn) {
     if (num_tasks == 0) return std::nullopt;
     auto& pool = util::global_pool();
     if (mode == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
         for (std::size_t index = 0; index < num_tasks; ++index) {
-            if (auto violation = fn(index)) return violation;
+            if (auto violation = fn(index)) return TaskHit{index, *std::move(violation)};
         }
         return std::nullopt;
     }
@@ -120,15 +129,18 @@ std::optional<RobustnessViolation> run_tasks(std::size_t num_tasks, game::SweepM
     for (std::size_t index = 0; index < winner; ++index) {
         if (errors[index]) std::rethrow_exception(errors[index]);
     }
-    if (winner < num_tasks) return std::move(found[winner]);
+    if (winner < num_tasks) return TaskHit{winner, *std::move(found[winner])};
     return std::nullopt;
 }
 
 }  // namespace
 
 CoalitionSweep::CoalitionSweep(const NormalFormGame& game, const ExactMixedProfile& profile)
-    : game_(&game), profile_(&profile), engine_(game), pure_(as_pure_profile(profile)) {
-    if (pure_) base_rank_ = engine_.rank_of(*pure_);
+    : CoalitionSweep(GameView::full(game), profile) {}
+
+CoalitionSweep::CoalitionSweep(GameView view, const ExactMixedProfile& profile)
+    : view_(std::move(view)), profile_(&profile), pure_(as_pure_profile(profile)) {
+    if (pure_) base_row_ = view_.row_offset(*pure_);
 }
 
 Rational CoalitionSweep::mixed_utility(const std::vector<std::size_t>& who,
@@ -136,17 +148,17 @@ Rational CoalitionSweep::mixed_utility(const std::vector<std::size_t>& who,
                                        std::size_t player) const {
     ExactMixedProfile deviated = *profile_;
     for (std::size_t idx = 0; idx < who.size(); ++idx) {
-        game::ExactMixedStrategy point(game_->num_actions(who[idx]), Rational{0});
+        game::ExactMixedStrategy point(view_.num_actions(who[idx]), Rational{0});
         point[actions[idx]] = Rational{1};
         deviated[who[idx]] = std::move(point);
     }
-    return engine_.expected_payoff_exact(deviated, player);
+    return game::expected_payoff_exact(view_, deviated, player);
 }
 
 std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
     const std::vector<std::size_t>& faulty,
     const std::vector<Rational>& baseline) const {
-    const std::size_t n = game_->num_players();
+    const std::size_t n = view_.num_players();
     std::vector<std::size_t> outsiders;
     outsiders.reserve(n - faulty.size());
     for (std::size_t i = 0; i < n; ++i) {
@@ -156,11 +168,11 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
     }
     if (pure_) {
         JointScan scan;
-        scan.init(*game_, engine_.strides(), *pure_, faulty);
-        scan.reset(base_rank_);
+        scan.init(view_, *pure_, faulty);
+        scan.reset(base_row_);
         do {
             for (const std::size_t i : outsiders) {
-                const Rational& after = game_->payoff_at(scan.rank(), i);
+                const Rational& after = view_.payoff_from(scan.row(), i);
                 if (after < baseline[i]) {
                     return RobustnessViolation{{},
                                                faulty,
@@ -175,7 +187,7 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
         return std::nullopt;
     }
     std::optional<RobustnessViolation> found;
-    util::product_for_each(action_space(*game_, faulty), [&](const PureProfile& tau) {
+    util::product_for_each(action_space(view_, faulty), [&](const PureProfile& tau) {
         for (const std::size_t i : outsiders) {
             const Rational after = mixed_utility(faulty, tau, i);
             if (after < baseline[i]) {
@@ -194,7 +206,7 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
 std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
     const std::vector<std::size_t>& coalition, std::size_t t,
     GainCriterion criterion) const {
-    const std::size_t n = game_->num_players();
+    const std::size_t n = view_.num_players();
     // Disjoint faulty sets, the empty one first (matches the reference
     // checker's enumeration order exactly).
     std::vector<std::size_t> others;
@@ -207,7 +219,7 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
     const std::size_t width = coalition.size();
     if (pure_) {
         JointScan coalition_scan;
-        coalition_scan.init(*game_, engine_.strides(), *pure_, coalition);
+        coalition_scan.init(view_, *pure_, coalition);
         // Both scans and the reference row are reused across faulty sets:
         // the inner loops allocate nothing.
         JointScan faulty_scan;
@@ -215,15 +227,15 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         std::vector<std::size_t> faulty;
         const auto scan_against_faulty =
             [&]() -> std::optional<RobustnessViolation> {
-            faulty_scan.init(*game_, engine_.strides(), *pure_, faulty);
-            faulty_scan.reset(base_rank_);
+            faulty_scan.init(view_, *pure_, faulty);
+            faulty_scan.reset(base_row_);
             do {
                 // Coalition's reference payoffs: sigma_C against this
                 // tau_T (borrowed straight from the tensor, no copies).
                 for (std::size_t idx = 0; idx < width; ++idx) {
-                    reference[idx] = &game_->payoff_at(faulty_scan.rank(), coalition[idx]);
+                    reference[idx] = &view_.payoff_from(faulty_scan.row(), coalition[idx]);
                 }
-                coalition_scan.reset(faulty_scan.rank());
+                coalition_scan.reset(faulty_scan.row());
                 do {
                     bool any_gain = false;
                     bool all_gain = true;
@@ -232,7 +244,7 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
                     const Rational* witness_after = nullptr;
                     for (std::size_t idx = 0; idx < width; ++idx) {
                         const Rational& after =
-                            game_->payoff_at(coalition_scan.rank(), coalition[idx]);
+                            view_.payoff_from(coalition_scan.row(), coalition[idx]);
                         if (after > *reference[idx]) {
                             if (!any_gain) {
                                 witness = coalition[idx];
@@ -290,13 +302,13 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         std::optional<RobustnessViolation> found;
         std::vector<std::size_t> joint_players = coalition;
         joint_players.insert(joint_players.end(), faulty.begin(), faulty.end());
-        util::product_for_each(action_space(*game_, faulty), [&](const PureProfile& tau_t) {
+        util::product_for_each(action_space(view_, faulty), [&](const PureProfile& tau_t) {
             std::vector<Rational> reference(width);
             for (std::size_t idx = 0; idx < width; ++idx) {
                 reference[idx] = mixed_utility(faulty, tau_t, coalition[idx]);
             }
             util::product_for_each(
-                action_space(*game_, coalition), [&](const PureProfile& tau_c) {
+                action_space(view_, coalition), [&](const PureProfile& tau_c) {
                     PureProfile joint_actions = tau_c;
                     joint_actions.insert(joint_actions.end(), tau_t.begin(), tau_t.end());
                     bool any_gain = false;
@@ -340,36 +352,45 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
     return std::nullopt;
 }
 
-std::optional<RobustnessViolation> CoalitionSweep::immunity_violation(
-    std::size_t t, game::SweepMode mode) const {
-    if (t == 0) return std::nullopt;
-    const std::size_t n = game_->num_players();
+std::vector<Rational> CoalitionSweep::immunity_baseline() const {
+    const std::size_t n = view_.num_players();
     std::vector<Rational> baseline(n);
     if (pure_) {
-        for (std::size_t i = 0; i < n; ++i) baseline[i] = game_->payoff_at(base_rank_, i);
+        for (std::size_t i = 0; i < n; ++i) baseline[i] = view_.payoff_from(base_row_, i);
     } else {
         for (std::size_t i = 0; i < n; ++i) baseline[i] = mixed_utility({}, {}, i);
     }
-    const util::SubsetEnumerator faulty_sets(n, t);
+    return baseline;
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::immunity_violation(
+    std::size_t t, game::SweepMode mode) const {
+    if (t == 0) return std::nullopt;
+    const std::vector<Rational> baseline = immunity_baseline();
+    const util::SubsetEnumerator faulty_sets(view_.num_players(), t);
     // Mixed candidates parallelize INSIDE each evaluation instead: every
     // utility is a full-tensor exact sweep that already blocks onto the
     // pool, so the outer task loop stays serial and keeps the workers
     // free for it.
     const auto effective = pure_ ? mode : game::SweepMode::kSerial;
-    return run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
+    auto hit = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
         return immunity_task(faulty_sets[index], baseline);
     });
+    if (!hit) return std::nullopt;
+    return std::move(hit->second);
 }
 
 std::optional<RobustnessViolation> CoalitionSweep::resilience_violation(
     std::size_t k, std::size_t t, GainCriterion criterion, game::SweepMode mode) const {
     if (k == 0) return std::nullopt;
-    const util::SubsetEnumerator coalitions(game_->num_players(), k);
+    const util::SubsetEnumerator coalitions(view_.num_players(), k);
     // See immunity_violation: mixed candidates sweep inside evaluations.
     const auto effective = pure_ ? mode : game::SweepMode::kSerial;
-    return run_tasks(coalitions.size(), effective, [&](std::size_t index) {
+    auto hit = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
         return resilience_task(coalitions[index], t, criterion);
     });
+    if (!hit) return std::nullopt;
+    return std::move(hit->second);
 }
 
 std::optional<RobustnessViolation> CoalitionSweep::robustness_violation(
@@ -378,6 +399,48 @@ std::optional<RobustnessViolation> CoalitionSweep::robustness_violation(
     if (auto immunity = immunity_violation(t, options.mode)) return immunity;
     // Part (b): no coalition gains against any disjoint faulty set.
     return resilience_violation(k, t, options.criterion, options.mode);
+}
+
+BatchVerdict CoalitionSweep::batch_resilience(std::size_t max_k, GainCriterion criterion,
+                                              game::SweepMode mode) const {
+    BatchVerdict out;
+    out.violations.assign(max_k, std::nullopt);
+    if (max_k == 0) return out;
+    const util::SubsetEnumerator coalitions(view_.num_players(), max_k);
+    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    auto hit = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
+        return resilience_task(coalitions[index], 0, criterion);
+    });
+    if (!hit) {
+        out.max_ok = max_k;
+        return out;
+    }
+    // Every probe with k >= |winning coalition| enumerates the same
+    // prefix and stops at the same task; smaller k never reaches it.
+    const std::size_t breaking = coalitions[hit->first].size();
+    out.max_ok = breaking - 1;
+    for (std::size_t k = breaking; k <= max_k; ++k) out.violations[k - 1] = hit->second;
+    return out;
+}
+
+BatchVerdict CoalitionSweep::batch_immunity(std::size_t max_t, game::SweepMode mode) const {
+    BatchVerdict out;
+    out.violations.assign(max_t, std::nullopt);
+    if (max_t == 0) return out;
+    const std::vector<Rational> baseline = immunity_baseline();
+    const util::SubsetEnumerator faulty_sets(view_.num_players(), max_t);
+    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    auto hit = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
+        return immunity_task(faulty_sets[index], baseline);
+    });
+    if (!hit) {
+        out.max_ok = max_t;
+        return out;
+    }
+    const std::size_t breaking = faulty_sets[hit->first].size();
+    out.max_ok = breaking - 1;
+    for (std::size_t t = breaking; t <= max_t; ++t) out.violations[t - 1] = hit->second;
+    return out;
 }
 
 }  // namespace bnash::core

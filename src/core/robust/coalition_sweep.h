@@ -5,8 +5,8 @@
 // independent, so the sweep:
 //
 //   - pulls the coalition lists from util::SubsetEnumerator (materialized
-//     once per (n, k) and shared across calls — max_resilience probes the
-//     same lists k times);
+//     once per (n, k) and shared across calls — batch probes quantify
+//     over the same lists);
 //   - dispatches one task per coalition to util::global_pool(), claimed
 //     in index order off the pool's atomic counter;
 //   - resolves "first violation" deterministically in parallel mode via
@@ -14,19 +14,28 @@
 //     current minimum (early exit), tasks below it always complete, so
 //     serial and parallel sweeps return IDENTICAL violations;
 //   - scans joint deviations with an incremental mixed-radix odometer
-//     that updates the profile's tensor rank in O(1) per step and reads
-//     payoffs by reference — the inner loops of the pure-candidate fast
-//     path perform no heap allocation and no per-lookup re-ranking.
+//     that updates the profile's flat payoff-row offset in O(1) per step
+//     and reads payoffs by reference — the inner loops of the
+//     pure-candidate fast path perform no heap allocation and no
+//     per-lookup re-ranking.
+//
+// The sweep is VIEW-NATIVE: it walks a game::GameView's cell-offset
+// tables, so the full game (an identity view), an iterated-elimination
+// reduction, or an awareness-restricted slice are all checked zero-copy —
+// no restricted tensor is ever materialized. Enumeration order is
+// identical to the PR-1 reference checkers in every mode.
 //
 // Mixed (non-point-mass) candidate profiles fall back to exact expected-
-// utility sweeps per evaluation, still parallel across coalition tasks.
+// utility sweeps per evaluation, still parallel inside each evaluation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "core/robust/robustness.h"
+#include "game/game_view.h"
 #include "game/normal_form.h"
 #include "game/payoff_engine.h"
 #include "game/strategy.h"
@@ -38,6 +47,11 @@ public:
     // The profile must be a valid exact mixed profile for `game`; both
     // must outlive the sweep.
     CoalitionSweep(const game::NormalFormGame& game, const game::ExactMixedProfile& profile);
+
+    // View-native: the profile lives in VIEW action space and the sweep
+    // reads the parent tensor through the view's cell offsets. The view's
+    // parent game and the profile must outlive the sweep.
+    CoalitionSweep(game::GameView view, const game::ExactMixedProfile& profile);
 
     // Part (a) of (k,t)-robustness: some T with 1 <= |T| <= t and joint
     // deviation tau_T leaves a player outside T below its candidate
@@ -56,6 +70,24 @@ public:
     [[nodiscard]] std::optional<RobustnessViolation> robustness_violation(
         std::size_t k, std::size_t t, const RobustnessOptions& options) const;
 
+    // --- shared-sweep batch probes ------------------------------------------
+    // All k = 1..max_k resilience probes in ONE coalition sweep: because
+    // subsets_up_to_size orders coalitions by size then lex, the tasks a
+    // k-probe enumerates are exactly a PREFIX of the max_k task list, so
+    // the first violating task of the batch IS the first violating task
+    // of every independent probe whose k covers that coalition's size.
+    // One enumerator pass and one deviation odometer replace max_k
+    // restarts; per-k verdicts/witnesses are bit-identical to independent
+    // find_resilience_violation(k) calls in both sweep modes.
+    [[nodiscard]] BatchVerdict batch_resilience(
+        std::size_t max_k, GainCriterion criterion = GainCriterion::kAnyMemberGains,
+        game::SweepMode mode = game::SweepMode::kAuto) const;
+
+    // Same sharing for t = 1..max_t immunity probes (one baseline
+    // computation, one faulty-set sweep).
+    [[nodiscard]] BatchVerdict batch_immunity(
+        std::size_t max_t, game::SweepMode mode = game::SweepMode::kAuto) const;
+
 private:
     // One coalition/faulty-set task; nullopt when the task finds nothing.
     [[nodiscard]] std::optional<RobustnessViolation> immunity_task(
@@ -65,17 +97,18 @@ private:
         const std::vector<std::size_t>& coalition, std::size_t t,
         GainCriterion criterion) const;
 
+    [[nodiscard]] std::vector<util::Rational> immunity_baseline() const;
+
     // u_player when `who` plays `actions` and everyone else follows the
     // candidate (mixed fallback; the pure path never calls this).
     [[nodiscard]] util::Rational mixed_utility(const std::vector<std::size_t>& who,
                                                const game::PureProfile& actions,
                                                std::size_t player) const;
 
-    const game::NormalFormGame* game_;
+    game::GameView view_;
     const game::ExactMixedProfile* profile_;
-    game::PayoffEngine engine_;
     std::optional<game::PureProfile> pure_;  // set iff the candidate is pure
-    std::uint64_t base_rank_ = 0;            // rank of *pure_ when set
+    std::uint64_t base_row_ = 0;             // flat row of *pure_ when set
 };
 
 }  // namespace bnash::core

@@ -1,12 +1,16 @@
 #include "core/robust/robustness.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/robust/coalition_sweep.h"
+#include "game/game_view.h"
 #include "game/payoff_engine.h"
 #include "util/combinatorics.h"
+#include "util/thread_pool.h"
 
 namespace bnash::core {
 namespace {
@@ -83,6 +87,20 @@ void validate_profile(const NormalFormGame& game, const ExactMixedProfile& profi
     }
 }
 
+// View candidates live in VIEW action space.
+void validate_profile(const game::GameView& view, const ExactMixedProfile& profile) {
+    if (profile.size() != view.num_players()) {
+        throw std::invalid_argument("robustness: profile width mismatch");
+    }
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        if (profile[i].size() != view.num_actions(i) ||
+            !game::is_exact_distribution(profile[i])) {
+            throw std::invalid_argument("robustness: invalid strategy for player " +
+                                        std::to_string(i));
+        }
+    }
+}
+
 }  // namespace
 
 std::string RobustnessViolation::to_string() const {
@@ -134,6 +152,72 @@ std::optional<RobustnessViolation> find_robustness_violation(const NormalFormGam
                                                              const RobustnessOptions& options) {
     validate_profile(game, profile);
     return CoalitionSweep(game, profile).robustness_violation(k, t, options);
+}
+
+// --- view-native checkers ---------------------------------------------------
+
+std::optional<RobustnessViolation> find_resilience_violation(
+    const game::GameView& view, const ExactMixedProfile& profile, std::size_t k,
+    const RobustnessOptions& options) {
+    return find_robustness_violation(view, profile, k, 0, options);
+}
+
+std::optional<RobustnessViolation> find_immunity_violation(const game::GameView& view,
+                                                           const ExactMixedProfile& profile,
+                                                           std::size_t t) {
+    validate_profile(view, profile);
+    return CoalitionSweep(view, profile).immunity_violation(t);
+}
+
+std::optional<RobustnessViolation> find_robustness_violation(const game::GameView& view,
+                                                             const ExactMixedProfile& profile,
+                                                             std::size_t k, std::size_t t,
+                                                             const RobustnessOptions& options) {
+    validate_profile(view, profile);
+    return CoalitionSweep(view, profile).robustness_violation(k, t, options);
+}
+
+bool is_k_resilient(const game::GameView& view, const ExactMixedProfile& profile,
+                    std::size_t k, const RobustnessOptions& options) {
+    return !find_resilience_violation(view, profile, k, options).has_value();
+}
+
+bool is_t_immune(const game::GameView& view, const ExactMixedProfile& profile,
+                 std::size_t t) {
+    return !find_immunity_violation(view, profile, t).has_value();
+}
+
+bool is_kt_robust(const game::GameView& view, const ExactMixedProfile& profile, std::size_t k,
+                  std::size_t t, const RobustnessOptions& options) {
+    return !find_robustness_violation(view, profile, k, t, options).has_value();
+}
+
+// --- shared-sweep batch probes ----------------------------------------------
+
+BatchVerdict batch_resilience(const NormalFormGame& game, const ExactMixedProfile& profile,
+                              std::size_t max_k, const RobustnessOptions& options) {
+    validate_profile(game, profile);
+    return CoalitionSweep(game, profile).batch_resilience(max_k, options.criterion,
+                                                          options.mode);
+}
+
+BatchVerdict batch_resilience(const game::GameView& view, const ExactMixedProfile& profile,
+                              std::size_t max_k, const RobustnessOptions& options) {
+    validate_profile(view, profile);
+    return CoalitionSweep(view, profile).batch_resilience(max_k, options.criterion,
+                                                          options.mode);
+}
+
+BatchVerdict batch_immunity(const NormalFormGame& game, const ExactMixedProfile& profile,
+                            std::size_t max_t, game::SweepMode mode) {
+    validate_profile(game, profile);
+    return CoalitionSweep(game, profile).batch_immunity(max_t, mode);
+}
+
+BatchVerdict batch_immunity(const game::GameView& view, const ExactMixedProfile& profile,
+                            std::size_t max_t, game::SweepMode mode) {
+    validate_profile(view, profile);
+    return CoalitionSweep(view, profile).batch_immunity(max_t, mode);
 }
 
 namespace reference {
@@ -294,24 +378,30 @@ game::ExactMixedProfile as_exact_profile(const NormalFormGame& game,
     return out;
 }
 
+game::ExactMixedProfile as_exact_profile(const game::GameView& view,
+                                         const PureProfile& profile) {
+    if (profile.size() != view.num_players()) {
+        throw std::invalid_argument("as_exact_profile: width");
+    }
+    ExactMixedProfile out(view.num_players());
+    for (std::size_t i = 0; i < view.num_players(); ++i) {
+        game::ExactMixedStrategy strategy(view.num_actions(i), Rational{0});
+        strategy.at(profile[i]) = Rational{1};
+        out[i] = std::move(strategy);
+    }
+    return out;
+}
+
 std::size_t max_resilience(const NormalFormGame& game, const ExactMixedProfile& profile,
                            std::size_t max_k, const RobustnessOptions& options) {
-    std::size_t best = 0;
-    for (std::size_t k = 1; k <= max_k; ++k) {
-        if (!is_k_resilient(game, profile, k, options)) break;
-        best = k;
-    }
-    return best;
+    // One shared coalition sweep instead of max_k independent probes: the
+    // first violating coalition's size is the boundary for every k.
+    return batch_resilience(game, profile, max_k, options).max_ok;
 }
 
 std::size_t max_immunity(const NormalFormGame& game, const ExactMixedProfile& profile,
                          std::size_t max_t) {
-    std::size_t best = 0;
-    for (std::size_t t = 1; t <= max_t; ++t) {
-        if (!is_t_immune(game, profile, t)) break;
-        best = t;
-    }
-    return best;
+    return batch_immunity(game, profile, max_t).max_ok;
 }
 
 bool is_punishment_strategy(const NormalFormGame& game, const PureProfile& rho, std::size_t q,
@@ -343,16 +433,79 @@ bool is_punishment_strategy(const NormalFormGame& game, const PureProfile& rho, 
 }
 
 std::optional<PureProfile> find_punishment_strategy(const NormalFormGame& game, std::size_t q,
-                                                    const std::vector<Rational>& baseline) {
-    std::optional<PureProfile> found;
-    util::product_for_each(game.action_counts(), [&](const PureProfile& rho) {
-        if (is_punishment_strategy(game, rho, q, baseline)) {
-            found = rho;
-            return false;
+                                                    const std::vector<Rational>& baseline,
+                                                    game::SweepMode mode) {
+    if (baseline.size() != game.num_players()) {
+        throw std::invalid_argument("find_punishment_strategy: baseline width");
+    }
+    const std::uint64_t total = game.num_profiles();
+    auto& pool = util::global_pool();
+    // Candidate evaluations are heavyweight (each quantifies over all
+    // deviator sets and joint deviations), so blocks are small; the
+    // search is over candidate RANKS, and the parallel path's winner is
+    // the lowest-rank hit — identical to the serial scan.
+    constexpr std::uint64_t kBlock = 8;
+    const std::uint64_t num_blocks = (total + kBlock - 1) / kBlock;
+    if (mode == game::SweepMode::kSerial || pool.size() <= 1 || num_blocks <= 1) {
+        std::optional<PureProfile> found;
+        util::product_for_each(game.action_counts(), [&](const PureProfile& rho) {
+            if (is_punishment_strategy(game, rho, q, baseline)) {
+                found = rho;
+                return false;
+            }
+            return true;
+        });
+        return found;
+    }
+    std::atomic<std::uint64_t> best{total};
+    std::vector<std::optional<PureProfile>> found(num_blocks);
+    // First exception per block, with the rank it occurred at: the serial
+    // scan would have thrown the lowest such rank below the winner.
+    std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors(
+        num_blocks, {total, nullptr});
+    pool.run_blocks(static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
+        const std::uint64_t lo = block * kBlock;
+        const std::uint64_t hi = std::min(total, lo + kBlock);
+        if (lo >= best.load(std::memory_order_acquire)) return;  // early exit
+        std::uint64_t rank = lo;
+        try {
+            util::product_for_each(game.action_counts(), lo, hi,
+                                   [&](const PureProfile& rho) {
+                                       if (rank >= best.load(std::memory_order_acquire)) {
+                                           return false;
+                                       }
+                                       if (is_punishment_strategy(game, rho, q, baseline)) {
+                                           found[block] = rho;
+                                           std::uint64_t current =
+                                               best.load(std::memory_order_acquire);
+                                           while (rank < current &&
+                                                  !best.compare_exchange_weak(
+                                                      current, rank,
+                                                      std::memory_order_acq_rel)) {
+                                           }
+                                           return false;
+                                       }
+                                       ++rank;
+                                       return true;
+                                   });
+        } catch (...) {
+            errors[block] = {rank, std::current_exception()};
         }
-        return true;
     });
-    return found;
+    const std::uint64_t winner = best.load(std::memory_order_acquire);
+    // Serial behavior: an exception at a rank the in-order scan reaches
+    // before the winner is what the caller would have seen.
+    std::size_t first_error = num_blocks;
+    for (std::size_t block = 0; block < num_blocks; ++block) {
+        if (errors[block].second && errors[block].first < winner &&
+            (first_error == num_blocks ||
+             errors[block].first < errors[first_error].first)) {
+            first_error = block;
+        }
+    }
+    if (first_error < num_blocks) std::rethrow_exception(errors[first_error].second);
+    if (winner == total) return std::nullopt;
+    return std::move(found[winner / kBlock]);
 }
 
 bool is_kt_robust_bayesian(const game::BayesianGame& game,

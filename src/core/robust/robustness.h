@@ -32,6 +32,10 @@
 #include "game/payoff_engine.h"
 #include "game/strategy.h"
 
+namespace bnash::game {
+class GameView;
+}  // namespace bnash::game
+
 namespace bnash::core {
 
 enum class GainCriterion {
@@ -65,6 +69,21 @@ struct RobustnessOptions final {
     game::SweepMode mode = game::SweepMode::kAuto;
 };
 
+// Result of a shared-sweep batch probe (max_resilience / max_immunity):
+// per-coalition-size verdicts accumulated from ONE coalition sweep
+// instead of max_k independent restarts. violations[k - 1] is the first
+// violation an independent k-probe would have reported (nullopt when the
+// profile survives that k); by the size-major subset order every probed k
+// shares the same winning task, so the stored witnesses are bit-identical
+// to independent probes.
+struct BatchVerdict final {
+    // Largest k (or t) with no violation; 0 means not even 1-resilient
+    // (resp. 1-immune).
+    std::size_t max_ok = 0;
+    std::vector<std::optional<RobustnessViolation>> violations;  // index k-1, k = 1..max_k
+    friend bool operator==(const BatchVerdict&, const BatchVerdict&) = default;
+};
+
 // --- normal-form checkers (exact rational arithmetic throughout) ---------
 
 [[nodiscard]] std::optional<RobustnessViolation> find_resilience_violation(
@@ -87,8 +106,59 @@ struct RobustnessOptions final {
                                 const game::ExactMixedProfile& profile, std::size_t k,
                                 std::size_t t, const RobustnessOptions& options = {});
 
+// --- view-native checkers ---------------------------------------------------
+// The same checks on a game::GameView: an iterated-elimination reduction
+// or an awareness-restricted slice is swept ZERO-COPY through the view's
+// cell offsets — no restricted tensor is materialized (asserted by the
+// tensor_allocations() tests). The profile lives in VIEW action space;
+// verdicts and violations are bit-identical to materializing the view and
+// checking the copy.
+
+[[nodiscard]] std::optional<RobustnessViolation> find_resilience_violation(
+    const game::GameView& view, const game::ExactMixedProfile& profile, std::size_t k,
+    const RobustnessOptions& options = {});
+
+[[nodiscard]] std::optional<RobustnessViolation> find_immunity_violation(
+    const game::GameView& view, const game::ExactMixedProfile& profile, std::size_t t);
+
+[[nodiscard]] std::optional<RobustnessViolation> find_robustness_violation(
+    const game::GameView& view, const game::ExactMixedProfile& profile, std::size_t k,
+    std::size_t t, const RobustnessOptions& options = {});
+
+[[nodiscard]] bool is_k_resilient(const game::GameView& view,
+                                  const game::ExactMixedProfile& profile, std::size_t k,
+                                  const RobustnessOptions& options = {});
+[[nodiscard]] bool is_t_immune(const game::GameView& view,
+                               const game::ExactMixedProfile& profile, std::size_t t);
+[[nodiscard]] bool is_kt_robust(const game::GameView& view,
+                                const game::ExactMixedProfile& profile, std::size_t k,
+                                std::size_t t, const RobustnessOptions& options = {});
+
+// --- shared-sweep batch probes ----------------------------------------------
+// All k = 1..max_k (resp. t = 1..max_t) probes inside ONE coalition
+// sweep; see CoalitionSweep::batch_resilience for the prefix argument
+// that makes the per-k witnesses bit-identical to independent probes.
+[[nodiscard]] BatchVerdict batch_resilience(const game::NormalFormGame& game,
+                                            const game::ExactMixedProfile& profile,
+                                            std::size_t max_k,
+                                            const RobustnessOptions& options = {});
+[[nodiscard]] BatchVerdict batch_resilience(const game::GameView& view,
+                                            const game::ExactMixedProfile& profile,
+                                            std::size_t max_k,
+                                            const RobustnessOptions& options = {});
+[[nodiscard]] BatchVerdict batch_immunity(const game::NormalFormGame& game,
+                                          const game::ExactMixedProfile& profile,
+                                          std::size_t max_t,
+                                          game::SweepMode mode = game::SweepMode::kAuto);
+[[nodiscard]] BatchVerdict batch_immunity(const game::GameView& view,
+                                          const game::ExactMixedProfile& profile,
+                                          std::size_t max_t,
+                                          game::SweepMode mode = game::SweepMode::kAuto);
+
 // Pure-profile conveniences.
 [[nodiscard]] game::ExactMixedProfile as_exact_profile(const game::NormalFormGame& game,
+                                                       const game::PureProfile& profile);
+[[nodiscard]] game::ExactMixedProfile as_exact_profile(const game::GameView& view,
                                                        const game::PureProfile& profile);
 
 // Inverse direction: the pure profile when every strategy is a point mass
@@ -99,7 +169,9 @@ struct RobustnessOptions final {
 
 // Largest k (up to max_k) such that the profile is k-resilient; 0 means
 // not even 1-resilient (i.e. not a Nash equilibrium in the coalition
-// sense). Similarly for immunity.
+// sense). Similarly for immunity. Both run as ONE shared coalition sweep
+// (batch_resilience / batch_immunity) instead of max_k independent
+// probes; the returned boundary is identical to the probe loop's.
 [[nodiscard]] std::size_t max_resilience(const game::NormalFormGame& game,
                                          const game::ExactMixedProfile& profile,
                                          std::size_t max_k,
@@ -116,9 +188,17 @@ struct RobustnessOptions final {
 [[nodiscard]] bool is_punishment_strategy(const game::NormalFormGame& game,
                                           const game::PureProfile& rho, std::size_t q,
                                           const std::vector<util::Rational>& baseline);
+
+// Scans candidate profiles in rank order and returns the first (lowest
+// rank) q-punishment strategy. kAuto splits the candidate rank space into
+// fixed-size blocks on util::global_pool() with a deterministic
+// atomic-min early exit on the winning rank, so serial and parallel
+// searches return the SAME profile (and the same first exception, if an
+// evaluation throws).
 [[nodiscard]] std::optional<game::PureProfile> find_punishment_strategy(
     const game::NormalFormGame& game, std::size_t q,
-    const std::vector<util::Rational>& baseline);
+    const std::vector<util::Rational>& baseline,
+    game::SweepMode mode = game::SweepMode::kAuto);
 
 // --- PR-1 serial reference checkers ----------------------------------------
 // The pre-CoalitionSweep implementations: coalitions enumerated serially,

@@ -102,6 +102,17 @@ double GameView::payoff_d_at(std::uint64_t rank, std::size_t player) const {
     return payoff_d_from(row_offset(util::product_unrank(action_counts_, rank)), player);
 }
 
+util::MatrixQ GameView::payoff_matrix(std::size_t player) const {
+    if (num_players() != 2) throw std::logic_error("payoff_matrix: 2-player views only");
+    util::MatrixQ out(action_counts_[0], action_counts_[1]);
+    for (std::size_t r = 0; r < action_counts_[0]; ++r) {
+        for (std::size_t c = 0; c < action_counts_[1]; ++c) {
+            out(r, c) = payoff_from(cell_offsets_[0][r] + cell_offsets_[1][c], player);
+        }
+    }
+    return out;
+}
+
 NormalFormGame GameView::materialize() const {
     NormalFormGame out(action_counts_);
     const std::size_t n = num_players();

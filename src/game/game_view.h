@@ -15,7 +15,10 @@
 // row is then the SUM of its digits' cell offsets — O(players) adds, no
 // division — and odometer walks update the row incrementally per digit.
 // Views are cheap value types (a pointer plus small index tables); they
-// must not outlive their parent game.
+// must not outlive their parent game, and the view caches the parent's
+// flat-tensor data pointers, so MUTATING the parent (copy-assigning over
+// it, or anything else that reallocates its tensors) invalidates every
+// view of it even while the parent object stays alive.
 #pragma once
 
 #include <cstddef>
@@ -75,6 +78,13 @@ public:
                                             std::size_t action) const noexcept {
         return cell_offsets_[player][action];
     }
+    // One player's whole offset column (odometer loops — the robustness
+    // sweep's JointScan — borrow the table instead of calling cell_offset
+    // per step).
+    [[nodiscard]] const std::vector<std::uint64_t>& cell_offsets(
+        std::size_t player) const noexcept {
+        return cell_offsets_[player];
+    }
     [[nodiscard]] std::uint64_t row_offset(const PureProfile& tuple) const {
         std::uint64_t row = 0;
         for (std::size_t p = 0; p < tuple.size(); ++p) row += cell_offsets_[p][tuple[p]];
@@ -101,6 +111,13 @@ public:
     [[nodiscard]] double payoff_d(const PureProfile& tuple, std::size_t player) const {
         return payoff_d_from(row_offset(tuple), player);
     }
+
+    // One player's payoff matrix of a 2-player view, read through the
+    // cell offsets (throws std::logic_error otherwise) — the zero-copy
+    // sibling of NormalFormGame::payoff_matrix the 2-player solvers
+    // consume. A MatrixQ is not a payoff tensor: building one does not
+    // count as a tensor allocation.
+    [[nodiscard]] util::MatrixQ payoff_matrix(std::size_t player) const;
 
     // Copies the viewed subgame into an owning NormalFormGame (labels
     // carried over) — the ONE tensor allocation a view-based pipeline

@@ -18,7 +18,8 @@ inline bool sweep_zero(double value) { return value == 0.0; }
 inline bool sweep_zero(const util::Rational& value) { return value.is_zero(); }
 
 // One odometer step in row-major order (last digit fastest).
-inline void advance(const std::vector<std::size_t>& counts, std::vector<std::size_t>& tuple) {
+inline void step_tuple(const std::vector<std::size_t>& counts,
+                       std::vector<std::size_t>& tuple) {
     for (std::size_t d = counts.size(); d-- > 0;) {
         if (++tuple[d] < counts[d]) return;
         tuple[d] = 0;
@@ -27,10 +28,12 @@ inline void advance(const std::vector<std::size_t>& counts, std::vector<std::siz
 
 // Tensor accessors: the sweep kernels are generic over WHERE a profile's
 // payoff row lives. `row(rank, tuple)` yields an opaque row handle (a flat
-// offset) and `at(row, i)` reads player i's payoff from it.
+// offset) computed once at block entry, `advance(counts, tuple, row)`
+// steps the odometer while updating the row INCREMENTALLY, and
+// `at(row, i)` reads player i's payoff from the current row.
 //
 // DenseTensor: contiguous [rank * n + i] storage (NormalFormGame's own
-// tensors). The tuple is ignored.
+// tensors). The row is rank * n, so every odometer step adds n.
 template <typename V>
 struct DenseTensor {
     const V* data;
@@ -39,6 +42,11 @@ struct DenseTensor {
                                     const std::vector<std::size_t>&) const noexcept {
         return rank * n;
     }
+    void advance(const std::vector<std::size_t>& counts, std::vector<std::size_t>& tuple,
+                 std::uint64_t& row) const noexcept {
+        step_tuple(counts, tuple);
+        row += n;
+    }
     [[nodiscard]] const V& at(std::uint64_t row, std::size_t i) const noexcept {
         return data[row + i];
     }
@@ -46,23 +54,37 @@ struct DenseTensor {
 
 // ViewTensor: a GameView's scattered cells; the row offset is the sum of
 // the tuple's per-digit cell offsets into the PARENT tensor (zero copy).
-struct ViewTensorExact {
+// Recomputed only at block entry: odometer steps add the changed digits'
+// cell-offset deltas instead of re-summing all n cells per profile
+// (unsigned wrap-around on a carry is fine — every complete row sum is
+// back in range, the same pattern GameView::materialize walks).
+struct ViewTensorBase {
     const GameView* view;
     [[nodiscard]] std::uint64_t row(std::uint64_t,
                                     const std::vector<std::size_t>& tuple) const {
         return view->row_offset(tuple);
     }
+    void advance(const std::vector<std::size_t>& counts, std::vector<std::size_t>& tuple,
+                 std::uint64_t& row) const {
+        for (std::size_t d = counts.size(); d-- > 0;) {
+            const std::size_t a = ++tuple[d];
+            if (a < counts[d]) {
+                row += view->cell_offset(d, a) - view->cell_offset(d, a - 1);
+                return;
+            }
+            row += view->cell_offset(d, 0) - view->cell_offset(d, a - 1);
+            tuple[d] = 0;
+        }
+    }
+};
+
+struct ViewTensorExact : ViewTensorBase {
     [[nodiscard]] const util::Rational& at(std::uint64_t row, std::size_t i) const {
         return view->payoff_from(row, i);
     }
 };
 
-struct ViewTensorDouble {
-    const GameView* view;
-    [[nodiscard]] std::uint64_t row(std::uint64_t,
-                                    const std::vector<std::size_t>& tuple) const {
-        return view->row_offset(tuple);
-    }
+struct ViewTensorDouble : ViewTensorBase {
     [[nodiscard]] double at(std::uint64_t row, std::size_t i) const {
         return view->payoff_d_from(row, i);
     }
@@ -78,6 +100,7 @@ void deviation_block(const std::vector<std::size_t>& counts, const ProfileT& pro
                      std::vector<std::vector<V>>& dev) {
     const std::size_t n = counts.size();
     auto tuple = util::product_unrank(counts, begin);
+    std::uint64_t row = acc.row(begin, tuple);
     std::vector<V> prefix(n + 1, V{1});
     std::vector<V> suffix(n + 1, V{1});
     for (std::uint64_t rank = begin; rank < end; ++rank) {
@@ -87,12 +110,11 @@ void deviation_block(const std::vector<std::size_t>& counts, const ProfileT& pro
         for (std::size_t i = n; i-- > 0;) {
             suffix[i] = suffix[i + 1] * profile[i][tuple[i]];
         }
-        const auto row = acc.row(rank, tuple);
         for (std::size_t i = 0; i < n; ++i) {
             const V weight = prefix[i] * suffix[i + 1];
             if (!sweep_zero(weight)) dev[i][tuple[i]] += weight * acc.at(row, i);
         }
-        advance(counts, tuple);
+        acc.advance(counts, tuple, row);
     }
 }
 
@@ -104,15 +126,16 @@ void deviation_row_block(const std::vector<std::size_t>& counts, const ProfileT&
                          std::uint64_t end, std::vector<V>& dev_row) {
     const std::size_t n = counts.size();
     auto tuple = util::product_unrank(counts, begin);
+    std::uint64_t row = acc.row(begin, tuple);
     for (std::uint64_t rank = begin; rank < end; ++rank) {
         V weight{1};
         for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
             if (i != player) weight *= profile[i][tuple[i]];
         }
         if (!sweep_zero(weight)) {
-            dev_row[tuple[player]] += weight * acc.at(acc.row(rank, tuple), player);
+            dev_row[tuple[player]] += weight * acc.at(row, player);
         }
-        advance(counts, tuple);
+        acc.advance(counts, tuple, row);
     }
 }
 
@@ -126,13 +149,14 @@ void expected_single_block(const std::vector<std::size_t>& counts, const Profile
                            std::uint64_t end, V& total) {
     const std::size_t n = counts.size();
     auto tuple = util::product_unrank(counts, begin);
+    std::uint64_t row = acc.row(begin, tuple);
     for (std::uint64_t rank = begin; rank < end; ++rank) {
         V weight{1};
         for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
             weight *= profile[i][tuple[i]];
         }
-        if (!sweep_zero(weight)) total += weight * acc.at(acc.row(rank, tuple), player);
-        advance(counts, tuple);
+        if (!sweep_zero(weight)) total += weight * acc.at(row, player);
+        acc.advance(counts, tuple, row);
     }
 }
 
@@ -143,16 +167,16 @@ void expected_block(const std::vector<std::size_t>& counts, const ProfileT& prof
                     std::vector<V>& totals) {
     const std::size_t n = counts.size();
     auto tuple = util::product_unrank(counts, begin);
+    std::uint64_t row = acc.row(begin, tuple);
     for (std::uint64_t rank = begin; rank < end; ++rank) {
         V weight{1};
         for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
             weight *= profile[i][tuple[i]];
         }
         if (!sweep_zero(weight)) {
-            const auto row = acc.row(rank, tuple);
             for (std::size_t i = 0; i < n; ++i) totals[i] += weight * acc.at(row, i);
         }
-        advance(counts, tuple);
+        acc.advance(counts, tuple, row);
     }
 }
 
@@ -408,6 +432,14 @@ std::vector<util::Rational> expected_payoffs_exact(const GameView& view,
     const ViewTensorExact acc{&view};
     return expected_sweep<util::Rational>(view.action_counts(), view.num_profiles(), acc,
                                           profile, mode);
+}
+
+util::Rational expected_payoff_exact(const GameView& view, const ExactMixedProfile& profile,
+                                     std::size_t player) {
+    validate_view_profile_shape(view, profile, "expected_payoff_exact(view)");
+    const ViewTensorExact acc{&view};
+    return expected_single_sweep<util::Rational>(view.action_counts(), view.num_profiles(),
+                                                 acc, profile, player);
 }
 
 ExactDeviationTable deviation_payoffs_all_exact(const GameView& view,

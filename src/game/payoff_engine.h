@@ -121,6 +121,9 @@ private:
 [[nodiscard]] std::vector<util::Rational> expected_payoffs_exact(
     const GameView& view, const ExactMixedProfile& profile,
     SweepMode mode = SweepMode::kAuto);
+[[nodiscard]] util::Rational expected_payoff_exact(const GameView& view,
+                                                   const ExactMixedProfile& profile,
+                                                   std::size_t player);
 [[nodiscard]] ExactDeviationTable deviation_payoffs_all_exact(
     const GameView& view, const ExactMixedProfile& profile,
     SweepMode mode = SweepMode::kAuto);

@@ -130,7 +130,8 @@ bool is_dominated(const game::NormalFormGame& game, std::size_t player, std::siz
     return is_dominated(GameView::full(game), player, action, kind);
 }
 
-EliminationResult iterated_elimination(const game::NormalFormGame& game, DominanceKind kind) {
+ViewEliminationResult iterated_elimination_view(const game::NormalFormGame& game,
+                                                DominanceKind kind) {
     std::vector<std::vector<std::size_t>> kept(game.num_players());
     for (std::size_t player = 0; player < game.num_players(); ++player) {
         kept[player].resize(game.num_actions(player));
@@ -154,8 +155,14 @@ EliminationResult iterated_elimination(const game::NormalFormGame& game, Dominan
             }
         }
     }
-    // The loop's only tensor allocation: the final reduced game.
-    return EliminationResult{view.materialize(), std::move(kept), std::move(trace)};
+    return ViewEliminationResult{std::move(view), std::move(kept), std::move(trace)};
+}
+
+EliminationResult iterated_elimination(const game::NormalFormGame& game, DominanceKind kind) {
+    auto result = iterated_elimination_view(game, kind);
+    // The pipeline's only tensor allocation: the final reduced game.
+    return EliminationResult{result.reduced.materialize(), std::move(result.kept),
+                             std::move(result.trace)};
 }
 
 }  // namespace bnash::solver

@@ -33,6 +33,17 @@ struct EliminationResult final {
     std::vector<EliminationStep> trace;
 };
 
+// Zero-copy sibling: the reduction as a VIEW into the original game's
+// tensors — no materialization at all. Downstream consumers that are
+// view-native (the robustness checkers, the 2-player solvers) check the
+// reduced game without a single tensor allocation; the view must not
+// outlive the game it was built from.
+struct ViewEliminationResult final {
+    game::GameView reduced;
+    std::vector<std::vector<std::size_t>> kept;
+    std::vector<EliminationStep> trace;
+};
+
 // Iterates until no further elimination applies. For kWeakPure the result
 // can depend on elimination order (a classic fact); this implementation
 // removes the lowest-indexed dominated action of the lowest-indexed player
@@ -45,6 +56,12 @@ struct EliminationResult final {
 // test). The seed implementation copied both tensors on every round.
 [[nodiscard]] EliminationResult iterated_elimination(const game::NormalFormGame& game,
                                                      DominanceKind kind);
+
+// The same reduction, stopping BEFORE the materialization: allocates no
+// payoff tensor whatsoever. iterated_elimination is this plus one
+// materialize().
+[[nodiscard]] ViewEliminationResult iterated_elimination_view(const game::NormalFormGame& game,
+                                                              DominanceKind kind);
 
 // True iff `action` of `player` is dominated in `game` under `kind`
 // (single-round test, no iteration).

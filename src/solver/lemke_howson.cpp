@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "game/payoff_engine.h"
 #include "util/matrix.h"
 
 namespace bnash::solver {
@@ -65,15 +66,24 @@ std::optional<MixedEquilibrium> lemke_howson(const game::NormalFormGame& game,
                                              std::size_t initial_label,
                                              std::size_t max_pivots,
                                              LemkeHowsonStats* stats) {
-    if (game.num_players() != 2) {
+    return lemke_howson(game::GameView::full(game), initial_label, max_pivots, stats);
+}
+
+std::optional<MixedEquilibrium> lemke_howson(const game::GameView& view,
+                                             std::size_t initial_label,
+                                             std::size_t max_pivots,
+                                             LemkeHowsonStats* stats) {
+    if (view.num_players() != 2) {
         throw std::logic_error("lemke_howson: 2-player games only");
     }
-    const std::size_t m = game.num_actions(0);
-    const std::size_t n = game.num_actions(1);
+    const std::size_t m = view.num_actions(0);
+    const std::size_t n = view.num_actions(1);
     if (initial_label >= m + n) throw std::out_of_range("lemke_howson: bad label");
 
-    const auto a = game.payoff_matrix(0);
-    const auto b = game.payoff_matrix(1);
+    // Payoff matrices read through the view's cell offsets: no
+    // restricted tensor is materialized.
+    const MatrixQ a = view.payoff_matrix(0);
+    const MatrixQ b = view.payoff_matrix(1);
     // Shift both payoff matrices strictly positive; equilibria are invariant
     // under adding a constant to all of one player's payoffs.
     Rational min_entry = a(0, 0);
@@ -142,17 +152,22 @@ std::optional<MixedEquilibrium> lemke_howson(const game::NormalFormGame& game,
 
     MixedEquilibrium out;
     out.profile = {std::move(x), std::move(y)};
-    out.payoffs = {game.expected_payoff_exact(out.profile, 0),
-                   game.expected_payoff_exact(out.profile, 1)};
+    out.payoffs = {game::expected_payoff_exact(view, out.profile, 0),
+                   game::expected_payoff_exact(view, out.profile, 1)};
     return out;
 }
 
 std::vector<MixedEquilibrium> lemke_howson_all_labels(const game::NormalFormGame& game,
                                                       std::size_t max_pivots) {
-    const std::size_t num_labels = game.num_actions(0) + game.num_actions(1);
+    return lemke_howson_all_labels(game::GameView::full(game), max_pivots);
+}
+
+std::vector<MixedEquilibrium> lemke_howson_all_labels(const game::GameView& view,
+                                                      std::size_t max_pivots) {
+    const std::size_t num_labels = view.num_actions(0) + view.num_actions(1);
     std::vector<MixedEquilibrium> out;
     for (std::size_t label = 0; label < num_labels; ++label) {
-        auto eq = lemke_howson(game, label, max_pivots);
+        auto eq = lemke_howson(view, label, max_pivots);
         if (!eq) continue;
         const bool duplicate =
             std::any_of(out.begin(), out.end(), [&](const MixedEquilibrium& existing) {

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "game/game_view.h"
 #include "game/normal_form.h"
 #include "solver/support_enumeration.h"
 
@@ -32,8 +33,17 @@ struct LemkeHowsonStats final {
     const game::NormalFormGame& game, std::size_t initial_label = 0,
     std::size_t max_pivots = 100'000, LemkeHowsonStats* stats = nullptr);
 
+// Zero-copy overload: pivots on the viewed subgame directly (strategies
+// in VIEW action space), materializing no restricted tensor. The
+// NormalFormGame overload is this on the identity view.
+[[nodiscard]] std::optional<MixedEquilibrium> lemke_howson(
+    const game::GameView& view, std::size_t initial_label = 0,
+    std::size_t max_pivots = 100'000, LemkeHowsonStats* stats = nullptr);
+
 // Runs every initial label and returns the distinct equilibria found.
 [[nodiscard]] std::vector<MixedEquilibrium> lemke_howson_all_labels(
     const game::NormalFormGame& game, std::size_t max_pivots = 100'000);
+[[nodiscard]] std::vector<MixedEquilibrium> lemke_howson_all_labels(
+    const game::GameView& view, std::size_t max_pivots = 100'000);
 
 }  // namespace bnash::solver

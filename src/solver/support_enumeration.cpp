@@ -76,13 +76,21 @@ bool no_profitable_outside_deviation(const MatrixQ& payoffs, bool transpose,
 
 std::vector<MixedEquilibrium> support_enumeration(const game::NormalFormGame& game,
                                                   std::size_t max_support) {
-    if (game.num_players() != 2) {
+    return support_enumeration(game::GameView::full(game), max_support);
+}
+
+std::vector<MixedEquilibrium> support_enumeration(const game::GameView& view,
+                                                  std::size_t max_support) {
+    if (view.num_players() != 2) {
         throw std::logic_error("support_enumeration: 2-player games only");
     }
-    const auto a = game.payoff_matrix(0);  // row player's payoffs
-    const auto b = game.payoff_matrix(1);  // column player's payoffs
-    const std::size_t m = game.num_actions(0);
-    const std::size_t n = game.num_actions(1);
+    const std::size_t m = view.num_actions(0);
+    const std::size_t n = view.num_actions(1);
+    // Payoff matrices read through the view's cell offsets: no
+    // restricted tensor is materialized (the tensor_allocations() tests
+    // pin this).
+    const MatrixQ a = view.payoff_matrix(0);
+    const MatrixQ b = view.payoff_matrix(1);
 
     std::vector<MixedEquilibrium> out;
     const std::size_t limit = std::min({m, n, max_support});

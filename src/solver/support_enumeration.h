@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "game/game_view.h"
 #include "game/normal_form.h"
 #include "game/strategy.h"
 #include "util/rational.h"
@@ -26,5 +27,12 @@ struct MixedEquilibrium final {
 // `max_support` caps the support size considered (default: no cap).
 [[nodiscard]] std::vector<MixedEquilibrium> support_enumeration(
     const game::NormalFormGame& game, std::size_t max_support = SIZE_MAX);
+
+// Zero-copy overload: solves the viewed subgame directly (strategies are
+// in VIEW action space) — an elimination-reduced game is solved without
+// materializing its tensor. The NormalFormGame overload is this on the
+// identity view.
+[[nodiscard]] std::vector<MixedEquilibrium> support_enumeration(
+    const game::GameView& view, std::size_t max_support = SIZE_MAX);
 
 }  // namespace bnash::solver

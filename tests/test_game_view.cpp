@@ -193,6 +193,34 @@ TEST(GameView, EngineSweepsOnViewsAreBitIdenticalToMaterialized) {
     }
 }
 
+TEST(GameView, MultiBlockViewSweepsAreBitIdenticalToMaterialized) {
+    // Enough view profiles (> kParallelBlock) to split the sweep into
+    // several blocks: pins the incremental running-row odometer across
+    // block boundaries (each block re-derives its entry row from the
+    // unranked tuple, then steps by cell-offset deltas) against the
+    // materialized dense sweep, serial and parallel.
+    util::Rng rng{37};
+    const auto g = NormalFormGame::random({200, 200}, rng, -5, 5);
+    std::vector<std::vector<std::size_t>> kept(2);
+    for (std::size_t a = 0; a < 200; ++a) {
+        if (a % 5 != 0) kept[0].push_back(a);  // 160 kept
+        if (a % 3 != 2) kept[1].push_back(a);  // 134 kept
+    }
+    const auto view = g.restrict_view(kept);
+    ASSERT_GT(view.num_profiles(), PayoffEngine::kParallelBlock);
+    const auto materialized = view.materialize();
+    const PayoffEngine engine(materialized);
+    const auto mixed = random_mixed(view.action_counts(), rng);
+    for (const auto mode : {SweepMode::kSerial, SweepMode::kAuto}) {
+        EXPECT_EQ(expected_payoffs(view, mixed, mode), engine.expected_payoffs(mixed, mode));
+        EXPECT_EQ(deviation_payoffs_all(view, mixed, mode),
+                  engine.deviation_payoffs_all(mixed, mode));
+    }
+    for (std::size_t p = 0; p < 2; ++p) {
+        EXPECT_EQ(deviation_row(view, mixed, p), engine.deviation_row(mixed, p));
+    }
+}
+
 TEST(GameView, ViewSweepValidatesProfileShape) {
     util::Rng rng{29};
     const auto g = NormalFormGame::random({3, 3}, rng);

@@ -160,6 +160,45 @@ TEST(Punishment, NoPunishmentWhenBaselineTooLow) {
     const auto g = attack_coordination_game(3);
     const std::vector<Rational> baseline(3, Rational{0});
     EXPECT_FALSE(find_punishment_strategy(g, 1, baseline).has_value());
+    // The parallel sweep agrees there is nothing to find.
+    EXPECT_FALSE(
+        find_punishment_strategy(g, 1, baseline, game::SweepMode::kAuto).has_value());
+}
+
+TEST(Punishment, SerialAndParallelAgreeOnTheRegimeGames) {
+    // The paper's 2k+3t < n <= 3k+3t regime is where a (k+t)-punishment
+    // strategy buys implementability: for (k,t) = (1,1) that is n = 6,
+    // q = k+t = 2. The parallel candidate sweep must return the SAME
+    // (lowest-rank) witness as the serial scan.
+    for (const std::size_t n : {6u, 7u}) {
+        const auto g = bargaining_game(n);
+        const std::vector<Rational> baseline(n, Rational{2});
+        const auto serial =
+            find_punishment_strategy(g, 2, baseline, game::SweepMode::kSerial);
+        const auto parallel =
+            find_punishment_strategy(g, 2, baseline, game::SweepMode::kAuto);
+        ASSERT_EQ(serial.has_value(), parallel.has_value()) << "n = " << n;
+        ASSERT_TRUE(serial.has_value()) << "n = " << n;
+        EXPECT_EQ(*serial, *parallel) << "n = " << n;
+        EXPECT_TRUE(is_punishment_strategy(g, *serial, 2, baseline)) << "n = " << n;
+        // With q = 2 roaming deviators a profile punishes iff at least 3
+        // players leave (2 deviators cannot restore all-stay); the
+        // lowest-rank such profile has the LAST three players leaving.
+        PureProfile expected(n, 0);
+        for (std::size_t i = n - 3; i < n; ++i) expected[i] = 1;
+        EXPECT_EQ(*serial, expected) << "n = " << n;
+    }
+}
+
+TEST(Punishment, SerialAndParallelAgreeWhenNoPunishmentExists) {
+    // q = n: with EVERY player free to deviate, some deviation restores
+    // the all-stay payoff of 2, so no profile can hold everyone below it.
+    const auto g = bargaining_game(4);
+    const std::vector<Rational> baseline(4, Rational{2});
+    EXPECT_FALSE(
+        find_punishment_strategy(g, 4, baseline, game::SweepMode::kSerial).has_value());
+    EXPECT_FALSE(
+        find_punishment_strategy(g, 4, baseline, game::SweepMode::kAuto).has_value());
 }
 
 // ---------------------------------------------------------- anonymous games

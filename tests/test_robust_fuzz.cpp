@@ -1,0 +1,305 @@
+// Randomized cross-validation harness for the batch robustness engine.
+//
+// Every checker path must return BIT-IDENTICAL verdicts and violation
+// witnesses on seeded random games:
+//   - the PR-1 serial reference checkers (core::reference),
+//   - the CoalitionSweep engine, serial and parallel,
+//   - the view-native checkers (identity views, random restrictions, and
+//     iterated-elimination reductions — all without a single tensor
+//     allocation),
+//   - the shared-sweep batch probes (per-k witnesses vs independent
+//     probes),
+//   - the anonymous-game O(k) checkers vs their to_normal_form() tensor
+//     twins on random anonymous payoff tables.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/robust/anonymous.h"
+#include "core/robust/coalition_sweep.h"
+#include "core/robust/robustness.h"
+#include "game/game_view.h"
+#include "game/normal_form.h"
+#include "solver/iterated_elimination.h"
+#include "util/rng.h"
+
+namespace bnash::core {
+namespace {
+
+using game::ExactMixedProfile;
+using game::GameView;
+using game::NormalFormGame;
+using game::PureProfile;
+using game::SweepMode;
+using util::Rational;
+
+NormalFormGame random_rational_game(util::Rng& rng, const std::vector<std::size_t>& counts) {
+    NormalFormGame g(counts);
+    for (std::uint64_t rank = 0; rank < g.num_profiles(); ++rank) {
+        const auto profile = g.profile_unrank(rank);
+        for (std::size_t p = 0; p < counts.size(); ++p) {
+            g.set_payoff(profile, p, Rational{rng.next_int(-6, 6), rng.next_int(1, 3)});
+        }
+    }
+    return g;
+}
+
+std::vector<std::size_t> random_counts(util::Rng& rng, std::size_t players) {
+    std::vector<std::size_t> counts(players);
+    for (auto& c : counts) c = static_cast<std::size_t>(rng.next_int(2, 3));
+    return counts;
+}
+
+PureProfile random_pure(util::Rng& rng, const std::vector<std::size_t>& counts) {
+    PureProfile out(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        out[i] = static_cast<std::size_t>(
+            rng.next_int(0, static_cast<std::int64_t>(counts[i]) - 1));
+    }
+    return out;
+}
+
+ExactMixedProfile random_mixed_exact(util::Rng& rng, const std::vector<std::size_t>& counts) {
+    ExactMixedProfile profile(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        game::ExactMixedStrategy s(counts[i], Rational{0});
+        std::int64_t total = 0;
+        std::vector<std::int64_t> weights(s.size());
+        for (auto& w : weights) {
+            w = rng.next_int(0, 3);
+            total += w;
+        }
+        if (total == 0) {
+            weights[0] = 1;
+            total = 1;
+        }
+        for (std::size_t a = 0; a < s.size(); ++a) s[a] = Rational{weights[a], total};
+        profile[i] = std::move(s);
+    }
+    return profile;
+}
+
+void expect_same(const std::optional<RobustnessViolation>& a,
+                 const std::optional<RobustnessViolation>& b, const std::string& what) {
+    ASSERT_EQ(a.has_value(), b.has_value()) << what;
+    if (a && b) {
+        EXPECT_TRUE(*a == *b) << what << ": " << a->to_string() << " vs " << b->to_string();
+    }
+}
+
+// ------------------------------------------------ all checker paths agree
+
+TEST(RobustFuzz, AllCheckerPathsAgreeOnRandomGames) {
+    util::Rng rng{20260730};
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+        const auto counts = random_counts(rng, n);
+        const auto g = random_rational_game(rng, counts);
+        // Mostly pure candidates (the fast path); every 5th trial a mixed
+        // one to exercise the expected-utility fallback.
+        const ExactMixedProfile profile =
+            (trial % 5 == 4) ? random_mixed_exact(rng, counts)
+                             : as_exact_profile(g, random_pure(rng, counts));
+        const std::size_t k = 1 + static_cast<std::size_t>(trial) % n;
+        const std::size_t t = static_cast<std::size_t>(trial % 2);
+        const auto criterion = (trial % 3 == 0) ? GainCriterion::kAllMembersGain
+                                                : GainCriterion::kAnyMemberGains;
+        const std::string label = "trial " + std::to_string(trial) + " n=" +
+                                  std::to_string(n) + " k=" + std::to_string(k) +
+                                  " t=" + std::to_string(t);
+
+        const auto via_reference = reference::find_robustness_violation(
+            g, profile, k, t, RobustnessOptions{criterion});
+        const auto via_serial = find_robustness_violation(
+            g, profile, k, t, RobustnessOptions{criterion, SweepMode::kSerial});
+        const auto via_parallel = find_robustness_violation(
+            g, profile, k, t, RobustnessOptions{criterion, SweepMode::kAuto});
+        expect_same(via_reference, via_serial, label + " reference-vs-serial");
+        expect_same(via_reference, via_parallel, label + " reference-vs-parallel");
+
+        // View-native on the identity view: zero tensor allocations.
+        const auto view = GameView::full(g);
+        const auto allocs_before = NormalFormGame::tensor_allocations();
+        const auto via_view_serial = find_robustness_violation(
+            view, profile, k, t, RobustnessOptions{criterion, SweepMode::kSerial});
+        const auto via_view_parallel = find_robustness_violation(
+            view, profile, k, t, RobustnessOptions{criterion, SweepMode::kAuto});
+        EXPECT_EQ(NormalFormGame::tensor_allocations(), allocs_before) << label;
+        expect_same(via_reference, via_view_serial, label + " reference-vs-view");
+        expect_same(via_reference, via_view_parallel, label + " reference-vs-view-parallel");
+    }
+}
+
+// -------------------------------------- restricted views vs materialized
+
+TEST(RobustFuzz, ViewNativeMatchesMaterializeThenCheckOnRestrictions) {
+    util::Rng rng{411};
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+        std::vector<std::size_t> counts(n);
+        for (auto& c : counts) c = static_cast<std::size_t>(rng.next_int(2, 4));
+        const auto g = random_rational_game(rng, counts);
+        // Random non-empty kept subsets per player.
+        std::vector<std::vector<std::size_t>> kept(n);
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t a = 0; a < counts[p]; ++a) {
+                if (rng.next_bool(0.6)) kept[p].push_back(a);
+            }
+            if (kept[p].empty()) {
+                kept[p].push_back(static_cast<std::size_t>(
+                    rng.next_int(0, static_cast<std::int64_t>(counts[p]) - 1)));
+            }
+        }
+        const auto view = g.restrict_view(kept);
+        const auto materialized = view.materialize();
+        const auto profile = as_exact_profile(view, random_pure(rng, view.action_counts()));
+        const std::size_t k = 1 + static_cast<std::size_t>(trial) % n;
+        const std::size_t t = static_cast<std::size_t>(trial % 2);
+        const std::string label = "restriction trial " + std::to_string(trial);
+
+        const auto allocs_before = NormalFormGame::tensor_allocations();
+        const auto via_view = find_robustness_violation(view, profile, k, t);
+        EXPECT_EQ(NormalFormGame::tensor_allocations(), allocs_before) << label;
+        const auto via_copy = find_robustness_violation(materialized, profile, k, t);
+        expect_same(via_copy, via_view, label);
+        EXPECT_EQ(is_kt_robust(materialized, profile, k, t),
+                  is_kt_robust(view, profile, k, t))
+            << label;
+    }
+}
+
+TEST(RobustFuzz, EliminationReducedViewChecksWithZeroAllocations) {
+    util::Rng rng{877};
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 2);
+        std::vector<std::size_t> counts(n);
+        for (auto& c : counts) c = static_cast<std::size_t>(rng.next_int(2, 4));
+        const auto g = random_rational_game(rng, counts);
+        const auto by_views =
+            solver::iterated_elimination_view(g, solver::DominanceKind::kStrictPure);
+        const auto profile =
+            as_exact_profile(by_views.reduced, random_pure(rng, by_views.reduced.action_counts()));
+        const std::size_t k = 1 + static_cast<std::size_t>(trial) % n;
+        const std::size_t t = static_cast<std::size_t>(trial % 2);
+        const std::string label = "elimination trial " + std::to_string(trial);
+
+        // Reduce-then-check, all on views: ZERO tensor allocations.
+        const auto allocs_before = NormalFormGame::tensor_allocations();
+        const auto probe =
+            solver::iterated_elimination_view(g, solver::DominanceKind::kStrictPure);
+        const bool via_view = is_kt_robust(probe.reduced, profile, k, t);
+        EXPECT_EQ(NormalFormGame::tensor_allocations(), allocs_before) << label;
+
+        // Materialize-then-check agrees, witness for witness.
+        const auto materialized = by_views.reduced.materialize();
+        EXPECT_EQ(is_kt_robust(materialized, profile, k, t), via_view) << label;
+        expect_same(find_robustness_violation(materialized, profile, k, t),
+                    find_robustness_violation(by_views.reduced, profile, k, t), label);
+    }
+}
+
+// ----------------------------------------- batch probes vs independent
+
+TEST(RobustFuzz, BatchVerdictsMatchIndependentProbes) {
+    util::Rng rng{5519};
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+        const auto counts = random_counts(rng, n);
+        const auto g = random_rational_game(rng, counts);
+        const ExactMixedProfile profile =
+            (trial % 7 == 6) ? random_mixed_exact(rng, counts)
+                             : as_exact_profile(g, random_pure(rng, counts));
+        const auto criterion = (trial % 2 == 0) ? GainCriterion::kAnyMemberGains
+                                                : GainCriterion::kAllMembersGain;
+        const RobustnessOptions serial{criterion, SweepMode::kSerial};
+        const RobustnessOptions parallel{criterion, SweepMode::kAuto};
+        const std::string label = "batch trial " + std::to_string(trial);
+
+        const auto batch = batch_resilience(g, profile, n, serial);
+        EXPECT_EQ(batch, batch_resilience(g, profile, n, parallel))
+            << label << " serial-vs-parallel batch";
+        ASSERT_EQ(batch.violations.size(), n) << label;
+        std::size_t expected_max_ok = n;
+        for (std::size_t k = 1; k <= n; ++k) {
+            // The independent probe this k would have run on its own.
+            const auto independent = find_resilience_violation(g, profile, k, serial);
+            expect_same(independent, batch.violations[k - 1],
+                        label + " k=" + std::to_string(k));
+            if (independent && expected_max_ok == n) expected_max_ok = k - 1;
+        }
+        EXPECT_EQ(batch.max_ok, expected_max_ok) << label;
+        EXPECT_EQ(max_resilience(g, profile, n, serial), expected_max_ok) << label;
+
+        const std::size_t max_t = n - 1;
+        if (max_t > 0) {
+            const auto immunity = batch_immunity(g, profile, max_t, SweepMode::kSerial);
+            EXPECT_EQ(immunity, batch_immunity(g, profile, max_t, SweepMode::kAuto))
+                << label << " immunity serial-vs-parallel";
+            std::size_t expected_immunity = max_t;
+            for (std::size_t t = 1; t <= max_t; ++t) {
+                const auto independent = find_immunity_violation(g, profile, t);
+                expect_same(independent, immunity.violations[t - 1],
+                            label + " t=" + std::to_string(t));
+                if (independent && expected_immunity == max_t) expected_immunity = t - 1;
+            }
+            EXPECT_EQ(immunity.max_ok, expected_immunity) << label;
+            EXPECT_EQ(max_immunity(g, profile, max_t), expected_immunity) << label;
+        }
+    }
+}
+
+// -------------------------------------- anonymous games vs tensor twins
+
+TEST(RobustFuzz, AnonymousCheckersMatchTensorTwinOnRandomTables) {
+    util::Rng rng{90127};
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 3 + static_cast<std::size_t>(trial % 3);
+        // Random anonymous payoff table: payoff(action, total_ones).
+        std::vector<std::vector<Rational>> table(2, std::vector<Rational>(n + 1));
+        for (std::size_t a = 0; a < 2; ++a) {
+            for (std::size_t ones = 0; ones <= n; ++ones) {
+                table[a][ones] = Rational{rng.next_int(-4, 4)};
+            }
+        }
+        const auto fast = AnonymousBinaryGame::from_table(table);
+        ASSERT_EQ(fast.num_players(), n);
+        const auto twin = fast.to_normal_form();
+        const std::size_t base = static_cast<std::size_t>(trial % 2);
+        const auto all_base = as_exact_profile(twin, PureProfile(n, base));
+        const std::string label =
+            "anonymous trial " + std::to_string(trial) + " base=" + std::to_string(base);
+
+        for (std::size_t k = 1; k <= n; ++k) {
+            for (const auto criterion :
+                 {GainCriterion::kAnyMemberGains, GainCriterion::kAllMembersGain}) {
+                EXPECT_EQ(fast.all_base_is_k_resilient(base, k, criterion),
+                          is_k_resilient(twin, all_base, k, RobustnessOptions{criterion}))
+                    << label << " k=" << k;
+            }
+        }
+        for (std::size_t t = 1; t < n; ++t) {
+            EXPECT_EQ(fast.all_base_is_t_immune(base, t), is_t_immune(twin, all_base, t))
+                << label << " t=" << t;
+        }
+        // The O(max_t) anonymous immunity boundary == the tensor twin's
+        // shared-sweep batch boundary.
+        EXPECT_EQ(fast.max_immunity(base, n - 1), batch_immunity(twin, all_base, n - 1).max_ok)
+            << label;
+        EXPECT_EQ(fast.max_immunity(base, n - 1), max_immunity(twin, all_base, n - 1))
+            << label;
+        // The twin really is the anonymous game cell for cell.
+        for (std::uint64_t rank = 0; rank < twin.num_profiles(); ++rank) {
+            const auto profile = twin.profile_unrank(rank);
+            std::size_t ones = 0;
+            for (const std::size_t a : profile) ones += a;
+            for (std::size_t p = 0; p < n; ++p) {
+                ASSERT_EQ(twin.payoff_at(rank, p), table[profile[p]][ones]) << label;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace bnash::core

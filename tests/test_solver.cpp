@@ -412,5 +412,59 @@ TEST(Solvers, StagHuntAndChickenEquilibriumCounts) {
     EXPECT_EQ(support_enumeration(stag_hunt()).size(), 3u);
 }
 
+// ------------------------------------------------------------ view solvers
+
+// Both 2-player solvers accept a GameView: an elimination-reduced game is
+// solved WITHOUT materializing its tensor, and the equilibria match
+// solving the materialized copy exactly.
+TEST(ViewSolvers, SolveEliminationReducedViewWithoutMaterializing) {
+    int reduced_games = 0;
+    for (std::uint64_t seed = 1; reduced_games < 8 && seed <= 60; ++seed) {
+        util::Rng game_rng{seed * 2731};
+        const auto g = game::NormalFormGame::random({4, 4}, game_rng, -6, 6);
+        const auto by_views = iterated_elimination_view(g, DominanceKind::kStrictPure);
+        if (by_views.trace.empty()) continue;  // nothing eliminated: not interesting
+        ++reduced_games;
+        const auto materialized = by_views.reduced.materialize();
+
+        const auto before = game::NormalFormGame::tensor_allocations();
+        const auto via_view = support_enumeration(by_views.reduced);
+        const auto lh_view = lemke_howson(by_views.reduced, 0);
+        EXPECT_EQ(game::NormalFormGame::tensor_allocations(), before)
+            << "seed " << seed << ": view solvers must not allocate a tensor";
+
+        const auto via_copy = support_enumeration(materialized);
+        ASSERT_EQ(via_view.size(), via_copy.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < via_view.size(); ++i) {
+            EXPECT_EQ(via_view[i].profile, via_copy[i].profile) << "seed " << seed;
+            EXPECT_EQ(via_view[i].payoffs, via_copy[i].payoffs) << "seed " << seed;
+        }
+        const auto lh_copy = lemke_howson(materialized, 0);
+        ASSERT_EQ(lh_view.has_value(), lh_copy.has_value()) << "seed " << seed;
+        if (lh_view && lh_copy) {
+            EXPECT_EQ(lh_view->profile, lh_copy->profile) << "seed " << seed;
+            EXPECT_EQ(lh_view->payoffs, lh_copy->payoffs) << "seed " << seed;
+        }
+    }
+    EXPECT_EQ(reduced_games, 8) << "random draw produced too few reducible games";
+}
+
+TEST(ViewSolvers, FullViewMatchesGameOverloads) {
+    const auto game = battle_of_the_sexes();
+    const auto view = game::GameView::full(game);
+    const auto via_view = support_enumeration(view);
+    const auto via_game = support_enumeration(game);
+    ASSERT_EQ(via_view.size(), via_game.size());
+    for (std::size_t i = 0; i < via_view.size(); ++i) {
+        EXPECT_EQ(via_view[i].profile, via_game[i].profile);
+    }
+    const auto lh_all_view = lemke_howson_all_labels(view);
+    const auto lh_all_game = lemke_howson_all_labels(game);
+    ASSERT_EQ(lh_all_view.size(), lh_all_game.size());
+    for (std::size_t i = 0; i < lh_all_view.size(); ++i) {
+        EXPECT_EQ(lh_all_view[i].profile, lh_all_game[i].profile);
+    }
+}
+
 }  // namespace
 }  // namespace bnash::solver
