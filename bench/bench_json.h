@@ -5,6 +5,9 @@
 //     working directory and future PRs can track the perf trajectory.
 //   - measure_ns: the acceptance tables' timing harness — ONE definition
 //     so speedup numbers stay comparable across bench binaries.
+//   - CounterScope: attaches the work-counter deltas of a timing loop to
+//     the JSON row — ONE definition so the gated cells_visited /
+//     offsets_advanced metrics stay comparable across bench binaries.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -14,7 +17,34 @@
 #include <string>
 #include <vector>
 
+#include "util/work_counters.h"
+
 namespace bnash::bench {
+
+// Records util::work_counters deltas over the enclosing scope into the
+// benchmark's JSON counters (per-iteration averages). Attach only to
+// rows whose per-op work is deterministic — serial sweeps, or parallel
+// sweeps without early exit — so the counters are CI-gateable.
+class CounterScope final {
+public:
+    explicit CounterScope(benchmark::State& state)
+        : state_(state), before_(util::work_counters_snapshot()) {}
+    ~CounterScope() {
+        const auto after = util::work_counters_snapshot();
+        state_.counters["cells_visited"] = benchmark::Counter(
+            static_cast<double>(after.cells_visited - before_.cells_visited),
+            benchmark::Counter::kAvgIterations);
+        state_.counters["offsets_advanced"] = benchmark::Counter(
+            static_cast<double>(after.offsets_advanced - before_.offsets_advanced),
+            benchmark::Counter::kAvgIterations);
+    }
+    CounterScope(const CounterScope&) = delete;
+    CounterScope& operator=(const CounterScope&) = delete;
+
+private:
+    benchmark::State& state_;
+    util::WorkCounters before_;
+};
 
 // Wall-clock ns/op with geometric rep growth until the sample is stable.
 template <typename Fn>

@@ -5,6 +5,14 @@
 //          action) full-tensor loop (target: >= 5x).
 //   E-PE2: blocked sweep on a >= 10^6-profile tensor — threaded (global
 //          pool) vs forced-serial execution of the same blocks.
+//   PE-SPARSE: support-2 profiles on a 6-player 8-action game — the
+//          sparse-support sweep vs the dense sweep (target: >= 3x,
+//          results bit-identical).
+//
+// Benchmark rows additionally report the CI-stable work counters
+// (cells_visited / offsets_advanced): the payoff sweeps have no early
+// exit, so the counters are deterministic in every mode and
+// scripts/bench_diff.py gates on them instead of wall time.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -15,6 +23,7 @@
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/work_counters.h"
 
 namespace {
 
@@ -35,7 +44,24 @@ game::MixedProfile interior_profile(const game::NormalFormGame& g, util::Rng& rn
     return profile;
 }
 
+using bnash::bench::CounterScope;
 using bnash::bench::measure_ns;
+
+// Support-2 mixed profile (mass on two random actions per player).
+game::MixedProfile support2_profile(const game::NormalFormGame& g, util::Rng& rng) {
+    game::MixedProfile profile(g.num_players());
+    for (std::size_t i = 0; i < g.num_players(); ++i) {
+        game::MixedStrategy s(g.num_actions(i), 0.0);
+        const std::size_t first = rng.next_below(g.num_actions(i));
+        std::size_t second = rng.next_below(g.num_actions(i) - 1);
+        if (second >= first) ++second;
+        const double p = 0.25 + rng.next_double() * 0.5;
+        s[first] = p;
+        s[second] = 1.0 - p;
+        profile[i] = std::move(s);
+    }
+    return profile;
+}
 
 void print_tables() {
     std::cout << "=== E-PE1: deviation payoffs, 4 players x 6 actions (1296 profiles) ===\n";
@@ -78,6 +104,54 @@ void print_tables() {
     pe2.print(std::cout);
     std::cout << "-> threaded and serial sweeps are bit-identical by construction "
                  "(fixed block decomposition, ordered merge)\n\n";
+
+    std::cout << "=== PE-SPARSE: deviation payoffs, 6 players x 8 actions (262144 "
+                 "profiles), support-2 profile ===\n";
+    const auto wide = game::NormalFormGame::random({8, 8, 8, 8, 8, 8}, rng);
+    const auto sparse_profile = support2_profile(wide, rng);
+    const game::PayoffEngine wide_engine(wide);
+    const auto via_dense =
+        wide_engine.deviation_payoffs_all(sparse_profile, game::SweepMode::kSerial);
+    const auto via_sparse =
+        wide_engine.deviation_payoffs_all_sparse(sparse_profile, game::SweepMode::kSerial);
+    const bool identical = via_dense == via_sparse;
+
+    // Per-op work tallies (single calls, outside the timing loops).
+    util::work_counters_reset();
+    benchmark::DoNotOptimize(
+        wide_engine.deviation_payoffs_all(sparse_profile, game::SweepMode::kSerial));
+    const auto dense_work = util::work_counters_snapshot();
+    util::work_counters_reset();
+    benchmark::DoNotOptimize(
+        wide_engine.deviation_payoffs_all_sparse(sparse_profile, game::SweepMode::kSerial));
+    const auto sparse_work = util::work_counters_snapshot();
+    util::work_counters_reset();
+
+    const double dense_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(
+            wide_engine.deviation_payoffs_all(sparse_profile, game::SweepMode::kSerial));
+    });
+    const double sparse_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(wide_engine.deviation_payoffs_all_sparse(
+            sparse_profile, game::SweepMode::kSerial));
+    });
+    util::Table pes({"sweep", "ns/op", "speedup"});
+    pes.add_row({"dense (full product space)", util::Table::fmt(dense_ns), "1.00x"});
+    pes.add_row({"sparse (support only)", util::Table::fmt(sparse_ns),
+                 util::Table::fmt(dense_ns / sparse_ns, 2) + "x"});
+    pes.print(std::cout);
+    std::cout << "-> payoffs bit-identical to the dense sweep ("
+              << (identical ? "PASS" : "MISS") << ")\n";
+    std::cout << "-> acceptance: sparse >= 3x over dense ("
+              << util::Table::fmt(dense_ns / sparse_ns, 2) << "x, "
+              << (dense_ns / sparse_ns >= 3.0 ? "PASS" : "MISS")
+              << "); cells visited shrink ~"
+              << util::Table::fmt(static_cast<double>(dense_work.cells_visited) /
+                                      static_cast<double>(sparse_work.cells_visited == 0
+                                                              ? 1
+                                                              : sparse_work.cells_visited),
+                                  0)
+              << "x\n\n";
 }
 
 void bench_deviation_naive_4p6a(benchmark::State& state) {
@@ -95,11 +169,53 @@ void bench_deviation_engine_4p6a(benchmark::State& state) {
     const auto g = game::NormalFormGame::random({6, 6, 6, 6}, rng);
     const auto profile = interior_profile(g, rng);
     const game::PayoffEngine engine(g);
+    const CounterScope counters(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(engine.deviation_payoffs_all(profile));
     }
 }
 BENCHMARK(bench_deviation_engine_4p6a)->Unit(benchmark::kMicrosecond);
+
+// PE-SPARSE trajectory rows: dense vs support-only sweeps on the same
+// support-2 profile (serial blocks; the counters are the gated metric).
+void bench_deviation_dense_6p8a_support2(benchmark::State& state) {
+    util::Rng rng{42};
+    const auto g = game::NormalFormGame::random({8, 8, 8, 8, 8, 8}, rng);
+    const auto profile = support2_profile(g, rng);
+    const game::PayoffEngine engine(g);
+    const CounterScope counters(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.deviation_payoffs_all(profile, game::SweepMode::kSerial));
+    }
+}
+BENCHMARK(bench_deviation_dense_6p8a_support2)->Unit(benchmark::kMillisecond);
+
+void bench_deviation_sparse_6p8a_support2(benchmark::State& state) {
+    util::Rng rng{42};
+    const auto g = game::NormalFormGame::random({8, 8, 8, 8, 8, 8}, rng);
+    const auto profile = support2_profile(g, rng);
+    const game::PayoffEngine engine(g);
+    const CounterScope counters(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.deviation_payoffs_all_sparse(profile, game::SweepMode::kSerial));
+    }
+}
+BENCHMARK(bench_deviation_sparse_6p8a_support2)->Unit(benchmark::kMicrosecond);
+
+void bench_expected_sparse_6p8a_support2(benchmark::State& state) {
+    util::Rng rng{42};
+    const auto g = game::NormalFormGame::random({8, 8, 8, 8, 8, 8}, rng);
+    const auto profile = support2_profile(g, rng);
+    const game::PayoffEngine engine(g);
+    const CounterScope counters(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.expected_payoffs_sparse(profile, game::SweepMode::kSerial));
+    }
+}
+BENCHMARK(bench_expected_sparse_6p8a_support2)->Unit(benchmark::kMicrosecond);
 
 void bench_deviation_engine_exact_3p4a(benchmark::State& state) {
     util::Rng rng{42};
@@ -120,6 +236,7 @@ void bench_sweep_serial_1m(benchmark::State& state) {
     const auto g = game::NormalFormGame::random({32, 32, 32, 32}, rng);
     const auto profile = interior_profile(g, rng);
     const game::PayoffEngine engine(g);
+    const CounterScope counters(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             engine.deviation_payoffs_all(profile, game::SweepMode::kSerial));

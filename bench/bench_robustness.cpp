@@ -21,6 +21,16 @@
 //          5-coalition) — the shared-sweep batch probe vs max_k
 //          independent probes (target: >= 2x, per-k verdicts bit-
 //          identical to the PR-1 reference).
+//
+// PR-4 acceptance block:
+//   R-FRONTIER: the full k x t robustness grid (k = 0..5, t = 0..3) on
+//          the 6-player attack game, all-1 profile —
+//          batch_robustness_frontier's single size-major sweep vs one
+//          independent is_kt_robust probe per cell (target: >= 2x,
+//          per-cell verdicts bit-identical).
+//
+// Serial bench rows additionally report the CI-stable work counters
+// (cells_visited / offsets_advanced) that scripts/bench_diff.py gates on.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -36,10 +46,14 @@
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/work_counters.h"
 
 namespace {
 
 using namespace bnash;
+// Counters only on serial rows: parallel early exit makes the tallies
+// scheduling-dependent.
+using bnash::bench::CounterScope;
 using bnash::bench::measure_ns;
 
 // The seed's reduction loop: one full tensor copy per eliminated action
@@ -262,6 +276,85 @@ void print_batch_resilience_acceptance() {
               << ")\n\n";
 }
 
+// The pre-frontier status quo: one independent full probe per (k, t)
+// cell. Baseline for R-FRONTIER.
+core::FrontierVerdict independent_frontier(const game::NormalFormGame& g,
+                                           const game::ExactMixedProfile& profile,
+                                           std::size_t max_k, std::size_t max_t,
+                                           const core::RobustnessOptions& options) {
+    core::FrontierVerdict out;
+    out.max_k = max_k;
+    out.max_t = max_t;
+    out.cells.assign((max_k + 1) * (max_t + 1), std::nullopt);
+    for (std::size_t k = 0; k <= max_k; ++k) {
+        for (std::size_t t = 0; t <= max_t; ++t) {
+            out.cells[k * (max_t + 1) + t] =
+                core::find_robustness_violation(g, profile, k, t, options);
+        }
+    }
+    return out;
+}
+
+void print_frontier_acceptance() {
+    std::cout << "=== R-FRONTIER: (k,t) grid k=0..5, t=0..3, 6-player attack game, all-1 — "
+                 "batched frontier vs independent probes ===\n";
+    const auto g = game::catalog::attack_coordination_game(6);
+    const auto all_one = core::as_exact_profile(g, game::PureProfile(6, 1));
+    const std::size_t max_k = 5;
+    const std::size_t max_t = 3;
+    const core::RobustnessOptions serial_opts{core::GainCriterion::kAnyMemberGains,
+                                              game::SweepMode::kSerial};
+    const core::RobustnessOptions parallel_opts{core::GainCriterion::kAnyMemberGains,
+                                                game::SweepMode::kAuto};
+
+    const auto batch = core::batch_robustness_frontier(g, all_one, max_k, max_t, serial_opts);
+    const auto batch_parallel =
+        core::batch_robustness_frontier(g, all_one, max_k, max_t, parallel_opts);
+    const auto independent = independent_frontier(g, all_one, max_k, max_t, serial_opts);
+    const bool identical = batch == independent && batch == batch_parallel;
+
+    // The frontier itself: the paper's trade-off between tolerating
+    // strategic coalitions (k) and faulty players (t).
+    util::Table grid({"k \\ t", "t=0", "t=1", "t=2", "t=3"});
+    for (std::size_t k = 0; k <= max_k; ++k) {
+        std::vector<std::string> row{"k=" + util::Table::fmt(k)};
+        for (std::size_t t = 0; t <= max_t; ++t) {
+            row.push_back(batch.robust(k, t) ? "robust" : "broken");
+        }
+        grid.add_row(row);
+    }
+    grid.print(std::cout);
+
+    const double independent_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(independent_frontier(g, all_one, max_k, max_t, serial_opts));
+    });
+    const double batch_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(
+            core::batch_robustness_frontier(g, all_one, max_k, max_t, serial_opts));
+    });
+    const double batch_parallel_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(
+            core::batch_robustness_frontier(g, all_one, max_k, max_t, parallel_opts));
+    });
+    util::Table table({"probe", "ns/op", "speedup"});
+    table.add_row({"independent per-cell probes, serial", util::Table::fmt(independent_ns),
+                   "1.00x"});
+    table.add_row({"batched frontier, serial", util::Table::fmt(batch_ns),
+                   util::Table::fmt(independent_ns / batch_ns, 2) + "x"});
+    table.add_row({"batched frontier, parallel (" +
+                       std::to_string(util::global_pool().size()) + " executors)",
+                   util::Table::fmt(batch_parallel_ns),
+                   util::Table::fmt(independent_ns / batch_parallel_ns, 2) + "x"});
+    table.print(std::cout);
+    const double speedup = independent_ns / batch_ns;
+    std::cout << "-> per-cell verdicts bit-identical across batch (serial+parallel) and "
+                 "independent probes ("
+              << (identical ? "PASS" : "MISS") << ")\n";
+    std::cout << "-> acceptance: batched frontier >= 2x over independent probes ("
+              << util::Table::fmt(speedup, 2) << "x, " << (speedup >= 2.0 ? "PASS" : "MISS")
+              << ")\n\n";
+}
+
 void print_view_elimination_comparison() {
     std::cout << "=== R-CS2: iterated elimination, 12x12 dominance chain — "
                  "tensor copies vs GameView ===\n";
@@ -339,11 +432,41 @@ void bench_sweep_full_serial(benchmark::State& state) {
     const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
     const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
                                           game::SweepMode::kSerial};
+    const CounterScope counters(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(core::find_robustness_violation(g, profile, 2, 1, options));
     }
 }
 BENCHMARK(bench_sweep_full_serial)->DenseRange(5, 8)->Unit(benchmark::kMicrosecond);
+
+// R-FRONTIER trajectory rows: the batched grid vs per-cell restarts,
+// serial blocks (work ratio, no scheduler noise).
+void bench_frontier_batch(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    const CounterScope counters(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::batch_robustness_frontier(g, profile, n - 1, 2, options));
+    }
+}
+BENCHMARK(bench_frontier_batch)->DenseRange(5, 7)->Unit(benchmark::kMicrosecond);
+
+void bench_frontier_independent(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    const CounterScope counters(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(independent_frontier(g, profile, n - 1, 2, options));
+    }
+}
+BENCHMARK(bench_frontier_independent)->DenseRange(5, 7)->Unit(benchmark::kMicrosecond);
 
 void bench_sweep_full_parallel(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
@@ -376,6 +499,7 @@ void bench_batch_resilience(benchmark::State& state) {
     const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
     const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
                                           game::SweepMode::kSerial};
+    const CounterScope counters(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(core::batch_resilience(g, profile, n - 1, options));
     }
@@ -469,6 +593,7 @@ int main(int argc, char** argv) {
     print_tables();
     print_coalition_sweep_acceptance();
     print_batch_resilience_acceptance();
+    print_frontier_acceptance();
     print_view_elimination_comparison();
     bnash::bench::initialize_with_json_output(argc, argv, "BENCH_robustness.json");
     benchmark::RunSpecifiedBenchmarks();

@@ -26,21 +26,32 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [[ "${BENCH}" == "ON" ]]; then
-  # Acceptance tables (R-CS / R-BATCH blocks) + BENCH_robustness.json artifact.
+  # Acceptance tables (R-CS / R-BATCH / R-FRONTIER and E-PE / PE-SPARSE
+  # blocks) + BENCH_*.json artifacts.
   (cd build && ./bench_robustness --benchmark_min_time=0.05s)
-  # Regression gate against the blessed baseline. The threshold is
-  # deliberately loose (machine-to-machine noise); re-bless by copying
-  # build/BENCH_robustness.json over the baseline after an intentional
-  # change. Skips gracefully when benches are off or python3 is absent.
-  if [[ -f bench/baselines/BENCH_robustness.json ]] && command -v python3 >/dev/null 2>&1; then
-    python3 scripts/bench_diff.py bench/baselines/BENCH_robustness.json \
-      build/BENCH_robustness.json --fail-above 150
+  (cd build && ./bench_payoff_engine --benchmark_min_time=0.05s)
+  # Regression gates against the blessed baselines. Wall time gets a
+  # deliberately loose threshold (machine-to-machine noise); the work
+  # counters (cells_visited / offsets_advanced) are deterministic on the
+  # gated serial rows, so they get a tight one — an algorithmic
+  # regression fails the gate even on a loaded machine. Re-bless by
+  # copying build/BENCH_<name>.json over the baseline after an
+  # intentional change. Skips gracefully when python3 is absent.
+  if command -v python3 >/dev/null 2>&1; then
+    for bench_name in robustness payoff_engine; do
+      if [[ -f "bench/baselines/BENCH_${bench_name}.json" ]]; then
+        python3 scripts/bench_diff.py "bench/baselines/BENCH_${bench_name}.json" \
+          "build/BENCH_${bench_name}.json" --gate real_time:150 \
+          --gate cells_visited:5 --gate offsets_advanced:5
+      else
+        echo "verify.sh: no BENCH_${bench_name}.json baseline; skipping its gate" >&2
+      fi
+    done
   else
-    echo "verify.sh: no baseline or python3; skipping bench regression gate" >&2
+    echo "verify.sh: python3 missing; skipping bench regression gates" >&2
   fi
 fi
 
 if [[ "${FULL_BENCH}" == "ON" && "${BENCH}" == "ON" ]]; then
-  (cd build && ./bench_payoff_engine --benchmark_min_time=0.05s)
   (cd build && ./bench_solvers --benchmark_min_time=0.05s)
 fi

@@ -1,12 +1,32 @@
 #include "core/robust/anonymous.h"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
 #include <stdexcept>
 
 #include "util/combinatorics.h"
+#include "util/thread_pool.h"
 
 namespace bnash::core {
 
 using util::Rational;
+
+namespace {
+
+// Coalition sizes per pooled task. The inner switcher loop is O(c), so
+// chunks stay small to balance; pair counts per chunk still dwarf the
+// pool's per-task claim cost.
+constexpr std::size_t kSizeChunk = 64;
+// Switcher counts per pooled immunity task (O(1) work each).
+constexpr std::size_t kImmunityChunk = 2048;
+
+bool use_pool(game::SweepMode mode, std::uint64_t work) {
+    return mode == game::SweepMode::kAuto && util::global_pool().size() > 1 &&
+           work >= AnonymousBinaryGame::kPooledWorkThreshold;
+}
+
+}  // namespace
 
 AnonymousBinaryGame::AnonymousBinaryGame(std::size_t num_players, PayoffFn payoff)
     : n_(num_players), payoff_(std::move(payoff)) {
@@ -53,61 +73,125 @@ bool AnonymousBinaryGame::all_base_is_nash(std::size_t base_action) const {
 }
 
 bool AnonymousBinaryGame::all_base_is_k_resilient(std::size_t base_action, std::size_t k,
-                                                  GainCriterion criterion) const {
-    const std::size_t base_ones = base_action == 1 ? n_ : 0;
-    const Rational baseline = payoff_(base_action, base_ones, n_);
-    // A coalition of c players in which j members switch to 1-base. By
-    // anonymity only (c, j) matters. j ranges 1..c (j = 0 is no change).
-    for (std::size_t c = 1; c <= k && c <= n_; ++c) {
-        for (std::size_t j = 1; j <= c; ++j) {
-            const std::size_t ones_after = base_action == 0 ? j : n_ - j;
-            const bool switcher_gains = payoff_(1 - base_action, ones_after, n_) > baseline;
-            const bool stayer_gains =
-                (j < c) && payoff_(base_action, ones_after, n_) > baseline;
-            if (criterion == GainCriterion::kAnyMemberGains) {
-                if (switcher_gains || stayer_gains) return false;
-            } else {
-                const bool all_gain = switcher_gains && (j == c || stayer_gains);
-                if (all_gain) return false;
-            }
-        }
-    }
-    return true;
+                                                  GainCriterion criterion,
+                                                  game::SweepMode mode) const {
+    return min_breaking_coalition_impl(base_action, k, criterion, mode) == 0;
 }
 
-bool AnonymousBinaryGame::all_base_is_t_immune(std::size_t base_action, std::size_t t) const {
-    const std::size_t base_ones = base_action == 1 ? n_ : 0;
-    const Rational baseline = payoff_(base_action, base_ones, n_);
-    for (std::size_t faulty = 1; faulty <= t && faulty < n_; ++faulty) {
-        for (std::size_t j = 1; j <= faulty; ++j) {  // j faulty players switch
-            const std::size_t ones_after = base_action == 0 ? j : n_ - j;
-            if (payoff_(base_action, ones_after, n_) < baseline) return false;
-        }
-    }
-    return true;
+bool AnonymousBinaryGame::all_base_is_t_immune(std::size_t base_action, std::size_t t,
+                                               game::SweepMode mode) const {
+    // t-immunity only depends on the worst switcher count j <= t (every
+    // faulty set of size >= j can realize it), so it reduces to the same
+    // scan the max_immunity boundary runs.
+    const std::size_t limit = t < n_ ? t : n_ - 1;
+    return first_harmful_switchers(base_action, limit, mode) > limit;
 }
 
 std::size_t AnonymousBinaryGame::min_breaking_coalition(std::size_t base_action,
-                                                        std::size_t max_k) const {
-    for (std::size_t k = 1; k <= max_k; ++k) {
-        if (!all_base_is_k_resilient(base_action, k)) return k;
-    }
-    return 0;
+                                                        std::size_t max_k,
+                                                        game::SweepMode mode) const {
+    return min_breaking_coalition_impl(base_action, max_k,
+                                       GainCriterion::kAnyMemberGains, mode);
 }
 
-std::size_t AnonymousBinaryGame::max_immunity(std::size_t base_action,
-                                              std::size_t max_t) const {
+// Smallest violating coalition size c <= min(max_k, n), 0 when none: ONE
+// (c, j) pair scan replaces the old per-k probe restarts. A coalition of
+// c players in which j members switch to 1-base; by anonymity only
+// (c, j) matters and j ranges 1..c (j = 0 is no change). The pooled path
+// splits coalition sizes into chunks with an atomic-min winner, so the
+// returned boundary is identical to the serial scan's.
+std::size_t AnonymousBinaryGame::min_breaking_coalition_impl(std::size_t base_action,
+                                                             std::size_t max_k,
+                                                             GainCriterion criterion,
+                                                             game::SweepMode mode) const {
+    const std::size_t limit = std::min(max_k, n_);
     const std::size_t base_ones = base_action == 1 ? n_ : 0;
     const Rational baseline = payoff_(base_action, base_ones, n_);
-    // t-immunity only depends on the worst switcher count j <= t, so the
-    // boundary is the smallest harmful j minus one — one scan instead of
-    // re-probing every t.
-    const std::size_t limit = max_t < n_ ? max_t : n_ - 1;
-    for (std::size_t j = 1; j <= limit; ++j) {
+    const auto pair_violates = [&](std::size_t c, std::size_t j) {
         const std::size_t ones_after = base_action == 0 ? j : n_ - j;
-        if (payoff_(base_action, ones_after, n_) < baseline) return j - 1;
+        const bool switcher_gains = payoff_(1 - base_action, ones_after, n_) > baseline;
+        const bool stayer_gains = (j < c) && payoff_(base_action, ones_after, n_) > baseline;
+        return criterion == GainCriterion::kAnyMemberGains
+                   ? (switcher_gains || stayer_gains)
+                   : (switcher_gains && (j == c || stayer_gains));
+    };
+    const std::uint64_t pairs =
+        static_cast<std::uint64_t>(limit) * (limit + 1) / 2;
+    if (!use_pool(mode, pairs)) {
+        for (std::size_t c = 1; c <= limit; ++c) {
+            for (std::size_t j = 1; j <= c; ++j) {
+                if (pair_violates(c, j)) return c;
+            }
+        }
+        return 0;
     }
-    return max_t;
+    constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+    std::atomic<std::size_t> best{kNone};
+    const std::size_t num_blocks = (limit + kSizeChunk - 1) / kSizeChunk;
+    util::global_pool().run_blocks(num_blocks, [&](std::size_t block) {
+        const std::size_t lo = 1 + block * kSizeChunk;
+        if (lo >= best.load(std::memory_order_acquire)) return;  // early exit
+        const std::size_t hi = std::min(limit, lo + kSizeChunk - 1);
+        for (std::size_t c = lo; c <= hi; ++c) {
+            if (c >= best.load(std::memory_order_acquire)) return;
+            for (std::size_t j = 1; j <= c; ++j) {
+                if (!pair_violates(c, j)) continue;
+                std::size_t current = best.load(std::memory_order_acquire);
+                while (c < current && !best.compare_exchange_weak(
+                                          current, c, std::memory_order_acq_rel)) {
+                }
+                return;
+            }
+        }
+    });
+    const std::size_t winner = best.load(std::memory_order_acquire);
+    return winner == kNone ? 0 : winner;
+}
+
+// Smallest harmful switcher count j <= limit (limit + 1 when none).
+std::size_t AnonymousBinaryGame::first_harmful_switchers(std::size_t base_action,
+                                                         std::size_t limit,
+                                                         game::SweepMode mode) const {
+    const std::size_t base_ones = base_action == 1 ? n_ : 0;
+    const Rational baseline = payoff_(base_action, base_ones, n_);
+    const auto harmful = [&](std::size_t j) {
+        const std::size_t ones_after = base_action == 0 ? j : n_ - j;
+        return payoff_(base_action, ones_after, n_) < baseline;
+    };
+    if (!use_pool(mode, limit)) {
+        for (std::size_t j = 1; j <= limit; ++j) {
+            if (harmful(j)) return j;
+        }
+        return limit + 1;
+    }
+    constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+    std::atomic<std::size_t> best{kNone};
+    const std::size_t num_blocks = (limit + kImmunityChunk - 1) / kImmunityChunk;
+    util::global_pool().run_blocks(num_blocks, [&](std::size_t block) {
+        const std::size_t lo = 1 + block * kImmunityChunk;
+        if (lo >= best.load(std::memory_order_acquire)) return;
+        const std::size_t hi = std::min(limit, lo + kImmunityChunk - 1);
+        for (std::size_t j = lo; j <= hi; ++j) {
+            if (j >= best.load(std::memory_order_acquire)) return;
+            if (!harmful(j)) continue;
+            std::size_t current = best.load(std::memory_order_acquire);
+            while (j < current &&
+                   !best.compare_exchange_weak(current, j, std::memory_order_acq_rel)) {
+            }
+            return;
+        }
+    });
+    const std::size_t winner = best.load(std::memory_order_acquire);
+    return winner == kNone ? limit + 1 : winner;
+}
+
+std::size_t AnonymousBinaryGame::max_immunity(std::size_t base_action, std::size_t max_t,
+                                              game::SweepMode mode) const {
+    // The boundary is the smallest harmful switcher count minus one — one
+    // scan instead of re-probing every t.
+    const std::size_t limit = max_t < n_ ? max_t : n_ - 1;
+    const std::size_t first = first_harmful_switchers(base_action, limit, mode);
+    return first > limit ? max_t : first - 1;
 }
 
 game::NormalFormGame AnonymousBinaryGame::to_normal_form() const {

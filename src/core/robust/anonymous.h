@@ -8,6 +8,15 @@
 // deviation counts -- the benches sweep these games to n = 50 and beyond,
 // far past what the generic checkers can store. Cross-validated against
 // the exact tensor checkers for small n in the tests.
+//
+// LARGE-n path: the closed-form scans are the fast path, but at very
+// large n the O(k^2) (coalition size, switcher count) pair scan itself
+// dominates (each pair costs a PayoffFn call). Above
+// kPooledWorkThreshold scanned pairs, kAuto mode splits the scan into
+// CoalitionSweep-style coalition-size blocks on util::global_pool() with
+// an atomic-min winner, so verdicts and boundaries are identical to the
+// serial scan in both modes (cross-validated in test_robust_fuzz against
+// serial scans at large n and against tensor twins at small n).
 #pragma once
 
 #include <cstddef>
@@ -22,7 +31,9 @@ namespace bnash::core {
 class AnonymousBinaryGame final {
 public:
     // payoff(action, total_ones, n): utility of a player choosing `action`
-    // when `total_ones` players (including itself) chose 1.
+    // when `total_ones` players (including itself) chose 1. Must be safe
+    // to call concurrently (the pooled large-n scans invoke it from
+    // several workers); pure functions of the arguments always are.
     using PayoffFn =
         std::function<util::Rational(std::size_t action, std::size_t total_ones, std::size_t n)>;
 
@@ -40,27 +51,45 @@ public:
     [[nodiscard]] std::size_t num_players() const noexcept { return n_; }
     [[nodiscard]] util::Rational payoff(std::size_t action, std::size_t total_ones) const;
 
+    // Scanned pairs (resp. switcher counts) above which kAuto pools the
+    // scan; below it the closed-form serial loop wins outright.
+    static constexpr std::uint64_t kPooledWorkThreshold = 4096;
+
     // Checks on the symmetric profile "everyone plays base_action":
     [[nodiscard]] bool all_base_is_nash(std::size_t base_action) const;
     [[nodiscard]] bool all_base_is_k_resilient(
         std::size_t base_action, std::size_t k,
-        GainCriterion criterion = GainCriterion::kAnyMemberGains) const;
-    [[nodiscard]] bool all_base_is_t_immune(std::size_t base_action, std::size_t t) const;
+        GainCriterion criterion = GainCriterion::kAnyMemberGains,
+        game::SweepMode mode = game::SweepMode::kAuto) const;
+    [[nodiscard]] bool all_base_is_t_immune(
+        std::size_t base_action, std::size_t t,
+        game::SweepMode mode = game::SweepMode::kAuto) const;
 
     // Smallest coalition size that can profitably deviate from all-base
-    // (searching up to max_k); 0 when none found.
-    [[nodiscard]] std::size_t min_breaking_coalition(std::size_t base_action,
-                                                     std::size_t max_k) const;
+    // (searching up to max_k); 0 when none found. One (c, j) pair scan —
+    // not max_k probe restarts — serial or pooled (identical boundary).
+    [[nodiscard]] std::size_t min_breaking_coalition(
+        std::size_t base_action, std::size_t max_k,
+        game::SweepMode mode = game::SweepMode::kAuto) const;
 
     // Largest t <= max_t such that all-base is t-immune (0 when not even
     // 1-immune): the anonymous sibling of core::batch_immunity's max_ok,
     // found in ONE O(max_t) scan over switcher counts.
-    [[nodiscard]] std::size_t max_immunity(std::size_t base_action, std::size_t max_t) const;
+    [[nodiscard]] std::size_t max_immunity(std::size_t base_action, std::size_t max_t,
+                                           game::SweepMode mode = game::SweepMode::kAuto) const;
 
     // Materializes the payoff tensor (small n only; throws above 16).
     [[nodiscard]] game::NormalFormGame to_normal_form() const;
 
 private:
+    [[nodiscard]] std::size_t min_breaking_coalition_impl(std::size_t base_action,
+                                                          std::size_t max_k,
+                                                          GainCriterion criterion,
+                                                          game::SweepMode mode) const;
+    [[nodiscard]] std::size_t first_harmful_switchers(std::size_t base_action,
+                                                      std::size_t limit,
+                                                      game::SweepMode mode) const;
+
     std::size_t n_;
     PayoffFn payoff_;
 };

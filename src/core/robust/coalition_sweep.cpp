@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "util/combinatorics.h"
+#include "util/offset_walker.h"
 #include "util/thread_pool.h"
+#include "util/work_counters.h"
 
 namespace bnash::core {
 namespace {
@@ -17,61 +19,45 @@ using game::NormalFormGame;
 using game::PureProfile;
 using util::Rational;
 
-// Incremental mixed-radix odometer over the joint action space of the
-// players in `who`: visits tuples in row-major order while maintaining
-// the deviated profile's flat payoff-row offset — row(tau) = base +
-// sum_d (cell_offset(who_d, tau_d) - cell_offset(who_d, candidate_d)) —
-// in O(1) per step. The offsets come straight from the view's cell
-// tables, so the same scan walks a dense game (identity view) or any
-// zero-copy restriction. Unsigned wrap-around in the running row is
-// fine: every complete sum is back in range. This replaces a PureProfile
-// rebuild + O(players) re-rank per joint deviation per queried player
-// with one add per odometer step.
+// Joint-deviation scan over the players in `who`: a thin adapter that
+// configures the shared util::OffsetWalker over those players' view
+// cell-offset columns, rebased so reset(base) starts from the row where
+// every scanned player still plays its CANDIDATE action — row(tau) =
+// base + sum_d (cell_offset(who_d, tau_d) - cell_offset(who_d,
+// candidate_d)). All actual walking (row-major order, incremental row
+// deltas, unsigned wrap-around) lives in the walker.
 class JointScan final {
 public:
     void init(const GameView& view, const PureProfile& candidate,
               const std::vector<std::size_t>& who) {
-        counts_.resize(who.size());
-        offsets_.resize(who.size());
+        carried_moves_ += walker_.digit_moves();  // clear() resets the tally
+        walker_.clear();
+        walker_.reserve(who.size());
         rebase_ = 0;
-        for (std::size_t d = 0; d < who.size(); ++d) {
-            counts_[d] = view.num_actions(who[d]);
-            offsets_[d] = view.cell_offsets(who[d]).data();
-            rebase_ += offsets_[d][0] - offsets_[d][candidate[who[d]]];
+        for (const std::size_t p : who) {
+            const auto& column = view.cell_offsets(p);
+            walker_.add_digit(column.data(), column.size());
+            rebase_ -= column[candidate[p]];
         }
-        tuple_.assign(who.size(), 0);
     }
 
     // Restart at the all-zeros tuple relative to `base` (the row with
     // every scanned player still on its candidate action).
-    void reset(std::uint64_t base) {
-        std::fill(tuple_.begin(), tuple_.end(), 0);
-        row_ = base + rebase_;
-    }
+    void reset(std::uint64_t base) { walker_.reset(base + rebase_); }
 
     // Advance one tuple; false once the space is exhausted.
-    [[nodiscard]] bool advance() {
-        for (std::size_t d = counts_.size(); d-- > 0;) {
-            const std::size_t a = ++tuple_[d];
-            if (a < counts_[d]) {
-                row_ += offsets_[d][a] - offsets_[d][a - 1];
-                return true;
-            }
-            row_ += offsets_[d][0] - offsets_[d][a - 1];
-            tuple_[d] = 0;
-        }
-        return false;
+    [[nodiscard]] bool advance() { return walker_.advance(); }
+
+    [[nodiscard]] std::uint64_t row() const noexcept { return walker_.row(); }
+    [[nodiscard]] const PureProfile& tuple() const noexcept { return walker_.tuple(); }
+    [[nodiscard]] std::uint64_t digit_moves() const noexcept {
+        return carried_moves_ + walker_.digit_moves();
     }
 
-    [[nodiscard]] std::uint64_t row() const noexcept { return row_; }
-    [[nodiscard]] const PureProfile& tuple() const noexcept { return tuple_; }
-
 private:
-    std::vector<std::size_t> counts_;
-    std::vector<const std::uint64_t*> offsets_;
+    util::OffsetWalker walker_;
     std::uint64_t rebase_ = 0;
-    std::uint64_t row_ = 0;
-    PureProfile tuple_;
+    std::uint64_t carried_moves_ = 0;
 };
 
 std::vector<std::size_t> action_space(const GameView& view,
@@ -152,7 +138,10 @@ Rational CoalitionSweep::mixed_utility(const std::vector<std::size_t>& who,
         point[actions[idx]] = Rational{1};
         deviated[who[idx]] = std::move(point);
     }
-    return game::expected_payoff_exact(view_, deviated, player);
+    // Sparse-support sweep: the deviators are point masses, so the walk
+    // covers only the candidate's support cross the pinned deviations
+    // (exact arithmetic — same value as the dense sweep by construction).
+    return game::expected_payoff_exact_sparse(view_, deviated, player);
 }
 
 std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
@@ -170,10 +159,13 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
         JointScan scan;
         scan.init(view_, *pure_, faulty);
         scan.reset(base_row_);
+        std::uint64_t cells = 0;
         do {
+            ++cells;
             for (const std::size_t i : outsiders) {
                 const Rational& after = view_.payoff_from(scan.row(), i);
                 if (after < baseline[i]) {
+                    util::work_counters_add(cells, scan.digit_moves());
                     return RobustnessViolation{{},
                                                faulty,
                                                {},
@@ -184,6 +176,7 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
                 }
             }
         } while (scan.advance());
+        util::work_counters_add(cells, scan.digit_moves());
         return std::nullopt;
     }
     std::optional<RobustnessViolation> found;
@@ -225,6 +218,7 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         JointScan faulty_scan;
         std::vector<const Rational*> reference(width);
         std::vector<std::size_t> faulty;
+        std::uint64_t cells = 0;
         const auto scan_against_faulty =
             [&]() -> std::optional<RobustnessViolation> {
             faulty_scan.init(view_, *pure_, faulty);
@@ -237,6 +231,7 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
                 }
                 coalition_scan.reset(faulty_scan.row());
                 do {
+                    ++cells;
                     bool any_gain = false;
                     bool all_gain = true;
                     std::size_t witness = coalition[0];
@@ -275,15 +270,26 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         };
         // The empty faulty set first, then every disjoint T with
         // |T| <= t — the reference checker's enumeration order.
-        if (auto violation = scan_against_faulty()) return violation;
+        const auto flush_counters = [&] {
+            util::work_counters_add(cells, faulty_scan.digit_moves() +
+                                               coalition_scan.digit_moves());
+        };
+        if (auto violation = scan_against_faulty()) {
+            flush_counters();
+            return violation;
+        }
         if (t > 0) {
             const util::SubsetEnumerator enumerator(others.size(), t);
             for (const auto& index_set : enumerator) {
                 faulty.clear();
                 for (const std::size_t idx : index_set) faulty.push_back(others[idx]);
-                if (auto violation = scan_against_faulty()) return violation;
+                if (auto violation = scan_against_faulty()) {
+                    flush_counters();
+                    return violation;
+                }
             }
         }
+        flush_counters();
         return std::nullopt;
     }
 
@@ -420,6 +426,118 @@ BatchVerdict CoalitionSweep::batch_resilience(std::size_t max_k, GainCriterion c
     const std::size_t breaking = coalitions[hit->first].size();
     out.max_ok = breaking - 1;
     for (std::size_t k = breaking; k <= max_k; ++k) out.violations[k - 1] = hit->second;
+    return out;
+}
+
+FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
+                                                          std::size_t max_t,
+                                                          GainCriterion criterion,
+                                                          game::SweepMode mode) const {
+    FrontierVerdict out;
+    out.max_k = max_k;
+    out.max_t = max_t;
+    out.cells.assign((max_k + 1) * (max_t + 1), std::nullopt);
+    const std::size_t stride = max_t + 1;
+
+    // Part (a): one shared faulty-set sweep gives every t-column's
+    // immunity verdict (the independent probes check immunity FIRST, so a
+    // broken column takes the immunity witness for every k).
+    const BatchVerdict immunity = batch_immunity(max_t, mode);
+    for (std::size_t t = immunity.max_ok + 1; t <= max_t; ++t) {
+        for (std::size_t k = 0; k <= max_k; ++k) {
+            out.cells[k * stride + t] = immunity.violations[t - 1];
+        }
+    }
+
+    // Part (b): the size-major coalition sweep resolves the surviving
+    // columns. A task's cap is the highest still-unresolved column (the
+    // unresolved set is always a t-prefix: every hit resolves a suffix),
+    // and a hit at faulty size s0 claims every column t >= s0 the task is
+    // still the lowest index for.
+    const std::size_t t_res = std::min(max_t, immunity.max_ok);
+    if (max_k == 0) return out;  // k = 0 row: resilience is vacuous
+    const util::SubsetEnumerator coalitions(view_.num_players(), max_k);
+    const std::size_t num_tasks = coalitions.size();
+    std::vector<std::optional<RobustnessViolation>> found(num_tasks);
+    std::vector<std::size_t> winner(t_res + 1, num_tasks);
+    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    auto& pool = util::global_pool();
+    if (effective == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
+        for (std::size_t index = 0; index < num_tasks; ++index) {
+            std::size_t cap = 0;
+            bool unresolved = false;
+            for (std::size_t t = t_res + 1; t-- > 0;) {
+                if (winner[t] == num_tasks) {
+                    cap = t;
+                    unresolved = true;
+                    break;
+                }
+            }
+            if (!unresolved) break;
+            if (auto violation = resilience_task(coalitions[index], cap, criterion)) {
+                const std::size_t s0 = violation->faulty.size();
+                for (std::size_t t = s0; t <= t_res; ++t) {
+                    if (winner[t] == num_tasks) winner[t] = index;
+                }
+                found[index] = std::move(violation);
+            }
+        }
+    } else {
+        std::vector<std::atomic<std::size_t>> best(t_res + 1);
+        for (auto& slot : best) slot.store(num_tasks, std::memory_order_relaxed);
+        std::vector<std::exception_ptr> errors(num_tasks);
+        pool.run_blocks(num_tasks, [&](std::size_t index) {
+            // Columns this task could still win form a prefix; its cap is
+            // the highest of them. None -> early exit.
+            std::size_t cap = 0;
+            bool live = false;
+            for (std::size_t t = t_res + 1; t-- > 0;) {
+                if (index < best[t].load(std::memory_order_acquire)) {
+                    cap = t;
+                    live = true;
+                    break;
+                }
+            }
+            if (!live) return;
+            try {
+                if (auto violation = resilience_task(coalitions[index], cap, criterion)) {
+                    const std::size_t s0 = violation->faulty.size();
+                    found[index] = std::move(violation);
+                    for (std::size_t t = s0; t <= t_res; ++t) {
+                        std::size_t current = best[t].load(std::memory_order_acquire);
+                        while (index < current &&
+                               !best[t].compare_exchange_weak(current, index,
+                                                              std::memory_order_acq_rel)) {
+                        }
+                    }
+                }
+            } catch (...) {
+                errors[index] = std::current_exception();
+            }
+        });
+        // Serial-equivalent error behavior: an error at a task the serial
+        // loop would still have reached (below the last column's winner,
+        // or anywhere when some column never resolved) is rethrown,
+        // lowest index first; errors past every winner are swallowed.
+        std::size_t reach = 0;
+        for (std::size_t t = 0; t <= t_res; ++t) {
+            winner[t] = best[t].load(std::memory_order_acquire);
+            reach = std::max(reach, winner[t]);
+        }
+        for (std::size_t index = 0; index < std::min(reach, num_tasks); ++index) {
+            if (errors[index]) std::rethrow_exception(errors[index]);
+        }
+    }
+    // Cell (k, t): the lowest winning task fits iff its coalition fits in
+    // k (tasks are size-major, so "index < first size-(k+1) task" and
+    // "size <= k" coincide).
+    for (std::size_t t = 0; t <= t_res; ++t) {
+        if (winner[t] == num_tasks) continue;
+        const std::size_t breaking = coalitions[winner[t]].size();
+        for (std::size_t k = breaking; k <= max_k; ++k) {
+            out.cells[k * stride + t] = found[winner[t]];
+        }
+    }
     return out;
 }
 

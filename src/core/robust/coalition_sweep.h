@@ -88,6 +88,24 @@ public:
     [[nodiscard]] BatchVerdict batch_immunity(
         std::size_t max_t, game::SweepMode mode = game::SweepMode::kAuto) const;
 
+    // The FULL k x t grid of (k,t)-robustness verdicts in one size-major
+    // coalition sweep. Works because both quantifier orders are prefix-
+    // decomposable: faulty sets inside a coalition task are enumerated
+    // empty-first then size-major, so a task's FIRST violation (at faulty
+    // size s0) is the violation every probe with t >= s0 would have
+    // reported, and no probe with t < s0 finds one in that task; and
+    // coalitions are size-major, so cell (k, t)'s winner is simply the
+    // LOWEST task index with coalition size <= k and s0 <= t. One sweep
+    // maintains the per-t-column lowest winner (atomic-min in parallel
+    // mode, tasks above every column's winner early-exit) and the t-axis
+    // immunity witnesses come from the shared batch_immunity sweep.
+    // Per-cell verdicts/witnesses are bit-identical to independent
+    // find_robustness_violation(k, t) probes in both sweep modes.
+    [[nodiscard]] FrontierVerdict batch_robustness_frontier(
+        std::size_t max_k, std::size_t max_t,
+        GainCriterion criterion = GainCriterion::kAnyMemberGains,
+        game::SweepMode mode = game::SweepMode::kAuto) const;
+
 private:
     // One coalition/faulty-set task; nullopt when the task finds nothing.
     [[nodiscard]] std::optional<RobustnessViolation> immunity_task(

@@ -220,6 +220,24 @@ BatchVerdict batch_immunity(const game::GameView& view, const ExactMixedProfile&
     return CoalitionSweep(view, profile).batch_immunity(max_t, mode);
 }
 
+FrontierVerdict batch_robustness_frontier(const NormalFormGame& game,
+                                          const ExactMixedProfile& profile, std::size_t max_k,
+                                          std::size_t max_t,
+                                          const RobustnessOptions& options) {
+    validate_profile(game, profile);
+    return CoalitionSweep(game, profile)
+        .batch_robustness_frontier(max_k, max_t, options.criterion, options.mode);
+}
+
+FrontierVerdict batch_robustness_frontier(const game::GameView& view,
+                                          const ExactMixedProfile& profile, std::size_t max_k,
+                                          std::size_t max_t,
+                                          const RobustnessOptions& options) {
+    validate_profile(view, profile);
+    return CoalitionSweep(view, profile)
+        .batch_robustness_frontier(max_k, max_t, options.criterion, options.mode);
+}
+
 namespace reference {
 
 std::optional<RobustnessViolation> find_immunity_violation(const NormalFormGame& game,

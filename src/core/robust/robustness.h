@@ -84,6 +84,28 @@ struct BatchVerdict final {
     friend bool operator==(const BatchVerdict&, const BatchVerdict&) = default;
 };
 
+// The full (k, t)-robustness FRONTIER: per-cell verdicts for every
+// k = 0..max_k and t = 0..max_t, computed by batch_robustness_frontier in
+// ONE size-major coalition sweep plus one shared faulty-set sweep instead
+// of (max_k+1) x (max_t+1) independent probes. violation(k, t) is exactly
+// what an independent find_robustness_violation(k, t) call would have
+// returned (nullopt when the profile is (k, t)-robust) — bit-identical
+// witnesses, asserted by the fuzz suite and the R-FRONTIER bench block.
+struct FrontierVerdict final {
+    std::size_t max_k = 0;
+    std::size_t max_t = 0;
+    // Row-major by k: cell (k, t) at index k * (max_t + 1) + t.
+    std::vector<std::optional<RobustnessViolation>> cells;
+    [[nodiscard]] const std::optional<RobustnessViolation>& violation(std::size_t k,
+                                                                      std::size_t t) const {
+        return cells.at(k * (max_t + 1) + t);
+    }
+    [[nodiscard]] bool robust(std::size_t k, std::size_t t) const {
+        return !violation(k, t).has_value();
+    }
+    friend bool operator==(const FrontierVerdict&, const FrontierVerdict&) = default;
+};
+
 // --- normal-form checkers (exact rational arithmetic throughout) ---------
 
 [[nodiscard]] std::optional<RobustnessViolation> find_resilience_violation(
@@ -154,6 +176,14 @@ struct BatchVerdict final {
                                           const game::ExactMixedProfile& profile,
                                           std::size_t max_t,
                                           game::SweepMode mode = game::SweepMode::kAuto);
+
+// The whole k x t grid in one batched sweep; see FrontierVerdict.
+[[nodiscard]] FrontierVerdict batch_robustness_frontier(
+    const game::NormalFormGame& game, const game::ExactMixedProfile& profile,
+    std::size_t max_k, std::size_t max_t, const RobustnessOptions& options = {});
+[[nodiscard]] FrontierVerdict batch_robustness_frontier(
+    const game::GameView& view, const game::ExactMixedProfile& profile, std::size_t max_k,
+    std::size_t max_t, const RobustnessOptions& options = {});
 
 // Pure-profile conveniences.
 [[nodiscard]] game::ExactMixedProfile as_exact_profile(const game::NormalFormGame& game,

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/combinatorics.h"
+#include "util/offset_walker.h"
 
 namespace bnash::game {
 
@@ -116,20 +117,17 @@ util::MatrixQ GameView::payoff_matrix(std::size_t player) const {
 NormalFormGame GameView::materialize() const {
     NormalFormGame out(action_counts_);
     const std::size_t n = num_players();
-    PureProfile tuple(n, 0);
-    std::uint64_t row = row_offset(tuple);
+    util::OffsetWalker walker;
+    walker.reserve(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        walker.add_digit(cell_offsets_[p].data(), cell_offsets_[p].size());
+    }
+    walker.reset();
     for (std::uint64_t rank = 0; rank < num_profiles_; ++rank) {
         for (std::size_t p = 0; p < n; ++p) {
-            out.set_payoff(tuple, p, payoff_from(row, p));
+            out.set_payoff(walker.tuple(), p, payoff_from(walker.row(), p));
         }
-        for (std::size_t d = n; d-- > 0;) {
-            if (++tuple[d] < action_counts_[d]) {
-                row += cell_offsets_[d][tuple[d]] - cell_offsets_[d][tuple[d] - 1];
-                break;
-            }
-            row -= cell_offsets_[d][tuple[d] - 1] - cell_offsets_[d][0];
-            tuple[d] = 0;
-        }
+        (void)walker.advance();
     }
     for (std::size_t p = 0; p < n; ++p) {
         const std::size_t parent_player = player_map_[p];

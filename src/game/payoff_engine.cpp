@@ -6,10 +6,13 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "game/game_view.h"
 #include "util/combinatorics.h"
+#include "util/offset_walker.h"
 #include "util/thread_pool.h"
+#include "util/work_counters.h"
 
 namespace bnash::game {
 namespace {
@@ -17,65 +20,49 @@ namespace {
 inline bool sweep_zero(double value) { return value == 0.0; }
 inline bool sweep_zero(const util::Rational& value) { return value.is_zero(); }
 
-// One odometer step in row-major order (last digit fastest).
-inline void step_tuple(const std::vector<std::size_t>& counts,
-                       std::vector<std::size_t>& tuple) {
-    for (std::size_t d = counts.size(); d-- > 0;) {
-        if (++tuple[d] < counts[d]) return;
-        tuple[d] = 0;
-    }
-}
-
 // Tensor accessors: the sweep kernels are generic over WHERE a profile's
-// payoff row lives. `row(rank, tuple)` yields an opaque row handle (a flat
-// offset) computed once at block entry, `advance(counts, tuple, row)`
-// steps the odometer while updating the row INCREMENTALLY, and
-// `at(row, i)` reads player i's payoff from the current row.
+// payoff row lives. `make_walker()` yields a util::OffsetWalker over the
+// accessor's per-digit cell-offset tables (the ONE incremental odometer
+// every kernel steps), and `at(row, i)` reads player i's payoff from the
+// walker's current row.
 //
 // DenseTensor: contiguous [rank * n + i] storage (NormalFormGame's own
-// tensors). The row is rank * n, so every odometer step adds n.
+// tensors); the walker steps the engine's precomputed offset tables
+// (cell_offsets()[p][a] = a * stride_p * n). Rows are contiguous, so the
+// all-player accumulation vectorizes (kContiguousRow).
 template <typename V>
 struct DenseTensor {
     const V* data;
-    std::size_t n;
-    [[nodiscard]] std::uint64_t row(std::uint64_t rank,
-                                    const std::vector<std::size_t>&) const noexcept {
-        return rank * n;
+    const std::vector<std::vector<std::uint64_t>>* cells;
+    static constexpr bool kContiguousRow = true;
+    [[nodiscard]] util::OffsetWalker make_walker() const {
+        util::OffsetWalker walker;
+        walker.reserve(cells->size());
+        for (const auto& column : *cells) walker.add_digit(column.data(), column.size());
+        return walker;
     }
-    void advance(const std::vector<std::size_t>& counts, std::vector<std::size_t>& tuple,
-                 std::uint64_t& row) const noexcept {
-        step_tuple(counts, tuple);
-        row += n;
-    }
+    [[nodiscard]] const V* row_ptr(std::uint64_t row) const noexcept { return data + row; }
     [[nodiscard]] const V& at(std::uint64_t row, std::size_t i) const noexcept {
         return data[row + i];
     }
 };
 
-// ViewTensor: a GameView's scattered cells; the row offset is the sum of
-// the tuple's per-digit cell offsets into the PARENT tensor (zero copy).
-// Recomputed only at block entry: odometer steps add the changed digits'
-// cell-offset deltas instead of re-summing all n cells per profile
-// (unsigned wrap-around on a carry is fine — every complete row sum is
-// back in range, the same pattern GameView::materialize walks).
+// ViewTensor: a GameView's scattered cells; the walker steps the view's
+// cell-offset tables straight into the PARENT tensor (zero copy), and
+// reads go through the view's player column map.
 struct ViewTensorBase {
     const GameView* view;
-    [[nodiscard]] std::uint64_t row(std::uint64_t,
-                                    const std::vector<std::size_t>& tuple) const {
-        return view->row_offset(tuple);
-    }
-    void advance(const std::vector<std::size_t>& counts, std::vector<std::size_t>& tuple,
-                 std::uint64_t& row) const {
-        for (std::size_t d = counts.size(); d-- > 0;) {
-            const std::size_t a = ++tuple[d];
-            if (a < counts[d]) {
-                row += view->cell_offset(d, a) - view->cell_offset(d, a - 1);
-                return;
-            }
-            row += view->cell_offset(d, 0) - view->cell_offset(d, a - 1);
-            tuple[d] = 0;
+    static constexpr bool kContiguousRow = false;
+    [[nodiscard]] util::OffsetWalker make_walker() const {
+        util::OffsetWalker walker;
+        walker.reserve(view->num_players());
+        for (std::size_t p = 0; p < view->num_players(); ++p) {
+            const auto& column = view->cell_offsets(p);
+            walker.add_digit(column.data(), column.size());
         }
+        return walker;
     }
+    [[nodiscard]] const double* row_ptr(std::uint64_t) const noexcept { return nullptr; }
 };
 
 struct ViewTensorExact : ViewTensorBase {
@@ -90,17 +77,35 @@ struct ViewTensorDouble : ViewTensorBase {
     }
 };
 
+// totals[i] += weight * row[i] for every player. On contiguous rows the
+// loop is elementwise-independent, so the double mirror vectorizes
+// (enabled with -fopenmp-simd; each totals[i] keeps its own accumulator,
+// so SIMD changes no accumulation order and results stay bit-identical).
+template <typename V, typename Acc>
+inline void accumulate_all(const Acc& acc, std::uint64_t row, const V& weight,
+                           std::vector<V>& totals) {
+    const std::size_t n = totals.size();
+    if constexpr (Acc::kContiguousRow) {
+        const V* cells = acc.row_ptr(row);
+        V* out = totals.data();
+#pragma omp simd
+        for (std::size_t i = 0; i < n; ++i) out[i] += weight * cells[i];
+    } else {
+        for (std::size_t i = 0; i < n; ++i) totals[i] += weight * acc.at(row, i);
+    }
+}
+
 // Accumulates every player's deviation payoffs over ranks [begin, end).
 // Prefix/suffix probability products give weight_excluding(i) for all i
 // in O(players) per profile — the marginalization that replaces the
 // seed's one-full-sweep-per-(player, action).
 template <typename V, typename ProfileT, typename Acc>
-void deviation_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
-                     const Acc& acc, std::uint64_t begin, std::uint64_t end,
-                     std::vector<std::vector<V>>& dev) {
-    const std::size_t n = counts.size();
-    auto tuple = util::product_unrank(counts, begin);
-    std::uint64_t row = acc.row(begin, tuple);
+void deviation_block(const ProfileT& profile, const Acc& acc, std::uint64_t begin,
+                     std::uint64_t end, std::vector<std::vector<V>>& dev) {
+    const std::size_t n = profile.size();
+    util::OffsetWalker walker = acc.make_walker();
+    walker.seek(begin);
+    const auto& tuple = walker.tuple();
     std::vector<V> prefix(n + 1, V{1});
     std::vector<V> suffix(n + 1, V{1});
     for (std::uint64_t rank = begin; rank < end; ++rank) {
@@ -110,33 +115,36 @@ void deviation_block(const std::vector<std::size_t>& counts, const ProfileT& pro
         for (std::size_t i = n; i-- > 0;) {
             suffix[i] = suffix[i + 1] * profile[i][tuple[i]];
         }
+        const std::uint64_t row = walker.row();
         for (std::size_t i = 0; i < n; ++i) {
             const V weight = prefix[i] * suffix[i + 1];
             if (!sweep_zero(weight)) dev[i][tuple[i]] += weight * acc.at(row, i);
         }
-        acc.advance(counts, tuple, row);
+        (void)walker.advance();
     }
+    util::work_counters_add(end - begin, walker.digit_moves());
 }
 
 // One player's deviation row only (best_responses against a fixed rival
 // profile needs nothing else).
 template <typename V, typename ProfileT, typename Acc>
-void deviation_row_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
-                         const Acc& acc, std::size_t player, std::uint64_t begin,
-                         std::uint64_t end, std::vector<V>& dev_row) {
-    const std::size_t n = counts.size();
-    auto tuple = util::product_unrank(counts, begin);
-    std::uint64_t row = acc.row(begin, tuple);
+void deviation_row_block(const ProfileT& profile, const Acc& acc, std::size_t player,
+                         std::uint64_t begin, std::uint64_t end, std::vector<V>& dev_row) {
+    const std::size_t n = profile.size();
+    util::OffsetWalker walker = acc.make_walker();
+    walker.seek(begin);
+    const auto& tuple = walker.tuple();
     for (std::uint64_t rank = begin; rank < end; ++rank) {
         V weight{1};
         for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
             if (i != player) weight *= profile[i][tuple[i]];
         }
         if (!sweep_zero(weight)) {
-            dev_row[tuple[player]] += weight * acc.at(row, player);
+            dev_row[tuple[player]] += weight * acc.at(walker.row(), player);
         }
-        acc.advance(counts, tuple, row);
+        (void)walker.advance();
     }
+    util::work_counters_add(end - begin, walker.digit_moves());
 }
 
 // One player's expected payoff: the weight product is still O(players)
@@ -144,81 +152,100 @@ void deviation_row_block(const std::vector<std::size_t>& counts, const ProfileT&
 // accumulation is a Rational multiply-add, so single-player callers (the
 // robustness Evaluator's mixed fallback) skip n-1 of them.
 template <typename V, typename ProfileT, typename Acc>
-void expected_single_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
-                           const Acc& acc, std::size_t player, std::uint64_t begin,
-                           std::uint64_t end, V& total) {
-    const std::size_t n = counts.size();
-    auto tuple = util::product_unrank(counts, begin);
-    std::uint64_t row = acc.row(begin, tuple);
+void expected_single_block(const ProfileT& profile, const Acc& acc, std::size_t player,
+                           std::uint64_t begin, std::uint64_t end, V& total) {
+    const std::size_t n = profile.size();
+    util::OffsetWalker walker = acc.make_walker();
+    walker.seek(begin);
+    const auto& tuple = walker.tuple();
     for (std::uint64_t rank = begin; rank < end; ++rank) {
         V weight{1};
         for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
             weight *= profile[i][tuple[i]];
         }
-        if (!sweep_zero(weight)) total += weight * acc.at(row, player);
-        acc.advance(counts, tuple, row);
+        if (!sweep_zero(weight)) total += weight * acc.at(walker.row(), player);
+        (void)walker.advance();
     }
+    util::work_counters_add(end - begin, walker.digit_moves());
 }
 
 // All players' expected payoffs: one weight product per profile.
 template <typename V, typename ProfileT, typename Acc>
-void expected_block(const std::vector<std::size_t>& counts, const ProfileT& profile,
-                    const Acc& acc, std::uint64_t begin, std::uint64_t end,
-                    std::vector<V>& totals) {
-    const std::size_t n = counts.size();
-    auto tuple = util::product_unrank(counts, begin);
-    std::uint64_t row = acc.row(begin, tuple);
+void expected_block(const ProfileT& profile, const Acc& acc, std::uint64_t begin,
+                    std::uint64_t end, std::vector<V>& totals) {
+    const std::size_t n = profile.size();
+    util::OffsetWalker walker = acc.make_walker();
+    walker.seek(begin);
+    const auto& tuple = walker.tuple();
     for (std::uint64_t rank = begin; rank < end; ++rank) {
         V weight{1};
         for (std::size_t i = 0; i < n && !sweep_zero(weight); ++i) {
             weight *= profile[i][tuple[i]];
         }
-        if (!sweep_zero(weight)) {
-            for (std::size_t i = 0; i < n; ++i) totals[i] += weight * acc.at(row, i);
-        }
-        acc.advance(counts, tuple, row);
+        if (!sweep_zero(weight)) accumulate_all(acc, walker.row(), weight, totals);
+        (void)walker.advance();
     }
+    util::work_counters_add(end - begin, walker.digit_moves());
 }
 
-// Splits [0, num_profiles) into kParallelBlock-sized blocks, runs
-// block_fn into per-block accumulators (via the global pool in kAuto mode
-// when it has capacity), and merges in block order. The decomposition is
-// independent of worker count, so kAuto and kSerial agree bit-for-bit.
-template <typename Table, typename MakeFn, typename BlockFn, typename MergeFn>
-void blocked_sweep(std::uint64_t num_profiles, SweepMode mode, Table& out, MakeFn&& make,
-                   BlockFn&& block_fn, MergeFn&& merge) {
+using BlockRanges = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+// [0, num_profiles) in kParallelBlock-sized chunks.
+BlockRanges uniform_blocks(std::uint64_t num_profiles) {
     constexpr std::uint64_t kBlock = PayoffEngine::kParallelBlock;
-    const std::uint64_t num_blocks = (num_profiles + kBlock - 1) / kBlock;
-    if (num_blocks <= 1) {
-        block_fn(0, num_profiles, out);
+    BlockRanges blocks;
+    blocks.reserve(static_cast<std::size_t>((num_profiles + kBlock - 1) / kBlock));
+    for (std::uint64_t lo = 0; lo < num_profiles; lo += kBlock) {
+        blocks.emplace_back(lo, std::min(num_profiles, lo + kBlock));
+    }
+    return blocks;
+}
+
+// Runs block_fn over the given rank ranges into per-block accumulators
+// (via the global pool in kAuto mode when it has capacity) and merges in
+// block order. The decomposition is an explicit input — the dense sweeps
+// pass uniform kParallelBlock chunks and the sparse sweeps pass the SAME
+// dense boundaries mapped into support-rank space — so kAuto and kSerial
+// (and dense and sparse) agree bit-for-bit.
+template <typename Table, typename MakeFn, typename BlockFn, typename MergeFn>
+void blocked_sweep_ranges(const BlockRanges& blocks, SweepMode mode, Table& out, MakeFn&& make,
+                          BlockFn&& block_fn, MergeFn&& merge) {
+    if (blocks.empty()) return;
+    if (blocks.size() == 1) {
+        block_fn(blocks[0].first, blocks[0].second, out);
         return;
     }
+    const std::size_t num_blocks = blocks.size();
     std::vector<Table> partial(num_blocks);
     std::vector<std::exception_ptr> errors(num_blocks);
     const auto work = [&](std::size_t block) {
         try {
             partial[block] = make();
-            const std::uint64_t lo = block * kBlock;
-            const std::uint64_t hi = std::min(num_profiles, lo + kBlock);
-            block_fn(lo, hi, partial[block]);
+            block_fn(blocks[block].first, blocks[block].second, partial[block]);
         } catch (...) {
             errors[block] = std::current_exception();
         }
     };
     auto& pool = util::global_pool();
     if (mode == SweepMode::kAuto && pool.size() > 1) {
-        pool.run_blocks(static_cast<std::size_t>(num_blocks), work);
+        pool.run_blocks(num_blocks, work);
     } else {
-        for (std::uint64_t block = 0; block < num_blocks; ++block) {
-            work(static_cast<std::size_t>(block));
-        }
+        for (std::size_t block = 0; block < num_blocks; ++block) work(block);
     }
     for (auto& error : errors) {
         if (error) std::rethrow_exception(error);
     }
-    for (std::uint64_t block = 0; block < num_blocks; ++block) {
+    for (std::size_t block = 0; block < num_blocks; ++block) {
         merge(out, partial[block]);
     }
+}
+
+template <typename Table, typename MakeFn, typename BlockFn, typename MergeFn>
+void blocked_sweep(std::uint64_t num_profiles, SweepMode mode, Table& out, MakeFn&& make,
+                   BlockFn&& block_fn, MergeFn&& merge) {
+    blocked_sweep_ranges(uniform_blocks(num_profiles), mode, out,
+                         std::forward<MakeFn>(make), std::forward<BlockFn>(block_fn),
+                         std::forward<MergeFn>(merge));
 }
 
 template <typename V>
@@ -250,7 +277,7 @@ std::vector<std::vector<V>> deviation_sweep(const std::vector<std::size_t>& coun
     blocked_sweep(
         num_profiles, mode, dev, [&] { return make_table<V>(counts); },
         [&](std::uint64_t lo, std::uint64_t hi, std::vector<std::vector<V>>& table) {
-            deviation_block<V>(counts, profile, acc, lo, hi, table);
+            deviation_block<V>(profile, acc, lo, hi, table);
         },
         [](std::vector<std::vector<V>>& into, const std::vector<std::vector<V>>& part) {
             for (std::size_t i = 0; i < into.size(); ++i) {
@@ -268,7 +295,7 @@ std::vector<V> expected_sweep(const std::vector<std::size_t>& counts,
     blocked_sweep(
         num_profiles, mode, totals, [&] { return std::vector<V>(counts.size(), V{0}); },
         [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& table) {
-            expected_block<V>(counts, profile, acc, lo, hi, table);
+            expected_block<V>(profile, acc, lo, hi, table);
         },
         [](std::vector<V>& into, const std::vector<V>& part) {
             for (std::size_t i = 0; i < into.size(); ++i) into[i] += part[i];
@@ -277,13 +304,13 @@ std::vector<V> expected_sweep(const std::vector<std::size_t>& counts,
 }
 
 template <typename V, typename ProfileT, typename Acc>
-V expected_single_sweep(const std::vector<std::size_t>& counts, std::uint64_t num_profiles,
-                        const Acc& acc, const ProfileT& profile, std::size_t player) {
+V expected_single_sweep(std::uint64_t num_profiles, const Acc& acc, const ProfileT& profile,
+                        std::size_t player) {
     V total{0};
     blocked_sweep(
         num_profiles, SweepMode::kAuto, total, [] { return V{0}; },
         [&](std::uint64_t lo, std::uint64_t hi, V& table) {
-            expected_single_block<V>(counts, profile, acc, player, lo, hi, table);
+            expected_single_block<V>(profile, acc, player, lo, hi, table);
         },
         [](V& into, const V& part) { into += part; });
     return total;
@@ -297,7 +324,7 @@ std::vector<V> row_sweep(const std::vector<std::size_t>& counts, std::uint64_t n
         num_profiles, SweepMode::kAuto, row,
         [&] { return std::vector<V>(counts[player], V{0}); },
         [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& table) {
-            deviation_row_block<V>(counts, profile, acc, player, lo, hi, table);
+            deviation_row_block<V>(profile, acc, player, lo, hi, table);
         },
         [](std::vector<V>& into, const std::vector<V>& part) {
             for (std::size_t a = 0; a < into.size(); ++a) into[a] += part[a];
@@ -319,13 +346,270 @@ void validate_view_profile_shape(const GameView& view, const ProfileT& profile,
     }
 }
 
+// --- sparse-support machinery ------------------------------------------------
+//
+// A SupportPlan restricts each digit to the profile's support (the
+// actions with nonzero probability), keeping the support actions in
+// ascending order so the support walk visits exactly the profiles the
+// dense sweep would NOT have skipped, in the same row-major order. A
+// `full_player` digit (the deviating player of a deviation-row sweep)
+// keeps its whole action range. Offset tables are materialized per plan
+// (support-indexed slices of the accessor's columns).
+
+struct SupportPlan {
+    std::vector<std::vector<std::size_t>> actions;    // support actions, ascending
+    std::vector<std::vector<std::uint64_t>> offsets;  // cell offsets at those actions
+    std::vector<std::size_t> radices;
+    std::uint64_t num_tuples = 0;
+    bool dead = false;  // some support (other than full_player's) is empty
+
+    [[nodiscard]] util::OffsetWalker make_walker() const {
+        util::OffsetWalker walker;
+        walker.reserve(offsets.size());
+        for (const auto& column : offsets) walker.add_digit(column.data(), column.size());
+        return walker;
+    }
+};
+
+constexpr std::size_t kNoFullPlayer = static_cast<std::size_t>(-1);
+
+template <typename ProfileT>
+SupportPlan build_support_plan(const ProfileT& profile,
+                               const std::vector<std::vector<std::uint64_t>>* engine_cells,
+                               const GameView* view, std::size_t full_player) {
+    const std::size_t n = profile.size();
+    SupportPlan plan;
+    plan.actions.resize(n);
+    plan.offsets.resize(n);
+    plan.radices.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        const auto& column = engine_cells ? (*engine_cells)[p] : view->cell_offsets(p);
+        if (p == full_player) {
+            plan.actions[p].resize(column.size());
+            for (std::size_t a = 0; a < column.size(); ++a) plan.actions[p][a] = a;
+            plan.offsets[p] = column;
+        } else {
+            for (std::size_t a = 0; a < profile[p].size(); ++a) {
+                if (!sweep_zero(profile[p][a])) {
+                    plan.actions[p].push_back(a);
+                    plan.offsets[p].push_back(column[a]);
+                }
+            }
+            if (plan.actions[p].empty()) {
+                plan.dead = true;
+                return plan;
+            }
+        }
+        plan.radices[p] = plan.actions[p].size();
+    }
+    plan.num_tuples = util::product_size(plan.radices);
+    return plan;
+}
+
+// Support-space block boundaries aligned with the DENSE sweep's
+// kParallelBlock cuts in full-rank space: partial accumulators merge at
+// exactly the same summation boundaries as the dense sweep, which is
+// what makes sparse results bit-identical to dense in every mode. One
+// entry per NON-EMPTY dense block (adding an all-zero partial table is a
+// bitwise no-op: accumulators start at +0.0 and x + 0.0 == x for every
+// reachable x, so empty dense blocks are skipped).
+BlockRanges support_blocks(const std::vector<std::size_t>& full_counts,
+                           std::uint64_t full_profiles, const SupportPlan& plan) {
+    constexpr std::uint64_t kBlock = PayoffEngine::kParallelBlock;
+    BlockRanges blocks;
+    if (plan.num_tuples == 0) return blocks;
+    if (full_profiles <= kBlock) {
+        blocks.emplace_back(0, plan.num_tuples);
+        return blocks;
+    }
+    const std::size_t n = plan.radices.size();
+    std::vector<std::uint64_t> tail(n + 1, 1);
+    for (std::size_t d = n; d-- > 0;) tail[d] = tail[d + 1] * plan.radices[d];
+    // Support tuples with full-space rank strictly below `bound`.
+    const auto count_below = [&](std::uint64_t bound) -> std::uint64_t {
+        const auto digits = util::product_unrank(full_counts, bound);
+        std::uint64_t count = 0;
+        for (std::size_t d = 0; d < n; ++d) {
+            const auto& supp = plan.actions[d];
+            const auto it = std::lower_bound(supp.begin(), supp.end(), digits[d]);
+            count += static_cast<std::uint64_t>(it - supp.begin()) * tail[d + 1];
+            if (it == supp.end() || *it != digits[d]) return count;
+        }
+        return count;
+    };
+    std::uint64_t begin = 0;
+    while (begin < plan.num_tuples) {
+        // Full-space rank of support tuple `begin` -> its dense block.
+        const auto tuple = util::product_unrank(plan.radices, begin);
+        std::uint64_t full_rank = 0;
+        for (std::size_t d = 0; d < n; ++d) {
+            full_rank = full_rank * full_counts[d] + plan.actions[d][tuple[d]];
+        }
+        const std::uint64_t bound = (full_rank / kBlock + 1) * kBlock;
+        const std::uint64_t end =
+            bound >= full_profiles ? plan.num_tuples : count_below(bound);
+        blocks.emplace_back(begin, end);
+        begin = end;
+    }
+    return blocks;
+}
+
+// Sparse expected sweep over one block: the weight is the same left-fold
+// product the dense kernel computes, but only digits at or above the
+// walker's lowest changed digit recompute (incremental prefix products).
+template <typename V, typename ProfileT, typename Acc>
+void sparse_expected_block(const SupportPlan& plan, const ProfileT& profile, const Acc& acc,
+                           std::uint64_t begin, std::uint64_t end, std::vector<V>& totals) {
+    const std::size_t n = plan.radices.size();
+    util::OffsetWalker walker = plan.make_walker();
+    walker.seek(begin);
+    const auto& tuple = walker.tuple();
+    std::vector<V> prefix(n + 1, V{1});
+    std::size_t from = 0;
+    for (std::uint64_t rank = begin; rank < end; ++rank) {
+        for (std::size_t j = from; j < n; ++j) {
+            prefix[j + 1] = prefix[j] * profile[j][plan.actions[j][tuple[j]]];
+        }
+        if (!sweep_zero(prefix[n])) accumulate_all(acc, walker.row(), prefix[n], totals);
+        (void)walker.advance();
+        from = walker.lowest_changed();
+    }
+    util::work_counters_add(end - begin, walker.digit_moves());
+}
+
+template <typename V, typename ProfileT, typename Acc>
+void sparse_expected_single_block(const SupportPlan& plan, const ProfileT& profile,
+                                  const Acc& acc, std::size_t player, std::uint64_t begin,
+                                  std::uint64_t end, V& total) {
+    const std::size_t n = plan.radices.size();
+    util::OffsetWalker walker = plan.make_walker();
+    walker.seek(begin);
+    const auto& tuple = walker.tuple();
+    std::vector<V> prefix(n + 1, V{1});
+    std::size_t from = 0;
+    for (std::uint64_t rank = begin; rank < end; ++rank) {
+        for (std::size_t j = from; j < n; ++j) {
+            prefix[j + 1] = prefix[j] * profile[j][plan.actions[j][tuple[j]]];
+        }
+        if (!sweep_zero(prefix[n])) total += prefix[n] * acc.at(walker.row(), player);
+        (void)walker.advance();
+        from = walker.lowest_changed();
+    }
+    util::work_counters_add(end - begin, walker.digit_moves());
+}
+
+// One player's deviation row, walking that player's FULL action range and
+// everyone else's support. weight = prefix[player] * tail reproduces the
+// dense kernel's prefix[i] * suffix[i+1] fold exactly (same operand
+// order), so the row is bit-identical to the dense deviation table's.
+template <typename V, typename ProfileT, typename Acc>
+void sparse_row_block(const SupportPlan& plan, const ProfileT& profile, const Acc& acc,
+                      std::size_t player, std::uint64_t begin, std::uint64_t end,
+                      std::vector<V>& dev_row) {
+    const std::size_t n = plan.radices.size();
+    util::OffsetWalker walker = plan.make_walker();
+    walker.seek(begin);
+    const auto& tuple = walker.tuple();
+    std::vector<V> prefix(player + 1, V{1});
+    std::size_t from = 0;
+    for (std::uint64_t rank = begin; rank < end; ++rank) {
+        for (std::size_t j = from; j < player; ++j) {
+            prefix[j + 1] = prefix[j] * profile[j][plan.actions[j][tuple[j]]];
+        }
+        V tail{1};
+        for (std::size_t j = n; j-- > player + 1;) {
+            tail = tail * profile[j][plan.actions[j][tuple[j]]];
+        }
+        const V weight = prefix[player] * tail;
+        if (!sweep_zero(weight)) {
+            dev_row[tuple[player]] += weight * acc.at(walker.row(), player);
+        }
+        (void)walker.advance();
+        from = walker.lowest_changed();
+    }
+    util::work_counters_add(end - begin, walker.digit_moves());
+}
+
+template <typename V, typename ProfileT, typename Acc>
+std::vector<V> sparse_expected_sweep(const std::vector<std::size_t>& counts,
+                                     std::uint64_t num_profiles, const Acc& acc,
+                                     const std::vector<std::vector<std::uint64_t>>* cells,
+                                     const GameView* view, const ProfileT& profile,
+                                     SweepMode mode) {
+    std::vector<V> totals(counts.size(), V{0});
+    const auto plan = build_support_plan(profile, cells, view, kNoFullPlayer);
+    if (plan.dead) return totals;
+    blocked_sweep_ranges(
+        support_blocks(counts, num_profiles, plan), mode, totals,
+        [&] { return std::vector<V>(counts.size(), V{0}); },
+        [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& table) {
+            sparse_expected_block<V>(plan, profile, acc, lo, hi, table);
+        },
+        [](std::vector<V>& into, const std::vector<V>& part) {
+            for (std::size_t i = 0; i < into.size(); ++i) into[i] += part[i];
+        });
+    return totals;
+}
+
+template <typename V, typename ProfileT, typename Acc>
+V sparse_expected_single_sweep(const std::vector<std::size_t>& counts,
+                               std::uint64_t num_profiles, const Acc& acc,
+                               const std::vector<std::vector<std::uint64_t>>* cells,
+                               const GameView* view, const ProfileT& profile,
+                               std::size_t player) {
+    V total{0};
+    const auto plan = build_support_plan(profile, cells, view, kNoFullPlayer);
+    if (plan.dead) return total;
+    blocked_sweep_ranges(
+        support_blocks(counts, num_profiles, plan), SweepMode::kAuto, total,
+        [] { return V{0}; },
+        [&](std::uint64_t lo, std::uint64_t hi, V& table) {
+            sparse_expected_single_block<V>(plan, profile, acc, player, lo, hi, table);
+        },
+        [](V& into, const V& part) { into += part; });
+    return total;
+}
+
+template <typename V, typename ProfileT, typename Acc>
+std::vector<std::vector<V>> sparse_deviation_sweep(
+    const std::vector<std::size_t>& counts, std::uint64_t num_profiles, const Acc& acc,
+    const std::vector<std::vector<std::uint64_t>>* cells, const GameView* view,
+    const ProfileT& profile, SweepMode mode) {
+    auto dev = make_table<V>(counts);
+    for (std::size_t player = 0; player < counts.size(); ++player) {
+        const auto plan = build_support_plan(profile, cells, view, player);
+        if (plan.dead) continue;  // a rival support is empty: all weights are zero
+        blocked_sweep_ranges(
+            support_blocks(counts, num_profiles, plan), mode, dev[player],
+            [&] { return std::vector<V>(counts[player], V{0}); },
+            [&](std::uint64_t lo, std::uint64_t hi, std::vector<V>& table) {
+                sparse_row_block<V>(plan, profile, acc, player, lo, hi, table);
+            },
+            [](std::vector<V>& into, const std::vector<V>& part) {
+                for (std::size_t a = 0; a < into.size(); ++a) into[a] += part[a];
+            });
+    }
+    return dev;
+}
+
 }  // namespace
 
 PayoffEngine::PayoffEngine(const NormalFormGame& game) : game_(&game) {
     const auto& counts = game.action_counts();
-    strides_.assign(counts.size(), 1);
-    for (std::size_t i = counts.size() - 1; i-- > 0;) {
+    const std::size_t n = counts.size();
+    strides_.assign(n, 1);
+    for (std::size_t i = n - 1; i-- > 0;) {
         strides_[i] = strides_[i + 1] * counts[i + 1];
+    }
+    // Cell-offset tables in flat-tensor units (stride * row width): the
+    // digit tables the shared OffsetWalker steps. A dense game is the
+    // identity view, so these match GameView::full(game).cell_offsets.
+    cell_offsets_.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        cell_offsets_[p].resize(counts[p]);
+        for (std::size_t a = 0; a < counts[p]; ++a) {
+            cell_offsets_[p][a] = static_cast<std::uint64_t>(a) * strides_[p] * n;
+        }
     }
 }
 
@@ -340,22 +624,21 @@ std::uint64_t PayoffEngine::rank_of(const PureProfile& profile) const {
 std::vector<double> PayoffEngine::expected_payoffs(const MixedProfile& profile,
                                                    SweepMode mode) const {
     validate_profile_shape(*game_, profile, "expected_payoffs");
-    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), game_->num_players()};
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), &cell_offsets_};
     return expected_sweep<double>(game_->action_counts(), game_->num_profiles(), acc, profile,
                                   mode);
 }
 
 double PayoffEngine::expected_payoff(const MixedProfile& profile, std::size_t player) const {
     validate_profile_shape(*game_, profile, "expected_payoff");
-    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), game_->num_players()};
-    return expected_single_sweep<double>(game_->action_counts(), game_->num_profiles(), acc,
-                                         profile, player);
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), &cell_offsets_};
+    return expected_single_sweep<double>(game_->num_profiles(), acc, profile, player);
 }
 
 DeviationTable PayoffEngine::deviation_payoffs_all(const MixedProfile& profile,
                                                    SweepMode mode) const {
     validate_profile_shape(*game_, profile, "deviation_payoffs_all");
-    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), game_->num_players()};
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), &cell_offsets_};
     return deviation_sweep<double>(game_->action_counts(), game_->num_profiles(), acc, profile,
                                    mode);
 }
@@ -363,7 +646,7 @@ DeviationTable PayoffEngine::deviation_payoffs_all(const MixedProfile& profile,
 std::vector<double> PayoffEngine::deviation_row(const MixedProfile& profile,
                                                 std::size_t player) const {
     validate_profile_shape(*game_, profile, "deviation_row");
-    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), game_->num_players()};
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), &cell_offsets_};
     return row_sweep<double>(game_->action_counts(), game_->num_profiles(), acc, profile,
                              player);
 }
@@ -371,7 +654,7 @@ std::vector<double> PayoffEngine::deviation_row(const MixedProfile& profile,
 std::vector<util::Rational> PayoffEngine::expected_payoffs_exact(
     const ExactMixedProfile& profile, SweepMode mode) const {
     validate_profile_shape(*game_, profile, "expected_payoffs_exact");
-    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), game_->num_players()};
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), &cell_offsets_};
     return expected_sweep<util::Rational>(game_->action_counts(), game_->num_profiles(), acc,
                                           profile, mode);
 }
@@ -379,15 +662,14 @@ std::vector<util::Rational> PayoffEngine::expected_payoffs_exact(
 util::Rational PayoffEngine::expected_payoff_exact(const ExactMixedProfile& profile,
                                                    std::size_t player) const {
     validate_profile_shape(*game_, profile, "expected_payoff_exact");
-    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), game_->num_players()};
-    return expected_single_sweep<util::Rational>(game_->action_counts(),
-                                                 game_->num_profiles(), acc, profile, player);
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), &cell_offsets_};
+    return expected_single_sweep<util::Rational>(game_->num_profiles(), acc, profile, player);
 }
 
 ExactDeviationTable PayoffEngine::deviation_payoffs_all_exact(const ExactMixedProfile& profile,
                                                               SweepMode mode) const {
     validate_profile_shape(*game_, profile, "deviation_payoffs_all_exact");
-    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), game_->num_players()};
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), &cell_offsets_};
     return deviation_sweep<util::Rational>(game_->action_counts(), game_->num_profiles(), acc,
                                            profile, mode);
 }
@@ -395,9 +677,64 @@ ExactDeviationTable PayoffEngine::deviation_payoffs_all_exact(const ExactMixedPr
 std::vector<util::Rational> PayoffEngine::deviation_row_exact(const ExactMixedProfile& profile,
                                                               std::size_t player) const {
     validate_profile_shape(*game_, profile, "deviation_row_exact");
-    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), game_->num_players()};
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), &cell_offsets_};
     return row_sweep<util::Rational>(game_->action_counts(), game_->num_profiles(), acc,
                                      profile, player);
+}
+
+// --- sparse-support sweeps ---------------------------------------------------
+
+std::vector<double> PayoffEngine::expected_payoffs_sparse(const MixedProfile& profile,
+                                                          SweepMode mode) const {
+    validate_profile_shape(*game_, profile, "expected_payoffs_sparse");
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), &cell_offsets_};
+    return sparse_expected_sweep<double>(game_->action_counts(), game_->num_profiles(), acc,
+                                         &cell_offsets_, nullptr, profile, mode);
+}
+
+double PayoffEngine::expected_payoff_sparse(const MixedProfile& profile,
+                                            std::size_t player) const {
+    validate_profile_shape(*game_, profile, "expected_payoff_sparse");
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), &cell_offsets_};
+    return sparse_expected_single_sweep<double>(game_->action_counts(),
+                                                game_->num_profiles(), acc, &cell_offsets_,
+                                                nullptr, profile, player);
+}
+
+DeviationTable PayoffEngine::deviation_payoffs_all_sparse(const MixedProfile& profile,
+                                                          SweepMode mode) const {
+    validate_profile_shape(*game_, profile, "deviation_payoffs_all_sparse");
+    const DenseTensor<double> acc{game_->payoffs_d_flat().data(), &cell_offsets_};
+    return sparse_deviation_sweep<double>(game_->action_counts(), game_->num_profiles(), acc,
+                                          &cell_offsets_, nullptr, profile, mode);
+}
+
+std::vector<util::Rational> PayoffEngine::expected_payoffs_exact_sparse(
+    const ExactMixedProfile& profile, SweepMode mode) const {
+    validate_profile_shape(*game_, profile, "expected_payoffs_exact_sparse");
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), &cell_offsets_};
+    return sparse_expected_sweep<util::Rational>(game_->action_counts(),
+                                                 game_->num_profiles(), acc, &cell_offsets_,
+                                                 nullptr, profile, mode);
+}
+
+util::Rational PayoffEngine::expected_payoff_exact_sparse(const ExactMixedProfile& profile,
+                                                          std::size_t player) const {
+    validate_profile_shape(*game_, profile, "expected_payoff_exact_sparse");
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), &cell_offsets_};
+    return sparse_expected_single_sweep<util::Rational>(game_->action_counts(),
+                                                        game_->num_profiles(), acc,
+                                                        &cell_offsets_, nullptr, profile,
+                                                        player);
+}
+
+ExactDeviationTable PayoffEngine::deviation_payoffs_all_exact_sparse(
+    const ExactMixedProfile& profile, SweepMode mode) const {
+    validate_profile_shape(*game_, profile, "deviation_payoffs_all_exact_sparse");
+    const DenseTensor<util::Rational> acc{game_->payoffs_flat().data(), &cell_offsets_};
+    return sparse_deviation_sweep<util::Rational>(game_->action_counts(),
+                                                  game_->num_profiles(), acc, &cell_offsets_,
+                                                  nullptr, profile, mode);
 }
 
 // --- zero-copy view sweeps -------------------------------------------------
@@ -438,8 +775,7 @@ util::Rational expected_payoff_exact(const GameView& view, const ExactMixedProfi
                                      std::size_t player) {
     validate_view_profile_shape(view, profile, "expected_payoff_exact(view)");
     const ViewTensorExact acc{&view};
-    return expected_single_sweep<util::Rational>(view.action_counts(), view.num_profiles(),
-                                                 acc, profile, player);
+    return expected_single_sweep<util::Rational>(view.num_profiles(), acc, profile, player);
 }
 
 ExactDeviationTable deviation_payoffs_all_exact(const GameView& view,
@@ -449,6 +785,50 @@ ExactDeviationTable deviation_payoffs_all_exact(const GameView& view,
     const ViewTensorExact acc{&view};
     return deviation_sweep<util::Rational>(view.action_counts(), view.num_profiles(), acc,
                                            profile, mode);
+}
+
+std::vector<double> expected_payoffs_sparse(const GameView& view, const MixedProfile& profile,
+                                            SweepMode mode) {
+    validate_view_profile_shape(view, profile, "expected_payoffs_sparse(view)");
+    const ViewTensorDouble acc{&view};
+    return sparse_expected_sweep<double>(view.action_counts(), view.num_profiles(), acc,
+                                         nullptr, &view, profile, mode);
+}
+
+DeviationTable deviation_payoffs_all_sparse(const GameView& view, const MixedProfile& profile,
+                                            SweepMode mode) {
+    validate_view_profile_shape(view, profile, "deviation_payoffs_all_sparse(view)");
+    const ViewTensorDouble acc{&view};
+    return sparse_deviation_sweep<double>(view.action_counts(), view.num_profiles(), acc,
+                                          nullptr, &view, profile, mode);
+}
+
+std::vector<util::Rational> expected_payoffs_exact_sparse(const GameView& view,
+                                                          const ExactMixedProfile& profile,
+                                                          SweepMode mode) {
+    validate_view_profile_shape(view, profile, "expected_payoffs_exact_sparse(view)");
+    const ViewTensorExact acc{&view};
+    return sparse_expected_sweep<util::Rational>(view.action_counts(), view.num_profiles(),
+                                                 acc, nullptr, &view, profile, mode);
+}
+
+util::Rational expected_payoff_exact_sparse(const GameView& view,
+                                            const ExactMixedProfile& profile,
+                                            std::size_t player) {
+    validate_view_profile_shape(view, profile, "expected_payoff_exact_sparse(view)");
+    const ViewTensorExact acc{&view};
+    return sparse_expected_single_sweep<util::Rational>(view.action_counts(),
+                                                        view.num_profiles(), acc, nullptr,
+                                                        &view, profile, player);
+}
+
+ExactDeviationTable deviation_payoffs_all_exact_sparse(const GameView& view,
+                                                       const ExactMixedProfile& profile,
+                                                       SweepMode mode) {
+    validate_view_profile_shape(view, profile, "deviation_payoffs_all_exact_sparse(view)");
+    const ViewTensorExact acc{&view};
+    return sparse_deviation_sweep<util::Rational>(view.action_counts(), view.num_profiles(),
+                                                  acc, nullptr, &view, profile, mode);
 }
 
 std::vector<std::size_t> PayoffEngine::best_responses(const MixedProfile& profile,

@@ -8,8 +8,9 @@
 // from scratch (O(players) per lookup), making best_responses, regret and
 // the learning dynamics O(actions x profiles x players^2). This engine:
 //
-//   - precomputes row-major strides so ranks update in O(1) per odometer
-//     step and coalition deviations re-rank in O(|coalition|);
+//   - precomputes row-major strides (and the per-digit cell-offset tables
+//     the shared util::OffsetWalker consumes) so ranks update in O(1) per
+//     odometer step and coalition deviations re-rank in O(|coalition|);
 //   - computes ALL deviation payoffs for ALL players in ONE sweep via
 //     marginalization: for each profile, prefix/suffix probability
 //     products give weight_excluding(i) for every i in O(players), and
@@ -22,9 +23,22 @@
 //     merged in block order, so results are bit-identical whether the
 //     sweep ran serial or threaded.
 //
-// The engine is cheap to construct (it only derives strides); solvers on
-// hot loops construct one per run and call deviation_payoffs_all once per
-// iteration instead of once per action.
+// The engine is cheap to construct (it only derives strides and the
+// per-digit offset tables); solvers on hot loops construct one per run
+// and call deviation_payoffs_all once per iteration instead of once per
+// action.
+//
+// SPARSE-SUPPORT sweeps: the *_sparse entry points walk only the support
+// of the mixed profile (radix = |supp(sigma_i)| per digit), turning sweep
+// cost from prod |A_i| into prod |supp(sigma_i)| — with per-player
+// full-range digits for the deviation table, incremental prefix-product
+// weight updates (only digits at or above the walker's lowest changed
+// digit recompute), and partial accumulators cut at EXACTLY the dense
+// sweep's kParallelBlock boundaries. Dense sweeps skip zero-weight
+// profiles and the sparse walk enumerates precisely the non-skipped ones
+// in the same order with the same merge grouping, so sparse results are
+// BIT-IDENTICAL to the dense entry points in every mode (asserted by
+// test_payoff_engine and the robustness fuzz suite).
 #pragma once
 
 #include <cstdint>
@@ -60,6 +74,14 @@ public:
     [[nodiscard]] const std::vector<std::uint64_t>& strides() const noexcept {
         return strides_;
     }
+    // Per-digit flat-tensor offsets (action a of player p contributes
+    // cell_offsets()[p][a] to a profile's payoff-row offset): the tables
+    // the shared util::OffsetWalker steps over. Same contract as
+    // GameView::cell_offsets — a dense game is the identity view.
+    [[nodiscard]] const std::vector<std::vector<std::uint64_t>>& cell_offsets()
+        const noexcept {
+        return cell_offsets_;
+    }
 
     // Row-major rank via strides; O(players), no allocation.
     [[nodiscard]] std::uint64_t rank_of(const PureProfile& profile) const;
@@ -85,6 +107,22 @@ public:
     [[nodiscard]] std::vector<util::Rational> deviation_row_exact(
         const ExactMixedProfile& profile, std::size_t player) const;
 
+    // --- sparse-support sweeps ----------------------------------------------
+    // Walk only the profile's support; results bit-identical to the dense
+    // siblings above (see the class comment for the alignment argument).
+    [[nodiscard]] std::vector<double> expected_payoffs_sparse(
+        const MixedProfile& profile, SweepMode mode = SweepMode::kAuto) const;
+    [[nodiscard]] double expected_payoff_sparse(const MixedProfile& profile,
+                                                std::size_t player) const;
+    [[nodiscard]] DeviationTable deviation_payoffs_all_sparse(
+        const MixedProfile& profile, SweepMode mode = SweepMode::kAuto) const;
+    [[nodiscard]] std::vector<util::Rational> expected_payoffs_exact_sparse(
+        const ExactMixedProfile& profile, SweepMode mode = SweepMode::kAuto) const;
+    [[nodiscard]] util::Rational expected_payoff_exact_sparse(
+        const ExactMixedProfile& profile, std::size_t player) const;
+    [[nodiscard]] ExactDeviationTable deviation_payoffs_all_exact_sparse(
+        const ExactMixedProfile& profile, SweepMode mode = SweepMode::kAuto) const;
+
     // --- derived quantities ------------------------------------------------
     [[nodiscard]] std::vector<std::size_t> best_responses(const MixedProfile& profile,
                                                           std::size_t player,
@@ -101,6 +139,7 @@ public:
 private:
     const NormalFormGame* game_;
     std::vector<std::uint64_t> strides_;
+    std::vector<std::vector<std::uint64_t>> cell_offsets_;
 };
 
 // --- zero-copy view sweeps -------------------------------------------------
@@ -125,6 +164,23 @@ private:
                                                    const ExactMixedProfile& profile,
                                                    std::size_t player);
 [[nodiscard]] ExactDeviationTable deviation_payoffs_all_exact(
+    const GameView& view, const ExactMixedProfile& profile,
+    SweepMode mode = SweepMode::kAuto);
+
+// Sparse-support view sweeps (zero-copy AND support-only: the robustness
+// engine's mixed fallback evaluates mostly point-mass profiles through
+// expected_payoff_exact_sparse).
+[[nodiscard]] std::vector<double> expected_payoffs_sparse(
+    const GameView& view, const MixedProfile& profile, SweepMode mode = SweepMode::kAuto);
+[[nodiscard]] DeviationTable deviation_payoffs_all_sparse(
+    const GameView& view, const MixedProfile& profile, SweepMode mode = SweepMode::kAuto);
+[[nodiscard]] std::vector<util::Rational> expected_payoffs_exact_sparse(
+    const GameView& view, const ExactMixedProfile& profile,
+    SweepMode mode = SweepMode::kAuto);
+[[nodiscard]] util::Rational expected_payoff_exact_sparse(const GameView& view,
+                                                          const ExactMixedProfile& profile,
+                                                          std::size_t player);
+[[nodiscard]] ExactDeviationTable deviation_payoffs_all_exact_sparse(
     const GameView& view, const ExactMixedProfile& profile,
     SweepMode mode = SweepMode::kAuto);
 

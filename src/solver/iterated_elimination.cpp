@@ -3,6 +3,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "util/offset_walker.h"
 #include "util/simplex.h"
 
 namespace bnash::solver {
@@ -14,30 +15,26 @@ using game::GameView;
 // `player`, with `player`'s own digit pinned to its first view action, in
 // row-major order. The player's payoff under own action a is
 // payoff_from(base + cell_offset(player, a) - cell_offset(player, 0)):
-// dominance scans walk the parent tensor by cell-offset deltas instead of
-// materializing and re-ranking a PureProfile per cell. Unsigned
-// wrap-around in the running offset is fine: every complete row sum is
-// back in range.
+// dominance scans walk the parent tensor through the shared pinned-digit
+// OffsetWalker instead of materializing and re-ranking a PureProfile per
+// cell.
 void for_each_opponent_base(const GameView& view, std::size_t player,
                             const std::function<bool(std::uint64_t)>& visit) {
     const std::size_t n = view.num_players();
-    game::PureProfile tuple(n, 0);
-    std::uint64_t row = 0;
-    for (std::size_t p = 0; p < n; ++p) row += view.cell_offset(p, 0);
-    while (true) {
-        if (!visit(row)) return;
-        std::size_t d = n;
-        while (d-- > 0) {
-            if (d == player) continue;
-            if (++tuple[d] < view.num_actions(d)) {
-                row += view.cell_offset(d, tuple[d]) - view.cell_offset(d, tuple[d] - 1);
-                break;
-            }
-            row -= view.cell_offset(d, tuple[d] - 1) - view.cell_offset(d, 0);
-            tuple[d] = 0;
+    util::OffsetWalker walker;
+    walker.reserve(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        const auto& column = view.cell_offsets(p);
+        if (p == player) {
+            walker.add_pinned_digit(column.data(), 0);
+        } else {
+            walker.add_digit(column.data(), column.size());
         }
-        if (d == static_cast<std::size_t>(-1)) return;  // odometer wrapped
     }
+    walker.reset();
+    do {
+        if (!visit(walker.row())) return;
+    } while (walker.advance());
 }
 
 bool pure_dominates(const GameView& view, std::size_t player, std::size_t dominator,

@@ -1,0 +1,28 @@
+#include "util/work_counters.h"
+
+#include <atomic>
+
+namespace bnash::util {
+namespace {
+
+std::atomic<std::uint64_t> g_cells{0};
+std::atomic<std::uint64_t> g_offsets{0};
+
+}  // namespace
+
+void work_counters_add(std::uint64_t cells, std::uint64_t offsets) noexcept {
+    g_cells.fetch_add(cells, std::memory_order_relaxed);
+    g_offsets.fetch_add(offsets, std::memory_order_relaxed);
+}
+
+WorkCounters work_counters_snapshot() noexcept {
+    return WorkCounters{g_cells.load(std::memory_order_relaxed),
+                        g_offsets.load(std::memory_order_relaxed)};
+}
+
+void work_counters_reset() noexcept {
+    g_cells.store(0, std::memory_order_relaxed);
+    g_offsets.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bnash::util

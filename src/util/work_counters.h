@@ -1,0 +1,28 @@
+// Process-wide work tallies for the sweep kernels.
+//
+// Wall-time bench gates flap on loaded CI machines; these counters give
+// the bench JSON a deterministic, machine-independent metric instead:
+// `cells_visited` counts payoff rows enumerated by a sweep kernel and
+// `offsets_advanced` counts OffsetWalker digit moves. Kernels report in
+// BULK — one add per block or per coalition task, never per step — so the
+// counters cost two relaxed atomic adds per block. Serial-mode sweeps
+// produce exactly reproducible tallies (parallel early exit may skip
+// work, so CI gates read counters off serial bench rows only).
+#pragma once
+
+#include <cstdint>
+
+namespace bnash::util {
+
+struct WorkCounters final {
+    std::uint64_t cells_visited = 0;
+    std::uint64_t offsets_advanced = 0;
+};
+
+// One bulk contribution (relaxed; called at block/task granularity).
+void work_counters_add(std::uint64_t cells, std::uint64_t offsets) noexcept;
+
+[[nodiscard]] WorkCounters work_counters_snapshot() noexcept;
+void work_counters_reset() noexcept;
+
+}  // namespace bnash::util

@@ -5,6 +5,7 @@
 // deterministic across serial and threaded execution.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "solver/verification.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/work_counters.h"
 
 namespace bnash::game {
 namespace {
@@ -202,6 +204,122 @@ TEST(PayoffEngine, ThreadedAndSerialSweepsAreBitIdentical) {
     for (std::size_t i = 0; i < expected_threaded.size(); ++i) {
         EXPECT_EQ(expected_threaded[i], expected_serial[i]);
     }
+}
+
+// --------------------------------------------------- sparse-support sweeps
+
+// Support-k profile: exactly `support` actions per player get mass.
+MixedProfile random_support_profile(const NormalFormGame& game, util::Rng& rng,
+                                    std::size_t support) {
+    MixedProfile profile(game.num_players());
+    for (std::size_t i = 0; i < game.num_players(); ++i) {
+        MixedStrategy s(game.num_actions(i), 0.0);
+        std::vector<std::size_t> actions(game.num_actions(i));
+        for (std::size_t a = 0; a < actions.size(); ++a) actions[a] = a;
+        rng.shuffle(actions);
+        const std::size_t width = std::min(support, actions.size());
+        double total = 0.0;
+        for (std::size_t j = 0; j < width; ++j) {
+            s[actions[j]] = rng.next_double() + 0.1;
+            total += s[actions[j]];
+        }
+        for (auto& p : s) p /= total;
+        profile[i] = std::move(s);
+    }
+    return profile;
+}
+
+TEST(PayoffEngine, SparseSweepsAreBitIdenticalToDense) {
+    // The sparse walk enumerates exactly the profiles the dense sweep
+    // would not have skipped, in the same order, with partial sums cut at
+    // the same dense block boundaries — so doubles match BITWISE, not
+    // just to tolerance, in both sweep modes and at every support width
+    // (including degenerate single-support point masses).
+    util::Rng rng{41};
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::size_t players = 2 + static_cast<std::size_t>(trial % 3);
+        const auto g = NormalFormGame::random(random_shape(rng, players), rng);
+        const PayoffEngine engine(g);
+        const std::size_t support = 1 + static_cast<std::size_t>(trial % 3);
+        const auto profile = random_support_profile(g, rng, support);
+        for (const auto mode : {SweepMode::kSerial, SweepMode::kAuto}) {
+            EXPECT_EQ(engine.expected_payoffs_sparse(profile, mode),
+                      engine.expected_payoffs(profile, mode))
+                << "trial " << trial;
+            EXPECT_EQ(engine.deviation_payoffs_all_sparse(profile, mode),
+                      engine.deviation_payoffs_all(profile, mode))
+                << "trial " << trial;
+        }
+        for (std::size_t i = 0; i < players; ++i) {
+            EXPECT_EQ(engine.expected_payoff_sparse(profile, i),
+                      engine.expected_payoff(profile, i))
+                << "trial " << trial;
+        }
+    }
+}
+
+TEST(PayoffEngine, SparseExactSweepsMatchDense) {
+    util::Rng rng{43};
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t players = 2 + static_cast<std::size_t>(trial % 2);
+        const auto g = NormalFormGame::random(random_shape(rng, players), rng);
+        const PayoffEngine engine(g);
+        // random_exact draws weight 0 with probability 1/5 per action, so
+        // sparse supports occur naturally; force a point mass sometimes.
+        auto profile = random_exact(g, rng);
+        if (trial % 3 == 0) {
+            for (auto& s : profile) {
+                std::fill(s.begin(), s.end(), Rational{0});
+                s[0] = Rational{1};
+            }
+        }
+        EXPECT_EQ(engine.expected_payoffs_exact_sparse(profile),
+                  engine.expected_payoffs_exact(profile));
+        EXPECT_EQ(engine.deviation_payoffs_all_exact_sparse(profile),
+                  engine.deviation_payoffs_all_exact(profile));
+        for (std::size_t i = 0; i < players; ++i) {
+            EXPECT_EQ(engine.expected_payoff_exact_sparse(profile, i),
+                      engine.expected_payoff_exact(profile, i));
+        }
+    }
+}
+
+TEST(PayoffEngine, SparseMultiBlockMatchesDenseBitwise) {
+    // > kParallelBlock dense profiles with a support-2 profile: the
+    // sparse sweep's support-space blocks are cut at the DENSE block
+    // boundaries, so threaded partial-sum merges group identically and
+    // doubles still match bitwise.
+    util::Rng rng{47};
+    const auto g = NormalFormGame::random({8, 8, 8, 8, 8, 8}, rng);  // 2^18 profiles
+    ASSERT_GT(g.num_profiles(), PayoffEngine::kParallelBlock);
+    const PayoffEngine engine(g);
+    const auto profile = random_support_profile(g, rng, 2);
+    for (const auto mode : {SweepMode::kSerial, SweepMode::kAuto}) {
+        EXPECT_EQ(engine.deviation_payoffs_all_sparse(profile, mode),
+                  engine.deviation_payoffs_all(profile, mode));
+        EXPECT_EQ(engine.expected_payoffs_sparse(profile, mode),
+                  engine.expected_payoffs(profile, mode));
+    }
+}
+
+TEST(PayoffEngine, SparseSweepVisitsOnlyTheSupport) {
+    // The work counters certify the claimed asymptotics: a support-1
+    // profile on a 3x3x3 game costs the dense expected sweep 27 rows and
+    // the sparse sweep exactly 1.
+    util::Rng rng{53};
+    const auto g = NormalFormGame::random({3, 3, 3}, rng);
+    const PayoffEngine engine(g);
+    MixedProfile point(3, MixedStrategy(3, 0.0));
+    for (auto& s : point) s[1] = 1.0;
+    util::work_counters_reset();
+    (void)engine.expected_payoffs(point, SweepMode::kSerial);
+    const auto dense = util::work_counters_snapshot();
+    util::work_counters_reset();
+    (void)engine.expected_payoffs_sparse(point, SweepMode::kSerial);
+    const auto sparse = util::work_counters_snapshot();
+    EXPECT_EQ(dense.cells_visited, 27u);
+    EXPECT_EQ(sparse.cells_visited, 1u);
+    EXPECT_LT(sparse.offsets_advanced, dense.offsets_advanced);
 }
 
 TEST(PayoffEngine, ValidatesProfileShape) {

@@ -250,6 +250,124 @@ TEST(RobustFuzz, BatchVerdictsMatchIndependentProbes) {
     }
 }
 
+// ------------------------------------ frontier batch vs independent grid
+
+TEST(RobustFuzz, FrontierMatchesIndependentProbesOnRandomGames) {
+    util::Rng rng{6079};
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+        const auto counts = random_counts(rng, n);
+        const auto g = random_rational_game(rng, counts);
+        // Mixed candidates every 6th trial exercise the serial fallback.
+        const ExactMixedProfile profile =
+            (trial % 6 == 5) ? random_mixed_exact(rng, counts)
+                             : as_exact_profile(g, random_pure(rng, counts));
+        const auto criterion = (trial % 2 == 0) ? GainCriterion::kAnyMemberGains
+                                                : GainCriterion::kAllMembersGain;
+        const std::size_t max_k = n;
+        const std::size_t max_t = n - 1;
+        const RobustnessOptions serial{criterion, SweepMode::kSerial};
+        const RobustnessOptions parallel{criterion, SweepMode::kAuto};
+        const std::string label = "frontier trial " + std::to_string(trial);
+
+        const auto frontier = batch_robustness_frontier(g, profile, max_k, max_t, serial);
+        EXPECT_EQ(frontier, batch_robustness_frontier(g, profile, max_k, max_t, parallel))
+            << label << " serial-vs-parallel";
+        ASSERT_EQ(frontier.cells.size(), (max_k + 1) * (max_t + 1)) << label;
+        for (std::size_t k = 0; k <= max_k; ++k) {
+            for (std::size_t t = 0; t <= max_t; ++t) {
+                // The probe this cell would have run on its own.
+                const auto independent =
+                    find_robustness_violation(g, profile, k, t, serial);
+                expect_same(independent, frontier.violation(k, t),
+                            label + " k=" + std::to_string(k) + " t=" + std::to_string(t));
+                EXPECT_EQ(frontier.robust(k, t), !independent.has_value()) << label;
+            }
+        }
+    }
+}
+
+TEST(RobustFuzz, FrontierOnViewsMatchesMaterializedGrid) {
+    util::Rng rng{7411};
+    for (int trial = 0; trial < 15; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 2);
+        std::vector<std::size_t> counts(n);
+        for (auto& c : counts) c = static_cast<std::size_t>(rng.next_int(2, 4));
+        const auto g = random_rational_game(rng, counts);
+        std::vector<std::vector<std::size_t>> kept(n);
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t a = 0; a < counts[p]; ++a) {
+                if (rng.next_bool(0.6)) kept[p].push_back(a);
+            }
+            if (kept[p].empty()) {
+                kept[p].push_back(static_cast<std::size_t>(
+                    rng.next_int(0, static_cast<std::int64_t>(counts[p]) - 1)));
+            }
+        }
+        const auto view = g.restrict_view(kept);
+        const auto profile = as_exact_profile(view, random_pure(rng, view.action_counts()));
+        const std::string label = "view frontier trial " + std::to_string(trial);
+
+        // Zero-copy frontier on the view == frontier on the materialized
+        // subgame, cell for cell.
+        const auto allocs_before = NormalFormGame::tensor_allocations();
+        const auto via_view = batch_robustness_frontier(view, profile, n, n - 1);
+        EXPECT_EQ(NormalFormGame::tensor_allocations(), allocs_before) << label;
+        const auto materialized = view.materialize();
+        const auto via_copy = batch_robustness_frontier(materialized, profile, n, n - 1);
+        EXPECT_EQ(via_view, via_copy) << label;
+    }
+}
+
+// ------------------------------------------- sparse-support view sweeps
+
+TEST(RobustFuzz, SparseViewSweepsMatchDenseOnRandomRestrictions) {
+    util::Rng rng{8317};
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+        std::vector<std::size_t> counts(n);
+        for (auto& c : counts) c = static_cast<std::size_t>(rng.next_int(2, 4));
+        const auto g = random_rational_game(rng, counts);
+        std::vector<std::vector<std::size_t>> kept(n);
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t a = 0; a < counts[p]; ++a) {
+                if (rng.next_bool(0.7)) kept[p].push_back(a);
+            }
+            if (kept[p].empty()) kept[p].push_back(0);
+        }
+        const auto view = g.restrict_view(kept);
+        // Degenerate single-support (point-mass) profiles every 3rd
+        // trial; sparse random supports otherwise.
+        ExactMixedProfile profile;
+        if (trial % 3 == 0) {
+            profile = as_exact_profile(view, random_pure(rng, view.action_counts()));
+        } else {
+            profile = random_mixed_exact(rng, view.action_counts());
+        }
+        const std::string label = "sparse view trial " + std::to_string(trial);
+
+        EXPECT_EQ(game::expected_payoffs_exact_sparse(view, profile),
+                  game::expected_payoffs_exact(view, profile))
+            << label;
+        EXPECT_EQ(game::deviation_payoffs_all_exact_sparse(view, profile),
+                  game::deviation_payoffs_all_exact(view, profile))
+            << label;
+        for (std::size_t p = 0; p < n; ++p) {
+            EXPECT_EQ(game::expected_payoff_exact_sparse(view, profile, p),
+                      game::expected_payoff_exact(view, profile, p))
+                << label << " player " << p;
+        }
+        // Double mirror: bitwise equality (same walk, same block cuts).
+        const auto mixed = game::to_double(profile);
+        EXPECT_EQ(game::expected_payoffs_sparse(view, mixed),
+                  game::expected_payoffs(view, mixed))
+            << label;
+        EXPECT_EQ(game::deviation_payoffs_all_sparse(view, mixed),
+                  game::deviation_payoffs_all(view, mixed))
+            << label;
+    }
+}
+
 // -------------------------------------- anonymous games vs tensor twins
 
 TEST(RobustFuzz, AnonymousCheckersMatchTensorTwinOnRandomTables) {
@@ -299,6 +417,55 @@ TEST(RobustFuzz, AnonymousCheckersMatchTensorTwinOnRandomTables) {
             }
         }
     }
+}
+
+TEST(RobustFuzz, AnonymousPooledLargeNMatchesSerialScan) {
+    // The pooled (c, j) pair scan must return the same verdicts and
+    // boundaries as the serial closed-form scan — which the tensor-twin
+    // test above already pins to the exact checkers at small n, so the
+    // chain serial-twin + serial-pooled covers the pooled path. n is
+    // large enough that kAuto actually crosses kPooledWorkThreshold.
+    util::Rng rng{31337};
+    const std::size_t n = 200;
+    ASSERT_GE(static_cast<std::uint64_t>(n) * (n + 1) / 2,
+              AnonymousBinaryGame::kPooledWorkThreshold);
+    for (int trial = 0; trial < 12; ++trial) {
+        std::vector<std::vector<Rational>> table(2, std::vector<Rational>(n + 1));
+        for (std::size_t a = 0; a < 2; ++a) {
+            for (std::size_t ones = 0; ones <= n; ++ones) {
+                table[a][ones] = Rational{rng.next_int(-5, 5)};
+            }
+        }
+        const auto g = AnonymousBinaryGame::from_table(table);
+        const std::size_t base = static_cast<std::size_t>(trial % 2);
+        const std::string label = "pooled trial " + std::to_string(trial);
+        for (const auto criterion :
+             {GainCriterion::kAnyMemberGains, GainCriterion::kAllMembersGain}) {
+            EXPECT_EQ(g.all_base_is_k_resilient(base, n, criterion, SweepMode::kSerial),
+                      g.all_base_is_k_resilient(base, n, criterion, SweepMode::kAuto))
+                << label;
+        }
+        EXPECT_EQ(g.min_breaking_coalition(base, n, SweepMode::kSerial),
+                  g.min_breaking_coalition(base, n, SweepMode::kAuto))
+            << label;
+        EXPECT_EQ(g.all_base_is_t_immune(base, n - 1, SweepMode::kSerial),
+                  g.all_base_is_t_immune(base, n - 1, SweepMode::kAuto))
+            << label;
+        EXPECT_EQ(g.max_immunity(base, n - 1, SweepMode::kSerial),
+                  g.max_immunity(base, n - 1, SweepMode::kAuto))
+            << label;
+    }
+    // The paper's games at large n keep their known closed-form answers
+    // through the pooled path.
+    const auto attack = AnonymousBinaryGame::attack(5000);
+    EXPECT_EQ(attack.min_breaking_coalition(0, 5000, SweepMode::kAuto), 2u);
+    // One faulty attacker hurts every bystander: not even 1-immune.
+    EXPECT_FALSE(attack.all_base_is_t_immune(0, 1, SweepMode::kAuto));
+    EXPECT_EQ(attack.max_immunity(0, 4999, SweepMode::kAuto), 0u);
+    const auto bargaining = AnonymousBinaryGame::bargaining(5000);
+    EXPECT_TRUE(bargaining.all_base_is_k_resilient(0, 5000, GainCriterion::kAnyMemberGains,
+                                                   SweepMode::kAuto));
+    EXPECT_EQ(bargaining.max_immunity(0, 4999, SweepMode::kAuto), 0u);
 }
 
 }  // namespace

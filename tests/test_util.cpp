@@ -9,11 +9,13 @@
 
 #include "util/combinatorics.h"
 #include "util/matrix.h"
+#include "util/offset_walker.h"
 #include "util/rational.h"
 #include "util/rng.h"
 #include "util/simplex.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/work_counters.h"
 
 namespace bnash::util {
 namespace {
@@ -303,6 +305,231 @@ TEST(Combinatorics, RangedProductForEachEarlyStopAndBounds) {
     EXPECT_TRUE(product_for_each({4, 4}, 5, 5, [&](const auto&) { return true; }));
     EXPECT_THROW((void)product_for_each({2, 2}, 0, 5, [](const auto&) { return true; }),
                  std::out_of_range);
+}
+
+// ------------------------------------------------------------ OffsetWalker
+//
+// The shared pinned-digit walker must reproduce, bit for bit, the four
+// legacy walk orders it replaced (PRs 1-3 hand-rolled each): the dense
+// tensor sweep's rank*n rows, the view tensor sweep's per-digit delta
+// walk, GameView::materialize's full walk, and the dominance scanner's
+// pinned-digit opponent walk. The references below are the legacy loops,
+// inlined verbatim over synthetic per-digit offset tables (what a view's
+// cell-offset columns look like).
+
+// Random "cell offset" columns: arbitrary non-monotone offsets are fine —
+// the walker only ever adds deltas that cancel over complete rows.
+std::vector<std::vector<std::uint64_t>> random_columns(Rng& rng, std::size_t digits,
+                                                       std::size_t max_radix) {
+    std::vector<std::vector<std::uint64_t>> columns(digits);
+    for (auto& column : columns) {
+        const std::size_t radix = 1 + rng.next_below(max_radix);
+        column.resize(radix);
+        for (auto& offset : column) offset = rng.next_u64() % 1000;
+    }
+    return columns;
+}
+
+std::uint64_t row_of(const std::vector<std::vector<std::uint64_t>>& columns,
+                     const std::vector<std::size_t>& tuple) {
+    std::uint64_t row = 0;
+    for (std::size_t d = 0; d < tuple.size(); ++d) row += columns[d][tuple[d]];
+    return row;
+}
+
+std::vector<std::size_t> radices_of(const std::vector<std::vector<std::uint64_t>>& columns) {
+    std::vector<std::size_t> radices;
+    for (const auto& column : columns) radices.push_back(column.size());
+    return radices;
+}
+
+OffsetWalker make_walker(const std::vector<std::vector<std::uint64_t>>& columns) {
+    OffsetWalker walker;
+    for (const auto& column : columns) walker.add_digit(column.data(), column.size());
+    return walker;
+}
+
+class OffsetWalkerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OffsetWalkerProperty, MatchesFromScratchRowSumsEverywhere) {
+    // Legacy order #3 (GameView::materialize): every visited row must be
+    // the from-scratch sum of its tuple's offsets, in row-major order.
+    Rng rng{GetParam()};
+    const auto columns = random_columns(rng, 1 + rng.next_below(4), 4);
+    const auto radices = radices_of(columns);
+    OffsetWalker walker = make_walker(columns);
+    walker.reset();
+    std::uint64_t rank = 0;
+    do {
+        EXPECT_EQ(walker.tuple(), product_unrank(radices, rank));
+        EXPECT_EQ(walker.row(), row_of(columns, walker.tuple()));
+        ++rank;
+    } while (walker.advance());
+    EXPECT_EQ(rank, product_size(radices));
+    EXPECT_EQ(walker.num_tuples(), product_size(radices));
+}
+
+TEST_P(OffsetWalkerProperty, MatchesLegacyViewTensorDeltaWalk) {
+    // Legacy order #2 (ViewTensorBase::advance): incremental per-digit
+    // deltas with unsigned wrap-around, starting from an arbitrary rank.
+    Rng rng{GetParam() + 1000};
+    const auto columns = random_columns(rng, 2 + rng.next_below(3), 4);
+    const auto radices = radices_of(columns);
+    const std::uint64_t total = product_size(radices);
+    const std::uint64_t begin = rng.next_u64() % total;
+
+    auto tuple = product_unrank(radices, begin);
+    std::uint64_t row = row_of(columns, tuple);
+    OffsetWalker walker = make_walker(columns);
+    walker.seek(begin);
+    for (std::uint64_t rank = begin; rank < total; ++rank) {
+        EXPECT_EQ(walker.row(), row) << "rank " << rank;
+        EXPECT_EQ(walker.tuple(), tuple);
+        // The legacy loop, verbatim.
+        for (std::size_t d = radices.size(); d-- > 0;) {
+            const std::size_t a = ++tuple[d];
+            if (a < radices[d]) {
+                row += columns[d][a] - columns[d][a - 1];
+                break;
+            }
+            row += columns[d][0] - columns[d][a - 1];
+            tuple[d] = 0;
+        }
+        (void)walker.advance();
+    }
+}
+
+TEST_P(OffsetWalkerProperty, BlockDecompositionConcatenatesToFullWalk) {
+    // Legacy order #1 (the payoff engine's blocked sweeps): seeking block
+    // entries and walking each block reproduces the full enumeration.
+    Rng rng{GetParam() + 2000};
+    const auto columns = random_columns(rng, 2 + rng.next_below(3), 4);
+    const std::uint64_t total = product_size(radices_of(columns));
+    std::vector<std::uint64_t> full;
+    OffsetWalker walker = make_walker(columns);
+    walker.reset();
+    do {
+        full.push_back(walker.row());
+    } while (walker.advance());
+
+    const std::uint64_t block = 1 + rng.next_u64() % 7;
+    std::vector<std::uint64_t> chunked;
+    for (std::uint64_t lo = 0; lo < total; lo += block) {
+        const std::uint64_t hi = std::min(total, lo + block);
+        OffsetWalker worker = make_walker(columns);
+        worker.seek(lo);
+        for (std::uint64_t rank = lo; rank < hi; ++rank) {
+            chunked.push_back(worker.row());
+            (void)worker.advance();
+        }
+    }
+    EXPECT_EQ(chunked, full);
+}
+
+TEST_P(OffsetWalkerProperty, PinnedDigitMatchesLegacyOpponentWalk) {
+    // Legacy order #4 (for_each_opponent_base): one digit pinned, the
+    // rest enumerated row-major with the pinned contribution in every row.
+    Rng rng{GetParam() + 3000};
+    const auto columns = random_columns(rng, 2 + rng.next_below(3), 4);
+    const auto radices = radices_of(columns);
+    const std::size_t n = columns.size();
+    const std::size_t pinned = rng.next_below(n);
+    const std::size_t value = rng.next_below(radices[pinned]);
+
+    // The legacy loop, verbatim (generalized from pin-at-0 to pin-at-v).
+    std::vector<std::uint64_t> expected;
+    {
+        std::vector<std::size_t> tuple(n, 0);
+        std::uint64_t row = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+            row += columns[p][p == pinned ? value : 0];
+        }
+        while (true) {
+            expected.push_back(row);
+            std::size_t d = n;
+            while (d-- > 0) {
+                if (d == pinned) continue;
+                if (++tuple[d] < radices[d]) {
+                    row += columns[d][tuple[d]] - columns[d][tuple[d] - 1];
+                    break;
+                }
+                row -= columns[d][tuple[d] - 1] - columns[d][0];
+                tuple[d] = 0;
+            }
+            if (d == static_cast<std::size_t>(-1)) break;
+        }
+    }
+
+    OffsetWalker walker;
+    for (std::size_t p = 0; p < n; ++p) {
+        if (p == pinned) {
+            walker.add_pinned_digit(columns[p].data(), value);
+        } else {
+            walker.add_digit(columns[p].data(), columns[p].size());
+        }
+    }
+    walker.reset();
+    std::vector<std::uint64_t> actual;
+    do {
+        actual.push_back(walker.row());
+    } while (walker.advance());
+    EXPECT_EQ(actual, expected);
+
+    // Pinned walk == the full walk filtered to tuples with digit = value.
+    OffsetWalker full = make_walker(columns);
+    full.reset();
+    std::vector<std::uint64_t> filtered;
+    do {
+        if (full.tuple()[pinned] == value) filtered.push_back(full.row());
+    } while (full.advance());
+    EXPECT_EQ(actual, filtered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OffsetWalkerProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(OffsetWalker, ResetAppliesExternalBase) {
+    const std::vector<std::vector<std::uint64_t>> columns{{10, 20}, {1, 2, 3}};
+    OffsetWalker walker = make_walker(columns);
+    walker.reset(100);
+    EXPECT_EQ(walker.row(), 100u + 10u + 1u);
+    // Rebase below zero wraps and cancels over a complete row sum.
+    walker.reset(std::uint64_t{0} - 11);
+    EXPECT_EQ(walker.row(), 0u);
+}
+
+TEST(OffsetWalker, SeekValidatesRange) {
+    const std::vector<std::vector<std::uint64_t>> columns{{0, 1}, {0, 1, 2}};
+    OffsetWalker walker = make_walker(columns);
+    walker.seek(5);
+    EXPECT_EQ(walker.tuple(), (std::vector<std::size_t>{1, 2}));
+    EXPECT_THROW(walker.seek(6), std::out_of_range);
+    EXPECT_THROW(walker.add_digit(columns[0].data(), 0), std::invalid_argument);
+}
+
+TEST(OffsetWalker, LowestChangedTracksCarries) {
+    const std::vector<std::vector<std::uint64_t>> columns{{0, 0}, {0, 0}};
+    OffsetWalker walker = make_walker(columns);
+    walker.reset();
+    ASSERT_TRUE(walker.advance());  // 00 -> 01
+    EXPECT_EQ(walker.lowest_changed(), 1u);
+    ASSERT_TRUE(walker.advance());  // 01 -> 10: both digits moved
+    EXPECT_EQ(walker.lowest_changed(), 0u);
+    ASSERT_TRUE(walker.advance());  // 10 -> 11
+    EXPECT_EQ(walker.lowest_changed(), 1u);
+    EXPECT_FALSE(walker.advance());
+    EXPECT_EQ(walker.digit_moves(), 6u);  // 1 + 2 + 1 + 2 digit touches
+}
+
+TEST(WorkCounters, AccumulatesAndResets) {
+    work_counters_reset();
+    work_counters_add(5, 7);
+    work_counters_add(1, 2);
+    const auto snapshot = work_counters_snapshot();
+    EXPECT_EQ(snapshot.cells_visited, 6u);
+    EXPECT_EQ(snapshot.offsets_advanced, 9u);
+    work_counters_reset();
+    EXPECT_EQ(work_counters_snapshot().cells_visited, 0u);
 }
 
 // ------------------------------------------------------------------ Matrix
