@@ -355,6 +355,168 @@ void print_frontier_acceptance() {
               << ")\n\n";
 }
 
+// Coalition-dominated workload for R-INTRA: few players, many actions,
+// payoffs strictly decreasing in OWN action only — so the all-0 profile
+// survives every deviation (full sweep, no early exit) and the single
+// size-n coalition owns ~3/4 of all joint-deviation cells.
+game::NormalFormGame own_action_chain_game(std::size_t players, std::size_t actions) {
+    game::NormalFormGame g(std::vector<std::size_t>(players, actions));
+    for (std::uint64_t rank = 0; rank < g.num_profiles(); ++rank) {
+        const auto profile = g.profile_unrank(rank);
+        for (std::size_t p = 0; p < players; ++p) {
+            g.set_payoff(profile, p, -static_cast<std::int64_t>(profile[p]));
+        }
+    }
+    return g;
+}
+
+// RAII restore for the process-wide intra-split tuning.
+struct IntraSplitRestore final {
+    ~IntraSplitRestore() {
+        core::CoalitionSweep::set_intra_split_cells(
+            core::CoalitionSweep::kDefaultIntraSplitCells);
+        core::CoalitionSweep::set_intra_block_cells(core::CoalitionSweep::kIntraBlock);
+        core::CoalitionSweep::set_intra_split_force(false);
+    }
+};
+
+void print_intra_split_acceptance() {
+    const std::size_t executors = util::global_pool().size();
+    std::cout << "=== R-INTRA: k=4 resilience, 4p/12a own-action chain (single size-4 "
+                 "coalition owns 73% of the scan) — intra-coalition ranged blocks vs "
+                 "single-task serial ===\n";
+    const auto g = own_action_chain_game(4, 12);
+    const auto all_zero = core::as_exact_profile(g, game::PureProfile(4, 0));
+    const core::RobustnessOptions serial_opts{core::GainCriterion::kAnyMemberGains,
+                                              game::SweepMode::kSerial};
+    const core::RobustnessOptions auto_opts{core::GainCriterion::kAnyMemberGains,
+                                            game::SweepMode::kAuto};
+    const IntraSplitRestore restore;
+
+    // Verdicts: full-sweep (all-0, robust) and early-exit (all-11, the
+    // first task already gains) must be bit-identical across paths.
+    bool identical = true;
+    for (const std::size_t base : {0u, 11u}) {
+        const auto profile = core::as_exact_profile(g, game::PureProfile(4, base));
+        const auto via_serial = core::find_resilience_violation(g, profile, 4, serial_opts);
+        core::CoalitionSweep::set_intra_split_force(true);
+        const auto via_split = core::find_resilience_violation(g, profile, 4, auto_opts);
+        core::CoalitionSweep::set_intra_split_force(false);
+        identical = identical && via_serial.has_value() == via_split.has_value() &&
+                    (!via_serial || *via_serial == *via_split);
+    }
+
+    const double serial_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(core::find_resilience_violation(g, all_zero, 4, serial_opts));
+    });
+    // Task-level parallelism only: the split disabled by threshold.
+    core::CoalitionSweep::set_intra_split_cells(UINT64_MAX);
+    const double task_only_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(core::find_resilience_violation(g, all_zero, 4, auto_opts));
+    });
+    core::CoalitionSweep::set_intra_split_cells(core::CoalitionSweep::kDefaultIntraSplitCells);
+    // Two-level: tasks x ranged blocks (forced so 1-executor hosts still
+    // time the split path instead of silently skipping it).
+    core::CoalitionSweep::set_intra_split_force(true);
+    const double split_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(core::find_resilience_violation(g, all_zero, 4, auto_opts));
+    });
+    core::CoalitionSweep::set_intra_split_force(false);
+
+    util::Table table({"sweep", "ns/op", "speedup"});
+    table.add_row({"single-task serial", util::Table::fmt(serial_ns), "1.00x"});
+    table.add_row({"tasks only (" + std::to_string(executors) + " executors)",
+                   util::Table::fmt(task_only_ns),
+                   util::Table::fmt(serial_ns / task_only_ns, 2) + "x"});
+    table.add_row({"tasks x ranged blocks (" + std::to_string(executors) + " executors)",
+                   util::Table::fmt(split_ns),
+                   util::Table::fmt(serial_ns / split_ns, 2) + "x"});
+    table.print(std::cout);
+    const double speedup = serial_ns / split_ns;
+    std::cout << "-> violations bit-identical (serial vs ranged blocks, full sweep + early "
+                 "exit): "
+              << (identical ? "PASS" : "MISS") << "\n";
+    if (executors >= 2) {
+        std::cout << "-> acceptance: two-level sweep >= 2x over single-task serial ("
+                  << util::Table::fmt(speedup, 2) << "x, "
+                  << (speedup >= 2.0 ? "PASS" : "MISS") << ")\n\n";
+    } else {
+        // One executor: ranged blocks run inline, so parallel speedup is
+        // unmeasurable on this host; gate bit-identity + split overhead.
+        std::cout << "-> acceptance (1-executor host; >=2x needs >=2 executors): "
+                     "ranged-block path bit-identical with <= 30% overhead ("
+                  << util::Table::fmt(speedup, 2) << "x, "
+                  << (identical && speedup >= 0.77 ? "PASS" : "MISS") << ")\n\n";
+    }
+}
+
+void print_max_kt_acceptance() {
+    std::cout << "=== R-MAXKT: maximal robust set, 7-player attack game, all-1, budget "
+                 "(k<=6, t<=4) — boundary walk vs full frontier grid ===\n";
+    const auto g = game::catalog::attack_coordination_game(7);
+    const auto all_one = core::as_exact_profile(g, game::PureProfile(7, 1));
+    const std::size_t max_k = 6;
+    const std::size_t max_t = 4;
+    const core::RobustnessOptions serial_opts{core::GainCriterion::kAnyMemberGains,
+                                              game::SweepMode::kSerial};
+
+    util::work_counters_reset();
+    const auto frontier =
+        core::batch_robustness_frontier(g, all_one, max_k, max_t, serial_opts);
+    const auto frontier_work = util::work_counters_snapshot();
+    util::work_counters_reset();
+    const auto walk = core::max_kt(g, all_one, max_k, max_t, serial_opts);
+    const auto walk_work = util::work_counters_snapshot();
+    util::work_counters_reset();
+
+    // Identical maximal robust set: cell-for-cell grid agreement plus
+    // Pareto-maximality of every reported point.
+    bool identical = true;
+    for (std::size_t k = 0; k <= max_k; ++k) {
+        for (std::size_t t = 0; t <= max_t; ++t) {
+            identical = identical && walk.robust(k, t) == frontier.robust(k, t);
+        }
+    }
+    for (const auto& [k, t] : walk.maximal) {
+        identical = identical && frontier.robust(k, t) &&
+                    (k == max_k || !frontier.robust(k + 1, t)) &&
+                    (t == max_t || !frontier.robust(k, t + 1));
+    }
+
+    std::cout << "maximal robust set:";
+    for (const auto& [k, t] : walk.maximal) std::cout << " (k=" << k << ",t=" << t << ")";
+    std::cout << "\n";
+    const std::uint64_t grid_cells = (max_k + 1) * (max_t + 1);
+    const double frontier_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(
+            core::batch_robustness_frontier(g, all_one, max_k, max_t, serial_opts));
+    });
+    const double walk_ns = measure_ns([&] {
+        benchmark::DoNotOptimize(core::max_kt(g, all_one, max_k, max_t, serial_opts));
+    });
+    util::Table table({"probe", "(k,t) cells resolved", "tensor cells swept", "ns/op"});
+    table.add_row({"full frontier grid", util::Table::fmt(grid_cells),
+                   util::Table::fmt(frontier_work.cells_visited),
+                   util::Table::fmt(frontier_ns)});
+    table.add_row({"max_kt boundary walk", util::Table::fmt(walk.cells_resolved),
+                   util::Table::fmt(walk_work.cells_visited), util::Table::fmt(walk_ns)});
+    table.print(std::cout);
+    const double cell_ratio = static_cast<double>(grid_cells) /
+                              static_cast<double>(std::max<std::uint64_t>(
+                                  walk.cells_resolved, 1));
+    std::cout << "-> maximal robust set identical to the frontier grid ("
+              << (identical ? "PASS" : "MISS") << ")\n";
+    std::cout << "-> acceptance: boundary walk resolves >= 3x fewer (k,t) cells than the "
+                 "grid ("
+              << util::Table::fmt(cell_ratio, 2) << "x, "
+              << (cell_ratio >= 3.0 ? "PASS" : "MISS")
+              << "); tensor sweep work at parity with the shared-sweep frontier ("
+              << util::Table::fmt(static_cast<double>(frontier_work.cells_visited) /
+                                      static_cast<double>(walk_work.cells_visited),
+                                  2)
+              << "x)\n\n";
+}
+
 void print_view_elimination_comparison() {
     std::cout << "=== R-CS2: iterated elimination, 12x12 dominance chain — "
                  "tensor copies vs GameView ===\n";
@@ -467,6 +629,51 @@ void bench_frontier_independent(benchmark::State& state) {
     }
 }
 BENCHMARK(bench_frontier_independent)->DenseRange(5, 7)->Unit(benchmark::kMicrosecond);
+
+// R-MAXKT trajectory rows: the boundary walk on the same workload as
+// bench_frontier_batch (attack all-1, max_k = n-1, max_t = 2), serial
+// blocks with CI-gated work counters.
+void bench_max_kt(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto g = game::catalog::attack_coordination_game(n);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(n, 1));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    const CounterScope counters(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::max_kt(g, profile, n - 1, 2, options));
+    }
+}
+BENCHMARK(bench_max_kt)->DenseRange(5, 7)->Unit(benchmark::kMicrosecond);
+
+// R-INTRA trajectory rows: the coalition-dominated full sweep, serial
+// (CI-gated counters) and with the ranged-block split forced on.
+void bench_intra_dominated_serial(benchmark::State& state) {
+    const auto actions = static_cast<std::size_t>(state.range(0));
+    const auto g = own_action_chain_game(4, actions);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(4, 0));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kSerial};
+    const CounterScope counters(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::find_resilience_violation(g, profile, 4, options));
+    }
+}
+BENCHMARK(bench_intra_dominated_serial)->DenseRange(8, 12, 2)->Unit(benchmark::kMicrosecond);
+
+void bench_intra_dominated_split(benchmark::State& state) {
+    const auto actions = static_cast<std::size_t>(state.range(0));
+    const auto g = own_action_chain_game(4, actions);
+    const auto profile = core::as_exact_profile(g, game::PureProfile(4, 0));
+    const core::RobustnessOptions options{core::GainCriterion::kAnyMemberGains,
+                                          game::SweepMode::kAuto};
+    const IntraSplitRestore restore;
+    core::CoalitionSweep::set_intra_split_force(true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::find_resilience_violation(g, profile, 4, options));
+    }
+}
+BENCHMARK(bench_intra_dominated_split)->DenseRange(8, 12, 2)->Unit(benchmark::kMicrosecond);
 
 void bench_sweep_full_parallel(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
@@ -594,6 +801,8 @@ int main(int argc, char** argv) {
     print_coalition_sweep_acceptance();
     print_batch_resilience_acceptance();
     print_frontier_acceptance();
+    print_intra_split_acceptance();
+    print_max_kt_acceptance();
     print_view_elimination_comparison();
     bnash::bench::initialize_with_json_output(argc, argv, "BENCH_robustness.json");
     benchmark::RunSpecifiedBenchmarks();

@@ -15,6 +15,14 @@ Gating:
     --fail-above PCT          gate the report metric (legacy spelling)
     --gate METRIC:PCT         gate any per-benchmark JSON field; repeatable
 
+Re-blessing:
+    --update-baseline         after printing the report, copy NEW over OLD
+                              (the baseline path) and exit 0 regardless of
+                              gate verdicts — the one-command way to bless
+                              an intentional perf change. Gates are still
+                              evaluated and printed so the bless is an
+                              informed one.
+
 Work-counter gating is what CI wants: the bench binaries emit
 deterministic `cells_visited` / `offsets_advanced` counters on their
 serial rows, so `--gate cells_visited:5` fails on real algorithmic
@@ -25,6 +33,7 @@ the counters) is reported and skipped, not failed.
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -111,6 +120,9 @@ def main():
     parser.add_argument("--gate", action="append", default=[], metavar="METRIC:PCT",
                         help="exit 1 if METRIC regresses by more than PCT percent; "
                              "repeatable (e.g. --gate cells_visited:5 --gate real_time:150)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy NEW over OLD after the report and exit 0 "
+                             "(bless an intentional change)")
     args = parser.parse_args()
 
     worst, shared = compare(args.old, args.new, args.metric,
@@ -147,6 +159,10 @@ def main():
               f"over {gate_shared} benchmark(s) -> {verdict}")
         if gate_worst > threshold:
             failed = True
+    if args.update_baseline:
+        shutil.copyfile(args.new, args.old)
+        print(f"baseline updated: {args.new} -> {args.old}")
+        return 0
     return 1 if failed else 0
 
 

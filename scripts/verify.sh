@@ -26,19 +26,22 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [[ "${BENCH}" == "ON" ]]; then
-  # Acceptance tables (R-CS / R-BATCH / R-FRONTIER and E-PE / PE-SPARSE
-  # blocks) + BENCH_*.json artifacts.
+  # Acceptance tables (R-CS / R-BATCH / R-FRONTIER / R-INTRA / R-MAXKT
+  # and E-PE / PE-SPARSE blocks) + BENCH_*.json artifacts.
   (cd build && ./bench_robustness --benchmark_min_time=0.05s)
   (cd build && ./bench_payoff_engine --benchmark_min_time=0.05s)
+  (cd build && ./bench_solvers --benchmark_min_time=0.05s)
   # Regression gates against the blessed baselines. Wall time gets a
   # deliberately loose threshold (machine-to-machine noise); the work
   # counters (cells_visited / offsets_advanced) are deterministic on the
   # gated serial rows, so they get a tight one — an algorithmic
-  # regression fails the gate even on a loaded machine. Re-bless by
-  # copying build/BENCH_<name>.json over the baseline after an
-  # intentional change. Skips gracefully when python3 is absent.
+  # regression fails the gate even on a loaded machine. Re-bless after an
+  # intentional change with
+  #   python3 scripts/bench_diff.py bench/baselines/BENCH_<name>.json \
+  #     build/BENCH_<name>.json --update-baseline
+  # Skips gracefully when python3 is absent.
   if command -v python3 >/dev/null 2>&1; then
-    for bench_name in robustness payoff_engine; do
+    for bench_name in robustness payoff_engine solvers; do
       if [[ -f "bench/baselines/BENCH_${bench_name}.json" ]]; then
         python3 scripts/bench_diff.py "bench/baselines/BENCH_${bench_name}.json" \
           "build/BENCH_${bench_name}.json" --gate real_time:150 \
@@ -53,5 +56,7 @@ if [[ "${BENCH}" == "ON" ]]; then
 fi
 
 if [[ "${FULL_BENCH}" == "ON" && "${BENCH}" == "ON" ]]; then
-  (cd build && ./bench_solvers --benchmark_min_time=0.05s)
+  # Smoke-run the remaining bench binaries (no blessed baselines yet).
+  (cd build && ./bench_byzantine --benchmark_min_time=0.05s)
+  (cd build && ./bench_mediator --benchmark_min_time=0.05s)
 fi

@@ -204,29 +204,48 @@ CheapTalkOutcome run_cheap_talk(const MediatorPolicy& policy,
             }
         }
         std::vector<std::size_t> agreed(n, 0);
+        // ONE pipelined EIG batch carries every (contributor, bit)
+        // agreement: all instances share the same d+2 rounds and the same
+        // simulated network instead of paying the full BA depth once per
+        // contribution bit. Per-instance seeds are drawn in the exact
+        // order the sequential loop drew them, so each instance's
+        // decisions — and therefore the joint coin — are identical to
+        // the unbatched runs (pinned by test_dist).
+        std::vector<std::vector<std::uint64_t>> ba_inputs;
+        std::vector<std::uint64_t> ba_seeds;
+        ba_inputs.reserve(n * bits);
+        ba_seeds.reserve(n * bits);
         for (std::size_t contributor = 0; contributor < n; ++contributor) {
             for (std::size_t bit = 0; bit < bits; ++bit) {
                 std::vector<std::uint64_t> inputs(n, 0);
                 for (std::size_t j = 0; j < n; ++j) {
                     inputs[j] = (received[j][contributor] >> bit) & 1;
                 }
-                const auto run = dist::run_eig_consensus(d, inputs, ba_behaviors,
-                                                         rng.next_u64() | 1);
-                outcome.ba_instances += 1;
-                outcome.metrics.messages += run.metrics.messages;
-                outcome.metrics.payload_words += run.metrics.payload_words;
+                ba_inputs.push_back(std::move(inputs));
+                ba_seeds.push_back(rng.next_u64() | 1);
+            }
+        }
+        const auto batch = dist::run_eig_consensus_batch(d, ba_inputs, ba_behaviors,
+                                                         ba_seeds);
+        outcome.ba_instances += ba_inputs.size();
+        outcome.metrics.messages += batch.metrics.messages;
+        outcome.metrics.payload_words += batch.metrics.payload_words;
+        std::size_t instance = 0;
+        for (std::size_t contributor = 0; contributor < n; ++contributor) {
+            for (std::size_t bit = 0; bit < bits; ++bit) {
+                const auto& decisions = batch.decisions[instance++];
                 // Adopt the first honest decision (all honest agree).
                 for (std::size_t j = 0; j < n; ++j) {
                     if (ba_behaviors[j] == dist::AdversaryKind::kHonest &&
-                        run.decisions[j].has_value()) {
-                        agreed[contributor] |= static_cast<std::size_t>(*run.decisions[j])
+                        decisions[j].has_value()) {
+                        agreed[contributor] |= static_cast<std::size_t>(*decisions[j])
                                                << bit;
                         break;
                     }
                 }
             }
         }
-        outcome.metrics.rounds += d + 2;  // parallel BA batch depth
+        outcome.metrics.rounds += d + 2;  // the ONE pipelined batch depth
         outcome.phases += 1;
         for (std::size_t i = 0; i < n; ++i) coin = (coin + agreed[i]) % coin_space;
     }

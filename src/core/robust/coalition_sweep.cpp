@@ -19,6 +19,10 @@ using game::NormalFormGame;
 using game::PureProfile;
 using util::Rational;
 
+std::atomic<std::uint64_t> g_intra_split_cells{CoalitionSweep::kDefaultIntraSplitCells};
+std::atomic<std::uint64_t> g_intra_block_cells{CoalitionSweep::kIntraBlock};
+std::atomic<bool> g_intra_split_force{false};
+
 // Joint-deviation scan over the players in `who`: a thin adapter that
 // configures the shared util::OffsetWalker over those players' view
 // cell-offset columns, rebased so reset(base) starts from the row where
@@ -59,14 +63,6 @@ private:
     std::uint64_t rebase_ = 0;
     std::uint64_t carried_moves_ = 0;
 };
-
-std::vector<std::size_t> action_space(const GameView& view,
-                                      const std::vector<std::size_t>& players) {
-    std::vector<std::size_t> out;
-    out.reserve(players.size());
-    for (const std::size_t p : players) out.push_back(view.num_actions(p));
-    return out;
-}
 
 // A found violation together with the index of the task that found it
 // (the batch probes map the winning index back to a coalition size).
@@ -119,35 +115,315 @@ std::optional<TaskHit> run_tasks(std::size_t num_tasks, game::SweepMode mode,
     return std::nullopt;
 }
 
+// --- intra-task ranged-block scans -------------------------------------------
+//
+// One faulty set's joint-deviation space, walked as ONE combined odometer
+// (faulty digits then coalition digits — exactly the serial nesting
+// order) and split into fixed-size rank blocks on the pool. The winner is
+// the lowest violating RANK, so the reported violation is the first the
+// serial nested scan would have produced; blocks whose range lies above
+// the current winner are skipped. When the outer task level already owns
+// the workers, run_blocks degrades to an in-order inline loop and the
+// decomposition changes nothing observable.
+
+// True when a per-faulty-set scan of `total` cells should split.
+bool should_split_intra(game::SweepMode mode, std::uint64_t total) {
+    if (mode != game::SweepMode::kAuto) return false;
+    if (total < g_intra_split_cells.load(std::memory_order_relaxed)) return false;
+    if (total < 2 * g_intra_block_cells.load(std::memory_order_relaxed)) return false;
+    return util::global_pool().size() > 1 ||
+           g_intra_split_force.load(std::memory_order_relaxed);
+}
+
+// Block size for a `total`-cell ranged scan: the configured block size,
+// grown (deterministically, machine-independently) so the per-block
+// bookkeeping vectors never exceed kMaxIntraBlocks entries on huge
+// scans.
+std::uint64_t intra_block_size(std::uint64_t total) {
+    constexpr std::uint64_t kMaxIntraBlocks = 4096;
+    const std::uint64_t configured = g_intra_block_cells.load(std::memory_order_relaxed);
+    return std::max(configured, (total + kMaxIntraBlocks - 1) / kMaxIntraBlocks);
+}
+
+std::optional<RobustnessViolation> intra_resilience_scan(
+    const GameView& view, const PureProfile& candidate, std::uint64_t base_row,
+    const std::vector<std::size_t>& coalition, const std::vector<std::size_t>& faulty,
+    GainCriterion criterion, std::uint64_t total) {
+    const std::uint64_t kBlock = intra_block_size(total);
+    const std::size_t fw = faulty.size();
+    const std::size_t width = coalition.size();
+    // Combined walker prototype: every scanned player rebased to its
+    // candidate action (copied and seek()ed per block).
+    util::OffsetWalker proto;
+    proto.reserve(fw + width);
+    std::uint64_t rebase = base_row;
+    for (const std::size_t p : faulty) {
+        const auto& column = view.cell_offsets(p);
+        proto.add_digit(column.data(), column.size());
+        rebase -= column[candidate[p]];
+    }
+    // With the coalition digits at zero, the reference row (coalition
+    // back on its candidate actions) is the walker row minus this.
+    std::uint64_t coalition_zero_delta = 0;
+    for (const std::size_t p : coalition) {
+        const auto& column = view.cell_offsets(p);
+        proto.add_digit(column.data(), column.size());
+        rebase -= column[candidate[p]];
+        coalition_zero_delta += column[0] - column[candidate[p]];
+    }
+    const std::uint64_t num_blocks = (total + kBlock - 1) / kBlock;
+    std::atomic<std::uint64_t> best{total};
+    std::vector<std::optional<RobustnessViolation>> found(num_blocks);
+    std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors(
+        num_blocks, {total, nullptr});
+    std::atomic<std::uint64_t> cells{0};
+    std::atomic<std::uint64_t> moves{0};
+    util::global_pool().run_blocks(
+        static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
+            const std::uint64_t lo = block * kBlock;
+            const std::uint64_t hi = std::min(total, lo + kBlock);
+            if (lo >= best.load(std::memory_order_acquire)) return;  // early exit
+            std::uint64_t rank = lo;
+            std::uint64_t scanned = 0;
+            try {
+                util::OffsetWalker walker = proto;
+                walker.seek(lo, rebase);
+                const auto& tuple = walker.tuple();
+                // Reference row for the block's entry faulty tuple.
+                std::uint64_t ref_row = walker.row();
+                for (std::size_t idx = 0; idx < width; ++idx) {
+                    const auto& column = view.cell_offsets(coalition[idx]);
+                    ref_row += column[candidate[coalition[idx]]] - column[tuple[fw + idx]];
+                }
+                std::vector<const Rational*> reference(width);
+                for (std::size_t idx = 0; idx < width; ++idx) {
+                    reference[idx] = &view.payoff_from(ref_row, coalition[idx]);
+                }
+                for (; rank < hi; ++rank) {
+                    ++scanned;
+                    bool any_gain = false;
+                    bool all_gain = true;
+                    std::size_t witness = coalition[0];
+                    const Rational* witness_before = nullptr;
+                    const Rational* witness_after = nullptr;
+                    for (std::size_t idx = 0; idx < width; ++idx) {
+                        const Rational& after =
+                            view.payoff_from(walker.row(), coalition[idx]);
+                        if (after > *reference[idx]) {
+                            if (!any_gain) {
+                                witness = coalition[idx];
+                                witness_before = reference[idx];
+                                witness_after = &after;
+                            }
+                            any_gain = true;
+                        } else {
+                            all_gain = false;
+                        }
+                    }
+                    const bool violated = criterion == GainCriterion::kAnyMemberGains
+                                              ? any_gain
+                                              : (all_gain && !coalition.empty());
+                    if (violated) {
+                        found[block] = RobustnessViolation{
+                            coalition,
+                            faulty,
+                            PureProfile(tuple.begin() + static_cast<std::ptrdiff_t>(fw),
+                                        tuple.end()),
+                            PureProfile(tuple.begin(),
+                                        tuple.begin() + static_cast<std::ptrdiff_t>(fw)),
+                            witness,
+                            witness_before ? witness_before->to_double() : 0.0,
+                            witness_after ? witness_after->to_double() : 0.0};
+                        std::uint64_t current = best.load(std::memory_order_acquire);
+                        while (rank < current &&
+                               !best.compare_exchange_weak(current, rank,
+                                                           std::memory_order_acq_rel)) {
+                        }
+                        break;
+                    }
+                    if (rank + 1 < hi) {
+                        (void)walker.advance();
+                        if (walker.lowest_changed() < fw) {
+                            // Carry into the faulty digits: the coalition
+                            // digits are back at zero, so the reference
+                            // row is one constant away.
+                            ref_row = walker.row() - coalition_zero_delta;
+                            for (std::size_t idx = 0; idx < width; ++idx) {
+                                reference[idx] = &view.payoff_from(ref_row, coalition[idx]);
+                            }
+                        }
+                        // Ranks above an established winner can never win.
+                        if ((rank & 255) == 255 &&
+                            rank + 1 >= best.load(std::memory_order_acquire)) {
+                            ++rank;
+                            break;
+                        }
+                    }
+                }
+                cells.fetch_add(scanned, std::memory_order_relaxed);
+                moves.fetch_add(walker.digit_moves(), std::memory_order_relaxed);
+            } catch (...) {
+                cells.fetch_add(scanned, std::memory_order_relaxed);
+                errors[block] = {rank, std::current_exception()};
+            }
+        });
+    util::work_counters_add(cells.load(std::memory_order_relaxed),
+                            moves.load(std::memory_order_relaxed));
+    const std::uint64_t winner = best.load(std::memory_order_acquire);
+    // Serial-equivalent errors: the in-order scan would have thrown the
+    // lowest-rank error that precedes the first violation.
+    std::size_t first_error = static_cast<std::size_t>(num_blocks);
+    for (std::size_t block = 0; block < num_blocks; ++block) {
+        if (errors[block].second && errors[block].first < winner &&
+            (first_error == num_blocks ||
+             errors[block].first < errors[first_error].first)) {
+            first_error = block;
+        }
+    }
+    if (first_error < num_blocks) std::rethrow_exception(errors[first_error].second);
+    if (winner == total) return std::nullopt;
+    return std::move(found[static_cast<std::size_t>(winner / kBlock)]);
+}
+
+std::optional<RobustnessViolation> intra_immunity_scan(
+    const GameView& view, const PureProfile& candidate, std::uint64_t base_row,
+    const std::vector<std::size_t>& faulty, const std::vector<std::size_t>& outsiders,
+    const std::vector<Rational>& baseline, std::uint64_t total) {
+    const std::uint64_t kBlock = intra_block_size(total);
+    util::OffsetWalker proto;
+    proto.reserve(faulty.size());
+    std::uint64_t rebase = base_row;
+    for (const std::size_t p : faulty) {
+        const auto& column = view.cell_offsets(p);
+        proto.add_digit(column.data(), column.size());
+        rebase -= column[candidate[p]];
+    }
+    const std::uint64_t num_blocks = (total + kBlock - 1) / kBlock;
+    std::atomic<std::uint64_t> best{total};
+    std::vector<std::optional<RobustnessViolation>> found(num_blocks);
+    std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors(
+        num_blocks, {total, nullptr});
+    std::atomic<std::uint64_t> cells{0};
+    std::atomic<std::uint64_t> moves{0};
+    util::global_pool().run_blocks(
+        static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
+            const std::uint64_t lo = block * kBlock;
+            const std::uint64_t hi = std::min(total, lo + kBlock);
+            if (lo >= best.load(std::memory_order_acquire)) return;
+            std::uint64_t rank = lo;
+            std::uint64_t scanned = 0;
+            try {
+                util::OffsetWalker walker = proto;
+                walker.seek(lo, rebase);
+                for (; rank < hi; ++rank) {
+                    ++scanned;
+                    for (const std::size_t i : outsiders) {
+                        const Rational& after = view.payoff_from(walker.row(), i);
+                        if (after < baseline[i]) {
+                            found[block] =
+                                RobustnessViolation{{},
+                                                    faulty,
+                                                    {},
+                                                    walker.tuple(),
+                                                    i,
+                                                    baseline[i].to_double(),
+                                                    after.to_double()};
+                            std::uint64_t current = best.load(std::memory_order_acquire);
+                            while (rank < current &&
+                                   !best.compare_exchange_weak(
+                                       current, rank, std::memory_order_acq_rel)) {
+                            }
+                            break;
+                        }
+                    }
+                    if (found[block]) break;
+                    if (rank + 1 < hi) {
+                        (void)walker.advance();
+                        if ((rank & 255) == 255 &&
+                            rank + 1 >= best.load(std::memory_order_acquire)) {
+                            ++rank;
+                            break;
+                        }
+                    }
+                }
+                cells.fetch_add(scanned, std::memory_order_relaxed);
+                moves.fetch_add(walker.digit_moves(), std::memory_order_relaxed);
+            } catch (...) {
+                cells.fetch_add(scanned, std::memory_order_relaxed);
+                errors[block] = {rank, std::current_exception()};
+            }
+        });
+    util::work_counters_add(cells.load(std::memory_order_relaxed),
+                            moves.load(std::memory_order_relaxed));
+    const std::uint64_t winner = best.load(std::memory_order_acquire);
+    std::size_t first_error = static_cast<std::size_t>(num_blocks);
+    for (std::size_t block = 0; block < num_blocks; ++block) {
+        if (errors[block].second && errors[block].first < winner &&
+            (first_error == num_blocks ||
+             errors[block].first < errors[first_error].first)) {
+            first_error = block;
+        }
+    }
+    if (first_error < num_blocks) std::rethrow_exception(errors[first_error].second);
+    if (winner == total) return std::nullopt;
+    return std::move(found[static_cast<std::size_t>(winner / kBlock)]);
+}
+
 }  // namespace
+
+void CoalitionSweep::set_intra_split_cells(std::uint64_t cells) noexcept {
+    g_intra_split_cells.store(cells, std::memory_order_relaxed);
+}
+
+std::uint64_t CoalitionSweep::intra_split_cells() noexcept {
+    return g_intra_split_cells.load(std::memory_order_relaxed);
+}
+
+void CoalitionSweep::set_intra_block_cells(std::uint64_t cells) noexcept {
+    g_intra_block_cells.store(cells == 0 ? 1 : cells, std::memory_order_relaxed);
+}
+
+std::uint64_t CoalitionSweep::intra_block_cells() noexcept {
+    return g_intra_block_cells.load(std::memory_order_relaxed);
+}
+
+void CoalitionSweep::set_intra_split_force(bool force) noexcept {
+    g_intra_split_force.store(force, std::memory_order_relaxed);
+}
+
+bool CoalitionSweep::intra_split_force() noexcept {
+    return g_intra_split_force.load(std::memory_order_relaxed);
+}
 
 CoalitionSweep::CoalitionSweep(const NormalFormGame& game, const ExactMixedProfile& profile)
     : CoalitionSweep(GameView::full(game), profile) {}
 
 CoalitionSweep::CoalitionSweep(GameView view, const ExactMixedProfile& profile)
     : view_(std::move(view)), profile_(&profile), pure_(as_pure_profile(profile)) {
-    if (pure_) base_row_ = view_.row_offset(*pure_);
-}
-
-Rational CoalitionSweep::mixed_utility(const std::vector<std::size_t>& who,
-                                       const PureProfile& actions,
-                                       std::size_t player) const {
-    ExactMixedProfile deviated = *profile_;
-    for (std::size_t idx = 0; idx < who.size(); ++idx) {
-        game::ExactMixedStrategy point(view_.num_actions(who[idx]), Rational{0});
-        point[actions[idx]] = Rational{1};
-        deviated[who[idx]] = std::move(point);
+    if (pure_) {
+        base_row_ = view_.row_offset(*pure_);
+    } else {
+        // One plan per sweep: every sparse coalition scan walks it.
+        support_ = game::build_support_plan(view_, profile);
     }
-    // Sparse-support sweep: the deviators are point masses, so the walk
-    // covers only the candidate's support cross the pinned deviations
-    // (exact arithmetic — same value as the dense sweep by construction).
-    return game::expected_payoff_exact_sparse(view_, deviated, player);
 }
 
-std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
-    const std::vector<std::size_t>& faulty,
-    const std::vector<Rational>& baseline) const {
+// --- support-sparse fused scans (mixed candidates) ---------------------------
+//
+// Digit layout per scan: the deviators' FULL action ranges first (faulty
+// then coalition — the serial enumeration order), then the remaining
+// players' SUPPORT actions. The cells of one joint deviation are then a
+// contiguous row-major run, so each deviation's expected utilities
+// accumulate with incremental prefix-product weights (recomputed from the
+// walker's lowest changed digit only) and finalize exactly when the walk
+// carries out of the support digits. Exact arithmetic makes the
+// accumulated values — hence verdicts and witnesses — identical to the
+// per-evaluation expected sweeps this replaces.
+
+std::optional<RobustnessViolation> CoalitionSweep::sparse_immunity_task(
+    const std::vector<std::size_t>& faulty, const std::vector<Rational>& baseline) const {
     const std::size_t n = view_.num_players();
+    const game::SupportPlan& plan = *support_;
     std::vector<std::size_t> outsiders;
     outsiders.reserve(n - faulty.size());
     for (std::size_t i = 0; i < n; ++i) {
@@ -155,50 +431,261 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
             outsiders.push_back(i);
         }
     }
-    if (pure_) {
-        JointScan scan;
-        scan.init(view_, *pure_, faulty);
-        scan.reset(base_row_);
-        std::uint64_t cells = 0;
-        do {
-            ++cells;
-            for (const std::size_t i : outsiders) {
-                const Rational& after = view_.payoff_from(scan.row(), i);
-                if (after < baseline[i]) {
-                    util::work_counters_add(cells, scan.digit_moves());
+    const std::size_t fw = faulty.size();
+    util::OffsetWalker walker;
+    walker.reserve(fw + outsiders.size());
+    for (const std::size_t p : faulty) {
+        const auto& column = view_.cell_offsets(p);
+        walker.add_digit(column.data(), column.size());
+    }
+    for (const std::size_t p : outsiders) {
+        walker.add_digit(plan.offsets[p].data(), plan.offsets[p].size());
+    }
+    walker.reset();
+    const auto& tuple = walker.tuple();
+    std::vector<Rational> prefix(outsiders.size() + 1, Rational{1});
+    std::vector<Rational> acc(outsiders.size(), Rational{0});
+    PureProfile tau(fw, 0);
+    std::size_t from = 0;
+    std::uint64_t cells = 0;
+    bool more = true;
+    while (more) {
+        ++cells;
+        for (std::size_t j = from; j < outsiders.size(); ++j) {
+            const std::size_t p = outsiders[j];
+            prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[fw + j]]];
+        }
+        const Rational& weight = prefix[outsiders.size()];
+        for (std::size_t i = 0; i < outsiders.size(); ++i) {
+            acc[i] += weight * view_.payoff_from(walker.row(), outsiders[i]);
+        }
+        more = walker.advance();
+        if (!more || walker.lowest_changed() < fw) {
+            // Joint deviation `tau` complete: check the outsiders in
+            // player order (the fallback's order).
+            for (std::size_t i = 0; i < outsiders.size(); ++i) {
+                if (acc[i] < baseline[outsiders[i]]) {
+                    util::work_counters_add(cells, walker.digit_moves());
                     return RobustnessViolation{{},
                                                faulty,
                                                {},
-                                               scan.tuple(),
-                                               i,
-                                               baseline[i].to_double(),
-                                               after.to_double()};
+                                               tau,
+                                               outsiders[i],
+                                               baseline[outsiders[i]].to_double(),
+                                               acc[i].to_double()};
                 }
             }
-        } while (scan.advance());
-        util::work_counters_add(cells, scan.digit_moves());
-        return std::nullopt;
+            if (!more) break;
+            std::fill(acc.begin(), acc.end(), Rational{0});
+            for (std::size_t d = 0; d < fw; ++d) tau[d] = tuple[d];
+            from = 0;
+        } else {
+            from = walker.lowest_changed() - fw;
+        }
     }
-    std::optional<RobustnessViolation> found;
-    util::product_for_each(action_space(view_, faulty), [&](const PureProfile& tau) {
-        for (const std::size_t i : outsiders) {
-            const Rational after = mixed_utility(faulty, tau, i);
-            if (after < baseline[i]) {
-                found = RobustnessViolation{{},        faulty,
-                                            {},        tau,
-                                            i,         baseline[i].to_double(),
-                                            after.to_double()};
-                return false;
+    util::work_counters_add(cells, walker.digit_moves());
+    return std::nullopt;
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
+    const std::vector<std::size_t>& coalition, const std::vector<std::size_t>& faulty,
+    GainCriterion criterion) const {
+    const std::size_t n = view_.num_players();
+    const game::SupportPlan& plan = *support_;
+    const std::size_t width = coalition.size();
+    const std::size_t fw = faulty.size();
+    const auto member_of = [](const std::vector<std::size_t>& set, std::size_t p) {
+        return std::find(set.begin(), set.end(), p) != set.end();
+    };
+    std::vector<std::size_t> rest;       // outside C u T, ascending
+    std::vector<std::size_t> non_faulty; // outside T (coalition included)
+    for (std::size_t i = 0; i < n; ++i) {
+        if (member_of(faulty, i)) continue;
+        non_faulty.push_back(i);
+        if (!member_of(coalition, i)) rest.push_back(i);
+    }
+    std::uint64_t faulty_tuples = 1;
+    for (const std::size_t p : faulty) faulty_tuples *= view_.num_actions(p);
+    std::uint64_t cells = 0;
+    std::uint64_t digit_moves = 0;
+
+    // Phase A — references: u_i(sigma_C, tau_T, sigma_-T) for every
+    // coalition member i and every tau_T, in ONE support walk.
+    std::vector<Rational> ref(static_cast<std::size_t>(faulty_tuples) * width,
+                              Rational{0});
+    {
+        util::OffsetWalker walker;
+        walker.reserve(fw + non_faulty.size());
+        for (const std::size_t p : faulty) {
+            const auto& column = view_.cell_offsets(p);
+            walker.add_digit(column.data(), column.size());
+        }
+        for (const std::size_t p : non_faulty) {
+            walker.add_digit(plan.offsets[p].data(), plan.offsets[p].size());
+        }
+        walker.reset();
+        const auto& tuple = walker.tuple();
+        std::vector<Rational> prefix(non_faulty.size() + 1, Rational{1});
+        std::vector<Rational> acc(width, Rational{0});
+        std::size_t from = 0;
+        std::size_t tau_rank = 0;
+        bool more = true;
+        while (more) {
+            ++cells;
+            for (std::size_t j = from; j < non_faulty.size(); ++j) {
+                const std::size_t p = non_faulty[j];
+                prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[fw + j]]];
+            }
+            const Rational& weight = prefix[non_faulty.size()];
+            for (std::size_t idx = 0; idx < width; ++idx) {
+                acc[idx] += weight * view_.payoff_from(walker.row(), coalition[idx]);
+            }
+            more = walker.advance();
+            if (!more || walker.lowest_changed() < fw) {
+                for (std::size_t idx = 0; idx < width; ++idx) {
+                    ref[tau_rank * width + idx] = std::move(acc[idx]);
+                    acc[idx] = Rational{0};
+                }
+                ++tau_rank;
+                from = 0;
+            } else {
+                from = walker.lowest_changed() - fw;
             }
         }
-        return true;
-    });
-    return found;
+        digit_moves += walker.digit_moves();
+    }
+
+    // Phase B — joint deviations: (tau_T, tau_C) cells in the serial
+    // enumeration order (faulty outer, coalition inner), each accumulated
+    // over the remaining players' support and judged on completion.
+    {
+        const std::size_t dw = fw + width;
+        util::OffsetWalker walker;
+        walker.reserve(dw + rest.size());
+        for (const std::size_t p : faulty) {
+            const auto& column = view_.cell_offsets(p);
+            walker.add_digit(column.data(), column.size());
+        }
+        for (const std::size_t p : coalition) {
+            const auto& column = view_.cell_offsets(p);
+            walker.add_digit(column.data(), column.size());
+        }
+        for (const std::size_t p : rest) {
+            walker.add_digit(plan.offsets[p].data(), plan.offsets[p].size());
+        }
+        walker.reset();
+        const auto& tuple = walker.tuple();
+        std::vector<Rational> prefix(rest.size() + 1, Rational{1});
+        std::vector<Rational> acc(width, Rational{0});
+        PureProfile tau_t(fw, 0);
+        PureProfile tau_c(width, 0);
+        std::size_t from = 0;
+        std::size_t tau_rank = 0;
+        bool more = true;
+        while (more) {
+            ++cells;
+            for (std::size_t j = from; j < rest.size(); ++j) {
+                const std::size_t p = rest[j];
+                prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[dw + j]]];
+            }
+            const Rational& weight = prefix[rest.size()];
+            for (std::size_t idx = 0; idx < width; ++idx) {
+                acc[idx] += weight * view_.payoff_from(walker.row(), coalition[idx]);
+            }
+            more = walker.advance();
+            if (!more || walker.lowest_changed() < dw) {
+                const Rational* base = &ref[tau_rank * width];
+                bool any_gain = false;
+                bool all_gain = true;
+                std::size_t witness = coalition[0];
+                Rational witness_before;
+                Rational witness_after;
+                for (std::size_t idx = 0; idx < width; ++idx) {
+                    if (acc[idx] > base[idx]) {
+                        if (!any_gain) {
+                            witness = coalition[idx];
+                            witness_before = base[idx];
+                            witness_after = acc[idx];
+                        }
+                        any_gain = true;
+                    } else {
+                        all_gain = false;
+                    }
+                }
+                const bool violated = criterion == GainCriterion::kAnyMemberGains
+                                          ? any_gain
+                                          : (all_gain && !coalition.empty());
+                if (violated) {
+                    util::work_counters_add(cells, digit_moves + walker.digit_moves());
+                    return RobustnessViolation{coalition,
+                                               faulty,
+                                               tau_c,
+                                               tau_t,
+                                               witness,
+                                               witness_before.to_double(),
+                                               witness_after.to_double()};
+                }
+                if (!more) break;
+                if (walker.lowest_changed() < fw) ++tau_rank;
+                for (std::size_t d = 0; d < fw; ++d) tau_t[d] = tuple[d];
+                for (std::size_t d = 0; d < width; ++d) tau_c[d] = tuple[fw + d];
+                std::fill(acc.begin(), acc.end(), Rational{0});
+                from = 0;
+            } else {
+                from = walker.lowest_changed() - dw;
+            }
+        }
+        digit_moves += walker.digit_moves();
+    }
+    util::work_counters_add(cells, digit_moves);
+    return std::nullopt;
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
+    const std::vector<std::size_t>& faulty, const std::vector<Rational>& baseline,
+    game::SweepMode mode) const {
+    const std::size_t n = view_.num_players();
+    if (!pure_) return sparse_immunity_task(faulty, baseline);
+    std::vector<std::size_t> outsiders;
+    outsiders.reserve(n - faulty.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (std::find(faulty.begin(), faulty.end(), i) == faulty.end()) {
+            outsiders.push_back(i);
+        }
+    }
+    std::uint64_t total = 1;
+    for (const std::size_t p : faulty) total *= view_.num_actions(p);
+    if (should_split_intra(mode, total)) {
+        return intra_immunity_scan(view_, *pure_, base_row_, faulty, outsiders, baseline,
+                                   total);
+    }
+    JointScan scan;
+    scan.init(view_, *pure_, faulty);
+    scan.reset(base_row_);
+    std::uint64_t cells = 0;
+    do {
+        ++cells;
+        for (const std::size_t i : outsiders) {
+            const Rational& after = view_.payoff_from(scan.row(), i);
+            if (after < baseline[i]) {
+                util::work_counters_add(cells, scan.digit_moves());
+                return RobustnessViolation{{},
+                                           faulty,
+                                           {},
+                                           scan.tuple(),
+                                           i,
+                                           baseline[i].to_double(),
+                                           after.to_double()};
+            }
+        }
+    } while (scan.advance());
+    util::work_counters_add(cells, scan.digit_moves());
+    return std::nullopt;
 }
 
 std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
-    const std::vector<std::size_t>& coalition, std::size_t t,
-    GainCriterion criterion) const {
+    const std::vector<std::size_t>& coalition, std::size_t min_t, std::size_t max_t,
+    GainCriterion criterion, game::SweepMode mode) const {
     const std::size_t n = view_.num_players();
     // Disjoint faulty sets, the empty one first (matches the reference
     // checker's enumeration order exactly).
@@ -211,6 +698,8 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
     }
     const std::size_t width = coalition.size();
     if (pure_) {
+        std::uint64_t coalition_cells = 1;
+        for (const std::size_t p : coalition) coalition_cells *= view_.num_actions(p);
         JointScan coalition_scan;
         coalition_scan.init(view_, *pure_, coalition);
         // Both scans and the reference row are reused across faulty sets:
@@ -219,7 +708,7 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         std::vector<const Rational*> reference(width);
         std::vector<std::size_t> faulty;
         std::uint64_t cells = 0;
-        const auto scan_against_faulty =
+        const auto scan_serial =
             [&]() -> std::optional<RobustnessViolation> {
             faulty_scan.init(view_, *pure_, faulty);
             faulty_scan.reset(base_row_);
@@ -268,22 +757,37 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
             } while (faulty_scan.advance());
             return std::nullopt;
         };
-        // The empty faulty set first, then every disjoint T with
-        // |T| <= t — the reference checker's enumeration order.
         const auto flush_counters = [&] {
             util::work_counters_add(cells, faulty_scan.digit_moves() +
                                                coalition_scan.digit_moves());
         };
-        if (auto violation = scan_against_faulty()) {
-            flush_counters();
-            return violation;
+        // Ranged-block split for huge per-faulty-set scans; serial nested
+        // walk otherwise. Both produce the first violation in the same
+        // enumeration order.
+        const auto scan_one = [&]() -> std::optional<RobustnessViolation> {
+            std::uint64_t total = coalition_cells;
+            for (const std::size_t p : faulty) total *= view_.num_actions(p);
+            if (should_split_intra(mode, total)) {
+                return intra_resilience_scan(view_, *pure_, base_row_, coalition, faulty,
+                                             criterion, total);
+            }
+            return scan_serial();
+        };
+        // The empty faulty set first, then every disjoint T with
+        // min_t <= |T| <= max_t — the reference checker's order.
+        if (min_t == 0) {
+            if (auto violation = scan_one()) {
+                flush_counters();
+                return violation;
+            }
         }
-        if (t > 0) {
-            const util::SubsetEnumerator enumerator(others.size(), t);
+        if (max_t > 0) {
+            const util::SubsetEnumerator enumerator(others.size(), max_t);
             for (const auto& index_set : enumerator) {
+                if (index_set.size() < min_t) continue;
                 faulty.clear();
                 for (const std::size_t idx : index_set) faulty.push_back(others[idx]);
-                if (auto violation = scan_against_faulty()) {
+                if (auto violation = scan_one()) {
                     flush_counters();
                     return violation;
                 }
@@ -293,67 +797,23 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         return std::nullopt;
     }
 
-    // Mixed-candidate fallback: exact expected utilities per evaluation.
-    std::vector<std::vector<std::size_t>> faulty_sets{{}};
-    if (t > 0) {
-        const util::SubsetEnumerator enumerator(others.size(), t);
-        for (const auto& index_set : enumerator) {
-            std::vector<std::size_t> mapped;
-            mapped.reserve(index_set.size());
-            for (const std::size_t idx : index_set) mapped.push_back(others[idx]);
-            faulty_sets.push_back(std::move(mapped));
+    // Mixed candidate: one fused support-sparse scan per faulty set.
+    if (min_t == 0) {
+        if (auto violation = sparse_resilience_scan(coalition, {}, criterion)) {
+            return violation;
         }
     }
-    for (const auto& faulty : faulty_sets) {
-        std::optional<RobustnessViolation> found;
-        std::vector<std::size_t> joint_players = coalition;
-        joint_players.insert(joint_players.end(), faulty.begin(), faulty.end());
-        util::product_for_each(action_space(view_, faulty), [&](const PureProfile& tau_t) {
-            std::vector<Rational> reference(width);
-            for (std::size_t idx = 0; idx < width; ++idx) {
-                reference[idx] = mixed_utility(faulty, tau_t, coalition[idx]);
+    if (max_t > 0) {
+        const util::SubsetEnumerator enumerator(others.size(), max_t);
+        std::vector<std::size_t> faulty;
+        for (const auto& index_set : enumerator) {
+            if (index_set.size() < min_t) continue;
+            faulty.clear();
+            for (const std::size_t idx : index_set) faulty.push_back(others[idx]);
+            if (auto violation = sparse_resilience_scan(coalition, faulty, criterion)) {
+                return violation;
             }
-            util::product_for_each(
-                action_space(view_, coalition), [&](const PureProfile& tau_c) {
-                    PureProfile joint_actions = tau_c;
-                    joint_actions.insert(joint_actions.end(), tau_t.begin(), tau_t.end());
-                    bool any_gain = false;
-                    bool all_gain = true;
-                    std::size_t witness = coalition[0];
-                    Rational witness_before;
-                    Rational witness_after;
-                    for (std::size_t idx = 0; idx < width; ++idx) {
-                        const Rational after =
-                            mixed_utility(joint_players, joint_actions, coalition[idx]);
-                        if (after > reference[idx]) {
-                            if (!any_gain) {
-                                witness = coalition[idx];
-                                witness_before = reference[idx];
-                                witness_after = after;
-                            }
-                            any_gain = true;
-                        } else {
-                            all_gain = false;
-                        }
-                    }
-                    const bool violated = criterion == GainCriterion::kAnyMemberGains
-                                              ? any_gain
-                                              : (all_gain && !coalition.empty());
-                    if (violated) {
-                        found = RobustnessViolation{coalition,
-                                                    faulty,
-                                                    tau_c,
-                                                    tau_t,
-                                                    witness,
-                                                    witness_before.to_double(),
-                                                    witness_after.to_double()};
-                        return false;
-                    }
-                    return true;
-                });
-            return !found.has_value();
-        });
-        if (found) return found;
+        }
     }
     return std::nullopt;
 }
@@ -364,7 +824,9 @@ std::vector<Rational> CoalitionSweep::immunity_baseline() const {
     if (pure_) {
         for (std::size_t i = 0; i < n; ++i) baseline[i] = view_.payoff_from(base_row_, i);
     } else {
-        for (std::size_t i = 0; i < n; ++i) baseline[i] = mixed_utility({}, {}, i);
+        // One shared support sweep for ALL players (the per-player
+        // fallback ran n of them).
+        baseline = game::expected_payoffs_exact_sparse(view_, *profile_);
     }
     return baseline;
 }
@@ -374,13 +836,14 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_violation(
     if (t == 0) return std::nullopt;
     const std::vector<Rational> baseline = immunity_baseline();
     const util::SubsetEnumerator faulty_sets(view_.num_players(), t);
-    // Mixed candidates parallelize INSIDE each evaluation instead: every
-    // utility is a full-tensor exact sweep that already blocks onto the
-    // pool, so the outer task loop stays serial and keeps the workers
-    // free for it.
-    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    // Mixed candidates parallelize across tasks too: each fused
+    // support-sparse scan is a self-contained single walk (unlike the old
+    // fallback, whose expected sweeps competed for the pool), and
+    // run_tasks' lowest-index winner keeps the reported violation
+    // identical to the serial order.
+    const auto effective = mode;
     auto hit = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
-        return immunity_task(faulty_sets[index], baseline);
+        return immunity_task(faulty_sets[index], baseline, effective);
     });
     if (!hit) return std::nullopt;
     return std::move(hit->second);
@@ -390,10 +853,11 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_violation(
     std::size_t k, std::size_t t, GainCriterion criterion, game::SweepMode mode) const {
     if (k == 0) return std::nullopt;
     const util::SubsetEnumerator coalitions(view_.num_players(), k);
-    // See immunity_violation: mixed candidates sweep inside evaluations.
-    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    // See immunity_violation: mixed tasks run fused sparse scans and
+    // share the same deterministic winner discipline as pure ones.
+    const auto effective = mode;
     auto hit = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
-        return resilience_task(coalitions[index], t, criterion);
+        return resilience_task(coalitions[index], 0, t, criterion, effective);
     });
     if (!hit) return std::nullopt;
     return std::move(hit->second);
@@ -413,9 +877,9 @@ BatchVerdict CoalitionSweep::batch_resilience(std::size_t max_k, GainCriterion c
     out.violations.assign(max_k, std::nullopt);
     if (max_k == 0) return out;
     const util::SubsetEnumerator coalitions(view_.num_players(), max_k);
-    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    const auto effective = mode;
     auto hit = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
-        return resilience_task(coalitions[index], 0, criterion);
+        return resilience_task(coalitions[index], 0, 0, criterion, effective);
     });
     if (!hit) {
         out.max_ok = max_k;
@@ -460,7 +924,7 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
     const std::size_t num_tasks = coalitions.size();
     std::vector<std::optional<RobustnessViolation>> found(num_tasks);
     std::vector<std::size_t> winner(t_res + 1, num_tasks);
-    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    const auto effective = mode;
     auto& pool = util::global_pool();
     if (effective == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
         for (std::size_t index = 0; index < num_tasks; ++index) {
@@ -474,7 +938,8 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                 }
             }
             if (!unresolved) break;
-            if (auto violation = resilience_task(coalitions[index], cap, criterion)) {
+            if (auto violation =
+                    resilience_task(coalitions[index], 0, cap, criterion, effective)) {
                 const std::size_t s0 = violation->faulty.size();
                 for (std::size_t t = s0; t <= t_res; ++t) {
                     if (winner[t] == num_tasks) winner[t] = index;
@@ -500,7 +965,8 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
             }
             if (!live) return;
             try {
-                if (auto violation = resilience_task(coalitions[index], cap, criterion)) {
+                if (auto violation =
+                        resilience_task(coalitions[index], 0, cap, criterion, effective)) {
                     const std::size_t s0 = violation->faulty.size();
                     found[index] = std::move(violation);
                     for (std::size_t t = s0; t <= t_res; ++t) {
@@ -547,9 +1013,9 @@ BatchVerdict CoalitionSweep::batch_immunity(std::size_t max_t, game::SweepMode m
     if (max_t == 0) return out;
     const std::vector<Rational> baseline = immunity_baseline();
     const util::SubsetEnumerator faulty_sets(view_.num_players(), max_t);
-    const auto effective = pure_ ? mode : game::SweepMode::kSerial;
+    const auto effective = mode;
     auto hit = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
-        return immunity_task(faulty_sets[index], baseline);
+        return immunity_task(faulty_sets[index], baseline, effective);
     });
     if (!hit) {
         out.max_ok = max_t;
@@ -558,6 +1024,49 @@ BatchVerdict CoalitionSweep::batch_immunity(std::size_t max_t, game::SweepMode m
     const std::size_t breaking = faulty_sets[hit->first].size();
     out.max_ok = breaking - 1;
     for (std::size_t t = breaking; t <= max_t; ++t) out.violations[t - 1] = hit->second;
+    return out;
+}
+
+MaxKtResult CoalitionSweep::max_kt(std::size_t max_k, std::size_t max_t,
+                                   GainCriterion criterion, game::SweepMode mode) const {
+    MaxKtResult out;
+    out.max_k = max_k;
+    out.max_t = max_t;
+    // t-axis: the shared immunity sweep pins the last column holding any
+    // robust cell. Resolves (0, immunity_ok) robust, and — when the
+    // boundary is interior — (0, immunity_ok + 1) broken.
+    const BatchVerdict immunity = batch_immunity(max_t, mode);
+    out.immunity_ok = immunity.max_ok;
+    out.cells_resolved = 1 + (out.immunity_ok < max_t ? 1 : 0);
+    out.k_of_t.assign(out.immunity_ok + 1, 0);
+
+    const auto effective = mode;
+    std::size_t k_prev = max_k;
+    for (std::size_t t = 0; t <= out.immunity_ok; ++t) {
+        // Every coalition of size <= k_prev is clean for faulty sizes
+        // < t (that is what k_of_t[t-1] = k_prev certifies), so this
+        // step sweeps ONLY faulty sets of size exactly t — nothing below
+        // the current frontier is rescanned. Size-major order makes the
+        // first violating task's size s pin kmax(t) = s - 1.
+        if (k_prev == 0) {
+            out.k_of_t[t] = 0;  // column survives on immunity alone
+            continue;
+        }
+        const util::SubsetEnumerator coalitions(view_.num_players(), k_prev);
+        auto hit = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
+            return resilience_task(coalitions[index], t, t, criterion, effective);
+        });
+        std::size_t kt = k_prev;
+        if (hit) kt = coalitions[hit->first].size() - 1;
+        out.k_of_t[t] = kt;
+        out.cells_resolved += 1 + (hit ? 1 : 0);
+        k_prev = kt;
+    }
+    for (std::size_t t = 0; t <= out.immunity_ok; ++t) {
+        if (t == out.immunity_ok || out.k_of_t[t + 1] < out.k_of_t[t]) {
+            out.maximal.emplace_back(out.k_of_t[t], t);
+        }
+    }
     return out;
 }
 

@@ -19,14 +19,29 @@
 //     pure-candidate fast path perform no heap allocation and no
 //     per-lookup re-ranking.
 //
+// TWO-LEVEL parallelism: above kIntraSplitCells joint-deviation cells, a
+// single coalition task additionally splits ITS OWN scan into ranged
+// util::OffsetWalker blocks (seek() block entry over the combined
+// faulty-then-coalition digit space) dispatched to the same pool, with a
+// deterministic lowest-RANK winner per task — so one large coalition on
+// a big game no longer serializes one core. Nested submissions run
+// inline when the outer task level already owns the workers; either way
+// the reported violation is the first in enumeration order, bit-
+// identical to the serial nested scan.
+//
 // The sweep is VIEW-NATIVE: it walks a game::GameView's cell-offset
 // tables, so the full game (an identity view), an iterated-elimination
 // reduction, or an awareness-restricted slice are all checked zero-copy —
 // no restricted tensor is ever materialized. Enumeration order is
 // identical to the PR-1 reference checkers in every mode.
 //
-// Mixed (non-point-mass) candidate profiles fall back to exact expected-
-// utility sweeps per evaluation, still parallel inside each evaluation.
+// Mixed (non-point-mass) candidates run SUPPORT-SPARSE coalition scans: a
+// game::SupportPlan over the candidate is built once per sweep, and each
+// task walks only prod |supp| joint-deviation cells with incremental
+// prefix-product weights (one fused sweep per faulty set instead of one
+// expected-payoff sweep per evaluation). Exact arithmetic makes the
+// accumulated utilities — and therefore every verdict and witness —
+// identical to the per-evaluation fallback they replace.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +59,13 @@ namespace bnash::core {
 
 class CoalitionSweep final {
 public:
+    // Joint-deviation cells per ranged intra-task block, and the default
+    // per-faulty-set scan size above which a task splits. Fixed (not
+    // derived from worker count) so the block decomposition — and the
+    // lowest-rank winner — is machine-independent.
+    static constexpr std::uint64_t kIntraBlock = std::uint64_t{1} << 11;
+    static constexpr std::uint64_t kDefaultIntraSplitCells = std::uint64_t{1} << 13;
+
     // The profile must be a valid exact mixed profile for `game`; both
     // must outlive the sweep.
     CoalitionSweep(const game::NormalFormGame& game, const game::ExactMixedProfile& profile);
@@ -106,27 +128,67 @@ public:
         GainCriterion criterion = GainCriterion::kAnyMemberGains,
         game::SweepMode mode = game::SweepMode::kAuto) const;
 
+    // The maximal robust set within the (max_k, max_t) budget WITHOUT
+    // filling the grid: walks the (k, t) boundary anti-diagonally. Step
+    // t = 0 resolves kmax(0) in one empty-faulty size-major sweep; step
+    // t > 0 rescans NOTHING below the frontier — coalitions of size <=
+    // kmax(t-1) are already clean for faulty sizes < t, so the step
+    // sweeps them against faulty sets of size EXACTLY t and the first
+    // violating task (size s) pins kmax(t) = s - 1. Columns beyond the
+    // shared batch_immunity boundary hold no robust cells. Verdicts agree
+    // cell-for-cell with batch_robustness_frontier in both sweep modes;
+    // only the boundary-adjacent cells are ever RESOLVED (the
+    // cells_resolved counter, vs the grid's (max_k+1) x (max_t+1)).
+    [[nodiscard]] MaxKtResult max_kt(std::size_t max_k, std::size_t max_t,
+                                     GainCriterion criterion = GainCriterion::kAnyMemberGains,
+                                     game::SweepMode mode = game::SweepMode::kAuto) const;
+
+    // --- intra-task split tuning / test hooks --------------------------------
+    // Per-faulty-set joint-scan size (in cells) above which a kAuto task
+    // splits into ranged blocks, and the block size used when it does.
+    // Process-wide; benches/tests lower them to exercise the split on
+    // small games. The block size is fixed per scan (read once at scan
+    // entry), so the decomposition stays machine-independent.
+    static void set_intra_split_cells(std::uint64_t cells) noexcept;
+    [[nodiscard]] static std::uint64_t intra_split_cells() noexcept;
+    static void set_intra_block_cells(std::uint64_t cells) noexcept;
+    [[nodiscard]] static std::uint64_t intra_block_cells() noexcept;
+    // Split even when the pool has a single executor (the blocks then run
+    // inline, in order) — lets single-core hosts pin the ranged-block
+    // path's bit-identity.
+    static void set_intra_split_force(bool force) noexcept;
+    [[nodiscard]] static bool intra_split_force() noexcept;
+
 private:
     // One coalition/faulty-set task; nullopt when the task finds nothing.
+    // `mode` gates the intra-task ranged-block split (kAuto only).
     [[nodiscard]] std::optional<RobustnessViolation> immunity_task(
         const std::vector<std::size_t>& faulty,
-        const std::vector<util::Rational>& baseline) const;
+        const std::vector<util::Rational>& baseline, game::SweepMode mode) const;
+    // Scans faulty sets with min_t <= |T| <= max_t (the empty set iff
+    // min_t == 0); max_kt's boundary steps use min_t == max_t.
     [[nodiscard]] std::optional<RobustnessViolation> resilience_task(
-        const std::vector<std::size_t>& coalition, std::size_t t,
-        GainCriterion criterion) const;
+        const std::vector<std::size_t>& coalition, std::size_t min_t, std::size_t max_t,
+        GainCriterion criterion, game::SweepMode mode) const;
 
     [[nodiscard]] std::vector<util::Rational> immunity_baseline() const;
 
-    // u_player when `who` plays `actions` and everyone else follows the
-    // candidate (mixed fallback; the pure path never calls this).
-    [[nodiscard]] util::Rational mixed_utility(const std::vector<std::size_t>& who,
-                                               const game::PureProfile& actions,
-                                               std::size_t player) const;
+    // Support-sparse fused scans for mixed candidates (one walk per
+    // faulty set over deviator ranges x everyone else's support).
+    [[nodiscard]] std::optional<RobustnessViolation> sparse_immunity_task(
+        const std::vector<std::size_t>& faulty,
+        const std::vector<util::Rational>& baseline) const;
+    [[nodiscard]] std::optional<RobustnessViolation> sparse_resilience_scan(
+        const std::vector<std::size_t>& coalition, const std::vector<std::size_t>& faulty,
+        GainCriterion criterion) const;
 
     game::GameView view_;
     const game::ExactMixedProfile* profile_;
     std::optional<game::PureProfile> pure_;  // set iff the candidate is pure
     std::uint64_t base_row_ = 0;             // flat row of *pure_ when set
+    // Built once per sweep for mixed candidates: the support restriction
+    // every sparse coalition scan walks.
+    std::optional<game::SupportPlan> support_;
 };
 
 }  // namespace bnash::core

@@ -238,6 +238,20 @@ FrontierVerdict batch_robustness_frontier(const game::GameView& view,
         .batch_robustness_frontier(max_k, max_t, options.criterion, options.mode);
 }
 
+MaxKtResult max_kt(const NormalFormGame& game, const ExactMixedProfile& profile,
+                   std::size_t max_k, std::size_t max_t, const RobustnessOptions& options) {
+    validate_profile(game, profile);
+    return CoalitionSweep(game, profile).max_kt(max_k, max_t, options.criterion,
+                                               options.mode);
+}
+
+MaxKtResult max_kt(const game::GameView& view, const ExactMixedProfile& profile,
+                   std::size_t max_k, std::size_t max_t, const RobustnessOptions& options) {
+    validate_profile(view, profile);
+    return CoalitionSweep(view, profile).max_kt(max_k, max_t, options.criterion,
+                                               options.mode);
+}
+
 namespace reference {
 
 std::optional<RobustnessViolation> find_immunity_violation(const NormalFormGame& game,

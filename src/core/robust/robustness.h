@@ -106,6 +106,36 @@ struct FrontierVerdict final {
     friend bool operator==(const FrontierVerdict&, const FrontierVerdict&) = default;
 };
 
+// The maximal robust set within a (max_k, max_t) budget, computed by
+// max_kt's boundary walk WITHOUT filling the grid. Robustness is
+// monotone (a (k, t)-robust profile is (k', t')-robust for k' <= k,
+// t' <= t), so the robust region is a downward-closed staircase fully
+// described by kmax(t) — the largest robust k per column — and the walk
+// resolves only the cells adjacent to that staircase. robust(k, t)
+// agrees with FrontierVerdict::robust cell for cell.
+struct MaxKtResult final {
+    std::size_t max_k = 0;  // probed budget
+    std::size_t max_t = 0;
+    // Largest t <= max_t whose column holds any robust cell — i.e. the
+    // candidate is t-immune (cell (0, t) is robust); columns above it are
+    // broken for every k.
+    std::size_t immunity_ok = 0;
+    // k_of_t[t] = kmax(t) for t = 0..immunity_ok (non-increasing).
+    std::vector<std::size_t> k_of_t;
+    // The Pareto-maximal robust cells, t ascending / k descending.
+    std::vector<std::pair<std::size_t, std::size_t>> maximal;
+    // Grid cells whose verdict the walk resolved DIRECTLY (boundary
+    // confirmations + adjacent broken discoveries) — the "cells" the
+    // R-MAXKT acceptance counts against the frontier's full
+    // (max_k+1) x (max_t+1) grid.
+    std::uint64_t cells_resolved = 0;
+
+    [[nodiscard]] bool robust(std::size_t k, std::size_t t) const {
+        return t <= immunity_ok && k <= k_of_t.at(t);
+    }
+    friend bool operator==(const MaxKtResult&, const MaxKtResult&) = default;
+};
+
 // --- normal-form checkers (exact rational arithmetic throughout) ---------
 
 [[nodiscard]] std::optional<RobustnessViolation> find_resilience_violation(
@@ -184,6 +214,14 @@ struct FrontierVerdict final {
 [[nodiscard]] FrontierVerdict batch_robustness_frontier(
     const game::GameView& view, const game::ExactMixedProfile& profile, std::size_t max_k,
     std::size_t max_t, const RobustnessOptions& options = {});
+
+// The maximal robust set only, via the boundary walk; see MaxKtResult.
+[[nodiscard]] MaxKtResult max_kt(const game::NormalFormGame& game,
+                                 const game::ExactMixedProfile& profile, std::size_t max_k,
+                                 std::size_t max_t, const RobustnessOptions& options = {});
+[[nodiscard]] MaxKtResult max_kt(const game::GameView& view,
+                                 const game::ExactMixedProfile& profile, std::size_t max_k,
+                                 std::size_t max_t, const RobustnessOptions& options = {});
 
 // Pure-profile conveniences.
 [[nodiscard]] game::ExactMixedProfile as_exact_profile(const game::NormalFormGame& game,

@@ -29,72 +29,74 @@ std::uint64_t corrupt(AdversaryKind kind, std::uint64_t honest_value, util::Rng&
 // it ... that p1's input is v". Round r relays every level-r node not
 // containing the sender; after round t+1 each process resolves the tree
 // bottom-up by strict majority with default 0.
-class EigProcess final : public Process {
+//
+// EigCore is one process's state for ONE instance; the standalone
+// EigProcess wraps a single core and the pipelined BatchEigProcess (many
+// agreements sharing rounds) wraps one core per instance, prefixing
+// every payload with the instance id. The core's message content and rng
+// consumption are identical either way, which is what makes batched
+// decisions bit-identical to sequential runs.
+class EigCore final {
 public:
-    EigProcess(std::size_t self, std::size_t n, std::size_t t, std::uint64_t input,
-               AdversaryKind kind, util::Rng rng)
+    EigCore(std::size_t self, std::size_t n, std::size_t t, std::uint64_t input,
+            AdversaryKind kind, util::Rng rng)
         : self_(self), n_(n), t_(t), input_(input), kind_(kind), rng_(rng) {}
 
-    void on_round(std::size_t round, const std::vector<Message>& inbox, Outbox& out) override {
-        if (decided_) return;
-        // Store level-`round` nodes. A message relaying node path alpha
-        // (sender appended on receipt) is only valid in the round right
-        // after its send round: stale (delayed) relays are missing data.
-        for (const auto& message : inbox) {
-            if (message.kind != "eig" || message.data.size() != round || round == 0) continue;
-            std::vector<std::size_t> node;
-            node.reserve(round);
-            bool valid = true;
-            for (std::size_t i = 1; i < message.data.size(); ++i) {
-                node.push_back(static_cast<std::size_t>(message.data[i]));
+    // Stores the level-`round` node carried by `payload` = [value,
+    // path...] (any instance prefix already stripped). A message relaying
+    // node path alpha (sender appended on receipt) is only valid in the
+    // round right after its send round: stale (delayed) relays are
+    // missing data.
+    void absorb(std::size_t from, std::size_t round, const std::uint64_t* payload,
+                std::size_t payload_size) {
+        if (payload_size != round || round == 0) return;
+        std::vector<std::size_t> node;
+        node.reserve(round);
+        bool valid = true;
+        for (std::size_t i = 1; i < payload_size; ++i) {
+            node.push_back(static_cast<std::size_t>(payload[i]));
+        }
+        node.push_back(from);
+        for (std::size_t i = 0; i < node.size() && valid; ++i) {
+            if (node[i] >= n_) valid = false;
+            for (std::size_t j = i + 1; j < node.size(); ++j) {
+                if (node[i] == node[j]) valid = false;
             }
-            node.push_back(message.from);
-            for (std::size_t i = 0; i < node.size() && valid; ++i) {
-                if (node[i] >= n_) valid = false;
-                for (std::size_t j = i + 1; j < node.size(); ++j) {
-                    if (node[i] == node[j]) valid = false;
-                }
-            }
-            if (valid && node.size() <= t_ + 1) val_[node] = message.data[0];
         }
-
-        if (round <= t_) {
-            relay_level(round, out);
-        }
-        if (round == t_ + 1) {
-            decision = resolve({});
-            decided_ = true;
-        }
+        if (valid && node.size() <= t_ + 1) val_[node] = payload[0];
     }
 
-    [[nodiscard]] bool done() const override { return decided_; }
+    // Relays every level-`level` node; `prefix` is prepended to each
+    // payload (empty standalone, {instance} in a batch).
+    void relay_level(std::size_t level, const std::vector<std::uint64_t>& prefix,
+                     Outbox& out) {
+        std::vector<std::size_t> path;
+        emit_paths(level, path, prefix, out);
+    }
 
-    std::optional<std::uint64_t> decision;
+    [[nodiscard]] std::uint64_t resolve_root() const { return resolve({}); }
 
 private:
-    void relay_level(std::size_t level, Outbox& out) {
-        std::vector<std::size_t> path;
-        emit_paths(level, path, out);
-    }
-
     // Enumerates every distinct-id path of length `remaining` avoiding
     // self_ and ids already on `path`, sending each node's stored value.
-    void emit_paths(std::size_t remaining, std::vector<std::size_t>& path, Outbox& out) {
+    void emit_paths(std::size_t remaining, std::vector<std::size_t>& path,
+                    const std::vector<std::uint64_t>& prefix, Outbox& out) {
         if (remaining == 0) {
             const auto it = val_.find(path);
             const std::uint64_t value =
                 path.empty() ? input_ : (it != val_.end() ? it->second : 0);
             std::vector<std::uint64_t> data;
-            data.reserve(1 + path.size());
+            data.reserve(prefix.size() + 1 + path.size());
+            data.insert(data.end(), prefix.begin(), prefix.end());
             data.push_back(value);
             for (const std::size_t id : path) data.push_back(id);
             if (kind_ == AdversaryKind::kEquivocate) {
                 for (std::size_t to = 0; to < n_; ++to) {
-                    data[0] = corrupt(kind_, value, rng_);
+                    data[prefix.size()] = corrupt(kind_, value, rng_);
                     out.send(to, "eig", data);
                 }
             } else {
-                data[0] = corrupt(kind_, value, rng_);
+                data[prefix.size()] = corrupt(kind_, value, rng_);
                 out.broadcast("eig", data);
             }
             return;
@@ -103,7 +105,7 @@ private:
             if (id == self_) continue;
             if (std::find(path.begin(), path.end(), id) != path.end()) continue;
             path.push_back(id);
-            emit_paths(remaining - 1, path, out);
+            emit_paths(remaining - 1, path, prefix, out);
             path.pop_back();
         }
     }
@@ -136,6 +138,76 @@ private:
     AdversaryKind kind_;
     util::Rng rng_;
     std::map<std::vector<std::size_t>, std::uint64_t> val_;
+};
+
+class EigProcess final : public Process {
+public:
+    EigProcess(std::size_t self, std::size_t n, std::size_t t, std::uint64_t input,
+               AdversaryKind kind, util::Rng rng)
+        : core_(self, n, t, input, kind, std::move(rng)), t_(t) {}
+
+    void on_round(std::size_t round, const std::vector<Message>& inbox, Outbox& out) override {
+        if (decided_) return;
+        for (const auto& message : inbox) {
+            if (message.kind != "eig") continue;
+            core_.absorb(message.from, round, message.data.data(), message.data.size());
+        }
+        if (round <= t_) core_.relay_level(round, {}, out);
+        if (round == t_ + 1) {
+            decision = core_.resolve_root();
+            decided_ = true;
+        }
+    }
+
+    [[nodiscard]] bool done() const override { return decided_; }
+
+    std::optional<std::uint64_t> decision;
+
+private:
+    EigCore core_;
+    std::size_t t_;
+    bool decided_ = false;
+};
+
+// One process's end of a whole BATCH of pipelined EIG instances: round r
+// carries every instance's level-r relays at once (payloads tagged with
+// the instance id), so the batch completes in the depth of ONE instance.
+class BatchEigProcess final : public Process {
+public:
+    BatchEigProcess(std::size_t t, std::vector<EigCore> cores)
+        : decisions(cores.size()), t_(t), cores_(std::move(cores)) {}
+
+    void on_round(std::size_t round, const std::vector<Message>& inbox, Outbox& out) override {
+        if (decided_) return;
+        for (const auto& message : inbox) {
+            if (message.kind != "eig" || message.data.empty()) continue;
+            const std::uint64_t instance = message.data[0];
+            if (instance >= cores_.size()) continue;
+            cores_[static_cast<std::size_t>(instance)].absorb(
+                message.from, round, message.data.data() + 1, message.data.size() - 1);
+        }
+        if (round <= t_) {
+            // Instances relay in index order — the order the sequential
+            // loop would have run them.
+            for (std::size_t j = 0; j < cores_.size(); ++j) {
+                cores_[j].relay_level(round, {static_cast<std::uint64_t>(j)}, out);
+            }
+        }
+        if (round == t_ + 1) {
+            for (std::size_t j = 0; j < cores_.size(); ++j) {
+                decisions[j] = cores_[j].resolve_root();
+            }
+            decided_ = true;
+        }
+    }
+
+    [[nodiscard]] bool done() const override { return decided_; }
+
+    std::vector<std::optional<std::uint64_t>> decisions;
+
+private:
+    std::size_t t_;
+    std::vector<EigCore> cores_;
     bool decided_ = false;
 };
 
@@ -379,6 +451,51 @@ ConsensusRun run_eig_consensus(std::size_t t, const std::vector<std::uint64_t>& 
         attach_fault(network, i, behaviors[i], n);
     }
     return collect<EigProcess>(network, n, t + 6);
+}
+
+BatchConsensusRun run_eig_consensus_batch(std::size_t t,
+                                          const std::vector<std::vector<std::uint64_t>>& inputs,
+                                          const std::vector<AdversaryKind>& behaviors,
+                                          const std::vector<std::uint64_t>& seeds) {
+    const std::size_t n = behaviors.size();
+    const std::size_t instances = inputs.size();
+    if (n == 0) throw std::invalid_argument("run_eig_consensus_batch: no processes");
+    if (seeds.size() != instances) {
+        throw std::invalid_argument("run_eig_consensus_batch: one seed per instance");
+    }
+    for (const auto& instance_inputs : inputs) {
+        if (instance_inputs.size() != n) {
+            throw std::invalid_argument("run_eig_consensus_batch: width mismatch");
+        }
+    }
+    BatchConsensusRun run;
+    run.decisions.resize(instances);
+    if (instances == 0) return run;
+    // cores[i][j]: process i's state for instance j, with rng streams
+    // forked in exactly the order run_eig_consensus(seeds[j]) forks them
+    // — so instance j's message content matches its standalone run.
+    std::vector<std::vector<EigCore>> cores(n);
+    for (std::size_t i = 0; i < n; ++i) cores[i].reserve(instances);
+    for (std::size_t j = 0; j < instances; ++j) {
+        util::Rng master{seeds[j]};
+        for (std::size_t i = 0; i < n; ++i) {
+            cores[i].emplace_back(i, n, t, inputs[j][i], behaviors[i], master.fork());
+        }
+    }
+    SynchronousNetwork network(n, seeds[0]);
+    for (std::size_t i = 0; i < n; ++i) {
+        network.set_process(i, std::make_unique<BatchEigProcess>(t, std::move(cores[i])));
+        attach_fault(network, i, behaviors[i], n);
+    }
+    run.metrics = network.run(t + 6);
+    for (std::size_t j = 0; j < instances; ++j) {
+        run.decisions[j].resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            run.decisions[j][i] =
+                dynamic_cast<BatchEigProcess&>(network.process(i)).decisions[j];
+        }
+    }
+    return run;
 }
 
 ConsensusRun run_phase_king(std::size_t t, const std::vector<std::uint64_t>& inputs,

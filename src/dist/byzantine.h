@@ -53,6 +53,27 @@ struct ConsensusRun final {
                                              const std::vector<AdversaryKind>& behaviors,
                                              std::uint64_t seed = 1);
 
+struct BatchConsensusRun final {
+    // decisions[instance][process]; metrics for the ONE shared run.
+    std::vector<std::vector<std::optional<std::uint64_t>>> decisions;
+    NetworkMetrics metrics;
+};
+
+// Many EIG instances PIPELINED through one network run: every instance's
+// round-r relays ride the same physical round, so the whole batch costs
+// t+2 rounds instead of t+2 per instance (the cheap-talk coin phase runs
+// one instance per contribution bit and used to pay the full depth for
+// each). Instance j uses its own rng streams forked exactly as
+// run_eig_consensus(t, inputs[j], behaviors, seeds[j]) would, and its
+// messages are the standalone payloads prefixed with the instance id, so
+// per-instance decisions are IDENTICAL to the sequential runs (pinned by
+// test_dist). Network faults filter the whole batch at once; the
+// all-or-nothing kinds (silence, delay) and lying processes preserve the
+// equivalence exactly — a message-count-truncating crash would not.
+[[nodiscard]] BatchConsensusRun run_eig_consensus_batch(
+    std::size_t t, const std::vector<std::vector<std::uint64_t>>& inputs,
+    const std::vector<AdversaryKind>& behaviors, const std::vector<std::uint64_t>& seeds);
+
 // Phase-King with t+1 phases; correctness requires n > 4t.
 [[nodiscard]] ConsensusRun run_phase_king(std::size_t t,
                                           const std::vector<std::uint64_t>& inputs,

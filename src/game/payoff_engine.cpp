@@ -348,30 +348,16 @@ void validate_view_profile_shape(const GameView& view, const ProfileT& profile,
 
 // --- sparse-support machinery ------------------------------------------------
 //
-// A SupportPlan restricts each digit to the profile's support (the
-// actions with nonzero probability), keeping the support actions in
-// ascending order so the support walk visits exactly the profiles the
-// dense sweep would NOT have skipped, in the same row-major order. A
-// `full_player` digit (the deviating player of a deviation-row sweep)
-// keeps its whole action range. Offset tables are materialized per plan
-// (support-indexed slices of the accessor's columns).
+// The shared game::SupportPlan (see payoff_engine.h) restricts each digit
+// to the profile's support (the actions with nonzero probability),
+// keeping the support actions in ascending order so the support walk
+// visits exactly the profiles the dense sweep would NOT have skipped, in
+// the same row-major order. A `full_player` digit (the deviating player
+// of a deviation-row sweep) keeps its whole action range. Offset tables
+// are materialized per plan (support-indexed slices of the accessor's
+// columns).
 
-struct SupportPlan {
-    std::vector<std::vector<std::size_t>> actions;    // support actions, ascending
-    std::vector<std::vector<std::uint64_t>> offsets;  // cell offsets at those actions
-    std::vector<std::size_t> radices;
-    std::uint64_t num_tuples = 0;
-    bool dead = false;  // some support (other than full_player's) is empty
-
-    [[nodiscard]] util::OffsetWalker make_walker() const {
-        util::OffsetWalker walker;
-        walker.reserve(offsets.size());
-        for (const auto& column : offsets) walker.add_digit(column.data(), column.size());
-        return walker;
-    }
-};
-
-constexpr std::size_t kNoFullPlayer = static_cast<std::size_t>(-1);
+constexpr std::size_t kNoFullPlayer = SupportPlan::kNoFullPlayer;
 
 template <typename ProfileT>
 SupportPlan build_support_plan(const ProfileT& profile,
@@ -593,6 +579,18 @@ std::vector<std::vector<V>> sparse_deviation_sweep(
 }
 
 }  // namespace
+
+util::OffsetWalker SupportPlan::make_walker() const {
+    util::OffsetWalker walker;
+    walker.reserve(offsets.size());
+    for (const auto& column : offsets) walker.add_digit(column.data(), column.size());
+    return walker;
+}
+
+SupportPlan build_support_plan(const GameView& view, const ExactMixedProfile& profile,
+                               std::size_t full_player) {
+    return build_support_plan(profile, nullptr, &view, full_player);
+}
 
 PayoffEngine::PayoffEngine(const NormalFormGame& game) : game_(&game) {
     const auto& counts = game.action_counts();

@@ -48,6 +48,10 @@
 #include "game/strategy.h"
 #include "util/rational.h"
 
+namespace bnash::util {
+class OffsetWalker;
+}  // namespace bnash::util
+
 namespace bnash::game {
 
 class GameView;
@@ -183,6 +187,35 @@ private:
 [[nodiscard]] ExactDeviationTable deviation_payoffs_all_exact_sparse(
     const GameView& view, const ExactMixedProfile& profile,
     SweepMode mode = SweepMode::kAuto);
+
+// --- shared sparse-support plan ---------------------------------------------
+// The support restriction behind every *_sparse sweep, exposed so other
+// sweep engines (the robustness CoalitionSweep's sparse coalition scans)
+// build it ONCE per sweep instead of once per expected-payoff call: each
+// player's support actions in ascending order plus the matching slice of
+// its cell-offset column, ready to feed util::OffsetWalker digits. A
+// `full_player` (kNoFullPlayer for none) keeps its whole action range —
+// the deviating player of a deviation-row sweep. Offset tables live in
+// the plan; the plan must outlive any walker built over them.
+struct SupportPlan final {
+    static constexpr std::size_t kNoFullPlayer = static_cast<std::size_t>(-1);
+
+    std::vector<std::vector<std::size_t>> actions;    // support actions, ascending
+    std::vector<std::vector<std::uint64_t>> offsets;  // cell offsets at those actions
+    std::vector<std::size_t> radices;                 // actions[p].size()
+    std::uint64_t num_tuples = 0;
+    bool dead = false;  // some support (other than full_player's) is empty
+
+    // Walker over every plan digit, in player order.
+    [[nodiscard]] util::OffsetWalker make_walker() const;
+};
+
+// Plan over a view's cell-offset columns for an exact candidate profile
+// (the robustness engine's case; the engine-internal double/dense
+// variants stay private to the sweep kernels).
+[[nodiscard]] SupportPlan build_support_plan(
+    const GameView& view, const ExactMixedProfile& profile,
+    std::size_t full_player = SupportPlan::kNoFullPlayer);
 
 // Reference implementations with the seed's per-action full-tensor
 // complexity. Golden baselines for the equivalence tests and the

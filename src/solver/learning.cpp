@@ -58,7 +58,8 @@ LearningResult fictitious_play(const game::NormalFormGame& game,
         // Simultaneous best responses to the current empirical profile;
         // ties break toward the lowest action index (deterministic).
         for (std::size_t i = 0; i < players; ++i) {
-            const auto best = game::PayoffEngine::best_responses_from(dev[i], 1e-9);
+            const auto best =
+                game::PayoffEngine::best_responses_from(dev[i], options.tie_tolerance);
             counts[i][best.front()] += 1.0;
         }
     }

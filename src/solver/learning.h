@@ -11,6 +11,7 @@
 
 #include "game/normal_form.h"
 #include "game/strategy.h"
+#include "solver/verification.h"
 
 namespace bnash::solver {
 
@@ -27,6 +28,11 @@ struct LearningOptions final {
     double target_regret = 1e-3;
     std::size_t trace_every = 100;
     double replicator_step = 0.1;
+    // Payoff slack under which two responses count as tied (ties break
+    // toward the lowest action index). Defaults to the SAME constant
+    // is_nash verifies with, so a profile the dynamics treat as
+    // indifferent is one the verifier accepts.
+    double tie_tolerance = kNashTolerance;
 };
 
 // Discrete-time simultaneous fictitious play: every player best-responds

@@ -12,13 +12,20 @@
 
 namespace bnash::solver {
 
+// The double-precision slack under which two payoffs count as tied:
+// is_nash's default deviation tolerance AND the learning dynamics'
+// best-response tie tolerance. Shared so the verifier and the dynamics
+// cannot silently disagree about what a tie is (fictitious play used to
+// hardcode its own copy).
+inline constexpr double kNashTolerance = 1e-9;
+
 // True iff no player can gain more than `epsilon` by a unilateral pure
 // deviation (mixed deviations cannot gain more than the best pure one).
 [[nodiscard]] bool is_epsilon_nash(const game::NormalFormGame& game,
                                    const game::MixedProfile& profile, double epsilon);
 
 [[nodiscard]] bool is_nash(const game::NormalFormGame& game, const game::MixedProfile& profile,
-                           double tol = 1e-9);
+                           double tol = kNashTolerance);
 
 // Exact check for exact profiles: deviations must not gain at all.
 [[nodiscard]] bool is_nash_exact(const game::NormalFormGame& game,

@@ -68,10 +68,10 @@ bool product_for_each(const std::vector<std::size_t>& radices,
 // Ranged overload: visits only the tuples with row-major ranks in
 // [begin, end), in order, with the same early-exit contract.
 // Concatenating disjoint ranges reproduces the full enumeration, which
-// is what makes the odometer block-decomposable: a consumer that wants
-// to parallelize a joint-deviation scan WITHIN one coalition task (the
-// current sweep parallelizes only across tasks) hands each worker a
-// rank range. No production caller yet — contract pinned by test_util.
+// is what makes the odometer block-decomposable — the punishment search
+// parallelizes over candidate rank blocks through this overload (the
+// robustness engine's intra-coalition ranged blocks use the offset-aware
+// util::OffsetWalker::seek instead). Contract pinned by test_util.
 bool product_for_each(const std::vector<std::size_t>& radices, std::uint64_t begin,
                       std::uint64_t end,
                       const std::function<bool(const std::vector<std::size_t>&)>& visit);

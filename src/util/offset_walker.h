@@ -21,11 +21,14 @@
 //     into every row — the dominance scanner's "opponents of player p"
 //     walk, and the joint-deviation scans' "everyone outside the
 //     coalition stays put" rebase are both this.
-//   - BLOCK decomposition: seek(rank) lands on any row-major rank in
-//     O(digits); walking [seek(b), b + len) for consecutive blocks
-//     reproduces the full enumeration exactly, which is what lets the
-//     parallel sweeps hand each worker a rank range and still merge
-//     bit-identically to the serial walk.
+//   - BLOCK decomposition: seek(rank, base) lands on any row-major rank
+//     in O(digits) (with an external rebase folded in); walking
+//     [seek(b), b + len) for consecutive blocks reproduces the full
+//     enumeration exactly. The payoff engine's parallel sweeps hand each
+//     worker a rank range this way, and the robustness engine's
+//     intra-coalition ranged blocks split ONE coalition's candidate-
+//     rebased joint-deviation scan across workers with a lowest-rank
+//     winner — both merge bit-identically to the serial walk.
 //   - WORK accounting: digit_moves() counts every digit the advance loop
 //     touched (the CI-stable "offsets advanced" bench counter).
 //

@@ -143,5 +143,91 @@ TEST(CoalitionSweep, EdgeCasesReturnNoViolation) {
         sweep.resilience_violation(0, 1, GainCriterion::kAnyMemberGains).has_value());
 }
 
+// --------------------------------------------- degenerate batch frontiers
+//
+// The shifted violations[k-1]/[t-1] indexing in the batch verdicts must
+// stay correct at the degenerate corners: empty budgets (max_k == 0,
+// max_t == 0), single-profile games, and 1-player games. Every cell is
+// pinned against the independent probe it stands in for.
+
+void expect_frontier_matches_probes(const NormalFormGame& g, const ExactMixedProfile& profile,
+                                    std::size_t max_k, std::size_t max_t,
+                                    const std::string& what) {
+    for (const auto mode : {SweepMode::kSerial, SweepMode::kAuto}) {
+        const RobustnessOptions options{GainCriterion::kAnyMemberGains, mode};
+        const auto frontier = batch_robustness_frontier(g, profile, max_k, max_t, options);
+        ASSERT_EQ(frontier.cells.size(), (max_k + 1) * (max_t + 1)) << what;
+        for (std::size_t k = 0; k <= max_k; ++k) {
+            for (std::size_t t = 0; t <= max_t; ++t) {
+                const auto independent = find_robustness_violation(g, profile, k, t, options);
+                expect_same_violation(independent, frontier.violation(k, t),
+                                      what + " cell k=" + std::to_string(k) +
+                                          " t=" + std::to_string(t));
+            }
+        }
+        // The boundary walk agrees with the grid cell for cell and never
+        // resolves more cells than the grid holds.
+        const auto walk = max_kt(g, profile, max_k, max_t, options);
+        for (std::size_t k = 0; k <= max_k; ++k) {
+            for (std::size_t t = 0; t <= max_t; ++t) {
+                EXPECT_EQ(walk.robust(k, t), frontier.robust(k, t))
+                    << what << " max_kt cell k=" << k << " t=" << t;
+            }
+        }
+        EXPECT_LE(walk.cells_resolved, (max_k + 1) * (max_t + 1)) << what;
+        // Batch verdict boundaries against their probe loops.
+        const auto resilience = batch_resilience(g, profile, max_k, options);
+        ASSERT_EQ(resilience.violations.size(), max_k) << what;
+        for (std::size_t k = 1; k <= max_k; ++k) {
+            expect_same_violation(find_resilience_violation(g, profile, k, options),
+                                  resilience.violations[k - 1],
+                                  what + " batch k=" + std::to_string(k));
+        }
+        const auto immunity = batch_immunity(g, profile, max_t, mode);
+        ASSERT_EQ(immunity.violations.size(), max_t) << what;
+        for (std::size_t t = 1; t <= max_t; ++t) {
+            expect_same_violation(find_immunity_violation(g, profile, t),
+                                  immunity.violations[t - 1],
+                                  what + " batch t=" + std::to_string(t));
+        }
+    }
+}
+
+TEST(CoalitionSweep, DegenerateFrontierBudgets) {
+    const auto g = game::catalog::attack_coordination_game(4);
+    for (const std::size_t base : {0u, 1u}) {
+        const auto profile = as_exact_profile(g, PureProfile(4, base));
+        const std::string what = "attack base=" + std::to_string(base);
+        expect_frontier_matches_probes(g, profile, 0, 0, what + " (0,0)");
+        expect_frontier_matches_probes(g, profile, 0, 3, what + " (0,3)");
+        expect_frontier_matches_probes(g, profile, 3, 0, what + " (3,0)");
+    }
+}
+
+TEST(CoalitionSweep, DegenerateSingleProfileAndOnePlayerGames) {
+    // Every player has ONE action: no deviation exists, so every cell of
+    // every frontier is robust and every boundary sits at its budget.
+    NormalFormGame single({1, 1, 1});
+    for (std::size_t p = 0; p < 3; ++p) single.set_payoff({0, 0, 0}, p, Rational{p + 1});
+    const auto single_profile = as_exact_profile(single, PureProfile(3, 0));
+    expect_frontier_matches_probes(single, single_profile, 3, 2, "single-profile");
+    const auto walk = max_kt(single, single_profile, 3, 2);
+    EXPECT_EQ(walk.immunity_ok, 2u);
+    EXPECT_EQ(walk.k_of_t, (std::vector<std::size_t>{3, 3, 3}));
+    ASSERT_EQ(walk.maximal.size(), 1u);
+    EXPECT_EQ(walk.maximal.front(), (std::pair<std::size_t, std::size_t>{3, 2}));
+
+    // 1-player game: coalitions of size 1 exist, faulty sets leave no
+    // outsiders to hurt.
+    NormalFormGame solo({3});
+    for (std::size_t a = 0; a < 3; ++a) solo.set_payoff({a}, 0, Rational{(a == 1) ? 5 : 2});
+    const auto best = as_exact_profile(solo, PureProfile{1});
+    const auto worst = as_exact_profile(solo, PureProfile{0});
+    expect_frontier_matches_probes(solo, best, 1, 1, "solo best");
+    expect_frontier_matches_probes(solo, worst, 1, 1, "solo worst");
+    EXPECT_TRUE(is_kt_robust(solo, best, 1, 1));
+    EXPECT_FALSE(is_k_resilient(solo, worst, 1));
+}
+
 }  // namespace
 }  // namespace bnash::core

@@ -298,5 +298,64 @@ INSTANTIATE_TEST_SUITE_P(Sweep, EigThresholdProperty,
                                     std::to_string(info.param.t);
                          });
 
+// ----------------------------------------------------------- batched EIG
+
+// The pipelined batch must reproduce every instance's standalone
+// decisions exactly — the instances only share rounds, not randomness —
+// across honest, lying, silent, equivocating and delayed processes.
+TEST(BatchEig, DecisionsIdenticalToSequentialRuns) {
+    const std::vector<std::vector<AdversaryKind>> behavior_sets = {
+        {AdversaryKind::kHonest, AdversaryKind::kHonest, AdversaryKind::kHonest,
+         AdversaryKind::kHonest},
+        {AdversaryKind::kHonest, AdversaryKind::kRandomLies, AdversaryKind::kHonest,
+         AdversaryKind::kHonest},
+        {AdversaryKind::kHonest, AdversaryKind::kHonest, AdversaryKind::kSilent,
+         AdversaryKind::kHonest},
+        {AdversaryKind::kHonest, AdversaryKind::kZeroLies, AdversaryKind::kHonest,
+         AdversaryKind::kHonest, AdversaryKind::kHonest},
+        {AdversaryKind::kEquivocate, AdversaryKind::kHonest, AdversaryKind::kHonest,
+         AdversaryKind::kHonest, AdversaryKind::kHonest},
+        {AdversaryKind::kHonest, AdversaryKind::kDelayed, AdversaryKind::kHonest,
+         AdversaryKind::kHonest, AdversaryKind::kHonest},
+    };
+    for (std::size_t set = 0; set < behavior_sets.size(); ++set) {
+        const auto& behaviors = behavior_sets[set];
+        const std::size_t n = behaviors.size();
+        const std::size_t t = 1;
+        std::vector<std::vector<std::uint64_t>> inputs;
+        std::vector<std::uint64_t> seeds;
+        for (std::size_t j = 0; j < 5; ++j) {
+            std::vector<std::uint64_t> instance(n, 0);
+            for (std::size_t i = 0; i < n; ++i) instance[i] = (j + i) % 2;
+            inputs.push_back(std::move(instance));
+            seeds.push_back(1000 * set + 7 * j + 1);
+        }
+        const auto batch = run_eig_consensus_batch(t, inputs, behaviors, seeds);
+        ASSERT_EQ(batch.decisions.size(), inputs.size()) << "set " << set;
+        std::uint64_t sequential_rounds = 0;
+        for (std::size_t j = 0; j < inputs.size(); ++j) {
+            const auto solo = run_eig_consensus(t, inputs[j], behaviors, seeds[j]);
+            sequential_rounds += solo.metrics.rounds;
+            ASSERT_EQ(batch.decisions[j].size(), n) << "set " << set;
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(batch.decisions[j][i], solo.decisions[i])
+                    << "set " << set << " instance " << j << " process " << i;
+            }
+        }
+        // The whole batch pays ONE instance's round depth.
+        EXPECT_LT(batch.metrics.rounds, sequential_rounds) << "set " << set;
+    }
+}
+
+TEST(BatchEig, ValidatesShapes) {
+    const std::vector<AdversaryKind> behaviors(4, AdversaryKind::kHonest);
+    EXPECT_THROW((void)run_eig_consensus_batch(1, {{1, 1, 1, 1}}, behaviors, {}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)run_eig_consensus_batch(1, {{1, 1}}, behaviors, {1}),
+                 std::invalid_argument);
+    const auto empty = run_eig_consensus_batch(1, {}, behaviors, {});
+    EXPECT_TRUE(empty.decisions.empty());
+}
+
 }  // namespace
 }  // namespace bnash::dist

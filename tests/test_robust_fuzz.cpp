@@ -368,6 +368,183 @@ TEST(RobustFuzz, SparseViewSweepsMatchDenseOnRandomRestrictions) {
     }
 }
 
+// ------------------------- intra-coalition ranged blocks vs serial dense
+
+// Restores the intra-split tuning after a test (the hooks are
+// process-wide).
+struct IntraSplitGuard final {
+    ~IntraSplitGuard() {
+        CoalitionSweep::set_intra_split_cells(CoalitionSweep::kDefaultIntraSplitCells);
+        CoalitionSweep::set_intra_block_cells(CoalitionSweep::kIntraBlock);
+        CoalitionSweep::set_intra_split_force(false);
+    }
+};
+
+// With the split forced down to toy sizes, every kAuto scan runs the
+// ranged-block path (combined faulty+coalition walker, seek() block
+// entry, lowest-rank winner) — and must still report the exact violation
+// the serial nested scan reports, on ~100 seeded games.
+TEST(RobustFuzz, IntraRangedBlockScanBitIdenticalToSerial) {
+    const IntraSplitGuard guard;
+    CoalitionSweep::set_intra_split_cells(1);
+    CoalitionSweep::set_intra_block_cells(4);
+    CoalitionSweep::set_intra_split_force(true);
+    util::Rng rng{1'290'731};
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+        std::vector<std::size_t> counts(n);
+        for (auto& c : counts) c = static_cast<std::size_t>(rng.next_int(2, 4));
+        const auto g = random_rational_game(rng, counts);
+        const auto profile = as_exact_profile(g, random_pure(rng, counts));
+        const std::size_t k = 1 + static_cast<std::size_t>(trial) % n;
+        const std::size_t t = static_cast<std::size_t>(trial % 3) % (n);
+        const auto criterion = (trial % 3 == 0) ? GainCriterion::kAllMembersGain
+                                                : GainCriterion::kAnyMemberGains;
+        const std::string label = "intra trial " + std::to_string(trial);
+
+        const auto serial = find_robustness_violation(
+            g, profile, k, t, RobustnessOptions{criterion, SweepMode::kSerial});
+        const auto split = find_robustness_violation(
+            g, profile, k, t, RobustnessOptions{criterion, SweepMode::kAuto});
+        expect_same(serial, split, label + " robustness");
+        expect_same(find_immunity_violation(g, profile, std::max<std::size_t>(t, 1)),
+                    CoalitionSweep(g, profile).immunity_violation(
+                        std::max<std::size_t>(t, 1), SweepMode::kAuto),
+                    label + " immunity");
+
+        // The batch probes drive the same tasks through the split path.
+        const RobustnessOptions serial_opts{criterion, SweepMode::kSerial};
+        const RobustnessOptions auto_opts{criterion, SweepMode::kAuto};
+        EXPECT_EQ(batch_resilience(g, profile, n, serial_opts),
+                  batch_resilience(g, profile, n, auto_opts))
+            << label;
+        EXPECT_EQ(batch_robustness_frontier(g, profile, n, n - 1, serial_opts),
+                  batch_robustness_frontier(g, profile, n, n - 1, auto_opts))
+            << label;
+    }
+}
+
+// A larger coalition-dominated game: one size-4 coalition owns most of
+// the scan, so the forced split actually spans many blocks, with the
+// violation landing mid-scan or nowhere.
+TEST(RobustFuzz, IntraRangedBlocksOnCoalitionDominatedGames) {
+    const IntraSplitGuard guard;
+    CoalitionSweep::set_intra_split_cells(64);
+    CoalitionSweep::set_intra_block_cells(32);
+    CoalitionSweep::set_intra_split_force(true);
+    util::Rng rng{552'200'731};
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::vector<std::size_t> counts(4, 5);  // 625-cell top coalition
+        const auto g = random_rational_game(rng, counts);
+        const auto profile = as_exact_profile(g, random_pure(rng, counts));
+        const std::string label = "dominated trial " + std::to_string(trial);
+        for (const std::size_t t : {0u, 1u}) {
+            const auto serial = find_robustness_violation(
+                g, profile, 4, t,
+                RobustnessOptions{GainCriterion::kAnyMemberGains, SweepMode::kSerial});
+            const auto split = find_robustness_violation(
+                g, profile, 4, t,
+                RobustnessOptions{GainCriterion::kAnyMemberGains, SweepMode::kAuto});
+            expect_same(serial, split, label + " t=" + std::to_string(t));
+        }
+    }
+}
+
+// --------------------------- sparse coalition scans vs reference checkers
+
+// Mixed candidates now run ONE fused support walk per faulty set instead
+// of one expected sweep per evaluation; exact arithmetic must make every
+// verdict and witness identical to the PR-1 reference. Profiles include
+// degenerate nearly-point-mass shapes (every support size 1 except one
+// player) — the sparsest plans the scans can see.
+TEST(RobustFuzz, SparseCoalitionScansMatchReferenceOnMixedCandidates) {
+    util::Rng rng{88'220'731};
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+        std::vector<std::size_t> counts(n);
+        for (auto& c : counts) c = static_cast<std::size_t>(rng.next_int(2, 3));
+        const auto g = random_rational_game(rng, counts);
+        ExactMixedProfile profile;
+        if (trial % 3 == 0) {
+            // Degenerate single-support except one genuinely mixed player
+            // (a full point mass would take the pure fast path instead).
+            const auto pure = random_pure(rng, counts);
+            profile = as_exact_profile(g, pure);
+            const std::size_t mixer = static_cast<std::size_t>(trial) % n;
+            game::ExactMixedStrategy s(counts[mixer], Rational{0});
+            s[0] = Rational{1, 3};
+            s[counts[mixer] - 1] += Rational{2, 3};
+            profile[mixer] = std::move(s);
+        } else {
+            profile = random_mixed_exact(rng, counts);
+        }
+        const std::size_t k = 1 + static_cast<std::size_t>(trial) % n;
+        const std::size_t t = static_cast<std::size_t>(trial % 2);
+        const auto criterion = (trial % 2 == 0) ? GainCriterion::kAnyMemberGains
+                                                : GainCriterion::kAllMembersGain;
+        const std::string label = "sparse scan trial " + std::to_string(trial);
+
+        const auto via_reference = reference::find_robustness_violation(
+            g, profile, k, t, RobustnessOptions{criterion});
+        const auto via_sparse = find_robustness_violation(
+            g, profile, k, t, RobustnessOptions{criterion, SweepMode::kAuto});
+        expect_same(via_reference, via_sparse, label);
+        expect_same(reference::find_immunity_violation(g, profile, std::max<std::size_t>(t, 1)),
+                    find_immunity_violation(g, profile, std::max<std::size_t>(t, 1)),
+                    label + " immunity");
+    }
+}
+
+// --------------------------------------- max_kt boundary walk vs frontier
+
+TEST(RobustFuzz, MaxKtMatchesFrontierOnRandomGames) {
+    util::Rng rng{40'220'731};
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+        const auto counts = random_counts(rng, n);
+        const auto g = random_rational_game(rng, counts);
+        // Mixed candidates every 6th trial drive the sparse scans.
+        const ExactMixedProfile profile =
+            (trial % 6 == 5) ? random_mixed_exact(rng, counts)
+                             : as_exact_profile(g, random_pure(rng, counts));
+        const auto criterion = (trial % 2 == 0) ? GainCriterion::kAnyMemberGains
+                                                : GainCriterion::kAllMembersGain;
+        const std::size_t max_k = n;
+        const std::size_t max_t = n - 1;
+        const RobustnessOptions serial{criterion, SweepMode::kSerial};
+        const RobustnessOptions parallel{criterion, SweepMode::kAuto};
+        const std::string label = "max_kt trial " + std::to_string(trial);
+
+        const auto walk = max_kt(g, profile, max_k, max_t, serial);
+        EXPECT_EQ(walk, max_kt(g, profile, max_k, max_t, parallel))
+            << label << " serial-vs-parallel";
+        const auto frontier = batch_robustness_frontier(g, profile, max_k, max_t, serial);
+        ASSERT_EQ(walk.k_of_t.size(), walk.immunity_ok + 1) << label;
+        for (std::size_t k = 0; k <= max_k; ++k) {
+            for (std::size_t t = 0; t <= max_t; ++t) {
+                EXPECT_EQ(walk.robust(k, t), frontier.robust(k, t))
+                    << label << " cell k=" << k << " t=" << t;
+            }
+        }
+        // The maximal set IS the Pareto frontier of the grid.
+        for (const auto& [k, t] : walk.maximal) {
+            EXPECT_TRUE(frontier.robust(k, t)) << label;
+            if (k < max_k) EXPECT_FALSE(frontier.robust(k + 1, t)) << label;
+            if (t < max_t) EXPECT_FALSE(frontier.robust(k, t + 1)) << label;
+        }
+        EXPECT_LE(walk.cells_resolved, (max_k + 1) * (max_t + 1)) << label;
+
+        // Zero-copy view overload agrees with the materialized walk.
+        if (trial % 4 == 0) {
+            const auto view = GameView::full(g);
+            const auto allocs_before = NormalFormGame::tensor_allocations();
+            const auto via_view = max_kt(view, profile, max_k, max_t, serial);
+            EXPECT_EQ(NormalFormGame::tensor_allocations(), allocs_before) << label;
+            EXPECT_EQ(via_view, walk) << label << " view-vs-dense";
+        }
+    }
+}
+
 // -------------------------------------- anonymous games vs tensor twins
 
 TEST(RobustFuzz, AnonymousCheckersMatchTensorTwinOnRandomTables) {

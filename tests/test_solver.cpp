@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "game/catalog.h"
+#include "game/payoff_engine.h"
 #include "solver/iterated_elimination.h"
 #include "solver/learning.h"
 #include "solver/lemke_howson.h"
@@ -447,6 +448,49 @@ TEST(ViewSolvers, SolveEliminationReducedViewWithoutMaterializing) {
         }
     }
     EXPECT_EQ(reduced_games, 8) << "random draw produced too few reducible games";
+}
+
+// The dynamics' best-response tie tolerance and the verifier's default
+// deviation tolerance are ONE shared constant now; a payoff gap below it
+// is a tie for both. Previously fictitious play hardcoded its own copy —
+// this pins the wiring so they cannot drift apart again.
+TEST(Learning, TieToleranceSharedWithNashVerifier) {
+    // 1-player, 2-action game with a sub-tolerance payoff gap: action 1
+    // "wins" by less than kNashTolerance.
+    game::NormalFormGame g({2});
+    g.set_payoff({0}, 0, util::Rational{1});
+    // 1 + tol/2 exactly: a gap of 5e-10, below the 1e-9 tolerance.
+    g.set_payoff({1}, 0, util::Rational{2'000'000'001, 2'000'000'000});
+    const game::PayoffEngine engine(g);
+
+    // At the shared tolerance the two actions tie, and ties break toward
+    // the lowest index — exactly the indifference is_nash certifies.
+    const auto row = engine.deviation_row({game::uniform_strategy(2)}, 0);
+    const auto tied = game::PayoffEngine::best_responses_from(row, kNashTolerance);
+    ASSERT_EQ(tied.size(), 2u);
+    EXPECT_EQ(tied.front(), 0u);
+    EXPECT_TRUE(is_nash(g, {game::pure_as_mixed(0, 2)}));
+    // A tolerance tighter than the gap separates them again.
+    EXPECT_EQ(game::PayoffEngine::best_responses_from(row, 0.0).size(), 1u);
+    EXPECT_FALSE(is_nash(g, {game::pure_as_mixed(0, 2)}, 0.0));
+
+    // Fictitious play inherits the shared default and therefore keeps
+    // playing action 0; an explicit tighter tie_tolerance switches the
+    // best response to action 1. Same engine, same game — only the
+    // (previously hardcoded) tolerance differs.
+    LearningOptions shared;
+    shared.max_iterations = 8;
+    shared.target_regret = 0.0;
+    EXPECT_EQ(shared.tie_tolerance, kNashTolerance);
+    const auto with_shared = fictitious_play(g, shared);
+    LearningOptions tight = shared;
+    tight.tie_tolerance = 0.0;
+    const auto with_tight = fictitious_play(g, tight);
+    // Counts seed at 1; 8 iterations add 8 plays. Under the shared
+    // tolerance all of them tie-break to action 0; under the tight one
+    // all go to action 1.
+    EXPECT_GT(with_shared.profile[0][0], with_shared.profile[0][1]);
+    EXPECT_LT(with_tight.profile[0][0], with_tight.profile[0][1]);
 }
 
 TEST(ViewSolvers, FullViewMatchesGameOverloads) {
