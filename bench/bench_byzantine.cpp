@@ -4,7 +4,9 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "dist/byzantine.h"
+#include "dist/network.h"
 #include "util/table.h"
 
 namespace {
@@ -84,14 +86,34 @@ void print_tables() {
               << "\n\n";
 }
 
+// Protocol complexity counters attached to the JSON rows: rounds,
+// delivered messages, and payload words per consensus run are exact and
+// machine-independent (fixed adversary schedule, seeded coins), so CI
+// gates them tightly where wall time would flap.
+void attach_metrics(benchmark::State& state, const dist::NetworkMetrics& total) {
+    state.counters["rounds"] = benchmark::Counter(static_cast<double>(total.rounds),
+                                                  benchmark::Counter::kAvgIterations);
+    state.counters["messages"] = benchmark::Counter(static_cast<double>(total.messages),
+                                                    benchmark::Counter::kAvgIterations);
+    state.counters["payload_words"] =
+        benchmark::Counter(static_cast<double>(total.payload_words),
+                           benchmark::Counter::kAvgIterations);
+}
+
 void bench_eig(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     const auto t = static_cast<std::size_t>(state.range(1));
     std::vector<std::uint64_t> inputs(n, 1);
     const auto behaviors = with_liars(n, t);
+    dist::NetworkMetrics total;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(dist::run_eig_consensus(t, inputs, behaviors, 5));
+        const auto run = dist::run_eig_consensus(t, inputs, behaviors, 5);
+        benchmark::DoNotOptimize(&run);
+        total.rounds += run.metrics.rounds;
+        total.messages += run.metrics.messages;
+        total.payload_words += run.metrics.payload_words;
     }
+    attach_metrics(state, total);
 }
 BENCHMARK(bench_eig)->Args({4, 1})->Args({7, 2})->Args({10, 3})->Unit(benchmark::kMillisecond);
 
@@ -100,9 +122,15 @@ void bench_phase_king(benchmark::State& state) {
     const auto t = static_cast<std::size_t>(state.range(1));
     std::vector<std::uint64_t> inputs(n, 1);
     const auto behaviors = with_liars(n, t);
+    dist::NetworkMetrics total;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(dist::run_phase_king(t, inputs, behaviors, 5));
+        const auto run = dist::run_phase_king(t, inputs, behaviors, 5);
+        benchmark::DoNotOptimize(&run);
+        total.rounds += run.metrics.rounds;
+        total.messages += run.metrics.messages;
+        total.payload_words += run.metrics.payload_words;
     }
+    attach_metrics(state, total);
 }
 BENCHMARK(bench_phase_king)
     ->Args({5, 1})
@@ -116,9 +144,15 @@ void bench_dolev_strong(benchmark::State& state) {
     const auto t = static_cast<std::size_t>(state.range(1));
     std::vector<AdversaryKind> behaviors(n, AdversaryKind::kHonest);
     behaviors[0] = AdversaryKind::kEquivocate;
+    dist::NetworkMetrics total;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(dist::run_dolev_strong(t, 0, 1, behaviors, 5));
+        const auto run = dist::run_dolev_strong(t, 0, 1, behaviors, 5);
+        benchmark::DoNotOptimize(&run);
+        total.rounds += run.metrics.rounds;
+        total.messages += run.metrics.messages;
+        total.payload_words += run.metrics.payload_words;
     }
+    attach_metrics(state, total);
 }
 BENCHMARK(bench_dolev_strong)
     ->Args({4, 1})
@@ -130,7 +164,7 @@ BENCHMARK(bench_dolev_strong)
 
 int main(int argc, char** argv) {
     print_tables();
-    benchmark::Initialize(&argc, argv);
+    bnash::bench::initialize_with_json_output(argc, argv, "BENCH_byzantine.json");
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

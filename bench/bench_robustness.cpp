@@ -286,6 +286,7 @@ core::FrontierVerdict independent_frontier(const game::NormalFormGame& g,
     out.max_k = max_k;
     out.max_t = max_t;
     out.cells.assign((max_k + 1) * (max_t + 1), std::nullopt);
+    out.cells_resolved = out.cells.size();  // probes resolve every cell
     for (std::size_t k = 0; k <= max_k; ++k) {
         for (std::size_t t = 0; t <= max_t; ++t) {
             out.cells[k * (max_t + 1) + t] =

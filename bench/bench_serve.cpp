@@ -1,0 +1,184 @@
+// E7: the robustness-query server under a mixed workload -- resolve
+// throughput, cache-hit cost, p99 tail latency, and the degraded-answer
+// rate when requests arrive with starved budgets.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/robust/robustness.h"
+#include "game/catalog.h"
+#include "serve/canonical.h"
+#include "serve/server.h"
+#include "util/rational.h"
+
+namespace {
+
+using namespace bnash;
+
+// 2x2 prisoner's-dilemma variants that differ structurally (one corner
+// payoff is perturbed), so canonicalization cannot fold them into one
+// cache entry the way it folds affine rescalings.
+game::NormalFormGame pd_variant(std::size_t i) {
+    game::NormalFormGame g(std::vector<std::size_t>{2, 2});
+    g.set_payoffs({0, 0}, {util::Rational(3 + static_cast<std::int64_t>(i)),
+                           util::Rational(3)});
+    g.set_payoffs({0, 1}, {util::Rational(0), util::Rational(5)});
+    g.set_payoffs({1, 0}, {util::Rational(5), util::Rational(0)});
+    g.set_payoffs({1, 1}, {util::Rational(1), util::Rational(1)});
+    return g;
+}
+
+serve::QueryRequest pd_request(std::size_t variant) {
+    serve::QueryRequest request;
+    request.game = pd_variant(variant);
+    request.profile = core::as_exact_profile(request.game, game::PureProfile(2, 1));
+    request.k = 1;
+    request.t = 0;
+    return request;
+}
+
+// A request whose sweep is far larger than its budget: always answered
+// kUnknown/degraded, and (degraded answers are never memoized) it stays
+// a live sweep on every repeat.
+serve::QueryRequest starved_request() {
+    serve::QueryRequest request;
+    request.game = game::catalog::attack_coordination_game(5);
+    request.profile = core::as_exact_profile(request.game, game::PureProfile(5, 1));
+    request.k = 2;
+    request.t = 1;
+    request.budget_cells = 8;
+    return request;
+}
+
+// Deterministic mixed schedule: for every 4 requests, one fresh game
+// (cache miss + full sweep), two repeats of an earlier game (cache
+// hits), and one budget-starved query (degraded).
+std::vector<serve::QueryRequest> mixed_schedule(std::size_t unique_games) {
+    std::vector<serve::QueryRequest> schedule;
+    schedule.reserve(unique_games * 4);
+    const serve::QueryRequest starved = starved_request();
+    for (std::size_t i = 0; i < unique_games; ++i) {
+        schedule.push_back(pd_request(i));
+        schedule.push_back(pd_request(i));
+        schedule.push_back(pd_request(i / 2));
+        schedule.push_back(starved);
+    }
+    return schedule;
+}
+
+// One iteration = the whole schedule against a fresh server, so the
+// hit/miss/degraded counters are exact per-iteration constants. Tail
+// latency is collected per request across all iterations.
+void bench_serve_mixed(benchmark::State& state) {
+    const auto unique_games = static_cast<std::size_t>(state.range(0));
+    const std::vector<serve::QueryRequest> schedule = mixed_schedule(unique_games);
+    std::vector<double> latencies_us;
+    std::uint64_t requests = 0;
+    serve::ServerStats last;
+    for (auto _ : state) {
+        state.PauseTiming();
+        serve::RobustnessServer server;
+        state.ResumeTiming();
+        for (const serve::QueryRequest& request : schedule) {
+            const auto start = std::chrono::steady_clock::now();
+            const serve::QueryResponse response = server.query(request);
+            const auto elapsed = std::chrono::steady_clock::now() - start;
+            benchmark::DoNotOptimize(&response);
+            latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(elapsed).count());
+        }
+        requests += schedule.size();
+        state.PauseTiming();
+        last = server.stats();
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+    std::sort(latencies_us.begin(), latencies_us.end());
+    if (!latencies_us.empty()) {
+        const std::size_t p99 = (latencies_us.size() * 99) / 100;
+        state.counters["p99_latency_us"] =
+            benchmark::Counter(latencies_us[std::min(p99, latencies_us.size() - 1)]);
+    }
+    const double total = static_cast<double>(last.resolved + last.degraded);
+    state.counters["degraded_rate"] =
+        benchmark::Counter(total > 0 ? static_cast<double>(last.degraded) / total : 0);
+    state.counters["cache_hit_rate"] = benchmark::Counter(
+        static_cast<double>(last.cache_hits) /
+        static_cast<double>(last.cache_hits + last.cache_misses));
+}
+BENCHMARK(bench_serve_mixed)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Steady-state memoized path: canonicalize + shard lookup, no sweep.
+void bench_serve_cache_hit(benchmark::State& state) {
+    serve::RobustnessServer server;
+    const serve::QueryRequest request = pd_request(0);
+    benchmark::DoNotOptimize(server.query(request));  // warm the entry
+    for (auto _ : state) {
+        const serve::QueryResponse response = server.query(request);
+        benchmark::DoNotOptimize(&response);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bench_serve_cache_hit)->Unit(benchmark::kMicrosecond);
+
+// The admission path under burst load: a 1-worker server with a short
+// queue sheds the overflow with retry-after instead of queueing without
+// bound. shed_rate depends on how fast the worker drains, so it is
+// reported for observability, not gated.
+void bench_serve_submit_burst(benchmark::State& state) {
+    const std::size_t burst = 32;
+    std::uint64_t submitted = 0;
+    std::uint64_t shed = 0;
+    const serve::QueryRequest starved = starved_request();
+    for (auto _ : state) {
+        state.PauseTiming();
+        serve::RobustnessServer::Options options;
+        options.num_workers = 1;
+        options.queue_capacity = 4;
+        serve::RobustnessServer server(options);
+        std::vector<serve::RobustnessServer::Submission> submissions;
+        submissions.reserve(burst);
+        state.ResumeTiming();
+        for (std::size_t i = 0; i < burst; ++i) {
+            submissions.push_back(server.submit(starved));
+        }
+        for (serve::RobustnessServer::Submission& submission : submissions) {
+            const serve::QueryResponse response = submission.result.get();
+            if (response.status == serve::QueryStatus::kRejected) ++shed;
+        }
+        submitted += burst;
+        state.PauseTiming();
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(submitted));
+    state.counters["shed_rate"] = benchmark::Counter(
+        submitted > 0 ? static_cast<double>(shed) / static_cast<double>(submitted) : 0);
+}
+BENCHMARK(bench_serve_submit_burst)->Unit(benchmark::kMillisecond);
+
+// Canonicalization on its own: the fixed per-request cost every cached
+// answer still pays.
+void bench_canonical_key(benchmark::State& state) {
+    const auto players = static_cast<std::size_t>(state.range(0));
+    const game::NormalFormGame game = game::catalog::attack_coordination_game(players);
+    const game::ExactMixedProfile profile =
+        core::as_exact_profile(game, game::PureProfile(players, 1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            serve::canonical_key(game, profile, 2, 1, core::GainCriterion::kAnyMemberGains));
+    }
+}
+BENCHMARK(bench_canonical_key)->Arg(4)->Arg(6)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bnash::bench::initialize_with_json_output(argc, argv, "BENCH_serve.json");
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,88 @@
+// The robustness-query server end to end: canonicalized cache hits,
+// budget-degraded answers, load shedding, and the stdin line protocol.
+//
+//   $ ./robustness_service            # scripted demo
+//   $ ./robustness_service --stdin    # line protocol on stdin (see
+//                                     # src/serve/text_front.h)
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+
+#include "core/robust/robustness.h"
+#include "game/catalog.h"
+#include "serve/server.h"
+#include "serve/text_front.h"
+
+namespace {
+
+void show(const char* label, const bnash::serve::QueryResponse& response) {
+    std::cout << "  " << label << ": verdict=" << bnash::serve::to_string(response.verdict)
+              << " status=" << bnash::serve::to_string(response.status)
+              << " cache=" << (response.cache_hit ? "hit" : "miss")
+              << " cells=" << response.cells_charged << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace bnash;
+
+    serve::RobustnessServer server;
+    if (argc > 1 && std::strcmp(argv[1], "--stdin") == 0) {
+        const std::size_t asks = serve::run_text_front(std::cin, std::cout, server);
+        std::cout << "served " << asks << " queries\n";
+        return 0;
+    }
+
+    std::cout << "== (k,t)-robustness as a service: attack-coordination, 5 players ==\n";
+    serve::QueryRequest request;
+    request.game = game::catalog::attack_coordination_game(5);
+    request.profile = core::as_exact_profile(request.game,
+                                             game::PureProfile(5, 1));  // everyone attacks
+    request.k = 2;
+    request.t = 1;
+
+    request.budget_cells = 8;  // far below the sweep's cell count
+    show("8-cell budget      ", server.query(request));
+
+    request.budget_cells = util::ExecutionGrant::kUnlimited;
+    show("full budget retry  ", server.query(request));
+    show("repeat (memoized)  ", server.query(request));
+
+    std::cout << "\n== Affinely rescaled upload: one cache entry ==\n";
+    // Per-player positive affine payoff maps preserve every robustness
+    // verdict, and canonicalization normalizes them away: uploading the
+    // same game with u -> 2u + 7 hits the memo without a sweep.
+    serve::QueryRequest rescaled = request;
+    rescaled.budget_cells = util::ExecutionGrant::kUnlimited;
+    for (std::uint64_t rank = 0; rank < request.game.num_profiles(); ++rank) {
+        const game::PureProfile cell = request.game.profile_unrank(rank);
+        for (std::size_t player = 0; player < request.game.num_players(); ++player) {
+            rescaled.game.set_payoff(cell, player,
+                                     request.game.payoff_at(rank, player) * 2 + 7);
+        }
+    }
+    show("rescaled upload    ", server.query(rescaled));
+
+    std::cout << "\n== Deadline expired before the sweep: shed compute, degrade ==\n";
+    // The same Submission handle also exposes grant->cancel() for
+    // explicit mid-flight abandonment; a cancel that loses the race to an
+    // already-found witness still returns the exact verdict.
+    serve::QueryRequest big = request;
+    big.k = 3;
+    big.t = 2;
+    big.deadline = std::chrono::nanoseconds{0};
+    serve::RobustnessServer::Submission submission = server.submit(big);
+    show("0ns deadline       ", submission.result.get());
+
+    const serve::ServerStats stats = server.stats();
+    std::cout << "\naccepted=" << stats.accepted << " resolved=" << stats.resolved
+              << " degraded=" << stats.degraded << " cache_hits=" << stats.cache_hits
+              << " cache_misses=" << stats.cache_misses << '\n';
+    std::cout << "-> degraded answers are explicit (kUnknown), never guesses; retries with\n"
+                 "   a bigger grant resolve them, and resolved verdicts are memoized by\n"
+                 "   canonical signature.\n";
+    return 0;
+}

@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure (benchmarks ON), build, run the full test
-# suite, then run bench_robustness so every verified tree leaves a fresh
-# BENCH_robustness.json perf artifact (diffable across PRs with
+# suite, then run the gated bench binaries so every verified tree leaves
+# fresh BENCH_*.json perf artifacts (diffable across PRs with
 # scripts/bench_diff.py).
-# Usage: scripts/verify.sh [--bench]   (--bench additionally smoke-runs
-# the other benchmark binaries and leaves their BENCH_*.json too)
+# Usage: scripts/verify.sh [--bench] [--tsan]
+#   --bench  additionally smoke-runs the remaining benchmark binaries
+#   --tsan   additionally builds the concurrency-heavy tests with
+#            ThreadSanitizer (separate build-tsan/ tree) and runs them
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FULL_BENCH=OFF
-if [[ "${1:-}" == "--bench" ]]; then
-  FULL_BENCH=ON
-fi
+TSAN=OFF
+for arg in "$@"; do
+  case "${arg}" in
+    --bench) FULL_BENCH=ON ;;
+    --tsan) TSAN=ON ;;
+    *) echo "verify.sh: unknown flag '${arg}'" >&2; exit 2 ;;
+  esac
+done
 
 # Benchmarks need google-benchmark (system package or FetchContent
 # download). If that configure fails — e.g. offline with no system
@@ -23,29 +30,35 @@ if ! cmake -B build -S . -DBNASH_BUILD_BENCH=ON; then
   BENCH=OFF
 fi
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+# Per-test timeout: a deadlocked condition-variable wait or a runaway
+# sweep fails its one test instead of wedging the whole verification.
+(cd build && ctest --output-on-failure -j --timeout 300)
 
 if [[ "${BENCH}" == "ON" ]]; then
-  # Acceptance tables (R-CS / R-BATCH / R-FRONTIER / R-INTRA / R-MAXKT
-  # and E-PE / PE-SPARSE blocks) + BENCH_*.json artifacts.
+  # Acceptance tables (R-CS / R-BATCH / R-FRONTIER / R-INTRA / R-MAXKT,
+  # E-PE / PE-SPARSE, and E4 byzantine blocks) + BENCH_*.json artifacts.
   (cd build && ./bench_robustness --benchmark_min_time=0.05s)
   (cd build && ./bench_payoff_engine --benchmark_min_time=0.05s)
   (cd build && ./bench_solvers --benchmark_min_time=0.05s)
+  (cd build && ./bench_byzantine --benchmark_min_time=0.05s)
   # Regression gates against the blessed baselines. Wall time gets a
-  # deliberately loose threshold (machine-to-machine noise); the work
-  # counters (cells_visited / offsets_advanced) are deterministic on the
-  # gated serial rows, so they get a tight one — an algorithmic
-  # regression fails the gate even on a loaded machine. Re-bless after an
-  # intentional change with
+  # deliberately loose threshold (machine-to-machine noise); the
+  # deterministic counters get tight ones — sweep work (cells_visited /
+  # offsets_advanced) and protocol complexity (rounds / messages /
+  # payload_words) regress only through algorithmic changes, so they
+  # fail the gate even on a loaded machine. bench_diff skips gated
+  # metrics absent from both files, so one unified gate list covers
+  # every binary. Re-bless after an intentional change with
   #   python3 scripts/bench_diff.py bench/baselines/BENCH_<name>.json \
   #     build/BENCH_<name>.json --update-baseline
   # Skips gracefully when python3 is absent.
   if command -v python3 >/dev/null 2>&1; then
-    for bench_name in robustness payoff_engine solvers; do
+    for bench_name in robustness payoff_engine solvers byzantine; do
       if [[ -f "bench/baselines/BENCH_${bench_name}.json" ]]; then
         python3 scripts/bench_diff.py "bench/baselines/BENCH_${bench_name}.json" \
           "build/BENCH_${bench_name}.json" --gate real_time:150 \
-          --gate cells_visited:5 --gate offsets_advanced:5
+          --gate cells_visited:5 --gate offsets_advanced:5 \
+          --gate rounds:1 --gate messages:1 --gate payload_words:1
       else
         echo "verify.sh: no BENCH_${bench_name}.json baseline; skipping its gate" >&2
       fi
@@ -56,7 +69,26 @@ if [[ "${BENCH}" == "ON" ]]; then
 fi
 
 if [[ "${FULL_BENCH}" == "ON" && "${BENCH}" == "ON" ]]; then
-  # Smoke-run the remaining bench binaries (no blessed baselines yet).
-  (cd build && ./bench_byzantine --benchmark_min_time=0.05s)
+  # Smoke-run the remaining bench binaries (no blessed baselines yet;
+  # bench_serve's tail-latency and shed-rate rows are machine-dependent
+  # by construction).
+  (cd build && ./bench_serve --benchmark_min_time=0.05s)
   (cd build && ./bench_mediator --benchmark_min_time=0.05s)
+fi
+
+if [[ "${TSAN}" == "ON" ]]; then
+  # ThreadSanitizer pass over the concurrency-heavy suites: the thread
+  # pool + execution grants, the granted parallel sweeps, and the
+  # message-passing consensus simulator. Separate build tree so the
+  # instrumented objects never mix with the tier-1 ones.
+  TSAN_TESTS=(test_util test_payoff_engine test_coalition_sweep test_dist)
+  cmake -B build-tsan -S . -DBNASH_BUILD_BENCH=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
+  for tsan_test in "${TSAN_TESTS[@]}"; do
+    echo "verify.sh: tsan ${tsan_test}"
+    (cd build-tsan && ./"${tsan_test}")
+  done
 fi

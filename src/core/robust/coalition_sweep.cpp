@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/combinatorics.h"
+#include "util/execution_grant.h"
 #include "util/offset_walker.h"
 #include "util/thread_pool.h"
 #include "util/work_counters.h"
@@ -68,29 +69,69 @@ private:
 // (the batch probes map the winning index back to a coalition size).
 using TaskHit = std::pair<std::size_t, RobustnessViolation>;
 
+// Serial scans poll their grant every kGrantCheckCells cells, flushing
+// the pending counter chunk first so the budget sees the work already
+// done. Overshoot past a budget/deadline/cancel is therefore bounded by
+// one chunk per executing scan, matching the pool's one-block bound.
+constexpr std::uint64_t kGrantCheckCells = 2048;
+
+// Outcome of a task sweep under an (optional) util::ExecutionGrant.
+struct TaskRun final {
+    // The serial-equivalent first violation; absent when no task violated
+    // OR the grant expired before the first violation was pinned.
+    std::optional<TaskHit> hit;
+    // Tasks [0, verified) completed untruncated without violating; with a
+    // hit, verified == hit->first. Without one, verified < num_tasks
+    // means the grant expired and everything from `verified` on is
+    // UNRESOLVED, not clean.
+    std::size_t verified = 0;
+};
+
 // Runs fn(0..num_tasks) with first-hit-wins semantics on the LOWEST task
 // index, serially or on the global pool. Parallel runs skip tasks above
 // the current best index (early exit) but never below it, so both modes
 // return the violation of the same task — the one the serial loop would
-// have stopped at.
+// have stopped at. Under an active ExecutionGrant, a task observed
+// truncated (grant expired after fn returned) cannot vouch for its
+// verdict — a skipped stretch may hide an earlier violation — so its
+// result is discarded, and a hit is reported only when every lower-index
+// task completed untruncated, which keeps reported hits bit-identical to
+// the unbudgeted winner.
 template <typename TaskFn>
-std::optional<TaskHit> run_tasks(std::size_t num_tasks, game::SweepMode mode,
-                                 const TaskFn& fn) {
-    if (num_tasks == 0) return std::nullopt;
+TaskRun run_tasks(std::size_t num_tasks, game::SweepMode mode, const TaskFn& fn) {
+    if (num_tasks == 0) return {std::nullopt, 0};
+    util::ExecutionGrant* const grant = util::active_grant();
     auto& pool = util::global_pool();
     if (mode == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
         for (std::size_t index = 0; index < num_tasks; ++index) {
-            if (auto violation = fn(index)) return TaskHit{index, *std::move(violation)};
+            if (grant != nullptr && grant->expired()) return {std::nullopt, index};
+            auto violation = fn(index);
+            if (grant != nullptr && grant->expired()) return {std::nullopt, index};
+            if (violation) return {TaskHit{index, *std::move(violation)}, index};
         }
-        return std::nullopt;
+        return {std::nullopt, num_tasks};
     }
     std::atomic<std::size_t> best{num_tasks};
     std::vector<std::optional<RobustnessViolation>> found(num_tasks);
     std::vector<std::exception_ptr> errors(num_tasks);
+    // Per-task outcome under a grant: 0 = never ran or truncated, 1 =
+    // completed untruncated (errors count — they surface below), 2 =
+    // early-exit skip (only possible at indices >= the final winner).
+    // Each slot is written by the one thread that claimed the task and
+    // read only after the pool's completion barrier.
+    std::vector<unsigned char> state(grant != nullptr ? num_tasks : 0, 0);
     pool.run_blocks(num_tasks, [&](std::size_t index) {
-        if (index >= best.load(std::memory_order_acquire)) return;  // early exit
+        if (index >= best.load(std::memory_order_acquire)) {  // early exit
+            if (grant != nullptr) state[index] = 2;
+            return;
+        }
         try {
-            if (auto violation = fn(index)) {
+            auto violation = fn(index);
+            if (grant != nullptr) {
+                if (grant->expired()) return;  // truncated: verdict untrusted
+                state[index] = 1;
+            }
+            if (violation) {
                 found[index] = std::move(violation);
                 std::size_t current = best.load(std::memory_order_acquire);
                 while (index < current &&
@@ -100,19 +141,30 @@ std::optional<TaskHit> run_tasks(std::size_t num_tasks, game::SweepMode mode,
             }
         } catch (...) {
             errors[index] = std::current_exception();
+            if (grant != nullptr) state[index] = 1;
         }
     });
-    // Replicate the serial loop's observable behavior exactly: serial
-    // execution stops at the first violating task, so an error in a task
-    // ABOVE the winning index would never have been reached — swallow it.
-    // An error below the winner (or with no winner at all) is rethrown,
-    // lowest index first, just as the in-order loop would have thrown.
     const std::size_t winner = best.load(std::memory_order_acquire);
-    for (std::size_t index = 0; index < winner; ++index) {
+    // Completed prefix: early-exit skips only happen at indices >= the
+    // final winner, so the leading run of nonzero states is exactly the
+    // untruncated prefix.
+    std::size_t verified = num_tasks;
+    if (grant != nullptr) {
+        verified = 0;
+        while (verified < num_tasks && state[verified] != 0) ++verified;
+    }
+    // Replicate the serial loop's observable behavior exactly: serial
+    // execution stops at the first violating task (or at grant expiry),
+    // so an error in a task it would never have reached is swallowed; an
+    // error below that point is rethrown, lowest index first, just as the
+    // in-order loop would have thrown.
+    for (std::size_t index = 0; index < std::min(winner, verified); ++index) {
         if (errors[index]) std::rethrow_exception(errors[index]);
     }
-    if (winner < num_tasks) return TaskHit{winner, *std::move(found[winner])};
-    return std::nullopt;
+    if (winner < num_tasks && winner <= verified) {
+        return {TaskHit{winner, *std::move(found[winner])}, winner};
+    }
+    return {std::nullopt, verified};
 }
 
 // --- intra-task ranged-block scans -------------------------------------------
@@ -176,8 +228,6 @@ std::optional<RobustnessViolation> intra_resilience_scan(
     std::vector<std::optional<RobustnessViolation>> found(num_blocks);
     std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors(
         num_blocks, {total, nullptr});
-    std::atomic<std::uint64_t> cells{0};
-    std::atomic<std::uint64_t> moves{0};
     util::global_pool().run_blocks(
         static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
             const std::uint64_t lo = block * kBlock;
@@ -260,15 +310,16 @@ std::optional<RobustnessViolation> intra_resilience_scan(
                         }
                     }
                 }
-                cells.fetch_add(scanned, std::memory_order_relaxed);
-                moves.fetch_add(walker.digit_moves(), std::memory_order_relaxed);
+                // Per-BLOCK bulk add (not one add per scan): the pool
+                // propagates the submitter's grant to this thread, so the
+                // budget is charged as each block retires and an expired
+                // grant stops claiming new blocks one block later.
+                util::work_counters_add(scanned, walker.digit_moves());
             } catch (...) {
-                cells.fetch_add(scanned, std::memory_order_relaxed);
+                util::work_counters_add(scanned, 0);
                 errors[block] = {rank, std::current_exception()};
             }
         });
-    util::work_counters_add(cells.load(std::memory_order_relaxed),
-                            moves.load(std::memory_order_relaxed));
     const std::uint64_t winner = best.load(std::memory_order_acquire);
     // Serial-equivalent errors: the in-order scan would have thrown the
     // lowest-rank error that precedes the first violation.
@@ -303,8 +354,6 @@ std::optional<RobustnessViolation> intra_immunity_scan(
     std::vector<std::optional<RobustnessViolation>> found(num_blocks);
     std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors(
         num_blocks, {total, nullptr});
-    std::atomic<std::uint64_t> cells{0};
-    std::atomic<std::uint64_t> moves{0};
     util::global_pool().run_blocks(
         static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
             const std::uint64_t lo = block * kBlock;
@@ -346,15 +395,13 @@ std::optional<RobustnessViolation> intra_immunity_scan(
                         }
                     }
                 }
-                cells.fetch_add(scanned, std::memory_order_relaxed);
-                moves.fetch_add(walker.digit_moves(), std::memory_order_relaxed);
+                // Per-block bulk add; see intra_resilience_scan.
+                util::work_counters_add(scanned, walker.digit_moves());
             } catch (...) {
-                cells.fetch_add(scanned, std::memory_order_relaxed);
+                util::work_counters_add(scanned, 0);
                 errors[block] = {rank, std::current_exception()};
             }
         });
-    util::work_counters_add(cells.load(std::memory_order_relaxed),
-                            moves.load(std::memory_order_relaxed));
     const std::uint64_t winner = best.load(std::memory_order_acquire);
     std::size_t first_error = static_cast<std::size_t>(num_blocks);
     for (std::size_t block = 0; block < num_blocks; ++block) {
@@ -448,9 +495,24 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_immunity_task(
     PureProfile tau(fw, 0);
     std::size_t from = 0;
     std::uint64_t cells = 0;
+    util::ExecutionGrant* const grant = util::active_grant();
+    std::uint64_t flushed_cells = 0;
+    std::uint64_t flushed_moves = 0;
+    // Chunked counter flush: totals are identical to the old single add,
+    // and each flush charges the active grant so the periodic expiry poll
+    // below sees the budget state of the work already done.
+    const auto flush = [&] {
+        util::work_counters_add(cells - flushed_cells, walker.digit_moves() - flushed_moves);
+        flushed_cells = cells;
+        flushed_moves = walker.digit_moves();
+    };
     bool more = true;
     while (more) {
         ++cells;
+        if (grant != nullptr && (cells % kGrantCheckCells) == 0) {
+            flush();
+            if (grant->expired()) return std::nullopt;  // truncated
+        }
         for (std::size_t j = from; j < outsiders.size(); ++j) {
             const std::size_t p = outsiders[j];
             prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[fw + j]]];
@@ -465,7 +527,7 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_immunity_task(
             // player order (the fallback's order).
             for (std::size_t i = 0; i < outsiders.size(); ++i) {
                 if (acc[i] < baseline[outsiders[i]]) {
-                    util::work_counters_add(cells, walker.digit_moves());
+                    flush();
                     return RobustnessViolation{{},
                                                faulty,
                                                {},
@@ -483,7 +545,7 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_immunity_task(
             from = walker.lowest_changed() - fw;
         }
     }
-    util::work_counters_add(cells, walker.digit_moves());
+    flush();
     return std::nullopt;
 }
 
@@ -508,6 +570,17 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
     for (const std::size_t p : faulty) faulty_tuples *= view_.num_actions(p);
     std::uint64_t cells = 0;
     std::uint64_t digit_moves = 0;
+    util::ExecutionGrant* const grant = util::active_grant();
+    std::uint64_t flushed_cells = 0;
+    std::uint64_t flushed_moves = 0;
+    // Chunked counter flush (totals identical to the old single add);
+    // `moves_now` is the cumulative digit-move tally including the phase
+    // currently walking.
+    const auto flush_at = [&](std::uint64_t moves_now) {
+        util::work_counters_add(cells - flushed_cells, moves_now - flushed_moves);
+        flushed_cells = cells;
+        flushed_moves = moves_now;
+    };
 
     // Phase A — references: u_i(sigma_C, tau_T, sigma_-T) for every
     // coalition member i and every tau_T, in ONE support walk.
@@ -532,6 +605,10 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
         bool more = true;
         while (more) {
             ++cells;
+            if (grant != nullptr && (cells % kGrantCheckCells) == 0) {
+                flush_at(digit_moves + walker.digit_moves());
+                if (grant->expired()) return std::nullopt;  // truncated
+            }
             for (std::size_t j = from; j < non_faulty.size(); ++j) {
                 const std::size_t p = non_faulty[j];
                 prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[fw + j]]];
@@ -584,6 +661,10 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
         bool more = true;
         while (more) {
             ++cells;
+            if (grant != nullptr && (cells % kGrantCheckCells) == 0) {
+                flush_at(digit_moves + walker.digit_moves());
+                if (grant->expired()) return std::nullopt;  // truncated
+            }
             for (std::size_t j = from; j < rest.size(); ++j) {
                 const std::size_t p = rest[j];
                 prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[dw + j]]];
@@ -616,7 +697,7 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
                                           ? any_gain
                                           : (all_gain && !coalition.empty());
                 if (violated) {
-                    util::work_counters_add(cells, digit_moves + walker.digit_moves());
+                    flush_at(digit_moves + walker.digit_moves());
                     return RobustnessViolation{coalition,
                                                faulty,
                                                tau_c,
@@ -637,7 +718,7 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
         }
         digit_moves += walker.digit_moves();
     }
-    util::work_counters_add(cells, digit_moves);
+    flush_at(digit_moves);
     return std::nullopt;
 }
 
@@ -662,13 +743,22 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
     JointScan scan;
     scan.init(view_, *pure_, faulty);
     scan.reset(base_row_);
+    util::ExecutionGrant* const grant = util::active_grant();
     std::uint64_t cells = 0;
+    std::uint64_t flushed_cells = 0;
+    std::uint64_t flushed_moves = 0;
+    // Chunked counter flush; totals identical to the old single add.
+    const auto flush = [&] {
+        util::work_counters_add(cells - flushed_cells, scan.digit_moves() - flushed_moves);
+        flushed_cells = cells;
+        flushed_moves = scan.digit_moves();
+    };
     do {
         ++cells;
         for (const std::size_t i : outsiders) {
             const Rational& after = view_.payoff_from(scan.row(), i);
             if (after < baseline[i]) {
-                util::work_counters_add(cells, scan.digit_moves());
+                flush();
                 return RobustnessViolation{{},
                                            faulty,
                                            {},
@@ -678,8 +768,12 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
                                            after.to_double()};
             }
         }
+        if (grant != nullptr && (cells % kGrantCheckCells) == 0) {
+            flush();
+            if (grant->expired()) return std::nullopt;  // truncated
+        }
     } while (scan.advance());
-    util::work_counters_add(cells, scan.digit_moves());
+    flush();
     return std::nullopt;
 }
 
@@ -697,6 +791,7 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         }
     }
     const std::size_t width = coalition.size();
+    util::ExecutionGrant* const grant = util::active_grant();
     if (pure_) {
         std::uint64_t coalition_cells = 1;
         for (const std::size_t p : coalition) coalition_cells *= view_.num_actions(p);
@@ -708,6 +803,17 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         std::vector<const Rational*> reference(width);
         std::vector<std::size_t> faulty;
         std::uint64_t cells = 0;
+        std::uint64_t flushed_cells = 0;
+        std::uint64_t flushed_moves = 0;
+        // Chunked flush (cells and moves are cumulative across faulty
+        // sets); totals identical to the old single add per exit path.
+        const auto flush_counters = [&] {
+            const std::uint64_t moves =
+                faulty_scan.digit_moves() + coalition_scan.digit_moves();
+            util::work_counters_add(cells - flushed_cells, moves - flushed_moves);
+            flushed_cells = cells;
+            flushed_moves = moves;
+        };
         const auto scan_serial =
             [&]() -> std::optional<RobustnessViolation> {
             faulty_scan.init(view_, *pure_, faulty);
@@ -753,13 +859,15 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
                             witness_before ? witness_before->to_double() : 0.0,
                             witness_after ? witness_after->to_double() : 0.0};
                     }
+                    if (grant != nullptr && (cells % kGrantCheckCells) == 0) {
+                        flush_counters();
+                        // Truncated — the caller observes the expired
+                        // grant and discards the (absent) verdict.
+                        if (grant->expired()) return std::nullopt;
+                    }
                 } while (coalition_scan.advance());
             } while (faulty_scan.advance());
             return std::nullopt;
-        };
-        const auto flush_counters = [&] {
-            util::work_counters_add(cells, faulty_scan.digit_moves() +
-                                               coalition_scan.digit_moves());
         };
         // Ranged-block split for huge per-faulty-set scans; serial nested
         // walk otherwise. Both produce the first violation in the same
@@ -785,6 +893,10 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
             const util::SubsetEnumerator enumerator(others.size(), max_t);
             for (const auto& index_set : enumerator) {
                 if (index_set.size() < min_t) continue;
+                if (grant != nullptr && grant->expired()) {
+                    flush_counters();
+                    return std::nullopt;  // truncated between faulty sets
+                }
                 faulty.clear();
                 for (const std::size_t idx : index_set) faulty.push_back(others[idx]);
                 if (auto violation = scan_one()) {
@@ -808,6 +920,7 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         std::vector<std::size_t> faulty;
         for (const auto& index_set : enumerator) {
             if (index_set.size() < min_t) continue;
+            if (grant != nullptr && grant->expired()) return std::nullopt;  // truncated
             faulty.clear();
             for (const std::size_t idx : index_set) faulty.push_back(others[idx]);
             if (auto violation = sparse_resilience_scan(coalition, faulty, criterion)) {
@@ -842,11 +955,11 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_violation(
     // run_tasks' lowest-index winner keeps the reported violation
     // identical to the serial order.
     const auto effective = mode;
-    auto hit = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
+    auto run = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
         return immunity_task(faulty_sets[index], baseline, effective);
     });
-    if (!hit) return std::nullopt;
-    return std::move(hit->second);
+    if (!run.hit) return std::nullopt;
+    return std::move(run.hit->second);
 }
 
 std::optional<RobustnessViolation> CoalitionSweep::resilience_violation(
@@ -856,11 +969,11 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_violation(
     // See immunity_violation: mixed tasks run fused sparse scans and
     // share the same deterministic winner discipline as pure ones.
     const auto effective = mode;
-    auto hit = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
+    auto run = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
         return resilience_task(coalitions[index], 0, t, criterion, effective);
     });
-    if (!hit) return std::nullopt;
-    return std::move(hit->second);
+    if (!run.hit) return std::nullopt;
+    return std::move(run.hit->second);
 }
 
 std::optional<RobustnessViolation> CoalitionSweep::robustness_violation(
@@ -878,18 +991,28 @@ BatchVerdict CoalitionSweep::batch_resilience(std::size_t max_k, GainCriterion c
     if (max_k == 0) return out;
     const util::SubsetEnumerator coalitions(view_.num_players(), max_k);
     const auto effective = mode;
-    auto hit = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
+    auto run = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
         return resilience_task(coalitions[index], 0, 0, criterion, effective);
     });
-    if (!hit) {
+    if (run.hit) {
+        // Every probe with k >= |winning coalition| enumerates the same
+        // prefix and stops at the same task; smaller k never reaches it.
+        const std::size_t breaking = coalitions[run.hit->first].size();
+        out.max_ok = breaking - 1;
+        for (std::size_t k = breaking; k <= max_k; ++k) {
+            out.violations[k - 1] = run.hit->second;
+        }
+        return out;
+    }
+    if (run.verified == coalitions.size()) {
         out.max_ok = max_k;
         return out;
     }
-    // Every probe with k >= |winning coalition| enumerates the same
-    // prefix and stops at the same task; smaller k never reaches it.
-    const std::size_t breaking = coalitions[hit->first].size();
-    out.max_ok = breaking - 1;
-    for (std::size_t k = breaking; k <= max_k; ++k) out.violations[k - 1] = hit->second;
+    // Grant truncation: the verified prefix covers every coalition
+    // strictly smaller than the first unverified task's (size-major
+    // order); larger sizes are unknown, not clean.
+    out.max_ok = coalitions[run.verified].size() - 1;
+    out.complete = false;
     return out;
 }
 
@@ -897,6 +1020,7 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                                                           std::size_t max_t,
                                                           GainCriterion criterion,
                                                           game::SweepMode mode) const {
+    util::ExecutionGrant* const grant = util::active_grant();
     FrontierVerdict out;
     out.max_k = max_k;
     out.max_t = max_t;
@@ -905,11 +1029,15 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
 
     // Part (a): one shared faulty-set sweep gives every t-column's
     // immunity verdict (the independent probes check immunity FIRST, so a
-    // broken column takes the immunity witness for every k).
+    // broken column takes the immunity witness for every k). A truncated
+    // immunity sweep leaves the columns beyond its verified boundary
+    // UNRESOLVED rather than broken.
     const BatchVerdict immunity = batch_immunity(max_t, mode);
-    for (std::size_t t = immunity.max_ok + 1; t <= max_t; ++t) {
-        for (std::size_t k = 0; k <= max_k; ++k) {
-            out.cells[k * stride + t] = immunity.violations[t - 1];
+    if (immunity.complete) {
+        for (std::size_t t = immunity.max_ok + 1; t <= max_t; ++t) {
+            for (std::size_t k = 0; k <= max_k; ++k) {
+                out.cells[k * stride + t] = immunity.violations[t - 1];
+            }
         }
     }
 
@@ -919,90 +1047,209 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
     // and a hit at faulty size s0 claims every column t >= s0 the task is
     // still the lowest index for.
     const std::size_t t_res = std::min(max_t, immunity.max_ok);
-    if (max_k == 0) return out;  // k = 0 row: resilience is vacuous
-    const util::SubsetEnumerator coalitions(view_.num_players(), max_k);
-    const std::size_t num_tasks = coalitions.size();
-    std::vector<std::optional<RobustnessViolation>> found(num_tasks);
-    std::vector<std::size_t> winner(t_res + 1, num_tasks);
-    const auto effective = mode;
-    auto& pool = util::global_pool();
-    if (effective == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
-        for (std::size_t index = 0; index < num_tasks; ++index) {
-            std::size_t cap = 0;
-            bool unresolved = false;
-            for (std::size_t t = t_res + 1; t-- > 0;) {
-                if (winner[t] == num_tasks) {
-                    cap = t;
-                    unresolved = true;
-                    break;
-                }
-            }
-            if (!unresolved) break;
-            if (auto violation =
-                    resilience_task(coalitions[index], 0, cap, criterion, effective)) {
-                const std::size_t s0 = violation->faulty.size();
-                for (std::size_t t = s0; t <= t_res; ++t) {
-                    if (winner[t] == num_tasks) winner[t] = index;
-                }
-                found[index] = std::move(violation);
-            }
-        }
-    } else {
-        std::vector<std::atomic<std::size_t>> best(t_res + 1);
-        for (auto& slot : best) slot.store(num_tasks, std::memory_order_relaxed);
-        std::vector<std::exception_ptr> errors(num_tasks);
-        pool.run_blocks(num_tasks, [&](std::size_t index) {
-            // Columns this task could still win form a prefix; its cap is
-            // the highest of them. None -> early exit.
-            std::size_t cap = 0;
-            bool live = false;
-            for (std::size_t t = t_res + 1; t-- > 0;) {
-                if (index < best[t].load(std::memory_order_acquire)) {
-                    cap = t;
-                    live = true;
-                    break;
-                }
-            }
-            if (!live) return;
-            try {
-                if (auto violation =
-                        resilience_task(coalitions[index], 0, cap, criterion, effective)) {
-                    const std::size_t s0 = violation->faulty.size();
-                    found[index] = std::move(violation);
-                    for (std::size_t t = s0; t <= t_res; ++t) {
-                        std::size_t current = best[t].load(std::memory_order_acquire);
-                        while (index < current &&
-                               !best[t].compare_exchange_weak(current, index,
-                                                              std::memory_order_acq_rel)) {
-                        }
+    // Per-column outcome. A resolved column either has a valid winning
+    // task (breaking_k[t] = that coalition's size) or verified the whole
+    // sweep clean (breaking_k[t] = max_k + 1); a column truncated by the
+    // grant is clean only for k <= verified_k[t] and unknown above.
+    std::vector<char> resolved(t_res + 1, 1);
+    std::vector<std::size_t> verified_k(t_res + 1, max_k);
+    std::vector<std::size_t> breaking_k(t_res + 1, max_k + 1);
+    if (max_k > 0) {  // k = 0 row: resilience is vacuous
+        const util::SubsetEnumerator coalitions(view_.num_players(), max_k);
+        const std::size_t num_tasks = coalitions.size();
+        std::vector<std::optional<RobustnessViolation>> found(num_tasks);
+        std::vector<std::size_t> winner(t_res + 1, num_tasks);
+        const auto effective = mode;
+        auto& pool = util::global_pool();
+        if (effective == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
+            std::size_t reached = num_tasks;  // tasks [0, reached) ran untruncated
+            for (std::size_t index = 0; index < num_tasks; ++index) {
+                std::size_t cap = 0;
+                bool unresolved = false;
+                for (std::size_t t = t_res + 1; t-- > 0;) {
+                    if (winner[t] == num_tasks) {
+                        cap = t;
+                        unresolved = true;
+                        break;
                     }
                 }
-            } catch (...) {
-                errors[index] = std::current_exception();
+                if (!unresolved) break;
+                if (grant != nullptr && grant->expired()) {
+                    reached = index;
+                    break;
+                }
+                auto violation =
+                    resilience_task(coalitions[index], 0, cap, criterion, effective);
+                // A truncated task cannot vouch for its verdict (see
+                // run_tasks); its hit is discarded too.
+                if (grant != nullptr && grant->expired()) {
+                    reached = index;
+                    break;
+                }
+                if (violation) {
+                    const std::size_t s0 = violation->faulty.size();
+                    for (std::size_t t = s0; t <= t_res; ++t) {
+                        if (winner[t] == num_tasks) winner[t] = index;
+                    }
+                    found[index] = std::move(violation);
+                }
             }
-        });
-        // Serial-equivalent error behavior: an error at a task the serial
-        // loop would still have reached (below the last column's winner,
-        // or anywhere when some column never resolved) is rethrown,
-        // lowest index first; errors past every winner are swallowed.
-        std::size_t reach = 0;
-        for (std::size_t t = 0; t <= t_res; ++t) {
-            winner[t] = best[t].load(std::memory_order_acquire);
-            reach = std::max(reach, winner[t]);
+            if (reached < num_tasks) {
+                // In-order execution: winners found before the cutoff are
+                // valid; every still-open column was live the whole time
+                // (its cap covered it in every executed task), so its
+                // clean prefix is exactly [0, reached).
+                for (std::size_t t = 0; t <= t_res; ++t) {
+                    if (winner[t] == num_tasks) {
+                        resolved[t] = 0;
+                        verified_k[t] = coalitions[reached].size() - 1;
+                    }
+                }
+            }
+        } else {
+            std::vector<std::atomic<std::size_t>> best(t_res + 1);
+            for (auto& slot : best) slot.store(num_tasks, std::memory_order_relaxed);
+            std::vector<std::exception_ptr> errors(num_tasks);
+            // Under a grant: per-task outcome (see run_tasks) plus the cap
+            // the task completed with — a clean task vouches only for the
+            // columns its cap covered.
+            std::vector<unsigned char> state(grant != nullptr ? num_tasks : 0, 0);
+            std::vector<std::size_t> cap_done(grant != nullptr ? num_tasks : 0, 0);
+            pool.run_blocks(num_tasks, [&](std::size_t index) {
+                // Columns this task could still win form a prefix; its cap
+                // is the highest of them. None -> early exit.
+                std::size_t cap = 0;
+                bool live = false;
+                for (std::size_t t = t_res + 1; t-- > 0;) {
+                    if (index < best[t].load(std::memory_order_acquire)) {
+                        cap = t;
+                        live = true;
+                        break;
+                    }
+                }
+                if (!live) {
+                    if (grant != nullptr) state[index] = 2;
+                    return;
+                }
+                try {
+                    auto violation =
+                        resilience_task(coalitions[index], 0, cap, criterion, effective);
+                    if (grant != nullptr) {
+                        if (grant->expired()) return;  // truncated: verdict untrusted
+                        state[index] = 1;
+                        cap_done[index] = cap;
+                    }
+                    if (violation) {
+                        const std::size_t s0 = violation->faulty.size();
+                        found[index] = std::move(violation);
+                        for (std::size_t t = s0; t <= t_res; ++t) {
+                            std::size_t current = best[t].load(std::memory_order_acquire);
+                            while (index < current &&
+                                   !best[t].compare_exchange_weak(
+                                       current, index, std::memory_order_acq_rel)) {
+                            }
+                        }
+                    }
+                } catch (...) {
+                    errors[index] = std::current_exception();
+                    if (grant != nullptr) {
+                        state[index] = 1;
+                        cap_done[index] = cap;
+                    }
+                }
+            });
+            std::size_t reach = 0;
+            for (std::size_t t = 0; t <= t_res; ++t) {
+                winner[t] = best[t].load(std::memory_order_acquire);
+                reach = std::max(reach, winner[t]);
+            }
+            if (grant != nullptr && grant->expired()) {
+                // Column-by-column completed-prefix resolution: task i
+                // vouches for column t iff it completed untruncated with a
+                // cap covering t and its first violation (if any) sits at
+                // a faulty size beyond t. A winner stands iff every lower
+                // task vouches for its column.
+                for (std::size_t t = 0; t <= t_res; ++t) {
+                    std::size_t i = 0;
+                    for (; i < num_tasks; ++i) {
+                        if (i == winner[t]) break;
+                        const bool vouches = state[i] == 1 && cap_done[i] >= t &&
+                                             (!found[i] || found[i]->faulty.size() > t);
+                        if (!vouches) break;
+                    }
+                    if (i == num_tasks) continue;                           // clean, resolved
+                    if (i == winner[t] && winner[t] < num_tasks) continue;  // broken, resolved
+                    resolved[t] = 0;
+                    winner[t] = num_tasks;  // an unvouched winner is discarded
+                    verified_k[t] = coalitions[i].size() - 1;
+                }
+                // Errors at tasks the budgeted serial loop would have
+                // reached (before both the winner and the truncation
+                // point) surface lowest-index first.
+                std::size_t untruncated = 0;
+                while (untruncated < num_tasks && state[untruncated] != 0) ++untruncated;
+                for (std::size_t index = 0; index < std::min(reach, untruncated); ++index) {
+                    if (errors[index]) std::rethrow_exception(errors[index]);
+                }
+            } else {
+                // Serial-equivalent error behavior: an error at a task the
+                // serial loop would still have reached (below the last
+                // column's winner, or anywhere when some column never
+                // resolved) is rethrown, lowest index first; errors past
+                // every winner are swallowed.
+                for (std::size_t index = 0; index < std::min(reach, num_tasks); ++index) {
+                    if (errors[index]) std::rethrow_exception(errors[index]);
+                }
+            }
         }
-        for (std::size_t index = 0; index < std::min(reach, num_tasks); ++index) {
-            if (errors[index]) std::rethrow_exception(errors[index]);
+        // Cell (k, t): the lowest winning task fits iff its coalition fits
+        // in k (tasks are size-major, so "index < first size-(k+1) task"
+        // and "size <= k" coincide).
+        for (std::size_t t = 0; t <= t_res; ++t) {
+            if (winner[t] == num_tasks) continue;
+            breaking_k[t] = coalitions[winner[t]].size();
+            for (std::size_t k = breaking_k[t]; k <= max_k; ++k) {
+                out.cells[k * stride + t] = found[winner[t]];
+            }
         }
     }
-    // Cell (k, t): the lowest winning task fits iff its coalition fits in
-    // k (tasks are size-major, so "index < first size-(k+1) task" and
-    // "size <= k" coincide).
-    for (std::size_t t = 0; t <= t_res; ++t) {
-        if (winner[t] == num_tasks) continue;
-        const std::size_t breaking = coalitions[winner[t]].size();
-        for (std::size_t k = breaking; k <= max_k; ++k) {
-            out.cells[k * stride + t] = found[winner[t]];
+
+    // Resolution bookkeeping: an untruncated run resolves every cell and
+    // keeps `states` in its empty "all resolved" form.
+    bool all_resolved = immunity.complete;
+    for (std::size_t t = 0; t <= t_res && all_resolved; ++t) {
+        all_resolved = resolved[t] != 0;
+    }
+    if (all_resolved) {
+        out.cells_resolved = out.cells.size();
+        return out;
+    }
+    out.states.assign(out.cells.size(), CellVerdict::kUnknown);
+    for (std::size_t t = 0; t <= max_t; ++t) {
+        if (t > t_res) {
+            // Beyond the immunity boundary: broken everywhere when the
+            // boundary is exact, otherwise unknown.
+            if (immunity.complete) {
+                for (std::size_t k = 0; k <= max_k; ++k) {
+                    out.states[k * stride + t] = CellVerdict::kBroken;
+                }
+            }
+            continue;
         }
+        if (resolved[t] != 0) {
+            for (std::size_t k = 0; k <= max_k; ++k) {
+                out.states[k * stride + t] =
+                    k < breaking_k[t] ? CellVerdict::kRobust : CellVerdict::kBroken;
+            }
+        } else {
+            for (std::size_t k = 0; k <= verified_k[t]; ++k) {
+                out.states[k * stride + t] = CellVerdict::kRobust;
+            }
+        }
+    }
+    out.cells_resolved = 0;
+    for (const CellVerdict s : out.states) {
+        if (s != CellVerdict::kUnknown) ++out.cells_resolved;
     }
     return out;
 }
@@ -1014,16 +1261,24 @@ BatchVerdict CoalitionSweep::batch_immunity(std::size_t max_t, game::SweepMode m
     const std::vector<Rational> baseline = immunity_baseline();
     const util::SubsetEnumerator faulty_sets(view_.num_players(), max_t);
     const auto effective = mode;
-    auto hit = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
+    auto run = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
         return immunity_task(faulty_sets[index], baseline, effective);
     });
-    if (!hit) {
+    if (run.hit) {
+        const std::size_t breaking = faulty_sets[run.hit->first].size();
+        out.max_ok = breaking - 1;
+        for (std::size_t t = breaking; t <= max_t; ++t) {
+            out.violations[t - 1] = run.hit->second;
+        }
+        return out;
+    }
+    if (run.verified == faulty_sets.size()) {
         out.max_ok = max_t;
         return out;
     }
-    const std::size_t breaking = faulty_sets[hit->first].size();
-    out.max_ok = breaking - 1;
-    for (std::size_t t = breaking; t <= max_t; ++t) out.violations[t - 1] = hit->second;
+    // Grant truncation: sizes beyond the verified prefix are unknown.
+    out.max_ok = faulty_sets[run.verified].size() - 1;
+    out.complete = false;
     return out;
 }
 
@@ -1034,11 +1289,14 @@ MaxKtResult CoalitionSweep::max_kt(std::size_t max_k, std::size_t max_t,
     out.max_t = max_t;
     // t-axis: the shared immunity sweep pins the last column holding any
     // robust cell. Resolves (0, immunity_ok) robust, and — when the
-    // boundary is interior — (0, immunity_ok + 1) broken.
+    // boundary is interior and the sweep untruncated — (0, immunity_ok+1)
+    // broken.
     const BatchVerdict immunity = batch_immunity(max_t, mode);
     out.immunity_ok = immunity.max_ok;
-    out.cells_resolved = 1 + (out.immunity_ok < max_t ? 1 : 0);
-    out.k_of_t.assign(out.immunity_ok + 1, 0);
+    out.immunity_exact = immunity.complete;
+    out.complete = immunity.complete;
+    out.cells_resolved = 1 + (out.immunity_ok < max_t && immunity.complete ? 1 : 0);
+    out.k_of_t.reserve(out.immunity_ok + 1);
 
     const auto effective = mode;
     std::size_t k_prev = max_k;
@@ -1049,21 +1307,28 @@ MaxKtResult CoalitionSweep::max_kt(std::size_t max_k, std::size_t max_t,
         // the current frontier is rescanned. Size-major order makes the
         // first violating task's size s pin kmax(t) = s - 1.
         if (k_prev == 0) {
-            out.k_of_t[t] = 0;  // column survives on immunity alone
+            out.k_of_t.push_back(0);  // column survives on immunity alone
             continue;
         }
         const util::SubsetEnumerator coalitions(view_.num_players(), k_prev);
-        auto hit = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
+        auto run = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
             return resilience_task(coalitions[index], t, t, criterion, effective);
         });
+        if (!run.hit && run.verified < coalitions.size()) {
+            // Grant expired mid-step: this column's kmax is unresolved,
+            // and nothing beyond it can be certified — the walk stops at
+            // the last fully resolved column.
+            out.complete = false;
+            break;
+        }
         std::size_t kt = k_prev;
-        if (hit) kt = coalitions[hit->first].size() - 1;
-        out.k_of_t[t] = kt;
-        out.cells_resolved += 1 + (hit ? 1 : 0);
+        if (run.hit) kt = coalitions[run.hit->first].size() - 1;
+        out.k_of_t.push_back(kt);
+        out.cells_resolved += 1 + (run.hit ? 1 : 0);
         k_prev = kt;
     }
-    for (std::size_t t = 0; t <= out.immunity_ok; ++t) {
-        if (t == out.immunity_ok || out.k_of_t[t + 1] < out.k_of_t[t]) {
+    for (std::size_t t = 0; t < out.k_of_t.size(); ++t) {
+        if (t + 1 == out.k_of_t.size() || out.k_of_t[t + 1] < out.k_of_t[t]) {
             out.maximal.emplace_back(out.k_of_t[t], t);
         }
     }

@@ -69,6 +69,13 @@ struct RobustnessOptions final {
     game::SweepMode mode = game::SweepMode::kAuto;
 };
 
+// Verdict state of one (k, t) cell under budgeted execution. Unbudgeted
+// runs resolve every cell; a run cut short by a util::ExecutionGrant
+// marks exactly the cells whose verdict was established before expiry —
+// each bit-identical to the unbudgeted run's — and leaves the rest
+// kUnknown (never a false kRobust/kBroken).
+enum class CellVerdict : std::uint8_t { kRobust = 0, kBroken = 1, kUnknown = 2 };
+
 // Result of a shared-sweep batch probe (max_resilience / max_immunity):
 // per-coalition-size verdicts accumulated from ONE coalition sweep
 // instead of max_k independent restarts. violations[k - 1] is the first
@@ -77,10 +84,16 @@ struct RobustnessOptions final {
 // shares the same winning task, so the stored witnesses are bit-identical
 // to independent probes.
 struct BatchVerdict final {
-    // Largest k (or t) with no violation; 0 means not even 1-resilient
-    // (resp. 1-immune).
+    // Largest k (or t) VERIFIED clean; 0 means not even 1-resilient
+    // (resp. 1-immune) when a violation exists, or "nothing verified"
+    // when the sweep was truncated before covering size 1.
     std::size_t max_ok = 0;
     std::vector<std::optional<RobustnessViolation>> violations;  // index k-1, k = 1..max_k
+    // False when an active ExecutionGrant expired before every probed
+    // size was resolved: sizes in (max_ok, first violation) are then
+    // unknown, not clean. A truncated sweep that still found a violation
+    // IS complete — size-major order pins every per-size verdict.
+    bool complete = true;
     friend bool operator==(const BatchVerdict&, const BatchVerdict&) = default;
 };
 
@@ -96,12 +109,30 @@ struct FrontierVerdict final {
     std::size_t max_t = 0;
     // Row-major by k: cell (k, t) at index k * (max_t + 1) + t.
     std::vector<std::optional<RobustnessViolation>> cells;
+    // Per-cell resolution state, same indexing. EMPTY means "every cell
+    // resolved" (the unbudgeted contract, and hand-built grids): robust
+    // iff no violation. When a util::ExecutionGrant truncated the sweep,
+    // states marks the unresolved cells kUnknown; their `cells` entry is
+    // nullopt and means nothing.
+    std::vector<CellVerdict> states;
+    // Number of resolved (non-kUnknown) cells; == cells.size() iff the
+    // grid is complete — callers retry unresolved queries with a larger
+    // grant.
+    std::uint64_t cells_resolved = 0;
+
     [[nodiscard]] const std::optional<RobustnessViolation>& violation(std::size_t k,
                                                                       std::size_t t) const {
         return cells.at(k * (max_t + 1) + t);
     }
+    [[nodiscard]] CellVerdict verdict(std::size_t k, std::size_t t) const {
+        if (!states.empty()) return states.at(k * (max_t + 1) + t);
+        return violation(k, t) ? CellVerdict::kBroken : CellVerdict::kRobust;
+    }
     [[nodiscard]] bool robust(std::size_t k, std::size_t t) const {
-        return !violation(k, t).has_value();
+        return verdict(k, t) == CellVerdict::kRobust;
+    }
+    [[nodiscard]] bool complete() const {
+        return states.empty() || cells_resolved == cells.size();
     }
     friend bool operator==(const FrontierVerdict&, const FrontierVerdict&) = default;
 };
@@ -116,22 +147,45 @@ struct FrontierVerdict final {
 struct MaxKtResult final {
     std::size_t max_k = 0;  // probed budget
     std::size_t max_t = 0;
-    // Largest t <= max_t whose column holds any robust cell — i.e. the
-    // candidate is t-immune (cell (0, t) is robust); columns above it are
-    // broken for every k.
+    // Largest t <= max_t VERIFIED immune (cell (0, t) is robust). When
+    // immunity_exact, columns above it are broken for every k; when a
+    // grant truncated the immunity sweep they are merely unknown.
     std::size_t immunity_ok = 0;
-    // k_of_t[t] = kmax(t) for t = 0..immunity_ok (non-increasing).
+    // k_of_t[t] = kmax(t) for the RESOLVED columns t = 0..k_of_t.size()-1
+    // (non-increasing). Complete walks resolve every column up to
+    // immunity_ok; truncated walks stop early and leave the remaining
+    // columns kUnknown.
     std::vector<std::size_t> k_of_t;
-    // The Pareto-maximal robust cells, t ascending / k descending.
+    // The Pareto-maximal robust cells among resolved columns, t ascending
+    // / k descending.
     std::vector<std::pair<std::size_t, std::size_t>> maximal;
     // Grid cells whose verdict the walk resolved DIRECTLY (boundary
     // confirmations + adjacent broken discoveries) — the "cells" the
     // R-MAXKT acceptance counts against the frontier's full
-    // (max_k+1) x (max_t+1) grid.
+    // (max_k+1) x (max_t+1) grid, and the serving layer's retry
+    // currency.
     std::uint64_t cells_resolved = 0;
+    // True when the t-axis immunity boundary is exact (sweep completed or
+    // found the breaking faulty set) rather than a truncated lower bound.
+    bool immunity_exact = true;
+    // True when every column t = 0..immunity_ok resolved its kmax AND the
+    // immunity boundary is exact — i.e. the result equals the unbudgeted
+    // walk's. False only under an expired ExecutionGrant.
+    bool complete = true;
 
+    [[nodiscard]] CellVerdict verdict(std::size_t k, std::size_t t) const {
+        if (t < k_of_t.size()) {
+            return k <= k_of_t[t] ? CellVerdict::kRobust : CellVerdict::kBroken;
+        }
+        if (t <= immunity_ok) {
+            // Column immune-verified but its kmax never resolved: only
+            // the vacuous k = 0 cell is known.
+            return k == 0 ? CellVerdict::kRobust : CellVerdict::kUnknown;
+        }
+        return immunity_exact ? CellVerdict::kBroken : CellVerdict::kUnknown;
+    }
     [[nodiscard]] bool robust(std::size_t k, std::size_t t) const {
-        return t <= immunity_ok && k <= k_of_t.at(t);
+        return verdict(k, t) == CellVerdict::kRobust;
     }
     friend bool operator==(const MaxKtResult&, const MaxKtResult&) = default;
 };

@@ -10,6 +10,7 @@
 
 #include "game/game_view.h"
 #include "util/combinatorics.h"
+#include "util/execution_grant.h"
 #include "util/offset_walker.h"
 #include "util/thread_pool.h"
 #include "util/work_counters.h"
@@ -211,7 +212,9 @@ template <typename Table, typename MakeFn, typename BlockFn, typename MergeFn>
 void blocked_sweep_ranges(const BlockRanges& blocks, SweepMode mode, Table& out, MakeFn&& make,
                           BlockFn&& block_fn, MergeFn&& merge) {
     if (blocks.empty()) return;
+    util::ExecutionGrant* const grant = util::active_grant();
     if (blocks.size() == 1) {
+        if (grant != nullptr && grant->expired()) return;
         block_fn(blocks[0].first, blocks[0].second, out);
         return;
     }
@@ -228,9 +231,15 @@ void blocked_sweep_ranges(const BlockRanges& blocks, SweepMode mode, Table& out,
     };
     auto& pool = util::global_pool();
     if (mode == SweepMode::kAuto && pool.size() > 1) {
-        pool.run_blocks(num_blocks, work);
+        pool.run_blocks(num_blocks, work);  // grant-gated inside the pool
     } else {
-        for (std::size_t block = 0; block < num_blocks; ++block) work(block);
+        // Serial block loop: the same one-block-granularity gate the pool
+        // applies. A reduction sweep truncated here yields partial sums;
+        // grant users must discard results when expired() after the call.
+        for (std::size_t block = 0; block < num_blocks; ++block) {
+            if (grant != nullptr && grant->expired()) break;
+            work(block);
+        }
     }
     for (auto& error : errors) {
         if (error) std::rethrow_exception(error);

@@ -1,0 +1,162 @@
+#include "serve/canonical.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace bnash::serve {
+
+namespace {
+
+void append_size(std::string& out, std::size_t value) {
+    out += std::to_string(value);
+    out += ',';
+}
+
+void append_rational(std::string& out, const util::Rational& value) {
+    out += std::to_string(value.num());
+    out += '/';
+    out += std::to_string(value.den());
+    out += ',';
+}
+
+// Per-player positive affine map sending [min, max] to [0, 1] (identity
+// on the offset when the payoffs are constant). Throws RationalOverflow
+// when the exact scaled values do not fit.
+struct AffineMap final {
+    util::Rational offset;  // min payoff
+    util::Rational scale;   // 1 / (max - min), or 1 when constant
+    [[nodiscard]] util::Rational apply(const util::Rational& value) const {
+        return (value - offset) * scale;
+    }
+};
+
+[[nodiscard]] std::vector<AffineMap> build_affine_maps(const game::NormalFormGame& game) {
+    const std::size_t num_players = game.num_players();
+    std::vector<AffineMap> maps(num_players);
+    for (std::size_t player = 0; player < num_players; ++player) {
+        util::Rational lo = game.payoff_at(0, player);
+        util::Rational hi = lo;
+        for (std::uint64_t rank = 1; rank < game.num_profiles(); ++rank) {
+            const util::Rational& value = game.payoff_at(rank, player);
+            if (value < lo) lo = value;
+            if (hi < value) hi = value;
+        }
+        maps[player].offset = lo;
+        const util::Rational span = hi - lo;
+        maps[player].scale = span.is_zero() ? util::Rational(1) : span.reciprocal();
+    }
+    return maps;
+}
+
+// Invariant per-player sort key: action count, then the candidate
+// strategy, then the sorted multiset of (mapped) payoffs. Every component
+// is preserved when players are relabeled, so equivalent games sort their
+// players into the same canonical order (up to ties, which keep the
+// original order — a cache miss, never an unsoundness).
+[[nodiscard]] std::string player_sort_key(const game::NormalFormGame& game,
+                                          const game::ExactMixedProfile& profile,
+                                          const std::vector<AffineMap>* maps,
+                                          std::size_t player) {
+    std::string key;
+    append_size(key, game.num_actions(player));
+    key += '|';
+    for (const util::Rational& mass : profile[player]) append_rational(key, mass);
+    key += '|';
+    std::vector<util::Rational> values;
+    values.reserve(game.num_profiles());
+    for (std::uint64_t rank = 0; rank < game.num_profiles(); ++rank) {
+        const util::Rational& raw = game.payoff_at(rank, player);
+        values.push_back(maps != nullptr ? (*maps)[player].apply(raw) : raw);
+    }
+    std::sort(values.begin(), values.end());
+    for (const util::Rational& value : values) append_rational(key, value);
+    return key;
+}
+
+[[nodiscard]] CanonicalSignature serialize(const game::NormalFormGame& game,
+                                           const game::ExactMixedProfile& profile,
+                                           const std::vector<AffineMap>* maps) {
+    const std::size_t num_players = game.num_players();
+
+    // perm[j] = original player occupying canonical position j.
+    std::vector<std::size_t> perm(num_players);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::vector<std::string> keys(num_players);
+    for (std::size_t player = 0; player < num_players; ++player) {
+        keys[player] = player_sort_key(game, profile, maps, player);
+    }
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&keys](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+
+    CanonicalSignature out;
+    out.normalized = maps != nullptr;
+    std::string& bytes = out.bytes;
+    bytes = out.normalized ? "bnashQ1:nrm:" : "bnashQ1:raw:";
+    append_size(bytes, num_players);
+    for (std::size_t j = 0; j < num_players; ++j) {
+        append_size(bytes, game.num_actions(perm[j]));
+    }
+
+    // Payoff tensor in CANONICAL rank order: odometer over the permuted
+    // action counts (last canonical player fastest), each canonical
+    // profile mapped back to an original profile for the lookup.
+    bytes += "|u:";
+    game::PureProfile canonical(num_players, 0);
+    game::PureProfile original(num_players, 0);
+    bool done = game.num_profiles() == 0;
+    while (!done) {
+        for (std::size_t j = 0; j < num_players; ++j) original[perm[j]] = canonical[j];
+        for (std::size_t j = 0; j < num_players; ++j) {
+            const util::Rational& raw = game.payoff(original, perm[j]);
+            append_rational(bytes, maps != nullptr ? (*maps)[perm[j]].apply(raw) : raw);
+        }
+        done = true;
+        for (std::size_t j = num_players; j-- > 0;) {
+            if (++canonical[j] < game.num_actions(perm[j])) {
+                done = false;
+                break;
+            }
+            canonical[j] = 0;
+        }
+    }
+
+    bytes += "|s:";
+    for (std::size_t j = 0; j < num_players; ++j) {
+        append_size(bytes, profile[perm[j]].size());
+        for (const util::Rational& mass : profile[perm[j]]) append_rational(bytes, mass);
+    }
+    return out;
+}
+
+}  // namespace
+
+CanonicalSignature canonical_signature(const game::NormalFormGame& game,
+                                       const game::ExactMixedProfile& profile) {
+    try {
+        const std::vector<AffineMap> maps = build_affine_maps(game);
+        return serialize(game, profile, &maps);
+    } catch (const util::RationalOverflow&) {
+        // Exact normalization does not fit in 64-bit rationals: fall back
+        // to the identity map. The "raw:" tag keeps the two key spaces
+        // disjoint, so the fallback only costs dedup, never soundness.
+        return serialize(game, profile, nullptr);
+    }
+}
+
+std::string canonical_key(const game::NormalFormGame& game,
+                          const game::ExactMixedProfile& profile, std::size_t k, std::size_t t,
+                          core::GainCriterion criterion) {
+    std::string key = canonical_signature(game, profile).bytes;
+    key += "|q:";
+    append_size(key, k);
+    append_size(key, t);
+    append_size(key, static_cast<std::size_t>(criterion));
+    return key;
+}
+
+}  // namespace bnash::serve

@@ -1,0 +1,65 @@
+// Canonical signatures for robustness queries: the serving layer's cache
+// key.
+//
+// Two uploads of "the same" query should hit one cache entry even when
+// they differ by a player relabeling or by per-player affine payoff
+// rescaling, because both transformations preserve every (k,t)-robustness
+// VERDICT:
+//
+//   - AFFINE INVARIANCE: for each player i, replacing u_i by
+//     a_i * u_i + b_i with a_i > 0 preserves the sign of every payoff
+//     comparison the checkers make (gain tests compare two payoffs of the
+//     SAME player; immunity compares a player's payoff before/after).
+//     Canonicalization maps each player's payoffs through the positive
+//     affine map sending [min_i, max_i] to [0, 1] (constant payoffs map
+//     to 0), which is the unique such normal form.
+//   - PERMUTATION INVARIANCE: relabeling players (carrying the payoff
+//     tensor, the candidate profile, and the action counts along)
+//     permutes coalitions/faulty sets bijectively, so the quantified
+//     verdict is unchanged. Canonicalization sorts players by an
+//     invariant key (action count, candidate strategy, sorted multiset
+//     of normalized payoffs); ties keep the original order.
+//
+// SOUNDNESS vs BEST-EFFORT: the cache key is the full canonical byte
+// serialization, so equal keys imply byte-identical normalized queries
+// and therefore equal verdicts — memoization can never serve a wrong
+// answer. Equivalent games the normal form fails to identify (tied sort
+// keys, or the util::RationalOverflow fallback below) merely MISS the
+// cache and recompute. Witness details (who deviates, payoff values) are
+// NOT invariant under these maps, which is why the serve layer caches
+// verdicts, not violations.
+//
+// Exact arithmetic may overflow while normalizing (the affine map
+// multiplies by 1/(max-min)); in that case the signature falls back to
+// the identity map over the raw payoffs and tags the key so normalized
+// and raw signatures can never collide.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/robust/robustness.h"
+#include "game/normal_form.h"
+#include "game/strategy.h"
+
+namespace bnash::serve {
+
+struct CanonicalSignature final {
+    // Byte serialization of the canonicalized (game, candidate) pair.
+    std::string bytes;
+    // False when util::RationalOverflow forced the raw-payoff fallback.
+    bool normalized = true;
+};
+
+// Signature of the (game, candidate profile) pair alone. The profile must
+// be a valid exact mixed profile for the game.
+[[nodiscard]] CanonicalSignature canonical_signature(const game::NormalFormGame& game,
+                                                     const game::ExactMixedProfile& profile);
+
+// Full cache key: the pair signature plus the query parameters (k, t,
+// gain criterion).
+[[nodiscard]] std::string canonical_key(const game::NormalFormGame& game,
+                                        const game::ExactMixedProfile& profile, std::size_t k,
+                                        std::size_t t, core::GainCriterion criterion);
+
+}  // namespace bnash::serve

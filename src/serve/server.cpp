@@ -1,0 +1,209 @@
+#include "serve/server.h"
+
+#include <exception>
+#include <utility>
+
+#include "core/robust/coalition_sweep.h"
+#include "serve/canonical.h"
+
+namespace bnash::serve {
+
+const char* to_string(QueryStatus status) noexcept {
+    switch (status) {
+        case QueryStatus::kResolved: return "resolved";
+        case QueryStatus::kDegraded: return "degraded";
+        case QueryStatus::kRejected: return "rejected";
+        case QueryStatus::kError: return "error";
+    }
+    return "?";
+}
+
+const char* to_string(core::CellVerdict verdict) noexcept {
+    switch (verdict) {
+        case core::CellVerdict::kRobust: return "robust";
+        case core::CellVerdict::kBroken: return "broken";
+        case core::CellVerdict::kUnknown: return "unknown";
+    }
+    return "?";
+}
+
+RobustnessServer::RobustnessServer() : RobustnessServer(Options{}) {}
+
+RobustnessServer::RobustnessServer(Options options)
+    : options_(options), cache_(options.cache_shards) {
+    const std::size_t num_workers = options_.num_workers == 0 ? 1 : options_.num_workers;
+    workers_.reserve(num_workers);
+    for (std::size_t i = 0; i < num_workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+RobustnessServer::~RobustnessServer() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    queue_ready_.notify_all();
+    workers_.clear();  // jthread joins; in-flight requests finish normally
+    // Whatever was still queued is answered, not dropped: a rejected
+    // response keeps every Submission future valid through shutdown.
+    for (Item& item : queue_) {
+        QueryResponse shed;
+        shed.status = QueryStatus::kRejected;
+        shed.retry_after_ms = options_.retry_after_ms;
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        item.promise.set_value(std::move(shed));
+    }
+    queue_.clear();
+}
+
+std::shared_ptr<util::ExecutionGrant> RobustnessServer::make_grant(
+    const QueryRequest& request) {
+    std::optional<util::ExecutionGrant::Clock::time_point> deadline;
+    if (request.deadline) deadline = util::ExecutionGrant::Clock::now() + *request.deadline;
+    return std::make_shared<util::ExecutionGrant>(request.budget_cells, deadline);
+}
+
+QueryResponse RobustnessServer::query(const QueryRequest& request) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const std::shared_ptr<util::ExecutionGrant> grant = make_grant(request);
+    return process(request, *grant);
+}
+
+RobustnessServer::Submission RobustnessServer::submit(QueryRequest request) {
+    Submission out;
+    out.grant = make_grant(request);
+    std::promise<QueryResponse> promise;
+    out.result = promise.get_future();
+    std::size_t depth = 0;
+    bool shed = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        depth = queue_.size();
+        if (stopping_ || depth >= options_.queue_capacity) {
+            shed = true;
+        } else {
+            queue_.push_back(Item{std::move(request), std::move(promise), out.grant});
+            accepted_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    if (shed) {
+        QueryResponse response;
+        response.status = QueryStatus::kRejected;
+        // Backoff proportional to the backlog the caller just observed.
+        response.retry_after_ms = options_.retry_after_ms * (depth + 1);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        promise.set_value(std::move(response));
+        return out;
+    }
+    queue_ready_.notify_one();
+    return out;
+}
+
+void RobustnessServer::worker_loop() {
+    while (true) {
+        Item item;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_) return;  // leftovers are rejected by the destructor
+            item = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        item.promise.set_value(process(item.request, *item.grant));
+    }
+}
+
+QueryResponse RobustnessServer::process(const QueryRequest& request,
+                                        util::ExecutionGrant& grant) {
+    QueryResponse response;
+    std::string key;
+    bool leader = false;
+    try {
+        key = canonical_key(request.game, request.profile, request.k, request.t,
+                            request.criterion);
+        VerdictCache::Admission admission = cache_.admit(key);
+        if (admission.role == VerdictCache::Role::kHit) {
+            response.status = QueryStatus::kResolved;
+            response.verdict = admission.verdict;
+            response.cache_hit = true;
+            resolved_.fetch_add(1, std::memory_order_relaxed);
+            return response;
+        }
+        if (admission.role == VerdictCache::Role::kFollower) {
+            stampede_waits_.fetch_add(1, std::memory_order_relaxed);
+            response.verdict = admission.pending.get();  // rethrows a failed leader
+            response.cache_hit = true;
+            if (response.verdict == core::CellVerdict::kUnknown) {
+                response.status = QueryStatus::kDegraded;
+                degraded_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                response.status = QueryStatus::kResolved;
+                resolved_.fetch_add(1, std::memory_order_relaxed);
+            }
+            return response;
+        }
+        leader = true;
+        core::CellVerdict verdict;
+        {
+            util::GrantScope scope(&grant);
+            if (fault_hook_) fault_hook_(request);
+            const core::CoalitionSweep sweep(request.game, request.profile);
+            const std::optional<core::RobustnessViolation> violation =
+                sweep.robustness_violation(request.k, request.t,
+                                           {request.criterion, game::SweepMode::kAuto});
+            // A found violation is exact even under an expired grant (the
+            // kernels report only untruncated-prefix witnesses); absence
+            // of one proves robustness only when the grant survived.
+            if (violation) {
+                verdict = core::CellVerdict::kBroken;
+            } else {
+                verdict = grant.expired() ? core::CellVerdict::kUnknown
+                                          : core::CellVerdict::kRobust;
+            }
+        }
+        cache_.fulfill(key, verdict);
+        response.verdict = verdict;
+        if (verdict == core::CellVerdict::kUnknown) {
+            response.status = QueryStatus::kDegraded;
+            degraded_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            response.status = QueryStatus::kResolved;
+            resolved_.fetch_add(1, std::memory_order_relaxed);
+        }
+    } catch (const std::exception& error) {
+        if (leader) cache_.fail(key, std::current_exception());
+        response.status = QueryStatus::kError;
+        response.verdict = core::CellVerdict::kUnknown;
+        response.error = error.what();
+        errors_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+        if (leader) cache_.fail(key, std::current_exception());
+        response.status = QueryStatus::kError;
+        response.verdict = core::CellVerdict::kUnknown;
+        response.error = "unknown exception";
+        errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    response.cells_charged = grant.charged();
+    return response;
+}
+
+ServerStats RobustnessServer::stats() const {
+    ServerStats out;
+    out.accepted = accepted_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    out.resolved = resolved_.load(std::memory_order_relaxed);
+    out.degraded = degraded_.load(std::memory_order_relaxed);
+    out.errors = errors_.load(std::memory_order_relaxed);
+    out.stampede_waits = stampede_waits_.load(std::memory_order_relaxed);
+    const VerdictCache::Stats cache = cache_.stats();
+    out.cache_hits = cache.hits;
+    out.cache_misses = cache.misses;
+    return out;
+}
+
+void RobustnessServer::set_fault_hook(std::function<void(const QueryRequest&)> hook) {
+    fault_hook_ = std::move(hook);
+}
+
+}  // namespace bnash::serve

@@ -1,0 +1,164 @@
+// The robustness-query server: admission control, per-request execution
+// grants, verdict memoization, graceful degradation.
+//
+// A query asks "is this candidate profile (k,t)-robust in this game?".
+// The server answers with a CellVerdict and a status:
+//
+//   kResolved  — exact verdict (kRobust / kBroken), possibly from cache.
+//   kDegraded  — the request's util::ExecutionGrant (work budget and/or
+//                deadline, or an explicit cancel through the Submission
+//                handle) expired mid-sweep. The verdict is kUnknown —
+//                NEVER a guess — and the caller retries with a larger
+//                budget. A violation FOUND before expiry still resolves
+//                kBroken: the sweep kernels only report untruncated-
+//                prefix violations, so found witnesses are exact.
+//   kRejected  — the bounded queue was full; the response carries a
+//                retry_after_ms backoff hint and no work was done
+//                (load shedding at admission, not mid-flight).
+//   kError     — the computation threw; `error` holds the message. The
+//                cache entry is dropped so a retry recomputes.
+//
+// Requests are canonicalized (serve/canonical.h) and memoized in a
+// sharded VerdictCache with single-flight stampede control: concurrent
+// bursts of one (equivalence-classed) query cost one sweep. Only exact
+// verdicts are cached; degraded answers are never served from memory.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/robust/robustness.h"
+#include "game/normal_form.h"
+#include "game/strategy.h"
+#include "serve/verdict_cache.h"
+#include "util/execution_grant.h"
+
+namespace bnash::serve {
+
+enum class QueryStatus : std::uint8_t {
+    kResolved = 0,
+    kDegraded,
+    kRejected,
+    kError,
+};
+
+[[nodiscard]] const char* to_string(QueryStatus status) noexcept;
+[[nodiscard]] const char* to_string(core::CellVerdict verdict) noexcept;
+
+struct QueryRequest final {
+    game::NormalFormGame game{std::vector<std::size_t>{1}};
+    game::ExactMixedProfile profile;
+    std::size_t k = 1;
+    std::size_t t = 0;
+    core::GainCriterion criterion = core::GainCriterion::kAnyMemberGains;
+    // Per-request grant limits. kUnlimited budget + no deadline = the
+    // request runs to completion (unless cancelled).
+    std::uint64_t budget_cells = util::ExecutionGrant::kUnlimited;
+    std::optional<std::chrono::nanoseconds> deadline;
+};
+
+struct QueryResponse final {
+    QueryStatus status = QueryStatus::kError;
+    core::CellVerdict verdict = core::CellVerdict::kUnknown;
+    // True when the verdict came from the memo — either directly (hit)
+    // or by waiting on the in-flight leader of a stampede.
+    bool cache_hit = false;
+    std::uint64_t cells_charged = 0;  // work billed to this request's grant
+    std::uint64_t retry_after_ms = 0;  // kRejected backoff hint
+    std::string error;                 // kError only
+};
+
+struct ServerStats final {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t resolved = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t stampede_waits = 0;
+};
+
+class RobustnessServer final {
+public:
+    struct Options final {
+        std::size_t num_workers = 1;      // queue-draining threads
+        std::size_t queue_capacity = 16;  // pending requests before shedding
+        std::size_t cache_shards = 16;
+        std::uint64_t retry_after_ms = 50;  // base backoff hint when shedding
+    };
+
+    RobustnessServer();  // default Options
+    explicit RobustnessServer(Options options);
+    // Stops the workers; requests still queued are answered kRejected.
+    ~RobustnessServer();
+
+    RobustnessServer(const RobustnessServer&) = delete;
+    RobustnessServer& operator=(const RobustnessServer&) = delete;
+
+    // Synchronous in-process query: runs on the caller's thread under the
+    // request's grant, bypassing the admission queue (never kRejected).
+    [[nodiscard]] QueryResponse query(const QueryRequest& request);
+
+    // Admission-controlled path. The returned grant handle is live for
+    // the whole request: cancel() it to abandon a queued or mid-sweep
+    // request (the response then degrades instead of blocking).
+    struct Submission final {
+        std::future<QueryResponse> result;
+        std::shared_ptr<util::ExecutionGrant> grant;
+    };
+    [[nodiscard]] Submission submit(QueryRequest request);
+
+    [[nodiscard]] ServerStats stats() const;
+    [[nodiscard]] VerdictCache& cache() noexcept { return cache_; }
+
+    // Fault-injection hook (tests): runs on the serving thread, under the
+    // request's grant, before the sweep. Exceptions it throws follow the
+    // normal error path (kError + cache drop). Not thread-safe against
+    // in-flight requests; install before serving.
+    void set_fault_hook(std::function<void(const QueryRequest&)> hook);
+
+private:
+    struct Item final {
+        QueryRequest request;
+        std::promise<QueryResponse> promise;
+        std::shared_ptr<util::ExecutionGrant> grant;
+    };
+
+    [[nodiscard]] QueryResponse process(const QueryRequest& request,
+                                        util::ExecutionGrant& grant);
+    [[nodiscard]] static std::shared_ptr<util::ExecutionGrant> make_grant(
+        const QueryRequest& request);
+    void worker_loop();
+
+    Options options_;
+    VerdictCache cache_;
+    std::function<void(const QueryRequest&)> fault_hook_;
+
+    std::mutex mutex_;
+    std::condition_variable queue_ready_;
+    std::deque<Item> queue_;
+    bool stopping_ = false;
+    std::vector<std::jthread> workers_;
+
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> resolved_{0};
+    std::atomic<std::uint64_t> degraded_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> stampede_waits_{0};
+};
+
+}  // namespace bnash::serve

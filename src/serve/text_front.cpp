@@ -1,0 +1,197 @@
+#include "serve/text_front.h"
+
+#include <chrono>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace bnash::serve {
+
+namespace {
+
+[[nodiscard]] std::int64_t parse_int(const std::string& token) {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument("trailing junk in '" + token + "'");
+    return value;
+}
+
+[[nodiscard]] std::size_t parse_size(const std::string& token) {
+    const std::int64_t value = parse_int(token);
+    if (value < 0) throw std::invalid_argument("expected a non-negative integer, got " + token);
+    return static_cast<std::size_t>(value);
+}
+
+[[nodiscard]] util::Rational parse_rational(const std::string& token) {
+    const std::size_t slash = token.find('/');
+    if (slash == std::string::npos) return util::Rational(parse_int(token));
+    return util::Rational(parse_int(token.substr(0, slash)),
+                          parse_int(token.substr(slash + 1)));
+}
+
+struct Session final {
+    std::optional<game::NormalFormGame> game;
+    game::ExactMixedProfile profile;
+
+    [[nodiscard]] game::NormalFormGame& require_game() {
+        if (!game) throw std::runtime_error("no game declared (use: game <n> <counts...>)");
+        return *game;
+    }
+};
+
+void handle_game(Session& session, const std::vector<std::string>& args) {
+    if (args.empty()) throw std::invalid_argument("usage: game <n> <c_0> ... <c_{n-1}>");
+    const std::size_t num_players = parse_size(args[0]);
+    if (num_players == 0 || args.size() != num_players + 1) {
+        throw std::invalid_argument("game: expected " + std::to_string(num_players) +
+                                    " action counts");
+    }
+    std::vector<std::size_t> counts;
+    counts.reserve(num_players);
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::size_t count = parse_size(args[i]);
+        if (count == 0) throw std::invalid_argument("game: zero action count");
+        counts.push_back(count);
+    }
+    session.game.emplace(std::move(counts));
+    // Default candidate: everyone plays action 0, until overwritten.
+    session.profile.assign(num_players, {});
+    for (std::size_t player = 0; player < num_players; ++player) {
+        session.profile[player].assign(session.game->num_actions(player), util::Rational(0));
+        session.profile[player][0] = util::Rational(1);
+    }
+}
+
+void handle_payoffs(Session& session, const std::vector<std::string>& args) {
+    game::NormalFormGame& game = session.require_game();
+    const std::size_t expected =
+        static_cast<std::size_t>(game.num_profiles()) * game.num_players();
+    if (args.size() != expected) {
+        throw std::invalid_argument("payoffs: expected " + std::to_string(expected) +
+                                    " values, got " + std::to_string(args.size()));
+    }
+    std::size_t next = 0;
+    for (std::uint64_t rank = 0; rank < game.num_profiles(); ++rank) {
+        const game::PureProfile profile = game.profile_unrank(rank);
+        for (std::size_t player = 0; player < game.num_players(); ++player) {
+            game.set_payoff(profile, player, parse_rational(args[next++]));
+        }
+    }
+}
+
+void handle_profile(Session& session, const std::vector<std::string>& args) {
+    game::NormalFormGame& game = session.require_game();
+    if (args.size() != game.num_players()) {
+        throw std::invalid_argument("profile: expected one action per player");
+    }
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        const std::size_t action = parse_size(args[player]);
+        if (action >= game.num_actions(player)) {
+            throw std::invalid_argument("profile: action out of range for player " +
+                                        std::to_string(player));
+        }
+        session.profile[player].assign(game.num_actions(player), util::Rational(0));
+        session.profile[player][action] = util::Rational(1);
+    }
+}
+
+void handle_mixed(Session& session, const std::vector<std::string>& args) {
+    game::NormalFormGame& game = session.require_game();
+    if (args.empty()) throw std::invalid_argument("usage: mixed <player> <p_0> ...");
+    const std::size_t player = parse_size(args[0]);
+    if (player >= game.num_players()) throw std::invalid_argument("mixed: player out of range");
+    if (args.size() != game.num_actions(player) + 1) {
+        throw std::invalid_argument("mixed: expected " +
+                                    std::to_string(game.num_actions(player)) +
+                                    " probabilities");
+    }
+    game::ExactMixedStrategy strategy;
+    strategy.reserve(args.size() - 1);
+    for (std::size_t i = 1; i < args.size(); ++i) strategy.push_back(parse_rational(args[i]));
+    if (!game::is_exact_distribution(strategy)) {
+        throw std::invalid_argument("mixed: probabilities must be >= 0 and sum to 1");
+    }
+    session.profile[player] = std::move(strategy);
+}
+
+void handle_ask(Session& session, const std::vector<std::string>& args, std::ostream& out,
+                RobustnessServer& server) {
+    game::NormalFormGame& game = session.require_game();
+    if (args.size() < 2 || args.size() > 4) {
+        throw std::invalid_argument("usage: ask <k> <t> [budget_cells] [deadline_ms]");
+    }
+    QueryRequest request;
+    request.game = game;
+    request.profile = session.profile;
+    request.k = parse_size(args[0]);
+    request.t = parse_size(args[1]);
+    if (args.size() >= 3) request.budget_cells = static_cast<std::uint64_t>(parse_size(args[2]));
+    if (args.size() >= 4) request.deadline = std::chrono::milliseconds(parse_size(args[3]));
+
+    const QueryResponse response = server.query(request);
+    out << "verdict=" << to_string(response.verdict) << " status=" << to_string(response.status)
+        << " cache=" << (response.cache_hit ? "hit" : "miss")
+        << " cells=" << response.cells_charged;
+    if (!response.error.empty()) out << " error=" << response.error;
+    out << '\n';
+}
+
+void handle_stats(std::ostream& out, const RobustnessServer& server) {
+    const ServerStats stats = server.stats();
+    out << "accepted=" << stats.accepted << " rejected=" << stats.rejected
+        << " resolved=" << stats.resolved << " degraded=" << stats.degraded
+        << " errors=" << stats.errors << " cache_hits=" << stats.cache_hits
+        << " cache_misses=" << stats.cache_misses << " stampede_waits=" << stats.stampede_waits
+        << '\n';
+}
+
+}  // namespace
+
+std::size_t run_text_front(std::istream& in, std::ostream& out, RobustnessServer& server) {
+    Session session;
+    std::size_t asks = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream tokens(line);
+        std::string command;
+        if (!(tokens >> command) || command[0] == '#') continue;
+        std::vector<std::string> args;
+        for (std::string token; tokens >> token;) args.push_back(std::move(token));
+        try {
+            if (command == "game") {
+                handle_game(session, args);
+                out << "ok\n";
+            } else if (command == "payoffs") {
+                handle_payoffs(session, args);
+                out << "ok\n";
+            } else if (command == "profile") {
+                handle_profile(session, args);
+                out << "ok\n";
+            } else if (command == "mixed") {
+                handle_mixed(session, args);
+                out << "ok\n";
+            } else if (command == "ask") {
+                handle_ask(session, args, out, server);
+                ++asks;
+            } else if (command == "stats") {
+                handle_stats(out, server);
+            } else if (command == "quit") {
+                break;
+            } else {
+                throw std::invalid_argument("unknown command '" + command + "'");
+            }
+        } catch (const std::exception& error) {
+            out << "error: " << error.what() << '\n';
+        }
+    }
+    return asks;
+}
+
+}  // namespace bnash::serve

@@ -1,0 +1,35 @@
+// Thin line-oriented front end over RobustnessServer, for piping queries
+// into an example binary (examples/robustness_service.cpp) or a test.
+//
+// One command per line, whitespace-separated tokens; rationals are "a" or
+// "a/b". Commands:
+//
+//   game <n> <c_0> ... <c_{n-1}>      declare an n-player game (payoffs 0)
+//   payoffs <v_0> ... <v_{m-1}>       m = num_profiles * n values, profile
+//                                     rank-major then player (the flat
+//                                     tensor order)
+//   profile <a_0> ... <a_{n-1}>       pure candidate profile
+//   mixed <player> <p_0> ... <p_{c-1}> one player's mixed strategy
+//   ask <k> <t> [budget_cells] [deadline_ms]
+//   stats                             print server counters
+//   quit                              stop reading
+//
+// `ask` replies on one line:
+//   verdict=<robust|broken|unknown> status=<resolved|degraded|rejected|error>
+//   cache=<hit|miss> cells=<n>
+// followed by ` error=<message>` for error statuses. Malformed commands
+// reply `error: <message>` and the session continues.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "serve/server.h"
+
+namespace bnash::serve {
+
+// Reads commands from `in` until EOF or `quit`; returns the number of
+// `ask` queries served.
+std::size_t run_text_front(std::istream& in, std::ostream& out, RobustnessServer& server);
+
+}  // namespace bnash::serve

@@ -1,0 +1,103 @@
+#include "serve/verdict_cache.h"
+
+#include <functional>
+#include <iterator>
+#include <utility>
+
+namespace bnash::serve {
+
+VerdictCache::VerdictCache(std::size_t num_shards) {
+    if (num_shards == 0) num_shards = 1;
+    shards_.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+VerdictCache::Shard& VerdictCache::shard_for(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+VerdictCache::Admission VerdictCache::admit(const std::string& key) {
+    Shard& shard = shard_for(key);
+    Admission out;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        if (it->second.complete) {
+            out.role = Role::kHit;
+            out.verdict = it->second.verdict;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            out.role = Role::kFollower;
+            out.pending = it->second.future;
+            waits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return out;
+    }
+    Entry& entry = shard.map[key];
+    entry.future = entry.promise.get_future().share();
+    out.role = Role::kLeader;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+}
+
+void VerdictCache::fulfill(const std::string& key, core::CellVerdict verdict) {
+    Shard& shard = shard_for(key);
+    // The promise is satisfied OUTSIDE the shard lock: set_value wakes
+    // every follower, and none of them should contend on the shard to
+    // read their verdict.
+    std::promise<core::CellVerdict> to_resolve;
+    bool resolve = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end() || it->second.complete) return;
+        to_resolve = std::move(it->second.promise);
+        resolve = true;
+        if (verdict == core::CellVerdict::kUnknown) {
+            // Degraded result: resolve the burst, memoize nothing.
+            shard.map.erase(it);
+        } else {
+            it->second.complete = true;
+            it->second.verdict = verdict;
+        }
+    }
+    if (resolve) to_resolve.set_value(verdict);
+}
+
+void VerdictCache::fail(const std::string& key, std::exception_ptr error) {
+    Shard& shard = shard_for(key);
+    std::promise<core::CellVerdict> to_resolve;
+    bool resolve = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end() || it->second.complete) return;
+        to_resolve = std::move(it->second.promise);
+        resolve = true;
+        shard.map.erase(it);
+    }
+    if (resolve) to_resolve.set_exception(std::move(error));
+}
+
+VerdictCache::Stats VerdictCache::stats() const {
+    Stats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.waits = waits_.load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        out.entries += shard->map.size();
+    }
+    return out;
+}
+
+void VerdictCache::clear() {
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (auto it = shard->map.begin(); it != shard->map.end();) {
+            it = it->second.complete ? shard->map.erase(it) : std::next(it);
+        }
+    }
+}
+
+}  // namespace bnash::serve

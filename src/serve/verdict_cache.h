@@ -1,0 +1,93 @@
+// Sharded, mutex-striped verdict memo with single-flight stampede
+// control.
+//
+// Keys are canonical query strings (serve/canonical.h), values are
+// core::CellVerdict. Lookup and insertion hash the key onto one of a
+// fixed set of shards, each guarded by its own mutex, so concurrent
+// requests for DIFFERENT games contend only on their shard; a shard
+// critical section is a hash-map operation, never a sweep.
+//
+// STAMPEDE CONTROL is single-flight: the first requester of a missing
+// key is admitted as the LEADER and must later call fulfill() (or
+// fail()); requesters arriving while the leader computes become
+// FOLLOWERS and receive a shared_future that the leader's fulfill
+// resolves — one sweep serves the whole burst. Only COMPLETE verdicts
+// (kRobust / kBroken) are memoized: a degraded kUnknown result still
+// resolves the waiting followers (they inherit the degradation) but the
+// entry is dropped so a later, better-funded retry recomputes. A failed
+// leader propagates its exception to the followers and likewise drops
+// the entry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/robust/robustness.h"
+
+namespace bnash::serve {
+
+class VerdictCache final {
+public:
+    explicit VerdictCache(std::size_t num_shards = 16);
+
+    enum class Role : std::uint8_t {
+        kHit = 0,  // verdict already memoized; `verdict` is valid
+        kLeader,   // caller computes, then MUST fulfill() or fail()
+        kFollower  // another request is computing; wait on `pending`
+    };
+    struct Admission final {
+        Role role = Role::kHit;
+        core::CellVerdict verdict = core::CellVerdict::kUnknown;  // kHit only
+        std::shared_future<core::CellVerdict> pending;            // kFollower only
+    };
+    [[nodiscard]] Admission admit(const std::string& key);
+
+    // Leader hands in its result: kRobust/kBroken are memoized; kUnknown
+    // resolves the followers but is NOT cached (retry recomputes).
+    void fulfill(const std::string& key, core::CellVerdict verdict);
+
+    // Leader failed: followers observe the exception, the entry is
+    // dropped so a later request retries.
+    void fail(const std::string& key, std::exception_ptr error);
+
+    struct Stats final {
+        std::uint64_t hits = 0;    // admissions served from a memoized verdict
+        std::uint64_t misses = 0;  // admissions that became leaders
+        std::uint64_t waits = 0;   // admissions that became followers
+        std::size_t entries = 0;   // live entries (memoized + in flight)
+    };
+    [[nodiscard]] Stats stats() const;
+
+    // Drops MEMOIZED entries only; in-flight entries stay (their leaders
+    // still hold fulfill obligations against them).
+    void clear();
+
+private:
+    struct Entry final {
+        bool complete = false;
+        core::CellVerdict verdict = core::CellVerdict::kUnknown;
+        std::promise<core::CellVerdict> promise;
+        std::shared_future<core::CellVerdict> future;
+    };
+    struct Shard final {
+        std::mutex mutex;
+        std::unordered_map<std::string, Entry> map;
+    };
+
+    [[nodiscard]] Shard& shard_for(const std::string& key);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> waits_{0};
+};
+
+}  // namespace bnash::serve

@@ -1,0 +1,32 @@
+#include "util/execution_grant.h"
+
+namespace bnash::util {
+namespace {
+
+thread_local ExecutionGrant* t_active_grant = nullptr;
+
+}  // namespace
+
+ExecutionGrant* active_grant() noexcept { return t_active_grant; }
+
+GrantScope::GrantScope(ExecutionGrant* grant) noexcept : previous_(t_active_grant) {
+    t_active_grant = grant;
+}
+
+GrantScope::~GrantScope() { t_active_grant = previous_; }
+
+const char* to_string(GrantState state) noexcept {
+    switch (state) {
+        case GrantState::kLive:
+            return "live";
+        case GrantState::kCancelled:
+            return "cancelled";
+        case GrantState::kDeadlineExpired:
+            return "deadline-expired";
+        case GrantState::kBudgetExhausted:
+            return "budget-exhausted";
+    }
+    return "unknown";
+}
+
+}  // namespace bnash::util

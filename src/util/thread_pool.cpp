@@ -4,8 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
+
+#include "util/execution_grant.h"
 
 namespace bnash::util {
 
@@ -103,6 +106,25 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_blocks(std::size_t num_blocks,
                             const std::function<void(std::size_t)>& fn) {
+    ExecutionGrant* const grant = active_grant();
+    if (grant == nullptr) {
+        run_blocks_impl(num_blocks, fn);
+        return;
+    }
+    // Grant-gated job: blocks of an expired grant are claimed (so the
+    // completion protocol is untouched) but skipped, and every executing
+    // thread — worker or inline fallback — charges the submitter's grant
+    // through its own GrantScope.
+    const std::function<void(std::size_t)> gated = [grant, &fn](std::size_t block) {
+        if (grant->expired()) return;
+        GrantScope scope(grant);
+        fn(block);
+    };
+    run_blocks_impl(num_blocks, gated);
+}
+
+void ThreadPool::run_blocks_impl(std::size_t num_blocks,
+                                 const std::function<void(std::size_t)>& fn) {
     if (num_blocks == 0) return;
     if (num_workers_ == 0 || num_blocks == 1) {
         for (std::size_t block = 0; block < num_blocks; ++block) fn(block);
@@ -147,12 +169,25 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
     impl_->submit_owner.store(std::thread::id{}, std::memory_order_relaxed);
 }
 
+std::size_t pool_workers_for(unsigned hardware_concurrency,
+                             const char* env_threads) noexcept {
+    if (env_threads != nullptr && *env_threads != '\0') {
+        char* end = nullptr;
+        const long long requested = std::strtoll(env_threads, &end, 10);
+        // Whole-string numeric values only; anything else falls through
+        // to the hardware default rather than silently misconfiguring.
+        if (end != nullptr && *end == '\0' && requested > 0) {
+            const long long executors = std::min<long long>(requested, 64);
+            return static_cast<std::size_t>(executors - 1);  // submitter participates
+        }
+    }
+    const std::size_t cores = hardware_concurrency == 0 ? 1 : hardware_concurrency;
+    return std::min<std::size_t>(cores - 1, 15);
+}
+
 ThreadPool& global_pool() {
-    static ThreadPool pool([] {
-        const unsigned hardware = std::thread::hardware_concurrency();
-        const std::size_t cores = hardware == 0 ? 1 : hardware;
-        return std::min<std::size_t>(cores - 1, 15);
-    }());
+    static ThreadPool pool(pool_workers_for(std::thread::hardware_concurrency(),
+                                            std::getenv("BNASH_THREADS")));
     return pool;
 }
 

@@ -35,16 +35,37 @@ public:
     // owns the workers at a time; concurrent submitters and nested
     // submissions from the owning thread fall back to running their
     // blocks inline.
+    //
+    // EXECUTION GRANTS: the submitting thread's util::active_grant() is
+    // propagated to every executing thread for the duration of each block
+    // (so budget charges land on the right grant), and once the grant
+    // expires the remaining blocks are claimed but SKIPPED — the call
+    // still returns only after every block completed or was skipped, so
+    // no worker is ever leaked and overshoot is bounded by the blocks
+    // already in flight (one per executor). Callers observing
+    // grant->expired() after the call must treat the job's output as
+    // truncated.
     void run_blocks(std::size_t num_blocks, const std::function<void(std::size_t)>& fn);
 
 private:
+    void run_blocks_impl(std::size_t num_blocks, const std::function<void(std::size_t)>& fn);
+
     struct Impl;
     Impl* impl_;
     std::size_t num_workers_;
 };
 
 // Process-wide pool sized to the hardware (hardware_concurrency - 1
-// workers, capped at 15). Lazily constructed on first use.
+// workers, capped at 15), overridable with the BNASH_THREADS env var
+// (total executors incl. the submitter, clamped to [1, 64]) for container
+// deployments. Lazily constructed on first use — BNASH_THREADS is read
+// once, at first use.
 [[nodiscard]] ThreadPool& global_pool();
+
+// Worker count the global pool would use for the given hardware
+// concurrency and BNASH_THREADS value (nullptr/garbage = default policy).
+// Exposed for tests; global_pool() feeds it the live env var.
+[[nodiscard]] std::size_t pool_workers_for(unsigned hardware_concurrency,
+                                           const char* env_threads) noexcept;
 
 }  // namespace bnash::util

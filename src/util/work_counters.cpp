@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "util/execution_grant.h"
+
 namespace bnash::util {
 namespace {
 
@@ -13,6 +15,9 @@ std::atomic<std::uint64_t> g_offsets{0};
 void work_counters_add(std::uint64_t cells, std::uint64_t offsets) noexcept {
     g_cells.fetch_add(cells, std::memory_order_relaxed);
     g_offsets.fetch_add(offsets, std::memory_order_relaxed);
+    // Budget accounting rides the same bulk-add points CI gates: the
+    // active grant (if any) is charged exactly what the counters see.
+    if (ExecutionGrant* grant = active_grant()) grant->charge(cells);
 }
 
 WorkCounters work_counters_snapshot() noexcept {

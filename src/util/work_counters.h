@@ -20,6 +20,8 @@ struct WorkCounters final {
 };
 
 // One bulk contribution (relaxed; called at block/task granularity).
+// Also charges `cells` to the thread's active util::ExecutionGrant, so
+// work budgets are accounted at exactly the gated bulk-add points.
 void work_counters_add(std::uint64_t cells, std::uint64_t offsets) noexcept;
 
 [[nodiscard]] WorkCounters work_counters_snapshot() noexcept;

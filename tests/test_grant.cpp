@@ -1,0 +1,403 @@
+// util::ExecutionGrant and its threading through the sweep kernels: state
+// latching, pool propagation, BNASH_THREADS sizing, bounded budget
+// overshoot, and the soundness contract — every cell a budget-limited
+// batch_robustness_frontier / max_kt / batch probe RESOLVES is
+// bit-identical to the unbudgeted run's, and everything else is
+// explicitly kUnknown.
+//
+// This binary pins BNASH_THREADS=4 (before the lazily-constructed
+// util::global_pool() first runs) so the parallel grant paths execute
+// even on single-core CI hosts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/robust/coalition_sweep.h"
+#include "core/robust/robustness.h"
+#include "game/catalog.h"
+#include "game/normal_form.h"
+#include "game/payoff_engine.h"
+#include "util/execution_grant.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/work_counters.h"
+
+namespace bnash {
+namespace {
+
+using core::BatchVerdict;
+using core::CellVerdict;
+using core::CoalitionSweep;
+using core::FrontierVerdict;
+using core::GainCriterion;
+using core::MaxKtResult;
+using core::RobustnessOptions;
+using game::ExactMixedProfile;
+using game::NormalFormGame;
+using game::PureProfile;
+using game::SweepMode;
+using util::ExecutionGrant;
+using util::GrantScope;
+using util::GrantState;
+
+// Runs before main(), i.e. before the first global_pool() construction.
+const bool kEnvPinned = [] {
+    ::setenv("BNASH_THREADS", "4", 1);
+    return true;
+}();
+
+// ----------------------------------------------------------- grant basics
+
+TEST(ExecutionGrant, UnlimitedByDefault) {
+    ExecutionGrant grant;
+    EXPECT_EQ(grant.state(), GrantState::kLive);
+    grant.charge(~std::uint64_t{0} / 2);
+    EXPECT_FALSE(grant.expired());
+}
+
+TEST(ExecutionGrant, BudgetExhaustionLatches) {
+    ExecutionGrant grant = ExecutionGrant::with_budget(100);
+    grant.charge(99);
+    EXPECT_EQ(grant.state(), GrantState::kLive);
+    grant.charge(1);
+    EXPECT_EQ(grant.state(), GrantState::kBudgetExhausted);
+    // Monotone: a later cancel does not change the latched reason.
+    grant.cancel();
+    EXPECT_EQ(grant.state(), GrantState::kBudgetExhausted);
+    EXPECT_EQ(grant.charged(), 100u);
+}
+
+TEST(ExecutionGrant, CancelLatchesFirst) {
+    ExecutionGrant grant = ExecutionGrant::with_budget(1);
+    grant.cancel();
+    EXPECT_EQ(grant.state(), GrantState::kCancelled);
+    grant.charge(10);
+    EXPECT_EQ(grant.state(), GrantState::kCancelled);
+}
+
+TEST(ExecutionGrant, DeadlineExpires) {
+    ExecutionGrant grant = ExecutionGrant::with_deadline(std::chrono::nanoseconds{0});
+    EXPECT_EQ(grant.state(), GrantState::kDeadlineExpired);
+    ExecutionGrant far = ExecutionGrant::with_deadline(std::chrono::hours{24});
+    EXPECT_FALSE(far.expired());
+}
+
+TEST(ExecutionGrant, ToStringCoversStates) {
+    EXPECT_STREQ(util::to_string(GrantState::kLive), "live");
+    EXPECT_NE(std::string(util::to_string(GrantState::kCancelled)),
+              std::string(util::to_string(GrantState::kBudgetExhausted)));
+}
+
+TEST(GrantScope, NestsAndRestores) {
+    EXPECT_EQ(util::active_grant(), nullptr);
+    ExecutionGrant outer;
+    ExecutionGrant inner;
+    {
+        GrantScope scope_outer(&outer);
+        EXPECT_EQ(util::active_grant(), &outer);
+        {
+            GrantScope scope_inner(&inner);
+            EXPECT_EQ(util::active_grant(), &inner);
+        }
+        EXPECT_EQ(util::active_grant(), &outer);
+    }
+    EXPECT_EQ(util::active_grant(), nullptr);
+}
+
+TEST(GrantScope, WorkCountersChargeActiveGrant) {
+    ExecutionGrant grant = ExecutionGrant::with_budget(50);
+    {
+        GrantScope scope(&grant);
+        util::work_counters_add(30, 7);
+        EXPECT_EQ(grant.charged(), 30u);
+        EXPECT_FALSE(grant.expired());
+        util::work_counters_add(30, 0);
+    }
+    EXPECT_EQ(grant.charged(), 60u);
+    EXPECT_EQ(grant.state(), GrantState::kBudgetExhausted);
+    // Outside any scope, adds charge nobody.
+    util::work_counters_add(10, 0);
+    EXPECT_EQ(grant.charged(), 60u);
+}
+
+// ----------------------------------------------------- pool sizing + gating
+
+TEST(ThreadPool, PoolWorkersForDefaultsToCores) {
+    EXPECT_EQ(util::pool_workers_for(8, nullptr), 7u);
+    EXPECT_EQ(util::pool_workers_for(1, nullptr), 0u);
+    EXPECT_EQ(util::pool_workers_for(0, nullptr), 0u);
+    EXPECT_EQ(util::pool_workers_for(64, nullptr), 15u);  // capped default
+}
+
+TEST(ThreadPool, PoolWorkersForEnvOverride) {
+    EXPECT_EQ(util::pool_workers_for(8, "1"), 0u);   // 1 executor: submitter only
+    EXPECT_EQ(util::pool_workers_for(8, "4"), 3u);   // 4 executors total
+    EXPECT_EQ(util::pool_workers_for(2, "32"), 31u);  // env wins over hardware
+    EXPECT_EQ(util::pool_workers_for(8, "999"), 63u);  // clamped to 64 executors
+}
+
+TEST(ThreadPool, PoolWorkersForRejectsMalformedEnv) {
+    EXPECT_EQ(util::pool_workers_for(8, ""), 7u);
+    EXPECT_EQ(util::pool_workers_for(8, "abc"), 7u);
+    EXPECT_EQ(util::pool_workers_for(8, "4x"), 7u);
+    EXPECT_EQ(util::pool_workers_for(8, "0"), 7u);
+    EXPECT_EQ(util::pool_workers_for(8, "-3"), 7u);
+}
+
+TEST(ThreadPool, GlobalPoolHonorsBnashThreads) {
+    // kEnvPinned set BNASH_THREADS=4 before the pool existed.
+    ASSERT_TRUE(kEnvPinned);
+    EXPECT_EQ(util::global_pool().size(), 4u);
+}
+
+TEST(ThreadPool, ExpiredGrantSkipsAllBlocks) {
+    ExecutionGrant grant;
+    grant.cancel();
+    GrantScope scope(&grant);
+    std::atomic<int> ran{0};
+    util::global_pool().run_blocks(64, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, GrantPropagatesToWorkerBlocks) {
+    ExecutionGrant grant;
+    GrantScope scope(&grant);
+    std::atomic<int> with_grant{0};
+    util::global_pool().run_blocks(64, [&](std::size_t) {
+        if (util::active_grant() == &grant) with_grant.fetch_add(1);
+    });
+    EXPECT_EQ(with_grant.load(), 64);
+}
+
+TEST(ThreadPool, MidJobCancelStopsWithinInFlightBlocks) {
+    ExecutionGrant grant;
+    GrantScope scope(&grant);
+    std::atomic<int> ran{0};
+    util::global_pool().run_blocks(256, [&](std::size_t block) {
+        ran.fetch_add(1);
+        if (block == 0) grant.cancel();
+    });
+    // Every executor checks the grant before each block, so after the
+    // cancel at most the blocks already in flight (one per executor) run.
+    EXPECT_LE(ran.load(), static_cast<int>(util::global_pool().size()) + 1);
+    EXPECT_EQ(grant.state(), GrantState::kCancelled);
+}
+
+// ------------------------------------------------- accounting + overshoot
+
+TEST(GrantAccounting, UnlimitedGrantPreservesCounterTotals) {
+    util::Rng rng(11);
+    const NormalFormGame game = NormalFormGame::random({3, 3, 3}, rng, -4, 4);
+    const auto profile = core::as_exact_profile(game, PureProfile(3, 0));
+    const RobustnessOptions options{GainCriterion::kAnyMemberGains, SweepMode::kSerial};
+
+    const util::WorkCounters before_bare = util::work_counters_snapshot();
+    const FrontierVerdict bare = core::batch_robustness_frontier(game, profile, 2, 2, options);
+    const util::WorkCounters after_bare = util::work_counters_snapshot();
+
+    ExecutionGrant grant;
+    FrontierVerdict granted;
+    {
+        GrantScope scope(&grant);
+        granted = core::batch_robustness_frontier(game, profile, 2, 2, options);
+    }
+    const util::WorkCounters after_granted = util::work_counters_snapshot();
+
+    EXPECT_TRUE(granted == bare);
+    // Grant integration must not change what the counters tally...
+    EXPECT_EQ(after_bare.cells_visited - before_bare.cells_visited,
+              after_granted.cells_visited - after_bare.cells_visited);
+    EXPECT_EQ(after_bare.offsets_advanced - before_bare.offsets_advanced,
+              after_granted.offsets_advanced - after_bare.offsets_advanced);
+    // ...and the grant is billed exactly the cells the counters saw.
+    EXPECT_EQ(grant.charged(), after_granted.cells_visited - after_bare.cells_visited);
+}
+
+TEST(GrantAccounting, SerialBudgetOvershootIsOneCheckpoint) {
+    // All-zero payoffs: the candidate is (k,t)-robust for every (k,t), so
+    // no early violation exit ever shortcuts the sweep and the frontier
+    // pays its full exhaustive cost.
+    const NormalFormGame game(std::vector<std::size_t>(5, 3));
+    const auto profile = core::as_exact_profile(game, PureProfile(5, 0));
+    const RobustnessOptions options{GainCriterion::kAnyMemberGains, SweepMode::kSerial};
+
+    std::uint64_t full_cost = 0;
+    {
+        ExecutionGrant unlimited;
+        GrantScope scope(&unlimited);
+        (void)core::batch_robustness_frontier(game, profile, 3, 2, options);
+        full_cost = unlimited.charged();
+    }
+    ASSERT_GT(full_cost, 8192u) << "game too small to exercise truncation";
+
+    const std::uint64_t budget = full_cost / 8;
+    ExecutionGrant grant = ExecutionGrant::with_budget(budget);
+    FrontierVerdict part;
+    {
+        GrantScope scope(&grant);
+        part = core::batch_robustness_frontier(game, profile, 3, 2, options);
+    }
+    EXPECT_EQ(grant.state(), GrantState::kBudgetExhausted);
+    EXPECT_FALSE(part.complete());
+    // A serial sweep polls the grant every <= 2048 charged cells (and
+    // before every block/task), so the overshoot is bounded by one
+    // checkpoint chunk plus one trailing partial flush.
+    EXPECT_LE(grant.charged(), budget + 4096u);
+    EXPECT_LT(grant.charged(), full_cost);
+}
+
+// ------------------------------------------------------- soundness fuzzing
+
+ExactMixedProfile fuzz_profile(const NormalFormGame& game, util::Rng& rng,
+                               bool mixed) {
+    ExactMixedProfile profile(game.num_players());
+    for (std::size_t player = 0; player < game.num_players(); ++player) {
+        const std::size_t actions = game.num_actions(player);
+        profile[player].assign(actions, util::Rational(0));
+        if (mixed && player == 0 && actions > 1) {
+            for (std::size_t a = 0; a < actions; ++a) {
+                profile[player][a] =
+                    util::Rational(1, static_cast<std::int64_t>(actions));
+            }
+        } else {
+            profile[player][static_cast<std::size_t>(rng.next_below(actions))] = util::Rational(1);
+        }
+    }
+    return profile;
+}
+
+// The serving contract, fuzzed over ~100 seeded games, four budgets, both
+// sweep modes, and the intra-split path: a grant-limited run may leave
+// cells kUnknown but every cell it RESOLVES — verdict and stored witness
+// — matches the unbudgeted run bit for bit.
+TEST(GrantFuzz, BudgetedResultsAreSoundPrefixes) {
+    util::Rng rng(20260807);
+    const std::size_t kGames = 100;
+    const std::size_t max_k = 2;
+    const std::size_t max_t = 2;
+    const std::uint64_t saved_split = CoalitionSweep::intra_split_cells();
+    const std::uint64_t saved_block = CoalitionSweep::intra_block_cells();
+    for (std::size_t trial = 0; trial < kGames; ++trial) {
+        std::vector<std::size_t> counts(3, 0);
+        for (auto& count : counts) count = 2 + static_cast<std::size_t>(rng.next_below(2));
+        const NormalFormGame game = NormalFormGame::random(counts, rng, -4, 4);
+        const ExactMixedProfile profile = fuzz_profile(game, rng, trial % 3 == 0);
+        const GainCriterion criterion =
+            trial % 5 == 0 ? GainCriterion::kAllMembersGain : GainCriterion::kAnyMemberGains;
+        const SweepMode mode = trial % 2 == 0 ? SweepMode::kSerial : SweepMode::kAuto;
+        const RobustnessOptions options{criterion, mode};
+        const bool force_split = trial % 4 == 0;
+        if (force_split) {
+            CoalitionSweep::set_intra_split_cells(4);
+            CoalitionSweep::set_intra_block_cells(2);
+            CoalitionSweep::set_intra_split_force(true);
+        }
+
+        const FrontierVerdict full = core::batch_robustness_frontier(
+            game, profile, max_k, max_t, {criterion, SweepMode::kSerial});
+        const BatchVerdict full_res = core::batch_resilience(game, profile, max_k, options);
+        const BatchVerdict full_imm = core::batch_immunity(game, profile, max_t, mode);
+        const MaxKtResult full_walk = core::max_kt(game, profile, max_k, max_t, options);
+
+        for (const std::uint64_t budget : {std::uint64_t{1}, std::uint64_t{9},
+                                           std::uint64_t{60}, std::uint64_t{100000}}) {
+            const std::string label = "trial=" + std::to_string(trial) +
+                                      " budget=" + std::to_string(budget) +
+                                      (mode == SweepMode::kSerial ? " serial" : " auto") +
+                                      (force_split ? " split" : "");
+            {
+                ExecutionGrant grant = ExecutionGrant::with_budget(budget);
+                GrantScope scope(&grant);
+                const FrontierVerdict part =
+                    core::batch_robustness_frontier(game, profile, max_k, max_t, options);
+                if (part.complete()) {
+                    EXPECT_TRUE(part == full) << label << " complete-but-different";
+                } else {
+                    std::uint64_t resolved = 0;
+                    for (std::size_t k = 0; k <= max_k; ++k) {
+                        for (std::size_t t = 0; t <= max_t; ++t) {
+                            const CellVerdict verdict = part.verdict(k, t);
+                            if (verdict == CellVerdict::kUnknown) continue;
+                            ++resolved;
+                            EXPECT_EQ(verdict, full.verdict(k, t))
+                                << label << " cell k=" << k << " t=" << t;
+                            if (verdict == CellVerdict::kBroken) {
+                                EXPECT_TRUE(part.violation(k, t) == full.violation(k, t))
+                                    << label << " witness k=" << k << " t=" << t;
+                            }
+                        }
+                    }
+                    EXPECT_EQ(resolved, part.cells_resolved) << label;
+                }
+            }
+            {
+                ExecutionGrant grant = ExecutionGrant::with_budget(budget);
+                GrantScope scope(&grant);
+                const MaxKtResult walk = core::max_kt(game, profile, max_k, max_t, options);
+                for (std::size_t k = 0; k <= max_k; ++k) {
+                    for (std::size_t t = 0; t <= max_t; ++t) {
+                        const CellVerdict verdict = walk.verdict(k, t);
+                        if (verdict == CellVerdict::kUnknown) continue;
+                        EXPECT_EQ(verdict, full.verdict(k, t))
+                            << label << " max_kt cell k=" << k << " t=" << t;
+                    }
+                }
+                if (walk.complete) {
+                    EXPECT_TRUE(walk == full_walk)
+                        << label << " complete walk differs from unbudgeted";
+                }
+            }
+            {
+                ExecutionGrant grant = ExecutionGrant::with_budget(budget);
+                GrantScope scope(&grant);
+                const BatchVerdict res = core::batch_resilience(game, profile, max_k, options);
+                if (res.complete) {
+                    EXPECT_TRUE(res == full_res) << label << " batch_resilience";
+                } else {
+                    // Truncated: the verified prefix never overclaims.
+                    EXPECT_LE(res.max_ok, full_res.max_ok) << label;
+                }
+            }
+            {
+                ExecutionGrant grant = ExecutionGrant::with_budget(budget);
+                GrantScope scope(&grant);
+                const BatchVerdict imm = core::batch_immunity(game, profile, max_t, mode);
+                if (imm.complete) {
+                    EXPECT_TRUE(imm == full_imm) << label << " batch_immunity";
+                } else {
+                    EXPECT_LE(imm.max_ok, full_imm.max_ok) << label;
+                }
+            }
+        }
+        if (force_split) {
+            CoalitionSweep::set_intra_split_cells(saved_split);
+            CoalitionSweep::set_intra_block_cells(saved_block);
+            CoalitionSweep::set_intra_split_force(false);
+        }
+        if (HasFatalFailure()) return;
+    }
+}
+
+TEST(GrantFuzz, PreExpiredGrantResolvesOnlyVacuousCells) {
+    const NormalFormGame game = game::catalog::prisoners_dilemma();
+    const auto profile = core::as_exact_profile(game, PureProfile{1, 1});
+    ExecutionGrant grant;
+    grant.cancel();
+    GrantScope scope(&grant);
+    const FrontierVerdict part = core::batch_robustness_frontier(game, profile, 2, 1, {});
+    EXPECT_FALSE(part.complete());
+    // Cell (0,0) is vacuously robust for every game; everything needing
+    // actual work is unknown.
+    EXPECT_EQ(part.verdict(0, 0), CellVerdict::kRobust);
+    EXPECT_EQ(part.verdict(1, 0), CellVerdict::kUnknown);
+    EXPECT_EQ(part.verdict(0, 1), CellVerdict::kUnknown);
+    EXPECT_EQ(part.verdict(2, 1), CellVerdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace bnash

@@ -1,0 +1,486 @@
+// The serving layer: canonical signatures (permutation + affine
+// invariance, overflow fallback), the sharded single-flight verdict
+// cache, and the RobustnessServer's degradation ladder under fault
+// injection — slow tasks against deadlines, poisoned (throwing) tasks,
+// cancellation in flight, queue overflow shedding, cache stampedes, and
+// rejected-on-shutdown draining.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/robust/robustness.h"
+#include "game/catalog.h"
+#include "game/normal_form.h"
+#include "serve/canonical.h"
+#include "serve/server.h"
+#include "serve/text_front.h"
+#include "util/rng.h"
+#include "util/work_counters.h"
+
+namespace bnash::serve {
+namespace {
+
+using core::CellVerdict;
+using game::NormalFormGame;
+using game::PureProfile;
+using util::Rational;
+
+NormalFormGame asymmetric_game() {
+    NormalFormGame game({2, 3});
+    util::Rng rng(99);
+    for (std::uint64_t rank = 0; rank < game.num_profiles(); ++rank) {
+        const PureProfile cell = game.profile_unrank(rank);
+        for (std::size_t player = 0; player < 2; ++player) {
+            game.set_payoff(cell, player, Rational(rng.next_int(-9, 9)));
+        }
+    }
+    return game;
+}
+
+game::ExactMixedProfile pure(const NormalFormGame& game, const PureProfile& actions) {
+    return core::as_exact_profile(game, actions);
+}
+
+// -------------------------------------------------------- canonicalization
+
+TEST(Canonical, PlayerPermutationInvariant) {
+    const NormalFormGame a = asymmetric_game();
+    // The same game with the two players swapped (tensor, counts, and the
+    // candidate profile carried along).
+    NormalFormGame b({3, 2});
+    for (std::size_t x = 0; x < 2; ++x) {
+        for (std::size_t y = 0; y < 3; ++y) {
+            b.set_payoff({y, x}, 0, a.payoff({x, y}, 1));
+            b.set_payoff({y, x}, 1, a.payoff({x, y}, 0));
+        }
+    }
+    const auto profile_a = pure(a, {1, 2});
+    const auto profile_b = pure(b, {2, 1});
+    const CanonicalSignature sig_a = canonical_signature(a, profile_a);
+    const CanonicalSignature sig_b = canonical_signature(b, profile_b);
+    EXPECT_TRUE(sig_a.normalized);
+    EXPECT_EQ(sig_a.bytes, sig_b.bytes);
+}
+
+TEST(Canonical, AffineRescaleInvariant) {
+    const NormalFormGame a = asymmetric_game();
+    NormalFormGame b = a;
+    for (std::uint64_t rank = 0; rank < a.num_profiles(); ++rank) {
+        const PureProfile cell = a.profile_unrank(rank);
+        b.set_payoff(cell, 0, a.payoff_at(rank, 0) * 3 + 5);
+        b.set_payoff(cell, 1, a.payoff_at(rank, 1) * Rational(1, 2) - 7);
+    }
+    const auto profile = pure(a, {0, 1});
+    EXPECT_EQ(canonical_signature(a, profile).bytes, canonical_signature(b, profile).bytes);
+}
+
+TEST(Canonical, PayoffAndProfileChangesChangeTheKey) {
+    const NormalFormGame a = asymmetric_game();
+    NormalFormGame b = a;
+    b.set_payoff({0, 0}, 0, a.payoff({0, 0}, 0) + 1);
+    const auto profile = pure(a, {0, 0});
+    EXPECT_NE(canonical_signature(a, profile).bytes, canonical_signature(b, profile).bytes);
+    EXPECT_NE(canonical_signature(a, profile).bytes,
+              canonical_signature(a, pure(a, {1, 0})).bytes);
+}
+
+TEST(Canonical, QueryParametersChangeTheKey) {
+    const NormalFormGame a = asymmetric_game();
+    const auto profile = pure(a, {0, 0});
+    const auto key = [&](std::size_t k, std::size_t t, core::GainCriterion criterion) {
+        return canonical_key(a, profile, k, t, criterion);
+    };
+    EXPECT_NE(key(1, 0, core::GainCriterion::kAnyMemberGains),
+              key(2, 0, core::GainCriterion::kAnyMemberGains));
+    EXPECT_NE(key(1, 0, core::GainCriterion::kAnyMemberGains),
+              key(1, 1, core::GainCriterion::kAnyMemberGains));
+    EXPECT_NE(key(1, 0, core::GainCriterion::kAnyMemberGains),
+              key(1, 0, core::GainCriterion::kAllMembersGain));
+}
+
+TEST(Canonical, OverflowFallsBackToRawTag) {
+    // The affine span (2^62)/5 + (2^62)/3 overflows 64-bit rationals, so
+    // normalization must fall back to the tagged identity serialization.
+    const std::int64_t big = std::int64_t{1} << 62;
+    NormalFormGame game({2, 2});
+    game.set_payoff({0, 0}, 0, Rational(-big, 3));
+    game.set_payoff({1, 1}, 0, Rational(big, 5));
+    const auto profile = pure(game, {0, 0});
+    const CanonicalSignature sig = canonical_signature(game, profile);
+    EXPECT_FALSE(sig.normalized);
+    EXPECT_NE(sig.bytes.find("raw"), std::string::npos);
+    // Deterministic: the fallback reproduces itself.
+    EXPECT_EQ(sig.bytes, canonical_signature(game, profile).bytes);
+}
+
+// ----------------------------------------------------------- verdict cache
+
+TEST(VerdictCacheTest, SingleFlightRoles) {
+    VerdictCache cache(4);
+    auto first = cache.admit("key");
+    ASSERT_EQ(first.role, VerdictCache::Role::kLeader);
+    auto second = cache.admit("key");
+    ASSERT_EQ(second.role, VerdictCache::Role::kFollower);
+    cache.fulfill("key", CellVerdict::kBroken);
+    EXPECT_EQ(second.pending.get(), CellVerdict::kBroken);
+    auto third = cache.admit("key");
+    EXPECT_EQ(third.role, VerdictCache::Role::kHit);
+    EXPECT_EQ(third.verdict, CellVerdict::kBroken);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.waits, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(VerdictCacheTest, DegradedResultsAreNotMemoized) {
+    VerdictCache cache(1);
+    auto leader = cache.admit("key");
+    ASSERT_EQ(leader.role, VerdictCache::Role::kLeader);
+    auto follower = cache.admit("key");
+    cache.fulfill("key", CellVerdict::kUnknown);
+    // The stampede still resolves (degradation is shared)...
+    EXPECT_EQ(follower.pending.get(), CellVerdict::kUnknown);
+    // ...but a later request recomputes instead of inheriting kUnknown.
+    EXPECT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+}
+
+TEST(VerdictCacheTest, FailurePropagatesAndDropsTheEntry) {
+    VerdictCache cache(1);
+    ASSERT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+    auto follower = cache.admit("key");
+    cache.fail("key", std::make_exception_ptr(std::runtime_error("poisoned")));
+    EXPECT_THROW(follower.pending.get(), std::runtime_error);
+    EXPECT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+}
+
+TEST(VerdictCacheTest, ClearKeepsInFlightEntries) {
+    VerdictCache cache(2);
+    ASSERT_EQ(cache.admit("done").role, VerdictCache::Role::kLeader);
+    cache.fulfill("done", CellVerdict::kRobust);
+    ASSERT_EQ(cache.admit("flying").role, VerdictCache::Role::kLeader);
+    cache.clear();
+    EXPECT_EQ(cache.admit("done").role, VerdictCache::Role::kLeader);     // dropped
+    EXPECT_EQ(cache.admit("flying").role, VerdictCache::Role::kFollower);  // kept
+    cache.fulfill("flying", CellVerdict::kRobust);
+}
+
+// ----------------------------------------------------------------- server
+
+QueryRequest pd_request(std::size_t action, std::size_t k = 1, std::size_t t = 0) {
+    QueryRequest request;
+    request.game = game::catalog::prisoners_dilemma();
+    request.profile = pure(request.game, PureProfile(2, action));
+    request.k = k;
+    request.t = t;
+    return request;
+}
+
+TEST(Server, ResolvesExactVerdicts) {
+    RobustnessServer server;
+    // (D, D) is the PD's Nash equilibrium: (1,0)-robust.
+    const QueryResponse robust = server.query(pd_request(1));
+    EXPECT_EQ(robust.status, QueryStatus::kResolved);
+    EXPECT_EQ(robust.verdict, CellVerdict::kRobust);
+    EXPECT_FALSE(robust.cache_hit);
+    // (C, C) is not: either player gains by defecting.
+    const QueryResponse broken = server.query(pd_request(0));
+    EXPECT_EQ(broken.status, QueryStatus::kResolved);
+    EXPECT_EQ(broken.verdict, CellVerdict::kBroken);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.resolved, 2u);
+    EXPECT_EQ(stats.cache_misses, 2u);
+}
+
+TEST(Server, BudgetDegradesThenRetryResolvesThenMemoizes) {
+    RobustnessServer server;
+    QueryRequest request;
+    request.game = game::catalog::attack_coordination_game(5);
+    request.profile = pure(request.game, PureProfile(5, 1));
+    request.k = 2;
+    request.t = 1;
+
+    request.budget_cells = 4;
+    const QueryResponse degraded = server.query(request);
+    EXPECT_EQ(degraded.status, QueryStatus::kDegraded);
+    EXPECT_EQ(degraded.verdict, CellVerdict::kUnknown);
+    EXPECT_GT(degraded.cells_charged, 0u);
+
+    request.budget_cells = util::ExecutionGrant::kUnlimited;
+    const QueryResponse resolved = server.query(request);
+    EXPECT_EQ(resolved.status, QueryStatus::kResolved);
+    EXPECT_EQ(resolved.verdict, CellVerdict::kRobust);
+    EXPECT_FALSE(resolved.cache_hit);  // the degraded answer was not cached
+
+    const util::WorkCounters before = util::work_counters_snapshot();
+    const QueryResponse hit = server.query(request);
+    const util::WorkCounters after = util::work_counters_snapshot();
+    EXPECT_EQ(hit.status, QueryStatus::kResolved);
+    EXPECT_TRUE(hit.cache_hit);
+    EXPECT_EQ(hit.cells_charged, 0u);
+    // Counter-verified: a cache hit performs no sweep work at all.
+    EXPECT_EQ(before.cells_visited, after.cells_visited);
+    EXPECT_EQ(before.offsets_advanced, after.offsets_advanced);
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.degraded, 1u);
+    EXPECT_EQ(stats.resolved, 2u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_misses, 2u);  // degraded miss + resolving miss
+}
+
+TEST(Server, RescaledUploadHitsTheSameEntry) {
+    RobustnessServer server;
+    const QueryResponse first = server.query(pd_request(1));
+    ASSERT_EQ(first.status, QueryStatus::kResolved);
+    QueryRequest rescaled = pd_request(1);
+    for (std::uint64_t rank = 0; rank < rescaled.game.num_profiles(); ++rank) {
+        const PureProfile cell = rescaled.game.profile_unrank(rank);
+        for (std::size_t player = 0; player < 2; ++player) {
+            rescaled.game.set_payoff(cell, player,
+                                     rescaled.game.payoff_at(rank, player) * 2 + 7);
+        }
+    }
+    const QueryResponse second = server.query(rescaled);
+    EXPECT_EQ(second.verdict, first.verdict);
+    EXPECT_TRUE(second.cache_hit);
+}
+
+TEST(Server, SlowTaskAgainstDeadlineDegrades) {
+    RobustnessServer server;
+    server.set_fault_hook([](const QueryRequest&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    QueryRequest request = pd_request(1);
+    request.deadline = std::chrono::milliseconds(1);
+    const QueryResponse response = server.query(request);
+    EXPECT_EQ(response.status, QueryStatus::kDegraded);
+    EXPECT_EQ(response.verdict, CellVerdict::kUnknown);
+}
+
+TEST(Server, PoisonedTaskErrorsAndRetrySucceeds) {
+    RobustnessServer server;
+    server.set_fault_hook(
+        [](const QueryRequest&) { throw std::runtime_error("injected fault"); });
+    const QueryResponse poisoned = server.query(pd_request(1));
+    EXPECT_EQ(poisoned.status, QueryStatus::kError);
+    EXPECT_NE(poisoned.error.find("injected fault"), std::string::npos);
+    // The failure dropped the in-flight cache entry: a clean retry works.
+    server.set_fault_hook(nullptr);
+    const QueryResponse retry = server.query(pd_request(1));
+    EXPECT_EQ(retry.status, QueryStatus::kResolved);
+    EXPECT_EQ(retry.verdict, CellVerdict::kRobust);
+    EXPECT_FALSE(retry.cache_hit);
+    EXPECT_EQ(server.stats().errors, 1u);
+}
+
+TEST(Server, CancelInFlightDegradesInsteadOfBlocking) {
+    RobustnessServer::Options options;
+    options.num_workers = 1;
+    RobustnessServer server(options);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool started = false;
+    bool release = false;
+    server.set_fault_hook([&](const QueryRequest&) {
+        std::unique_lock<std::mutex> lock(mutex);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    RobustnessServer::Submission submission = server.submit(pd_request(1));
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return started; });
+    }
+    submission.grant->cancel();  // the request is mid-flight on the worker
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        release = true;
+        cv.notify_all();
+    }
+    const QueryResponse response = submission.result.get();
+    EXPECT_EQ(response.status, QueryStatus::kDegraded);
+    EXPECT_EQ(response.verdict, CellVerdict::kUnknown);
+    EXPECT_EQ(server.stats().degraded, 1u);
+}
+
+TEST(Server, FullQueueShedsWithRetryAfter) {
+    RobustnessServer::Options options;
+    options.num_workers = 1;
+    options.queue_capacity = 1;
+    options.retry_after_ms = 25;
+    RobustnessServer server(options);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool started = false;
+    bool release = false;
+    server.set_fault_hook([&](const QueryRequest&) {
+        std::unique_lock<std::mutex> lock(mutex);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    // First request occupies the worker...
+    RobustnessServer::Submission first = server.submit(pd_request(1));
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return started; });
+    }
+    // ...second fills the queue, third is shed at admission.
+    RobustnessServer::Submission second = server.submit(pd_request(0));
+    RobustnessServer::Submission third = server.submit(pd_request(1, 2, 0));
+    const QueryResponse shed = third.result.get();
+    EXPECT_EQ(shed.status, QueryStatus::kRejected);
+    EXPECT_GE(shed.retry_after_ms, 25u);
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        release = true;
+        cv.notify_all();
+    }
+    EXPECT_EQ(first.result.get().status, QueryStatus::kResolved);
+    EXPECT_EQ(second.result.get().status, QueryStatus::kResolved);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.accepted, 2u);
+    EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(Server, CacheStampedeIsSingleFlight) {
+    RobustnessServer::Options options;
+    options.num_workers = 3;
+    RobustnessServer server(options);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> leaders{0};
+    server.set_fault_hook([&](const QueryRequest&) {
+        leaders.fetch_add(1);  // only cache leaders reach the hook
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return release; });
+    });
+    RobustnessServer::Submission a = server.submit(pd_request(1));
+    RobustnessServer::Submission b = server.submit(pd_request(1));
+    RobustnessServer::Submission c = server.submit(pd_request(1));
+    // Wait until both non-leaders are parked on the leader's future.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.stats().stampede_waits < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(server.stats().stampede_waits, 2u);
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        release = true;
+        cv.notify_all();
+    }
+    for (auto* submission : {&a, &b, &c}) {
+        const QueryResponse response = submission->result.get();
+        EXPECT_EQ(response.status, QueryStatus::kResolved);
+        EXPECT_EQ(response.verdict, CellVerdict::kRobust);
+    }
+    EXPECT_EQ(leaders.load(), 1);  // one sweep served the whole burst
+    EXPECT_EQ(server.stats().cache_misses, 1u);
+}
+
+TEST(Server, ShutdownRejectsQueuedRequests) {
+    std::future<QueryResponse> queued_1;
+    std::future<QueryResponse> queued_2;
+    std::future<QueryResponse> in_flight;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool started = false;
+    bool release = false;
+    std::thread releaser;
+    {
+        RobustnessServer::Options options;
+        options.num_workers = 1;
+        options.queue_capacity = 8;
+        RobustnessServer server(options);
+        server.set_fault_hook([&](const QueryRequest&) {
+            std::unique_lock<std::mutex> lock(mutex);
+            started = true;
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; });
+        });
+        in_flight = server.submit(pd_request(1)).result;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return started; });
+        }
+        queued_1 = server.submit(pd_request(0)).result;
+        queued_2 = server.submit(pd_request(1, 2, 0)).result;
+        // Unblock the worker well after ~RobustnessServer() has latched
+        // stopping; the in-flight request finishes, the queued ones drain
+        // as rejected.
+        releaser = std::thread([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+            std::unique_lock<std::mutex> lock(mutex);
+            release = true;
+            cv.notify_all();
+        });
+    }
+    releaser.join();
+    EXPECT_EQ(in_flight.get().status, QueryStatus::kResolved);
+    EXPECT_EQ(queued_1.get().status, QueryStatus::kRejected);
+    EXPECT_EQ(queued_2.get().status, QueryStatus::kRejected);
+}
+
+// ------------------------------------------------------------- text front
+
+TEST(TextFront, ServesTheLineProtocol) {
+    RobustnessServer server;
+    std::istringstream in(
+        "# prisoners dilemma\n"
+        "game 2 2 2\n"
+        "payoffs 3 3 -5 5 5 -5 -3 -3\n"
+        "profile 1 1\n"
+        "ask 1 0\n"
+        "profile 0 0\n"
+        "ask 1 0\n"
+        "mixed 0 1/2 1/2\n"
+        "bogus command\n"
+        "ask 1 0 999999\n"
+        "stats\n"
+        "quit\n"
+        "ask 1 0\n");
+    std::ostringstream out;
+    const std::size_t asks = run_text_front(in, out, server);
+    EXPECT_EQ(asks, 3u);  // the post-quit ask is never read
+    const std::string text = out.str();
+    EXPECT_NE(text.find("verdict=robust status=resolved"), std::string::npos);
+    EXPECT_NE(text.find("verdict=broken status=resolved"), std::string::npos);
+    EXPECT_NE(text.find("error: unknown command 'bogus'"), std::string::npos);
+    EXPECT_NE(text.find("accepted=3"), std::string::npos);
+}
+
+TEST(TextFront, ReportsParseErrorsAndContinues) {
+    RobustnessServer server;
+    std::istringstream in(
+        "ask 1 0\n"
+        "game 2 2\n"
+        "game 2 2 2\n"
+        "payoffs 1 2 3\n"
+        "profile 9 9\n"
+        "profile 1 1\n"
+        "ask 1 0\n");
+    std::ostringstream out;
+    const std::size_t asks = run_text_front(in, out, server);
+    EXPECT_EQ(asks, 1u);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("error: no game declared"), std::string::npos);
+    EXPECT_NE(text.find("error: game: expected 2 action counts"), std::string::npos);
+    EXPECT_NE(text.find("error: payoffs: expected 8 values"), std::string::npos);
+    EXPECT_NE(text.find("error: profile: action out of range"), std::string::npos);
+    EXPECT_NE(text.find("verdict="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bnash::serve
