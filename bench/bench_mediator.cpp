@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/robust/cheap_talk.h"
 #include "core/robust/feasibility.h"
 #include "core/robust/mediator.h"
@@ -152,6 +153,14 @@ void bench_cheap_talk(benchmark::State& state) {
     game::TypeProfile types(n, 1);
     types[0] = 1;
     const std::vector<core::CheapTalkBehavior> honest(n, core::CheapTalkBehavior::kHonest);
+    // Protocol complexity is a pure function of (n, k, t, behaviors):
+    // CI-gated rows, like the sweep engines' work counters.
+    const auto outcome = core::run_cheap_talk(policy, types, honest, params);
+    state.counters["rounds"] = benchmark::Counter(static_cast<double>(outcome.phases));
+    state.counters["messages"] =
+        benchmark::Counter(static_cast<double>(outcome.metrics.messages));
+    state.counters["payload_words"] =
+        benchmark::Counter(static_cast<double>(outcome.metrics.payload_words));
     for (auto _ : state) {
         benchmark::DoNotOptimize(core::run_cheap_talk(policy, types, honest, params));
     }
@@ -169,6 +178,12 @@ void bench_cheap_talk_with_faults(benchmark::State& state) {
     std::vector<core::CheapTalkBehavior> behaviors(kN, core::CheapTalkBehavior::kHonest);
     behaviors[6] = core::CheapTalkBehavior::kCorruptShares;
     behaviors[7] = core::CheapTalkBehavior::kCrashAfterShare;
+    const auto outcome = core::run_cheap_talk(policy, types, behaviors, params);
+    state.counters["rounds"] = benchmark::Counter(static_cast<double>(outcome.phases));
+    state.counters["messages"] =
+        benchmark::Counter(static_cast<double>(outcome.metrics.messages));
+    state.counters["payload_words"] =
+        benchmark::Counter(static_cast<double>(outcome.metrics.payload_words));
     for (auto _ : state) {
         benchmark::DoNotOptimize(core::run_cheap_talk(policy, types, behaviors, params));
     }
@@ -190,7 +205,7 @@ BENCHMARK(bench_mediator_equilibrium_check)->DenseRange(3, 6)->Unit(benchmark::k
 int main(int argc, char** argv) {
     print_feasibility_frontier();
     print_cheap_talk_costs();
-    benchmark::Initialize(&argc, argv);
+    bnash::bench::initialize_with_json_output(argc, argv, "BENCH_mediator.json");
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

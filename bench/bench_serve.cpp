@@ -126,6 +126,40 @@ void bench_serve_cache_hit(benchmark::State& state) {
 }
 BENCHMARK(bench_serve_cache_hit)->Unit(benchmark::kMicrosecond);
 
+// A bounded memo cycling through more unique queries than it can hold:
+// the eviction count per pass is an exact structural constant (single
+// shard, LRU order), and the row exposes the recompute cost a capacity
+// ceiling trades for its memory bound.
+void bench_serve_cache_eviction(benchmark::State& state) {
+    const std::size_t unique_games = 8;
+    serve::ServerStats last;
+    std::uint64_t requests = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        serve::RobustnessServer::Options options;
+        options.cache_shards = 1;
+        options.cache_capacity = 2;
+        serve::RobustnessServer server(options);
+        state.ResumeTiming();
+        for (std::size_t pass = 0; pass < 2; ++pass) {
+            for (std::size_t i = 0; i < unique_games; ++i) {
+                benchmark::DoNotOptimize(server.query(pd_request(i)));
+            }
+        }
+        requests += unique_games * 2;
+        state.PauseTiming();
+        last = server.stats();
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+    state.counters["evictions"] =
+        benchmark::Counter(static_cast<double>(last.cache_evictions));
+    state.counters["cache_hit_rate"] = benchmark::Counter(
+        static_cast<double>(last.cache_hits) /
+        static_cast<double>(last.cache_hits + last.cache_misses));
+}
+BENCHMARK(bench_serve_cache_eviction)->Unit(benchmark::kMillisecond);
+
 // The admission path under burst load: a 1-worker server with a short
 // queue sheds the overflow with retry-after instead of queueing without
 // bound. shed_rate depends on how fast the worker drains, so it is

@@ -36,11 +36,14 @@ cmake --build build -j
 
 if [[ "${BENCH}" == "ON" ]]; then
   # Acceptance tables (R-CS / R-BATCH / R-FRONTIER / R-INTRA / R-MAXKT,
-  # E-PE / PE-SPARSE, and E4 byzantine blocks) + BENCH_*.json artifacts.
+  # R-SYM orbit blocks, E-PE / PE-SPARSE, E4 byzantine, and E5/E6
+  # mediator blocks) + BENCH_*.json artifacts.
   (cd build && ./bench_robustness --benchmark_min_time=0.05s)
   (cd build && ./bench_payoff_engine --benchmark_min_time=0.05s)
   (cd build && ./bench_solvers --benchmark_min_time=0.05s)
   (cd build && ./bench_byzantine --benchmark_min_time=0.05s)
+  (cd build && ./bench_symmetry --benchmark_min_time=0.05s)
+  (cd build && ./bench_mediator --benchmark_min_time=0.05s)
   # Regression gates against the blessed baselines. Wall time gets a
   # deliberately loose threshold (machine-to-machine noise); the
   # deterministic counters get tight ones — sweep work (cells_visited /
@@ -53,7 +56,7 @@ if [[ "${BENCH}" == "ON" ]]; then
   #     build/BENCH_<name>.json --update-baseline
   # Skips gracefully when python3 is absent.
   if command -v python3 >/dev/null 2>&1; then
-    for bench_name in robustness payoff_engine solvers byzantine; do
+    for bench_name in robustness payoff_engine solvers byzantine symmetry mediator; do
       if [[ -f "bench/baselines/BENCH_${bench_name}.json" ]]; then
         python3 scripts/bench_diff.py "bench/baselines/BENCH_${bench_name}.json" \
           "build/BENCH_${bench_name}.json" --gate real_time:150 \
@@ -69,11 +72,10 @@ if [[ "${BENCH}" == "ON" ]]; then
 fi
 
 if [[ "${FULL_BENCH}" == "ON" && "${BENCH}" == "ON" ]]; then
-  # Smoke-run the remaining bench binaries (no blessed baselines yet;
+  # Smoke-run the remaining bench binaries (no blessed baselines;
   # bench_serve's tail-latency and shed-rate rows are machine-dependent
-  # by construction).
+  # by construction, so only its structural eviction row is meaningful).
   (cd build && ./bench_serve --benchmark_min_time=0.05s)
-  (cd build && ./bench_mediator --benchmark_min_time=0.05s)
 fi
 
 if [[ "${TSAN}" == "ON" ]]; then

@@ -24,6 +24,7 @@
 
 #include "core/robust/robustness.h"
 #include "game/normal_form.h"
+#include "game/symmetry.h"
 #include "util/rational.h"
 
 namespace bnash::core {
@@ -80,6 +81,13 @@ public:
 
     // Materializes the payoff tensor (small n only; throws above 16).
     [[nodiscard]] game::NormalFormGame to_normal_form() const;
+
+    // The single-class game::QuotientGame of this game — one payoff per
+    // (own action, #ones among the other n-1 players) — built from the
+    // closed form without any tensor. Pair with
+    // game::SymmetryGroup::single_class(n) to run core::OrbitSweep
+    // frontiers at n far beyond what to_normal_form() can materialize.
+    [[nodiscard]] game::QuotientGame quotient() const;
 
 private:
     [[nodiscard]] std::size_t min_breaking_coalition_impl(std::size_t base_action,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <functional>
 #include <utility>
 
 #include "util/combinatorics.h"
@@ -23,6 +24,10 @@ using util::Rational;
 std::atomic<std::uint64_t> g_intra_split_cells{CoalitionSweep::kDefaultIntraSplitCells};
 std::atomic<std::uint64_t> g_intra_block_cells{CoalitionSweep::kIntraBlock};
 std::atomic<bool> g_intra_split_force{false};
+// set_intra_split_cells PINS the threshold (the legacy process-wide
+// behavior tests and benches rely on); unpinned sweeps derive a
+// per-sweep threshold from their measured task shape instead.
+std::atomic<bool> g_intra_split_pinned{false};
 
 // Joint-deviation scan over the players in `who`: a thin adapter that
 // configures the shared util::OffsetWalker over those players' view
@@ -178,13 +183,33 @@ TaskRun run_tasks(std::size_t num_tasks, game::SweepMode mode, const TaskFn& fn)
 // the workers, run_blocks degrades to an in-order inline loop and the
 // decomposition changes nothing observable.
 
-// True when a per-faulty-set scan of `total` cells should split.
-bool should_split_intra(game::SweepMode mode, std::uint64_t total) {
+// True when a per-faulty-set scan of `total` cells should split;
+// `split_cells` is the sweep's threshold (pinned or adaptively derived
+// once at sweep entry — see sweep_intra_split_cells).
+bool should_split_intra(game::SweepMode mode, std::uint64_t total, std::uint64_t split_cells) {
     if (mode != game::SweepMode::kAuto) return false;
-    if (total < g_intra_split_cells.load(std::memory_order_relaxed)) return false;
+    if (total < split_cells) return false;
     if (total < 2 * g_intra_block_cells.load(std::memory_order_relaxed)) return false;
     return util::global_pool().size() > 1 ||
            g_intra_split_force.load(std::memory_order_relaxed);
+}
+
+// Saturating product of the `width` largest action counts: an upper
+// bound on any single per-task joint scan this sweep can run. Only ever
+// compared against thresholds, so saturation is harmless.
+std::uint64_t max_scan_cells(const GameView& view, std::size_t width) {
+    const std::size_t n = view.num_players();
+    std::vector<std::uint64_t> counts(n);
+    for (std::size_t p = 0; p < n; ++p) counts[p] = view.num_actions(p);
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+    std::uint64_t total = 1;
+    for (std::size_t i = 0; i < std::min(width, n); ++i) {
+        if (counts[i] != 0 && total > (std::uint64_t{1} << 62) / counts[i]) {
+            return std::uint64_t{1} << 62;  // saturate
+        }
+        total *= counts[i];
+    }
+    return total;
 }
 
 // Block size for a `total`-cell ranged scan: the configured block size,
@@ -420,10 +445,43 @@ std::optional<RobustnessViolation> intra_immunity_scan(
 
 void CoalitionSweep::set_intra_split_cells(std::uint64_t cells) noexcept {
     g_intra_split_cells.store(cells, std::memory_order_relaxed);
+    g_intra_split_pinned.store(true, std::memory_order_relaxed);
 }
 
 std::uint64_t CoalitionSweep::intra_split_cells() noexcept {
     return g_intra_split_cells.load(std::memory_order_relaxed);
+}
+
+void CoalitionSweep::set_intra_split_adaptive() noexcept {
+    g_intra_split_cells.store(kDefaultIntraSplitCells, std::memory_order_relaxed);
+    g_intra_split_pinned.store(false, std::memory_order_relaxed);
+}
+
+bool CoalitionSweep::intra_split_pinned() noexcept {
+    return g_intra_split_pinned.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CoalitionSweep::sweep_intra_split_cells(std::size_t num_tasks,
+                                                      std::uint64_t max_task_cells) noexcept {
+    if (g_intra_split_pinned.load(std::memory_order_relaxed)) {
+        return g_intra_split_cells.load(std::memory_order_relaxed);
+    }
+    const std::uint64_t floor_cells = 2 * intra_block_cells();
+    // Even the largest measured task cannot form two blocks: no split is
+    // possible, keep the default gate.
+    if (max_task_cells < floor_cells) return kDefaultIntraSplitCells;
+    const std::size_t workers = std::max<std::size_t>(1, util::global_pool().size());
+    // Two-plus tasks per executor: the outer task level saturates the
+    // pool by itself, so only default-threshold-sized scans warrant the
+    // extra block bookkeeping.
+    if (num_tasks >= 2 * workers) return kDefaultIntraSplitCells;
+    // Starved outer level (few big tasks — one huge coalition, an orbit
+    // pair scan, a boundary-walk column): lower the gate in proportion
+    // to the shortfall so the measured-largest scans do split, floored
+    // at the two-block minimum.
+    const std::uint64_t scaled = kDefaultIntraSplitCells *
+                                 std::max<std::uint64_t>(1, num_tasks) / (2 * workers);
+    return std::clamp(scaled, floor_cells, kDefaultIntraSplitCells);
 }
 
 void CoalitionSweep::set_intra_block_cells(std::uint64_t cells) noexcept {
@@ -724,7 +782,7 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
 
 std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
     const std::vector<std::size_t>& faulty, const std::vector<Rational>& baseline,
-    game::SweepMode mode) const {
+    game::SweepMode mode, std::uint64_t split_cells) const {
     const std::size_t n = view_.num_players();
     if (!pure_) return sparse_immunity_task(faulty, baseline);
     std::vector<std::size_t> outsiders;
@@ -736,7 +794,7 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
     }
     std::uint64_t total = 1;
     for (const std::size_t p : faulty) total *= view_.num_actions(p);
-    if (should_split_intra(mode, total)) {
+    if (should_split_intra(mode, total, split_cells)) {
         return intra_immunity_scan(view_, *pure_, base_row_, faulty, outsiders, baseline,
                                    total);
     }
@@ -779,7 +837,7 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_task(
 
 std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
     const std::vector<std::size_t>& coalition, std::size_t min_t, std::size_t max_t,
-    GainCriterion criterion, game::SweepMode mode) const {
+    GainCriterion criterion, game::SweepMode mode, std::uint64_t split_cells) const {
     const std::size_t n = view_.num_players();
     // Disjoint faulty sets, the empty one first (matches the reference
     // checker's enumeration order exactly).
@@ -875,7 +933,7 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_task(
         const auto scan_one = [&]() -> std::optional<RobustnessViolation> {
             std::uint64_t total = coalition_cells;
             for (const std::size_t p : faulty) total *= view_.num_actions(p);
-            if (should_split_intra(mode, total)) {
+            if (should_split_intra(mode, total, split_cells)) {
                 return intra_resilience_scan(view_, *pure_, base_row_, coalition, faulty,
                                              criterion, total);
             }
@@ -955,8 +1013,10 @@ std::optional<RobustnessViolation> CoalitionSweep::immunity_violation(
     // run_tasks' lowest-index winner keeps the reported violation
     // identical to the serial order.
     const auto effective = mode;
+    const std::uint64_t split =
+        sweep_intra_split_cells(faulty_sets.size(), max_scan_cells(view_, t));
     auto run = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
-        return immunity_task(faulty_sets[index], baseline, effective);
+        return immunity_task(faulty_sets[index], baseline, effective, split);
     });
     if (!run.hit) return std::nullopt;
     return std::move(run.hit->second);
@@ -969,8 +1029,10 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_violation(
     // See immunity_violation: mixed tasks run fused sparse scans and
     // share the same deterministic winner discipline as pure ones.
     const auto effective = mode;
+    const std::uint64_t split =
+        sweep_intra_split_cells(coalitions.size(), max_scan_cells(view_, k + t));
     auto run = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
-        return resilience_task(coalitions[index], 0, t, criterion, effective);
+        return resilience_task(coalitions[index], 0, t, criterion, effective, split);
     });
     if (!run.hit) return std::nullopt;
     return std::move(run.hit->second);
@@ -991,8 +1053,10 @@ BatchVerdict CoalitionSweep::batch_resilience(std::size_t max_k, GainCriterion c
     if (max_k == 0) return out;
     const util::SubsetEnumerator coalitions(view_.num_players(), max_k);
     const auto effective = mode;
+    const std::uint64_t split =
+        sweep_intra_split_cells(coalitions.size(), max_scan_cells(view_, max_k));
     auto run = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
-        return resilience_task(coalitions[index], 0, 0, criterion, effective);
+        return resilience_task(coalitions[index], 0, 0, criterion, effective, split);
     });
     if (run.hit) {
         // Every probe with k >= |winning coalition| enumerates the same
@@ -1060,6 +1124,8 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
         std::vector<std::optional<RobustnessViolation>> found(num_tasks);
         std::vector<std::size_t> winner(t_res + 1, num_tasks);
         const auto effective = mode;
+        const std::uint64_t split =
+            sweep_intra_split_cells(num_tasks, max_scan_cells(view_, max_k + t_res));
         auto& pool = util::global_pool();
         if (effective == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
             std::size_t reached = num_tasks;  // tasks [0, reached) ran untruncated
@@ -1079,7 +1145,7 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                     break;
                 }
                 auto violation =
-                    resilience_task(coalitions[index], 0, cap, criterion, effective);
+                    resilience_task(coalitions[index], 0, cap, criterion, effective, split);
                 // A truncated task cannot vouch for its verdict (see
                 // run_tasks); its hit is discarded too.
                 if (grant != nullptr && grant->expired()) {
@@ -1133,7 +1199,7 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                 }
                 try {
                     auto violation =
-                        resilience_task(coalitions[index], 0, cap, criterion, effective);
+                        resilience_task(coalitions[index], 0, cap, criterion, effective, split);
                     if (grant != nullptr) {
                         if (grant->expired()) return;  // truncated: verdict untrusted
                         state[index] = 1;
@@ -1261,8 +1327,10 @@ BatchVerdict CoalitionSweep::batch_immunity(std::size_t max_t, game::SweepMode m
     const std::vector<Rational> baseline = immunity_baseline();
     const util::SubsetEnumerator faulty_sets(view_.num_players(), max_t);
     const auto effective = mode;
+    const std::uint64_t split =
+        sweep_intra_split_cells(faulty_sets.size(), max_scan_cells(view_, max_t));
     auto run = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
-        return immunity_task(faulty_sets[index], baseline, effective);
+        return immunity_task(faulty_sets[index], baseline, effective, split);
     });
     if (run.hit) {
         const std::size_t breaking = faulty_sets[run.hit->first].size();
@@ -1311,8 +1379,10 @@ MaxKtResult CoalitionSweep::max_kt(std::size_t max_k, std::size_t max_t,
             continue;
         }
         const util::SubsetEnumerator coalitions(view_.num_players(), k_prev);
+        const std::uint64_t split =
+            sweep_intra_split_cells(coalitions.size(), max_scan_cells(view_, k_prev + t));
         auto run = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
-            return resilience_task(coalitions[index], t, t, criterion, effective);
+            return resilience_task(coalitions[index], t, t, criterion, effective, split);
         });
         if (!run.hit && run.verified < coalitions.size()) {
             // Grant expired mid-step: this column's kmax is unresolved,

@@ -149,8 +149,25 @@ public:
     // Process-wide; benches/tests lower them to exercise the split on
     // small games. The block size is fixed per scan (read once at scan
     // entry), so the decomposition stays machine-independent.
+    //
+    // By default the threshold ADAPTS per sweep: when a sweep already has
+    // enough coalition tasks to saturate the pool, splitting only adds
+    // seek() overhead, so the default threshold applies; when tasks are
+    // scarce (fewer than 2x the workers) the threshold scales DOWN
+    // proportionally so big per-task scans still fan out. Calling
+    // set_intra_split_cells PINS the given value for every sweep (the
+    // legacy behavior tests rely on); set_intra_split_adaptive restores
+    // the derivation. Thresholds never change verdicts — only which
+    // ranged-block decomposition computes them.
     static void set_intra_split_cells(std::uint64_t cells) noexcept;
     [[nodiscard]] static std::uint64_t intra_split_cells() noexcept;
+    static void set_intra_split_adaptive() noexcept;
+    [[nodiscard]] static bool intra_split_pinned() noexcept;
+    // The threshold a sweep with `num_tasks` top-level tasks whose largest
+    // task scans `max_task_cells` cells will use (the pinned value when
+    // pinned). Exposed so tests and the orbit engine share the policy.
+    [[nodiscard]] static std::uint64_t sweep_intra_split_cells(
+        std::size_t num_tasks, std::uint64_t max_task_cells) noexcept;
     static void set_intra_block_cells(std::uint64_t cells) noexcept;
     [[nodiscard]] static std::uint64_t intra_block_cells() noexcept;
     // Split even when the pool has a single executor (the blocks then run
@@ -161,15 +178,18 @@ public:
 
 private:
     // One coalition/faulty-set task; nullopt when the task finds nothing.
-    // `mode` gates the intra-task ranged-block split (kAuto only).
+    // `mode` gates the intra-task ranged-block split (kAuto only);
+    // `split_cells` is the sweep's resolved split threshold, computed once
+    // per sweep so every task of a sweep decomposes consistently.
     [[nodiscard]] std::optional<RobustnessViolation> immunity_task(
         const std::vector<std::size_t>& faulty,
-        const std::vector<util::Rational>& baseline, game::SweepMode mode) const;
+        const std::vector<util::Rational>& baseline, game::SweepMode mode,
+        std::uint64_t split_cells) const;
     // Scans faulty sets with min_t <= |T| <= max_t (the empty set iff
     // min_t == 0); max_kt's boundary steps use min_t == max_t.
     [[nodiscard]] std::optional<RobustnessViolation> resilience_task(
         const std::vector<std::size_t>& coalition, std::size_t min_t, std::size_t max_t,
-        GainCriterion criterion, game::SweepMode mode) const;
+        GainCriterion criterion, game::SweepMode mode, std::uint64_t split_cells) const;
 
     [[nodiscard]] std::vector<util::Rational> immunity_baseline() const;
 

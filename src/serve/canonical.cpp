@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <numeric>
+#include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "game/game_view.h"
+#include "game/symmetry.h"
+#include "util/orbit_walker.h"
 #include "util/rational.h"
 
 namespace bnash::serve {
@@ -133,17 +138,175 @@ struct AffineMap final {
     return out;
 }
 
+// The game with every payoff pushed through its player's affine map —
+// the tensor symmetry detection must run on, so that players equivalent
+// only up to rescaling still land in one class. Throws RationalOverflow
+// like any map application.
+[[nodiscard]] game::NormalFormGame apply_maps(const game::NormalFormGame& game,
+                                              const std::vector<AffineMap>& maps) {
+    game::NormalFormGame out(game.action_counts());
+    const std::size_t num_players = game.num_players();
+    game::PureProfile profile(num_players, 0);
+    bool done = game.num_profiles() == 0;
+    while (!done) {
+        for (std::size_t player = 0; player < num_players; ++player) {
+            out.set_payoff(profile, player, maps[player].apply(game.payoff(profile, player)));
+        }
+        done = true;
+        for (std::size_t j = num_players; j-- > 0;) {
+            if (++profile[j] < game.num_actions(j)) {
+                done = false;
+                break;
+            }
+            profile[j] = 0;
+        }
+    }
+    return out;
+}
+
+// Label-invariant per-class sort key: size, action count, the class
+// strategy, then the representative's sorted payoff multiset over the
+// whole (normalized) tensor. Every component survives player
+// relabeling, so equivalent uploads order their classes identically
+// (ties keep detection order — a cache miss, never an unsoundness).
+[[nodiscard]] std::string class_sort_key(const game::NormalFormGame& norm,
+                                         const game::ExactMixedProfile& profile,
+                                         const std::vector<std::size_t>& members) {
+    const std::size_t rep = members.front();
+    std::string key;
+    append_size(key, members.size());
+    append_size(key, norm.num_actions(rep));
+    key += '|';
+    for (const util::Rational& mass : profile[rep]) append_rational(key, mass);
+    key += '|';
+    std::vector<util::Rational> values;
+    values.reserve(norm.num_profiles());
+    for (std::uint64_t rank = 0; rank < norm.num_profiles(); ++rank) {
+        values.push_back(norm.payoff_at(rank, rep));
+    }
+    std::sort(values.begin(), values.end());
+    for (const util::Rational& value : values) append_rational(key, value);
+    return key;
+}
+
+// `quotient` with its classes permuted into order[0], order[1], ...:
+// sizes/actions move directly, and every payoff row is re-ranked by
+// walking the REORDERED others-orbit space and looking each histogram
+// up at its old rank. The result is the quotient the reordered group
+// would have produced, so keys never depend on detection's class order.
+[[nodiscard]] game::QuotientGame reorder_quotient(const game::QuotientGame& quotient,
+                                                  const std::vector<std::size_t>& order) {
+    const std::size_t m = order.size();
+    game::QuotientGame out;
+    out.class_sizes.resize(m);
+    out.class_actions.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        out.class_sizes[j] = quotient.class_sizes[order[j]];
+        out.class_actions[j] = quotient.class_actions[order[j]];
+    }
+    out.finalize();
+    out.payoff.resize(m);
+    std::vector<std::vector<std::size_t>> others(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t cls = order[j];
+        const std::size_t actions = out.class_actions[j];
+        const std::uint64_t orbits = out.others_orbits(j);
+        out.payoff[j].assign(actions * orbits, util::Rational());
+        util::OrbitWalker walker = out.others_walker(j);
+        walker.reset();
+        std::uint64_t rank_new = 0;
+        do {
+            for (std::size_t d = 0; d < m; ++d) others[order[d]] = walker.counts(d);
+            const std::uint64_t rank_old = quotient.rank_others(cls, others);
+            for (std::size_t action = 0; action < actions; ++action) {
+                out.payoff[j][action * orbits + rank_new] = quotient.at(cls, action, rank_old);
+            }
+            ++rank_new;
+        } while (walker.advance());
+    }
+    return out;
+}
+
+// Symmetry-folded signature: detect the (finest, verified) symmetry of
+// the normalized tensor, refine it by the candidate, and — when any
+// class is non-singleton — key on the QUOTIENT bytes plus per-class
+// strategies instead of the full tensor. Equal keys imply isomorphic
+// normalized games with corresponding class-constant candidates, and
+// the quotient determines the game up to within-class relabeling, which
+// preserves every verdict (the orbit-sweep reduction) — so folding is
+// as sound as the byte-identical dense key. nullopt routes the caller
+// to the dense serialization.
+[[nodiscard]] std::optional<CanonicalSignature> symmetric_signature(
+    const game::NormalFormGame& norm, const game::ExactMixedProfile& profile, bool normalized) {
+    const game::GameView view = game::GameView::full(norm);
+    const game::SymmetryGroup refined = game::SymmetryGroup::detect(view).refined_by(profile);
+    if (refined.is_trivial()) return std::nullopt;
+
+    const auto& classes = refined.classes();
+    std::vector<std::size_t> order(classes.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::vector<std::string> keys(classes.size());
+    for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+        keys[cls] = class_sort_key(norm, profile, classes[cls]);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+
+    const game::QuotientGame quotient =
+        reorder_quotient(game::build_quotient(view, refined), order);
+
+    CanonicalSignature out;
+    out.normalized = normalized;
+    std::string& bytes = out.bytes;
+    bytes = normalized ? "bnashQ1:sym:nrm:" : "bnashQ1:sym:raw:";
+    append_size(bytes, quotient.num_classes());
+    for (std::size_t j = 0; j < quotient.num_classes(); ++j) {
+        append_size(bytes, quotient.class_sizes[j]);
+        append_size(bytes, quotient.class_actions[j]);
+    }
+    bytes += "|s:";
+    for (std::size_t j = 0; j < quotient.num_classes(); ++j) {
+        const std::size_t rep = classes[order[j]].front();
+        append_size(bytes, profile[rep].size());
+        for (const util::Rational& mass : profile[rep]) append_rational(bytes, mass);
+    }
+    bytes += "|u:";
+    for (const auto& row : quotient.payoff) {
+        append_size(bytes, row.size());
+        for (const util::Rational& value : row) append_rational(bytes, value);
+    }
+    return out;
+}
+
+// Folding is best-effort: rank arithmetic on degenerate shapes may
+// overflow 64 bits, and that must cost dedup, not the request.
+[[nodiscard]] std::optional<CanonicalSignature> try_symmetric_signature(
+    const game::NormalFormGame& norm, const game::ExactMixedProfile& profile, bool normalized) {
+    try {
+        return symmetric_signature(norm, profile, normalized);
+    } catch (const std::overflow_error&) {
+        return std::nullopt;
+    }
+}
+
 }  // namespace
 
 CanonicalSignature canonical_signature(const game::NormalFormGame& game,
                                        const game::ExactMixedProfile& profile) {
     try {
         const std::vector<AffineMap> maps = build_affine_maps(game);
+        const game::NormalFormGame norm = apply_maps(game, maps);
+        if (auto sym = try_symmetric_signature(norm, profile, /*normalized=*/true)) {
+            return *std::move(sym);
+        }
         return serialize(game, profile, &maps);
     } catch (const util::RationalOverflow&) {
         // Exact normalization does not fit in 64-bit rationals: fall back
         // to the identity map. The "raw:" tag keeps the two key spaces
         // disjoint, so the fallback only costs dedup, never soundness.
+        if (auto sym = try_symmetric_signature(game, profile, /*normalized=*/false)) {
+            return *std::move(sym);
+        }
         return serialize(game, profile, nullptr);
     }
 }

@@ -19,6 +19,16 @@
 //     verdict is unchanged. Canonicalization sorts players by an
 //     invariant key (action count, candidate strategy, sorted multiset
 //     of normalized payoffs); ties keep the original order.
+//   - SYMMETRY FOLDING: when game::SymmetryGroup::detect finds a
+//     non-trivial symmetry of the NORMALIZED tensor (refined by the
+//     candidate so classes share one strategy), the key collapses to
+//     the QUOTIENT bytes — class sizes/actions, per-class strategies,
+//     orbit-indexed representative payoffs, classes in a label-
+//     invariant order ("sym:" tag). The quotient determines the game
+//     up to within-class relabeling and such relabelings preserve
+//     every verdict (the core/robust/orbit_sweep.h reduction), so two
+//     uploads of one symmetric game share a cache entry whose key is
+//     orbit-sized, not tensor-sized.
 //
 // SOUNDNESS vs BEST-EFFORT: the cache key is the full canonical byte
 // serialization, so equal keys imply byte-identical normalized queries

@@ -30,7 +30,7 @@ const char* to_string(core::CellVerdict verdict) noexcept {
 RobustnessServer::RobustnessServer() : RobustnessServer(Options{}) {}
 
 RobustnessServer::RobustnessServer(Options options)
-    : options_(options), cache_(options.cache_shards) {
+    : options_(options), cache_(options.cache_shards, options.cache_capacity) {
     const std::size_t num_workers = options_.num_workers == 0 ? 1 : options_.num_workers;
     workers_.reserve(num_workers);
     for (std::size_t i = 0; i < num_workers; ++i) {
@@ -199,6 +199,7 @@ ServerStats RobustnessServer::stats() const {
     const VerdictCache::Stats cache = cache_.stats();
     out.cache_hits = cache.hits;
     out.cache_misses = cache.misses;
+    out.cache_evictions = cache.evictions;
     return out;
 }
 

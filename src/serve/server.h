@@ -88,6 +88,7 @@ struct ServerStats final {
     std::uint64_t errors = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
     std::uint64_t stampede_waits = 0;
 };
 
@@ -97,6 +98,10 @@ public:
         std::size_t num_workers = 1;      // queue-draining threads
         std::size_t queue_capacity = 16;  // pending requests before shedding
         std::size_t cache_shards = 16;
+        // Memoized-verdict cap across all shards; 0 = unbounded. Bounding
+        // trades repeat-query latency for a memory ceiling on long-lived
+        // servers (VerdictCache evicts shard-local LRU).
+        std::size_t cache_capacity = 0;
         std::uint64_t retry_after_ms = 50;  // base backoff hint when shedding
     };
 

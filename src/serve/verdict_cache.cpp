@@ -1,15 +1,18 @@
 #include "serve/verdict_cache.h"
 
+#include <algorithm>
 #include <functional>
 #include <iterator>
 #include <utility>
 
 namespace bnash::serve {
 
-VerdictCache::VerdictCache(std::size_t num_shards) {
+VerdictCache::VerdictCache(std::size_t num_shards, std::size_t capacity) {
     if (num_shards == 0) num_shards = 1;
     shards_.reserve(num_shards);
     for (std::size_t i = 0; i < num_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+    capacity_ = capacity;
+    shard_capacity_ = capacity == 0 ? 0 : std::max<std::size_t>(1, (capacity + num_shards - 1) / num_shards);
 }
 
 VerdictCache::Shard& VerdictCache::shard_for(const std::string& key) {
@@ -25,6 +28,7 @@ VerdictCache::Admission VerdictCache::admit(const std::string& key) {
         if (it->second.complete) {
             out.role = Role::kHit;
             out.verdict = it->second.verdict;
+            it->second.last_used = ++shard.tick;
             hits_.fetch_add(1, std::memory_order_relaxed);
         } else {
             out.role = Role::kFollower;
@@ -59,6 +63,25 @@ void VerdictCache::fulfill(const std::string& key, core::CellVerdict verdict) {
         } else {
             it->second.complete = true;
             it->second.verdict = verdict;
+            it->second.last_used = ++shard.tick;
+            ++shard.memoized;
+            while (shard_capacity_ != 0 && shard.memoized > shard_capacity_) {
+                // Evict the least-recently-used MEMOIZED entry. The one
+                // just inserted carries the newest tick, so with a slice
+                // of >= 1 it always survives its own insertion.
+                auto victim = shard.map.end();
+                for (auto cursor = shard.map.begin(); cursor != shard.map.end(); ++cursor) {
+                    if (!cursor->second.complete) continue;
+                    if (victim == shard.map.end() ||
+                        cursor->second.last_used < victim->second.last_used) {
+                        victim = cursor;
+                    }
+                }
+                if (victim == shard.map.end()) break;
+                shard.map.erase(victim);
+                --shard.memoized;
+                evictions_.fetch_add(1, std::memory_order_relaxed);
+            }
         }
     }
     if (resolve) to_resolve.set_value(verdict);
@@ -84,6 +107,7 @@ VerdictCache::Stats VerdictCache::stats() const {
     out.hits = hits_.load(std::memory_order_relaxed);
     out.misses = misses_.load(std::memory_order_relaxed);
     out.waits = waits_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
     for (const auto& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         out.entries += shard->map.size();
@@ -97,6 +121,7 @@ void VerdictCache::clear() {
         for (auto it = shard->map.begin(); it != shard->map.end();) {
             it = it->second.complete ? shard->map.erase(it) : std::next(it);
         }
+        shard->memoized = 0;
     }
 }
 

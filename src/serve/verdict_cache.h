@@ -17,6 +17,16 @@
 // entry is dropped so a later, better-funded retry recomputes. A failed
 // leader propagates its exception to the followers and likewise drops
 // the entry.
+//
+// BOUNDED MEMORY: a non-zero capacity caps the number of MEMOIZED
+// entries (split evenly across shards). When a fulfill would push a
+// shard past its slice, the shard evicts its least-recently-USED
+// memoized entry — admit hits refresh recency — under the same shard
+// lock, so eviction is a map scan, never a global pause. In-flight
+// entries are never evicted (their leaders hold fulfill obligations)
+// and do not count against the cap; kUnknown results were never
+// memoized to begin with. Capacity 0 (the default) means unbounded —
+// the pre-capacity behavior, bit for bit.
 #pragma once
 
 #include <atomic>
@@ -36,7 +46,9 @@ namespace bnash::serve {
 
 class VerdictCache final {
 public:
-    explicit VerdictCache(std::size_t num_shards = 16);
+    // `capacity` caps memoized entries across all shards (0 = unbounded);
+    // each shard gets a ceil(capacity / num_shards) slice of at least 1.
+    explicit VerdictCache(std::size_t num_shards = 16, std::size_t capacity = 0);
 
     enum class Role : std::uint8_t {
         kHit = 0,  // verdict already memoized; `verdict` is valid
@@ -59,12 +71,16 @@ public:
     void fail(const std::string& key, std::exception_ptr error);
 
     struct Stats final {
-        std::uint64_t hits = 0;    // admissions served from a memoized verdict
-        std::uint64_t misses = 0;  // admissions that became leaders
-        std::uint64_t waits = 0;   // admissions that became followers
-        std::size_t entries = 0;   // live entries (memoized + in flight)
+        std::uint64_t hits = 0;       // admissions served from a memoized verdict
+        std::uint64_t misses = 0;     // admissions that became leaders
+        std::uint64_t waits = 0;      // admissions that became followers
+        std::uint64_t evictions = 0;  // memoized entries displaced by capacity
+        std::size_t entries = 0;      // live entries (memoized + in flight)
     };
     [[nodiscard]] Stats stats() const;
+
+    // Total memoized-entry capacity (0 = unbounded), as configured.
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
     // Drops MEMOIZED entries only; in-flight entries stay (their leaders
     // still hold fulfill obligations against them).
@@ -74,20 +90,26 @@ private:
     struct Entry final {
         bool complete = false;
         core::CellVerdict verdict = core::CellVerdict::kUnknown;
+        std::uint64_t last_used = 0;  // shard tick at insert / last hit
         std::promise<core::CellVerdict> promise;
         std::shared_future<core::CellVerdict> future;
     };
     struct Shard final {
         std::mutex mutex;
         std::unordered_map<std::string, Entry> map;
+        std::uint64_t tick = 0;      // recency clock, bumped per touch
+        std::size_t memoized = 0;    // complete entries (in-flight excluded)
     };
 
     [[nodiscard]] Shard& shard_for(const std::string& key);
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t capacity_ = 0;        // total, as configured (0 = unbounded)
+    std::size_t shard_capacity_ = 0;  // per-shard slice (0 = unbounded)
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> waits_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace bnash::serve

@@ -1,0 +1,201 @@
+#include "util/orbit_walker.h"
+
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace bnash::util {
+
+namespace {
+
+[[nodiscard]] std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+    const unsigned __int128 wide = static_cast<unsigned __int128>(a) * b;
+    if (wide > static_cast<unsigned __int128>(~std::uint64_t{0})) {
+        throw std::overflow_error("OrbitWalker: orbit count overflow");
+    }
+    return static_cast<std::uint64_t>(wide);
+}
+
+}  // namespace
+
+std::uint64_t composition_count(std::size_t total, std::size_t parts) {
+    if (parts == 0) {
+        if (total > 0) throw std::invalid_argument("composition_count: zero parts");
+        return 1;
+    }
+    return binomial(total + parts - 1, parts - 1);
+}
+
+std::uint64_t composition_rank(std::size_t total, const std::vector<std::size_t>& counts) {
+    // Descending-lex: compositions with first part v > counts[0] come
+    // first; each contributes composition_count(total - v, parts - 1).
+    std::uint64_t rank = 0;
+    std::size_t remaining = total;
+    const std::size_t parts = counts.size();
+    for (std::size_t i = 0; i + 1 < parts; ++i) {
+        for (std::size_t v = remaining; v > counts[i]; --v) {
+            rank += composition_count(remaining - v, parts - 1 - i);
+        }
+        remaining -= counts[i];
+    }
+    return rank;
+}
+
+void composition_unrank(std::size_t total, std::size_t parts, std::uint64_t rank,
+                        std::vector<std::size_t>& counts) {
+    counts.assign(parts, 0);
+    if (parts == 0) return;
+    std::size_t remaining = total;
+    for (std::size_t i = 0; i + 1 < parts; ++i) {
+        std::size_t v = remaining;
+        while (true) {
+            const std::uint64_t block = composition_count(remaining - v, parts - 1 - i);
+            if (rank < block) break;
+            rank -= block;
+            --v;  // v never underflows: total ranks == sum of the blocks
+        }
+        counts[i] = v;
+        remaining -= v;
+    }
+    counts[parts - 1] = remaining;
+}
+
+std::uint64_t orbit_multiplicity(const std::vector<std::size_t>& counts) {
+    std::size_t remaining = 0;
+    for (const std::size_t c : counts) remaining += c;
+    std::uint64_t result = 1;
+    for (const std::size_t c : counts) {
+        result = checked_mul(result, binomial(remaining, c));
+        remaining -= c;
+    }
+    return result;
+}
+
+void OrbitWalker::clear() {
+    digits_.clear();
+    rank_ = 0;
+    lowest_changed_ = 0;
+    digit_moves_ = 0;
+}
+
+void OrbitWalker::reserve(std::size_t digits) { digits_.reserve(digits); }
+
+void OrbitWalker::first_composition(Digit& digit) {
+    digit.counts.assign(digit.actions, 0);
+    digit.counts[0] = digit.members;
+    digit.digit_rank = 0;
+}
+
+bool OrbitWalker::next_composition(Digit& digit) {
+    // Descending-lex successor: move one unit from the rightmost
+    // non-final nonzero part one slot right, folding the tail back in.
+    std::vector<std::size_t>& h = digit.counts;
+    const std::size_t last = digit.actions - 1;
+    std::size_t i = last;
+    while (i > 0 && h[i - 1] == 0) --i;
+    if (i == 0) {  // (0, ..., 0, m): wrap
+        first_composition(digit);
+        return false;
+    }
+    const std::size_t tail = h[last];
+    h[last] = 0;
+    h[i - 1] -= 1;
+    h[i] += tail + 1;
+    ++digit.digit_rank;
+    return true;
+}
+
+void OrbitWalker::add_class(std::size_t members, std::size_t num_actions) {
+    if (num_actions == 0) throw std::invalid_argument("OrbitWalker: class with no actions");
+    Digit digit;
+    digit.members = members;
+    digit.actions = num_actions;
+    digit.orbits = composition_count(members, num_actions);
+    first_composition(digit);
+    digits_.push_back(std::move(digit));
+    lowest_changed_ = digits_.size();
+}
+
+void OrbitWalker::add_pinned_class(std::size_t members, std::size_t num_actions,
+                                   std::vector<std::size_t> counts) {
+    if (num_actions == 0) throw std::invalid_argument("OrbitWalker: class with no actions");
+    if (counts.size() != num_actions) {
+        throw std::invalid_argument("OrbitWalker: pinned counts size mismatch");
+    }
+    std::size_t sum = 0;
+    for (const std::size_t c : counts) sum += c;
+    if (sum != members) throw std::invalid_argument("OrbitWalker: pinned counts sum mismatch");
+    Digit digit;
+    digit.members = members;
+    digit.actions = num_actions;
+    digit.pinned = true;
+    digit.orbits = 1;
+    digit.counts = std::move(counts);
+    digits_.push_back(std::move(digit));
+    lowest_changed_ = digits_.size();
+}
+
+std::uint64_t OrbitWalker::digit_orbits(std::size_t digit) const {
+    return digits_[digit].orbits;
+}
+
+std::uint64_t OrbitWalker::num_orbits() const {
+    std::uint64_t total = 1;
+    for (const Digit& digit : digits_) total = checked_mul(total, digit.orbits);
+    return total;
+}
+
+void OrbitWalker::reset() {
+    for (Digit& digit : digits_) {
+        if (!digit.pinned) first_composition(digit);
+    }
+    rank_ = 0;
+    lowest_changed_ = 0;
+}
+
+void OrbitWalker::seek(std::uint64_t rank) {
+    std::uint64_t place = 1;
+    for (const Digit& digit : digits_) place = checked_mul(place, digit.orbits);
+    rank_ = rank;
+    lowest_changed_ = 0;
+    for (Digit& digit : digits_) {
+        if (digit.pinned) continue;
+        place /= digit.orbits;  // non-pinned orbits >= 1
+        const std::uint64_t digit_rank = rank / place;
+        rank %= place;
+        composition_unrank(digit.members, digit.actions, digit_rank, digit.counts);
+        digit.digit_rank = digit_rank;
+        ++digit_moves_;
+    }
+}
+
+bool OrbitWalker::advance() {
+    for (std::size_t d = digits_.size(); d-- > 0;) {
+        Digit& digit = digits_[d];
+        if (digit.pinned) continue;
+        ++digit_moves_;
+        if (next_composition(digit)) {
+            lowest_changed_ = d;
+            ++rank_;
+            return true;
+        }
+        // carried: this digit wrapped to rank 0, move to the next digit
+    }
+    lowest_changed_ = 0;
+    rank_ = 0;
+    return false;
+}
+
+std::uint64_t OrbitWalker::orbit_size(std::size_t digit) const {
+    return orbit_multiplicity(digits_[digit].counts);
+}
+
+std::uint64_t OrbitWalker::orbit_size() const {
+    std::uint64_t total = 1;
+    for (std::size_t d = 0; d < digits_.size(); ++d) {
+        total = checked_mul(total, orbit_size(d));
+    }
+    return total;
+}
+
+}  // namespace bnash::util

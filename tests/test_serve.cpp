@@ -121,6 +121,43 @@ TEST(Canonical, OverflowFallsBackToRawTag) {
     EXPECT_EQ(sig.bytes, canonical_signature(game, profile).bytes);
 }
 
+TEST(Canonical, SymmetricGamesFoldToOrbitSizedKeys) {
+    // Two symmetry classes: players {0,1} with 2 actions, {2,3} with 3.
+    // Payoffs depend only on (own class, own action, sum of all actions),
+    // so the game is invariant under within-class relabelings.
+    const auto payoff = [](const PureProfile& cell, std::size_t player) {
+        const std::int64_t weight = player < 2 ? 3 : 5;
+        std::int64_t sum = 0;
+        for (const std::size_t action : cell) sum += static_cast<std::int64_t>(action);
+        return Rational(static_cast<std::int64_t>(cell[player]) * weight + sum);
+    };
+    NormalFormGame g({2, 2, 3, 3});
+    for (std::uint64_t rank = 0; rank < g.num_profiles(); ++rank) {
+        const PureProfile cell = g.profile_unrank(rank);
+        for (std::size_t player = 0; player < 4; ++player) {
+            g.set_payoff(cell, player, payoff(cell, player));
+        }
+    }
+    // The same game uploaded with the players reversed.
+    NormalFormGame h({3, 3, 2, 2});
+    for (std::uint64_t rank = 0; rank < g.num_profiles(); ++rank) {
+        const PureProfile cell = g.profile_unrank(rank);
+        PureProfile reversed(cell.rbegin(), cell.rend());
+        for (std::size_t player = 0; player < 4; ++player) {
+            h.set_payoff(reversed, player, g.payoff(cell, 3 - player));
+        }
+    }
+    const CanonicalSignature sig_g = canonical_signature(g, pure(g, {1, 1, 2, 2}));
+    const CanonicalSignature sig_h = canonical_signature(h, pure(h, {2, 2, 1, 1}));
+    // Both uploads fold to the SAME orbit-sized ("sym:"-tagged) key.
+    EXPECT_NE(sig_g.bytes.find(":sym:"), std::string::npos);
+    EXPECT_EQ(sig_g.bytes, sig_h.bytes);
+    // An asymmetric game never takes the symmetry path.
+    const NormalFormGame plain = asymmetric_game();
+    EXPECT_EQ(canonical_signature(plain, pure(plain, {0, 0})).bytes.find(":sym:"),
+              std::string::npos);
+}
+
 // ----------------------------------------------------------- verdict cache
 
 TEST(VerdictCacheTest, SingleFlightRoles) {
@@ -171,6 +208,54 @@ TEST(VerdictCacheTest, ClearKeepsInFlightEntries) {
     EXPECT_EQ(cache.admit("done").role, VerdictCache::Role::kLeader);     // dropped
     EXPECT_EQ(cache.admit("flying").role, VerdictCache::Role::kFollower);  // kept
     cache.fulfill("flying", CellVerdict::kRobust);
+}
+
+TEST(VerdictCacheTest, CapacityEvictsLeastRecentlyUsed) {
+    VerdictCache cache(1, 2);  // one shard so the whole cap is one slice
+    EXPECT_EQ(cache.capacity(), 2u);
+    ASSERT_EQ(cache.admit("a").role, VerdictCache::Role::kLeader);
+    cache.fulfill("a", CellVerdict::kRobust);
+    ASSERT_EQ(cache.admit("b").role, VerdictCache::Role::kLeader);
+    cache.fulfill("b", CellVerdict::kBroken);
+    // Touch "a" so "b" becomes the least recently used entry.
+    EXPECT_EQ(cache.admit("a").role, VerdictCache::Role::kHit);
+    ASSERT_EQ(cache.admit("c").role, VerdictCache::Role::kLeader);
+    cache.fulfill("c", CellVerdict::kRobust);  // over capacity: "b" goes
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.admit("a").role, VerdictCache::Role::kHit);
+    EXPECT_EQ(cache.admit("c").role, VerdictCache::Role::kHit);
+    EXPECT_EQ(cache.admit("b").role, VerdictCache::Role::kLeader);  // evicted
+    cache.fulfill("b", CellVerdict::kBroken);
+}
+
+TEST(VerdictCacheTest, InFlightEntriesAreNeverEvicted) {
+    VerdictCache cache(1, 1);
+    ASSERT_EQ(cache.admit("flying").role, VerdictCache::Role::kLeader);
+    ASSERT_EQ(cache.admit("done").role, VerdictCache::Role::kLeader);
+    cache.fulfill("done", CellVerdict::kRobust);
+    // In-flight entries don't count against the cap and can't be victims:
+    // the stampede on "flying" stays single-flight.
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    auto follower = cache.admit("flying");
+    ASSERT_EQ(follower.role, VerdictCache::Role::kFollower);
+    cache.fulfill("flying", CellVerdict::kBroken);
+    EXPECT_EQ(follower.pending.get(), CellVerdict::kBroken);
+    // Memoizing "flying" pushed the shard over its slice: "done" (the
+    // older complete entry) is the victim.
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.admit("flying").role, VerdictCache::Role::kHit);
+    EXPECT_EQ(cache.admit("done").role, VerdictCache::Role::kLeader);
+    cache.fulfill("done", CellVerdict::kRobust);
+}
+
+TEST(VerdictCacheTest, DegradedResultsDoNotConsumeCapacity) {
+    VerdictCache cache(1, 1);
+    ASSERT_EQ(cache.admit("done").role, VerdictCache::Role::kLeader);
+    cache.fulfill("done", CellVerdict::kRobust);
+    ASSERT_EQ(cache.admit("vague").role, VerdictCache::Role::kLeader);
+    cache.fulfill("vague", CellVerdict::kUnknown);  // never memoized
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.admit("done").role, VerdictCache::Role::kHit);
 }
 
 // ----------------------------------------------------------------- server
@@ -252,6 +337,22 @@ TEST(Server, RescaledUploadHitsTheSameEntry) {
     const QueryResponse second = server.query(rescaled);
     EXPECT_EQ(second.verdict, first.verdict);
     EXPECT_TRUE(second.cache_hit);
+}
+
+TEST(Server, BoundedCacheEvictsAndReports) {
+    RobustnessServer::Options options;
+    options.cache_shards = 1;
+    options.cache_capacity = 1;
+    RobustnessServer server(options);
+    ASSERT_EQ(server.query(pd_request(1)).status, QueryStatus::kResolved);
+    ASSERT_EQ(server.query(pd_request(0)).status, QueryStatus::kResolved);
+    EXPECT_EQ(server.stats().cache_evictions, 1u);
+    // The evicted entry recomputes: correctness survives bounding, only
+    // the repeat-query latency changes.
+    const QueryResponse repeat = server.query(pd_request(1));
+    EXPECT_EQ(repeat.status, QueryStatus::kResolved);
+    EXPECT_EQ(repeat.verdict, CellVerdict::kRobust);
+    EXPECT_FALSE(repeat.cache_hit);
 }
 
 TEST(Server, SlowTaskAgainstDeadlineDegrades) {
