@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/awareness/awareness_game.h"
 #include "game/catalog.h"
 #include "util/table.h"
@@ -73,6 +74,9 @@ BENCHMARK(bench_verify_figure1)->Unit(benchmark::kMicrosecond);
 
 void bench_pure_enumeration(benchmark::State& state) {
     const auto fig = core::figure1_awareness_game(Rational{1, 4});
+    // Candidate assignments per enumeration (cells_visited) are a pure
+    // function of the game: CI-gated.
+    const bench::CounterScope counters(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(fig.game.pure_generalized_equilibria());
     }
@@ -81,6 +85,7 @@ BENCHMARK(bench_pure_enumeration)->Unit(benchmark::kMillisecond);
 
 void bench_canonical_equivalence(benchmark::State& state) {
     const auto aware = core::AwarenessGame::canonical(game::catalog::figure1_game());
+    const bench::CounterScope counters(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(aware.pure_generalized_equilibria());
     }
@@ -92,7 +97,7 @@ BENCHMARK(bench_canonical_equivalence)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
     print_figure1_sweep();
     print_virtual_move_sweep();
-    benchmark::Initialize(&argc, argv);
+    bnash::bench::initialize_with_json_output(argc, argv, "BENCH_awareness.json");
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

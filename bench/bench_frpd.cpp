@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/machine/frpd.h"
 #include "game/catalog.h"
 #include "repeated/repeated_game.h"
@@ -75,6 +76,9 @@ void bench_match(benchmark::State& state) {
     const auto a = repeated::tit_for_tat();
     const auto b = repeated::grim_trigger();
     util::Rng rng{3};
+    // Rounds per match: a pure function of the argument — CI-gated like
+    // the cheap-talk protocol counters.
+    state.counters["rounds"] = benchmark::Counter(static_cast<double>(rounds));
     for (auto _ : state) {
         const auto s0 = a->clone();
         const auto s1 = b->clone();
@@ -121,7 +125,7 @@ BENCHMARK(bench_frpd_analysis)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond)
 int main(int argc, char** argv) {
     print_equilibrium_region();
     print_tournament();
-    benchmark::Initialize(&argc, argv);
+    bnash::bench::initialize_with_json_output(argc, argv, "BENCH_frpd.json");
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

@@ -2,8 +2,10 @@
 // effect of hoarders and altruists, and simulator throughput.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
 #include "scrip/scrip_system.h"
 #include "util/table.h"
 
@@ -83,11 +85,29 @@ void bench_simulation(benchmark::State& state) {
     params.num_agents = static_cast<std::size_t>(state.range(0));
     params.rounds = 50'000;
     params.money_per_capita = 2.0;
+    // Satisfied-request count: a pure function of the seed, so it gates
+    // in CI like the sweep engines' work counters.
+    const auto result = scrip::simulate_uniform(params, 4);
+    state.counters["satisfied"] = benchmark::Counter(static_cast<double>(
+        std::llround(result.satisfied_fraction * static_cast<double>(params.rounds))));
     for (auto _ : state) {
         benchmark::DoNotOptimize(scrip::simulate_uniform(params, 4));
     }
 }
 BENCHMARK(bench_simulation)->Arg(50)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void bench_best_response_curve(benchmark::State& state) {
+    // The pooled candidate scan (common random numbers preserved by
+    // per-candidate reseeding).
+    auto params = base_params();
+    params.num_agents = 100;
+    params.rounds = 20'000;
+    params.money_per_capita = 2.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scrip::threshold_best_response_curve(params, 4, 8));
+    }
+}
+BENCHMARK(bench_best_response_curve)->Unit(benchmark::kMillisecond);
 
 void bench_mixed_population(benchmark::State& state) {
     auto params = base_params();
@@ -111,7 +131,7 @@ BENCHMARK(bench_mixed_population)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
     print_money_supply_curve();
     print_irrational_types();
-    benchmark::Initialize(&argc, argv);
+    bnash::bench::initialize_with_json_output(argc, argv, "BENCH_scrip.json");
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

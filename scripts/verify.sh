@@ -44,6 +44,10 @@ if [[ "${BENCH}" == "ON" ]]; then
   (cd build && ./bench_byzantine --benchmark_min_time=0.05s)
   (cd build && ./bench_symmetry --benchmark_min_time=0.05s)
   (cd build && ./bench_mediator --benchmark_min_time=0.05s)
+  (cd build && ./bench_scrip --benchmark_min_time=0.05s)
+  (cd build && ./bench_machine --benchmark_min_time=0.05s)
+  (cd build && ./bench_frpd --benchmark_min_time=0.05s)
+  (cd build && ./bench_awareness --benchmark_min_time=0.05s)
   # Regression gates against the blessed baselines. Wall time gets a
   # deliberately loose threshold (machine-to-machine noise); the
   # deterministic counters get tight ones — sweep work (cells_visited /
@@ -56,12 +60,14 @@ if [[ "${BENCH}" == "ON" ]]; then
   #     build/BENCH_<name>.json --update-baseline
   # Skips gracefully when python3 is absent.
   if command -v python3 >/dev/null 2>&1; then
-    for bench_name in robustness payoff_engine solvers byzantine symmetry mediator; do
+    for bench_name in robustness payoff_engine solvers byzantine symmetry mediator \
+                      scrip machine frpd awareness; do
       if [[ -f "bench/baselines/BENCH_${bench_name}.json" ]]; then
         python3 scripts/bench_diff.py "bench/baselines/BENCH_${bench_name}.json" \
           "build/BENCH_${bench_name}.json" --gate real_time:150 \
           --gate cells_visited:5 --gate offsets_advanced:5 \
-          --gate rounds:1 --gate messages:1 --gate payload_words:1
+          --gate rounds:1 --gate messages:1 --gate payload_words:1 \
+          --gate satisfied:1
       else
         echo "verify.sh: no BENCH_${bench_name}.json baseline; skipping its gate" >&2
       fi

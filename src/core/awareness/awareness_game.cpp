@@ -7,6 +7,7 @@
 
 #include "game/catalog.h"
 #include "util/combinatorics.h"
+#include "util/work_counters.h"
 
 namespace bnash::core {
 
@@ -276,7 +277,9 @@ std::vector<AwarenessGame::Profile> AwarenessGame::pure_generalized_equilibria(
         }
     }
     std::vector<Profile> out;
+    std::uint64_t assignments = 0;
     util::product_for_each(radices, [&](const std::vector<std::size_t>& assignment) {
+        ++assignments;
         Profile profile(games_.size());
         for (GameIndex g = 0; g < games_.size(); ++g) {
             for (std::size_t i = 0; i < games_[g].num_info_sets(); ++i) {
@@ -292,6 +295,9 @@ std::vector<AwarenessGame::Profile> AwarenessGame::pure_generalized_equilibria(
         if (is_generalized_nash(profile, tol)) out.push_back(std::move(profile));
         return true;
     });
+    // One cell per candidate assignment: the bench-gated work metric for
+    // the enumeration (the awareness solver has no tensor sweep to count).
+    util::work_counters_add(assignments, 0);
     return out;
 }
 

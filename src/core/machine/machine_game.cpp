@@ -1,10 +1,15 @@
 #include "core/machine/machine_game.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <exception>
 #include <stdexcept>
 
 #include "game/catalog.h"
 #include "util/combinatorics.h"
+#include "util/offset_walker.h"
+#include "util/thread_pool.h"
+#include "util/work_counters.h"
 
 namespace bnash::core {
 namespace {
@@ -161,6 +166,66 @@ double MachineGame::utility(const std::vector<std::size_t>& machine_profile,
     if (machine_profile.size() != base_.num_players()) {
         throw std::invalid_argument("MachineGame::utility: profile width");
     }
+    const std::size_t n = base_.num_players();
+    double expected = 0.0;
+    std::vector<std::vector<double>> dists(n);
+    std::vector<std::vector<double>> support_probs(n);
+    // prefix[i + 1] = prior * dists[0..i], multiplied in player order —
+    // the same association as the dense `weight *=` loop, so the sparse
+    // walk reproduces its sum bit for bit.
+    std::vector<double> prefix(n + 1);
+    std::uint64_t cells = 0;
+    std::uint64_t moves = 0;
+    util::product_for_each(base_.type_counts(), [&](const game::TypeProfile& types) {
+        const double prior = base_.prior(types).to_double();
+        if (prior == 0.0) return true;
+        for (std::size_t i = 0; i < n; ++i) {
+            dists[i] = machines_[i][machine_profile[i]]->action_distribution(
+                types[i], base_.num_actions(i));
+        }
+        // One sparse support plan per type profile: the walker's row IS
+        // the action rank (offsets are rank strides), so the payoff lookup
+        // needs no per-cell re-ranking.
+        const auto plan =
+            game::build_support_plan_from_dists(dists, base_.action_rank_strides());
+        if (plan.dead) return true;
+        for (std::size_t i = 0; i < n; ++i) {
+            support_probs[i].clear();
+            for (const std::size_t action : plan.actions[i]) {
+                support_probs[i].push_back(dists[i][action]);
+            }
+        }
+        auto walker = plan.make_walker();
+        walker.reset();
+        const std::uint64_t type_rank = base_.type_profile_rank(types);
+        prefix[0] = prior;
+        std::size_t low = 0;
+        bool more = true;
+        while (more) {
+            const auto& tuple = walker.tuple();
+            for (std::size_t i = low; i < n; ++i) {
+                prefix[i + 1] = prefix[i] * support_probs[i][tuple[i]];
+            }
+            const double weight = prefix[n];
+            if (weight > 0.0) {
+                expected += weight * base_.payoff_d_at(type_rank, walker.row(), player);
+            }
+            more = walker.advance();
+            low = walker.lowest_changed();
+        }
+        cells += plan.num_tuples;
+        moves += walker.digit_moves();
+        return true;
+    });
+    util::work_counters_add(cells, moves);
+    return expected - cost_.cost(machines_[player][machine_profile[player]]->static_metrics());
+}
+
+double MachineGame::utility_reference(const std::vector<std::size_t>& machine_profile,
+                                      std::size_t player) const {
+    if (machine_profile.size() != base_.num_players()) {
+        throw std::invalid_argument("MachineGame::utility: profile width");
+    }
     double expected = 0.0;
     util::product_for_each(base_.type_counts(), [&](const game::TypeProfile& types) {
         const double prior = base_.prior(types).to_double();
@@ -171,7 +236,9 @@ double MachineGame::utility(const std::vector<std::size_t>& machine_profile,
             dists[i] = machines_[i][machine_profile[i]]->action_distribution(
                 types[i], base_.num_actions(i));
         }
+        std::uint64_t cells = 0;
         util::product_for_each(base_.action_counts(), [&](const game::PureProfile& actions) {
+            ++cells;
             double weight = prior;
             for (std::size_t i = 0; i < base_.num_players() && weight > 0.0; ++i) {
                 weight *= dists[i][actions[i]];
@@ -179,6 +246,7 @@ double MachineGame::utility(const std::vector<std::size_t>& machine_profile,
             if (weight > 0.0) expected += weight * base_.payoff_d(types, actions, player);
             return true;
         });
+        util::work_counters_add(cells, 0);
         return true;
     });
     return expected - cost_.cost(machines_[player][machine_profile[player]]->static_metrics());
@@ -197,14 +265,49 @@ bool MachineGame::is_machine_equilibrium(const std::vector<std::size_t>& machine
     return true;
 }
 
-std::vector<std::vector<std::size_t>> MachineGame::machine_equilibria(double tol) const {
+std::vector<std::vector<std::size_t>> MachineGame::machine_equilibria(
+    double tol, game::SweepMode mode) const {
     std::vector<std::size_t> radices(base_.num_players());
     for (std::size_t i = 0; i < base_.num_players(); ++i) radices[i] = num_machines(i);
-    std::vector<std::vector<std::size_t>> out;
-    util::product_for_each(radices, [&](const std::vector<std::size_t>& profile) {
-        if (is_machine_equilibrium(profile, tol)) out.push_back(profile);
-        return true;
+    const std::uint64_t total = util::product_size(radices);
+    // Fixed block size: the decomposition (and thus the per-block work
+    // counters) is independent of worker count.
+    constexpr std::uint64_t kBlock = 16;
+    const std::uint64_t num_blocks = (total + kBlock - 1) / kBlock;
+    auto& pool = util::global_pool();
+    if (mode == game::SweepMode::kSerial || num_blocks <= 1 || pool.size() <= 1) {
+        std::vector<std::vector<std::size_t>> out;
+        util::product_for_each(radices, [&](const std::vector<std::size_t>& profile) {
+            if (is_machine_equilibrium(profile, tol)) out.push_back(profile);
+            return true;
+        });
+        return out;
+    }
+    std::vector<std::vector<std::vector<std::size_t>>> partials(num_blocks);
+    std::vector<std::exception_ptr> errors(num_blocks);
+    pool.run_blocks(static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
+        try {
+            const std::uint64_t lo = static_cast<std::uint64_t>(block) * kBlock;
+            const std::uint64_t hi = std::min(total, lo + kBlock);
+            util::product_for_each(radices, lo, hi,
+                                   [&](const std::vector<std::size_t>& profile) {
+                                       if (is_machine_equilibrium(profile, tol)) {
+                                           partials[block].push_back(profile);
+                                       }
+                                       return true;
+                                   });
+        } catch (...) {
+            errors[block] = std::current_exception();
+        }
     });
+    for (const auto& error : errors) {
+        if (error) std::rethrow_exception(error);
+    }
+    // Blocks merged in rank order: output order matches the serial scan.
+    std::vector<std::vector<std::size_t>> out;
+    for (auto& part : partials) {
+        for (auto& profile : part) out.push_back(std::move(profile));
+    }
     return out;
 }
 

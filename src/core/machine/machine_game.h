@@ -21,6 +21,7 @@
 
 #include "game/bayesian.h"
 #include "game/normal_form.h"
+#include "game/payoff_engine.h"
 #include "util/rng.h"
 
 namespace bnash::core {
@@ -83,15 +84,33 @@ public:
 
     // Exact expected utility of the machine profile for `player`:
     // E_types E_actions payoff - cost(static metrics).
+    //
+    // Machine action distributions are SUPPORTS (deterministic machines
+    // are point masses), so the inner expectation runs as a
+    // game::SupportPlan walk over the Bayesian action slice — one plan per
+    // type profile, prefix-product weights keyed off the walker's
+    // lowest-changed digit. Sums are bit-identical to utility_reference's
+    // dense double loop (same cells, same order, same association).
     [[nodiscard]] double utility(const std::vector<std::size_t>& machine_profile,
                                  std::size_t player) const;
+
+    // The archived pre-sweep utility: dense product_for_each over the full
+    // action tensor with a per-cell `weight *=` loop. Golden baseline for
+    // the sparse walk's fuzz cross-validation; not for production call
+    // sites.
+    [[nodiscard]] double utility_reference(const std::vector<std::size_t>& machine_profile,
+                                           std::size_t player) const;
 
     // True iff no player can gain more than `tol` by switching machines.
     [[nodiscard]] bool is_machine_equilibrium(const std::vector<std::size_t>& machine_profile,
                                               double tol = 1e-9) const;
 
+    // Exhaustive machine-profile scan, parallelized over ranked blocks of
+    // the profile odometer (fixed block size: results and work counters
+    // are independent of worker count; blocks are merged in rank order,
+    // so output matches the serial scan exactly).
     [[nodiscard]] std::vector<std::vector<std::size_t>> machine_equilibria(
-        double tol = 1e-9) const;
+        double tol = 1e-9, game::SweepMode mode = game::SweepMode::kAuto) const;
 
     // Best-response machine indices of `player` against the profile.
     [[nodiscard]] std::vector<std::size_t> best_machines(

@@ -12,7 +12,9 @@
 #include <optional>
 #include <vector>
 
+#include "core/robust/robustness.h"
 #include "game/bayesian.h"
+#include "game/payoff_engine.h"
 #include "game/strategy.h"
 #include "util/rational.h"
 #include "util/rng.h"
@@ -61,7 +63,26 @@ public:
     // this checker covers the communication-free subclass (exhaustive over
     // independent maps), which is exact for singleton coalitions and a
     // sound necessary condition for larger ones.
-    [[nodiscard]] bool is_truthful_resilient_independent(std::size_t k) const;
+    //
+    // Runs as a coalition sweep on the shared kernel: one pooled task per
+    // coalition, a util::OffsetWalker odometer over the (report, response)
+    // deviation maps with incremental reported-row / action-rank updates,
+    // and relevance pruning — a response entry (type, recommendation) the
+    // mediator can never reach under the current report map is held fixed,
+    // so each scan evaluates one representative per class of maps with
+    // equal member values. Verdicts match reference::
+    // is_truthful_resilient_independent exactly; work is charged to the
+    // thread's util::ExecutionGrant and an expired grant truncates the
+    // scan (callers observing grant->expired() must treat the verdict as
+    // truncated).
+    //
+    // `criterion` picks the coalition-gain semantics (kAnyMemberGains is
+    // the classical some-member-strictly-gains reading; kAllMembersGain
+    // requires every member to strictly gain). The two coincide for
+    // singleton coalitions.
+    [[nodiscard]] bool is_truthful_resilient_independent(
+        std::size_t k, GainCriterion criterion = GainCriterion::kAnyMemberGains,
+        game::SweepMode mode = game::SweepMode::kAuto) const;
 
     // --- sampling (cheap-talk substrate) ---------------------------------
     // Smallest R such that every probability in the table is a multiple of
@@ -79,5 +100,19 @@ private:
     std::uint64_t num_action_profiles_;
     std::vector<std::vector<util::Rational>> table_;  // [type_rank][action_rank]
 };
+
+namespace reference {
+
+// The archived pre-sweep checker: enumerates EVERY joint (report,
+// response) deviation map, re-unranking both maps and walking the full
+// type x action-rank tensor per candidate. Golden baseline for the sweep's
+// fuzz cross-validation and for the bench's deviation-map-evaluation
+// comparison (it reports one cells_visited per evaluated map, like the
+// sweep); not for production call sites.
+[[nodiscard]] bool is_truthful_resilient_independent(
+    const MediatorPolicy& policy, std::size_t k,
+    GainCriterion criterion = GainCriterion::kAnyMemberGains);
+
+}  // namespace reference
 
 }  // namespace bnash::core

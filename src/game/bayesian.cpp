@@ -19,6 +19,15 @@ BayesianGame::BayesianGame(std::vector<std::size_t> type_counts,
     }
     num_type_profiles_ = util::product_size(type_counts_);
     num_action_profiles_ = util::product_size(action_counts_);
+    // Row-major rank strides (product_rank order): stride[p] is the rank
+    // delta of a unit change in player p's digit.
+    const std::size_t n = num_players();
+    type_rank_strides_.assign(n, 1);
+    action_rank_strides_.assign(n, 1);
+    for (std::size_t p = n - 1; p-- > 0;) {
+        type_rank_strides_[p] = type_rank_strides_[p + 1] * type_counts_[p + 1];
+        action_rank_strides_[p] = action_rank_strides_[p + 1] * action_counts_[p + 1];
+    }
     prior_.assign(num_type_profiles_, util::Rational{0});
     payoffs_.assign(num_type_profiles_ * num_action_profiles_ * num_players(),
                     util::Rational{0});
@@ -205,6 +214,10 @@ TypeProfile BayesianGame::sample_types(util::Rng& rng) const {
 
 std::uint64_t BayesianGame::type_rank(const TypeProfile& types) const {
     return util::product_rank(type_counts_, types);
+}
+
+std::uint64_t BayesianGame::type_profile_rank(const TypeProfile& types) const {
+    return type_rank(types);
 }
 
 std::uint64_t BayesianGame::cell_index(const TypeProfile& types, const PureProfile& actions,

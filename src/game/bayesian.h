@@ -102,6 +102,40 @@ public:
 
     [[nodiscard]] TypeProfile sample_types(util::Rng& rng) const;
 
+    // --- flat-tensor accessors (sweep kernels) -----------------------------
+    // The payoff tensor is laid out [type_rank][action_rank][player]. The
+    // view-native sweeps (mediator deviation odometers, machine-game
+    // support walks) index it through these instead of re-ranking full
+    // profiles on every cell: a modified action profile is a rank delta
+    // of `action_rank_strides()[p] * (a' - a)` per touched player.
+    [[nodiscard]] std::uint64_t num_type_profiles() const noexcept {
+        return num_type_profiles_;
+    }
+    [[nodiscard]] std::uint64_t num_action_profiles() const noexcept {
+        return num_action_profiles_;
+    }
+    [[nodiscard]] std::uint64_t type_profile_rank(const TypeProfile& types) const;
+    [[nodiscard]] const std::vector<std::uint64_t>& type_rank_strides() const noexcept {
+        return type_rank_strides_;
+    }
+    [[nodiscard]] const std::vector<std::uint64_t>& action_rank_strides() const noexcept {
+        return action_rank_strides_;
+    }
+    [[nodiscard]] const util::Rational& payoff_at(std::uint64_t type_rank,
+                                                  std::uint64_t action_rank,
+                                                  std::size_t player) const {
+        return payoffs_[(type_rank * num_action_profiles_ + action_rank) * num_players() +
+                        player];
+    }
+    [[nodiscard]] double payoff_d_at(std::uint64_t type_rank, std::uint64_t action_rank,
+                                     std::size_t player) const {
+        return payoffs_d_[(type_rank * num_action_profiles_ + action_rank) * num_players() +
+                          player];
+    }
+    [[nodiscard]] const util::Rational& prior_at(std::uint64_t type_rank) const {
+        return prior_[type_rank];
+    }
+
 private:
     [[nodiscard]] std::uint64_t type_rank(const TypeProfile& types) const;
     [[nodiscard]] std::uint64_t cell_index(const TypeProfile& types, const PureProfile& actions,
@@ -111,6 +145,8 @@ private:
     std::vector<std::size_t> action_counts_;
     std::uint64_t num_type_profiles_ = 0;
     std::uint64_t num_action_profiles_ = 0;
+    std::vector<std::uint64_t> type_rank_strides_;
+    std::vector<std::uint64_t> action_rank_strides_;
     std::vector<util::Rational> prior_;
     std::vector<util::Rational> payoffs_;
     std::vector<double> payoffs_d_;

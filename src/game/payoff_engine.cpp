@@ -601,6 +601,33 @@ SupportPlan build_support_plan(const GameView& view, const ExactMixedProfile& pr
     return build_support_plan(profile, nullptr, &view, full_player);
 }
 
+SupportPlan build_support_plan_from_dists(const std::vector<std::vector<double>>& dists,
+                                          const std::vector<std::uint64_t>& strides) {
+    const std::size_t n = dists.size();
+    if (strides.size() != n) {
+        throw std::invalid_argument("build_support_plan_from_dists: stride width");
+    }
+    SupportPlan plan;
+    plan.actions.resize(n);
+    plan.offsets.resize(n);
+    plan.radices.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t a = 0; a < dists[p].size(); ++a) {
+            if (dists[p][a] > 0.0) {
+                plan.actions[p].push_back(a);
+                plan.offsets[p].push_back(static_cast<std::uint64_t>(a) * strides[p]);
+            }
+        }
+        if (plan.actions[p].empty()) {
+            plan.dead = true;
+            return plan;
+        }
+        plan.radices[p] = plan.actions[p].size();
+    }
+    plan.num_tuples = util::product_size(plan.radices);
+    return plan;
+}
+
 PayoffEngine::PayoffEngine(const NormalFormGame& game) : game_(&game) {
     const auto& counts = game.action_counts();
     const std::size_t n = counts.size();

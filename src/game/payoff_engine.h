@@ -217,6 +217,16 @@ struct SupportPlan final {
     const GameView& view, const ExactMixedProfile& profile,
     std::size_t full_player = SupportPlan::kNoFullPlayer);
 
+// Plan over an explicit product distribution against caller-supplied flat
+// strides: support = actions with positive probability, offsets[p][s] =
+// actions[p][s] * strides[p]. This is the entry point for sweeps over
+// tensors the GameView layer does not wrap — the machine-game expected
+// utility walks a Bayesian action slice with strides =
+// BayesianGame::action_rank_strides().
+[[nodiscard]] SupportPlan build_support_plan_from_dists(
+    const std::vector<std::vector<double>>& dists,
+    const std::vector<std::uint64_t>& strides);
+
 // Reference implementations with the seed's per-action full-tensor
 // complexity. Golden baselines for the equivalence tests and the
 // speedup benchmarks; not for production call sites.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <stdexcept>
 
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace bnash::scrip {
 
@@ -14,6 +16,14 @@ ScripResult simulate(const ScripParams& params, const std::vector<AgentSpec>& sp
     if (n < 2) throw std::invalid_argument("scrip::simulate: need >= 2 agents");
     if (params.gamma <= params.alpha) {
         throw std::invalid_argument("scrip::simulate: gamma must exceed alpha");
+    }
+    if (params.rounds == 0) {
+        // satisfied_fraction and social_welfare_per_round divide by rounds.
+        throw std::invalid_argument("scrip::simulate: rounds must be positive");
+    }
+    if (!(params.money_per_capita >= 0.0)) {
+        // A negative (or NaN) value would wrap the size_t coin count below.
+        throw std::invalid_argument("scrip::simulate: money_per_capita must be >= 0");
     }
     util::Rng rng{params.seed};
 
@@ -90,14 +100,38 @@ ScripResult simulate_uniform(const ScripParams& params, std::size_t threshold) {
 std::vector<double> threshold_best_response_curve(const ScripParams& params,
                                                   std::size_t population_threshold,
                                                   std::size_t max_threshold) {
-    std::vector<double> out;
-    out.reserve(max_threshold + 1);
-    for (std::size_t candidate = 0; candidate <= max_threshold; ++candidate) {
+    if (params.num_agents < 2) {
+        throw std::invalid_argument("threshold_best_response_curve: need >= 2 agents");
+    }
+    // Every candidate runs simulate() with the SAME params.seed — common
+    // random numbers, so curves differ only through the deviator's policy.
+    // simulate() seeds its own Rng, which also makes candidates
+    // independent tasks: the pooled run below writes out[candidate]
+    // directly and is bit-identical to the serial loop.
+    std::vector<double> out(max_threshold + 1, 0.0);
+    std::vector<std::exception_ptr> errors(out.size());
+    const auto run_candidate = [&](std::size_t candidate) {
         std::vector<AgentSpec> specs(
             params.num_agents, AgentSpec{BehaviorKind::kThreshold, population_threshold});
         specs[0] = AgentSpec{BehaviorKind::kThreshold, candidate};
-        const auto result = simulate(params, specs);
-        out.push_back(result.utility[0]);
+        out[candidate] = simulate(params, specs).utility[0];
+    };
+    auto& pool = util::global_pool();
+    if (out.size() <= 1 || pool.size() <= 1) {
+        for (std::size_t candidate = 0; candidate < out.size(); ++candidate) {
+            run_candidate(candidate);
+        }
+        return out;
+    }
+    pool.run_blocks(out.size(), [&](std::size_t candidate) {
+        try {
+            run_candidate(candidate);
+        } catch (...) {
+            errors[candidate] = std::current_exception();
+        }
+    });
+    for (const auto& error : errors) {
+        if (error) std::rethrow_exception(error);
     }
     return out;
 }

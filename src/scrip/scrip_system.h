@@ -48,7 +48,10 @@ struct ScripResult final {
     std::size_t total_money = 0;            // conserved unless altruists donate work
 };
 
-// Runs the economy. specs.size() must equal params.num_agents.
+// Runs the economy. specs.size() must equal params.num_agents. Throws
+// std::invalid_argument on malformed params: fewer than 2 agents,
+// gamma <= alpha, rounds == 0 (the per-round averages divide by rounds)
+// or money_per_capita < 0 / NaN (the coin count is a size_t).
 [[nodiscard]] ScripResult simulate(const ScripParams& params,
                                    const std::vector<AgentSpec>& specs);
 
@@ -57,7 +60,9 @@ struct ScripResult final {
 
 // Empirical best response: utility of agent 0 for each candidate
 // threshold, everyone else fixed at `population_threshold`. Returns the
-// candidate utilities (index = threshold).
+// candidate utilities (index = threshold). Candidates run as pooled
+// tasks; every run reseeds from params.seed (common random numbers), so
+// the curve is bit-identical to a serial scan regardless of worker count.
 [[nodiscard]] std::vector<double> threshold_best_response_curve(
     const ScripParams& params, std::size_t population_threshold,
     std::size_t max_threshold);

@@ -1,0 +1,184 @@
+// Randomized cross-validation for the PR-8 sweep ports.
+//
+// The mediator coalition sweep and the machine-game SupportPlan utility
+// replaced exhaustive naive loops whose bodies now live on as archived
+// reference implementations. On seeded random Bayesian games:
+//   - MediatorPolicy::is_truthful_resilient_independent (serial AND
+//     pooled) must return the exact verdict of
+//     reference::is_truthful_resilient_independent, under BOTH gain
+//     criteria;
+//   - MachineGame::utility must equal utility_reference bit for bit
+//     (same cells, same order, same product association);
+//   - machine_equilibria must be identical serial vs pooled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine/machine_game.h"
+#include "core/robust/mediator.h"
+#include "core/robust/robustness.h"
+#include "game/bayesian.h"
+#include "util/combinatorics.h"
+#include "util/rng.h"
+
+namespace bnash::core {
+namespace {
+
+using game::BayesianGame;
+using game::PureProfile;
+using game::SweepMode;
+using game::TypeProfile;
+using util::Rational;
+
+// Random small Bayesian game: n in {2, 3}, per-player (types, actions)
+// drawn from {(1,2), (2,2), (1,3)}, random rational payoffs, random
+// normalized prior with occasional zero-probability type profiles.
+BayesianGame random_bayesian_game(util::Rng& rng, std::size_t n) {
+    std::vector<std::size_t> type_counts(n);
+    std::vector<std::size_t> action_counts(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        switch (rng.next_below(3)) {
+            case 0: type_counts[p] = 1; action_counts[p] = 2; break;
+            case 1: type_counts[p] = 2; action_counts[p] = 2; break;
+            default: type_counts[p] = 1; action_counts[p] = 3; break;
+        }
+    }
+    BayesianGame g(type_counts, action_counts);
+    // Prior: random non-negative integer weights (zeros allowed, at least
+    // one positive), normalized exactly.
+    const std::uint64_t num_type_profiles = util::product_size(type_counts);
+    std::vector<std::int64_t> weights(num_type_profiles);
+    std::int64_t total = 0;
+    for (auto& w : weights) {
+        w = rng.next_int(0, 3);
+        total += w;
+    }
+    if (total == 0) {
+        weights[0] = 1;
+        total = 1;
+    }
+    std::uint64_t row = 0;
+    util::product_for_each(type_counts, [&](const TypeProfile& types) {
+        g.set_prior(types, Rational{weights[row], total});
+        ++row;
+        util::product_for_each(action_counts, [&](const PureProfile& actions) {
+            for (std::size_t p = 0; p < n; ++p) {
+                g.set_payoff(types, actions, p,
+                             Rational{rng.next_int(-6, 6), rng.next_int(1, 3)});
+            }
+            return true;
+        });
+        return true;
+    });
+    return g;
+}
+
+// Random policy: each row is a point mass or a 1/2-1/2 mix over two
+// distinct action ranks.
+MediatorPolicy random_policy(util::Rng& rng, const BayesianGame& g) {
+    MediatorPolicy policy(g);
+    const std::uint64_t num_ranks = util::product_size(g.action_counts());
+    util::product_for_each(g.type_counts(), [&](const TypeProfile& types) {
+        const std::uint64_t first = rng.next_below(num_ranks);
+        if (rng.next_bool(0.5)) {
+            policy.set_recommendation(types, util::product_unrank(g.action_counts(), first),
+                                      Rational{1});
+        } else {
+            const std::uint64_t second = (first + 1 + rng.next_below(num_ranks - 1)) % num_ranks;
+            policy.set_recommendation(types, util::product_unrank(g.action_counts(), first),
+                                      Rational{1, 2});
+            policy.set_recommendation(types, util::product_unrank(g.action_counts(), second),
+                                      Rational{1, 2});
+        }
+        return true;
+    });
+    policy.validate();
+    return policy;
+}
+
+TEST(PortFuzz, MediatorSweepMatchesReferenceOnRandomGames) {
+    util::Rng rng{20260808};
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 2);
+        const auto g = random_bayesian_game(rng, n);
+        const auto policy = random_policy(rng, g);
+        const std::string label = "trial " + std::to_string(trial) + " n=" + std::to_string(n);
+        for (std::size_t k = 1; k <= std::min<std::size_t>(n, 2); ++k) {
+            for (const auto criterion :
+                 {GainCriterion::kAnyMemberGains, GainCriterion::kAllMembersGain}) {
+                const bool expected =
+                    reference::is_truthful_resilient_independent(policy, k, criterion);
+                EXPECT_EQ(policy.is_truthful_resilient_independent(k, criterion,
+                                                                   SweepMode::kSerial),
+                          expected)
+                    << label << " k=" << k << " serial";
+                EXPECT_EQ(policy.is_truthful_resilient_independent(k, criterion,
+                                                                   SweepMode::kAuto),
+                          expected)
+                    << label << " k=" << k << " pooled";
+            }
+        }
+        // k = 1 of the sweep is exactly the single-player equilibrium check.
+        EXPECT_EQ(policy.is_truthful_resilient_independent(1), policy.is_truthful_equilibrium())
+            << label;
+    }
+}
+
+// Random machine game over a random Bayesian base: a mix of constant,
+// type-echo, uniform-random and random-table machines per player.
+MachineGame random_machine_game(util::Rng& rng, const BayesianGame& g) {
+    MachineCost cost;
+    cost.base = 0.25;
+    cost.per_state = 0.125;
+    cost.randomized_surcharge = 0.5;
+    MachineGame mg(g, cost);
+    for (std::size_t p = 0; p < g.num_players(); ++p) {
+        const std::size_t count = 2 + rng.next_below(2);
+        for (std::size_t m = 0; m < count; ++m) {
+            switch (rng.next_below(4)) {
+                case 0:
+                    mg.add_machine(p, constant_machine(rng.next_below(g.num_actions(p))));
+                    break;
+                case 1: mg.add_machine(p, type_echo_machine()); break;
+                case 2: mg.add_machine(p, uniform_random_machine()); break;
+                default: {
+                    std::vector<std::size_t> table(g.num_types(p));
+                    for (auto& a : table) a = rng.next_below(g.num_actions(p));
+                    mg.add_machine(p, table_machine(std::move(table), "t" + std::to_string(m)));
+                    break;
+                }
+            }
+        }
+    }
+    return mg;
+}
+
+TEST(PortFuzz, SparseMachineUtilityMatchesReferenceExactly) {
+    util::Rng rng{8812026080808ull};
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 2);
+        const auto g = random_bayesian_game(rng, n);
+        const auto mg = random_machine_game(rng, g);
+        const std::string label = "trial " + std::to_string(trial);
+        std::vector<std::size_t> radices(n);
+        for (std::size_t p = 0; p < n; ++p) radices[p] = mg.num_machines(p);
+        util::product_for_each(radices, [&](const std::vector<std::size_t>& profile) {
+            for (std::size_t p = 0; p < n; ++p) {
+                // Bitwise equality: the sparse walk visits the reference
+                // loop's nonzero cells in the same order with the same
+                // product association.
+                EXPECT_EQ(mg.utility(profile, p), mg.utility_reference(profile, p))
+                    << label << " player " << p;
+            }
+            return true;
+        });
+        EXPECT_EQ(mg.machine_equilibria(1e-9, SweepMode::kSerial),
+                  mg.machine_equilibria(1e-9, SweepMode::kAuto))
+            << label;
+    }
+}
+
+}  // namespace
+}  // namespace bnash::core

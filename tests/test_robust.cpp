@@ -325,6 +325,62 @@ TEST(Mediator, RandomizedPolicySamplesExactly) {
     EXPECT_EQ(policy.sample_rank({0, 0}, 1, 2), rank11);
 }
 
+TEST(Mediator, CoinSpaceOverflowThrowsInsteadOfWrapping) {
+    // Regression: the lcm accumulation used to multiply BEFORE checking
+    // the cap, so a denominator near int64 max wrapped uint64 and the
+    // pair below silently returned coin space 2^19. Both guards (huge
+    // single denominator; per-step lcm growth past the cap) must throw.
+    const auto g = correlated_types_game();
+    MediatorPolicy policy(g);
+    policy.set_recommendation({0, 0}, {0, 0}, Rational{1, std::int64_t{1} << 19});
+    policy.set_recommendation({0, 0}, {1, 1},
+                              Rational{1, (std::int64_t{1} << 45) + 1});
+    EXPECT_THROW((void)policy.coin_space(), std::logic_error);
+
+    // Each denominator fits the cap but their lcm does not.
+    MediatorPolicy lcm_blowup(g);
+    lcm_blowup.set_recommendation({0, 0}, {0, 0}, Rational{1, 999'983});
+    lcm_blowup.set_recommendation({0, 0}, {1, 1}, Rational{1, 2});
+    EXPECT_THROW((void)lcm_blowup.coin_space(), std::logic_error);
+}
+
+TEST(Mediator, GainCriterionChangesCoalitionVerdict) {
+    // Joint deviation (1,1) hands player 0 payoff 3 (> 2) and player 1
+    // payoff 1 (< 2): some member gains but not all, and no singleton
+    // deviation strictly gains — so the two criteria disagree exactly at
+    // k = 2, on the sweep and on the archived reference alike.
+    game::BayesianGame g({1, 1}, {2, 2});
+    g.set_prior({0, 0}, Rational{1});
+    const auto set = [&](std::size_t a0, std::size_t a1, std::int64_t u0,
+                         std::int64_t u1) {
+        g.set_payoff({0, 0}, {a0, a1}, 0, Rational{u0});
+        g.set_payoff({0, 0}, {a0, a1}, 1, Rational{u1});
+    };
+    set(0, 0, 2, 2);
+    set(1, 0, 2, 0);
+    set(0, 1, 0, 2);
+    set(1, 1, 3, 1);
+    MediatorPolicy policy(g);
+    policy.set_recommendation({0, 0}, {0, 0}, Rational{1});
+    policy.validate();
+    EXPECT_TRUE(policy.is_truthful_equilibrium());
+    for (const auto mode : {game::SweepMode::kSerial, game::SweepMode::kAuto}) {
+        EXPECT_FALSE(
+            policy.is_truthful_resilient_independent(2, GainCriterion::kAnyMemberGains, mode));
+        EXPECT_TRUE(
+            policy.is_truthful_resilient_independent(2, GainCriterion::kAllMembersGain, mode));
+        // Criteria coincide for singleton coalitions.
+        EXPECT_TRUE(
+            policy.is_truthful_resilient_independent(1, GainCriterion::kAnyMemberGains, mode));
+        EXPECT_TRUE(
+            policy.is_truthful_resilient_independent(1, GainCriterion::kAllMembersGain, mode));
+    }
+    EXPECT_FALSE(reference::is_truthful_resilient_independent(policy, 2,
+                                                              GainCriterion::kAnyMemberGains));
+    EXPECT_TRUE(reference::is_truthful_resilient_independent(policy, 2,
+                                                             GainCriterion::kAllMembersGain));
+}
+
 TEST(Robustness, BayesianWrapperMatchesStrategicForm) {
     // Ex-ante (1,0)-robustness of a Bayesian pure profile == Bayes-Nash.
     const auto g = byzantine_agreement_game(3);

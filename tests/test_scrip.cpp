@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "scrip/scrip_system.h"
 
@@ -131,6 +132,41 @@ TEST(Scrip, ParameterValidation) {
     params = ScripParams{};
     params.gamma = 0.5;  // below alpha
     EXPECT_THROW((void)simulate_uniform(params, 2), std::invalid_argument);
+}
+
+TEST(Scrip, ZeroRoundsIsRejected) {
+    // Regression: satisfied_fraction and social_welfare_per_round divide
+    // by rounds; rounds == 0 used to return NaNs instead of throwing.
+    auto params = small_params();
+    params.rounds = 0;
+    EXPECT_THROW((void)simulate_uniform(params, 4), std::invalid_argument);
+}
+
+TEST(Scrip, NegativeMoneyPerCapitaIsRejected) {
+    // Regression: the initial coin count is a size_t; a negative
+    // money_per_capita used to wrap it to ~2^64 coins.
+    auto params = small_params();
+    params.money_per_capita = -2.0;
+    EXPECT_THROW((void)simulate_uniform(params, 4), std::invalid_argument);
+    params.money_per_capita = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW((void)simulate_uniform(params, 4), std::invalid_argument);
+}
+
+TEST(Scrip, BestResponseCurveMatchesSerialSimulations) {
+    // The pooled curve must equal candidate-by-candidate simulate() calls
+    // bit for bit: common random numbers come from reseeding on
+    // params.seed inside simulate(), not from shared Rng state.
+    auto params = small_params();
+    params.rounds = 10'000;
+    const auto curve = threshold_best_response_curve(params, 4, 10);
+    ASSERT_EQ(curve.size(), 11u);
+    for (std::size_t candidate = 0; candidate <= 10; ++candidate) {
+        std::vector<AgentSpec> specs(params.num_agents,
+                                     AgentSpec{BehaviorKind::kThreshold, 4});
+        specs[0] = AgentSpec{BehaviorKind::kThreshold, candidate};
+        EXPECT_EQ(curve[candidate], simulate(params, specs).utility[0])
+            << "candidate " << candidate;
+    }
 }
 
 }  // namespace
