@@ -195,6 +195,70 @@ void bench_serve_submit_burst(benchmark::State& state) {
 }
 BENCHMARK(bench_serve_submit_burst)->Unit(benchmark::kMillisecond);
 
+// Resumable degradation: a frontier sweep whose grant covers about a
+// third of the grid, chained to completion through resume tokens. The
+// gated rows pin the resume contract structurally: every retry seeks
+// past the cells its predecessors resolved (resumed_cells_skipped and
+// cells_visited are exact serial-mode constants), each t-column streams
+// exactly once across the whole chain (stream_columns == max_t + 1),
+// and every leg but the last degrades (degraded_rate). A regression in
+// checkpoint seeking shows up here as cells_visited growth even when
+// wall time hides in machine noise.
+void bench_serve_resume(benchmark::State& state) {
+    serve::FrontierRequest base;
+    base.game = game::catalog::attack_coordination_game(5);
+    base.profile = core::as_exact_profile(base.game, game::PureProfile(5, 1));
+    base.max_k = 2;
+    base.max_t = 2;
+    base.mode = game::SweepMode::kSerial;
+
+    // One unbudgeted run prices the grid; the chained legs then get a
+    // third of that (comfortably above the per-task resume floor).
+    std::uint64_t full_cells = 0;
+    {
+        serve::RobustnessServer probe;
+        full_cells = probe.frontier(base).cells_charged;
+    }
+    serve::FrontierRequest budgeted = base;
+    budgeted.budget_cells = std::max<std::uint64_t>(1, full_cells / 3);
+
+    std::uint64_t legs = 0;
+    std::uint64_t total_cells = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t columns = 0;
+    std::uint64_t chains = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        serve::RobustnessServer server;
+        state.ResumeTiming();
+        legs = 0;
+        total_cells = 0;
+        skipped = 0;
+        columns = 0;
+        serve::FrontierRequest request = budgeted;
+        serve::FrontierResponse response;
+        do {
+            response = server.frontier(
+                request,
+                [&](std::size_t, std::size_t, const core::RobustnessViolation*) { ++columns; });
+            // A resumed leg seeks past everything its predecessors
+            // resolved; that avoided work is what the token buys.
+            if (legs > 0) skipped += total_cells;
+            total_cells += response.cells_charged;
+            request.resume_token = response.resume_token;
+            ++legs;
+        } while (response.status == serve::QueryStatus::kDegraded && legs < 64);
+        ++chains;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(chains));
+    state.counters["cells_visited"] = benchmark::Counter(static_cast<double>(total_cells));
+    state.counters["resumed_cells_skipped"] = benchmark::Counter(static_cast<double>(skipped));
+    state.counters["stream_columns"] = benchmark::Counter(static_cast<double>(columns));
+    state.counters["degraded_rate"] = benchmark::Counter(
+        legs > 0 ? static_cast<double>(legs - 1) / static_cast<double>(legs) : 0);
+}
+BENCHMARK(bench_serve_resume)->Unit(benchmark::kMillisecond);
+
 // Canonicalization on its own: the fixed per-request cost every cached
 // answer still pays.
 void bench_canonical_key(benchmark::State& state) {

@@ -1,18 +1,24 @@
 // The robustness-query server end to end: canonicalized cache hits,
 // budget-degraded answers, load shedding, and the stdin line protocol.
 //
-//   $ ./robustness_service            # scripted demo
-//   $ ./robustness_service --stdin    # line protocol on stdin (see
-//                                     # src/serve/text_front.h)
+//   $ ./robustness_service                 # scripted demo
+//   $ ./robustness_service --stdin         # line protocol on stdin (see
+//                                          # src/serve/text_front.h)
+//   $ ./robustness_service --socket [port] # same protocol over loopback
+//                                          # TCP (port 0 = ephemeral)
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/robust/robustness.h"
 #include "game/catalog.h"
 #include "serve/server.h"
+#include "serve/socket_front.h"
 #include "serve/text_front.h"
 
 namespace {
@@ -23,6 +29,10 @@ void show(const char* label, const bnash::serve::QueryResponse& response) {
               << " cache=" << (response.cache_hit ? "hit" : "miss")
               << " cells=" << response.cells_charged << '\n';
 }
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
 
 }  // namespace
 
@@ -35,6 +45,18 @@ int main(int argc, char** argv) {
         std::cout << "served " << asks << " queries\n";
         return 0;
     }
+    if (argc > 1 && std::strcmp(argv[1], "--socket") == 0) {
+        serve::SocketFrontOptions options;
+        if (argc > 2) options.port = static_cast<std::uint16_t>(std::stoi(argv[2]));
+        options.on_listen = [](std::uint16_t port) {
+            std::cout << "listening on 127.0.0.1:" << port << std::endl;
+        };
+        std::signal(SIGINT, on_signal);
+        std::signal(SIGTERM, on_signal);
+        const serve::SocketFrontStats stats = serve::run_socket_front(server, options, g_stop);
+        std::cout << "connections=" << stats.connections << " lines=" << stats.lines << '\n';
+        return 0;
+    }
 
     std::cout << "== (k,t)-robustness as a service: attack-coordination, 5 players ==\n";
     serve::QueryRequest request;
@@ -45,10 +67,26 @@ int main(int argc, char** argv) {
     request.t = 1;
 
     request.budget_cells = 8;  // far below the sweep's cell count
-    show("8-cell budget      ", server.query(request));
+    serve::QueryResponse degraded = server.query(request);
+    show("8-cell budget      ", degraded);
+
+    // Each degraded answer carries a resume token; presenting it lets
+    // the next grant pick up where the last one expired, so the retries
+    // collectively pay for ~one sweep. Retries use a grant above the
+    // resume floor — a budget below one task's cost can never vouch for
+    // that task and would re-run it forever.
+    request.budget_cells = 48;
+    std::size_t retries = 0;
+    while (degraded.status == serve::QueryStatus::kDegraded && retries < 64) {
+        request.resume_token = degraded.resume_token;
+        degraded = server.query(request);
+        ++retries;
+    }
+    std::cout << "  resumed retries    : " << retries << " x 48-cell grants to finish\n";
+    show("final verdict      ", degraded);
+    request.resume_token.clear();
 
     request.budget_cells = util::ExecutionGrant::kUnlimited;
-    show("full budget retry  ", server.query(request));
     show("repeat (memoized)  ", server.query(request));
 
     std::cout << "\n== Affinely rescaled upload: one cache entry ==\n";

@@ -4,7 +4,7 @@
 # fresh BENCH_*.json perf artifacts (diffable across PRs with
 # scripts/bench_diff.py).
 # Usage: scripts/verify.sh [--bench] [--tsan]
-#   --bench  additionally smoke-runs the remaining benchmark binaries
+#   --bench  accepted for compatibility (every bench binary is gated now)
 #   --tsan   additionally builds the concurrency-heavy tests with
 #            ThreadSanitizer (separate build-tsan/ tree) and runs them
 set -euo pipefail
@@ -48,6 +48,7 @@ if [[ "${BENCH}" == "ON" ]]; then
   (cd build && ./bench_machine --benchmark_min_time=0.05s)
   (cd build && ./bench_frpd --benchmark_min_time=0.05s)
   (cd build && ./bench_awareness --benchmark_min_time=0.05s)
+  (cd build && ./bench_serve --benchmark_min_time=0.05s)
   # Regression gates against the blessed baselines. Wall time gets a
   # deliberately loose threshold (machine-to-machine noise); the
   # deterministic counters get tight ones — sweep work (cells_visited /
@@ -61,13 +62,14 @@ if [[ "${BENCH}" == "ON" ]]; then
   # Skips gracefully when python3 is absent.
   if command -v python3 >/dev/null 2>&1; then
     for bench_name in robustness payoff_engine solvers byzantine symmetry mediator \
-                      scrip machine frpd awareness; do
+                      scrip machine frpd awareness serve; do
       if [[ -f "bench/baselines/BENCH_${bench_name}.json" ]]; then
         python3 scripts/bench_diff.py "bench/baselines/BENCH_${bench_name}.json" \
           "build/BENCH_${bench_name}.json" --gate real_time:150 \
           --gate cells_visited:5 --gate offsets_advanced:5 \
           --gate rounds:1 --gate messages:1 --gate payload_words:1 \
-          --gate satisfied:1
+          --gate satisfied:1 --gate resumed_cells_skipped:5 \
+          --gate stream_columns:1 --gate degraded_rate:1 --gate evictions:1
       else
         echo "verify.sh: no BENCH_${bench_name}.json baseline; skipping its gate" >&2
       fi
@@ -78,18 +80,20 @@ if [[ "${BENCH}" == "ON" ]]; then
 fi
 
 if [[ "${FULL_BENCH}" == "ON" && "${BENCH}" == "ON" ]]; then
-  # Smoke-run the remaining bench binaries (no blessed baselines;
-  # bench_serve's tail-latency and shed-rate rows are machine-dependent
-  # by construction, so only its structural eviction row is meaningful).
-  (cd build && ./bench_serve --benchmark_min_time=0.05s)
+  # Every bench binary is now gated above; --bench is kept as a no-op so
+  # existing invocations don't break.
+  echo "verify.sh: --bench is subsumed by the gated run; nothing extra to do"
 fi
 
 if [[ "${TSAN}" == "ON" ]]; then
   # ThreadSanitizer pass over the concurrency-heavy suites: the thread
-  # pool + execution grants, the granted parallel sweeps, and the
-  # message-passing consensus simulator. Separate build tree so the
-  # instrumented objects never mix with the tier-1 ones.
-  TSAN_TESTS=(test_util test_payoff_engine test_coalition_sweep test_dist)
+  # pool + execution grants (and the resumed-sweep chains), the granted
+  # parallel sweeps, the message-passing consensus simulator, and the
+  # serving layer (verdict-cache stampedes/promotions, worker queue,
+  # socket front). Separate build tree so the instrumented objects never
+  # mix with the tier-1 ones.
+  TSAN_TESTS=(test_util test_payoff_engine test_coalition_sweep test_dist
+              test_serve test_grant)
   cmake -B build-tsan -S . -DBNASH_BUILD_BENCH=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \

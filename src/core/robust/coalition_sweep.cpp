@@ -172,6 +172,22 @@ TaskRun run_tasks(std::size_t num_tasks, game::SweepMode mode, const TaskFn& fn)
     return {std::nullopt, verified};
 }
 
+// run_tasks over the GLOBAL index range [start, num_tasks): the prefix
+// [0, start) was verified clean by an earlier budgeted run (see
+// SweepCheckpoint), so skipping it preserves the first-hit-wins verdict —
+// any hit found here is the global-first hit. Hit index and verified
+// count are reported in global task ranks.
+template <typename TaskFn>
+TaskRun run_tasks_from(std::size_t start, std::size_t num_tasks, game::SweepMode mode,
+                       const TaskFn& fn) {
+    if (start >= num_tasks) return {std::nullopt, num_tasks};
+    TaskRun run =
+        run_tasks(num_tasks - start, mode, [&](std::size_t index) { return fn(start + index); });
+    if (run.hit) run.hit->first += start;
+    run.verified += start;
+    return run;
+}
+
 // --- intra-task ranged-block scans -------------------------------------------
 //
 // One faulty set's joint-deviation space, walked as ONE combined odometer
@@ -1040,10 +1056,71 @@ std::optional<RobustnessViolation> CoalitionSweep::resilience_violation(
 
 std::optional<RobustnessViolation> CoalitionSweep::robustness_violation(
     std::size_t k, std::size_t t, const RobustnessOptions& options) const {
+    return robustness_violation(k, t, options, nullptr, nullptr);
+}
+
+std::optional<RobustnessViolation> CoalitionSweep::robustness_violation(
+    std::size_t k, std::size_t t, const RobustnessOptions& options,
+    const SweepCheckpoint* resume, SweepCheckpoint* checkpoint) const {
+    // An empty checkpoint (no progress recorded) is a fresh run.
+    if (resume != nullptr && !resume->immunity_done && resume->immunity_next == 0) {
+        resume = nullptr;
+    }
+    if (checkpoint != nullptr) *checkpoint = SweepCheckpoint{};
     // Part (a): non-deviators are not hurt by up to t arbitrary players.
-    if (auto immunity = immunity_violation(t, options.mode)) return immunity;
+    // Resume soundness mirrors run_tasks_from: tasks below the recorded
+    // rank were verified clean by the earlier runs, so any hit found here
+    // is the global-first witness.
+    if (t > 0 && !(resume != nullptr && resume->immunity_done)) {
+        const std::vector<Rational> baseline = immunity_baseline();
+        const util::SubsetEnumerator faulty_sets(view_.num_players(), t);
+        const auto effective = options.mode;
+        const std::uint64_t split =
+            sweep_intra_split_cells(faulty_sets.size(), max_scan_cells(view_, t));
+        const std::size_t start =
+            resume != nullptr ? static_cast<std::size_t>(resume->immunity_next) : 0;
+        auto run = run_tasks_from(start, faulty_sets.size(), effective, [&](std::size_t index) {
+            return immunity_task(faulty_sets[index], baseline, effective, split);
+        });
+        if (run.hit) {
+            if (checkpoint != nullptr) checkpoint->finished = true;
+            return std::move(run.hit->second);
+        }
+        if (run.verified < faulty_sets.size()) {
+            // Truncated: the caller observes the expired grant and treats
+            // the nullopt as kUnknown; the checkpoint seeks the retry.
+            if (checkpoint != nullptr) checkpoint->immunity_next = run.verified;
+            return std::nullopt;
+        }
+    }
+    if (checkpoint != nullptr) checkpoint->immunity_done = true;
     // Part (b): no coalition gains against any disjoint faulty set.
-    return resilience_violation(k, t, options.criterion, options.mode);
+    if (k == 0) {
+        if (checkpoint != nullptr) checkpoint->finished = true;
+        return std::nullopt;
+    }
+    const util::SubsetEnumerator coalitions(view_.num_players(), k);
+    const auto effective = options.mode;
+    const std::uint64_t split =
+        sweep_intra_split_cells(coalitions.size(), max_scan_cells(view_, k + t));
+    const std::size_t start = resume != nullptr && resume->immunity_done
+                                  ? static_cast<std::size_t>(resume->next_task)
+                                  : 0;
+    auto run = run_tasks_from(start, coalitions.size(), effective, [&](std::size_t index) {
+        return resilience_task(coalitions[index], 0, t, options.criterion, effective, split);
+    });
+    if (run.hit) {
+        if (checkpoint != nullptr) checkpoint->finished = true;
+        return std::move(run.hit->second);
+    }
+    if (checkpoint != nullptr) {
+        if (run.verified == coalitions.size()) {
+            checkpoint->finished = true;
+        } else {
+            checkpoint->next_task = run.verified;
+        }
+    }
+    return std::nullopt;
 }
 
 BatchVerdict CoalitionSweep::batch_resilience(std::size_t max_k, GainCriterion criterion,
@@ -1084,7 +1161,18 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                                                           std::size_t max_t,
                                                           GainCriterion criterion,
                                                           game::SweepMode mode) const {
+    return batch_robustness_frontier(max_k, max_t, criterion, mode, nullptr, nullptr, nullptr);
+}
+
+FrontierVerdict CoalitionSweep::batch_robustness_frontier(
+    std::size_t max_k, std::size_t max_t, GainCriterion criterion, game::SweepMode mode,
+    const SweepCheckpoint* resume, SweepCheckpoint* checkpoint,
+    const FrontierColumnSink& on_column) const {
     util::ExecutionGrant* const grant = util::active_grant();
+    // An empty checkpoint (no progress recorded) is a fresh run.
+    if (resume != nullptr && !resume->immunity_done && resume->immunity_next == 0) {
+        resume = nullptr;
+    }
     FrontierVerdict out;
     out.max_k = max_k;
     out.max_t = max_t;
@@ -1095,22 +1183,48 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
     // immunity verdict (the independent probes check immunity FIRST, so a
     // broken column takes the immunity witness for every k). A truncated
     // immunity sweep leaves the columns beyond its verified boundary
-    // UNRESOLVED rather than broken.
-    const BatchVerdict immunity = batch_immunity(max_t, mode);
-    if (immunity.complete) {
-        for (std::size_t t = immunity.max_ok + 1; t <= max_t; ++t) {
-            for (std::size_t k = 0; k <= max_k; ++k) {
-                out.cells[k * stride + t] = immunity.violations[t - 1];
+    // UNRESOLVED rather than broken. A resumed run whose checkpoint
+    // already finished the phase reuses the recorded boundary: the broken
+    // columns' witnesses were delivered by the run that finished it, so
+    // THIS grid leaves them kUnknown.
+    bool immunity_done = false;
+    bool immunity_exact_now = false;  // phase finished THIS run: witnesses in hand
+    std::size_t immunity_ok = 0;
+    std::uint64_t immunity_next = 0;
+    if (resume != nullptr && resume->immunity_done) {
+        immunity_done = true;
+        immunity_ok = resume->immunity_ok;
+    } else {
+        const ImmunityPhase phase =
+            immunity_phase(max_t, mode, resume != nullptr ? resume->immunity_next : 0);
+        immunity_done = phase.done;
+        immunity_next = phase.next_task;
+        immunity_ok = phase.verdict.max_ok;
+        if (immunity_done) {
+            immunity_exact_now = true;
+            for (std::size_t t = immunity_ok + 1; t <= max_t; ++t) {
+                for (std::size_t k = 0; k <= max_k; ++k) {
+                    out.cells[k * stride + t] = phase.verdict.violations[t - 1];
+                }
+                if (on_column) {
+                    on_column(t, 0,
+                              phase.verdict.violations[t - 1]
+                                  ? &*phase.verdict.violations[t - 1]
+                                  : nullptr);
+                }
             }
         }
     }
 
     // Part (b): the size-major coalition sweep resolves the surviving
     // columns. A task's cap is the highest still-unresolved column (the
-    // unresolved set is always a t-prefix: every hit resolves a suffix),
+    // unresolved set is always a t-prefix: every hit resolves a suffix,
+    // and columns resolved by EARLIER resumed runs were suffixes then),
     // and a hit at faulty size s0 claims every column t >= s0 the task is
-    // still the lowest index for.
-    const std::size_t t_res = std::min(max_t, immunity.max_ok);
+    // still the lowest index for. Resume soundness: a column still open
+    // now was open during every earlier run too, so its cap covered it in
+    // all tasks [0, start_b) — the seek changes no cap, winner, or scan.
+    const std::size_t t_res = std::min(max_t, immunity_ok);
     // Per-column outcome. A resolved column either has a valid winning
     // task (breaking_k[t] = that coalition's size) or verified the whole
     // sweep clean (breaking_k[t] = max_k + 1); a column truncated by the
@@ -1118,6 +1232,18 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
     std::vector<char> resolved(t_res + 1, 1);
     std::vector<std::size_t> verified_k(t_res + 1, max_k);
     std::vector<std::size_t> breaking_k(t_res + 1, max_k + 1);
+    // Columns whose verdict (and witness) an earlier run already
+    // delivered: out of play for caps and winners, kUnknown in this grid.
+    std::vector<char> done_before(t_res + 1, 0);
+    if (resume != nullptr && resume->immunity_done) {
+        for (std::size_t t = 0; t <= t_res && t < resume->column_done.size(); ++t) {
+            done_before[t] = resume->column_done[t] != 0 ? 1 : 0;
+        }
+    }
+    const std::size_t start_b = resume != nullptr && resume->immunity_done
+                                    ? static_cast<std::size_t>(resume->next_task)
+                                    : 0;
+    std::size_t next_task_out = 0;  // first unverified task rank, for the checkpoint
     if (max_k > 0) {  // k = 0 row: resilience is vacuous
         const util::SubsetEnumerator coalitions(view_.num_players(), max_k);
         const std::size_t num_tasks = coalitions.size();
@@ -1127,13 +1253,14 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
         const std::uint64_t split =
             sweep_intra_split_cells(num_tasks, max_scan_cells(view_, max_k + t_res));
         auto& pool = util::global_pool();
-        if (effective == game::SweepMode::kSerial || pool.size() <= 1 || num_tasks == 1) {
+        const std::size_t live_tasks = num_tasks > start_b ? num_tasks - start_b : 0;
+        if (effective == game::SweepMode::kSerial || pool.size() <= 1 || live_tasks <= 1) {
             std::size_t reached = num_tasks;  // tasks [0, reached) ran untruncated
-            for (std::size_t index = 0; index < num_tasks; ++index) {
+            for (std::size_t index = start_b; index < num_tasks; ++index) {
                 std::size_t cap = 0;
                 bool unresolved = false;
                 for (std::size_t t = t_res + 1; t-- > 0;) {
-                    if (winner[t] == num_tasks) {
+                    if (!done_before[t] && winner[t] == num_tasks) {
                         cap = t;
                         unresolved = true;
                         break;
@@ -1154,34 +1281,54 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                 }
                 if (violation) {
                     const std::size_t s0 = violation->faulty.size();
-                    for (std::size_t t = s0; t <= t_res; ++t) {
-                        if (winner[t] == num_tasks) winner[t] = index;
-                    }
                     found[index] = std::move(violation);
+                    for (std::size_t t = s0; t <= t_res; ++t) {
+                        if (!done_before[t] && winner[t] == num_tasks) {
+                            winner[t] = index;
+                            // Serial in-order execution: the winner is
+                            // final the moment it is pinned — stream it.
+                            if (on_column) {
+                                on_column(t, coalitions[index].size(), &*found[index]);
+                            }
+                        }
+                    }
                 }
             }
+            next_task_out = reached;
             if (reached < num_tasks) {
                 // In-order execution: winners found before the cutoff are
                 // valid; every still-open column was live the whole time
                 // (its cap covered it in every executed task), so its
                 // clean prefix is exactly [0, reached).
                 for (std::size_t t = 0; t <= t_res; ++t) {
-                    if (winner[t] == num_tasks) {
+                    if (!done_before[t] && winner[t] == num_tasks) {
                         resolved[t] = 0;
                         verified_k[t] = coalitions[reached].size() - 1;
+                    }
+                }
+            } else if (on_column) {
+                // Clean columns become final only when the sweep finishes.
+                for (std::size_t t = 0; t <= t_res; ++t) {
+                    if (!done_before[t] && winner[t] == num_tasks) {
+                        on_column(t, max_k + 1, nullptr);
                     }
                 }
             }
         } else {
             std::vector<std::atomic<std::size_t>> best(t_res + 1);
-            for (auto& slot : best) slot.store(num_tasks, std::memory_order_relaxed);
+            for (std::size_t t = 0; t <= t_res; ++t) {
+                // A column resolved by an earlier resumed run is out of
+                // play: no task can win it and no cap covers it.
+                best[t].store(done_before[t] ? 0 : num_tasks, std::memory_order_relaxed);
+            }
             std::vector<std::exception_ptr> errors(num_tasks);
             // Under a grant: per-task outcome (see run_tasks) plus the cap
             // the task completed with — a clean task vouches only for the
             // columns its cap covered.
             std::vector<unsigned char> state(grant != nullptr ? num_tasks : 0, 0);
             std::vector<std::size_t> cap_done(grant != nullptr ? num_tasks : 0, 0);
-            pool.run_blocks(num_tasks, [&](std::size_t index) {
+            pool.run_blocks(live_tasks, [&](std::size_t offset) {
+                const std::size_t index = start_b + offset;
                 // Columns this task could still win form a prefix; its cap
                 // is the highest of them. None -> early exit.
                 std::size_t cap = 0;
@@ -1224,19 +1371,22 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                     }
                 }
             });
-            std::size_t reach = 0;
+            std::size_t reach = start_b;
             for (std::size_t t = 0; t <= t_res; ++t) {
-                winner[t] = best[t].load(std::memory_order_acquire);
-                reach = std::max(reach, winner[t]);
+                winner[t] = done_before[t] ? num_tasks : best[t].load(std::memory_order_acquire);
+                if (!done_before[t]) reach = std::max(reach, winner[t]);
             }
+            next_task_out = num_tasks;
             if (grant != nullptr && grant->expired()) {
                 // Column-by-column completed-prefix resolution: task i
                 // vouches for column t iff it completed untruncated with a
                 // cap covering t and its first violation (if any) sits at
                 // a faulty size beyond t. A winner stands iff every lower
-                // task vouches for its column.
+                // live task vouches for its column (tasks below start_b
+                // were vouched for by the earlier runs).
                 for (std::size_t t = 0; t <= t_res; ++t) {
-                    std::size_t i = 0;
+                    if (done_before[t]) continue;
+                    std::size_t i = start_b;
                     for (; i < num_tasks; ++i) {
                         if (i == winner[t]) break;
                         const bool vouches = state[i] == 1 && cap_done[i] >= t &&
@@ -1248,13 +1398,15 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                     resolved[t] = 0;
                     winner[t] = num_tasks;  // an unvouched winner is discarded
                     verified_k[t] = coalitions[i].size() - 1;
+                    next_task_out = std::min(next_task_out, i);
                 }
                 // Errors at tasks the budgeted serial loop would have
                 // reached (before both the winner and the truncation
                 // point) surface lowest-index first.
-                std::size_t untruncated = 0;
+                std::size_t untruncated = start_b;
                 while (untruncated < num_tasks && state[untruncated] != 0) ++untruncated;
-                for (std::size_t index = 0; index < std::min(reach, untruncated); ++index) {
+                for (std::size_t index = start_b; index < std::min(reach, untruncated);
+                     ++index) {
                     if (errors[index]) std::rethrow_exception(errors[index]);
                 }
             } else {
@@ -1263,8 +1415,21 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                 // column's winner, or anywhere when some column never
                 // resolved) is rethrown, lowest index first; errors past
                 // every winner are swallowed.
-                for (std::size_t index = 0; index < std::min(reach, num_tasks); ++index) {
+                for (std::size_t index = start_b; index < std::min(reach, num_tasks); ++index) {
                     if (errors[index]) std::rethrow_exception(errors[index]);
+                }
+            }
+            if (on_column) {
+                // Parallel execution pins winners out of order; columns
+                // become final only once the vouch pass settles, so emit
+                // them here in t order.
+                for (std::size_t t = 0; t <= t_res; ++t) {
+                    if (done_before[t] || resolved[t] == 0) continue;
+                    if (winner[t] == num_tasks) {
+                        on_column(t, max_k + 1, nullptr);
+                    } else {
+                        on_column(t, coalitions[winner[t]].size(), &*found[winner[t]]);
+                    }
                 }
             }
         }
@@ -1278,11 +1443,40 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
                 out.cells[k * stride + t] = found[winner[t]];
             }
         }
+    } else if (on_column) {
+        // max_k == 0: resilience is vacuous, so every immune column is
+        // final the moment the immunity phase covers it.
+        for (std::size_t t = 0; t <= t_res; ++t) {
+            if (!done_before[t]) on_column(t, max_k + 1, nullptr);
+        }
     }
 
-    // Resolution bookkeeping: an untruncated run resolves every cell and
-    // keeps `states` in its empty "all resolved" form.
-    bool all_resolved = immunity.complete;
+    // Checkpoint capture: enough to seek a later run past every verified
+    // task and every column whose verdict has already been delivered.
+    bool sweep_finished = immunity_done;
+    for (std::size_t t = 0; t <= t_res && sweep_finished; ++t) {
+        sweep_finished = done_before[t] != 0 || resolved[t] != 0;
+    }
+    if (checkpoint != nullptr) {
+        *checkpoint = SweepCheckpoint{};
+        checkpoint->finished = sweep_finished;
+        checkpoint->immunity_done = immunity_done;
+        checkpoint->immunity_next = immunity_next;
+        checkpoint->immunity_ok = immunity_ok;
+        if (immunity_done && !sweep_finished) {
+            checkpoint->next_task = next_task_out;
+            checkpoint->column_done.assign(t_res + 1, 0);
+            for (std::size_t t = 0; t <= t_res; ++t) {
+                checkpoint->column_done[t] = (done_before[t] != 0 || resolved[t] != 0) ? 1 : 0;
+            }
+        }
+    }
+
+    // Resolution bookkeeping: a fresh untruncated run resolves every cell
+    // and keeps `states` in its empty "all resolved" form. A resumed run
+    // never does — the columns earlier runs resolved stay kUnknown here
+    // (merge_frontier reassembles the full grid).
+    bool all_resolved = resume == nullptr && immunity_exact_now;
     for (std::size_t t = 0; t <= t_res && all_resolved; ++t) {
         all_resolved = resolved[t] != 0;
     }
@@ -1294,14 +1488,17 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
     for (std::size_t t = 0; t <= max_t; ++t) {
         if (t > t_res) {
             // Beyond the immunity boundary: broken everywhere when the
-            // boundary is exact, otherwise unknown.
-            if (immunity.complete) {
+            // boundary became exact THIS run; unknown when it is still
+            // truncated or when an earlier resumed run already delivered
+            // those columns.
+            if (immunity_exact_now) {
                 for (std::size_t k = 0; k <= max_k; ++k) {
                     out.states[k * stride + t] = CellVerdict::kBroken;
                 }
             }
             continue;
         }
+        if (done_before[t]) continue;  // delivered by an earlier run
         if (resolved[t] != 0) {
             for (std::size_t k = 0; k <= max_k; ++k) {
                 out.states[k * stride + t] =
@@ -1321,54 +1518,112 @@ FrontierVerdict CoalitionSweep::batch_robustness_frontier(std::size_t max_k,
 }
 
 BatchVerdict CoalitionSweep::batch_immunity(std::size_t max_t, game::SweepMode mode) const {
-    BatchVerdict out;
+    return immunity_phase(max_t, mode, 0).verdict;
+}
+
+CoalitionSweep::ImmunityPhase CoalitionSweep::immunity_phase(std::size_t max_t,
+                                                             game::SweepMode mode,
+                                                             std::uint64_t start) const {
+    ImmunityPhase phase;
+    BatchVerdict& out = phase.verdict;
     out.violations.assign(max_t, std::nullopt);
-    if (max_t == 0) return out;
+    if (max_t == 0) {
+        phase.done = true;
+        return phase;
+    }
     const std::vector<Rational> baseline = immunity_baseline();
     const util::SubsetEnumerator faulty_sets(view_.num_players(), max_t);
     const auto effective = mode;
     const std::uint64_t split =
         sweep_intra_split_cells(faulty_sets.size(), max_scan_cells(view_, max_t));
-    auto run = run_tasks(faulty_sets.size(), effective, [&](std::size_t index) {
-        return immunity_task(faulty_sets[index], baseline, effective, split);
-    });
+    auto run = run_tasks_from(static_cast<std::size_t>(start), faulty_sets.size(), effective,
+                              [&](std::size_t index) {
+                                  return immunity_task(faulty_sets[index], baseline, effective,
+                                                       split);
+                              });
     if (run.hit) {
+        // Tasks below `start` were verified clean by the earlier runs, so
+        // this hit is the global-first one — the witness an unbudgeted
+        // sweep reports.
         const std::size_t breaking = faulty_sets[run.hit->first].size();
         out.max_ok = breaking - 1;
         for (std::size_t t = breaking; t <= max_t; ++t) {
             out.violations[t - 1] = run.hit->second;
         }
-        return out;
+        phase.done = true;
+        phase.next_task = faulty_sets.size();
+        return phase;
     }
     if (run.verified == faulty_sets.size()) {
         out.max_ok = max_t;
-        return out;
+        phase.done = true;
+        phase.next_task = faulty_sets.size();
+        return phase;
     }
     // Grant truncation: sizes beyond the verified prefix are unknown.
-    out.max_ok = faulty_sets[run.verified].size() - 1;
+    out.max_ok = run.verified == 0 ? 0 : faulty_sets[run.verified].size() - 1;
     out.complete = false;
-    return out;
+    phase.next_task = run.verified;
+    return phase;
 }
 
 MaxKtResult CoalitionSweep::max_kt(std::size_t max_k, std::size_t max_t,
                                    GainCriterion criterion, game::SweepMode mode) const {
+    return max_kt(max_k, max_t, criterion, mode, nullptr, nullptr);
+}
+
+MaxKtResult CoalitionSweep::max_kt(std::size_t max_k, std::size_t max_t,
+                                   GainCriterion criterion, game::SweepMode mode,
+                                   const SweepCheckpoint* resume,
+                                   SweepCheckpoint* checkpoint) const {
+    // An empty checkpoint (no progress recorded) is a fresh run.
+    if (resume != nullptr && !resume->immunity_done && resume->immunity_next == 0) {
+        resume = nullptr;
+    }
     MaxKtResult out;
     out.max_k = max_k;
     out.max_t = max_t;
     // t-axis: the shared immunity sweep pins the last column holding any
     // robust cell. Resolves (0, immunity_ok) robust, and — when the
     // boundary is interior and the sweep untruncated — (0, immunity_ok+1)
-    // broken.
-    const BatchVerdict immunity = batch_immunity(max_t, mode);
-    out.immunity_ok = immunity.max_ok;
-    out.immunity_exact = immunity.complete;
-    out.complete = immunity.complete;
-    out.cells_resolved = 1 + (out.immunity_ok < max_t && immunity.complete ? 1 : 0);
+    // broken. A resumed run restores the recorded boundary and walk
+    // prefix, so the run that finally completes returns a result
+    // bit-identical to one unbudgeted run (cells_resolved included: the
+    // checkpoint carries the cumulative count).
+    std::size_t t0 = 0;
+    std::size_t k_prev = max_k;
+    std::size_t col_start = 0;
+    if (resume != nullptr && resume->immunity_done) {
+        out.immunity_ok = resume->immunity_ok;
+        out.immunity_exact = true;
+        out.complete = true;
+        out.cells_resolved = static_cast<std::size_t>(resume->walk_cells_resolved);
+        out.k_of_t = resume->walk_k_of_t;
+        t0 = resume->walk_t;
+        k_prev = resume->walk_k_prev;
+        col_start = static_cast<std::size_t>(resume->next_task);
+    } else {
+        const ImmunityPhase phase =
+            immunity_phase(max_t, mode, resume != nullptr ? resume->immunity_next : 0);
+        out.immunity_ok = phase.verdict.max_ok;
+        out.immunity_exact = phase.done;
+        out.complete = phase.done;
+        out.cells_resolved = 1 + (out.immunity_ok < max_t && phase.done ? 1 : 0);
+        if (!phase.done && checkpoint != nullptr) {
+            // A resumable run truncated mid-immunity reports no columns:
+            // the retry re-derives the walk from the exact boundary more
+            // cheaply than re-walking a provisional one.
+            *checkpoint = SweepCheckpoint{};
+            checkpoint->immunity_next = phase.next_task;
+            return out;
+        }
+    }
     out.k_of_t.reserve(out.immunity_ok + 1);
 
     const auto effective = mode;
-    std::size_t k_prev = max_k;
-    for (std::size_t t = 0; t <= out.immunity_ok; ++t) {
+    bool truncated_walk = false;
+    std::uint64_t walk_next = 0;
+    for (std::size_t t = t0; t <= out.immunity_ok; ++t) {
         // Every coalition of size <= k_prev is clean for faulty sizes
         // < t (that is what k_of_t[t-1] = k_prev certifies), so this
         // step sweeps ONLY faulty sets of size exactly t — nothing below
@@ -1376,19 +1631,25 @@ MaxKtResult CoalitionSweep::max_kt(std::size_t max_k, std::size_t max_t,
         // first violating task's size s pin kmax(t) = s - 1.
         if (k_prev == 0) {
             out.k_of_t.push_back(0);  // column survives on immunity alone
+            col_start = 0;
             continue;
         }
         const util::SubsetEnumerator coalitions(view_.num_players(), k_prev);
         const std::uint64_t split =
             sweep_intra_split_cells(coalitions.size(), max_scan_cells(view_, k_prev + t));
-        auto run = run_tasks(coalitions.size(), effective, [&](std::size_t index) {
-            return resilience_task(coalitions[index], t, t, criterion, effective, split);
-        });
+        auto run = run_tasks_from(col_start, coalitions.size(), effective,
+                                  [&](std::size_t index) {
+                                      return resilience_task(coalitions[index], t, t, criterion,
+                                                             effective, split);
+                                  });
+        col_start = 0;  // the seek applies only to the resumed column
         if (!run.hit && run.verified < coalitions.size()) {
             // Grant expired mid-step: this column's kmax is unresolved,
             // and nothing beyond it can be certified — the walk stops at
             // the last fully resolved column.
             out.complete = false;
+            truncated_walk = true;
+            walk_next = run.verified;
             break;
         }
         std::size_t kt = k_prev;
@@ -1396,6 +1657,19 @@ MaxKtResult CoalitionSweep::max_kt(std::size_t max_k, std::size_t max_t,
         out.k_of_t.push_back(kt);
         out.cells_resolved += 1 + (run.hit ? 1 : 0);
         k_prev = kt;
+    }
+    if (checkpoint != nullptr) {
+        *checkpoint = SweepCheckpoint{};
+        checkpoint->immunity_done = true;
+        checkpoint->immunity_ok = out.immunity_ok;
+        checkpoint->finished = !truncated_walk;
+        if (truncated_walk) {
+            checkpoint->walk_t = out.k_of_t.size();
+            checkpoint->walk_k_prev = k_prev;
+            checkpoint->walk_k_of_t = out.k_of_t;
+            checkpoint->walk_cells_resolved = out.cells_resolved;
+            checkpoint->next_task = walk_next;
+        }
     }
     for (std::size_t t = 0; t < out.k_of_t.size(); ++t) {
         if (t + 1 == out.k_of_t.size() || out.k_of_t[t + 1] < out.k_of_t[t]) {

@@ -92,6 +92,18 @@ public:
     [[nodiscard]] std::optional<RobustnessViolation> robustness_violation(
         std::size_t k, std::size_t t, const RobustnessOptions& options) const;
 
+    // Resumable form: `resume` (nullable) seeks past the task prefix an
+    // earlier budgeted run verified, `checkpoint` (nullable) receives the
+    // state a further retry needs. The verdict/witness a retry chain
+    // produces is bit-identical to one unbudgeted call, and the chain's
+    // total work is ~one sweep (each retry re-runs at most the one task
+    // the previous grant expired inside). A nullopt return with an
+    // expired grant and !checkpoint->finished means "resume me"; with
+    // checkpoint->finished it is a proven kRobust.
+    [[nodiscard]] std::optional<RobustnessViolation> robustness_violation(
+        std::size_t k, std::size_t t, const RobustnessOptions& options,
+        const SweepCheckpoint* resume, SweepCheckpoint* checkpoint) const;
+
     // --- shared-sweep batch probes ------------------------------------------
     // All k = 1..max_k resilience probes in ONE coalition sweep: because
     // subsets_up_to_size orders coalitions by size then lex, the tasks a
@@ -128,6 +140,19 @@ public:
         GainCriterion criterion = GainCriterion::kAnyMemberGains,
         game::SweepMode mode = game::SweepMode::kAuto) const;
 
+    // Resumable + streaming form. `resume`/`checkpoint` as in the
+    // resumable robustness_violation: a retry chain's assembled grid
+    // (core::merge_frontier over the per-run grids) is bit-identical —
+    // witnesses included — to one unbudgeted run, because caps, winners,
+    // and enumeration order at every task rank are resume-invariant.
+    // Columns resolved by earlier runs stay kUnknown in a resumed run's
+    // own grid. `on_column` (nullable) streams column verdicts as they
+    // become final (see FrontierColumnSink).
+    [[nodiscard]] FrontierVerdict batch_robustness_frontier(
+        std::size_t max_k, std::size_t max_t, GainCriterion criterion, game::SweepMode mode,
+        const SweepCheckpoint* resume, SweepCheckpoint* checkpoint,
+        const FrontierColumnSink& on_column = nullptr) const;
+
     // The maximal robust set within the (max_k, max_t) budget WITHOUT
     // filling the grid: walks the (k, t) boundary anti-diagonally. Step
     // t = 0 resolves kmax(0) in one empty-faulty size-major sweep; step
@@ -142,6 +167,14 @@ public:
     [[nodiscard]] MaxKtResult max_kt(std::size_t max_k, std::size_t max_t,
                                      GainCriterion criterion = GainCriterion::kAnyMemberGains,
                                      game::SweepMode mode = game::SweepMode::kAuto) const;
+
+    // Resumable boundary walk: the checkpoint carries the accumulated
+    // k_of_t prefix and the in-column task rank, so the final retry's
+    // MaxKtResult equals (operator==) the unbudgeted walk's.
+    [[nodiscard]] MaxKtResult max_kt(std::size_t max_k, std::size_t max_t,
+                                     GainCriterion criterion, game::SweepMode mode,
+                                     const SweepCheckpoint* resume,
+                                     SweepCheckpoint* checkpoint) const;
 
     // --- intra-task split tuning / test hooks --------------------------------
     // Per-faulty-set joint-scan size (in cells) above which a kAuto task
@@ -192,6 +225,19 @@ private:
         GainCriterion criterion, game::SweepMode mode, std::uint64_t split_cells) const;
 
     [[nodiscard]] std::vector<util::Rational> immunity_baseline() const;
+
+    // The shared phase-(a) faulty-set sweep with a resume offset: tasks
+    // [0, start) are taken as verified by an earlier run. `done` means
+    // the phase finished (hit found or every task verified) — the
+    // verdict's max_ok is then exact; otherwise next_task is the first
+    // unverified rank for the checkpoint.
+    struct ImmunityPhase final {
+        BatchVerdict verdict;
+        std::uint64_t next_task = 0;
+        bool done = false;
+    };
+    [[nodiscard]] ImmunityPhase immunity_phase(std::size_t max_t, game::SweepMode mode,
+                                               std::uint64_t start) const;
 
     // Support-sparse fused scans for mixed candidates (one walk per
     // faulty set over deviator ranges x everyone else's support).

@@ -514,28 +514,104 @@ std::optional<RobustnessViolation> OrbitSweep::robustness_violation(
     return resilience_violation(k, t, options.criterion, options.mode);
 }
 
+std::optional<RobustnessViolation> OrbitSweep::robustness_violation(
+    std::size_t k, std::size_t t, const RobustnessOptions& options,
+    const SweepCheckpoint* resume, SweepCheckpoint* checkpoint) const {
+    // An empty checkpoint (no progress recorded) is a fresh run.
+    if (resume != nullptr && !resume->immunity_done && resume->immunity_next == 0) {
+        resume = nullptr;
+    }
+    if (checkpoint != nullptr) *checkpoint = SweepCheckpoint{};
+    // Part (a) over faulty sizes. Scans below the recorded size were
+    // verified clean by the earlier runs, so any hit here is the
+    // global-first witness (smallest-size-first order is fixed).
+    if (!(resume != nullptr && resume->immunity_done)) {
+        const std::size_t start_s =
+            resume != nullptr ? static_cast<std::size_t>(resume->immunity_next) : 1;
+        for (std::size_t s = std::max<std::size_t>(start_s, 1); s <= t; ++s) {
+            ScanOutcome outcome = immunity_scan(s);
+            if (outcome.violation) {
+                if (checkpoint != nullptr) checkpoint->finished = true;
+                return outcome.violation;
+            }
+            if (outcome.truncated) {
+                if (checkpoint != nullptr) checkpoint->immunity_next = s;
+                return std::nullopt;
+            }
+        }
+    }
+    if (checkpoint != nullptr) checkpoint->immunity_done = true;
+    // Part (b) over (coalition size, faulty size) pairs, sc-major; the
+    // checkpoint linearizes the pair to its scan rank.
+    const std::size_t row = t + 1;
+    const std::size_t start_rank = resume != nullptr && resume->immunity_done
+                                       ? static_cast<std::size_t>(resume->next_task)
+                                       : 0;
+    for (std::size_t sc = 1; sc <= k; ++sc) {
+        for (std::size_t st = 0; st <= t; ++st) {
+            const std::size_t rank = (sc - 1) * row + st;
+            if (rank < start_rank) continue;  // verified by earlier runs
+            ScanOutcome outcome = resilience_scan(sc, st, options.criterion, options.mode);
+            if (outcome.violation) {
+                if (checkpoint != nullptr) checkpoint->finished = true;
+                return outcome.violation;
+            }
+            if (outcome.truncated) {
+                if (checkpoint != nullptr) checkpoint->next_task = rank;
+                return std::nullopt;
+            }
+        }
+    }
+    if (checkpoint != nullptr) checkpoint->finished = true;
+    return std::nullopt;
+}
+
 OrbitSweep::Boundary OrbitSweep::immunity_boundary(std::size_t max_t) const {
-    Boundary boundary;
-    for (std::size_t s = 1; s <= max_t; ++s) {
+    return immunity_boundary_phase(1, max_t).boundary;
+}
+
+OrbitSweep::BoundaryPhase OrbitSweep::immunity_boundary_phase(std::size_t start_s,
+                                                              std::size_t max_t) const {
+    BoundaryPhase phase;
+    Boundary& boundary = phase.boundary;
+    boundary.max_ok = start_s > 1 ? start_s - 1 : 0;
+    for (std::size_t s = std::max<std::size_t>(start_s, 1); s <= max_t; ++s) {
         ScanOutcome outcome = immunity_scan(s);
         if (outcome.violation) {
             boundary.max_ok = s - 1;
             boundary.violation = std::move(outcome.violation);
-            return boundary;
+            phase.next_s = max_t + 1;
+            phase.done = true;
+            return phase;
         }
         if (outcome.truncated) {
             boundary.max_ok = s - 1;
             boundary.complete = false;
-            return boundary;
+            phase.next_s = s;
+            return phase;
         }
         boundary.max_ok = s;
     }
-    return boundary;
+    phase.next_s = max_t + 1;
+    phase.done = true;
+    return phase;
 }
 
 FrontierVerdict OrbitSweep::batch_robustness_frontier(std::size_t max_k, std::size_t max_t,
                                                       GainCriterion criterion,
                                                       game::SweepMode mode) const {
+    return batch_robustness_frontier(max_k, max_t, criterion, mode, nullptr, nullptr);
+}
+
+FrontierVerdict OrbitSweep::batch_robustness_frontier(std::size_t max_k, std::size_t max_t,
+                                                      GainCriterion criterion,
+                                                      game::SweepMode mode,
+                                                      const SweepCheckpoint* resume,
+                                                      SweepCheckpoint* checkpoint) const {
+    // An empty checkpoint (no progress recorded) is a fresh run.
+    if (resume != nullptr && !resume->immunity_done && resume->immunity_next == 0) {
+        resume = nullptr;
+    }
     FrontierVerdict out;
     out.max_k = max_k;
     out.max_t = max_t;
@@ -544,15 +620,50 @@ FrontierVerdict OrbitSweep::batch_robustness_frontier(std::size_t max_k, std::si
 
     // Part (a): the t-axis boundary; broken columns take the immunity
     // witness for every k (the independent probes check immunity first).
-    const Boundary immunity = immunity_boundary(max_t);
-    if (immunity.complete) {
-        for (std::size_t t = immunity.max_ok + 1; t <= max_t; ++t) {
-            for (std::size_t k = 0; k <= max_k; ++k) {
-                out.cells[k * stride + t] = immunity.violation;
+    // A resumed run whose checkpoint already finished the phase leaves
+    // those columns kUnknown — their witnesses were delivered by the run
+    // that finished it.
+    bool immunity_done = false;
+    bool immunity_exact_now = false;  // phase finished THIS run
+    std::size_t immunity_ok = 0;
+    std::uint64_t immunity_next = 0;
+    if (resume != nullptr && resume->immunity_done) {
+        immunity_done = true;
+        immunity_ok = resume->immunity_ok;
+    } else {
+        const BoundaryPhase phase = immunity_boundary_phase(
+            resume != nullptr ? static_cast<std::size_t>(resume->immunity_next) : 1, max_t);
+        immunity_done = phase.done;
+        immunity_ok = phase.boundary.max_ok;
+        immunity_next = phase.next_s;
+        if (immunity_done) {
+            immunity_exact_now = true;
+            for (std::size_t t = immunity_ok + 1; t <= max_t; ++t) {
+                for (std::size_t k = 0; k <= max_k; ++k) {
+                    out.cells[k * stride + t] = phase.boundary.violation;
+                }
             }
         }
     }
-    const std::size_t t_res = std::min(max_t, immunity.max_ok);
+    const std::size_t t_res = std::min(max_t, immunity_ok);
+
+    // Minimal violating pairs earlier runs found: their cells (and the
+    // robust prefix below the recorded pair rank) were delivered then and
+    // stay kUnknown here. Prior pairs always precede new ones in scan
+    // rank, so a cell under both takes the prior witness in an unbudgeted
+    // run too — skipping it keeps the merged grid bit-identical.
+    std::vector<std::pair<std::size_t, std::size_t>> prior;
+    std::size_t start_rank = 0;
+    if (resume != nullptr && resume->immunity_done) {
+        prior = resume->hit_pairs;
+        start_rank = static_cast<std::size_t>(resume->next_task);
+    }
+    std::vector<std::size_t> breaking_prior(t_res + 1, max_k + 1);
+    for (const auto& [psc, pst] : prior) {
+        for (std::size_t t = pst; t <= t_res; ++t) {
+            breaking_prior[t] = std::min(breaking_prior[t], psc);
+        }
+    }
 
     // Part (b): scan (coalition size, faulty size) PAIRS, skipping any
     // pair dominated by an already-found violation — it could only break
@@ -568,11 +679,22 @@ FrontierVerdict OrbitSweep::batch_robustness_frontier(std::size_t max_k, std::si
     bool truncated = false;
     std::size_t trunc_sc = max_k + 1;
     std::size_t trunc_st = 0;
+    const std::size_t row = t_res + 1;  // pairs per coalition size
+    std::size_t next_rank = max_k * row;
     if (max_k > 0) {
         for (std::size_t sc = 1; sc <= max_k && !truncated; ++sc) {
             for (std::size_t st = 0; st <= t_res; ++st) {
+                const std::size_t rank = (sc - 1) * row + st;
+                if (rank < start_rank) continue;  // verified by earlier runs
                 bool dominated = false;
+                for (const auto& [psc, pst] : prior) {
+                    if (psc <= sc && pst <= st) {
+                        dominated = true;
+                        break;
+                    }
+                }
                 for (const PairHit& hit : found) {
+                    if (dominated) break;
                     if (hit.coalition_size <= sc && hit.faulty_size <= st) {
                         dominated = true;
                         break;
@@ -588,6 +710,7 @@ FrontierVerdict OrbitSweep::batch_robustness_frontier(std::size_t max_k, std::si
                     truncated = true;
                     trunc_sc = sc;
                     trunc_st = st;
+                    next_rank = rank;
                     break;
                 }
             }
@@ -595,23 +718,42 @@ FrontierVerdict OrbitSweep::batch_robustness_frontier(std::size_t max_k, std::si
     }
     // First dominating pair in scan order provides each broken cell's
     // violation — deterministic, and valid evidence even when the sweep
-    // was later truncated.
+    // was later truncated. Cells under a PRIOR pair were delivered by an
+    // earlier run and stay untouched.
     for (const PairHit& hit : found) {
         for (std::size_t k = hit.coalition_size; k <= max_k; ++k) {
             for (std::size_t t = hit.faulty_size; t <= t_res; ++t) {
+                if (k >= breaking_prior[t]) continue;
                 auto& cell = out.cells[k * stride + t];
                 if (!cell) cell = hit.violation;
             }
         }
     }
-    if (immunity.complete && !truncated) {
+
+    const bool sweep_finished = immunity_done && !truncated;
+    if (checkpoint != nullptr) {
+        *checkpoint = SweepCheckpoint{};
+        checkpoint->finished = sweep_finished;
+        checkpoint->immunity_done = immunity_done;
+        checkpoint->immunity_next = immunity_next;
+        checkpoint->immunity_ok = immunity_ok;
+        if (immunity_done && !sweep_finished) {
+            checkpoint->next_task = next_rank;
+            checkpoint->hit_pairs = prior;
+            for (const PairHit& hit : found) {
+                checkpoint->hit_pairs.emplace_back(hit.coalition_size, hit.faulty_size);
+            }
+        }
+    }
+
+    if (resume == nullptr && immunity_exact_now && !truncated) {
         out.cells_resolved = out.cells.size();
         return out;
     }
     out.states.assign(out.cells.size(), CellVerdict::kUnknown);
     for (std::size_t t = 0; t <= max_t; ++t) {
         if (t > t_res) {
-            if (immunity.complete) {
+            if (immunity_exact_now) {
                 for (std::size_t k = 0; k <= max_k; ++k) {
                     out.states[k * stride + t] = CellVerdict::kBroken;
                 }
@@ -619,17 +761,22 @@ FrontierVerdict OrbitSweep::batch_robustness_frontier(std::size_t max_k, std::si
             continue;
         }
         // Pairs (sc <= verified_k, st <= t) all ran (or were dominated)
-        // before the cutoff; above that the column is unknown.
+        // before the cutoff; above that the column is unknown. Ranks
+        // below start_rank ran in earlier runs, so the robust prefix they
+        // certified — k <= prior_vk — was already delivered then.
         const std::size_t verified_k =
             !truncated ? max_k : (t < trunc_st ? trunc_sc : trunc_sc - 1);
+        const std::size_t prior_vk =
+            start_rank > t ? std::min(max_k, (start_rank - 1 - t) / row + 1) : 0;
         std::size_t breaking = max_k + 1;
         for (const PairHit& hit : found) {
             if (hit.faulty_size <= t) breaking = std::min(breaking, hit.coalition_size);
         }
         for (std::size_t k = 0; k <= max_k; ++k) {
+            if (k >= breaking_prior[t]) continue;  // broken, delivered earlier
             if (k >= breaking) {
                 out.states[k * stride + t] = CellVerdict::kBroken;
-            } else if (k <= verified_k) {
+            } else if (k <= verified_k && (start_rank == 0 || k > prior_vk)) {
                 out.states[k * stride + t] = CellVerdict::kRobust;
             }
         }
@@ -642,29 +789,69 @@ FrontierVerdict OrbitSweep::batch_robustness_frontier(std::size_t max_k, std::si
 
 MaxKtResult OrbitSweep::max_kt(std::size_t max_k, std::size_t max_t, GainCriterion criterion,
                                game::SweepMode mode) const {
+    return max_kt(max_k, max_t, criterion, mode, nullptr, nullptr);
+}
+
+MaxKtResult OrbitSweep::max_kt(std::size_t max_k, std::size_t max_t, GainCriterion criterion,
+                               game::SweepMode mode, const SweepCheckpoint* resume,
+                               SweepCheckpoint* checkpoint) const {
+    // An empty checkpoint (no progress recorded) is a fresh run.
+    if (resume != nullptr && !resume->immunity_done && resume->immunity_next == 0) {
+        resume = nullptr;
+    }
     MaxKtResult out;
     out.max_k = max_k;
     out.max_t = max_t;
-    const Boundary immunity = immunity_boundary(max_t);
-    out.immunity_ok = immunity.max_ok;
-    out.immunity_exact = immunity.complete;
-    out.complete = immunity.complete;
-    // Same resolution accounting as the dense walk: the (0, immunity_ok)
-    // confirmation, plus the broken cell above it when interior & exact.
-    out.cells_resolved = 1 + (out.immunity_ok < max_t && immunity.complete ? 1 : 0);
-    out.k_of_t.reserve(out.immunity_ok + 1);
+    std::size_t t0 = 0;
     std::size_t k_prev = max_k;
-    for (std::size_t t = 0; t <= out.immunity_ok; ++t) {
+    std::size_t sc_start = 1;
+    if (resume != nullptr && resume->immunity_done) {
+        out.immunity_ok = resume->immunity_ok;
+        out.immunity_exact = true;
+        out.complete = true;
+        out.cells_resolved = static_cast<std::size_t>(resume->walk_cells_resolved);
+        out.k_of_t = resume->walk_k_of_t;
+        t0 = resume->walk_t;
+        k_prev = resume->walk_k_prev;
+        sc_start = std::max<std::size_t>(static_cast<std::size_t>(resume->next_task), 1);
+    } else {
+        const BoundaryPhase phase = immunity_boundary_phase(
+            resume != nullptr ? static_cast<std::size_t>(resume->immunity_next) : 1, max_t);
+        out.immunity_ok = phase.boundary.max_ok;
+        out.immunity_exact = phase.done;
+        out.complete = phase.done;
+        // Same resolution accounting as the dense walk: the
+        // (0, immunity_ok) confirmation, plus the broken cell above it
+        // when interior & exact.
+        out.cells_resolved = 1 + (out.immunity_ok < max_t && phase.done ? 1 : 0);
+        if (!phase.done && checkpoint != nullptr) {
+            // A resumable run truncated mid-immunity reports no columns:
+            // the retry re-derives the walk from the exact boundary more
+            // cheaply than re-walking a provisional one.
+            *checkpoint = SweepCheckpoint{};
+            checkpoint->immunity_next = phase.next_s;
+            return out;
+        }
+    }
+    out.k_of_t.reserve(out.immunity_ok + 1);
+    bool truncated_walk = false;
+    std::uint64_t walk_next = 1;
+    for (std::size_t t = t0; t <= out.immunity_ok; ++t) {
         if (k_prev == 0) {
             out.k_of_t.push_back(0);  // column survives on immunity alone
+            sc_start = 1;
             continue;
         }
         // Coalition sizes <= k_prev are clean for faulty sizes < t, so
         // this column sweeps faulty size EXACTLY t; the first violating
-        // coalition size pins kmax(t).
+        // coalition size pins kmax(t). The seek applies only to the
+        // resumed column: sizes below sc_start were verified clean for
+        // this exact column by the run that truncated here.
         std::optional<std::size_t> hit_size;
         bool truncated = false;
-        for (std::size_t sc = 1; sc <= k_prev; ++sc) {
+        std::size_t sc = sc_start;
+        sc_start = 1;
+        for (; sc <= k_prev; ++sc) {
             ScanOutcome outcome = resilience_scan(sc, t, criterion, mode);
             if (outcome.violation) {
                 hit_size = sc;
@@ -677,12 +864,27 @@ MaxKtResult OrbitSweep::max_kt(std::size_t max_k, std::size_t max_t, GainCriteri
         }
         if (truncated && !hit_size) {
             out.complete = false;
+            truncated_walk = true;
+            walk_next = sc;
             break;
         }
         const std::size_t kt = hit_size ? *hit_size - 1 : k_prev;
         out.k_of_t.push_back(kt);
         out.cells_resolved += 1 + (hit_size ? 1 : 0);
         k_prev = kt;
+    }
+    if (checkpoint != nullptr) {
+        *checkpoint = SweepCheckpoint{};
+        checkpoint->immunity_done = true;
+        checkpoint->immunity_ok = out.immunity_ok;
+        checkpoint->finished = !truncated_walk;
+        if (truncated_walk) {
+            checkpoint->walk_t = out.k_of_t.size();
+            checkpoint->walk_k_prev = k_prev;
+            checkpoint->walk_k_of_t = out.k_of_t;
+            checkpoint->walk_cells_resolved = out.cells_resolved;
+            checkpoint->next_task = walk_next;
+        }
     }
     for (std::size_t t = 0; t < out.k_of_t.size(); ++t) {
         if (t + 1 == out.k_of_t.size() || out.k_of_t[t + 1] < out.k_of_t[t]) {

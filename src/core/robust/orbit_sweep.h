@@ -71,6 +71,14 @@ public:
     [[nodiscard]] std::optional<RobustnessViolation> robustness_violation(
         std::size_t k, std::size_t t, const RobustnessOptions& options) const;
 
+    // Resumable variant, mirroring CoalitionSweep::robustness_violation:
+    // the checkpoint records the next faulty SIZE (part a) or the next
+    // (coalition size, faulty size) pair rank (part b, sc-major), so a
+    // retry seeks past every scan earlier runs verified.
+    [[nodiscard]] std::optional<RobustnessViolation> robustness_violation(
+        std::size_t k, std::size_t t, const RobustnessOptions& options,
+        const SweepCheckpoint* resume, SweepCheckpoint* checkpoint) const;
+
     // The full grid; verdict-identical to the dense
     // CoalitionSweep::batch_robustness_frontier cell for cell (witnesses
     // representative, see file comment). Scans only NON-DOMINATED
@@ -81,11 +89,28 @@ public:
         GainCriterion criterion = GainCriterion::kAnyMemberGains,
         game::SweepMode mode = game::SweepMode::kAuto) const;
 
+    // Resumable variant. The checkpoint records the immunity phase's next
+    // faulty size, the minimal violating pairs found so far (their cells
+    // were delivered by the runs that found them and stay kUnknown in
+    // later grids), and the next pair rank; merge_frontier reassembles
+    // the full grid bit-identically to one unbudgeted run.
+    [[nodiscard]] FrontierVerdict batch_robustness_frontier(
+        std::size_t max_k, std::size_t max_t, GainCriterion criterion, game::SweepMode mode,
+        const SweepCheckpoint* resume, SweepCheckpoint* checkpoint) const;
+
     // Boundary walk; field-identical to the dense CoalitionSweep::max_kt
     // on untruncated runs (MaxKtResult carries sizes and counters only).
     [[nodiscard]] MaxKtResult max_kt(std::size_t max_k, std::size_t max_t,
                                      GainCriterion criterion = GainCriterion::kAnyMemberGains,
                                      game::SweepMode mode = game::SweepMode::kAuto) const;
+
+    // Resumable variant; like the dense walk, the run that completes
+    // returns a result bit-identical to one unbudgeted run (the
+    // checkpoint carries the cumulative k_of_t prefix and cell count).
+    [[nodiscard]] MaxKtResult max_kt(std::size_t max_k, std::size_t max_t,
+                                     GainCriterion criterion, game::SweepMode mode,
+                                     const SweepCheckpoint* resume,
+                                     SweepCheckpoint* checkpoint) const;
 
     [[nodiscard]] const game::QuotientGame& quotient() const noexcept { return quotient_; }
     [[nodiscard]] const game::SymmetryGroup& group() const noexcept { return group_; }
@@ -106,11 +131,21 @@ private:
         bool complete = true;
     };
 
+    // Boundary walk with a resume point: sizes [1, start_s) were verified
+    // by earlier runs. next_s is where a truncated retry picks up.
+    struct BoundaryPhase final {
+        Boundary boundary;
+        std::size_t next_s = 1;
+        bool done = false;
+    };
+
     [[nodiscard]] ScanOutcome immunity_scan(std::size_t faulty_size) const;
     [[nodiscard]] ScanOutcome resilience_scan(std::size_t coalition_size,
                                               std::size_t faulty_size, GainCriterion criterion,
                                               game::SweepMode mode) const;
     [[nodiscard]] Boundary immunity_boundary(std::size_t max_t) const;
+    [[nodiscard]] BoundaryPhase immunity_boundary_phase(std::size_t start_s,
+                                                        std::size_t max_t) const;
 
     [[nodiscard]] RobustnessViolation make_immunity_witness(
         const std::vector<std::size_t>& tcounts, const util::OrbitWalker& walker,

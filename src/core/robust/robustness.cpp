@@ -540,6 +540,29 @@ std::optional<PureProfile> find_punishment_strategy(const NormalFormGame& game, 
     return std::move(found[winner / kBlock]);
 }
 
+void merge_frontier(FrontierVerdict& base, const FrontierVerdict& update) {
+    if (base.max_k != update.max_k || base.max_t != update.max_t ||
+        base.cells.size() != update.cells.size()) {
+        throw std::invalid_argument("merge_frontier: grid shapes differ");
+    }
+    if (base.states.empty()) return;  // base already complete
+    for (std::size_t i = 0; i < base.cells.size(); ++i) {
+        if (base.states[i] != CellVerdict::kUnknown) continue;
+        const CellVerdict from_update =
+            update.states.empty()
+                ? (update.cells[i] ? CellVerdict::kBroken : CellVerdict::kRobust)
+                : update.states[i];
+        if (from_update == CellVerdict::kUnknown) continue;
+        base.states[i] = from_update;
+        base.cells[i] = update.cells[i];
+    }
+    base.cells_resolved = 0;
+    for (const CellVerdict state : base.states) {
+        if (state != CellVerdict::kUnknown) ++base.cells_resolved;
+    }
+    if (base.cells_resolved == base.cells.size()) base.states.clear();
+}
+
 bool is_kt_robust_bayesian(const game::BayesianGame& game,
                            const game::BayesianPureProfile& profile, std::size_t k,
                            std::size_t t, const RobustnessOptions& options) {

@@ -23,8 +23,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "game/bayesian.h"
@@ -136,6 +139,77 @@ struct FrontierVerdict final {
     }
     friend bool operator==(const FrontierVerdict&, const FrontierVerdict&) = default;
 };
+
+// Compact resume state of a budgeted sweep, captured when an active
+// util::ExecutionGrant expires mid-run and handed back to a later retry,
+// which seek()s past everything already resolved: N budgeted retries
+// then cost ~one full sweep instead of N. The fields cover all three
+// resumable entry points (robustness_violation, the frontier, and the
+// max_kt walk) plus the orbit engine's size/pair-granular scans; unused
+// fields keep their defaults. Soundness rests on the enumeration orders
+// being fixed: tasks [0, immunity_next) / [0, next_task) were verified
+// clean by the earlier runs, so re-entering at those ranks reproduces
+// the unbudgeted run's verdicts and witnesses bit for bit. Cells already
+// resolved by earlier runs stay kUnknown in a resumed run's own grid —
+// their witnesses were delivered earlier — and merge_frontier reassembles
+// the full grid from the run sequence.
+//
+// PROGRESS FLOOR: a run can only vouch for a task it completed with the
+// grant still live, so a budget below the immunity baseline plus one
+// task's cells makes NO progress — the checkpoint comes back unchanged
+// and a same-budget retry re-runs that task forever. Chains must either
+// cap their retries or grow a stuck leg's budget (compare checkpoints:
+// operator== detects a zero-progress leg).
+struct SweepCheckpoint final {
+    // True when nothing is left to resume: the run that produced this
+    // checkpoint (together with its predecessors) resolved everything.
+    bool finished = false;
+    // Phase (a): shared immunity sweep. When done, immunity_ok is the
+    // exact boundary; otherwise immunity_next is the first unverified
+    // faulty-set rank (dense) or faulty size (orbit).
+    bool immunity_done = false;
+    std::uint64_t immunity_next = 0;
+    std::size_t immunity_ok = 0;
+    // Phase (b): first unverified coalition-task rank (dense), linearized
+    // (coalition size, faulty size) pair rank (orbit frontier), or the
+    // in-column rank of the max_kt walk's current step.
+    std::uint64_t next_task = 0;
+    // Frontier: columns t <= t_res fully resolved by earlier runs (their
+    // verdicts and witnesses were already delivered).
+    std::vector<std::uint8_t> column_done;
+    // Orbit frontier: minimal violating (coalition size, faulty size)
+    // pairs found by earlier runs — they dominate the resumed pair scan
+    // exactly as re-found hits would, without carrying witnesses.
+    std::vector<std::pair<std::size_t, std::size_t>> hit_pairs;
+    // max_kt walk: next column, its coalition-size budget, the per-column
+    // results accumulated so far, and the resolution tally carried across
+    // retries so the final result equals the unbudgeted walk's.
+    std::size_t walk_t = 0;
+    std::size_t walk_k_prev = 0;
+    std::vector<std::size_t> walk_k_of_t;
+    std::uint64_t walk_cells_resolved = 0;
+    friend bool operator==(const SweepCheckpoint&, const SweepCheckpoint&) = default;
+};
+
+// Streaming hook for batch_robustness_frontier: called as each t-column's
+// verdict becomes FINAL. `breaking_k` is the smallest broken k in the
+// column (max_k + 1 for a clean column); `violation` is the witness
+// breaking (breaking_k, t), nullptr for clean columns. Serial dense
+// sweeps emit broken columns the moment their winner is pinned
+// (genuinely mid-sweep) and clean columns at sweep end; parallel sweeps
+// emit everything at resolution time, in t order. Columns resolved by an
+// EARLIER resumed run are not re-emitted. The callback runs on the sweep
+// thread; it must not re-enter the sweep.
+using FrontierColumnSink =
+    std::function<void(std::size_t t, std::size_t breaking_k, const RobustnessViolation*)>;
+
+// Overlays `update` (a later resumed run's grid) onto `base` in place:
+// every cell unresolved in base takes update's verdict and witness. Both
+// grids must share max_k/max_t (throws std::invalid_argument otherwise).
+// When every cell resolves, states collapses to its empty "all resolved"
+// form, so a grid assembled from budgeted retries compares bit-identical
+// (operator==) to one unbudgeted run.
+void merge_frontier(FrontierVerdict& base, const FrontierVerdict& update);
 
 // The maximal robust set within a (max_k, max_t) budget, computed by
 // max_kt's boundary walk WITHOUT filling the grid. Robustness is

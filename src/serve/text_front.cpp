@@ -3,11 +3,11 @@
 #include <chrono>
 #include <cstdint>
 #include <istream>
-#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/rational.h"
@@ -18,7 +18,17 @@ namespace {
 
 [[nodiscard]] std::int64_t parse_int(const std::string& token) {
     std::size_t consumed = 0;
-    const std::int64_t value = std::stoll(token, &consumed);
+    std::int64_t value = 0;
+    // std::stoll's own exceptions carry useless messages ("stoll") and an
+    // out-of-range 200-digit token must read as a protocol error, not a
+    // crash — both are rewrapped with the offending token.
+    try {
+        value = std::stoll(token, &consumed);
+    } catch (const std::out_of_range&) {
+        throw std::invalid_argument("integer out of range: '" + token + "'");
+    } catch (const std::invalid_argument&) {
+        throw std::invalid_argument("expected an integer, got '" + token + "'");
+    }
     if (consumed != token.size()) throw std::invalid_argument("trailing junk in '" + token + "'");
     return value;
 }
@@ -32,21 +42,20 @@ namespace {
 [[nodiscard]] util::Rational parse_rational(const std::string& token) {
     const std::size_t slash = token.find('/');
     if (slash == std::string::npos) return util::Rational(parse_int(token));
-    return util::Rational(parse_int(token.substr(0, slash)),
-                          parse_int(token.substr(slash + 1)));
+    const std::int64_t num = parse_int(token.substr(0, slash));
+    const std::int64_t den = parse_int(token.substr(slash + 1));
+    if (den == 0) throw std::invalid_argument("rational '" + token + "': zero denominator");
+    return util::Rational(num, den);
 }
 
-struct Session final {
-    std::optional<game::NormalFormGame> game;
-    game::ExactMixedProfile profile;
+}  // namespace
 
-    [[nodiscard]] game::NormalFormGame& require_game() {
-        if (!game) throw std::runtime_error("no game declared (use: game <n> <counts...>)");
-        return *game;
-    }
-};
+game::NormalFormGame& LineSession::require_game() {
+    if (!game_) throw std::runtime_error("no game declared (use: game <n> <counts...>)");
+    return *game_;
+}
 
-void handle_game(Session& session, const std::vector<std::string>& args) {
+void LineSession::handle_game(const std::vector<std::string>& args) {
     if (args.empty()) throw std::invalid_argument("usage: game <n> <c_0> ... <c_{n-1}>");
     const std::size_t num_players = parse_size(args[0]);
     if (num_players == 0 || args.size() != num_players + 1) {
@@ -60,17 +69,17 @@ void handle_game(Session& session, const std::vector<std::string>& args) {
         if (count == 0) throw std::invalid_argument("game: zero action count");
         counts.push_back(count);
     }
-    session.game.emplace(std::move(counts));
+    game_.emplace(std::move(counts));
     // Default candidate: everyone plays action 0, until overwritten.
-    session.profile.assign(num_players, {});
+    profile_.assign(num_players, {});
     for (std::size_t player = 0; player < num_players; ++player) {
-        session.profile[player].assign(session.game->num_actions(player), util::Rational(0));
-        session.profile[player][0] = util::Rational(1);
+        profile_[player].assign(game_->num_actions(player), util::Rational(0));
+        profile_[player][0] = util::Rational(1);
     }
 }
 
-void handle_payoffs(Session& session, const std::vector<std::string>& args) {
-    game::NormalFormGame& game = session.require_game();
+void LineSession::handle_payoffs(const std::vector<std::string>& args) {
+    game::NormalFormGame& game = require_game();
     const std::size_t expected =
         static_cast<std::size_t>(game.num_profiles()) * game.num_players();
     if (args.size() != expected) {
@@ -86,8 +95,8 @@ void handle_payoffs(Session& session, const std::vector<std::string>& args) {
     }
 }
 
-void handle_profile(Session& session, const std::vector<std::string>& args) {
-    game::NormalFormGame& game = session.require_game();
+void LineSession::handle_profile(const std::vector<std::string>& args) {
+    game::NormalFormGame& game = require_game();
     if (args.size() != game.num_players()) {
         throw std::invalid_argument("profile: expected one action per player");
     }
@@ -97,13 +106,13 @@ void handle_profile(Session& session, const std::vector<std::string>& args) {
             throw std::invalid_argument("profile: action out of range for player " +
                                         std::to_string(player));
         }
-        session.profile[player].assign(game.num_actions(player), util::Rational(0));
-        session.profile[player][action] = util::Rational(1);
+        profile_[player].assign(game.num_actions(player), util::Rational(0));
+        profile_[player][action] = util::Rational(1);
     }
 }
 
-void handle_mixed(Session& session, const std::vector<std::string>& args) {
-    game::NormalFormGame& game = session.require_game();
+void LineSession::handle_mixed(const std::vector<std::string>& args) {
+    game::NormalFormGame& game = require_game();
     if (args.empty()) throw std::invalid_argument("usage: mixed <player> <p_0> ...");
     const std::size_t player = parse_size(args[0]);
     if (player >= game.num_players()) throw std::invalid_argument("mixed: player out of range");
@@ -118,80 +127,160 @@ void handle_mixed(Session& session, const std::vector<std::string>& args) {
     if (!game::is_exact_distribution(strategy)) {
         throw std::invalid_argument("mixed: probabilities must be >= 0 and sum to 1");
     }
-    session.profile[player] = std::move(strategy);
+    profile_[player] = std::move(strategy);
 }
 
-void handle_ask(Session& session, const std::vector<std::string>& args, std::ostream& out,
-                RobustnessServer& server) {
-    game::NormalFormGame& game = session.require_game();
+void LineSession::handle_mode(const std::vector<std::string>& args) {
+    if (args.size() != 1) throw std::invalid_argument("usage: mode <auto|serial>");
+    if (args[0] == "auto") {
+        mode_ = game::SweepMode::kAuto;
+    } else if (args[0] == "serial") {
+        mode_ = game::SweepMode::kSerial;
+    } else {
+        throw std::invalid_argument("mode: expected 'auto' or 'serial', got '" + args[0] + "'");
+    }
+}
+
+bool LineSession::handle_ask(const std::vector<std::string>& args, const LineSink& emit) {
+    game::NormalFormGame& game = require_game();
     if (args.size() < 2 || args.size() > 4) {
         throw std::invalid_argument("usage: ask <k> <t> [budget_cells] [deadline_ms]");
     }
     QueryRequest request;
     request.game = game;
-    request.profile = session.profile;
+    request.profile = profile_;
     request.k = parse_size(args[0]);
     request.t = parse_size(args[1]);
+    request.criterion = core::GainCriterion::kAnyMemberGains;
+    request.mode = mode_;
+    request.source = source_;
+    request.resume_token = std::exchange(resume_token_, std::string());
     if (args.size() >= 3) request.budget_cells = static_cast<std::uint64_t>(parse_size(args[2]));
     if (args.size() >= 4) request.deadline = std::chrono::milliseconds(parse_size(args[3]));
 
-    const QueryResponse response = server.query(request);
-    out << "verdict=" << to_string(response.verdict) << " status=" << to_string(response.status)
-        << " cache=" << (response.cache_hit ? "hit" : "miss")
-        << " cells=" << response.cells_charged;
-    if (!response.error.empty()) out << " error=" << response.error;
-    out << '\n';
+    const QueryResponse response = server_->query(request);
+    ++asks_;
+    std::ostringstream reply;
+    reply << "verdict=" << to_string(response.verdict)
+          << " status=" << to_string(response.status)
+          << " cache=" << (response.cache_hit ? "hit" : "miss")
+          << " cells=" << response.cells_charged;
+    if (!response.resume_token.empty()) reply << " token=" << response.resume_token;
+    if (!response.error.empty()) reply << " error=" << response.error;
+    return emit(reply.str());
 }
 
-void handle_stats(std::ostream& out, const RobustnessServer& server) {
-    const ServerStats stats = server.stats();
-    out << "accepted=" << stats.accepted << " rejected=" << stats.rejected
-        << " resolved=" << stats.resolved << " degraded=" << stats.degraded
-        << " errors=" << stats.errors << " cache_hits=" << stats.cache_hits
-        << " cache_misses=" << stats.cache_misses << " stampede_waits=" << stats.stampede_waits
-        << '\n';
+bool LineSession::handle_frontier(const std::vector<std::string>& args, const LineSink& emit) {
+    game::NormalFormGame& game = require_game();
+    if (args.size() < 2 || args.size() > 4) {
+        throw std::invalid_argument("usage: frontier <max_k> <max_t> [budget_cells] [deadline_ms]");
+    }
+    FrontierRequest request;
+    request.game = game;
+    request.profile = profile_;
+    request.max_k = parse_size(args[0]);
+    request.max_t = parse_size(args[1]);
+    request.criterion = core::GainCriterion::kAnyMemberGains;
+    request.mode = mode_;
+    request.resume_token = std::exchange(resume_token_, std::string());
+    if (args.size() >= 3) request.budget_cells = static_cast<std::uint64_t>(parse_size(args[2]));
+    if (args.size() >= 4) request.deadline = std::chrono::milliseconds(parse_size(args[3]));
+
+    // Columns stream as the sweep resolves them. A dead peer mid-stream
+    // cannot abort the sweep (the sink has no back-channel), so the
+    // session just stops writing and reports the drop afterwards.
+    bool peer_alive = true;
+    const FrontierResponse response =
+        server_->frontier(request, [&](std::size_t t, std::size_t breaking_k,
+                                       const core::RobustnessViolation*) {
+            if (!peer_alive) return;
+            peer_alive = emit("col " + std::to_string(t) + " " + std::to_string(breaking_k));
+        });
+    ++asks_;
+    if (!peer_alive) return false;
+    std::ostringstream reply;
+    if (response.status == QueryStatus::kResolved) {
+        reply << "done cells=" << response.cells_charged
+              << " cols=" << response.stream_columns;
+    } else if (response.status == QueryStatus::kDegraded) {
+        reply << "degraded token=" << response.resume_token
+              << " cells=" << response.cells_charged << " cols=" << response.stream_columns;
+    } else {
+        reply << "error: " << (response.error.empty() ? "frontier failed" : response.error);
+    }
+    return emit(reply.str());
 }
 
-}  // namespace
+bool LineSession::handle_stats(const LineSink& emit) {
+    const ServerStats stats = server_->stats();
+    std::ostringstream reply;
+    reply << "accepted=" << stats.accepted << " rejected=" << stats.rejected
+          << " resolved=" << stats.resolved << " degraded=" << stats.degraded
+          << " errors=" << stats.errors << " cache_hits=" << stats.cache_hits
+          << " cache_misses=" << stats.cache_misses
+          << " cache_promotions=" << stats.cache_promotions
+          << " stampede_waits=" << stats.stampede_waits;
+    return emit(reply.str());
+}
+
+bool LineSession::handle_line(const std::string& line, const LineSink& emit) {
+    std::istringstream tokens(line);
+    std::string command;
+    if (!(tokens >> command) || command[0] == '#') return true;
+    std::vector<std::string> args;
+    for (std::string token; tokens >> token;) args.push_back(std::move(token));
+    try {
+        if (command == "game") {
+            handle_game(args);
+            return emit("ok");
+        }
+        if (command == "payoffs") {
+            handle_payoffs(args);
+            return emit("ok");
+        }
+        if (command == "profile") {
+            handle_profile(args);
+            return emit("ok");
+        }
+        if (command == "mixed") {
+            handle_mixed(args);
+            return emit("ok");
+        }
+        if (command == "mode") {
+            handle_mode(args);
+            return emit("ok");
+        }
+        if (command == "source") {
+            if (args.size() != 1) throw std::invalid_argument("usage: source <name>");
+            source_ = args[0];
+            return emit("ok");
+        }
+        if (command == "resume") {
+            if (args.size() != 1) throw std::invalid_argument("usage: resume <token>");
+            resume_token_ = args[0];
+            return emit("ok");
+        }
+        if (command == "ask") return handle_ask(args, emit);
+        if (command == "frontier") return handle_frontier(args, emit);
+        if (command == "stats") return handle_stats(emit);
+        if (command == "quit") return false;
+        throw std::invalid_argument("unknown command '" + command + "'");
+    } catch (const std::exception& error) {
+        return emit(std::string("error: ") + error.what());
+    }
+}
 
 std::size_t run_text_front(std::istream& in, std::ostream& out, RobustnessServer& server) {
-    Session session;
-    std::size_t asks = 0;
+    LineSession session(server);
     std::string line;
     while (std::getline(in, line)) {
-        std::istringstream tokens(line);
-        std::string command;
-        if (!(tokens >> command) || command[0] == '#') continue;
-        std::vector<std::string> args;
-        for (std::string token; tokens >> token;) args.push_back(std::move(token));
-        try {
-            if (command == "game") {
-                handle_game(session, args);
-                out << "ok\n";
-            } else if (command == "payoffs") {
-                handle_payoffs(session, args);
-                out << "ok\n";
-            } else if (command == "profile") {
-                handle_profile(session, args);
-                out << "ok\n";
-            } else if (command == "mixed") {
-                handle_mixed(session, args);
-                out << "ok\n";
-            } else if (command == "ask") {
-                handle_ask(session, args, out, server);
-                ++asks;
-            } else if (command == "stats") {
-                handle_stats(out, server);
-            } else if (command == "quit") {
-                break;
-            } else {
-                throw std::invalid_argument("unknown command '" + command + "'");
-            }
-        } catch (const std::exception& error) {
-            out << "error: " << error.what() << '\n';
-        }
+        const bool keep = session.handle_line(line, [&out](const std::string& text) {
+            out << text << '\n';
+            return static_cast<bool>(out);
+        });
+        if (!keep) break;
     }
-    return asks;
+    return session.asks();
 }
 
 }  // namespace bnash::serve

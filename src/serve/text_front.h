@@ -1,5 +1,6 @@
-// Thin line-oriented front end over RobustnessServer, for piping queries
-// into an example binary (examples/robustness_service.cpp) or a test.
+// Line-oriented protocol over RobustnessServer, shared by the stdin
+// front (run_text_front, for piping queries into an example binary or a
+// test) and the TCP socket front (serve/socket_front.h).
 //
 // One command per line, whitespace-separated tokens; rationals are "a" or
 // "a/b". Commands:
@@ -10,26 +11,87 @@
 //                                     tensor order)
 //   profile <a_0> ... <a_{n-1}>       pure candidate profile
 //   mixed <player> <p_0> ... <p_{c-1}> one player's mixed strategy
+//   mode <auto|serial>                sweep mode for later ask/frontier
+//   source <name>                     load-shedding identity (backoff key)
+//   resume <token>                    arm a resume token; the NEXT ask or
+//                                     frontier presents it (one-shot)
 //   ask <k> <t> [budget_cells] [deadline_ms]
+//   frontier <max_k> <max_t> [budget_cells] [deadline_ms]
 //   stats                             print server counters
 //   quit                              stop reading
 //
 // `ask` replies on one line:
 //   verdict=<robust|broken|unknown> status=<resolved|degraded|rejected|error>
 //   cache=<hit|miss> cells=<n>
-// followed by ` error=<message>` for error statuses. Malformed commands
-// reply `error: <message>` and the session continues.
+// followed by ` token=<resume-token>` when degraded and ` error=<message>`
+// for error statuses.
+//
+// `frontier` STREAMS its reply: one line per resolved t-column as the
+// sweep pins it,
+//   col <t> <breaking_k>
+// (breaking_k 0 = immunity-broken, max_k + 1 = clean), then exactly one
+// terminal line:
+//   done cells=<n> cols=<m>
+//   degraded token=<resume-token> cells=<n> cols=<m>
+//   error: <message>
+//
+// Malformed commands — unknown names, bad arity, non-numeric or
+// out-of-range integers, zero-denominator rationals — reply a single
+// `error: <message>` line and the session continues; parse errors never
+// tear the session down.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
+#include <optional>
+#include <string>
 
 #include "serve/server.h"
 
 namespace bnash::serve {
 
+// One protocol session: the mutable game/profile/mode state that a
+// connection accumulates, plus the command dispatcher. Both fronts feed
+// lines in and hand a sink for reply lines out.
+class LineSession final {
+public:
+    // Emits one reply line (no trailing newline). Returns false when the
+    // peer is gone — the session stops emitting and winds down.
+    using LineSink = std::function<bool(const std::string&)>;
+
+    explicit LineSession(RobustnessServer& server) noexcept : server_(&server) {}
+
+    // Dispatches one command line. Returns false when the session is
+    // over (quit, or the sink reported a dead peer).
+    [[nodiscard]] bool handle_line(const std::string& line, const LineSink& emit);
+
+    // Number of ask/frontier queries served so far.
+    [[nodiscard]] std::size_t asks() const noexcept { return asks_; }
+
+private:
+    [[nodiscard]] game::NormalFormGame& require_game();
+    void handle_game(const std::vector<std::string>& args);
+    void handle_payoffs(const std::vector<std::string>& args);
+    void handle_profile(const std::vector<std::string>& args);
+    void handle_mixed(const std::vector<std::string>& args);
+    void handle_mode(const std::vector<std::string>& args);
+    [[nodiscard]] bool handle_ask(const std::vector<std::string>& args, const LineSink& emit);
+    [[nodiscard]] bool handle_frontier(const std::vector<std::string>& args,
+                                       const LineSink& emit);
+    [[nodiscard]] bool handle_stats(const LineSink& emit);
+
+    RobustnessServer* server_;
+    std::optional<game::NormalFormGame> game_;
+    game::ExactMixedProfile profile_;
+    game::SweepMode mode_ = game::SweepMode::kAuto;
+    std::string source_;
+    std::string resume_token_;
+    std::size_t asks_ = 0;
+};
+
 // Reads commands from `in` until EOF or `quit`; returns the number of
-// `ask` queries served.
+// ask/frontier queries served.
 std::size_t run_text_front(std::istream& in, std::ostream& out, RobustnessServer& server);
 
 }  // namespace bnash::serve

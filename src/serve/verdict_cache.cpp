@@ -1,8 +1,10 @@
 #include "serve/verdict_cache.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <iterator>
+#include <optional>
 #include <utility>
 
 namespace bnash::serve {
@@ -19,7 +21,8 @@ VerdictCache::Shard& VerdictCache::shard_for(const std::string& key) {
     return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
-VerdictCache::Admission VerdictCache::admit(const std::string& key) {
+VerdictCache::Admission VerdictCache::admit(const std::string& key,
+                                            std::shared_ptr<util::ExecutionGrant> grant) {
     Shard& shard = shard_for(key);
     Admission out;
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -32,13 +35,15 @@ VerdictCache::Admission VerdictCache::admit(const std::string& key) {
             hits_.fetch_add(1, std::memory_order_relaxed);
         } else {
             out.role = Role::kFollower;
-            out.pending = it->second.future;
+            auto waiter = std::make_unique<Waiter>();
+            waiter->grant = std::move(grant);
+            out.pending = waiter->promise.get_future().share();
+            it->second.waiters.push_back(std::move(waiter));
             waits_.fetch_add(1, std::memory_order_relaxed);
         }
         return out;
     }
-    Entry& entry = shard.map[key];
-    entry.future = entry.promise.get_future().share();
+    shard.map.emplace(key, Entry{});
     out.role = Role::kLeader;
     misses_.fetch_add(1, std::memory_order_relaxed);
     return out;
@@ -46,21 +51,20 @@ VerdictCache::Admission VerdictCache::admit(const std::string& key) {
 
 void VerdictCache::fulfill(const std::string& key, core::CellVerdict verdict) {
     Shard& shard = shard_for(key);
-    // The promise is satisfied OUTSIDE the shard lock: set_value wakes
+    // Promises are satisfied OUTSIDE the shard lock: set_value wakes
     // every follower, and none of them should contend on the shard to
     // read their verdict.
-    std::promise<core::CellVerdict> to_resolve;
-    bool resolve = false;
+    std::vector<std::unique_ptr<Waiter>> to_resolve;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto it = shard.map.find(key);
         if (it == shard.map.end() || it->second.complete) return;
-        to_resolve = std::move(it->second.promise);
-        resolve = true;
+        to_resolve = std::move(it->second.waiters);
         if (verdict == core::CellVerdict::kUnknown) {
             // Degraded result: resolve the burst, memoize nothing.
             shard.map.erase(it);
         } else {
+            it->second.waiters.clear();
             it->second.complete = true;
             it->second.verdict = verdict;
             it->second.last_used = ++shard.tick;
@@ -84,22 +88,83 @@ void VerdictCache::fulfill(const std::string& key, core::CellVerdict verdict) {
             }
         }
     }
-    if (resolve) to_resolve.set_value(verdict);
+    for (auto& waiter : to_resolve) {
+        waiter->promise.set_value(Resolution{false, verdict, std::string()});
+    }
+}
+
+bool VerdictCache::degrade(const std::string& key, const std::string& checkpoint) {
+    Shard& shard = shard_for(key);
+    std::unique_ptr<Waiter> promoted;
+    std::vector<std::unique_ptr<Waiter>> degraded;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end() || it->second.complete) return false;
+        auto& waiters = it->second.waiters;
+        // Pick the live follower with the longest deadline; a nullptr or
+        // deadline-free grant counts as infinite. Followers whose own
+        // grants already expired cannot carry the sweep and resolve
+        // degraded right here.
+        std::size_t best = waiters.size();
+        for (std::size_t i = 0; i < waiters.size(); ++i) {
+            const auto& grant = waiters[i]->grant;
+            if (grant != nullptr && grant->expired()) continue;
+            if (best == waiters.size()) {
+                best = i;
+                continue;
+            }
+            using Deadline = std::optional<util::ExecutionGrant::Clock::time_point>;
+            const Deadline best_deadline =
+                waiters[best]->grant != nullptr ? waiters[best]->grant->deadline() : Deadline{};
+            const Deadline this_deadline = grant != nullptr ? grant->deadline() : Deadline{};
+            // No deadline beats any deadline; otherwise later wins.
+            if (!best_deadline) continue;
+            if (!this_deadline || *this_deadline > *best_deadline) best = i;
+        }
+        if (best < waiters.size()) {
+            promoted = std::move(waiters[best]);
+            waiters.erase(waiters.begin() + static_cast<std::ptrdiff_t>(best));
+            // Expired followers resolve degraded now; live ones keep
+            // waiting on the promoted leader.
+            for (auto cursor = waiters.begin(); cursor != waiters.end();) {
+                const auto& grant = (*cursor)->grant;
+                if (grant != nullptr && grant->expired()) {
+                    degraded.push_back(std::move(*cursor));
+                    cursor = waiters.erase(cursor);
+                } else {
+                    ++cursor;
+                }
+            }
+        } else {
+            degraded = std::move(waiters);
+            shard.map.erase(it);
+        }
+    }
+    for (auto& waiter : degraded) {
+        waiter->promise.set_value(Resolution{false, core::CellVerdict::kUnknown, checkpoint});
+    }
+    if (promoted != nullptr) {
+        promotions_.fetch_add(1, std::memory_order_relaxed);
+        promoted->promise.set_value(Resolution{true, core::CellVerdict::kUnknown, checkpoint});
+        return true;
+    }
+    return false;
 }
 
 void VerdictCache::fail(const std::string& key, std::exception_ptr error) {
     Shard& shard = shard_for(key);
-    std::promise<core::CellVerdict> to_resolve;
-    bool resolve = false;
+    std::vector<std::unique_ptr<Waiter>> to_resolve;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto it = shard.map.find(key);
         if (it == shard.map.end() || it->second.complete) return;
-        to_resolve = std::move(it->second.promise);
-        resolve = true;
+        to_resolve = std::move(it->second.waiters);
         shard.map.erase(it);
     }
-    if (resolve) to_resolve.set_exception(std::move(error));
+    for (auto& waiter : to_resolve) {
+        waiter->promise.set_exception(error);
+    }
 }
 
 VerdictCache::Stats VerdictCache::stats() const {
@@ -108,6 +173,7 @@ VerdictCache::Stats VerdictCache::stats() const {
     out.misses = misses_.load(std::memory_order_relaxed);
     out.waits = waits_.load(std::memory_order_relaxed);
     out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.promotions = promotions_.load(std::memory_order_relaxed);
     for (const auto& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         out.entries += shard->map.size();

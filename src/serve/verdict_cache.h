@@ -1,5 +1,5 @@
 // Sharded, mutex-striped verdict memo with single-flight stampede
-// control.
+// control, follower-owned deadlines, and leader hand-off.
 //
 // Keys are canonical query strings (serve/canonical.h), values are
 // core::CellVerdict. Lookup and insertion hash the key onto one of a
@@ -8,15 +8,27 @@
 // critical section is a hash-map operation, never a sweep.
 //
 // STAMPEDE CONTROL is single-flight: the first requester of a missing
-// key is admitted as the LEADER and must later call fulfill() (or
-// fail()); requesters arriving while the leader computes become
-// FOLLOWERS and receive a shared_future that the leader's fulfill
-// resolves — one sweep serves the whole burst. Only COMPLETE verdicts
-// (kRobust / kBroken) are memoized: a degraded kUnknown result still
-// resolves the waiting followers (they inherit the degradation) but the
-// entry is dropped so a later, better-funded retry recomputes. A failed
-// leader propagates its exception to the followers and likewise drops
-// the entry.
+// key is admitted as the LEADER and must later call fulfill(), fail(),
+// or degrade(); requesters arriving while the leader computes become
+// FOLLOWERS. Each follower registers its OWN ExecutionGrant (its
+// deadline outlives the leader's fate) and waits on a per-follower
+// future the leader's completion resolves — one sweep serves the whole
+// burst.
+//
+// LEADER HAND-OFF: when the leader's grant expires it calls degrade()
+// with the sweep's resume token instead of resolving everyone to
+// kUnknown. The cache PROMOTES the live follower with the longest
+// deadline (an unlimited grant counts as infinite; followers whose own
+// grants already expired are resolved degraded and dropped) — the
+// promoted follower wakes with `promoted = true` plus the checkpoint
+// and continues the sweep from where the dead leader stopped. Only when
+// no live follower remains does the burst resolve degraded.
+//
+// Only COMPLETE verdicts (kRobust / kBroken) are memoized: a degraded
+// kUnknown result still resolves the waiting followers (they inherit
+// the degradation and the resume token) but the entry is dropped so a
+// later, better-funded retry recomputes. A failed leader propagates its
+// exception to the followers and likewise drops the entry.
 //
 // BOUNDED MEMORY: a non-zero capacity caps the number of MEMOIZED
 // entries (split evenly across shards). When a fulfill would push a
@@ -41,6 +53,7 @@
 #include <vector>
 
 #include "core/robust/robustness.h"
+#include "util/execution_grant.h"
 
 namespace bnash::serve {
 
@@ -52,30 +65,54 @@ public:
 
     enum class Role : std::uint8_t {
         kHit = 0,  // verdict already memoized; `verdict` is valid
-        kLeader,   // caller computes, then MUST fulfill() or fail()
+        kLeader,   // caller computes, then MUST fulfill(), fail(), or degrade()
         kFollower  // another request is computing; wait on `pending`
+    };
+    // What a follower's wait resolves to. `promoted` means THIS follower
+    // is now the leader: it must continue the sweep from `checkpoint`
+    // (the resume token degrade() was handed) and later fulfill(),
+    // fail(), or degrade() in turn. Otherwise `verdict` is final for
+    // this follower; on kUnknown, `checkpoint` carries the resume token
+    // to retry with.
+    struct Resolution final {
+        bool promoted = false;
+        core::CellVerdict verdict = core::CellVerdict::kUnknown;
+        std::string checkpoint;
     };
     struct Admission final {
         Role role = Role::kHit;
         core::CellVerdict verdict = core::CellVerdict::kUnknown;  // kHit only
-        std::shared_future<core::CellVerdict> pending;            // kFollower only
+        std::shared_future<Resolution> pending;                   // kFollower only
     };
-    [[nodiscard]] Admission admit(const std::string& key);
+    // Followers register the grant their request runs under; nullptr
+    // means no deadline (treated as infinite when picking a promotion
+    // candidate). The grant must outlive the wait.
+    [[nodiscard]] Admission admit(const std::string& key,
+                                  std::shared_ptr<util::ExecutionGrant> grant = nullptr);
 
     // Leader hands in its result: kRobust/kBroken are memoized; kUnknown
     // resolves the followers but is NOT cached (retry recomputes).
     void fulfill(const std::string& key, core::CellVerdict verdict);
+
+    // Leader's grant expired mid-sweep. Promotes the longest-deadline
+    // live follower to leader — it wakes with {promoted, checkpoint} —
+    // and returns true; followers whose own grants already expired are
+    // resolved degraded (with the token) and dropped. Returns false when
+    // no live follower remains: the burst resolves degraded and the
+    // entry is erased.
+    bool degrade(const std::string& key, const std::string& checkpoint);
 
     // Leader failed: followers observe the exception, the entry is
     // dropped so a later request retries.
     void fail(const std::string& key, std::exception_ptr error);
 
     struct Stats final {
-        std::uint64_t hits = 0;       // admissions served from a memoized verdict
-        std::uint64_t misses = 0;     // admissions that became leaders
-        std::uint64_t waits = 0;      // admissions that became followers
-        std::uint64_t evictions = 0;  // memoized entries displaced by capacity
-        std::size_t entries = 0;      // live entries (memoized + in flight)
+        std::uint64_t hits = 0;        // admissions served from a memoized verdict
+        std::uint64_t misses = 0;      // admissions that became leaders
+        std::uint64_t waits = 0;       // admissions that became followers
+        std::uint64_t evictions = 0;   // memoized entries displaced by capacity
+        std::uint64_t promotions = 0;  // followers promoted to leader
+        std::size_t entries = 0;       // live entries (memoized + in flight)
     };
     [[nodiscard]] Stats stats() const;
 
@@ -87,12 +124,15 @@ public:
     void clear();
 
 private:
+    struct Waiter final {
+        std::shared_ptr<util::ExecutionGrant> grant;
+        std::promise<Resolution> promise;
+    };
     struct Entry final {
         bool complete = false;
         core::CellVerdict verdict = core::CellVerdict::kUnknown;
         std::uint64_t last_used = 0;  // shard tick at insert / last hit
-        std::promise<core::CellVerdict> promise;
-        std::shared_future<core::CellVerdict> future;
+        std::vector<std::unique_ptr<Waiter>> waiters;
     };
     struct Shard final {
         std::mutex mutex;
@@ -110,6 +150,7 @@ private:
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> waits_{0};
     std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> promotions_{0};
 };
 
 }  // namespace bnash::serve

@@ -70,7 +70,25 @@ public:
     [[nodiscard]] std::uint64_t charged() const noexcept {
         return charged_.load(std::memory_order_relaxed);
     }
-    [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+    [[nodiscard]] std::uint64_t budget() const noexcept {
+        return budget_.load(std::memory_order_relaxed);
+    }
+
+    // Monotone budget tightening (CAS-min; a looser value never replaces
+    // a tighter one). The fault-injection harness uses this to force a
+    // grant into exhaustion at a chosen point; safe from any thread.
+    void restrict_budget(std::uint64_t cells) noexcept {
+        std::uint64_t current = budget_.load(std::memory_order_relaxed);
+        while (cells < current &&
+               !budget_.compare_exchange_weak(current, cells, std::memory_order_relaxed)) {
+        }
+    }
+
+    // The deadline this grant carries, if any. The VerdictCache promotion
+    // path compares follower deadlines through this accessor.
+    [[nodiscard]] std::optional<Clock::time_point> deadline() const noexcept {
+        return deadline_;
+    }
 
     // First expiry reason wins and is latched, so the reported state is
     // stable even when e.g. the deadline also passes after a cancel. The
@@ -79,7 +97,7 @@ public:
         const auto latched = static_cast<GrantState>(latched_.load(std::memory_order_acquire));
         if (latched != GrantState::kLive) return latched;
         if (cancelled_.load(std::memory_order_acquire)) return latch(GrantState::kCancelled);
-        if (charged_.load(std::memory_order_relaxed) >= budget_) {
+        if (charged_.load(std::memory_order_relaxed) >= budget_.load(std::memory_order_relaxed)) {
             return latch(GrantState::kBudgetExhausted);
         }
         if (deadline_ && Clock::now() >= *deadline_) {
@@ -100,7 +118,7 @@ private:
         return static_cast<GrantState>(latched_.load(std::memory_order_acquire));
     }
 
-    std::uint64_t budget_ = kUnlimited;
+    std::atomic<std::uint64_t> budget_{kUnlimited};
     std::optional<Clock::time_point> deadline_;
     std::atomic<std::uint64_t> charged_{0};
     std::atomic<bool> cancelled_{false};

@@ -10,6 +10,7 @@
 // even on single-core CI hosts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -17,7 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "core/robust/anonymous.h"
 #include "core/robust/coalition_sweep.h"
+#include "core/robust/orbit_sweep.h"
 #include "core/robust/robustness.h"
 #include "game/catalog.h"
 #include "game/normal_form.h"
@@ -380,6 +383,289 @@ TEST(GrantFuzz, BudgetedResultsAreSoundPrefixes) {
             CoalitionSweep::set_intra_split_force(false);
         }
         if (HasFatalFailure()) return;
+    }
+}
+
+// --------------------------------------------------- checkpointed resume
+
+// Runs one budgeted leg of a resume chain: seeks past `resume` (when
+// set), sweeps under a fresh budget, and reports the new checkpoint plus
+// the cells this leg charged.
+template <typename Body>
+std::uint64_t run_leg(std::uint64_t budget, const Body& body) {
+    ExecutionGrant grant = ExecutionGrant::with_budget(budget);
+    GrantScope scope(&grant);
+    body();
+    return grant.charged();
+}
+
+// A budget below the resume floor (the immunity baseline plus one
+// task's cells) cannot vouch for any task, so such a leg makes NO
+// progress — the checkpoint comes back unchanged. A real client
+// retries with a bigger grant; the chains here do the same, growing a
+// stuck leg's budget 8x. Starting at budget 1 this exercises both the
+// zero-progress rung and the mixed-budget chain.
+#define BNASH_GROW_IF_STUCK(leg_budget, progressed)                   \
+    if (!(progressed) && (leg_budget) < (std::uint64_t{1} << 40)) {   \
+        (leg_budget) *= 8;                                            \
+    }
+
+// The resume contract, fuzzed: for every entry point (cell probe, full
+// frontier, boundary walk), a chain of budgeted retries — each seeking
+// past the previous checkpoint — terminates, costs ~one sweep's work
+// over its productive legs, and produces results bit-identical
+// (witnesses included) to one unbudgeted run. ~60 seeded games, three
+// starting budgets, both sweep modes.
+TEST(GrantFuzz, ResumedRetryChainsMatchUnbudgetedRunsBitForBit) {
+    util::Rng rng(20260808);
+    const std::size_t kGames = 60;
+    const std::size_t max_k = 2;
+    const std::size_t max_t = 2;
+    const std::size_t kMaxLegs = 512;
+    for (std::size_t trial = 0; trial < kGames; ++trial) {
+        std::vector<std::size_t> counts(3, 0);
+        for (auto& count : counts) count = 2 + static_cast<std::size_t>(rng.next_below(2));
+        const NormalFormGame game = NormalFormGame::random(counts, rng, -4, 4);
+        const ExactMixedProfile profile = fuzz_profile(game, rng, trial % 3 == 0);
+        const GainCriterion criterion =
+            trial % 5 == 0 ? GainCriterion::kAllMembersGain : GainCriterion::kAnyMemberGains;
+        const SweepMode mode = trial % 2 == 0 ? SweepMode::kSerial : SweepMode::kAuto;
+        const RobustnessOptions options{criterion, mode};
+        const CoalitionSweep sweep(game, profile);
+
+        const auto full_cell = sweep.robustness_violation(max_k, max_t, options);
+        const FrontierVerdict full_grid =
+            sweep.batch_robustness_frontier(max_k, max_t, criterion, mode);
+        std::uint64_t full_grid_cost = 0;
+        {
+            ExecutionGrant unlimited;
+            GrantScope scope(&unlimited);
+            (void)sweep.batch_robustness_frontier(max_k, max_t, criterion, mode);
+            full_grid_cost = unlimited.charged();
+        }
+        const MaxKtResult full_walk = sweep.max_kt(max_k, max_t, criterion, mode);
+
+        for (const std::uint64_t budget :
+             {std::uint64_t{1}, std::max<std::uint64_t>(full_grid_cost / 7, 1),
+              std::max<std::uint64_t>(full_grid_cost / 3, 1)}) {
+            const std::string label = "trial=" + std::to_string(trial) +
+                                      " budget=" + std::to_string(budget) +
+                                      (mode == SweepMode::kSerial ? " serial" : " auto");
+            // Cell probe chain.
+            {
+                core::SweepCheckpoint checkpoint;
+                std::optional<core::RobustnessViolation> hit;
+                std::uint64_t leg_budget = budget;
+                std::size_t legs = 0;
+                for (; legs < kMaxLegs; ++legs) {
+                    core::SweepCheckpoint next;
+                    (void)run_leg(leg_budget, [&] {
+                        hit = sweep.robustness_violation(
+                            max_k, max_t, options, legs == 0 ? nullptr : &checkpoint, &next);
+                    });
+                    if (hit || next.finished) break;
+                    BNASH_GROW_IF_STUCK(leg_budget, !(next == checkpoint));
+                    checkpoint = next;
+                }
+                ASSERT_LT(legs, kMaxLegs) << label << " cell chain did not terminate";
+                ASSERT_EQ(hit.has_value(), full_cell.has_value()) << label;
+                if (hit) {
+                    EXPECT_TRUE(*hit == *full_cell) << label << " cell witness differs";
+                }
+            }
+            // Frontier chain, merged.
+            {
+                core::SweepCheckpoint checkpoint;
+                FrontierVerdict assembled;
+                std::uint64_t leg_budget = budget;
+                std::size_t legs = 0;
+                for (; legs < kMaxLegs; ++legs) {
+                    core::SweepCheckpoint next;
+                    FrontierVerdict part;
+                    (void)run_leg(leg_budget, [&] {
+                        part = sweep.batch_robustness_frontier(
+                            max_k, max_t, criterion, mode,
+                            legs == 0 ? nullptr : &checkpoint, &next);
+                    });
+                    if (legs == 0) {
+                        assembled = part;
+                    } else {
+                        core::merge_frontier(assembled, part);
+                    }
+                    if (next.finished) break;
+                    BNASH_GROW_IF_STUCK(leg_budget, !(next == checkpoint));
+                    checkpoint = next;
+                }
+                ASSERT_LT(legs, kMaxLegs) << label << " frontier chain did not terminate";
+                EXPECT_TRUE(assembled == full_grid) << label << " assembled grid differs";
+            }
+            // Boundary-walk chain: the completing leg's result is the
+            // unbudgeted result.
+            {
+                core::SweepCheckpoint checkpoint;
+                MaxKtResult walk;
+                std::uint64_t leg_budget = budget;
+                std::size_t legs = 0;
+                for (; legs < kMaxLegs; ++legs) {
+                    core::SweepCheckpoint next;
+                    (void)run_leg(leg_budget, [&] {
+                        walk = sweep.max_kt(max_k, max_t, criterion, mode,
+                                            legs == 0 ? nullptr : &checkpoint, &next);
+                    });
+                    if (walk.complete) break;
+                    BNASH_GROW_IF_STUCK(leg_budget, !(next == checkpoint));
+                    checkpoint = next;
+                }
+                ASSERT_LT(legs, kMaxLegs) << label << " walk chain did not terminate";
+                EXPECT_TRUE(walk == full_walk) << label << " walk differs";
+            }
+        }
+        if (HasFatalFailure()) return;
+    }
+}
+
+// The resume-cost acceptance gate on a grid big enough that per-leg
+// checkpoint overshoot is noise: >= 3 budgeted retries reassemble the
+// frontier bit-identically AND the chain's total cell cost stays within
+// 1.15x of one unbudgeted sweep.
+TEST(GrantAccounting, ResumedChainCostsAboutOneSweep) {
+    // All-zero payoffs: robust everywhere, so no early violation exit
+    // shortcuts the sweep (the worst — and deterministic — case). Six
+    // players: enough tasks that one re-entered task per leg is noise.
+    const NormalFormGame game(std::vector<std::size_t>(6, 3));
+    const auto profile = core::as_exact_profile(game, PureProfile(6, 0));
+    const GainCriterion criterion = GainCriterion::kAnyMemberGains;
+    const SweepMode mode = SweepMode::kSerial;
+    const CoalitionSweep sweep(game, profile);
+
+    std::uint64_t full_cost = 0;
+    FrontierVerdict full;
+    {
+        ExecutionGrant unlimited;
+        GrantScope scope(&unlimited);
+        full = sweep.batch_robustness_frontier(3, 2, criterion, mode);
+        full_cost = unlimited.charged();
+    }
+    ASSERT_GT(full_cost, 8192u);
+
+    const std::uint64_t budget = full_cost / 5;
+    core::SweepCheckpoint checkpoint;
+    FrontierVerdict assembled;
+    std::uint64_t total_cost = 0;
+    std::size_t legs = 0;
+    for (; legs < 64; ++legs) {
+        core::SweepCheckpoint next;
+        FrontierVerdict part;
+        total_cost += run_leg(budget, [&] {
+            part = sweep.batch_robustness_frontier(3, 2, criterion, mode,
+                                                   legs == 0 ? nullptr : &checkpoint, &next);
+        });
+        if (legs == 0) {
+            assembled = part;
+        } else {
+            core::merge_frontier(assembled, part);
+        }
+        checkpoint = next;
+        if (checkpoint.finished) break;
+    }
+    ASSERT_LT(legs, 64u);
+    EXPECT_GE(legs + 1, 3u) << "budget did not force enough retries";
+    EXPECT_TRUE(assembled == full);
+    // N retries cost ~one sweep, not N: at most one re-entered task plus
+    // one checkpoint chunk per leg, gated at 15% total.
+    EXPECT_LE(total_cost, full_cost + full_cost * 15 / 100)
+        << "total=" << total_cost << " full=" << full_cost;
+}
+
+// The orbit engine's resume points (faulty-size / pair-rank / boundary
+// granular) satisfy the same contract on a symmetric game.
+TEST(GrantFuzz, OrbitResumeChainsMatchUnbudgetedRuns) {
+    const auto abg = core::AnonymousBinaryGame::attack(6);
+    const game::SymmetryGroup group = game::SymmetryGroup::single_class(6);
+    const core::OrbitSweep sweep(abg.quotient(), group, {0});
+    const std::size_t max_k = 4;
+    const std::size_t max_t = 2;
+    const GainCriterion criterion = GainCriterion::kAnyMemberGains;
+    const SweepMode mode = SweepMode::kSerial;
+    const RobustnessOptions options{criterion, mode};
+
+    const auto full_cell = sweep.robustness_violation(max_k, max_t, options);
+    const FrontierVerdict full_grid =
+        sweep.batch_robustness_frontier(max_k, max_t, criterion, mode);
+    const MaxKtResult full_walk = sweep.max_kt(max_k, max_t, criterion, mode);
+    std::uint64_t full_cost = 0;
+    {
+        ExecutionGrant unlimited;
+        GrantScope scope(&unlimited);
+        (void)sweep.batch_robustness_frontier(max_k, max_t, criterion, mode);
+        full_cost = unlimited.charged();
+    }
+
+    for (const std::uint64_t budget : {std::uint64_t{1},
+                                       std::max<std::uint64_t>(full_cost / 4, 1)}) {
+        const std::string label = "budget=" + std::to_string(budget);
+        {
+            core::SweepCheckpoint checkpoint;
+            std::optional<core::RobustnessViolation> hit;
+            std::uint64_t leg_budget = budget;
+            std::size_t legs = 0;
+            for (; legs < 512; ++legs) {
+                core::SweepCheckpoint next;
+                (void)run_leg(leg_budget, [&] {
+                    hit = sweep.robustness_violation(max_k, max_t, options,
+                                                     legs == 0 ? nullptr : &checkpoint, &next);
+                });
+                if (hit || next.finished) break;
+                BNASH_GROW_IF_STUCK(leg_budget, !(next == checkpoint));
+                checkpoint = next;
+            }
+            ASSERT_LT(legs, 512u) << label;
+            ASSERT_EQ(hit.has_value(), full_cell.has_value()) << label;
+            if (hit) EXPECT_TRUE(*hit == *full_cell) << label;
+        }
+        {
+            core::SweepCheckpoint checkpoint;
+            FrontierVerdict assembled;
+            std::uint64_t leg_budget = budget;
+            std::size_t legs = 0;
+            for (; legs < 512; ++legs) {
+                core::SweepCheckpoint next;
+                FrontierVerdict part;
+                (void)run_leg(leg_budget, [&] {
+                    part = sweep.batch_robustness_frontier(
+                        max_k, max_t, criterion, mode, legs == 0 ? nullptr : &checkpoint,
+                        &next);
+                });
+                if (legs == 0) {
+                    assembled = part;
+                } else {
+                    core::merge_frontier(assembled, part);
+                }
+                if (next.finished) break;
+                BNASH_GROW_IF_STUCK(leg_budget, !(next == checkpoint));
+                checkpoint = next;
+            }
+            ASSERT_LT(legs, 512u) << label;
+            EXPECT_TRUE(assembled == full_grid) << label << " orbit grid differs";
+        }
+        {
+            core::SweepCheckpoint checkpoint;
+            MaxKtResult walk;
+            std::uint64_t leg_budget = budget;
+            std::size_t legs = 0;
+            for (; legs < 512; ++legs) {
+                core::SweepCheckpoint next;
+                (void)run_leg(leg_budget, [&] {
+                    walk = sweep.max_kt(max_k, max_t, criterion, mode,
+                                        legs == 0 ? nullptr : &checkpoint, &next);
+                });
+                if (walk.complete) break;
+                BNASH_GROW_IF_STUCK(leg_budget, !(next == checkpoint));
+                checkpoint = next;
+            }
+            ASSERT_LT(legs, 512u) << label;
+            EXPECT_TRUE(walk == full_walk) << label << " orbit walk differs";
+        }
     }
 }
 

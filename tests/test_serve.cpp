@@ -1,15 +1,30 @@
 // The serving layer: canonical signatures (permutation + affine
 // invariance, overflow fallback), the sharded single-flight verdict
-// cache, and the RobustnessServer's degradation ladder under fault
-// injection — slow tasks against deadlines, poisoned (throwing) tasks,
-// cancellation in flight, queue overflow shedding, cache stampedes, and
-// rejected-on-shutdown draining.
+// cache with follower-owned deadlines and leader hand-off, the
+// RobustnessServer's degradation ladder under scripted fault injection
+// — slow tasks against deadlines, poisoned (throwing) tasks,
+// cancellation in flight, leader death with follower promotion, queue
+// overflow shedding with exponential per-source backoff, resume-token
+// lifecycle (mint, seek, reject), streamed frontier columns — and both
+// line-protocol fronts (stdin and TCP socket) including parser
+// hardening, pipelining bounds, read deadlines, and scheduled
+// mid-stream drops.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
+#include <future>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -20,8 +35,11 @@
 #include "game/catalog.h"
 #include "game/normal_form.h"
 #include "serve/canonical.h"
+#include "serve/fault_schedule.h"
 #include "serve/server.h"
+#include "serve/socket_front.h"
 #include "serve/text_front.h"
+#include "util/execution_grant.h"
 #include "util/rng.h"
 #include "util/work_counters.h"
 
@@ -167,7 +185,9 @@ TEST(VerdictCacheTest, SingleFlightRoles) {
     auto second = cache.admit("key");
     ASSERT_EQ(second.role, VerdictCache::Role::kFollower);
     cache.fulfill("key", CellVerdict::kBroken);
-    EXPECT_EQ(second.pending.get(), CellVerdict::kBroken);
+    const VerdictCache::Resolution resolution = second.pending.get();
+    EXPECT_FALSE(resolution.promoted);
+    EXPECT_EQ(resolution.verdict, CellVerdict::kBroken);
     auto third = cache.admit("key");
     EXPECT_EQ(third.role, VerdictCache::Role::kHit);
     EXPECT_EQ(third.verdict, CellVerdict::kBroken);
@@ -185,7 +205,7 @@ TEST(VerdictCacheTest, DegradedResultsAreNotMemoized) {
     auto follower = cache.admit("key");
     cache.fulfill("key", CellVerdict::kUnknown);
     // The stampede still resolves (degradation is shared)...
-    EXPECT_EQ(follower.pending.get(), CellVerdict::kUnknown);
+    EXPECT_EQ(follower.pending.get().verdict, CellVerdict::kUnknown);
     // ...but a later request recomputes instead of inheriting kUnknown.
     EXPECT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
 }
@@ -239,7 +259,7 @@ TEST(VerdictCacheTest, InFlightEntriesAreNeverEvicted) {
     auto follower = cache.admit("flying");
     ASSERT_EQ(follower.role, VerdictCache::Role::kFollower);
     cache.fulfill("flying", CellVerdict::kBroken);
-    EXPECT_EQ(follower.pending.get(), CellVerdict::kBroken);
+    EXPECT_EQ(follower.pending.get().verdict, CellVerdict::kBroken);
     // Memoizing "flying" pushed the shard over its slice: "done" (the
     // older complete entry) is the victim.
     EXPECT_EQ(cache.stats().evictions, 1u);
@@ -258,6 +278,119 @@ TEST(VerdictCacheTest, DegradedResultsDoNotConsumeCapacity) {
     EXPECT_EQ(cache.admit("done").role, VerdictCache::Role::kHit);
 }
 
+TEST(VerdictCacheTest, EvictionChurnRacesAnInFlightEntry) {
+    // Heavy memoize/evict churn around a key that stays in flight: the
+    // in-flight entry must survive every eviction scan, and its
+    // followers must still resolve. (The interesting assertions here are
+    // TSan's.)
+    VerdictCache cache(1, 2);
+    ASSERT_EQ(cache.admit("hot").role, VerdictCache::Role::kLeader);
+    std::vector<std::thread> churners;
+    for (int worker = 0; worker < 4; ++worker) {
+        churners.emplace_back([&cache, worker] {
+            for (int i = 0; i < 64; ++i) {
+                const std::string key = "cold-" + std::to_string(worker) + "-" +
+                                        std::to_string(i);
+                if (cache.admit(key).role == VerdictCache::Role::kLeader) {
+                    cache.fulfill(key, CellVerdict::kRobust);
+                }
+            }
+        });
+    }
+    auto follower = cache.admit("hot");
+    ASSERT_EQ(follower.role, VerdictCache::Role::kFollower);
+    for (std::thread& churner : churners) churner.join();
+    // "hot" stayed in flight through every eviction scan; fulfilling it
+    // now memoizes it as the most recent entry.
+    cache.fulfill("hot", CellVerdict::kBroken);
+    EXPECT_EQ(follower.pending.get().verdict, CellVerdict::kBroken);
+    EXPECT_EQ(cache.admit("hot").role, VerdictCache::Role::kHit);
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// ------------------------------------------- cache promotion (hand-off)
+
+TEST(VerdictCacheTest, DegradePromotesTheLongestDeadlineLiveFollower) {
+    using Clock = util::ExecutionGrant::Clock;
+    VerdictCache cache(1);
+    ASSERT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+
+    const auto bounded = std::make_shared<util::ExecutionGrant>(
+        util::ExecutionGrant::kUnlimited, Clock::now() + std::chrono::hours(1));
+    const auto expired = std::make_shared<util::ExecutionGrant>();
+    expired->cancel();
+    const auto infinite = std::make_shared<util::ExecutionGrant>();  // no deadline
+
+    auto bounded_waiter = cache.admit("key", bounded);
+    auto expired_waiter = cache.admit("key", expired);
+    auto infinite_waiter = cache.admit("key", infinite);
+    ASSERT_EQ(bounded_waiter.role, VerdictCache::Role::kFollower);
+    ASSERT_EQ(expired_waiter.role, VerdictCache::Role::kFollower);
+    ASSERT_EQ(infinite_waiter.role, VerdictCache::Role::kFollower);
+
+    // Leader dies: the deadline-free follower outranks the 1h one, and
+    // the expired follower is skipped and resolved degraded on the spot.
+    EXPECT_TRUE(cache.degrade("key", "token-1"));
+    const VerdictCache::Resolution dropped = expired_waiter.pending.get();
+    EXPECT_FALSE(dropped.promoted);
+    EXPECT_EQ(dropped.verdict, CellVerdict::kUnknown);
+    EXPECT_EQ(dropped.checkpoint, "token-1");
+    const VerdictCache::Resolution promoted = infinite_waiter.pending.get();
+    EXPECT_TRUE(promoted.promoted);
+    EXPECT_EQ(promoted.checkpoint, "token-1");
+    // The bounded follower keeps waiting on the new leader...
+    EXPECT_NE(bounded_waiter.pending.wait_for(std::chrono::milliseconds(0)),
+              std::future_status::ready);
+    // ...and the entry is still in flight (new arrivals become followers).
+    EXPECT_EQ(cache.admit("key").role, VerdictCache::Role::kFollower);
+    // The promoted leader finishes the sweep and fulfills as usual.
+    cache.fulfill("key", CellVerdict::kRobust);
+    EXPECT_EQ(bounded_waiter.pending.get().verdict, CellVerdict::kRobust);
+    EXPECT_EQ(cache.stats().promotions, 1u);
+}
+
+TEST(VerdictCacheTest, LaterDeadlineWinsThePromotion) {
+    using Clock = util::ExecutionGrant::Clock;
+    VerdictCache cache(1);
+    ASSERT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+    const auto near = std::make_shared<util::ExecutionGrant>(
+        util::ExecutionGrant::kUnlimited, Clock::now() + std::chrono::hours(1));
+    const auto far = std::make_shared<util::ExecutionGrant>(
+        util::ExecutionGrant::kUnlimited, Clock::now() + std::chrono::hours(2));
+    auto near_waiter = cache.admit("key", near);
+    auto far_waiter = cache.admit("key", far);
+    EXPECT_TRUE(cache.degrade("key", "tok"));
+    EXPECT_TRUE(far_waiter.pending.get().promoted);
+    EXPECT_NE(near_waiter.pending.wait_for(std::chrono::milliseconds(0)),
+              std::future_status::ready);
+    cache.fulfill("key", CellVerdict::kBroken);
+    EXPECT_EQ(near_waiter.pending.get().verdict, CellVerdict::kBroken);
+}
+
+TEST(VerdictCacheTest, DegradeWithNoLiveFollowerResolvesTheBurst) {
+    VerdictCache cache(1);
+    ASSERT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+    const auto expired = std::make_shared<util::ExecutionGrant>();
+    expired->cancel();
+    auto waiter = cache.admit("key", expired);
+    // The only follower is already expired: nobody can carry the sweep.
+    EXPECT_FALSE(cache.degrade("key", "tok"));
+    const VerdictCache::Resolution resolution = waiter.pending.get();
+    EXPECT_FALSE(resolution.promoted);
+    EXPECT_EQ(resolution.verdict, CellVerdict::kUnknown);
+    EXPECT_EQ(resolution.checkpoint, "tok");
+    // The entry is gone: a retry starts fresh.
+    EXPECT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+    EXPECT_EQ(cache.stats().promotions, 0u);
+}
+
+TEST(VerdictCacheTest, DegradeWithZeroFollowersErasesTheEntry) {
+    VerdictCache cache(1);
+    ASSERT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+    EXPECT_FALSE(cache.degrade("key", "tok"));
+    EXPECT_EQ(cache.admit("key").role, VerdictCache::Role::kLeader);
+}
+
 // ----------------------------------------------------------------- server
 
 QueryRequest pd_request(std::size_t action, std::size_t k = 1, std::size_t t = 0) {
@@ -266,6 +399,18 @@ QueryRequest pd_request(std::size_t action, std::size_t k = 1, std::size_t t = 0
     request.profile = pure(request.game, PureProfile(2, action));
     request.k = k;
     request.t = t;
+    return request;
+}
+
+// A (2,1)-robust query big enough to truncate under small budgets;
+// serial mode so checkpoints land at deterministic task boundaries.
+QueryRequest attack_request() {
+    QueryRequest request;
+    request.game = game::catalog::attack_coordination_game(5);
+    request.profile = pure(request.game, PureProfile(5, 1));
+    request.k = 2;
+    request.t = 1;
+    request.mode = game::SweepMode::kSerial;
     return request;
 }
 
@@ -298,6 +443,7 @@ TEST(Server, BudgetDegradesThenRetryResolvesThenMemoizes) {
     EXPECT_EQ(degraded.status, QueryStatus::kDegraded);
     EXPECT_EQ(degraded.verdict, CellVerdict::kUnknown);
     EXPECT_GT(degraded.cells_charged, 0u);
+    EXPECT_FALSE(degraded.resume_token.empty());
 
     request.budget_cells = util::ExecutionGrant::kUnlimited;
     const QueryResponse resolved = server.query(request);
@@ -375,7 +521,7 @@ TEST(Server, PoisonedTaskErrorsAndRetrySucceeds) {
     EXPECT_EQ(poisoned.status, QueryStatus::kError);
     EXPECT_NE(poisoned.error.find("injected fault"), std::string::npos);
     // The failure dropped the in-flight cache entry: a clean retry works.
-    server.set_fault_hook(nullptr);
+    server.set_fault_hook(std::function<void(const QueryRequest&)>{});
     const QueryResponse retry = server.query(pd_request(1));
     EXPECT_EQ(retry.status, QueryStatus::kResolved);
     EXPECT_EQ(retry.verdict, CellVerdict::kRobust);
@@ -452,6 +598,66 @@ TEST(Server, FullQueueShedsWithRetryAfter) {
     const auto stats = server.stats();
     EXPECT_EQ(stats.accepted, 2u);
     EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(Server, ConsecutiveShedsBackOffExponentiallyAndResetOnAdmit) {
+    RobustnessServer::Options options;
+    options.num_workers = 1;
+    options.queue_capacity = 1;
+    options.retry_after_ms = 10;
+    options.retry_backoff_cap = 3;
+    RobustnessServer server(options);
+    std::atomic<int> entered{0};
+    std::atomic<bool> gate{false};
+    server.set_fault_hook([&](const QueryRequest&) {
+        entered.fetch_add(1);
+        while (!gate.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    // Only cache LEADERS reach the hook, so waiting on `entered` proves
+    // the worker has dequeued the blocking request (and the queue slot is
+    // free again).
+    const auto wait_entered = [&](int count) {
+        const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (entered.load() < count && std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ASSERT_GE(entered.load(), count);
+    };
+    QueryRequest burst = pd_request(1);
+    burst.source = "burst";
+    QueryRequest other = pd_request(1);
+    other.source = "other";
+
+    // Occupy the worker and fill the queue, then hammer from one source.
+    RobustnessServer::Submission in_flight = server.submit(pd_request(1));
+    wait_entered(1);
+    RobustnessServer::Submission queued = server.submit(pd_request(0));
+    // With the queue pinned at depth 1, the base hint is 10 * (1 + 1).
+    EXPECT_EQ(server.submit(burst).result.get().retry_after_ms, 20u);   // streak 1
+    EXPECT_EQ(server.submit(burst).result.get().retry_after_ms, 40u);   // streak 2
+    EXPECT_EQ(server.submit(burst).result.get().retry_after_ms, 80u);   // streak 3
+    EXPECT_EQ(server.submit(burst).result.get().retry_after_ms, 160u);  // streak 4
+    EXPECT_EQ(server.submit(burst).result.get().retry_after_ms, 160u);  // capped at 2^3
+    // A different source keeps its own (fresh) streak.
+    EXPECT_EQ(server.submit(other).result.get().retry_after_ms, 20u);
+
+    gate.store(true);
+    EXPECT_EQ(in_flight.result.get().status, QueryStatus::kResolved);
+    EXPECT_EQ(queued.result.get().status, QueryStatus::kResolved);
+    // An ADMITTED request from the burst source resets its streak. (This
+    // one is a cache hit, so it never reaches the gate hook.)
+    EXPECT_EQ(server.submit(burst).result.get().status, QueryStatus::kResolved);
+
+    // Re-block with UNCACHED queries (memoized ones skip the gate hook).
+    gate.store(false);
+    RobustnessServer::Submission refill_flight = server.submit(pd_request(1, 2, 0));
+    wait_entered(3);  // 1: in_flight, 2: queued, 3: refill_flight
+    RobustnessServer::Submission refill_queue = server.submit(pd_request(0, 2, 1));
+    // ...so the next shed starts from the base hint again.
+    EXPECT_EQ(server.submit(burst).result.get().retry_after_ms, 20u);
+    gate.store(true);
+    EXPECT_EQ(refill_flight.result.get().status, QueryStatus::kResolved);
+    EXPECT_EQ(refill_queue.result.get().status, QueryStatus::kResolved);
 }
 
 TEST(Server, CacheStampedeIsSingleFlight) {
@@ -534,6 +740,264 @@ TEST(Server, ShutdownRejectsQueuedRequests) {
     EXPECT_EQ(queued_2.get().status, QueryStatus::kRejected);
 }
 
+// ---------------------------------------------------------- resume tokens
+
+TEST(ServerResume, BudgetedRetriesChainThroughOneSweep) {
+    // Reference: the unbudgeted cost of the query, on a throwaway server
+    // so nothing is memoized where the budgeted chain runs.
+    std::uint64_t full_cost = 0;
+    {
+        RobustnessServer reference;
+        const QueryResponse unbudgeted = reference.query(attack_request());
+        ASSERT_EQ(unbudgeted.status, QueryStatus::kResolved);
+        ASSERT_EQ(unbudgeted.verdict, CellVerdict::kRobust);
+        full_cost = unbudgeted.cells_charged;
+    }
+    ASSERT_GT(full_cost, 0u);
+
+    RobustnessServer server;
+    QueryRequest request = attack_request();
+    request.budget_cells = std::max<std::uint64_t>(full_cost / 4, 1);
+    QueryResponse response = server.query(request);
+    std::uint64_t total_cells = response.cells_charged;
+    std::size_t retries = 0;
+    while (response.status == QueryStatus::kDegraded && retries < 64) {
+        EXPECT_FALSE(response.resume_token.empty());
+        request.resume_token = response.resume_token;
+        response = server.query(request);
+        total_cells += response.cells_charged;
+        ++retries;
+    }
+    EXPECT_EQ(response.status, QueryStatus::kResolved);
+    EXPECT_EQ(response.verdict, CellVerdict::kRobust);
+    EXPECT_GE(retries, 2u);
+    // The retries seeked past resolved work: the chain costs far less
+    // than recomputing from scratch each time. (The tight <= 1.15x gate
+    // runs on the large-grid fuzz corpus in test_grant.)
+    EXPECT_LT(total_cells, full_cost * retries);
+
+    // The chained verdict is memoized like any exact verdict.
+    request.resume_token.clear();
+    request.budget_cells = util::ExecutionGrant::kUnlimited;
+    EXPECT_TRUE(server.query(request).cache_hit);
+}
+
+TEST(ServerResume, TokenFromDifferentRequestIsRejected) {
+    RobustnessServer server;
+    QueryRequest request = attack_request();
+    request.budget_cells = 8;
+    const QueryResponse degraded = server.query(request);
+    ASSERT_EQ(degraded.status, QueryStatus::kDegraded);
+    ASSERT_FALSE(degraded.resume_token.empty());
+
+    // Same token, different (k, t): the checkpoint's task ranks would
+    // seek into the wrong enumeration — refused outright.
+    QueryRequest other = attack_request();
+    other.k = 3;
+    other.resume_token = degraded.resume_token;
+    const QueryResponse rejected = server.query(other);
+    EXPECT_EQ(rejected.status, QueryStatus::kError);
+    EXPECT_NE(rejected.error.find("does not match"), std::string::npos);
+
+    // Different game entirely.
+    QueryRequest wrong_game = pd_request(1);
+    wrong_game.resume_token = degraded.resume_token;
+    EXPECT_EQ(server.query(wrong_game).status, QueryStatus::kError);
+
+    // The original request still accepts its own token.
+    request.resume_token = degraded.resume_token;
+    request.budget_cells = util::ExecutionGrant::kUnlimited;
+    const QueryResponse resumed = server.query(request);
+    EXPECT_EQ(resumed.status, QueryStatus::kResolved);
+    EXPECT_EQ(resumed.verdict, CellVerdict::kRobust);
+}
+
+TEST(ServerResume, StaleGenerationAndGarbageTokensAreRejected) {
+    RobustnessServer server;
+    QueryRequest request = attack_request();
+    request.budget_cells = 8;
+    const QueryResponse degraded = server.query(request);
+    ASSERT_EQ(degraded.status, QueryStatus::kDegraded);
+
+    server.invalidate_resume_tokens();
+    request.resume_token = degraded.resume_token;
+    request.budget_cells = util::ExecutionGrant::kUnlimited;
+    const QueryResponse stale = server.query(request);
+    EXPECT_EQ(stale.status, QueryStatus::kError);
+    EXPECT_NE(stale.error.find("stale"), std::string::npos);
+
+    for (const char* garbage :
+         {"zzz", "c.0", "c.0.1.not-a-number", "f.0.1.2.3",
+          "c.99999999999999999999999999999999.1.2"}) {
+        request.resume_token = garbage;
+        const QueryResponse rejected = server.query(request);
+        EXPECT_EQ(rejected.status, QueryStatus::kError) << garbage;
+    }
+    // A rejected token leaves no cache debris: the clean query resolves.
+    request.resume_token.clear();
+    EXPECT_EQ(server.query(request).status, QueryStatus::kResolved);
+}
+
+// ------------------------------------------------- promotion, end to end
+
+TEST(Server, LeaderDeathPromotesFollowerWhichFinishesTheSweep) {
+    RobustnessServer::Options options;
+    options.num_workers = 2;
+    RobustnessServer server(options);
+    std::atomic<int> arrivals{0};
+    server.set_fault_hook([&](const QueryRequest&, util::ExecutionGrant& grant) {
+        if (arrivals.fetch_add(1) != 0) return;  // only the first leader dies
+        // Wait for a follower to park on us, then starve our grant so the
+        // sweep truncates at its first checkpoint.
+        const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (server.stats().stampede_waits < 1 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        grant.restrict_budget(1);
+    });
+    RobustnessServer::Submission a = server.submit(attack_request());
+    RobustnessServer::Submission b = server.submit(attack_request());
+    const QueryResponse ra = a.result.get();
+    const QueryResponse rb = b.result.get();
+
+    // One of the two was the dying leader (degraded, with a token); the
+    // other inherited the checkpoint, finished the sweep, and resolved.
+    const QueryResponse& dead = ra.status == QueryStatus::kDegraded ? ra : rb;
+    const QueryResponse& alive = ra.status == QueryStatus::kDegraded ? rb : ra;
+    EXPECT_EQ(dead.status, QueryStatus::kDegraded);
+    EXPECT_FALSE(dead.resume_token.empty());
+    EXPECT_EQ(alive.status, QueryStatus::kResolved);
+    EXPECT_EQ(alive.verdict, CellVerdict::kRobust);
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.cache_promotions, 1u);
+    EXPECT_EQ(stats.degraded, 1u);
+    EXPECT_EQ(stats.resolved, 1u);
+    // The promoted run resumed rather than restarting: both runs
+    // together cost about one sweep, not two.
+    EXPECT_EQ(arrivals.load(), 2);
+}
+
+// ---------------------------------------------------------- fault schedule
+
+TEST(FaultScheduleTest, DrivesEveryDegradationRung) {
+    RobustnessServer server;
+    FaultSchedule schedule;
+    schedule.throw_at(1, "scripted poison");
+    schedule.starve_at(2, 4);
+    schedule.install(server);
+
+    // Arrival 0: untouched, resolves.
+    EXPECT_EQ(server.query(attack_request()).status, QueryStatus::kResolved);
+    // Arrival 1: poisoned (different request so the memo doesn't absorb it).
+    const QueryResponse poisoned = server.query(pd_request(1));
+    EXPECT_EQ(poisoned.status, QueryStatus::kError);
+    EXPECT_NE(poisoned.error.find("scripted poison"), std::string::npos);
+    // Arrival 2: starved to 4 cells — degrades with a token. (A robust
+    // query: a broken one could pin its witness inside the budget and
+    // resolve exactly.)
+    QueryRequest starved = attack_request();
+    starved.k = 1;
+    const QueryResponse degraded = server.query(starved);
+    EXPECT_EQ(degraded.status, QueryStatus::kDegraded);
+    ASSERT_FALSE(degraded.resume_token.empty());
+    // ...arrival 3: the resumed retry finishes.
+    starved.resume_token = degraded.resume_token;
+    const QueryResponse resumed = server.query(starved);
+    EXPECT_EQ(resumed.status, QueryStatus::kResolved);
+    EXPECT_EQ(schedule.queries_seen(), 4u);
+}
+
+// ----------------------------------------------------------- frontier grid
+
+FrontierRequest frontier_request(std::size_t max_k, std::size_t max_t) {
+    FrontierRequest request;
+    request.game = game::catalog::attack_coordination_game(5);
+    request.profile = pure(request.game, PureProfile(5, 1));
+    request.max_k = max_k;
+    request.max_t = max_t;
+    request.mode = game::SweepMode::kSerial;
+    return request;
+}
+
+TEST(ServerFrontier, StreamsEveryColumnAndResolves) {
+    RobustnessServer server;
+    std::vector<std::size_t> streamed_ts;
+    const FrontierResponse response = server.frontier(
+        frontier_request(2, 2),
+        [&](std::size_t t, std::size_t breaking_k, const core::RobustnessViolation*) {
+            streamed_ts.push_back(t);
+            EXPECT_LE(breaking_k, 3u);  // 0..max_k+1
+        });
+    ASSERT_EQ(response.status, QueryStatus::kResolved);
+    EXPECT_TRUE(response.frontier.complete());
+    EXPECT_EQ(response.stream_columns, 3u);
+    EXPECT_EQ(streamed_ts.size(), 3u);
+    EXPECT_EQ(std::set<std::size_t>(streamed_ts.begin(), streamed_ts.end()),
+              (std::set<std::size_t>{0, 1, 2}));
+    EXPECT_TRUE(response.resume_token.empty());
+}
+
+TEST(ServerFrontier, ResumedRetriesReassembleBitIdenticallyWithoutReStreaming) {
+    RobustnessServer server;
+    // Unbudgeted reference run (frontiers are uncached, so one server is
+    // fine).
+    const FrontierResponse full = server.frontier(frontier_request(2, 2));
+    ASSERT_EQ(full.status, QueryStatus::kResolved);
+    const std::uint64_t full_cost = full.cells_charged;
+    ASSERT_GT(full_cost, 0u);
+
+    // Budgeted chain: each retry presents the previous token; each
+    // column must stream from EXACTLY one run.
+    FrontierRequest request = frontier_request(2, 2);
+    request.budget_cells = std::max<std::uint64_t>(full_cost / 3, 1);
+    std::vector<std::size_t> streamed_ts;
+    const auto sink = [&](std::size_t t, std::size_t, const core::RobustnessViolation*) {
+        streamed_ts.push_back(t);
+    };
+    FrontierResponse partial = server.frontier(request, sink);
+    core::FrontierVerdict assembled = partial.frontier;
+    std::size_t retries = 0;
+    while (partial.status == QueryStatus::kDegraded && retries < 64) {
+        ASSERT_FALSE(partial.resume_token.empty());
+        request.resume_token = partial.resume_token;
+        partial = server.frontier(request, sink);
+        core::merge_frontier(assembled, partial.frontier);
+        ++retries;
+    }
+    ASSERT_EQ(partial.status, QueryStatus::kResolved);
+    EXPECT_GE(retries, 1u);
+    // Reassembled grid == the unbudgeted grid, witnesses included.
+    EXPECT_EQ(assembled, full.frontier);
+    // No column streamed twice, and all columns streamed once overall.
+    std::set<std::size_t> unique_ts(streamed_ts.begin(), streamed_ts.end());
+    EXPECT_EQ(unique_ts.size(), streamed_ts.size());
+    EXPECT_EQ(unique_ts, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(ServerFrontier, WrongKindTokenIsRejected) {
+    RobustnessServer server;
+    // Mint a CELL token, present it to the frontier path (and vice versa).
+    QueryRequest cell = attack_request();
+    cell.budget_cells = 8;
+    const QueryResponse degraded_cell = server.query(cell);
+    ASSERT_EQ(degraded_cell.status, QueryStatus::kDegraded);
+
+    FrontierRequest grid = frontier_request(2, 1);
+    grid.resume_token = degraded_cell.resume_token;
+    const FrontierResponse rejected = server.frontier(grid);
+    EXPECT_EQ(rejected.status, QueryStatus::kError);
+
+    grid.resume_token.clear();
+    grid.budget_cells = 8;
+    const FrontierResponse degraded_grid = server.frontier(grid);
+    ASSERT_EQ(degraded_grid.status, QueryStatus::kDegraded);
+    QueryRequest cell_with_grid_token = attack_request();
+    cell_with_grid_token.resume_token = degraded_grid.resume_token;
+    EXPECT_EQ(server.query(cell_with_grid_token).status, QueryStatus::kError);
+}
+
 // ------------------------------------------------------------- text front
 
 TEST(TextFront, ServesTheLineProtocol) {
@@ -581,6 +1045,324 @@ TEST(TextFront, ReportsParseErrorsAndContinues) {
     EXPECT_NE(text.find("error: payoffs: expected 8 values"), std::string::npos);
     EXPECT_NE(text.find("error: profile: action out of range"), std::string::npos);
     EXPECT_NE(text.find("verdict="), std::string::npos);
+}
+
+TEST(TextFront, HardenedAgainstHugeIntegersAndZeroDenominators) {
+    RobustnessServer server;
+    std::istringstream in(
+        "game 2 2 2\n"
+        "ask 99999999999999999999999999999999 0\n"
+        "payoffs 1/0 0 0 0 0 0 0 0\n"
+        "game 184467440737095516151844674407370955161 2\n"
+        "profile 1 1\n"
+        "ask 1 0\n");
+    std::ostringstream out;
+    const std::size_t asks = run_text_front(in, out, server);
+    // The session survived every malformed line and served the final ask.
+    EXPECT_EQ(asks, 1u);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("error: integer out of range: "
+                        "'99999999999999999999999999999999'"),
+              std::string::npos);
+    EXPECT_NE(text.find("error: rational '1/0': zero denominator"), std::string::npos);
+    EXPECT_NE(text.find("error: integer out of range"), std::string::npos);
+    EXPECT_NE(text.find("verdict=robust"), std::string::npos);
+}
+
+TEST(TextFront, ResumeCommandChainsDegradedAsks) {
+    RobustnessServer server;
+    // Degrade once under a tiny budget, then resume with full budget.
+    std::istringstream setup(
+        "game 2 2 2\n"
+        "payoffs 3 3 -5 5 5 -5 -3 -3\n"
+        "profile 1 1\n"
+        "mode serial\n"
+        "ask 2 1 4\n");
+    std::ostringstream out;
+    run_text_front(setup, out, server);
+    const std::string first = out.str();
+    const std::size_t token_at = first.find("token=");
+    ASSERT_NE(token_at, std::string::npos) << first;
+    std::string token = first.substr(token_at + 6);
+    token = token.substr(0, token.find_first_of(" \n"));
+
+    std::istringstream retry(
+        "game 2 2 2\n"
+        "payoffs 3 3 -5 5 5 -5 -3 -3\n"
+        "profile 1 1\n"
+        "mode serial\n"
+        "resume " + token + "\n"
+        "ask 2 1\n");
+    std::ostringstream out2;
+    run_text_front(retry, out2, server);
+    EXPECT_NE(out2.str().find("status=resolved"), std::string::npos) << out2.str();
+}
+
+TEST(TextFront, FrontierStreamsColumnsAndTerminates) {
+    RobustnessServer server;
+    std::istringstream in(
+        "game 2 2 2\n"
+        "payoffs 3 3 -5 5 5 -5 -3 -3\n"
+        "profile 1 1\n"
+        "mode serial\n"
+        "frontier 1 1\n");
+    std::ostringstream out;
+    run_text_front(in, out, server);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("col 0 "), std::string::npos) << text;
+    EXPECT_NE(text.find("col 1 "), std::string::npos) << text;
+    EXPECT_NE(text.find("done cells="), std::string::npos) << text;
+    EXPECT_NE(text.find("cols=2"), std::string::npos) << text;
+}
+
+// ------------------------------------------------------------ socket front
+
+// Runs the TCP front on a background thread; joins (and surfaces the
+// front's stats) on stop().
+class SocketHarness final {
+public:
+    explicit SocketHarness(RobustnessServer& server, SocketFrontOptions options = {}) {
+        std::promise<std::uint16_t> port_promise;
+        options.on_listen = [&port_promise](std::uint16_t port) {
+            port_promise.set_value(port);
+        };
+        thread_ = std::thread([this, &server, options] {
+            stats_ = run_socket_front(server, options, stop_);
+        });
+        port_ = port_promise.get_future().get();
+    }
+    ~SocketHarness() { stop(); }
+
+    void stop() {
+        if (thread_.joinable()) {
+            stop_.store(true);
+            thread_.join();
+        }
+    }
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+    // Valid after stop().
+    [[nodiscard]] const SocketFrontStats& stats() const noexcept { return stats_; }
+
+private:
+    std::atomic<bool> stop_{false};
+    std::uint16_t port_ = 0;
+    SocketFrontStats stats_;
+    std::thread thread_;
+};
+
+class TestClient final {
+public:
+    explicit TestClient(std::uint16_t port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        connected_ =
+            fd_ >= 0 &&
+            ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0;
+    }
+    ~TestClient() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    TestClient(const TestClient&) = delete;
+    TestClient& operator=(const TestClient&) = delete;
+
+    [[nodiscard]] bool connected() const noexcept { return connected_; }
+
+    bool send_raw(const std::string& data) {
+        std::size_t sent = 0;
+        while (sent < data.size()) {
+            const ssize_t wrote =
+                ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+            if (wrote < 0) return false;
+            sent += static_cast<std::size_t>(wrote);
+        }
+        return true;
+    }
+    bool send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+    // One reply line, or nullopt on EOF / timeout.
+    std::optional<std::string> read_line(
+        std::chrono::milliseconds timeout = std::chrono::seconds(20)) {
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        while (true) {
+            const std::size_t newline = buffer_.find('\n');
+            if (newline != std::string::npos) {
+                std::string line = buffer_.substr(0, newline);
+                buffer_.erase(0, newline + 1);
+                return line;
+            }
+            const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            if (remaining.count() <= 0) return std::nullopt;
+            pollfd poll_fd{fd_, POLLIN, 0};
+            const int ready = ::poll(&poll_fd, 1, static_cast<int>(remaining.count()));
+            if (ready <= 0) {
+                if (ready < 0 && errno == EINTR) continue;
+                return std::nullopt;
+            }
+            char chunk[4096];
+            const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+            if (got <= 0) return std::nullopt;  // EOF
+            buffer_.append(chunk, static_cast<std::size_t>(got));
+        }
+    }
+
+private:
+    int fd_ = -1;
+    bool connected_ = false;
+    std::string buffer_;
+};
+
+const char* kPdSetup[] = {"game 2 2 2", "payoffs 3 3 -5 5 5 -5 -3 -3", "profile 1 1",
+                          "mode serial"};
+
+void setup_pd(TestClient& client) {
+    for (const char* line : kPdSetup) {
+        ASSERT_TRUE(client.send_line(line));
+        const auto reply = client.read_line();
+        ASSERT_TRUE(reply.has_value());
+        ASSERT_EQ(*reply, "ok");
+    }
+}
+
+TEST(SocketFront, ServesAsksAndStreamsFrontiers) {
+    RobustnessServer server;
+    SocketHarness harness(server);
+    {
+        TestClient client(harness.port());
+        ASSERT_TRUE(client.connected());
+        setup_pd(client);
+
+        ASSERT_TRUE(client.send_line("ask 1 0"));
+        const auto verdict = client.read_line();
+        ASSERT_TRUE(verdict.has_value());
+        EXPECT_NE(verdict->find("verdict=robust status=resolved"), std::string::npos);
+
+        ASSERT_TRUE(client.send_line("frontier 1 1"));
+        std::vector<std::string> lines;
+        for (int i = 0; i < 3; ++i) {
+            const auto line = client.read_line();
+            ASSERT_TRUE(line.has_value());
+            lines.push_back(*line);
+        }
+        EXPECT_EQ(lines[0].rfind("col 0 ", 0), 0u) << lines[0];
+        EXPECT_EQ(lines[1].rfind("col 1 ", 0), 0u) << lines[1];
+        EXPECT_EQ(lines[2].rfind("done cells=", 0), 0u) << lines[2];
+
+        ASSERT_TRUE(client.send_line("quit"));
+        EXPECT_FALSE(client.read_line(std::chrono::seconds(5)).has_value());  // closed
+    }
+    harness.stop();
+    EXPECT_EQ(harness.stats().connections, 1u);
+    EXPECT_GT(harness.stats().lines, 0u);
+}
+
+TEST(SocketFront, ParserHardeningKeepsTheSessionAlive) {
+    RobustnessServer server;
+    SocketHarness harness(server);
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    setup_pd(client);
+
+    ASSERT_TRUE(client.send_line("ask 99999999999999999999999999999999 0"));
+    auto reply = client.read_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("error: integer out of range"), std::string::npos) << *reply;
+
+    ASSERT_TRUE(client.send_line("payoffs 1/0 0 0 0 0 0 0 0"));
+    reply = client.read_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("error: rational '1/0': zero denominator"), std::string::npos)
+        << *reply;
+
+    // The connection survived both malformed commands.
+    ASSERT_TRUE(client.send_line("ask 1 0"));
+    reply = client.read_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("verdict=robust"), std::string::npos) << *reply;
+}
+
+TEST(SocketFront, PipelineOverflowCloses) {
+    RobustnessServer server;
+    SocketFrontOptions options;
+    options.max_pipeline = 4;
+    SocketHarness harness(server);  // defaults for the control client
+    SocketHarness bounded(server, options);
+    TestClient client(bounded.port());
+    ASSERT_TRUE(client.connected());
+    // 50 commands in one write, none of their replies read: far past the
+    // pipelining bound.
+    std::string blast;
+    for (int i = 0; i < 50; ++i) blast += "stats\n";
+    ASSERT_TRUE(client.send_raw(blast));
+    // Eventually the error line arrives, then EOF.
+    std::optional<std::string> line;
+    bool saw_overflow = false;
+    while ((line = client.read_line(std::chrono::seconds(5))).has_value()) {
+        if (line->find("error: pipeline overflow") != std::string::npos) saw_overflow = true;
+    }
+    EXPECT_TRUE(saw_overflow);
+    bounded.stop();
+    EXPECT_EQ(bounded.stats().pipeline_closes, 1u);
+}
+
+TEST(SocketFront, ReadDeadlineReapsSilentConnections) {
+    RobustnessServer server;
+    SocketFrontOptions options;
+    options.read_deadline = std::chrono::milliseconds(100);
+    SocketHarness harness(server, options);
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    // A partial command with no newline: the slowloris case.
+    ASSERT_TRUE(client.send_raw("gam"));
+    const auto reply = client.read_line(std::chrono::seconds(10));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("error: read deadline exceeded"), std::string::npos);
+    EXPECT_FALSE(client.read_line(std::chrono::seconds(5)).has_value());  // EOF
+    harness.stop();
+    EXPECT_EQ(harness.stats().deadline_closes, 1u);
+}
+
+TEST(SocketFront, ScheduledStreamDropSeversMidFrontier) {
+    RobustnessServer server;
+    FaultSchedule faults;
+    faults.drop_stream_after(0, 1);  // first connection: one column, then cut
+    SocketFrontOptions options;
+    options.faults = &faults;
+    SocketHarness harness(server, options);
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    setup_pd(client);
+
+    ASSERT_TRUE(client.send_line("frontier 1 1"));
+    const auto first = client.read_line();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->rfind("col 0 ", 0), 0u) << *first;
+    // The second column never arrives: the connection died mid-stream.
+    EXPECT_FALSE(client.read_line(std::chrono::seconds(10)).has_value());
+    harness.stop();
+    EXPECT_EQ(harness.stats().stream_drops, 1u);
+}
+
+TEST(SocketFront, OverCapacityConnectionsAreTurnedAway) {
+    RobustnessServer server;
+    SocketFrontOptions options;
+    options.max_connections = 1;
+    SocketHarness harness(server, options);
+    TestClient first(harness.port());
+    ASSERT_TRUE(first.connected());
+    ASSERT_TRUE(first.send_line("stats"));
+    ASSERT_TRUE(first.read_line().has_value());  // the slot is provably taken
+    TestClient second(harness.port());
+    ASSERT_TRUE(second.connected());
+    const auto reply = second.read_line(std::chrono::seconds(10));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, "error: too many connections");
+    EXPECT_FALSE(second.read_line(std::chrono::seconds(5)).has_value());
+    harness.stop();
+    EXPECT_EQ(harness.stats().rejected, 1u);
 }
 
 }  // namespace
