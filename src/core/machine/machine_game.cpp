@@ -285,6 +285,8 @@ std::vector<std::vector<std::size_t>> MachineGame::machine_equilibria(
     }
     std::vector<std::vector<std::vector<std::size_t>>> partials(num_blocks);
     std::vector<std::exception_ptr> errors(num_blocks);
+    // lint: grant-ok(blocks charge the active grant through utility()'s
+    // work_counters_add on every machine-profile evaluation)
     pool.run_blocks(static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
         try {
             const std::uint64_t lo = static_cast<std::uint64_t>(block) * kBlock;

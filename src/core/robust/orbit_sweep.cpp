@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/robust/coalition_sweep.h"
+#include "util/audit.h"
 #include "util/execution_grant.h"
 #include "util/orbit_walker.h"
 #include "util/thread_pool.h"
@@ -547,6 +548,11 @@ std::optional<RobustnessViolation> OrbitSweep::robustness_violation(
     const std::size_t start_rank = resume != nullptr && resume->immunity_done
                                        ? static_cast<std::size_t>(resume->next_task)
                                        : 0;
+    // A resume rank beyond the (sc, st) scan space means the checkpoint
+    // was recorded against different sweep parameters.
+    BNASH_AUDIT_CHECK(start_rank <= k * row,
+                      "OrbitSweep: checkpoint resume rank lies beyond the "
+                      "(coalition, faulty) scan space");
     for (std::size_t sc = 1; sc <= k; ++sc) {
         for (std::size_t st = 0; st <= t; ++st) {
             const std::size_t rank = (sc - 1) * row + st;

@@ -495,6 +495,9 @@ std::optional<PureProfile> find_punishment_strategy(const NormalFormGame& game, 
     // scan would have thrown the lowest such rank below the winner.
     std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors(
         num_blocks, {total, nullptr});
+    // lint: grant-ok(the punishment search predates grant accounting — its
+    // Evaluator path is uncounted, so budgets cannot gate it; documented in
+    // ROADMAP as a sweep-core residual)
     pool.run_blocks(static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
         const std::uint64_t lo = block * kBlock;
         const std::uint64_t hi = std::min(total, lo + kBlock);

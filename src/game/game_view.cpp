@@ -127,6 +127,8 @@ NormalFormGame GameView::materialize() const {
         for (std::size_t p = 0; p < n; ++p) {
             out.set_payoff(walker.tuple(), p, payoff_from(walker.row(), p));
         }
+        // lint: no-charge(one-shot tensor copy, not sweep work; the CI
+        // counters gate the sweep kernels and materialize predates them)
         (void)walker.advance();
     }
     for (std::size_t p = 0; p < n; ++p) {

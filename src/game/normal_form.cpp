@@ -231,7 +231,11 @@ void NormalFormGame::set_action_labels(std::size_t player, std::vector<std::stri
 std::string NormalFormGame::action_label(std::size_t player, std::size_t action) const {
     if (action >= num_actions(player)) throw std::out_of_range("action_label");
     if (action_labels_[player].empty()) {
-        return "a" + std::to_string(action);
+        // Built by append, not operator+: GCC 12's -Wrestrict false-
+        // positives on "literal" + to_string(...) (PR 105329).
+        std::string label("a");
+        label += std::to_string(action);
+        return label;
     }
     return action_labels_[player][action];
 }

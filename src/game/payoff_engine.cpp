@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "game/game_view.h"
+#include "util/audit.h"
 #include "util/combinatorics.h"
 #include "util/execution_grant.h"
 #include "util/offset_walker.h"
@@ -449,6 +450,22 @@ BlockRanges support_blocks(const std::vector<std::size_t>& full_counts,
     return blocks;
 }
 
+#if BNASH_AUDIT_ENABLED
+// From-scratch left-fold of the support weights up to `upto`. The fold
+// order matches the incremental prefix exactly — ((1*x0)*x1)*... — so for
+// doubles the comparison is bit-identical, not approximate.
+template <typename V, typename ProfileT>
+[[nodiscard]] V audit_support_weight(const SupportPlan& plan, const ProfileT& profile,
+                                     const std::vector<std::size_t>& tuple,
+                                     std::size_t upto) {
+    V full{1};
+    for (std::size_t j = 0; j < upto; ++j) {
+        full = full * profile[j][plan.actions[j][tuple[j]]];
+    }
+    return full;
+}
+#endif
+
 // Sparse expected sweep over one block: the weight is the same left-fold
 // product the dense kernel computes, but only digits at or above the
 // walker's lowest changed digit recompute (incremental prefix products).
@@ -465,6 +482,10 @@ void sparse_expected_block(const SupportPlan& plan, const ProfileT& profile, con
         for (std::size_t j = from; j < n; ++j) {
             prefix[j + 1] = prefix[j] * profile[j][plan.actions[j][tuple[j]]];
         }
+        BNASH_AUDIT_CHECK(
+            prefix[n] == (audit_support_weight<V>(plan, profile, tuple, n)),
+            "sparse_expected_block: incremental prefix product drifted from a "
+            "from-scratch left-fold of the support weights");
         if (!sweep_zero(prefix[n])) accumulate_all(acc, walker.row(), prefix[n], totals);
         (void)walker.advance();
         from = walker.lowest_changed();
@@ -486,6 +507,10 @@ void sparse_expected_single_block(const SupportPlan& plan, const ProfileT& profi
         for (std::size_t j = from; j < n; ++j) {
             prefix[j + 1] = prefix[j] * profile[j][plan.actions[j][tuple[j]]];
         }
+        BNASH_AUDIT_CHECK(
+            prefix[n] == (audit_support_weight<V>(plan, profile, tuple, n)),
+            "sparse_expected_single_block: incremental prefix product drifted "
+            "from a from-scratch left-fold of the support weights");
         if (!sweep_zero(prefix[n])) total += prefix[n] * acc.at(walker.row(), player);
         (void)walker.advance();
         from = walker.lowest_changed();
@@ -511,6 +536,10 @@ void sparse_row_block(const SupportPlan& plan, const ProfileT& profile, const Ac
         for (std::size_t j = from; j < player; ++j) {
             prefix[j + 1] = prefix[j] * profile[j][plan.actions[j][tuple[j]]];
         }
+        BNASH_AUDIT_CHECK(
+            prefix[player] == (audit_support_weight<V>(plan, profile, tuple, player)),
+            "sparse_row_block: incremental prefix product drifted from a "
+            "from-scratch left-fold of the opponents' support weights");
         V tail{1};
         for (std::size_t j = n; j-- > player + 1;) {
             tail = tail * profile[j][plan.actions[j][tuple[j]]];
@@ -590,6 +619,24 @@ std::vector<std::vector<V>> sparse_deviation_sweep(
 }  // namespace
 
 util::OffsetWalker SupportPlan::make_walker() const {
+#if BNASH_AUDIT_ENABLED
+    // Plan invariants every sparse kernel leans on: parallel arrays stay
+    // parallel, radices mirror the support widths, and num_tuples is the
+    // true product (a dead plan never reaches a walker).
+    BNASH_AUDIT_CHECK(actions.size() == offsets.size() && radices.size() == offsets.size(),
+                      "SupportPlan::make_walker: actions/offsets/radices widths diverged");
+    std::uint64_t tuples = 1;
+    for (std::size_t p = 0; p < offsets.size(); ++p) {
+        BNASH_AUDIT_CHECK(actions[p].size() == offsets[p].size() &&
+                              radices[p] == offsets[p].size(),
+                          "SupportPlan::make_walker: a player's support arrays "
+                          "disagree on its radix");
+        tuples *= offsets[p].size();
+    }
+    BNASH_AUDIT_CHECK(dead || tuples == num_tuples,
+                      "SupportPlan::make_walker: num_tuples is not the product of "
+                      "the support radices");
+#endif
     util::OffsetWalker walker;
     walker.reserve(offsets.size());
     for (const auto& column : offsets) walker.add_digit(column.data(), column.size());

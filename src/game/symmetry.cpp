@@ -258,6 +258,26 @@ std::uint64_t QuotientGame::rank_others(
         rank = rank * util::composition_count(members, class_actions[d]) +
                util::composition_rank(members, others[d]);
     }
+#if BNASH_AUDIT_ENABLED
+    // Round-trip: peeling the mixed-radix rank back apart must unrank to
+    // exactly the input histograms, with nothing left over.
+    {
+        std::uint64_t residue = rank;
+        std::vector<std::size_t> counts;
+        for (std::size_t d = class_sizes.size(); d-- > 0;) {
+            const std::size_t members = class_sizes[d] - (d == cls ? 1 : 0);
+            const std::uint64_t orbits = util::composition_count(members, class_actions[d]);
+            util::composition_unrank(members, class_actions[d], residue % orbits, counts);
+            BNASH_AUDIT_CHECK(counts == others[d],
+                              "QuotientGame::rank_others: rank does not unrank "
+                              "back to the input histograms");
+            residue /= orbits;
+        }
+        BNASH_AUDIT_CHECK(residue == 0,
+                          "QuotientGame::rank_others: rank exceeds the mixed-radix "
+                          "orbit space");
+    }
+#endif
     return rank;
 }
 
@@ -305,6 +325,9 @@ QuotientGame build_quotient(const GameView& view, const SymmetryGroup& group) {
                     view.payoff_from(view.row_offset(profile), rep);
             }
             ++r;
+            // lint: no-charge(quotient tabulation is per-group setup cost,
+            // outside the gated sweep counters by design — charging it would
+            // shift bench_symmetry's blessed cells_visited parity)
         } while (walker.advance());
     }
     return quotient;
@@ -394,6 +417,9 @@ ExactDeviationTable class_deviation_payoffs_exact(const QuotientGame& quotient,
                 }
             }
             ++r;
+            // lint: no-charge(orbit payoff folds are O(orbits) per call and
+            // deliberately uncounted — OrbitSweep charges its own scan loops,
+            // and double-charging here would skew the symmetry bench parity)
         } while (walker.advance());
     }
     return dev;
@@ -468,6 +494,8 @@ DeviationTable deviation_payoffs_all_orbit(const GameView& view, const SymmetryG
                 }
             }
             ++r;
+            // lint: no-charge(double mirror of the exact fold above; same
+            // accounting contract — OrbitSweep owns the gated counters)
         } while (walker.advance());
         for (const std::size_t p : group.classes()[c]) dev[p] = row;
     }

@@ -33,6 +33,7 @@
 #include "game/game_view.h"
 #include "game/payoff_engine.h"
 #include "game/strategy.h"
+#include "util/audit.h"
 #include "util/orbit_walker.h"
 #include "util/rational.h"
 
@@ -116,6 +117,11 @@ struct QuotientGame final {
         std::size_t cls, const std::vector<std::vector<std::size_t>>& others) const;
     [[nodiscard]] const util::Rational& at(std::size_t cls, std::size_t action,
                                            std::uint64_t others_rank) const {
+        BNASH_AUDIT_CHECK(cls < payoff.size() && others_rank < others_orbits_[cls] &&
+                              action * others_orbits_[cls] + others_rank <
+                                  payoff[cls].size(),
+                          "QuotientGame::at: (class, action, others_rank) indexes "
+                          "outside the tabulated quotient");
         return payoff[cls][action * others_orbits_[cls] + others_rank];
     }
 

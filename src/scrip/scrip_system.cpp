@@ -123,6 +123,9 @@ std::vector<double> threshold_best_response_curve(const ScripParams& params,
         }
         return out;
     }
+    // lint: grant-ok(candidate simulations are rounds-gated through
+    // bench_scrip's deterministic counters, not cell-gated; simulate() has
+    // no tensor cells to charge)
     pool.run_blocks(out.size(), [&](std::size_t candidate) {
         try {
             run_candidate(candidate);

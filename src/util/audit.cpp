@@ -1,0 +1,18 @@
+#include "util/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bnash::util {
+
+void audit_fail(const char* what, const char* file, int line,
+                const char* expression) noexcept {
+    // stderr, then abort: the divergent incremental state is still live in
+    // the aborting frame, which is exactly what a debugger wants.
+    std::fprintf(stderr, "BNASH_AUDIT failure: %s\n  at %s:%d\n  check: %s\n", what,
+                 file, line, expression);
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace bnash::util

@@ -1,0 +1,46 @@
+// Audit-mode cross-checking for the incremental sweep state.
+//
+// The sweep kernels carry incremental state — walker row offsets kept by
+// per-digit deltas, sparse prefix-product weights recomputed from
+// lowest_changed() only, quotient orbit ranks, checkpoint seek positions
+// — whose soundness the fuzz suites probe indirectly. An audit build
+// (-DBNASH_AUDIT=ON) compiles BNASH_AUDIT_CHECK assertions into those
+// hot paths that cross-check the incremental value against a from-
+// scratch recomputation on every step, so a drift aborts at the exact
+// cell where it first appears instead of surfacing as a wrong verdict
+// three layers up. Release builds compile the checks out entirely: the
+// condition is NOT evaluated, so audit-only bookkeeping must itself be
+// guarded with `#if BNASH_AUDIT_ENABLED`.
+//
+// Checks abort (not throw): an incremental-state divergence is a bug in
+// the kernel, never a recoverable input condition, and aborting keeps
+// the failing cell's state intact for a debugger. verify.sh --audit
+// builds a dedicated build-audit/ tree and replays the fuzz corpora
+// with the checks live.
+#pragma once
+
+#include <cstdint>
+
+namespace bnash::util {
+
+// Prints the failed check (what/where/expression) to stderr and aborts.
+[[noreturn]] void audit_fail(const char* what, const char* file, int line,
+                             const char* expression) noexcept;
+
+}  // namespace bnash::util
+
+#if defined(BNASH_AUDIT)
+#define BNASH_AUDIT_ENABLED 1
+#define BNASH_AUDIT_CHECK(cond, what)                                        \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::bnash::util::audit_fail((what), __FILE__, __LINE__, #cond);    \
+        }                                                                    \
+    } while (false)
+#else
+#define BNASH_AUDIT_ENABLED 0
+// The condition is not evaluated — audit checks are free in release.
+#define BNASH_AUDIT_CHECK(cond, what) \
+    do {                              \
+    } while (false)
+#endif

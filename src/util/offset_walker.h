@@ -42,6 +42,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/audit.h"
+
 namespace bnash::util {
 
 class OffsetWalker final {
@@ -55,6 +57,9 @@ public:
         row_ = 0;
         lowest_changed_ = 0;
         digit_moves_ = 0;
+#if BNASH_AUDIT_ENABLED
+        audit_base_ = 0;
+#endif
     }
 
     void reserve(std::size_t num_digits) {
@@ -102,6 +107,9 @@ public:
         }
         row_ = row;
         lowest_changed_ = 0;
+#if BNASH_AUDIT_ENABLED
+        audit_base_ = base;
+#endif
     }
 
     // Lands on the row-major `rank` (block entry for parallel sweeps).
@@ -116,6 +124,12 @@ public:
         if (rank != 0) throw std::out_of_range("OffsetWalker: seek past end");
         row_ = row;
         lowest_changed_ = 0;
+#if BNASH_AUDIT_ENABLED
+        audit_base_ = base;
+        BNASH_AUDIT_CHECK(row_ == audit_recomputed_row(),
+                          "OffsetWalker::seek landed on a row that disagrees with a "
+                          "from-scratch per-digit offset sum");
+#endif
     }
 
     // One row-major step; false once the space wraps back to all-zeros.
@@ -127,12 +141,19 @@ public:
             if (a < radices_[d]) {
                 row_ += column[a] - column[a - 1];
                 lowest_changed_ = d;
+                BNASH_AUDIT_CHECK(row_ == audit_recomputed_row(),
+                                  "OffsetWalker::advance drifted: incremental row "
+                                  "delta disagrees with a from-scratch per-digit "
+                                  "offset sum");
                 return true;
             }
             row_ += column[0] - column[a - 1];
             tuple_[d] = 0;
         }
         lowest_changed_ = 0;
+        BNASH_AUDIT_CHECK(row_ == audit_recomputed_row(),
+                          "OffsetWalker::advance wrap-around drifted off the "
+                          "all-zeros row");
         return false;
     }
 
@@ -146,6 +167,21 @@ public:
     [[nodiscard]] std::uint64_t digit_moves() const noexcept { return digit_moves_; }
 
 private:
+#if BNASH_AUDIT_ENABLED
+    // From-scratch row recomputation (unsigned wrap-around matches the
+    // incremental arithmetic exactly). The external rebase handed to
+    // reset()/seek() is remembered so every later advance can re-derive
+    // the full sum.
+    [[nodiscard]] std::uint64_t audit_recomputed_row() const {
+        std::uint64_t row = audit_base_;
+        for (std::size_t d = 0; d < radices_.size(); ++d) {
+            row += offsets_[d][tuple_[d]];
+        }
+        return row;
+    }
+    std::uint64_t audit_base_ = 0;
+#endif
+
     std::vector<const std::uint64_t*> offsets_;
     std::vector<std::size_t> radices_;
     std::vector<std::size_t> tuple_;

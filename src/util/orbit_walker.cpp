@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/audit.h"
 #include "util/combinatorics.h"
 
 namespace bnash::util {
@@ -16,7 +17,39 @@ namespace {
     return static_cast<std::uint64_t>(wide);
 }
 
+#if BNASH_AUDIT_ENABLED
+// From-scratch cross-checks of the walker's incremental rank state: each
+// digit's cached composition rank must agree with ranking its counts
+// afresh (and the counts must still sum to the class size), and the
+// joint rank must be the mixed-radix composition of the digit ranks over
+// the free digits. O(digits * members * actions) per call — audit builds
+// pay it on every advance/seek.
+void audit_digit_ranks(const char* who, std::size_t members,
+                       const std::vector<std::size_t>& counts,
+                       std::uint64_t cached_rank) {
+    std::size_t sum = 0;
+    for (const std::size_t c : counts) sum += c;
+    BNASH_AUDIT_CHECK(sum == members,
+                      "OrbitWalker: a digit's composition no longer sums to its "
+                      "class size");
+    BNASH_AUDIT_CHECK(composition_rank(members, counts) == cached_rank, who);
+}
+#endif
 }  // namespace
+
+#if BNASH_AUDIT_ENABLED
+void OrbitWalker::audit_state(const char* who) const {
+    std::uint64_t joint = 0;
+    for (const Digit& digit : digits_) {
+        if (digit.pinned) continue;
+        audit_digit_ranks(who, digit.members, digit.counts, digit.digit_rank);
+        joint = joint * digit.orbits + digit.digit_rank;
+    }
+    BNASH_AUDIT_CHECK(joint == rank_,
+                      "OrbitWalker: joint rank diverged from the mixed-radix "
+                      "composition of the per-digit ranks");
+}
+#endif
 
 std::uint64_t composition_count(std::size_t total, std::size_t parts) {
     if (parts == 0) {
@@ -154,6 +187,10 @@ void OrbitWalker::reset() {
 }
 
 void OrbitWalker::seek(std::uint64_t rank) {
+#if BNASH_AUDIT_ENABLED
+    BNASH_AUDIT_CHECK(rank < num_orbits() || (rank == 0 && num_orbits() == 0),
+                      "OrbitWalker::seek past the end of the orbit space");
+#endif
     std::uint64_t place = 1;
     for (const Digit& digit : digits_) place = checked_mul(place, digit.orbits);
     rank_ = rank;
@@ -167,6 +204,9 @@ void OrbitWalker::seek(std::uint64_t rank) {
         digit.digit_rank = digit_rank;
         ++digit_moves_;
     }
+#if BNASH_AUDIT_ENABLED
+    audit_state("OrbitWalker::seek unranked a composition whose re-rank disagrees");
+#endif
 }
 
 bool OrbitWalker::advance() {
@@ -177,12 +217,19 @@ bool OrbitWalker::advance() {
         if (next_composition(digit)) {
             lowest_changed_ = d;
             ++rank_;
+#if BNASH_AUDIT_ENABLED
+            audit_state("OrbitWalker::advance stepped to a composition whose "
+                        "re-rank disagrees with the incremental digit rank");
+#endif
             return true;
         }
         // carried: this digit wrapped to rank 0, move to the next digit
     }
     lowest_changed_ = 0;
     rank_ = 0;
+#if BNASH_AUDIT_ENABLED
+    audit_state("OrbitWalker::advance wrap-around left a digit off rank 0");
+#endif
     return false;
 }
 

@@ -30,6 +30,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/audit.h"
+
 namespace bnash::util {
 
 // Rank of a weak composition of `total` into counts.size() parts within
@@ -107,6 +109,13 @@ private:
     // back to (m, 0, ..., 0).
     static bool next_composition(Digit& digit);
     static void first_composition(Digit& digit);
+
+#if BNASH_AUDIT_ENABLED
+    // Re-ranks every free digit's composition from scratch and recomposes
+    // the joint rank, aborting on any disagreement with the incremental
+    // digit_rank/rank_ bookkeeping.
+    void audit_state(const char* who) const;
+#endif
 
     std::vector<Digit> digits_;
     std::uint64_t rank_ = 0;

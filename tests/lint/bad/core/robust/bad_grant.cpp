@@ -1,0 +1,11 @@
+// Fixture: a pooled run_blocks call whose enclosing function shows no
+// grant awareness and carries no waiver — must trigger grant-propagation.
+#include "util/thread_pool.h"
+
+namespace bnash::core {
+
+void scan_everything(std::size_t blocks) {
+    bnash::util::global_pool().run_blocks(blocks, [](std::size_t) {});
+}
+
+}  // namespace bnash::core

@@ -1,0 +1,16 @@
+// Fixture: an OffsetWalker advance loop that never charges work counters
+// and carries no waiver — must trigger walker-charge.
+#include "util/offset_walker.h"
+
+namespace bnash::core {
+
+std::uint64_t sum_rows(bnash::util::OffsetWalker& walker, std::uint64_t count) {
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        total += walker.row();
+        (void)walker.advance();
+    }
+    return total;
+}
+
+}  // namespace bnash::core

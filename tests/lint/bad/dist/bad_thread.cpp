@@ -1,0 +1,13 @@
+// Fixture: raw thread construction outside util::ThreadPool / src/serve —
+// must trigger naked-thread (std::this_thread uses must NOT trigger it).
+#include <chrono>
+#include <thread>
+
+namespace bnash::dist {
+
+void fire_and_forget() {
+    std::thread worker([] { std::this_thread::sleep_for(std::chrono::seconds(1)); });
+    worker.join();
+}
+
+}  // namespace bnash::dist

@@ -1,0 +1,9 @@
+// Fixture: header that reaches code before #pragma once — must trigger
+// header-guard.
+#include <cstddef>
+
+namespace bnash::game {
+
+inline std::size_t fixture_value() { return 7; }
+
+}  // namespace bnash::game

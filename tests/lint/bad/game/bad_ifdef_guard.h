@@ -1,0 +1,12 @@
+// Fixture: #ifndef-style include guard — must trigger header-guard (the
+// repo standardizes on #pragma once).
+#ifndef BNASH_TESTS_LINT_BAD_GAME_BAD_IFDEF_GUARD_H
+#define BNASH_TESTS_LINT_BAD_GAME_BAD_IFDEF_GUARD_H
+
+namespace bnash::game {
+
+inline int guarded_fixture() { return 1; }
+
+}  // namespace bnash::game
+
+#endif

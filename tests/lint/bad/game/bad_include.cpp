@@ -1,0 +1,11 @@
+// Fixture: include-hygiene violations — a relative-up include, a libstdc++
+// internal header, and a quoted include that resolves nowhere.
+#include "../core/robust/bad_walker.h"
+#include <bits/stdc++.h>
+#include "game/does_not_exist.h"
+
+namespace bnash::game {
+
+int include_fixture() { return 0; }
+
+}  // namespace bnash::game

@@ -1,0 +1,13 @@
+// Fixture: ambient randomness in library code — must trigger no-rand on
+// the rand() and std::rand() calls and the std::random_device.
+#include <cstdlib>
+#include <random>
+
+namespace bnash::game {
+
+int noisy_choice(int actions) {
+    std::random_device entropy;
+    return static_cast<int>((rand() + std::rand() + entropy()) % actions);
+}
+
+}  // namespace bnash::game

@@ -1,0 +1,12 @@
+// Fixture: a waiver with an empty reason does not parse — no-rand must
+// still fire despite the attempted suppression.
+#include <cstdlib>
+
+namespace bnash::game {
+
+int lazy_waiver(int actions) {
+    // lint: rand-ok()
+    return rand() % actions;
+}
+
+}  // namespace bnash::game

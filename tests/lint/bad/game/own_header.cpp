@@ -1,0 +1,10 @@
+// Fixture: the unit's own header exists but is not the first include —
+// must trigger include-hygiene's first-include rule.
+#include "util/offset_walker.h"
+#include "game/own_header.h"
+
+namespace bnash::game {
+
+int own_header_fixture() { return 3; }
+
+}  // namespace bnash::game

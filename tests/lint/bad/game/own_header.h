@@ -1,0 +1,7 @@
+#pragma once
+
+namespace bnash::game {
+
+int own_header_fixture();
+
+}  // namespace bnash::game

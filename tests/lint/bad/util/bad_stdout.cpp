@@ -1,0 +1,17 @@
+// Fixture: stdout writes in library code — must trigger no-stdout on the
+// std::cout insertion and both printf spellings (std::cerr and
+// std::fprintf(stderr, ...) are fine).
+#include <cstdio>
+#include <iostream>
+
+namespace bnash::util {
+
+void report_progress(int percent) {
+    std::cout << "progress: " << percent << "\n";
+    printf("progress: %d\n", percent);
+    std::printf("progress: %d\n", percent);
+    std::cerr << "errors go here\n";
+    std::fprintf(stderr, "errors go here too: %d\n", percent);
+}
+
+}  // namespace bnash::util

@@ -1,0 +1,32 @@
+// Fixture: an advance loop that charges work counters in its enclosing
+// function — walker-charge must stay quiet without any waiver.
+#include <cstdint>
+
+namespace bnash::util {
+void work_counters_add(std::uint64_t cells, std::uint64_t offsets) noexcept;
+}
+
+namespace bnash::core {
+
+struct TinyWalker {
+    std::uint64_t row = 0;
+    std::uint64_t moves = 0;
+    bool advance() {
+        ++moves;
+        return ++row < 8;
+    }
+    std::uint64_t digit_moves() const { return moves; }
+};
+
+std::uint64_t sum_rows_charged(TinyWalker& walker) {
+    std::uint64_t total = 0;
+    std::uint64_t cells = 0;
+    do {
+        total += walker.row;
+        ++cells;
+    } while (walker.advance());
+    bnash::util::work_counters_add(cells, walker.digit_moves());
+    return total;
+}
+
+}  // namespace bnash::core

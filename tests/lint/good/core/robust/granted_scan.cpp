@@ -1,0 +1,28 @@
+// Fixture: a pooled run_blocks call whose enclosing function consults the
+// active grant — grant-propagation must stay quiet without a waiver.
+#include <cstddef>
+
+namespace bnash::util {
+struct ExecutionGrant {
+    bool expired() const { return false; }
+};
+ExecutionGrant* active_grant() noexcept;
+struct Pool {
+    template <typename Fn>
+    void run_blocks(std::size_t blocks, const Fn& fn) {
+        for (std::size_t b = 0; b < blocks; ++b) fn(b);
+    }
+};
+Pool& global_pool();
+}
+
+namespace bnash::core {
+
+void granted_scan(std::size_t blocks) {
+    bnash::util::ExecutionGrant* const grant = bnash::util::active_grant();
+    bnash::util::global_pool().run_blocks(blocks, [&](std::size_t) {
+        if (grant != nullptr && grant->expired()) return;
+    });
+}
+
+}  // namespace bnash::core

@@ -1,0 +1,22 @@
+// Fixture: an uncharged advance loop carrying an explicit multi-line
+// waiver — walker-charge must stay quiet.
+#include <cstdint>
+
+namespace bnash::core {
+
+struct TinyWalker {
+    std::uint64_t row = 0;
+    bool advance() { return ++row < 8; }
+};
+
+std::uint64_t sum_rows_waived(TinyWalker& walker) {
+    std::uint64_t total = 0;
+    do {
+        total += walker.row;
+        // lint: no-charge(fixture loop over eight constant rows; nothing a
+        // work budget could meaningfully gate)
+    } while (walker.advance());
+    return total;
+}
+
+}  // namespace bnash::core

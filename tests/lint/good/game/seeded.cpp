@@ -1,0 +1,18 @@
+// Fixture: explicitly seeded deterministic randomness and stderr output
+// are both fine — no-rand / no-stdout must stay quiet. The string and
+// comment mentions of rand() and std::cout must not trigger either.
+#include <iostream>
+#include <random>
+#include <string>
+
+namespace bnash::game {
+
+// Documentation that talks about rand() and std::cout is not a finding.
+int seeded_choice(std::uint64_t seed, int actions) {
+    std::mt19937_64 rng(seed);
+    const std::string note = "never call rand() or std::cout << in here";
+    std::cerr << note << "\n";
+    return static_cast<int>(rng() % static_cast<std::uint64_t>(actions));
+}
+
+}  // namespace bnash::game

@@ -1,0 +1,15 @@
+// Fixture: serve/ is a sanctioned concurrency owner — std::jthread here
+// must NOT trigger naked-thread.
+#include <thread>
+#include <vector>
+
+namespace bnash::serve {
+
+void spawn_sessions(std::size_t count) {
+    std::vector<std::jthread> threads;
+    for (std::size_t i = 0; i < count; ++i) {
+        threads.emplace_back([] {});
+    }
+}
+
+}  // namespace bnash::serve

@@ -1,0 +1,14 @@
+// Fixture: a long leading comment block is fine — #pragma once only has
+// to come before the first line of actual code, matching the repo's
+// comment-header-then-pragma idiom.
+//
+// More commentary to make the point.
+#pragma once
+
+#include <cstddef>
+
+namespace bnash::util {
+
+inline std::size_t clean_fixture() { return 11; }
+
+}  // namespace bnash::util
